@@ -1,0 +1,1150 @@
+//! The two-level assembler: fabric-level (ring) and controller-level (RISC)
+//! sections in one source file, emitting a loadable [`Object`].
+//!
+//! This reproduces the paper's tool: "we wrote an assembling tool, which
+//! parse both RISC level (for the control) and Ring level assembler
+//! primitives. It directly generates the machine object code, ready to be
+//! executed in the architecture" (§5.1).
+//!
+//! # Language overview
+//!
+//! ```text
+//! .ring 4x2            ; geometry (layers x width) — required first
+//! .contexts 2          ; configuration contexts used
+//! .equ GAIN 3          ; named constant, usable wherever a number is
+//!
+//! .ctx 0               ; fabric statements target context 0
+//! route 0,0.in1 = host.0        ; switch routing
+//! route 1,0.in1 = prev.0
+//! route 0,0.fifo1 = pipe[1,0].0 ; feedback pipeline read
+//! node 0,0: add in1, one > out  ; Dnode microinstruction
+//! capture 1 = lane 0            ; host capture at switch 1 (out-port 0)
+//! capture 1.1 = lane 2          ; second out-port of switch 1
+//!
+//! .local 2,1           ; local-sequencer program for Dnode (layer 2, lane 1)
+//!   mac in1, in2 > r0
+//!   mov r0 > out
+//! .endlocal
+//! .mode 2,1 local      ; stand-alone mode
+//!
+//! .code                ; controller program
+//! start:
+//!   li   r1, 0x12345
+//! loop:
+//!   addi r1, r1, -1
+//!   bne  r1, r0, loop
+//!   halt
+//!
+//! .data
+//!   .word 1, 2, 3
+//! ```
+
+use std::collections::HashMap;
+
+use systolic_ring_isa::ctrl::{CReg, CtrlInstr};
+use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand, Reg};
+use systolic_ring_isa::object::{Object, Preload};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::{RingGeometry, Word16};
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::lexer::{tokenize, Token};
+
+/// Assembles a complete source file into a loadable object.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, carrying its source line.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_asm::assemble;
+///
+/// let object = assemble(
+///     ".ring 4x2\n\
+///      node 0,0: mac in1, in2 > r0\n\
+///      route 0,0.in1 = host.0\n\
+///      .code\n\
+///      halt\n",
+/// )?;
+/// assert_eq!(object.code.len(), 1);
+/// assert_eq!(object.preload.len(), 2);
+/// # Ok::<(), systolic_ring_asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Object, AsmError> {
+    Assembler::new().run(source)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Fabric,
+    Local,
+    Code,
+    Data,
+}
+
+struct Assembler {
+    geometry: Option<RingGeometry>,
+    contexts: u16,
+    ctx: u16,
+    section: Section,
+    local_dnode: u16,
+    local_slots: Vec<MicroInstr>,
+    preload: Vec<Preload>,
+    data: Vec<u32>,
+    /// Code lines retained for the second pass: (line_no, tokens, address).
+    code_lines: Vec<(usize, Vec<Token>)>,
+    /// Named constants from `.equ`.
+    equs: HashMap<String, i64>,
+}
+
+/// Identifiers `.equ` may not shadow (mnemonics, registers, operands,
+/// structural keywords).
+fn is_reserved_name(name: &str) -> bool {
+    if micro_op(name).is_some() {
+        return true;
+    }
+    if name.len() >= 2
+        && name.starts_with('r')
+        && name[1..].chars().all(|c| c.is_ascii_digit())
+    {
+        return true;
+    }
+    matches!(
+        name,
+        "in1" | "in2" | "fifo1" | "fifo2" | "bus" | "zero" | "one" | "out"
+            | "node" | "route" | "capture" | "lane" | "off" | "local" | "global"
+            | "prev" | "pipe" | "host" | "x"
+            | "addi" | "andi" | "ori" | "xori" | "slti" | "lui" | "li" | "lw" | "sw"
+            | "beq" | "bne" | "blt" | "bge" | "j" | "jal" | "jr"
+            | "cimm" | "wctx" | "wdn" | "wsw" | "who" | "wmode" | "wloc" | "wlim"
+            | "ctx" | "busw" | "busr" | "hpush" | "hpop" | "wait" | "halt"
+            | "sll" | "srl" | "sra"
+    )
+}
+
+/// A token cursor with positional error reporting.
+struct Cur<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(toks: &'a [Token], line: usize) -> Self {
+        Cur { toks, pos: 0, line }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Token) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), AsmError> {
+        if self.eat(want) {
+            Ok(())
+        } else {
+            Err(AsmError::syntax(self.line, format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, AsmError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            _ => Err(AsmError::syntax(self.line, format!("expected {what}"))),
+        }
+    }
+
+    fn num(&mut self, what: &str) -> Result<i64, AsmError> {
+        match self.next() {
+            Some(Token::Num(n)) => Ok(*n),
+            _ => Err(AsmError::syntax(self.line, format!("expected {what}"))),
+        }
+    }
+
+    fn unsigned(&mut self, what: &str, max: i64) -> Result<u16, AsmError> {
+        let n = self.num(what)?;
+        if (0..=max).contains(&n) {
+            Ok(n as u16)
+        } else {
+            Err(AsmError::new(
+                self.line,
+                AsmErrorKind::OutOfRange { what: what.into(), value: n },
+            ))
+        }
+    }
+
+    fn end(&self) -> Result<(), AsmError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(AsmError::syntax(self.line, "unexpected trailing tokens"))
+        }
+    }
+}
+
+impl Assembler {
+    fn new() -> Self {
+        Assembler {
+            geometry: None,
+            contexts: 1,
+            ctx: 0,
+            section: Section::Fabric,
+            local_dnode: 0,
+            local_slots: Vec::new(),
+            preload: Vec::new(),
+            data: Vec::new(),
+            code_lines: Vec::new(),
+            equs: HashMap::new(),
+        }
+    }
+
+    /// Replaces `.equ` names with their numeric values in `toks`.
+    fn substitute_equs(&self, toks: &mut [Token]) {
+        for tok in toks.iter_mut() {
+            if let Token::Ident(name) = tok {
+                if let Some(&value) = self.equs.get(name.as_str()) {
+                    *tok = Token::Num(value);
+                }
+            }
+        }
+    }
+
+    fn geometry(&self, line: usize) -> Result<RingGeometry, AsmError> {
+        self.geometry.ok_or_else(|| {
+            AsmError::new(
+                line,
+                AsmErrorKind::Misplaced(".ring must be declared before fabric statements".into()),
+            )
+        })
+    }
+
+    fn run(mut self, source: &str) -> Result<Object, AsmError> {
+        for (idx, raw) in source.lines().enumerate() {
+            let line = idx + 1;
+            let toks = tokenize(raw, line)?;
+            if toks.is_empty() {
+                continue;
+            }
+            self.line(&toks, line)?;
+        }
+        if self.section == Section::Local {
+            return Err(AsmError::new(
+                source.lines().count(),
+                AsmErrorKind::Misplaced(".local block not closed by .endlocal".into()),
+            ));
+        }
+        let code = assemble_code(&self.code_lines)?;
+        Ok(Object {
+            geometry: self.geometry,
+            contexts: self.contexts,
+            code,
+            data: self.data,
+            preload: self.preload,
+        })
+    }
+
+    fn line(&mut self, toks: &[Token], line: usize) -> Result<(), AsmError> {
+        let mut toks = toks.to_vec();
+        // A leading `ident:` is a label definition and must not be
+        // substituted; everything else goes through the `.equ` table.
+        let keep_first = matches!(
+            (toks.first(), toks.get(1)),
+            (Some(Token::Ident(_)), Some(Token::Colon))
+        );
+        if keep_first {
+            self.substitute_equs(&mut toks[1..]);
+        } else if !toks.is_empty() {
+            self.substitute_equs(&mut toks[1..]);
+            // The first token may also be an operand position in fabric
+            // statements; substitute it only when it is not a known
+            // statement keyword or mnemonic.
+            if let Some(Token::Ident(name)) = toks.first() {
+                if !is_reserved_name(name) {
+                    if let Some(&value) = self.equs.get(name.as_str()) {
+                        toks[0] = Token::Num(value);
+                    }
+                }
+            }
+        }
+        let toks = &toks[..];
+        let mut cur = Cur::new(toks, line);
+        if cur.eat(&Token::Dot) {
+            let name = cur.ident("directive name")?;
+            return self.directive(&name, cur);
+        }
+        match self.section {
+            Section::Fabric => self.fabric_line(cur),
+            Section::Local => {
+                let instr = parse_micro(&mut cur)?;
+                cur.end()?;
+                if self.local_slots.len() >= 8 {
+                    return Err(AsmError::syntax(
+                        line,
+                        "local program exceeds 8 microinstructions",
+                    ));
+                }
+                self.local_slots.push(instr);
+                Ok(())
+            }
+            Section::Code => {
+                self.code_lines.push((line, toks.to_vec()));
+                Ok(())
+            }
+            Section::Data => Err(AsmError::syntax(
+                line,
+                "only .word lines are allowed in .data",
+            )),
+        }
+    }
+
+    fn directive(&mut self, name: &str, mut cur: Cur<'_>) -> Result<(), AsmError> {
+        let line = cur.line;
+        match name {
+            "ring" => {
+                // `.ring 4x2` lexes as NUM(4) IDENT("x2"); also accept
+                // `.ring 4 x 2` and `.ring 4, 2`.
+                let layers = cur.unsigned("layer count", 256)?;
+                let width = match cur.peek().cloned() {
+                    Some(Token::Ident(s)) if s.starts_with('x') && s.len() > 1 => {
+                        cur.next();
+                        s[1..].parse::<u16>().map_err(|_| {
+                            AsmError::new(line, AsmErrorKind::BadNumber(s.clone()))
+                        })?
+                    }
+                    Some(Token::Ident(s)) if s == "x" => {
+                        cur.next();
+                        cur.unsigned("width", 256)?
+                    }
+                    _ => {
+                        cur.eat(&Token::Comma);
+                        cur.unsigned("width", 256)?
+                    }
+                };
+                cur.end()?;
+                let geometry = RingGeometry::new(layers as usize, width as usize)
+                    .map_err(|e| AsmError::new(line, AsmErrorKind::Geometry(e.to_string())))?;
+                self.geometry = Some(geometry);
+                Ok(())
+            }
+            "contexts" => {
+                self.contexts = cur.unsigned("context count", 256)?;
+                cur.end()
+            }
+            "equ" => {
+                let name = cur.ident("constant name")?;
+                if is_reserved_name(&name) {
+                    return Err(AsmError::syntax(
+                        line,
+                        format!("`.equ {name}` shadows a reserved name"),
+                    ));
+                }
+                let value = cur.num("constant value")?;
+                cur.end()?;
+                self.equs.insert(name, value);
+                Ok(())
+            }
+            "ctx" => {
+                let ctx = cur.unsigned("context index", 255)?;
+                cur.end()?;
+                if ctx >= self.contexts {
+                    return Err(AsmError::new(
+                        line,
+                        AsmErrorKind::Geometry(format!(
+                            "context {ctx} outside declared .contexts {}",
+                            self.contexts
+                        )),
+                    ));
+                }
+                self.ctx = ctx;
+                Ok(())
+            }
+            "local" => {
+                if self.section == Section::Local {
+                    return Err(AsmError::new(
+                        line,
+                        AsmErrorKind::Misplaced("nested .local".into()),
+                    ));
+                }
+                let (dnode, _) = self.parse_dnode_ref(&mut cur)?;
+                cur.end()?;
+                self.local_dnode = dnode;
+                self.local_slots.clear();
+                self.section = Section::Local;
+                Ok(())
+            }
+            "endlocal" => {
+                if self.section != Section::Local {
+                    return Err(AsmError::new(
+                        line,
+                        AsmErrorKind::Misplaced(".endlocal without .local".into()),
+                    ));
+                }
+                cur.end()?;
+                if self.local_slots.is_empty() {
+                    return Err(AsmError::syntax(line, "empty .local program"));
+                }
+                for (slot, instr) in self.local_slots.iter().enumerate() {
+                    self.preload.push(Preload::LocalSlot {
+                        dnode: self.local_dnode,
+                        slot: slot as u8,
+                        word: instr.encode(),
+                    });
+                }
+                self.preload.push(Preload::LocalLimit {
+                    dnode: self.local_dnode,
+                    limit: self.local_slots.len() as u8,
+                });
+                self.section = Section::Fabric;
+                Ok(())
+            }
+            "mode" => {
+                let (dnode, _) = self.parse_dnode_ref(&mut cur)?;
+                let mode = cur.ident("`local` or `global`")?;
+                cur.end()?;
+                let local = match mode.as_str() {
+                    "local" => true,
+                    "global" => false,
+                    other => {
+                        return Err(AsmError::syntax(
+                            line,
+                            format!("expected `local` or `global`, got `{other}`"),
+                        ))
+                    }
+                };
+                self.preload.push(Preload::Mode { dnode, local });
+                Ok(())
+            }
+            "code" => {
+                self.section = Section::Code;
+                cur.end()
+            }
+            "data" => {
+                self.section = Section::Data;
+                cur.end()
+            }
+            "word" => {
+                if self.section != Section::Data {
+                    return Err(AsmError::new(
+                        line,
+                        AsmErrorKind::Misplaced(".word outside .data".into()),
+                    ));
+                }
+                loop {
+                    let n = cur.num("word value")?;
+                    if !(i32::MIN as i64..=u32::MAX as i64).contains(&n) {
+                        return Err(AsmError::new(
+                            line,
+                            AsmErrorKind::OutOfRange { what: "word".into(), value: n },
+                        ));
+                    }
+                    self.data.push(n as u32);
+                    if !cur.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                cur.end()
+            }
+            other => Err(AsmError::new(
+                line,
+                AsmErrorKind::UnknownMnemonic(format!(".{other}")),
+            )),
+        }
+    }
+
+    /// Parses `LAYER , LANE` and returns (flat dnode index, (layer, lane)).
+    fn parse_dnode_ref(&self, cur: &mut Cur<'_>) -> Result<(u16, (u16, u16)), AsmError> {
+        let line = cur.line;
+        let g = self.geometry(line)?;
+        let layer = cur.unsigned("layer", 255)?;
+        cur.expect(&Token::Comma, "`,` between layer and lane")?;
+        let lane = cur.unsigned("lane", 255)?;
+        if layer as usize >= g.layers() || lane as usize >= g.width() {
+            return Err(AsmError::new(
+                line,
+                AsmErrorKind::Geometry(format!(
+                    "dnode {layer},{lane} outside {g}",
+                )),
+            ));
+        }
+        Ok((g.dnode_index(layer as usize, lane as usize) as u16, (layer, lane)))
+    }
+
+    fn fabric_line(&mut self, mut cur: Cur<'_>) -> Result<(), AsmError> {
+        let line = cur.line;
+        let keyword = cur.ident("fabric statement")?;
+        match keyword.as_str() {
+            "node" => {
+                let (dnode, _) = self.parse_dnode_ref(&mut cur)?;
+                cur.expect(&Token::Colon, "`:` after dnode reference")?;
+                let instr = parse_micro(&mut cur)?;
+                cur.end()?;
+                self.preload.push(Preload::DnodeInstr {
+                    ctx: self.ctx,
+                    dnode,
+                    word: instr.encode(),
+                });
+                Ok(())
+            }
+            "route" => {
+                let g = self.geometry(line)?;
+                let (_, (layer, lane)) = self.parse_dnode_ref(&mut cur)?;
+                cur.expect(&Token::Dot, "`.` before port name")?;
+                let port_name = cur.ident("port name")?;
+                let input = match port_name.as_str() {
+                    "in1" => 0u8,
+                    "in2" => 1,
+                    "fifo1" => 2,
+                    "fifo2" => 3,
+                    other => {
+                        return Err(AsmError::syntax(
+                            line,
+                            format!("unknown port `{other}` (in1/in2/fifo1/fifo2)"),
+                        ))
+                    }
+                };
+                cur.expect(&Token::Equals, "`=` before source")?;
+                let source = parse_source(&mut cur, g)?;
+                cur.end()?;
+                self.preload.push(Preload::SwitchPort {
+                    ctx: self.ctx,
+                    switch: layer,
+                    lane,
+                    input,
+                    word: source.encode(),
+                });
+                Ok(())
+            }
+            "capture" => {
+                let g = self.geometry(line)?;
+                let switch = cur.unsigned("switch index", 255)?;
+                if switch as usize >= g.switches() {
+                    return Err(AsmError::new(
+                        line,
+                        AsmErrorKind::Geometry(format!("switch {switch} outside {g}")),
+                    ));
+                }
+                // Optional `.P` selects the host-output port (default 0).
+                let port = if cur.eat(&Token::Dot) {
+                    let port = cur.unsigned("out-port", 255)?;
+                    if port as usize >= g.width() {
+                        return Err(AsmError::new(
+                            line,
+                            AsmErrorKind::Geometry(format!("out-port {port} outside {g}")),
+                        ));
+                    }
+                    port
+                } else {
+                    0
+                };
+                cur.expect(&Token::Equals, "`=` after switch index")?;
+                let what = cur.ident("`lane` or `off`")?;
+                let capture = match what.as_str() {
+                    "off" => HostCapture::DISABLED,
+                    "lane" => {
+                        let lane = cur.unsigned("lane", 255)?;
+                        if lane as usize >= g.width() {
+                            return Err(AsmError::new(
+                                line,
+                                AsmErrorKind::Geometry(format!("lane {lane} outside {g}")),
+                            ));
+                        }
+                        HostCapture::lane(lane as u8)
+                    }
+                    other => {
+                        return Err(AsmError::syntax(
+                            line,
+                            format!("expected `lane K` or `off`, got `{other}`"),
+                        ))
+                    }
+                };
+                cur.end()?;
+                self.preload.push(Preload::HostCapture {
+                    ctx: self.ctx,
+                    switch,
+                    port,
+                    word: capture.encode(),
+                });
+                Ok(())
+            }
+            other => Err(AsmError::new(
+                line,
+                AsmErrorKind::UnknownMnemonic(other.into()),
+            )),
+        }
+    }
+}
+
+/// Parses a routing source: `prev.K`, `pipe[S,STG].L`, `host.P`, `bus`,
+/// `zero`.
+fn parse_source(cur: &mut Cur<'_>, g: RingGeometry) -> Result<PortSource, AsmError> {
+    let line = cur.line;
+    let kind = cur.ident("routing source")?;
+    let check = |ok: bool, msg: String| {
+        if ok {
+            Ok(())
+        } else {
+            Err(AsmError::new(line, AsmErrorKind::Geometry(msg)))
+        }
+    };
+    match kind.as_str() {
+        "zero" => Ok(PortSource::Zero),
+        "bus" => Ok(PortSource::Bus),
+        "prev" => {
+            cur.expect(&Token::Dot, "`.` after `prev`")?;
+            let lane = cur.unsigned("lane", 255)?;
+            check(
+                (lane as usize) < g.width(),
+                format!("prev lane {lane} outside {g}"),
+            )?;
+            Ok(PortSource::PrevOut { lane: lane as u8 })
+        }
+        "host" => {
+            cur.expect(&Token::Dot, "`.` after `host`")?;
+            let port = cur.unsigned("host port", 255)?;
+            check(
+                (port as usize) < 2 * g.width(),
+                format!("host port {port} outside 2*width of {g}"),
+            )?;
+            Ok(PortSource::HostIn { port: port as u8 })
+        }
+        "pipe" => {
+            cur.expect(&Token::LBracket, "`[` after `pipe`")?;
+            let switch = cur.unsigned("pipe switch", 255)?;
+            cur.expect(&Token::Comma, "`,` between switch and stage")?;
+            let stage = cur.unsigned("pipe stage", 255)?;
+            cur.expect(&Token::RBracket, "`]` after stage")?;
+            cur.expect(&Token::Dot, "`.` before lane")?;
+            let lane = cur.unsigned("lane", 255)?;
+            check(
+                (switch as usize) < g.switches() && (lane as usize) < g.width(),
+                format!("pipe[{switch}].{lane} outside {g}"),
+            )?;
+            Ok(PortSource::Pipe {
+                switch: switch as u8,
+                stage: stage as u8,
+                lane: lane as u8,
+            })
+        }
+        other => Err(AsmError::syntax(
+            line,
+            format!("unknown source `{other}` (prev/pipe/host/bus/zero)"),
+        )),
+    }
+}
+
+/// Parses one Dnode microinstruction: `OP [src[, src]] [> dest{,dest}]`.
+fn parse_micro(cur: &mut Cur<'_>) -> Result<MicroInstr, AsmError> {
+    let line = cur.line;
+    let mnemonic = cur.ident("dnode mnemonic")?;
+    let (alu, arity) = micro_op(&mnemonic)
+        .ok_or_else(|| AsmError::new(line, AsmErrorKind::UnknownMnemonic(mnemonic.clone())))?;
+
+    let mut imm: Option<i64> = None;
+    let mut parse_operand = |cur: &mut Cur<'_>| -> Result<Operand, AsmError> {
+        if cur.eat(&Token::Hash) {
+            let value = cur.num("immediate")?;
+            if !(i16::MIN as i64..=u16::MAX as i64).contains(&value) {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::OutOfRange { what: "immediate".into(), value },
+                ));
+            }
+            if let Some(prev) = imm {
+                if prev != value {
+                    return Err(AsmError::syntax(
+                        line,
+                        "a microinstruction has a single immediate field",
+                    ));
+                }
+            }
+            imm = Some(value);
+            return Ok(Operand::Imm);
+        }
+        let name = cur.ident("operand")?;
+        operand(&name).ok_or_else(|| {
+            AsmError::syntax(line, format!("unknown operand `{name}`"))
+        })
+    };
+
+    let (src_a, src_b) = match arity {
+        0 => (Operand::Zero, Operand::Zero),
+        1 => {
+            let a = parse_operand(cur)?;
+            if alu == AluOp::PassB {
+                (Operand::Zero, a)
+            } else {
+                (a, Operand::Zero)
+            }
+        }
+        _ => {
+            let a = parse_operand(cur)?;
+            cur.expect(&Token::Comma, "`,` between operands")?;
+            let b = parse_operand(cur)?;
+            (a, b)
+        }
+    };
+
+    let mut instr = MicroInstr::op(alu, src_a, src_b);
+    if let Some(value) = imm {
+        instr = instr.with_imm(Word16::new(value as u16));
+    }
+
+    if cur.eat(&Token::Arrow) {
+        loop {
+            let dest = cur.ident("destination")?;
+            match dest.as_str() {
+                "out" => instr.wr_out = true,
+                "bus" => instr.wr_bus = true,
+                "r0" | "r1" | "r2" | "r3" => {
+                    let reg = Reg::from_index(dest[1..].parse().expect("digit")).expect("0..4");
+                    if instr.wr_reg.is_some() {
+                        return Err(AsmError::syntax(
+                            line,
+                            "a microinstruction writes at most one register",
+                        ));
+                    }
+                    instr.wr_reg = Some(reg);
+                }
+                other => {
+                    return Err(AsmError::syntax(
+                        line,
+                        format!("unknown destination `{other}` (r0-r3/out/bus)"),
+                    ))
+                }
+            }
+            if !cur.eat(&Token::Comma) {
+                break;
+            }
+        }
+    }
+    Ok(instr)
+}
+
+fn micro_op(mnemonic: &str) -> Option<(AluOp, u8)> {
+    let table: &[(&str, AluOp, u8)] = &[
+        ("nop", AluOp::Nop, 0),
+        ("mov", AluOp::PassA, 1),
+        ("movb", AluOp::PassB, 1),
+        ("add", AluOp::Add, 2),
+        ("adds", AluOp::AddSat, 2),
+        ("sub", AluOp::Sub, 2),
+        ("subs", AluOp::SubSat, 2),
+        ("neg", AluOp::Neg, 1),
+        ("abs", AluOp::Abs, 1),
+        ("absd", AluOp::AbsDiff, 2),
+        ("and", AluOp::And, 2),
+        ("or", AluOp::Or, 2),
+        ("xor", AluOp::Xor, 2),
+        ("not", AluOp::Not, 1),
+        ("shl", AluOp::Shl, 2),
+        ("shr", AluOp::Shr, 2),
+        ("asr", AluOp::Asr, 2),
+        ("min", AluOp::Min, 2),
+        ("max", AluOp::Max, 2),
+        ("minu", AluOp::MinU, 2),
+        ("maxu", AluOp::MaxU, 2),
+        ("slt", AluOp::Slt, 2),
+        ("sltu", AluOp::SltU, 2),
+        ("mul", AluOp::Mul, 2),
+        ("mulh", AluOp::MulHi, 2),
+        ("mulhu", AluOp::MulHiU, 2),
+        ("mac", AluOp::Mac, 2),
+        ("macs", AluOp::MacSat, 2),
+        ("msu", AluOp::Msu, 2),
+    ];
+    table
+        .iter()
+        .find(|(name, _, _)| *name == mnemonic)
+        .map(|(_, op, arity)| (*op, *arity))
+}
+
+fn operand(name: &str) -> Option<Operand> {
+    Some(match name {
+        "r0" => Operand::Reg(Reg::R0),
+        "r1" => Operand::Reg(Reg::R1),
+        "r2" => Operand::Reg(Reg::R2),
+        "r3" => Operand::Reg(Reg::R3),
+        "in1" => Operand::In1,
+        "in2" => Operand::In2,
+        "fifo1" => Operand::Fifo1,
+        "fifo2" => Operand::Fifo2,
+        "bus" => Operand::Bus,
+        "zero" => Operand::Zero,
+        "one" => Operand::One,
+        _ => return None,
+    })
+}
+
+// --------------------------------------------------------------------------
+// Controller section (two passes over the retained lines)
+// --------------------------------------------------------------------------
+
+fn assemble_code(lines: &[(usize, Vec<Token>)]) -> Result<Vec<u32>, AsmError> {
+    // Pass 1: label addresses.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut addr = 0u32;
+    for (line, toks) in lines {
+        let mut cur = Cur::new(toks, *line);
+        let toks_after_label = strip_label(&mut cur, &mut labels, addr)?;
+        if toks_after_label {
+            let mnemonic = match cur.peek() {
+                Some(Token::Ident(m)) => m.clone(),
+                _ => return Err(AsmError::syntax(*line, "expected instruction")),
+            };
+            addr += instr_words(&mnemonic);
+        }
+    }
+    // Pass 2: encode.
+    let mut code = Vec::new();
+    for (line, toks) in lines {
+        let mut cur = Cur::new(toks, *line);
+        let mut scratch = HashMap::new();
+        let has_instr = strip_label(&mut cur, &mut scratch, 0)?;
+        if !has_instr {
+            continue;
+        }
+        encode_ctrl(&mut cur, &labels, code.len() as u32, &mut code)?;
+        cur.end()?;
+    }
+    Ok(code)
+}
+
+/// Consumes a leading `label:`; returns `true` if tokens remain.
+fn strip_label(
+    cur: &mut Cur<'_>,
+    labels: &mut HashMap<String, u32>,
+    addr: u32,
+) -> Result<bool, AsmError> {
+    if let (Some(Token::Ident(name)), Some(Token::Colon)) =
+        (cur.toks.first(), cur.toks.get(1))
+    {
+        let name = name.clone();
+        if labels.insert(name.clone(), addr).is_some() {
+            return Err(AsmError::new(cur.line, AsmErrorKind::DuplicateLabel(name)));
+        }
+        cur.pos = 2;
+        return Ok(cur.pos < cur.toks.len());
+    }
+    Ok(!cur.toks.is_empty())
+}
+
+fn instr_words(mnemonic: &str) -> u32 {
+    if mnemonic == "li" {
+        2
+    } else {
+        1
+    }
+}
+
+fn creg(cur: &mut Cur<'_>) -> Result<CReg, AsmError> {
+    let line = cur.line;
+    let name = cur.ident("register")?;
+    let idx = name
+        .strip_prefix('r')
+        .and_then(|digits| digits.parse::<u8>().ok())
+        .and_then(CReg::new);
+    idx.ok_or_else(|| AsmError::syntax(line, format!("expected register r0-r15, got `{name}`")))
+}
+
+fn imm_i16(cur: &mut Cur<'_>, what: &str) -> Result<i16, AsmError> {
+    let line = cur.line;
+    let n = cur.num(what)?;
+    if (i16::MIN as i64..=i16::MAX as i64).contains(&n) {
+        Ok(n as i16)
+    } else {
+        Err(AsmError::new(
+            line,
+            AsmErrorKind::OutOfRange { what: what.into(), value: n },
+        ))
+    }
+}
+
+fn imm_u16(cur: &mut Cur<'_>, what: &str) -> Result<u16, AsmError> {
+    let line = cur.line;
+    let n = cur.num(what)?;
+    if (0..=u16::MAX as i64).contains(&n) {
+        Ok(n as u16)
+    } else if (i16::MIN as i64..0).contains(&n) {
+        // Accept negative literals for bit-pattern immediates (andi/ori).
+        Ok(n as i16 as u16)
+    } else {
+        Err(AsmError::new(
+            line,
+            AsmErrorKind::OutOfRange { what: what.into(), value: n },
+        ))
+    }
+}
+
+/// A jump/branch target: a label or a literal address/offset.
+fn target(
+    cur: &mut Cur<'_>,
+    labels: &HashMap<String, u32>,
+) -> Result<u32, AsmError> {
+    let line = cur.line;
+    match cur.next() {
+        Some(Token::Num(n)) if *n >= 0 && *n <= u16::MAX as i64 => Ok(*n as u32),
+        Some(Token::Ident(name)) => labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError::new(line, AsmErrorKind::UndefinedLabel(name.clone()))),
+        _ => Err(AsmError::syntax(line, "expected label or address")),
+    }
+}
+
+fn encode_ctrl(
+    cur: &mut Cur<'_>,
+    labels: &HashMap<String, u32>,
+    addr: u32,
+    code: &mut Vec<u32>,
+) -> Result<(), AsmError> {
+    use CtrlInstr::*;
+    let line = cur.line;
+    let mnemonic = cur.ident("instruction")?;
+
+    let mut push = |instr: CtrlInstr| code.push(instr.encode());
+
+    let r3 = |cur: &mut Cur<'_>| -> Result<(CReg, CReg, CReg), AsmError> {
+        let rd = creg(cur)?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let ra = creg(cur)?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let rb = creg(cur)?;
+        Ok((rd, ra, rb))
+    };
+    let rri = |cur: &mut Cur<'_>| -> Result<(CReg, CReg), AsmError> {
+        let rd = creg(cur)?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let ra = creg(cur)?;
+        cur.expect(&Token::Comma, "`,`")?;
+        Ok((rd, ra))
+    };
+    let mem = |cur: &mut Cur<'_>| -> Result<(CReg, CReg, i16), AsmError> {
+        let r = creg(cur)?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let offset = imm_i16(cur, "offset")?;
+        cur.expect(&Token::LParen, "`(`")?;
+        let base = creg(cur)?;
+        cur.expect(&Token::RParen, "`)`")?;
+        Ok((r, base, offset))
+    };
+    let branch = |cur: &mut Cur<'_>| -> Result<(CReg, CReg, i16), AsmError> {
+        let ra = creg(cur)?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let rb = creg(cur)?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let dest = target(cur, labels)?;
+        let offset = dest as i64 - (addr as i64 + 1);
+        if !(i16::MIN as i64..=i16::MAX as i64).contains(&offset) {
+            return Err(AsmError::new(
+                cur.line,
+                AsmErrorKind::OutOfRange { what: "branch offset".into(), value: offset },
+            ));
+        }
+        Ok((ra, rb, offset as i16))
+    };
+    let reg_imm = |cur: &mut Cur<'_>| -> Result<(CReg, u16), AsmError> {
+        let r = creg(cur)?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let imm = imm_u16(cur, "immediate")?;
+        Ok((r, imm))
+    };
+
+    match mnemonic.as_str() {
+        "nop" => push(Nop),
+        "halt" => push(Halt),
+        "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu"
+        | "mul" => {
+            let (rd, ra, rb) = r3(cur)?;
+            push(match mnemonic.as_str() {
+                "add" => Add { rd, ra, rb },
+                "sub" => Sub { rd, ra, rb },
+                "and" => And { rd, ra, rb },
+                "or" => Or { rd, ra, rb },
+                "xor" => Xor { rd, ra, rb },
+                "sll" => Sll { rd, ra, rb },
+                "srl" => Srl { rd, ra, rb },
+                "sra" => Sra { rd, ra, rb },
+                "slt" => Slt { rd, ra, rb },
+                "sltu" => Sltu { rd, ra, rb },
+                _ => Mul { rd, ra, rb },
+            });
+        }
+        "addi" | "slti" => {
+            let (rd, ra) = rri(cur)?;
+            let imm = imm_i16(cur, "immediate")?;
+            push(if mnemonic == "addi" {
+                Addi { rd, ra, imm }
+            } else {
+                Slti { rd, ra, imm }
+            });
+        }
+        "andi" | "ori" | "xori" => {
+            let (rd, ra) = rri(cur)?;
+            let imm = imm_u16(cur, "immediate")?;
+            push(match mnemonic.as_str() {
+                "andi" => Andi { rd, ra, imm },
+                "ori" => Ori { rd, ra, imm },
+                _ => Xori { rd, ra, imm },
+            });
+        }
+        "lui" => {
+            let (rd, imm) = reg_imm(cur)?;
+            push(Lui { rd, imm });
+        }
+        "li" => {
+            // Pseudo: lui + ori (always two words so pass-1 sizing holds).
+            let rd = creg(cur)?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let n = cur.num("immediate")?;
+            if !(i32::MIN as i64..=u32::MAX as i64).contains(&n) {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::OutOfRange { what: "li immediate".into(), value: n },
+                ));
+            }
+            let bits = n as u32;
+            push(Lui { rd, imm: (bits >> 16) as u16 });
+            push(Ori { rd, ra: rd, imm: (bits & 0xffff) as u16 });
+        }
+        "lw" => {
+            let (rd, ra, imm) = mem(cur)?;
+            push(Lw { rd, ra, imm });
+        }
+        "sw" => {
+            let (rs, ra, imm) = mem(cur)?;
+            push(Sw { rs, ra, imm });
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            let (ra, rb, offset) = branch(cur)?;
+            push(match mnemonic.as_str() {
+                "beq" => Beq { ra, rb, offset },
+                "bne" => Bne { ra, rb, offset },
+                "blt" => Blt { ra, rb, offset },
+                _ => Bge { ra, rb, offset },
+            });
+        }
+        "j" | "jal" => {
+            let dest = target(cur, labels)?;
+            push(if mnemonic == "j" {
+                J { target: dest as u16 }
+            } else {
+                Jal { target: dest as u16 }
+            });
+        }
+        "jr" => {
+            let ra = creg(cur)?;
+            push(Jr { ra });
+        }
+        "cimm" | "wctx" | "ctx" | "wait" => {
+            let imm = imm_u16(cur, "immediate")?;
+            push(match mnemonic.as_str() {
+                "cimm" => Cimm { imm },
+                "wctx" => Wctx { ctx: imm },
+                "ctx" => Ctx { ctx: imm },
+                _ => Wait { cycles: imm },
+            });
+        }
+        "wdn" | "wsw" | "who" | "wmode" | "wloc" | "wlim" => {
+            let (rs, imm) = reg_imm(cur)?;
+            push(match mnemonic.as_str() {
+                "wdn" => Wdn { rs, dnode: imm },
+                "wsw" => Wsw { rs, port: imm },
+                "who" => Who { rs, switch: imm },
+                "wmode" => Wmode { rs, dnode: imm },
+                "wloc" => Wloc { rs, packed: imm },
+                _ => Wlim { rs, dnode: imm },
+            });
+        }
+        "busw" => {
+            let rs = creg(cur)?;
+            push(Busw { rs });
+        }
+        "busr" => {
+            let rd = creg(cur)?;
+            push(Busr { rd });
+        }
+        "hpush" => {
+            let rs = creg(cur)?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let a = imm_u16(cur, "switch")?;
+            let packed = if cur.eat(&Token::Comma) {
+                // Three-operand form: hpush rs, switch, port.
+                let port = imm_u16(cur, "port")?;
+                if a > 255 || port > 255 {
+                    return Err(AsmError::new(
+                        line,
+                        AsmErrorKind::OutOfRange {
+                            what: "hpush switch/port".into(),
+                            value: a.max(port) as i64,
+                        },
+                    ));
+                }
+                (a << 8) | port
+            } else {
+                // Two-operand form: the operand is the switch, port 0.
+                if a > 255 {
+                    return Err(AsmError::new(
+                        line,
+                        AsmErrorKind::OutOfRange { what: "hpush switch".into(), value: a as i64 },
+                    ));
+                }
+                a << 8
+            };
+            push(Hpush { rs, switch: packed });
+        }
+        "hpop" => {
+            let rd = creg(cur)?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let a = imm_u16(cur, "switch")?;
+            let packed = if cur.eat(&Token::Comma) {
+                // Three-operand form: hpop rd, switch, port.
+                let port = imm_u16(cur, "port")?;
+                if a > 255 || port > 255 {
+                    return Err(AsmError::new(
+                        line,
+                        AsmErrorKind::OutOfRange {
+                            what: "hpop switch/port".into(),
+                            value: a.max(port) as i64,
+                        },
+                    ));
+                }
+                (a << 8) | port
+            } else {
+                // Two-operand form: the operand is the switch, port 0.
+                if a > 255 {
+                    return Err(AsmError::new(
+                        line,
+                        AsmErrorKind::OutOfRange { what: "hpop switch".into(), value: a as i64 },
+                    ));
+                }
+                a << 8
+            };
+            push(Hpop { rd, switch: packed });
+        }
+        other => {
+            return Err(AsmError::new(
+                line,
+                AsmErrorKind::UnknownMnemonic(other.into()),
+            ))
+        }
+    }
+    Ok(())
+}

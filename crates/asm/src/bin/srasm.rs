@@ -1,0 +1,74 @@
+//! `srasm` — the Systolic Ring assembler, as a command-line tool.
+//!
+//! ```sh
+//! srasm program.sr [-o program.obj]
+//! ```
+//!
+//! Assembles a two-level source file (ring + controller sections) into the
+//! binary object format the machine loader and the APEX PRG memory use.
+//! Errors print with their source line. With `-o -` or no writable target,
+//! a summary goes to stdout instead.
+
+use std::process::ExitCode;
+
+use systolic_ring_asm::assemble;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: srasm <source.sr> [-o <out.obj>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut source_path = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" => match it.next() {
+                Some(path) => out_path = Some(path.clone()),
+                None => return usage(),
+            },
+            "-h" | "--help" => return usage(),
+            path if source_path.is_none() => source_path = Some(path.to_owned()),
+            _ => return usage(),
+        }
+    }
+    let Some(source_path) = source_path else {
+        return usage();
+    };
+
+    let source = match std::fs::read_to_string(&source_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("srasm: cannot read {source_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let object = match assemble(&source) {
+        Ok(object) => object,
+        Err(e) => {
+            eprintln!("srasm: {source_path}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = object.to_bytes();
+    let out_path = out_path.unwrap_or_else(|| {
+        let stem = source_path.trim_end_matches(".sr");
+        format!("{stem}.obj")
+    });
+    if let Err(e) = std::fs::write(&out_path, &bytes) {
+        eprintln!("srasm: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "srasm: {} -> {} ({} bytes; {} code words, {} preloads, {} data words)",
+        source_path,
+        out_path,
+        bytes.len(),
+        object.code.len(),
+        object.preload.len(),
+        object.data.len()
+    );
+    ExitCode::SUCCESS
+}

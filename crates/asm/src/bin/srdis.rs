@@ -1,0 +1,38 @@
+//! `srdis` — the Systolic Ring disassembler, as a command-line tool.
+//!
+//! ```sh
+//! srdis program.obj
+//! ```
+//!
+//! Prints the object header, fabric preload records, controller code and
+//! data section in the assembler's syntax.
+
+use std::process::ExitCode;
+
+use systolic_ring_asm::disassemble;
+use systolic_ring_isa::object::Object;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: srdis <program.obj>");
+        return ExitCode::from(2);
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("srdis: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match Object::from_bytes(&bytes) {
+        Ok(object) => {
+            print!("{}", disassemble(&object));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("srdis: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

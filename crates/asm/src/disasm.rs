@@ -1,0 +1,125 @@
+//! Disassembler: object code back to readable text.
+
+use systolic_ring_isa::ctrl::CtrlInstr;
+use systolic_ring_isa::dnode::MicroInstr;
+use systolic_ring_isa::object::{Object, Preload};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+
+/// Disassembles a controller program; undecodable words are shown as
+/// `.word 0x...`.
+pub fn disassemble_code(code: &[u32]) -> String {
+    let mut out = String::new();
+    for (addr, word) in code.iter().enumerate() {
+        match CtrlInstr::decode(*word) {
+            Ok(instr) => out.push_str(&format!("{addr:5}:  {instr}\n")),
+            Err(_) => out.push_str(&format!("{addr:5}:  .word {word:#010x}\n")),
+        }
+    }
+    out
+}
+
+/// Renders a whole object: header, preload records, code and data.
+pub fn disassemble(object: &Object) -> String {
+    let mut out = String::new();
+    match object.geometry {
+        Some(g) => out.push_str(&format!("; geometry: {g}\n")),
+        None => out.push_str("; geometry: unspecified\n"),
+    }
+    out.push_str(&format!("; contexts: {}\n", object.contexts));
+    if !object.preload.is_empty() {
+        out.push_str("; fabric preload:\n");
+        for record in &object.preload {
+            out.push_str(&format!(";   {}\n", preload_line(record)));
+        }
+    }
+    if !object.code.is_empty() {
+        out.push_str(".code\n");
+        out.push_str(&disassemble_code(&object.code));
+    }
+    if !object.data.is_empty() {
+        out.push_str(".data\n");
+        for word in &object.data {
+            out.push_str(&format!("  .word {word:#010x}\n"));
+        }
+    }
+    out
+}
+
+fn preload_line(record: &Preload) -> String {
+    match *record {
+        Preload::DnodeInstr { ctx, dnode, word } => match MicroInstr::decode(word) {
+            Ok(instr) => format!("ctx {ctx} dnode {dnode}: {instr}"),
+            Err(_) => format!("ctx {ctx} dnode {dnode}: .word {word:#x}"),
+        },
+        Preload::SwitchPort {
+            ctx,
+            switch,
+            lane,
+            input,
+            word,
+        } => {
+            let port = ["in1", "in2", "fifo1", "fifo2"]
+                .get(input as usize)
+                .copied()
+                .unwrap_or("?");
+            match PortSource::decode(word) {
+                Ok(src) => format!("ctx {ctx} route sw{switch} lane{lane}.{port} = {src}"),
+                Err(_) => format!("ctx {ctx} route sw{switch} lane{lane}.{port} = .word {word:#x}"),
+            }
+        }
+        Preload::HostCapture { ctx, switch, port, word } => match HostCapture::decode(word) {
+            Ok(cap) => format!("ctx {ctx} capture sw{switch}.{port} = {cap}"),
+            Err(_) => format!("ctx {ctx} capture sw{switch}.{port} = .word {word:#x}"),
+        },
+        Preload::Mode { dnode, local } => {
+            format!("mode dnode {dnode} = {}", if local { "local" } else { "global" })
+        }
+        Preload::LocalSlot { dnode, slot, word } => match MicroInstr::decode(word) {
+            Ok(instr) => format!("local dnode {dnode} s{}: {instr}", slot + 1),
+            Err(_) => format!("local dnode {dnode} s{}: .word {word:#x}", slot + 1),
+        },
+        Preload::LocalLimit { dnode, limit } => format!("local dnode {dnode} limit = {limit}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ring_isa::ctrl::CReg;
+    use systolic_ring_isa::RingGeometry;
+
+    #[test]
+    fn renders_code_and_bad_words() {
+        let r1 = CReg::new(1).unwrap();
+        let code = vec![
+            CtrlInstr::Addi { rd: r1, ra: CReg::ZERO, imm: 5 }.encode(),
+            0xffff_ffff,
+            CtrlInstr::Halt.encode(),
+        ];
+        let text = disassemble_code(&code);
+        assert!(text.contains("addi r1, r0, 5"));
+        assert!(text.contains(".word 0xffffffff"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn renders_whole_object() {
+        let object = Object {
+            geometry: Some(RingGeometry::RING_8),
+            contexts: 2,
+            code: vec![CtrlInstr::Halt.encode()],
+            data: vec![7],
+            preload: vec![
+                Preload::Mode { dnode: 1, local: true },
+                Preload::LocalLimit { dnode: 1, limit: 2 },
+                Preload::HostCapture { ctx: 0, switch: 1, port: 0, word: 1 },
+            ],
+        };
+        let text = disassemble(&object);
+        assert!(text.contains("Ring-8"));
+        assert!(text.contains("mode dnode 1 = local"));
+        assert!(text.contains("limit = 2"));
+        assert!(text.contains("capture sw1.0 = lane 0"));
+        assert!(text.contains(".data"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Assembler diagnostics.
+
+use std::fmt;
+
+/// An assembly diagnostic, carrying the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// Categories of assembly errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// A token could not be lexed.
+    BadToken(String),
+    /// A malformed number literal.
+    BadNumber(String),
+    /// The line does not match any accepted form.
+    Syntax(String),
+    /// Unknown mnemonic or directive.
+    UnknownMnemonic(String),
+    /// An immediate or index does not fit its field.
+    OutOfRange {
+        /// What was being encoded.
+        what: String,
+        /// The offending value.
+        value: i64,
+    },
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A directive appeared in the wrong section or order.
+    Misplaced(String),
+    /// The program used a Dnode/switch/context outside the declared
+    /// geometry.
+    Geometry(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::BadToken(t) => write!(f, "unrecognized token `{t}`"),
+            AsmErrorKind::BadNumber(t) => write!(f, "malformed number `{t}`"),
+            AsmErrorKind::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::OutOfRange { what, value } => {
+                write!(f, "{what} value {value} out of range")
+            }
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmErrorKind::Misplaced(msg) => write!(f, "misplaced directive: {msg}"),
+            AsmErrorKind::Geometry(msg) => write!(f, "geometry error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl AsmError {
+    /// Creates an error at `line`.
+    pub fn new(line: usize, kind: AsmErrorKind) -> Self {
+        AsmError { line, kind }
+    }
+
+    /// Shorthand for a syntax error.
+    pub fn syntax(line: usize, msg: impl Into<String>) -> Self {
+        AsmError::new(line, AsmErrorKind::Syntax(msg.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_number() {
+        let err = AsmError::syntax(12, "expected operand");
+        assert_eq!(err.to_string(), "line 12: syntax error: expected operand");
+        let err = AsmError::new(
+            3,
+            AsmErrorKind::OutOfRange { what: "immediate".into(), value: 70000 },
+        );
+        assert!(err.to_string().contains("70000"));
+    }
+}

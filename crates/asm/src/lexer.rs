@@ -1,0 +1,265 @@
+//! Line-oriented tokenizer for Systolic Ring assembly.
+//!
+//! The language is strictly line-based: every statement fits on one line,
+//! comments run from `;` or `//` to end of line, and tokens are identifiers,
+//! integer literals (decimal or `0x` hexadecimal, optionally negative) and
+//! single-character punctuation.
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or mnemonic (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Num(i64),
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `>`
+    Arrow,
+    /// `=`
+    Equals,
+    /// `#`
+    Hash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+}
+
+/// Tokenizes one source line (without its comment).
+///
+/// # Errors
+///
+/// Returns [`AsmError`] for unrecognized characters or malformed numbers.
+pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, AsmError> {
+    let code = strip_comment(line);
+    let mut tokens = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '>' => {
+                tokens.push(Token::Arrow);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Equals);
+                i += 1;
+            }
+            '#' => {
+                tokens.push(Token::Hash);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                // Hex literal: 0x followed by hex digits; otherwise decimal
+                // digits only (so `4x2` lexes as `4`, `x2`).
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'0'
+                    && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X')
+                {
+                    i += 2;
+                    let digits_start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == digits_start {
+                        // `0x` with no digits: report the whole blob.
+                        while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                            i += 1;
+                        }
+                        return Err(AsmError::new(
+                            line_no,
+                            AsmErrorKind::BadNumber(code[start..i].into()),
+                        ));
+                    }
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &code[start..i];
+                let value = parse_number(text)
+                    .ok_or_else(|| AsmError::new(line_no, AsmErrorKind::BadNumber(text.into())))?;
+                tokens.push(Token::Num(value));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(code[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::BadToken(other.to_string()),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line
+        .find(';')
+        .into_iter()
+        .chain(line.find("//"))
+        .min()
+        .unwrap_or(line.len());
+    &line[..end]
+}
+
+fn parse_number(text: &str) -> Option<i64> {
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_micro_line() {
+        let toks = tokenize("  mac in1, in2 > r0, out  ; accumulate", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("mac".into()),
+                Token::Ident("in1".into()),
+                Token::Comma,
+                Token::Ident("in2".into()),
+                Token::Arrow,
+                Token::Ident("r0".into()),
+                Token::Comma,
+                Token::Ident("out".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        let toks = tokenize("addi r1, r0, -42", 1).unwrap();
+        assert_eq!(toks.last(), Some(&Token::Num(-42)));
+        let toks = tokenize("lui r1, 0xBEEF", 1).unwrap();
+        assert_eq!(toks.last(), Some(&Token::Num(0xbeef)));
+        let toks = tokenize("lw r1, 4(r2)", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("lw".into()),
+                Token::Ident("r1".into()),
+                Token::Comma,
+                Token::Num(4),
+                Token::LParen,
+                Token::Ident("r2".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn strips_both_comment_styles() {
+        assert!(tokenize("; whole line", 1).unwrap().is_empty());
+        assert!(tokenize("// whole line", 1).unwrap().is_empty());
+        assert_eq!(tokenize("nop // tail", 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn identifiers_are_lowercased() {
+        let toks = tokenize("ADD In1, ONE", 1).unwrap();
+        assert_eq!(toks[0], Token::Ident("add".into()));
+        assert_eq!(toks[1], Token::Ident("in1".into()));
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert!(matches!(
+            tokenize("add $1", 3).unwrap_err().kind,
+            AsmErrorKind::BadToken(_)
+        ));
+        assert!(matches!(
+            tokenize("addi r1, r0, 0xZZ", 3).unwrap_err().kind,
+            AsmErrorKind::BadNumber(_)
+        ));
+    }
+
+    #[test]
+    fn geometry_literal_splits_into_tokens() {
+        // `4x2` is a number followed by the identifier `x2`; the `.ring`
+        // directive reassembles them.
+        let toks = tokenize(".ring 4x2", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Dot,
+                Token::Ident("ring".into()),
+                Token::Num(4),
+                Token::Ident("x2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn route_line_tokens() {
+        let toks = tokenize("route 0,1.in2 = pipe[3,0].1", 1).unwrap();
+        assert_eq!(toks[0], Token::Ident("route".into()));
+        assert!(toks.contains(&Token::Equals));
+        assert!(toks.contains(&Token::LBracket));
+    }
+}

@@ -1,0 +1,41 @@
+//! Two-level assembler for the Systolic Ring.
+//!
+//! The paper's tool flow compiles one source file containing both **ring
+//! level** primitives (Dnode microinstructions, switch routing, local
+//! sequencer programs) and **RISC level** control code for the
+//! configuration controller, producing machine object code (§5.1). This
+//! crate reproduces that flow:
+//!
+//! * [`assemble`] — source text to a loadable
+//!   [`systolic_ring_isa::object::Object`],
+//! * [`disassemble`] / [`disassemble_code`] — object code back to text.
+//!
+//! See [`assembler`](mod@crate::assembler) for the language reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use systolic_ring_asm::assemble;
+//!
+//! let object = assemble(
+//!     ".ring 4x2
+//!      .contexts 1
+//!      route 0,0.in1 = host.0
+//!      node 0,0: add in1, #100 > out
+//!      capture 1 = lane 0
+//!      .code
+//!      wait 10
+//!      halt
+//! ")?;
+//! assert!(object.geometry.is_some());
+//! # Ok::<(), systolic_ring_asm::AsmError>(())
+//! ```
+
+pub mod assembler;
+mod disasm;
+mod error;
+mod lexer;
+
+pub use assembler::assemble;
+pub use disasm::{disassemble, disassemble_code};
+pub use error::{AsmError, AsmErrorKind};

@@ -1,0 +1,411 @@
+//! Assembler tests: encoding round trips, diagnostics, and end-to-end
+//! execution of assembled programs on the simulator.
+
+use systolic_ring_asm::{assemble, disassemble, disassemble_code, AsmError, AsmErrorKind};
+use systolic_ring_core::RingMachine;
+use systolic_ring_isa::ctrl::CtrlInstr;
+use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand, Reg};
+use systolic_ring_isa::object::Preload;
+use systolic_ring_isa::{RingGeometry, Word16};
+
+fn kind_of(err: AsmError) -> AsmErrorKind {
+    err.kind
+}
+
+#[test]
+fn assembles_fabric_statements() {
+    let object = assemble(
+        ".ring 4x2
+         .contexts 2
+         .ctx 1
+         node 1,0: mac in1, in2 > r0, out
+         route 1,0.in1 = prev.1
+         route 1,0.fifo2 = pipe[2,3].1
+         capture 2 = lane 0
+         capture 3 = off
+        ",
+    )
+    .unwrap();
+    assert_eq!(object.geometry, Some(RingGeometry::RING_8));
+    assert_eq!(object.contexts, 2);
+    assert_eq!(object.preload.len(), 5);
+    match object.preload[0] {
+        Preload::DnodeInstr { ctx: 1, dnode: 2, word } => {
+            let instr = MicroInstr::decode(word).unwrap();
+            assert_eq!(instr.alu, AluOp::Mac);
+            assert_eq!(instr.wr_reg, Some(Reg::R0));
+            assert!(instr.wr_out);
+        }
+        ref other => panic!("unexpected record {other:?}"),
+    }
+    match object.preload[1] {
+        Preload::SwitchPort { ctx: 1, switch: 1, lane: 0, input: 0, .. } => {}
+        ref other => panic!("unexpected record {other:?}"),
+    }
+}
+
+#[test]
+fn assembles_micro_immediates_and_unaries() {
+    let object = assemble(
+        ".ring 2x1
+         node 0,0: add in1, #-5 > r1
+         node 1,0: abs r1 > out
+         node 0,0: mov #42 > bus
+         node 1,0: nop
+        ",
+    )
+    .unwrap();
+    let decode = |idx: usize| match object.preload[idx] {
+        Preload::DnodeInstr { word, .. } => MicroInstr::decode(word).unwrap(),
+        ref other => panic!("unexpected record {other:?}"),
+    };
+    let add = decode(0);
+    assert_eq!(add.src_b, Operand::Imm);
+    assert_eq!(add.imm, Word16::from_i16(-5));
+    let abs = decode(1);
+    assert_eq!(abs.alu, AluOp::Abs);
+    assert_eq!(abs.src_a, Operand::Reg(Reg::R1));
+    assert_eq!(abs.src_b, Operand::Zero);
+    let mov = decode(2);
+    assert_eq!(mov.alu, AluOp::PassA);
+    assert!(mov.wr_bus);
+    assert_eq!(mov.imm, Word16::from_i16(42));
+    assert_eq!(decode(3).alu, AluOp::Nop);
+}
+
+#[test]
+fn assembles_local_blocks() {
+    let object = assemble(
+        ".ring 4x2
+         .local 2,1
+           mac in1, in2 > r0
+           mov r0 > out
+         .endlocal
+         .mode 2,1 local
+        ",
+    )
+    .unwrap();
+    // Two slots + limit + mode.
+    assert_eq!(object.preload.len(), 4);
+    let dnode = RingGeometry::RING_8.dnode_index(2, 1) as u16;
+    assert!(matches!(
+        object.preload[2],
+        Preload::LocalLimit { dnode: d, limit: 2 } if d == dnode
+    ));
+    assert!(matches!(
+        object.preload[3],
+        Preload::Mode { dnode: d, local: true } if d == dnode
+    ));
+}
+
+#[test]
+fn assembles_controller_code_with_labels() {
+    let object = assemble(
+        ".ring 2x1
+         .code
+         start:
+           li   r1, 0x12345
+           addi r2, r0, 3
+         loop:
+           addi r2, r2, -1
+           bne  r2, r0, loop
+           j    end
+           nop
+         end:
+           halt
+        ",
+    )
+    .unwrap();
+    // li = 2 words, so: lui, ori, addi, addi, bne, j, nop, halt.
+    assert_eq!(object.code.len(), 8);
+    let bne = CtrlInstr::decode(object.code[4]).unwrap();
+    assert!(matches!(bne, CtrlInstr::Bne { offset: -2, .. }));
+    let j = CtrlInstr::decode(object.code[5]).unwrap();
+    assert!(matches!(j, CtrlInstr::J { target: 7 }));
+}
+
+#[test]
+fn label_on_same_line_as_instruction() {
+    let object = assemble(
+        ".code
+         top: addi r1, r1, 1
+         j top
+        ",
+    )
+    .unwrap();
+    assert_eq!(object.code.len(), 2);
+    assert!(matches!(
+        CtrlInstr::decode(object.code[1]).unwrap(),
+        CtrlInstr::J { target: 0 }
+    ));
+}
+
+#[test]
+fn data_section_words() {
+    let object = assemble(
+        ".code
+         halt
+         .data
+         .word 1, 2, 0xdeadbeef
+         .word -1
+        ",
+    )
+    .unwrap();
+    assert_eq!(object.data, vec![1, 2, 0xdead_beef, 0xffff_ffff]);
+}
+
+#[test]
+fn diagnostics_carry_line_numbers() {
+    let err = assemble(".ring 4x2\nnode 9,0: nop\n").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(matches!(err.kind, AsmErrorKind::Geometry(_)));
+
+    let err = assemble(".code\n  frobnicate r1\n").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(matches!(kind_of(err), AsmErrorKind::UnknownMnemonic(_)));
+
+    let err = assemble(".code\n j nowhere\n").unwrap_err();
+    assert!(matches!(kind_of(err), AsmErrorKind::UndefinedLabel(_)));
+
+    let err = assemble(".code\nx: nop\nx: nop\n").unwrap_err();
+    assert!(matches!(kind_of(err), AsmErrorKind::DuplicateLabel(_)));
+
+    let err = assemble(".code\n addi r1, r0, 99999\n").unwrap_err();
+    assert!(matches!(kind_of(err), AsmErrorKind::OutOfRange { .. }));
+
+    let err = assemble("node 0,0: nop\n").unwrap_err();
+    assert!(matches!(kind_of(err), AsmErrorKind::Misplaced(_)));
+
+    let err = assemble(".ring 4x2\n.local 0,0\n mac in1, in2\n").unwrap_err();
+    assert!(matches!(kind_of(err), AsmErrorKind::Misplaced(_)));
+
+    let err = assemble(".ring 4x2\nroute 0,0.in9 = bus\n").unwrap_err();
+    assert!(matches!(kind_of(err), AsmErrorKind::Syntax(_)));
+
+    let err = assemble(".ring 4x2\nnode 0,0: add #1, #2\n").unwrap_err();
+    assert!(matches!(kind_of(err), AsmErrorKind::Syntax(_)));
+
+    let err = assemble(".ring 1x1\n").unwrap_err();
+    assert!(matches!(kind_of(err), AsmErrorKind::Geometry(_)));
+
+    let err = assemble(".contexts 1\n.ctx 3\n").unwrap_err();
+    assert!(matches!(kind_of(err), AsmErrorKind::Geometry(_)));
+}
+
+#[test]
+fn same_immediate_may_be_repeated() {
+    // `add #3, #3` uses the single imm field twice with the same value.
+    let object = assemble(".ring 2x1\nnode 0,0: add #3, #3 > r0\n").unwrap();
+    match object.preload[0] {
+        Preload::DnodeInstr { word, .. } => {
+            let instr = MicroInstr::decode(word).unwrap();
+            assert_eq!(instr.src_a, Operand::Imm);
+            assert_eq!(instr.src_b, Operand::Imm);
+            assert_eq!(instr.imm, Word16::from_i16(3));
+        }
+        ref other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn end_to_end_assembled_program_runs() {
+    // Full flow: source -> object -> bytes -> object -> machine -> result.
+    // The fabric doubles a host stream and captures it; the controller
+    // computes 10! % 2^32 in a loop and stores it to dmem[0].
+    let source = "
+        .ring 4x2
+        .contexts 1
+        route 0,0.in1 = host.0
+        node 0,0: shl in1, one > out
+        capture 1 = lane 0
+
+        .code
+          addi r1, r0, 10      ; n
+          addi r2, r0, 1       ; acc
+        fact:
+          mul  r2, r2, r1
+          addi r1, r1, -1
+          bne  r1, r0, fact
+          sw   r2, 0(r0)
+          halt
+
+        .data
+          .word 0
+    ";
+    let object = assemble(source).unwrap();
+    let bytes = object.to_bytes();
+    let object = systolic_ring_isa::object::Object::from_bytes(&bytes).unwrap();
+
+    let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+    m.load(&object).unwrap();
+    m.open_sink(1, 0).unwrap();
+    m.attach_input(0, 0, [3, 4, 5].map(Word16::from_i16)).unwrap();
+    m.run_until_halt(200).unwrap();
+    m.run(5).unwrap();
+
+    assert_eq!(m.controller().dmem(0), Some(3_628_800));
+    let sink: Vec<i16> = m.take_sink(1, 0).unwrap().iter().map(|w| w.as_i16()).collect();
+    assert!(sink.windows(3).any(|w| w == [6, 8, 10]), "sink = {sink:?}");
+}
+
+#[test]
+fn local_mode_program_assembles_and_runs() {
+    let source = "
+        .ring 4x2
+        route 0,0.in1 = host.0
+        .local 0,0
+          mac in1, #2 > r3
+        .endlocal
+        .mode 0,0 local
+        .code
+          wait 12
+          halt
+    ";
+    let object = assemble(source).unwrap();
+    let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+    m.load(&object).unwrap();
+    m.attach_input(0, 0, [1, 2, 3, 4].map(Word16::from_i16)).unwrap();
+    m.run_until_halt(100).unwrap();
+    assert_eq!(m.dnode(0).reg(Reg::R3).as_i16(), 2 * (1 + 2 + 3 + 4));
+}
+
+#[test]
+fn disassembly_mentions_everything() {
+    let source = "
+        .ring 4x2
+        node 0,0: absd in1, in2 > out
+        route 0,0.in1 = host.1
+        capture 1 = lane 0
+        .mode 1,1 local
+        .code
+          addi r1, r0, 7
+          halt
+        .data
+          .word 9
+    ";
+    let object = assemble(source).unwrap();
+    let text = disassemble(&object);
+    assert!(text.contains("Ring-8"));
+    assert!(text.contains("absd in1, in2 -> out"));
+    assert!(text.contains("hostin.1"));
+    assert!(text.contains("addi r1, r0, 7"));
+    assert!(text.contains(".word"));
+
+    let code_only = disassemble_code(&object.code);
+    assert!(code_only.contains("halt"));
+}
+
+#[test]
+fn disassembly_reassembles_for_ctrl_code() {
+    // Every controller instruction printed by the disassembler must parse
+    // back to the same word (for label-free instructions).
+    let source = "
+        .code
+          add r1, r2, r3
+          sub r4, r5, r6
+          sll r1, r1, r2
+          sltu r7, r8, r9
+          addi r1, r0, -7
+          andi r2, r2, 0xff
+          lui r3, 0xbeef
+          lw r4, -2(r5)
+          sw r4, 3(r5)
+          jr r15
+          cimm 0x1234
+          wctx 1
+          wdn r1, 5
+          wsw r1, 12
+          who r1, 2
+          wmode r1, 3
+          wloc r1, 26
+          wlim r1, 3
+          ctx 1
+          busw r1
+          busr r2
+          hpush r1, 2, 3
+          hpop r2, 1
+          wait 100
+          nop
+          halt
+    ";
+    let object = assemble(source).unwrap();
+    let text = disassemble_code(&object.code);
+    // Strip the "addr:" prefixes and reassemble.
+    let mut body = String::from(".code\n");
+    for line in text.lines() {
+        let instr = line.split_once(':').unwrap().1.trim();
+        body.push_str(instr);
+        body.push('\n');
+    }
+    let object2 = assemble(&body).unwrap();
+    assert_eq!(object.code, object2.code);
+}
+
+#[test]
+fn equ_constants_substitute_everywhere() {
+    let source = "
+        .ring 4x2
+        .equ GAIN 3
+        .equ ROWS 10
+        .equ SRC_LANE 0
+        node 0,SRC_LANE: mul in1, #GAIN > out
+        route 0,SRC_LANE.in1 = host.SRC_LANE
+        .code
+          addi r1, r0, ROWS
+        loop:
+          addi r1, r1, -1
+          bne r1, r0, loop
+          wait GAIN
+          halt
+    ";
+    let object = assemble(source).unwrap();
+    match object.preload[0] {
+        Preload::DnodeInstr { dnode: 0, word, .. } => {
+            let instr = MicroInstr::decode(word).unwrap();
+            assert_eq!(instr.imm, Word16::from_i16(3));
+        }
+        ref other => panic!("unexpected {other:?}"),
+    }
+    assert!(matches!(
+        CtrlInstr::decode(object.code[0]).unwrap(),
+        CtrlInstr::Addi { imm: 10, .. }
+    ));
+    assert!(matches!(
+        CtrlInstr::decode(object.code[3]).unwrap(),
+        CtrlInstr::Wait { cycles: 3 }
+    ));
+}
+
+#[test]
+fn equ_rejects_reserved_names() {
+    for bad in ["add", "r3", "in1", "halt", "node", "pipe"] {
+        let err = assemble(&format!(".equ {bad} 1\n")).unwrap_err();
+        assert!(
+            matches!(err.kind, AsmErrorKind::Syntax(_)),
+            "`{bad}` should be rejected, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn equ_does_not_clobber_labels() {
+    // A label sharing a constant's name still defines a jump target.
+    let source = "
+        .equ spot 7
+        .code
+        spot:
+          addi r1, r0, spot
+          j spot
+        ";
+    let object = assemble(source).unwrap();
+    assert!(matches!(
+        CtrlInstr::decode(object.code[0]).unwrap(),
+        CtrlInstr::Addi { imm: 7, .. }
+    ));
+    // The jump target resolved to the substituted number 7 (the constant
+    // wins in operand position) — document-by-test.
+    assert!(matches!(
+        CtrlInstr::decode(object.code[1]).unwrap(),
+        CtrlInstr::J { target: 7 }
+    ));
+}

@@ -1,0 +1,84 @@
+//! Robustness: the assembler and object loader must never panic, whatever
+//! bytes they are fed — they return diagnostics instead.
+
+use proptest::prelude::*;
+
+use systolic_ring_asm::{assemble, disassemble};
+use systolic_ring_isa::object::Object;
+
+/// Fragments that bias random programs towards almost-valid syntax, where
+/// parser bugs hide.
+fn fragmenty() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just(".ring 4x2\n".to_owned()),
+        Just(".ring 999x0\n".to_owned()),
+        Just(".contexts 3\n".to_owned()),
+        Just(".ctx 1\n".to_owned()),
+        Just("node 0,0: mac in1, in2 > r0\n".to_owned()),
+        Just("node 7,9: add\n".to_owned()),
+        Just("route 0,0.in1 = host.0\n".to_owned()),
+        Just("route 0,0.fifo9 = pipe[1,2].3\n".to_owned()),
+        Just("capture 1 = lane 0\n".to_owned()),
+        Just("capture 1.9 = off\n".to_owned()),
+        Just(".local 0,0\n".to_owned()),
+        Just(".endlocal\n".to_owned()),
+        Just(".mode 0,0 local\n".to_owned()),
+        Just(".code\n".to_owned()),
+        Just("label:\n".to_owned()),
+        Just("addi r1, r0, -5\n".to_owned()),
+        Just("li r1, 0xffffffff\n".to_owned()),
+        Just("beq r1, r2, label\n".to_owned()),
+        Just("hpop r1, 300, 300\n".to_owned()),
+        Just("wdn r1, 65535\n".to_owned()),
+        Just(".data\n".to_owned()),
+        Just(".word 1, -2, 0xdeadbeef\n".to_owned()),
+        Just("halt\n".to_owned()),
+        Just("#>=[](),.\n".to_owned()),
+        Just("0x\n".to_owned()),
+        Just("; comment // nested\n".to_owned()),
+        "[ -~]{0,24}\n".prop_map(|s| s),
+    ];
+    proptest::collection::vec(fragment, 0..24).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary fragment soups assemble or fail cleanly, never panic.
+    #[test]
+    fn assembler_never_panics(source in fragmenty()) {
+        let _ = assemble(&source);
+    }
+
+    /// Arbitrary byte soups never panic the object parser, and whatever
+    /// parses re-serializes to something that parses identically.
+    #[test]
+    fn object_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(object) = Object::from_bytes(&bytes) {
+            let round = Object::from_bytes(&object.to_bytes()).expect("round trip");
+            prop_assert_eq!(round, object);
+        }
+    }
+
+    /// Byte soups stamped with the magic exercise the record parser deeply;
+    /// still no panics.
+    #[test]
+    fn object_parser_survives_magic_prefixed_soup(
+        tail in proptest::collection::vec(any::<u8>(), 0..128)
+    ) {
+        let mut bytes = b"SRNGOBJ1".to_vec();
+        bytes.extend(tail);
+        let _ = Object::from_bytes(&bytes);
+    }
+
+    /// Anything that assembles also disassembles without panicking.
+    #[test]
+    fn disassembler_never_panics_on_assembled_output(source in fragmenty()) {
+        if let Ok(object) = assemble(&source) {
+            let _ = disassemble(&object);
+            // And the serialized form always reloads.
+            let round = Object::from_bytes(&object.to_bytes()).expect("reload");
+            prop_assert_eq!(round, object);
+        }
+    }
+}

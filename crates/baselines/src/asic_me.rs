@@ -1,0 +1,171 @@
+//! Systolic-array block-matching ASIC baseline for Table 1.
+//!
+//! The paper's fastest comparator is the dedicated VLSI block-matching
+//! coprocessor of Bugeja & Yang \[7\] (in the tradition of Hsieh & Lin \[4\]):
+//! a 2-D systolic array with one processing element per block pixel that
+//! sustains **one candidate SAD per cycle** once its pipelines are full,
+//! at the price of being wired for exactly this algorithm.
+//!
+//! We simulate the canonical schedule of such an array:
+//!
+//! * `block^2` PEs, the reference block resident in the array,
+//! * the search window streamed through shift registers; after an initial
+//!   fill of `block^2` cycles the array emits one candidate SAD per cycle
+//!   along each search row,
+//! * a `block`-cycle window-register reload between search rows (the
+//!   vertical data-reuse seam).
+//!
+//! The simulator performs the real arithmetic PE by PE — the SADs it
+//! returns are validated against the golden model — while charging cycles
+//! per that schedule.
+
+use systolic_ring_kernels::image::Image;
+use systolic_ring_kernels::motion::BlockMatch;
+
+/// Result of the ASIC-model full search.
+#[derive(Clone, Debug)]
+pub struct AsicSearch {
+    /// Winning displacement.
+    pub best: (isize, isize),
+    /// Winning SAD.
+    pub best_sad: u32,
+    /// All `(dx, dy, sad)` candidates.
+    pub candidates: Vec<(isize, isize, u32)>,
+    /// Total cycles per the systolic schedule.
+    pub cycles: u64,
+    /// Number of processing elements in the array.
+    pub pes: usize,
+}
+
+/// Closed-form cycle count of the systolic schedule.
+///
+/// `rows` and `cols` are the search-grid dimensions (candidates per
+/// column/row), `block` the block side.
+pub fn schedule_cycles(block: usize, rows: usize, cols: usize) -> u64 {
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    // Fill the PE array once, then one SAD per cycle along each row with a
+    // `block`-cycle seam between rows.
+    (block * block) as u64 + rows as u64 * (cols as u64 + block as u64)
+}
+
+/// One processing element: holds a reference pixel, accumulates into the
+/// passing partial sum.
+#[derive(Clone, Copy, Debug, Default)]
+struct Pe {
+    reference: i16,
+}
+
+impl Pe {
+    fn step(&self, window_pixel: i16, partial: u32) -> u32 {
+        partial + (window_pixel as i32 - self.reference as i32).unsigned_abs().min(i16::MAX as u32)
+    }
+}
+
+/// Runs the full search on the systolic-array model.
+///
+/// # Panics
+///
+/// Panics if the block leaves the current frame.
+pub fn full_search(reference: &Image, current: &Image, spec: BlockMatch) -> AsicSearch {
+    let bs = spec.block;
+    // Load the PE array with the tracked block.
+    let block = current.block(spec.x0, spec.y0, bs, bs);
+    let pes: Vec<Pe> = block.iter().map(|&p| Pe { reference: p }).collect();
+
+    // Candidate grid (in-frame only), row-major like the hardware scan.
+    let mut grid_rows: Vec<Vec<(isize, isize)>> = Vec::new();
+    for dy in -spec.range..=spec.range {
+        let mut row = Vec::new();
+        for dx in -spec.range..=spec.range {
+            let cx = spec.x0 as isize + dx;
+            let cy = spec.y0 as isize + dy;
+            if cx < 0
+                || cy < 0
+                || cx as usize + bs > reference.width()
+                || cy as usize + bs > reference.height()
+            {
+                continue;
+            }
+            row.push((dx, dy));
+        }
+        if !row.is_empty() {
+            grid_rows.push(row);
+        }
+    }
+
+    let mut candidates = Vec::new();
+    let mut best = (0isize, 0isize);
+    let mut best_sad = u32::MAX;
+    let (rows, cols) = (
+        grid_rows.len(),
+        grid_rows.iter().map(Vec::len).max().unwrap_or(0),
+    );
+    for row in &grid_rows {
+        for &(dx, dy) in row {
+            // The array computes the SAD by pumping the window through the
+            // PEs: partial sums snake through the array, one PE per pixel.
+            let cx = (spec.x0 as isize + dx) as usize;
+            let cy = (spec.y0 as isize + dy) as usize;
+            let mut partial = 0u32;
+            for by in 0..bs {
+                for bx in 0..bs {
+                    let pe = pes[by * bs + bx];
+                    partial = pe.step(reference.pixel(cx + bx, cy + by), partial);
+                }
+            }
+            candidates.push((dx, dy, partial));
+            if partial < best_sad {
+                best_sad = partial;
+                best = (dx, dy);
+            }
+        }
+    }
+
+    AsicSearch {
+        best,
+        best_sad,
+        candidates,
+        cycles: schedule_cycles(bs, rows, cols),
+        pes: bs * bs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ring_kernels::golden;
+
+    #[test]
+    fn sads_match_golden() {
+        let (reference, current) = Image::motion_pair(48, 48, -2, 3, 8);
+        let spec = BlockMatch { x0: 20, y0: 20, block: 8, range: 6 };
+        let result = full_search(&reference, &current, spec);
+        let block = current.block(20, 20, 8, 8);
+        for &(dx, dy, sad) in &result.candidates {
+            let cand = reference.block((20 + dx) as usize, (20 + dy) as usize, 8, 8);
+            assert_eq!(sad as i32, golden::sad(&block, &cand));
+        }
+        let (gdx, gdy, gsad) =
+            golden::full_search(reference.data(), 48, 48, &block, 8, 8, 20, 20, 6);
+        assert_eq!(result.best, (gdx, gdy));
+        assert_eq!(result.best_sad as i32, gsad);
+    }
+
+    #[test]
+    fn schedule_is_one_candidate_per_cycle_steady_state() {
+        // Paper problem: 17x17 grid of 8x8 SADs.
+        let cycles = schedule_cycles(8, 17, 17);
+        assert_eq!(cycles, 64 + 17 * (17 + 8));
+        // Way below one candidate-SAD's worth of sequential work.
+        assert!(cycles < 17 * 17 * 4);
+        assert_eq!(schedule_cycles(8, 0, 0), 0);
+    }
+
+    #[test]
+    fn pe_saturates_like_the_golden_model() {
+        let pe = Pe { reference: -30000 };
+        assert_eq!(pe.step(30000, 0), i16::MAX as u32);
+    }
+}

@@ -1,0 +1,17 @@
+//! Comparator baselines for the Systolic Ring evaluation.
+//!
+//! Every system the paper compares against is built here, from scratch:
+//!
+//! * [`mmx`] — a Pentium-MMX-class packed-SIMD functional + timing
+//!   simulator running the documented pre-`PSADBW` SAD loop (Table 1),
+//! * [`asic_me`] — the systolic-array block-matching ASIC schedule of
+//!   Bugeja & Yang \[7\] with real PE arithmetic (Table 1),
+//! * [`scalar`] — an in-order scalar CPU cost model anchoring the §5.1
+//!   "Pentium II 450 = 400 MIPS" comparison,
+//! * [`wavelet_cores`] — the dedicated wavelet chips of Table 2, carried
+//!   as the published implementation records the paper quotes.
+
+pub mod asic_me;
+pub mod mmx;
+pub mod scalar;
+pub mod wavelet_cores;

@@ -1,0 +1,511 @@
+//! MMX-class packed-SIMD baseline for Table 1.
+//!
+//! The paper compares the Systolic Ring against "Intel MMX instructions
+//! \[8\] using the criterion of the number of cycles needed for matching a
+//! 8x8 reference block against its search area" and concludes the ring "is
+//! also almost 8 times faster than an MMX solution".
+//!
+//! This module is a small functional + timing simulator of a Pentium-MMX
+//! class SIMD unit: 8 x 64-bit registers, packed byte/word arithmetic, and
+//! a dual-issue (U/V pipe) pairing model. The SAD inner loop is the
+//! documented pre-`PSADBW` sequence (`psubusb` both ways, `por`, unpack,
+//! `paddw`) — `PSADBW` arrived with SSE, after the paper's comparison
+//! point.
+//!
+//! # Timing model
+//!
+//! * every instruction has a base cost of one cycle,
+//! * two adjacent instructions dual-issue when independent, at most one of
+//!   them touches memory and at most one uses the shift/pack unit,
+//! * unaligned 64-bit loads (the candidate window walks byte positions)
+//!   cost three cycles and do not pair — the dominant cost Intel's
+//!   application notes attribute to block matching on MMX.
+
+use systolic_ring_kernels::image::Image;
+use systolic_ring_kernels::motion::BlockMatch;
+
+/// One simulated MMX-unit operation.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Aligned 8-byte load into `dst`.
+    LoadAligned {
+        /// Destination register (0..8).
+        dst: usize,
+        /// Source bytes (exactly 8).
+        data: [u8; 8],
+    },
+    /// Unaligned 8-byte load into `dst` (3 cycles, unpairable).
+    LoadUnaligned {
+        /// Destination register (0..8).
+        dst: usize,
+        /// Source bytes (exactly 8).
+        data: [u8; 8],
+    },
+    /// Register move.
+    Movq {
+        /// Destination register.
+        dst: usize,
+        /// Source register.
+        src: usize,
+    },
+    /// Packed unsigned saturating byte subtract.
+    Psubusb {
+        /// Destination register.
+        dst: usize,
+        /// Source register.
+        src: usize,
+    },
+    /// Bitwise OR.
+    Por {
+        /// Destination register.
+        dst: usize,
+        /// Source register.
+        src: usize,
+    },
+    /// Bitwise XOR.
+    Pxor {
+        /// Destination register.
+        dst: usize,
+        /// Source register.
+        src: usize,
+    },
+    /// Unpack low bytes to words (with `src` supplying the high bytes).
+    Punpcklbw {
+        /// Destination register.
+        dst: usize,
+        /// Source register.
+        src: usize,
+    },
+    /// Unpack high bytes to words.
+    Punpckhbw {
+        /// Destination register.
+        dst: usize,
+        /// Source register.
+        src: usize,
+    },
+    /// Packed 16-bit add.
+    Paddw {
+        /// Destination register.
+        dst: usize,
+        /// Source register.
+        src: usize,
+    },
+    /// Logical right shift of the whole register.
+    Psrlq {
+        /// Destination register.
+        dst: usize,
+        /// Shift amount in bits.
+        amount: u32,
+    },
+    /// Scalar bookkeeping (pointer update, loop counter, branch): executes
+    /// in the integer pipe, one cycle, pairable with anything.
+    Scalar,
+}
+
+impl Op {
+    fn dst(&self) -> Option<usize> {
+        match self {
+            Op::LoadAligned { dst, .. }
+            | Op::LoadUnaligned { dst, .. }
+            | Op::Movq { dst, .. }
+            | Op::Psubusb { dst, .. }
+            | Op::Por { dst, .. }
+            | Op::Pxor { dst, .. }
+            | Op::Punpcklbw { dst, .. }
+            | Op::Punpckhbw { dst, .. }
+            | Op::Paddw { dst, .. }
+            | Op::Psrlq { dst, .. } => Some(*dst),
+            Op::Scalar => None,
+        }
+    }
+
+    fn sources(&self) -> Vec<usize> {
+        match self {
+            Op::LoadAligned { .. } | Op::LoadUnaligned { .. } | Op::Scalar => vec![],
+            Op::Movq { src, .. } => vec![*src],
+            Op::Psubusb { dst, src }
+            | Op::Por { dst, src }
+            | Op::Pxor { dst, src }
+            | Op::Punpcklbw { dst, src }
+            | Op::Punpckhbw { dst, src }
+            | Op::Paddw { dst, src } => vec![*dst, *src],
+            Op::Psrlq { dst, .. } => vec![*dst],
+        }
+    }
+
+    fn is_memory(&self) -> bool {
+        matches!(self, Op::LoadAligned { .. } | Op::LoadUnaligned { .. })
+    }
+
+    fn uses_shift_unit(&self) -> bool {
+        matches!(
+            self,
+            Op::Punpcklbw { .. } | Op::Punpckhbw { .. } | Op::Psrlq { .. }
+        )
+    }
+
+    fn base_cost(&self) -> u64 {
+        match self {
+            Op::LoadUnaligned { .. } => 3,
+            _ => 1,
+        }
+    }
+
+    fn pairable(&self) -> bool {
+        !matches!(self, Op::LoadUnaligned { .. })
+    }
+}
+
+/// A Pentium-MMX-class SIMD unit: functional state plus the pairing model.
+#[derive(Clone, Debug, Default)]
+pub struct MmxUnit {
+    regs: [u64; 8],
+    cycles: u64,
+    instructions: u64,
+    /// Previously issued op awaiting a pairing partner, if any.
+    slot: Option<Op>,
+}
+
+fn packed_bytes(value: u64) -> [u8; 8] {
+    value.to_le_bytes()
+}
+
+fn from_bytes(bytes: [u8; 8]) -> u64 {
+    u64::from_le_bytes(bytes)
+}
+
+impl MmxUnit {
+    /// A fresh unit with zeroed registers and counters.
+    pub fn new() -> Self {
+        MmxUnit::default()
+    }
+
+    /// Register contents (little-endian packed).
+    pub fn reg(&self, index: usize) -> u64 {
+        self.regs[index]
+    }
+
+    /// Cycles consumed so far (including a pending unpaired slot).
+    pub fn cycles(&self) -> u64 {
+        self.cycles + u64::from(self.slot.is_some())
+    }
+
+    /// Instructions issued so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    fn can_pair(first: &Op, second: &Op) -> bool {
+        if !first.pairable() || !second.pairable() {
+            return false;
+        }
+        // Dependency: the second may not read or overwrite the first's
+        // destination.
+        if let Some(dst) = first.dst() {
+            if second.sources().contains(&dst) || second.dst() == Some(dst) {
+                return false;
+            }
+        }
+        // Structural: one memory port, one shift/pack unit.
+        if first.is_memory() && second.is_memory() {
+            return false;
+        }
+        if first.uses_shift_unit() && second.uses_shift_unit() {
+            return false;
+        }
+        true
+    }
+
+    fn execute(&mut self, op: &Op) {
+        match *op {
+            Op::LoadAligned { dst, data } | Op::LoadUnaligned { dst, data } => {
+                self.regs[dst] = from_bytes(data);
+            }
+            Op::Movq { dst, src } => self.regs[dst] = self.regs[src],
+            Op::Psubusb { dst, src } => {
+                let a = packed_bytes(self.regs[dst]);
+                let b = packed_bytes(self.regs[src]);
+                let mut out = [0u8; 8];
+                for i in 0..8 {
+                    out[i] = a[i].saturating_sub(b[i]);
+                }
+                self.regs[dst] = from_bytes(out);
+            }
+            Op::Por { dst, src } => self.regs[dst] |= self.regs[src],
+            Op::Pxor { dst, src } => self.regs[dst] ^= self.regs[src],
+            Op::Punpcklbw { dst, src } => {
+                let a = packed_bytes(self.regs[dst]);
+                let b = packed_bytes(self.regs[src]);
+                let mut out = [0u8; 8];
+                for i in 0..4 {
+                    out[2 * i] = a[i];
+                    out[2 * i + 1] = b[i];
+                }
+                self.regs[dst] = from_bytes(out);
+            }
+            Op::Punpckhbw { dst, src } => {
+                let a = packed_bytes(self.regs[dst]);
+                let b = packed_bytes(self.regs[src]);
+                let mut out = [0u8; 8];
+                for i in 0..4 {
+                    out[2 * i] = a[4 + i];
+                    out[2 * i + 1] = b[4 + i];
+                }
+                self.regs[dst] = from_bytes(out);
+            }
+            Op::Paddw { dst, src } => {
+                let mut out = 0u64;
+                for i in 0..4 {
+                    let a = (self.regs[dst] >> (16 * i)) as u16;
+                    let b = (self.regs[src] >> (16 * i)) as u16;
+                    out |= (a.wrapping_add(b) as u64) << (16 * i);
+                }
+                self.regs[dst] = out;
+            }
+            Op::Psrlq { dst, amount } => self.regs[dst] >>= amount,
+            Op::Scalar => {}
+        }
+    }
+
+    /// Issues one instruction: executes it functionally and charges cycles
+    /// per the pairing model.
+    pub fn issue(&mut self, op: Op) {
+        self.instructions += 1;
+        self.execute(&op);
+        match self.slot.take() {
+            Some(pending) => {
+                if Self::can_pair(&pending, &op) {
+                    // Both retire in one cycle.
+                    self.cycles += 1;
+                } else {
+                    self.cycles += pending.base_cost();
+                    if op.base_cost() == 1 && op.pairable() {
+                        self.slot = Some(op);
+                    } else {
+                        self.cycles += op.base_cost();
+                    }
+                }
+            }
+            None => {
+                if op.base_cost() == 1 && op.pairable() {
+                    self.slot = Some(op);
+                } else {
+                    self.cycles += op.base_cost();
+                }
+            }
+        }
+    }
+
+    /// Flushes a pending unpaired instruction (end of a measured region).
+    pub fn drain(&mut self) {
+        if let Some(pending) = self.slot.take() {
+            self.cycles += pending.base_cost();
+        }
+    }
+}
+
+/// Result of the MMX full-search baseline.
+#[derive(Clone, Debug)]
+pub struct MmxSearch {
+    /// Winning displacement.
+    pub best: (isize, isize),
+    /// Winning SAD.
+    pub best_sad: u32,
+    /// All `(dx, dy, sad)` candidates.
+    pub candidates: Vec<(isize, isize, u32)>,
+    /// Total cycles per the pairing model.
+    pub cycles: u64,
+    /// Total instructions issued.
+    pub instructions: u64,
+}
+
+fn row8(image: &Image, x: usize, y: usize) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = image.pixel(x + i, y) as u8;
+    }
+    out
+}
+
+/// One candidate SAD on the MMX unit (8x8 block): returns the SAD.
+///
+/// The reference block rows load aligned (the encoder copies the tracked
+/// block into an aligned buffer once); candidate rows load unaligned.
+fn candidate_sad(unit: &mut MmxUnit, block_rows: &[[u8; 8]; 8], reference: &Image, cx: usize, cy: usize) -> u32 {
+    // mm7 = 0 (zero for unpacking); mm6 = word accumulator.
+    unit.issue(Op::Pxor { dst: 7, src: 7 });
+    unit.issue(Op::Pxor { dst: 6, src: 6 });
+    for (r, block_row) in block_rows.iter().enumerate() {
+        unit.issue(Op::LoadAligned { dst: 0, data: *block_row });
+        unit.issue(Op::LoadUnaligned { dst: 1, data: row8(reference, cx, cy + r) });
+        unit.issue(Op::Movq { dst: 2, src: 0 });
+        unit.issue(Op::Psubusb { dst: 0, src: 1 });
+        unit.issue(Op::Psubusb { dst: 1, src: 2 });
+        unit.issue(Op::Por { dst: 0, src: 1 });
+        unit.issue(Op::Movq { dst: 3, src: 0 });
+        unit.issue(Op::Punpcklbw { dst: 0, src: 7 });
+        unit.issue(Op::Punpckhbw { dst: 3, src: 7 });
+        unit.issue(Op::Paddw { dst: 6, src: 0 });
+        unit.issue(Op::Paddw { dst: 6, src: 3 });
+        // Row pointer bookkeeping.
+        unit.issue(Op::Scalar);
+    }
+    // Horizontal reduction of the four word lanes.
+    unit.issue(Op::Movq { dst: 0, src: 6 });
+    unit.issue(Op::Psrlq { dst: 0, amount: 32 });
+    unit.issue(Op::Paddw { dst: 6, src: 0 });
+    unit.issue(Op::Movq { dst: 0, src: 6 });
+    unit.issue(Op::Psrlq { dst: 0, amount: 16 });
+    unit.issue(Op::Paddw { dst: 6, src: 0 });
+    // Store / compare-update of the best SAD (scalar side).
+    unit.issue(Op::Scalar);
+    unit.issue(Op::Scalar);
+    (unit.reg(6) & 0xffff) as u32
+}
+
+/// Runs the full-search baseline for the paper's Table 1 configuration.
+///
+/// # Panics
+///
+/// Panics if `spec.block != 8` (the MMX loop is written for 8x8 blocks) or
+/// if the block leaves the frame.
+pub fn full_search(
+    reference: &Image,
+    current: &Image,
+    spec: BlockMatch,
+) -> MmxSearch {
+    assert_eq!(spec.block, 8, "the MMX kernel is specialized for 8x8 blocks");
+    let mut block_rows = [[0u8; 8]; 8];
+    for (r, row) in block_rows.iter_mut().enumerate() {
+        *row = row8(current, spec.x0, spec.y0 + r);
+    }
+    let mut unit = MmxUnit::new();
+    let mut candidates = Vec::new();
+    let mut best = (0isize, 0isize);
+    let mut best_sad = u32::MAX;
+    for dy in -spec.range..=spec.range {
+        for dx in -spec.range..=spec.range {
+            let cx = spec.x0 as isize + dx;
+            let cy = spec.y0 as isize + dy;
+            if cx < 0
+                || cy < 0
+                || cx as usize + 8 > reference.width()
+                || cy as usize + 8 > reference.height()
+            {
+                continue;
+            }
+            let sad = candidate_sad(&mut unit, &block_rows, reference, cx as usize, cy as usize);
+            candidates.push((dx, dy, sad));
+            if sad < best_sad {
+                best_sad = sad;
+                best = (dx, dy);
+            }
+        }
+    }
+    unit.drain();
+    MmxSearch {
+        best,
+        best_sad,
+        candidates,
+        cycles: unit.cycles(),
+        instructions: unit.instructions(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ring_kernels::golden;
+
+    #[test]
+    fn packed_ops_behave() {
+        let mut u = MmxUnit::new();
+        u.issue(Op::LoadAligned { dst: 0, data: [10, 200, 0, 5, 255, 1, 2, 3] });
+        u.issue(Op::LoadAligned { dst: 1, data: [20, 100, 0, 9, 0, 1, 3, 2] });
+        u.issue(Op::Movq { dst: 2, src: 0 });
+        u.issue(Op::Psubusb { dst: 0, src: 1 });
+        u.issue(Op::Psubusb { dst: 1, src: 2 });
+        u.issue(Op::Por { dst: 0, src: 1 });
+        // |a-b| per byte.
+        assert_eq!(packed_bytes(u.reg(0)), [10, 100, 0, 4, 255, 0, 1, 1]);
+    }
+
+    #[test]
+    fn unpack_and_accumulate() {
+        let mut u = MmxUnit::new();
+        u.issue(Op::Pxor { dst: 7, src: 7 });
+        u.issue(Op::LoadAligned { dst: 0, data: [1, 2, 3, 4, 5, 6, 7, 8] });
+        u.issue(Op::Movq { dst: 3, src: 0 });
+        u.issue(Op::Punpcklbw { dst: 0, src: 7 });
+        u.issue(Op::Punpckhbw { dst: 3, src: 7 });
+        u.issue(Op::Pxor { dst: 6, src: 6 });
+        u.issue(Op::Paddw { dst: 6, src: 0 });
+        u.issue(Op::Paddw { dst: 6, src: 3 });
+        // Word lanes: 1+5, 2+6, 3+7, 4+8.
+        let words: Vec<u16> = (0..4).map(|i| (u.reg(6) >> (16 * i)) as u16).collect();
+        assert_eq!(words, vec![6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn pairing_model_counts() {
+        let mut u = MmxUnit::new();
+        // Two independent single-cycle ops pair: one cycle.
+        u.issue(Op::Pxor { dst: 0, src: 0 });
+        u.issue(Op::Pxor { dst: 1, src: 1 });
+        u.drain();
+        assert_eq!(u.cycles(), 1);
+
+        // Dependent ops do not pair.
+        let mut u = MmxUnit::new();
+        u.issue(Op::Pxor { dst: 0, src: 0 });
+        u.issue(Op::Por { dst: 1, src: 0 });
+        u.drain();
+        assert_eq!(u.cycles(), 2);
+
+        // Unaligned loads cost 3 and break pairing.
+        let mut u = MmxUnit::new();
+        u.issue(Op::LoadUnaligned { dst: 0, data: [0; 8] });
+        u.issue(Op::LoadUnaligned { dst: 1, data: [0; 8] });
+        u.drain();
+        assert_eq!(u.cycles(), 6);
+
+        // Two shift-unit ops cannot pair.
+        let mut u = MmxUnit::new();
+        u.issue(Op::Psrlq { dst: 0, amount: 8 });
+        u.issue(Op::Psrlq { dst: 1, amount: 8 });
+        u.drain();
+        assert_eq!(u.cycles(), 2);
+    }
+
+    #[test]
+    fn sad_matches_golden_on_every_candidate() {
+        let (reference, current) = Image::motion_pair(40, 40, 2, 1, 5);
+        let spec = BlockMatch { x0: 16, y0: 16, block: 8, range: 4 };
+        let result = full_search(&reference, &current, spec);
+        let block = current.block(16, 16, 8, 8);
+        for &(dx, dy, sad) in &result.candidates {
+            let cand = reference.block((16 + dx) as usize, (16 + dy) as usize, 8, 8);
+            assert_eq!(sad as i32, golden::sad(&block, &cand), "({dx},{dy})");
+        }
+        // And the argmin agrees with an exhaustive check.
+        let (gdx, gdy, gsad) = golden::full_search(
+            reference.data(), 40, 40, &block, 8, 8, 16, 16, 4,
+        );
+        assert_eq!(result.best, (gdx, gdy));
+        assert_eq!(result.best_sad as i32, gsad);
+    }
+
+    #[test]
+    fn per_candidate_cost_is_tens_of_cycles() {
+        let (reference, current) = Image::motion_pair(40, 40, 0, 0, 1);
+        let spec = BlockMatch { x0: 16, y0: 16, block: 8, range: 4 };
+        let result = full_search(&reference, &current, spec);
+        let per_candidate = result.cycles as f64 / result.candidates.len() as f64;
+        // The documented loop: ~12 instructions/row x 8 rows + reduction,
+        // partially paired, with 8 unaligned loads at 3 cycles each.
+        assert!(
+            (50.0..100.0).contains(&per_candidate),
+            "per-candidate cycles = {per_candidate:.1}"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Scalar-CPU baseline: the §5.1 MIPS anchor.
+//!
+//! The paper contrasts the Ring-8's "1600 MIPS of raw power for data
+//! dominated applications" at 200 MHz with "the 400 MIPS of a Pentium II
+//! 450 MHz processor". To make that comparison reproducible we simulate a
+//! small in-order scalar core with a classic load/compute/branch cost
+//! model, run the same MAC-style workloads on it, and report sustained
+//! operations per cycle x clock.
+//!
+//! The model is deliberately conservative-superscalar-free: one instruction
+//! per cycle peak, multi-cycle multiplies, a load-use penalty and a
+//! taken-branch bubble — the effective throughput that turns a 450 MHz
+//! clock into a few hundred sustained MIPS on data-flow loops.
+
+use systolic_ring_kernels::golden;
+
+/// Per-instruction costs of the scalar model, in cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Plain ALU operation.
+    pub alu: u64,
+    /// Load (cache hit).
+    pub load: u64,
+    /// Store.
+    pub store: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Extra bubble on a taken branch.
+    pub taken_branch_bubble: u64,
+}
+
+impl CostModel {
+    /// A Pentium-II-class effective model (as seen by a dataflow loop that
+    /// the out-of-order core cannot fully hide: 1-cycle ALU, 1-cycle cache
+    /// hits, 4-cycle multiply, 1-cycle taken-branch bubble).
+    pub const PENTIUM_II_CLASS: CostModel = CostModel {
+        alu: 1,
+        load: 1,
+        store: 1,
+        mul: 4,
+        taken_branch_bubble: 1,
+    };
+}
+
+/// Result of a scalar-model run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScalarRun {
+    /// Computed result (workload-specific meaning).
+    pub result: i64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+}
+
+impl ScalarRun {
+    /// Sustained MIPS at `clock_mhz`.
+    pub fn mips(&self, clock_mhz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64 * clock_mhz
+    }
+}
+
+/// Runs a dot product (`sum a[i]*b[i]`, 16-bit wrapping like the Dnode MAC)
+/// on the scalar model.
+///
+/// Per element: two loads, one multiply, one add, one index increment, one
+/// compare-and-branch — the canonical six-instruction MAC loop.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_product(model: CostModel, a: &[i16], b: &[i16]) -> ScalarRun {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    let mut acc: i16 = 0;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = acc.wrapping_add(x.wrapping_mul(y));
+        cycles += 2 * model.load + model.mul + 2 * model.alu + model.alu
+            + model.taken_branch_bubble;
+        instructions += 6;
+    }
+    debug_assert_eq!(acc, golden::dot_product(a, b));
+    ScalarRun {
+        result: acc as i64,
+        cycles,
+        instructions,
+    }
+}
+
+/// Runs an 8x8 SAD (one block-matching candidate) on the scalar model.
+///
+/// Per pixel: two loads, subtract, conditional negate (modelled as two ALU
+/// ops), accumulate, and loop bookkeeping amortized at one instruction per
+/// pixel plus a per-row branch.
+pub fn sad_8x8(model: CostModel, block: &[i16], candidate: &[i16]) -> ScalarRun {
+    assert_eq!(block.len(), 64, "block must be 8x8");
+    assert_eq!(candidate.len(), 64, "candidate must be 8x8");
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    let mut acc = 0i64;
+    for i in 0..64 {
+        acc += (block[i] as i64 - candidate[i] as i64).abs().min(i16::MAX as i64);
+        // ld, ld, sub, abs (2 ops), add, index bump.
+        cycles += 2 * model.load + 5 * model.alu;
+        instructions += 7;
+    }
+    // Per-row branches.
+    cycles += 8 * (model.alu + model.taken_branch_bubble);
+    instructions += 8;
+    debug_assert_eq!(acc, golden::sad(block, candidate) as i64);
+    ScalarRun {
+        result: acc,
+        cycles,
+        instructions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_matches_golden() {
+        let a: Vec<i16> = (0..50).collect();
+        let b: Vec<i16> = (0..50).map(|v| v * 3 - 7).collect();
+        let run = dot_product(CostModel::PENTIUM_II_CLASS, &a, &b);
+        assert_eq!(run.result, golden::dot_product(&a, &b) as i64);
+        // 6 instructions per element at < 1 IPC.
+        assert_eq!(run.instructions, 300);
+        assert!(run.cycles > run.instructions);
+    }
+
+    #[test]
+    fn mips_anchor_is_in_the_paper_ballpark() {
+        let a = vec![3i16; 10_000];
+        let b = vec![-2i16; 10_000];
+        let run = dot_product(CostModel::PENTIUM_II_CLASS, &a, &b);
+        let mips = run.mips(450.0);
+        // The paper quotes 400 MIPS for a Pentium II 450.
+        assert!(
+            (200.0..500.0).contains(&mips),
+            "sustained MIPS = {mips:.0}"
+        );
+    }
+
+    #[test]
+    fn sad_matches_golden() {
+        let block: Vec<i16> = (0..64).map(|v| v * 3 % 251).collect();
+        let cand: Vec<i16> = (0..64).map(|v| (v * 7 + 13) % 251).collect();
+        let run = sad_8x8(CostModel::PENTIUM_II_CLASS, &block, &cand);
+        assert_eq!(run.result, golden::sad(&block, &cand) as i64);
+        assert!(run.cycles >= 64 * 7);
+    }
+
+    #[test]
+    fn zero_length_run() {
+        let run = dot_product(CostModel::PENTIUM_II_CLASS, &[], &[]);
+        assert_eq!(run.cycles, 0);
+        assert_eq!(run.mips(450.0), 0.0);
+    }
+}

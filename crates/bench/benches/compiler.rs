@@ -1,0 +1,50 @@
+//! Criterion bench of the dataflow compiler: compile time and compiled
+//! execution vs the software interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use systolic_ring_compiler::{compile, Graph};
+use systolic_ring_core::MachineParams;
+use systolic_ring_isa::dnode::AluOp;
+use systolic_ring_isa::RingGeometry;
+
+fn blend_graph() -> Graph {
+    let mut g = Graph::new();
+    let p = g.input();
+    let q = g.input();
+    let w = g.constant(11);
+    let w_inv = g.constant(5);
+    let four = g.constant(4);
+    let cap = g.constant(255);
+    let pw = g.op(AluOp::Mul, p, w);
+    let qw = g.op(AluOp::Mul, q, w_inv);
+    let sum = g.op(AluOp::Add, pw, qw);
+    let scaled = g.op(AluOp::Shr, sum, four);
+    let y = g.op(AluOp::Min, scaled, cap);
+    g.output(y);
+    g
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let g = blend_graph();
+    let p: Vec<i16> = (0..256).map(|i| i % 256).collect();
+    let q: Vec<i16> = (0..256).map(|i| 255 - i % 256).collect();
+    let streams: [&[i16]; 2] = [&p, &q];
+
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(10);
+    group.bench_function("compile_blend_graph", |b| {
+        b.iter(|| compile(black_box(&g), RingGeometry::RING_16, MachineParams::PAPER).expect("ok"))
+    });
+    let compiled = compile(&g, RingGeometry::RING_16, MachineParams::PAPER).expect("ok");
+    group.bench_function("run_compiled_256_samples", |b| {
+        b.iter(|| compiled.run(black_box(&streams)).expect("runs"))
+    });
+    group.bench_function("interpret_256_samples", |b| {
+        b.iter(|| g.interpret(black_box(&streams)).expect("ok"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,324 @@
+//! Ablations of the paper's design decisions.
+//!
+//! * **A2 — hardware multiplexing**: the same 3-tap FIR mapped spatially
+//!   (one output/cycle, many Dnodes) versus folded onto one local-mode
+//!   Dnode (one output per 7 cycles) — the area/throughput trade §3 and §6
+//!   describe.
+//! * **Feedback-pipeline depth**: how deep the per-switch pipelines must
+//!   be for the evaluation workloads, and what the registers cost — the
+//!   "delays are automatically achieved in them" claim priced out.
+//! * **Motion-estimation drain overhead**: the share of ME cycles spent in
+//!   the context-switched drain/reset phases rather than pixel arithmetic.
+
+use systolic_ring_core::{ConfigError, MachineParams, RingMachine};
+use systolic_ring_isa::switch::PortSource;
+use systolic_ring_isa::RingGeometry;
+use systolic_ring_kernels::image::test_signal;
+use systolic_ring_kernels::{fir, motion};
+use systolic_ring_model::grain;
+use systolic_ring_model::{HardwareParams, ST_CMOS_018};
+
+use crate::table::{ratio, TextTable};
+
+/// A2: spatial vs folded FIR.
+#[derive(Clone, Debug)]
+pub struct FirAblation {
+    /// Cycles for the spatial mapping.
+    pub spatial_cycles: u64,
+    /// Dnodes the spatial mapping keeps busy.
+    pub spatial_dnodes: usize,
+    /// Cycles for the folded (local-mode) mapping.
+    pub folded_cycles: u64,
+    /// Dnodes the folded mapping keeps busy.
+    pub folded_dnodes: usize,
+    /// Samples filtered.
+    pub samples: usize,
+}
+
+/// Runs the FIR multiplexing ablation on a Ring-16.
+///
+/// # Panics
+///
+/// Panics if either mapping faults or they disagree (correctness bug).
+pub fn fir_ablation() -> FirAblation {
+    let geometry = RingGeometry::RING_16;
+    let coeffs = [5, -3, 2];
+    let input = test_signal(256, 77);
+    let spatial = fir::spatial(geometry, &coeffs, &input).expect("spatial FIR");
+    let folded = fir::local_serial(geometry, &coeffs, &input).expect("folded FIR");
+    assert_eq!(spatial.outputs, folded.outputs, "mappings disagree");
+    FirAblation {
+        spatial_cycles: spatial.cycles,
+        spatial_dnodes: geometry.dnodes() - spatial.stats.idle_dnodes(),
+        folded_cycles: folded.cycles,
+        folded_dnodes: geometry.dnodes() - folded.stats.idle_dnodes(),
+        samples: input.len(),
+    }
+}
+
+/// Feedback-depth ablation: whether each workload's deepest pipeline tap
+/// fits, per configured depth.
+#[derive(Clone, Debug)]
+pub struct DepthPoint {
+    /// Configured pipeline depth.
+    pub depth: usize,
+    /// Deepest stage the wavelet mapping reads (4) fits?
+    pub wavelet_fits: bool,
+    /// Deepest stage the FIR skew chain reads (0) fits?
+    pub fir_fits: bool,
+    /// Pipeline register cost for a Ring-16 at this depth (mm², 0.18 µm).
+    pub pipe_area_mm2: f64,
+}
+
+/// Probes which workloads a given feedback depth supports.
+pub fn depth_ablation() -> Vec<DepthPoint> {
+    let geometry = RingGeometry::RING_16;
+    [1usize, 2, 4, 5, 8, 16]
+        .into_iter()
+        .map(|depth| {
+            let params = MachineParams::PAPER.with_pipe_depth(depth);
+            let mut m = RingMachine::new(geometry, params);
+            let probe = |m: &mut RingMachine, stage: u8| -> bool {
+                match m.configure().set_port(
+                    0,
+                    2,
+                    2,
+                    1,
+                    PortSource::Pipe { switch: 1, stage, lane: 3 },
+                ) {
+                    Ok(()) => true,
+                    Err(ConfigError::StageOutOfRange { .. }) => false,
+                    Err(e) => panic!("unexpected config error: {e}"),
+                }
+            };
+            let wavelet_fits = probe(&mut m, 4);
+            let fir_fits = probe(&mut m, 0);
+            // Pipeline registers: depth x width x 16 bits x 6 gates per
+            // switch (the model's pipeline term).
+            let hw = HardwareParams { pipe_depth: depth, ..HardwareParams::PAPER };
+            let gates = depth as f64 * geometry.width() as f64 * 16.0 * 6.0
+                * geometry.switches() as f64;
+            let _ = hw;
+            DepthPoint {
+                depth,
+                wavelet_fits,
+                fir_fits,
+                pipe_area_mm2: ST_CMOS_018.gates_to_mm2(gates),
+            }
+        })
+        .collect()
+}
+
+/// Context demand per workload, with the configuration-SRAM cost of
+/// provisioning that many contexts on a Ring-16.
+#[derive(Clone, Debug)]
+pub struct ContextPoint {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Contexts the mapping uses.
+    pub contexts: usize,
+    /// Config-SRAM area for that many contexts (mm², 0.18 µm, Ring-16).
+    pub sram_mm2: f64,
+}
+
+/// Context-count ablation: how much multi-context memory each workload
+/// actually needs (the §3 "hardware multiplexing" resource).
+pub fn context_ablation() -> Vec<ContextPoint> {
+    let g = RingGeometry::RING_16;
+    let bits = systolic_ring_model::area::context_bits(g);
+    let cost = |n: usize| ST_CMOS_018.sram_to_mm2(bits * n as f64);
+    let me_contexts = motion::sad_units(g) + 4;
+    vec![
+        ContextPoint { workload: "wavelet / FIR / FFT (static datapath)", contexts: 1, sram_mm2: cost(1) },
+        ContextPoint { workload: "matvec (compute/drain/reset)", contexts: 4, sram_mm2: cost(4) },
+        ContextPoint { workload: "motion estimation (per-unit drains)", contexts: me_contexts, sram_mm2: cost(me_contexts) },
+    ]
+}
+
+/// ME cycle breakdown: pixel arithmetic vs drain/control overhead.
+#[derive(Clone, Debug)]
+pub struct MeOverhead {
+    /// Geometry analysed.
+    pub geometry: RingGeometry,
+    /// Total schedule cycles.
+    pub total: u64,
+    /// Pure pixel-arithmetic cycles (candidates x block pixels / units).
+    pub compute: u64,
+}
+
+impl MeOverhead {
+    /// Fraction of cycles that are not pixel arithmetic.
+    pub fn overhead_fraction(&self) -> f64 {
+        1.0 - self.compute as f64 / self.total as f64
+    }
+}
+
+/// ME drain-overhead ablation across geometries.
+pub fn me_overhead() -> Vec<MeOverhead> {
+    [RingGeometry::RING_8, RingGeometry::RING_16, RingGeometry::RING_64]
+        .into_iter()
+        .map(|g| {
+            let units = motion::sad_units(g) as u64;
+            let rounds = 289u64.div_ceil(units);
+            MeOverhead {
+                geometry: g,
+                total: motion::analytic_cycles(g, 289, 64),
+                compute: rounds * 64,
+            }
+        })
+        .collect()
+}
+
+/// Renders all ablations.
+pub fn render() -> String {
+    let mut out = String::from("Ablations of the paper's design decisions\n\n");
+
+    let f = fir_ablation();
+    out.push_str(&format!(
+        "A2 — hardware multiplexing (3-tap FIR, {} samples, Ring-16):\n",
+        f.samples
+    ));
+    let mut t = TextTable::new(["mapping", "cycles", "Dnodes busy", "cycles/sample"]);
+    t.row([
+        "spatial (one output/cycle)".to_owned(),
+        crate::table::cycles(f.spatial_cycles),
+        f.spatial_dnodes.to_string(),
+        format!("{:.2}", f.spatial_cycles as f64 / f.samples as f64),
+    ]);
+    t.row([
+        "folded on 1 Dnode (local mode)".to_owned(),
+        crate::table::cycles(f.folded_cycles),
+        f.folded_dnodes.to_string(),
+        format!("{:.2}", f.folded_cycles as f64 / f.samples as f64),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "-> {} throughput for {} the Dnodes: temporal vs spatial mapping on one fabric.\n\n",
+        ratio(f.folded_cycles as f64 / f.spatial_cycles as f64),
+        ratio(f.spatial_dnodes as f64 / f.folded_dnodes as f64),
+    ));
+
+    out.push_str("Feedback-pipeline depth (Ring-16):\n");
+    let mut t = TextTable::new(["depth", "FIR skew fits", "wavelet tap fits", "pipe area mm2"]);
+    for p in depth_ablation() {
+        t.row([
+            p.depth.to_string(),
+            if p.fir_fits { "yes" } else { "no" }.to_owned(),
+            if p.wavelet_fits { "yes" } else { "no" }.to_owned(),
+            format!("{:.4}", p.pipe_area_mm2),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    out.push_str("Context demand per workload (config SRAM at 0.18um, Ring-16):\n");
+    let mut t = TextTable::new(["workload", "contexts", "config SRAM mm2"]);
+    for p in context_ablation() {
+        t.row([
+            p.workload.to_owned(),
+            p.contexts.to_string(),
+            format!("{:.4}", p.sram_mm2),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    out.push_str("Motion-estimation drain/control overhead:\n");
+    let mut t = TextTable::new(["ring", "total cycles", "compute cycles", "overhead"]);
+    for p in me_overhead() {
+        t.row([
+            format!("Ring-{}", p.geometry.dnodes()),
+            crate::table::cycles(p.total),
+            crate::table::cycles(p.compute),
+            format!("{:.0}%", p.overhead_fraction() * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    out.push_str(
+        "Grain size (the §2 motivation): the Ring-8 datapath priced on a\n\
+         bit-level (FPGA-class) fabric at 0.18um:\n",
+    );
+    let c = grain::compare(
+        RingGeometry::RING_8,
+        HardwareParams::PAPER,
+        ST_CMOS_018,
+    );
+    let mut t = TextTable::new(["substrate", "area mm2", "vs ring"]);
+    t.row([
+        "coarse-grained ring (this paper)".to_owned(),
+        format!("{:.2}", c.ring_asic_mm2),
+        "1.0x".to_owned(),
+    ]);
+    t.row([
+        "FPGA, empirical ~35x gap".to_owned(),
+        format!("{:.1}", c.fpga_empirical_mm2),
+        ratio(c.empirical_factor()),
+    ]);
+    t.row([
+        "FPGA at the paper's MIT quote (1% useful)".to_owned(),
+        format!("{:.0}", c.fpga_mit_quote_mm2),
+        ratio(c.mit_factor()),
+    ]);
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_ablation_shows_the_fold_factor() {
+        let f = fir_ablation();
+        let slowdown = f.folded_cycles as f64 / f.spatial_cycles as f64;
+        assert!((5.0..9.0).contains(&slowdown), "slowdown = {slowdown:.1}");
+        assert!(f.folded_dnodes == 1);
+        assert!(f.spatial_dnodes > 4);
+    }
+
+    #[test]
+    fn depth_thresholds() {
+        let points = depth_ablation();
+        for p in &points {
+            assert!(p.fir_fits, "stage 0 must always fit");
+            assert_eq!(p.wavelet_fits, p.depth >= 5, "depth {}", p.depth);
+        }
+        // Area grows linearly with depth.
+        let a1 = points.first().expect("points").pipe_area_mm2;
+        let a16 = points.last().expect("points").pipe_area_mm2;
+        assert!((a16 / a1 - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn me_overhead_shrinks_on_smaller_fabrics() {
+        let points = me_overhead();
+        // Drain cost grows with units: bigger rings pay more overhead.
+        assert!(points[0].overhead_fraction() < points[2].overhead_fraction());
+        for p in &points {
+            assert!(p.overhead_fraction() < 0.7, "{}", p.geometry);
+        }
+    }
+
+    #[test]
+    fn context_demand_is_workload_dependent() {
+        let points = context_ablation();
+        assert_eq!(points[0].contexts, 1);
+        assert_eq!(points[2].contexts, 12); // 8 SAD units + 4
+        assert!(points[2].sram_mm2 > points[0].sram_mm2 * 10.0);
+        // Even ME's context memory stays small next to the Dnodes.
+        assert!(points[2].sram_mm2 < 0.1);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let text = render();
+        assert!(text.contains("A2"));
+        assert!(text.contains("Feedback-pipeline depth"));
+        assert!(text.contains("Context demand"));
+        assert!(text.contains("drain/control overhead"));
+        assert!(text.contains("Grain size"));
+        assert!(text.contains("35.0x"));
+    }
+}

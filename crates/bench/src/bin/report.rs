@@ -1,0 +1,61 @@
+//! Regenerates the paper's tables and figures on stdout.
+//!
+//! Usage: `report [all|table1|table2|table3|comparative|scalability|ablations|figure6|figure7] [--full]`
+//!
+//! `--full` runs Table 2 at the paper's 1024x768 (slow in debug builds);
+//! the default is a 256x192 image with identical per-pixel behaviour.
+
+use systolic_ring_bench::{ablations, comparative, figures, kernels_table, scalability, table1, table2, table3};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let run_table2 = || {
+        if full {
+            table2::run(1024, 768)
+        } else {
+            table2::run(256, 192)
+        }
+    };
+
+    match what {
+        "table1" => print!("{}", table1::render(&table1::run())),
+        "table2" => print!("{}", table2::render(&run_table2())),
+        "table3" => print!("{}", table3::render(&table3::run())),
+        "comparative" => print!("{}", comparative::render(&comparative::run())),
+        "scalability" => print!("{}", scalability::render(&scalability::run())),
+        "ablations" => print!("{}", ablations::render()),
+        "kernels" => print!("{}", kernels_table::render(&kernels_table::run())),
+        "figure6" => print!("{}", figures::render_figure6(&figures::figure6())),
+        "figure7" => {
+            let (ring64, plan) = figures::figure7();
+            print!("{}", figures::render_figure7(ring64, &plan));
+        }
+        "all" => {
+            println!("==============================================================");
+            println!(" Systolic Ring reproduction — paper-vs-measured report");
+            println!("==============================================================\n");
+            println!("{}", table1::render(&table1::run()));
+            println!("{}", table2::render(&run_table2()));
+            println!("{}", table3::render(&table3::run()));
+            println!("{}", comparative::render(&comparative::run()));
+            println!("{}", figures::render_figure6(&figures::figure6()));
+            let (ring64, plan) = figures::figure7();
+            println!("{}", figures::render_figure7(ring64, &plan));
+            println!("{}", scalability::render(&scalability::run()));
+            println!("{}", ablations::render());
+            print!("{}", kernels_table::render(&kernels_table::run()));
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("usage: report [all|table1|table2|table3|comparative|scalability|ablations|kernels|figure6|figure7] [--full]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! §5.1 comparative results — peak MIPS and host bandwidth.
+//!
+//! Claims to reproduce: "A 8 Dnodes, 16 bits wide data buses version has a
+//! maximal computing power of 1600 MIPS at the typical 200 MHz evaluated
+//! functional frequency, quite impressive compared to the 400 MIPS of a
+//! Pentium II 450 MHz processor. The theoretical maximum bandwidth ... is
+//! about 3 Gbytes/s, limited to 250 Mbytes/s in our implemented
+//! communication protocol (a PCI based bus)".
+
+use systolic_ring_baselines::scalar::{self, CostModel};
+use systolic_ring_core::{LinkModel, MachineParams, RingMachine};
+use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+use systolic_ring_isa::switch::PortSource;
+use systolic_ring_isa::{RingGeometry, Word16};
+use systolic_ring_model::{freq_mhz, peak_mips, peak_port_bandwidth_bytes, ST_CMOS_018};
+
+use crate::table::TextTable;
+
+/// Results of the comparative-figures reproduction.
+#[derive(Clone, Debug)]
+pub struct Comparative {
+    /// Modelled Ring-8 frequency (MHz).
+    pub ring_freq_mhz: f64,
+    /// Peak MIPS (one op per Dnode per cycle).
+    pub ring_peak_mips: f64,
+    /// Measured sustained MIPS with every Dnode running a MAC.
+    pub ring_sustained_mips: f64,
+    /// Measured sustained MOPS counting MAC as two operations.
+    pub ring_sustained_mops: f64,
+    /// Scalar baseline sustained MIPS at 450 MHz.
+    pub scalar_mips: f64,
+    /// Theoretical port bandwidth (bytes/s).
+    pub port_bw_theoretical: f64,
+    /// Measured bandwidth through the direct ports (bytes/s).
+    pub port_bw_measured: f64,
+    /// Measured bandwidth through the PCI-class link (bytes/s).
+    pub pci_bw_measured: f64,
+}
+
+/// Saturates every Dnode of `geometry` with a local-mode MAC fed from host
+/// streams and returns (words consumed per cycle, ops per cycle).
+fn saturate(geometry: RingGeometry, link: LinkModel, cycles: u64) -> (f64, f64) {
+    let params = MachineParams::PAPER.with_link(link);
+    let mut m = RingMachine::new(geometry, params);
+    let mac = MicroInstr::op(AluOp::Mac, Operand::In1, Operand::One).write_reg(Reg::R0);
+    for layer in 0..geometry.layers() {
+        for lane in 0..geometry.width() {
+            let d = geometry.dnode_index(layer, lane);
+            m.configure()
+                .set_port(0, layer, lane, 0, PortSource::HostIn { port: (2 * lane) as u8 })
+                .expect("port");
+            m.set_local_program(d, &[mac]).expect("program");
+            m.set_mode(d, DnodeMode::Local);
+            m.attach_input(layer, 2 * lane, vec![Word16::ONE; cycles as usize + 8])
+                .expect("stream");
+        }
+    }
+    m.run(cycles).expect("run");
+    let stats = m.stats();
+    (
+        stats.host_words_in as f64 / cycles as f64,
+        stats.ops_per_cycle(),
+    )
+}
+
+/// Runs all comparative measurements on the Ring-8.
+pub fn run() -> Comparative {
+    let geometry = RingGeometry::RING_8;
+    let freq = freq_mhz(geometry, ST_CMOS_018);
+
+    // Sustained compute: every Dnode MACs a stream.
+    let (words_direct, ops_per_cycle) = saturate(geometry, LinkModel::Direct, 2000);
+    // Bandwidth through the PCI-class link: same fabric, metered link.
+    let (words_pci, _) = saturate(geometry, LinkModel::PCI_250MBPS_AT_200MHZ, 4000);
+
+    let scalar_run = scalar::dot_product(
+        CostModel::PENTIUM_II_CLASS,
+        &vec![3i16; 20_000],
+        &vec![5i16; 20_000],
+    );
+
+    Comparative {
+        ring_freq_mhz: freq,
+        ring_peak_mips: peak_mips(geometry, ST_CMOS_018),
+        // One MAC instruction per Dnode per cycle; ops_per_cycle counts a
+        // MAC as two arithmetic operations, so instructions = ops / 2.
+        ring_sustained_mips: ops_per_cycle / 2.0 * freq,
+        ring_sustained_mops: ops_per_cycle * freq,
+        scalar_mips: scalar_run.mips(450.0),
+        port_bw_theoretical: peak_port_bandwidth_bytes(geometry, ST_CMOS_018),
+        port_bw_measured: words_direct * 2.0 * freq * 1.0e6,
+        pci_bw_measured: words_pci * 2.0 * freq * 1.0e6,
+    }
+}
+
+/// Renders the comparative table.
+pub fn render(c: &Comparative) -> String {
+    let mut out = String::from("Comparative results (§5.1) — Ring-8 at the modelled 0.18um clock\n\n");
+    let mut t = TextTable::new(["figure", "measured/model", "paper says"]);
+    t.row([
+        "Ring-8 clock".to_owned(),
+        format!("{:.0} MHz", c.ring_freq_mhz),
+        "200 MHz".to_owned(),
+    ]);
+    t.row([
+        "Ring-8 peak (1 op/Dnode/cycle)".to_owned(),
+        format!("{:.0} MIPS", c.ring_peak_mips),
+        "1600 MIPS".to_owned(),
+    ]);
+    t.row([
+        "Ring-8 sustained (all-Dnode MAC)".to_owned(),
+        format!("{:.0} MOPS (MAC = 2 ops)", c.ring_sustained_mops),
+        "\"up to two arithmetic operations each clock cycle\"".to_owned(),
+    ]);
+    t.row([
+        "Pentium-II-class scalar model @450 MHz".to_owned(),
+        format!("{:.0} MIPS", c.scalar_mips),
+        "400 MIPS".to_owned(),
+    ]);
+    t.row([
+        "direct-port bandwidth (theoretical)".to_owned(),
+        format!("{:.2} GB/s", c.port_bw_theoretical / 1e9),
+        "about 3 GB/s".to_owned(),
+    ]);
+    t.row([
+        "direct-port bandwidth (measured)".to_owned(),
+        format!("{:.2} GB/s", c.port_bw_measured / 1e9),
+        "-".to_owned(),
+    ]);
+    t.row([
+        "PCI-class link bandwidth (measured)".to_owned(),
+        format!("{:.0} MB/s", c.pci_bw_measured / 1e6),
+        "250 MB/s".to_owned(),
+    ]);
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparative_figures_match_the_paper_shape() {
+        let c = run();
+        assert!((c.ring_peak_mips - 1600.0).abs() < 1.0);
+        // Sustained MACs: ~2 ops per Dnode per cycle.
+        assert!(
+            c.ring_sustained_mops > 0.9 * 2.0 * c.ring_peak_mips,
+            "sustained = {:.0}",
+            c.ring_sustained_mops
+        );
+        // Scalar anchor in the paper's ballpark.
+        assert!((200.0..500.0).contains(&c.scalar_mips));
+        // Bandwidths.
+        assert!((c.port_bw_theoretical / 1e9 - 3.2).abs() < 0.1);
+        assert!(c.port_bw_measured > 0.9 * c.port_bw_theoretical);
+        let pci = c.pci_bw_measured / 1e6;
+        assert!((200.0..260.0).contains(&pci), "pci = {pci:.0} MB/s");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = render(&run());
+        assert!(text.contains("1600 MIPS"));
+        assert!(text.contains("250 MB/s"));
+        assert!(text.contains("GB/s"));
+    }
+}

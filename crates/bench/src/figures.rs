@@ -1,0 +1,111 @@
+//! Figures 6 and 7 — the APEX prototype run and the SoC floorplan.
+
+use systolic_ring_isa::RingGeometry;
+use systolic_ring_kernels::image::Image;
+use systolic_ring_model::floorplan::{figure7_blocks, pack, Floorplan};
+use systolic_ring_model::{core_area, HardwareParams, ST_CMOS_018};
+use systolic_ring_soc::ApexPrototype;
+
+/// Result of the Figure 6 prototype run.
+#[derive(Clone, Debug)]
+pub struct Figure6 {
+    /// Core cycles until halt.
+    pub core_cycles: u64,
+    /// Pixels processed.
+    pub pixels: usize,
+    /// The scanned monitor frame as a binary PGM.
+    pub pgm: Vec<u8>,
+    /// `true` if the VIDEO contents matched the golden filter.
+    pub exact: bool,
+}
+
+/// Runs the Figure 6 demo on a 64x64 image (the prototype's "64x64 pic").
+///
+/// # Panics
+///
+/// Panics if the board faults — the demo is fixed-function.
+pub fn figure6() -> Figure6 {
+    let input = Image::textured(64, 64, 1964);
+    let mut board = ApexPrototype::new(&input).expect("board construction");
+    let report = board.run().expect("board run");
+    let golden = ApexPrototype::golden(&input);
+    let got: Vec<i16> = board.video().words().iter().map(|w| w.as_i16()).collect();
+    let exact = got == golden;
+    Figure6 {
+        core_cycles: report.core_cycles,
+        pixels: input.width() * input.height(),
+        pgm: board.scan_pgm(),
+        exact,
+    }
+}
+
+/// Renders the Figure 6 report.
+pub fn render_figure6(f: &Figure6) -> String {
+    format!(
+        "Figure 6 — APEX prototype: Ring-8 + controller, object code from PRG,\n\
+         64x64 image from IMAGE, filtered frame to VIDEO, scanned by the VGA model.\n\
+         core cycles: {} for {} pixels ({:.2} cycles/pixel)\n\
+         output matches the golden filter: {}\n\
+         monitor frame: {} bytes of PGM (write it to disk with the apex_prototype example)\n",
+        crate::table::cycles(f.core_cycles),
+        f.pixels,
+        f.core_cycles as f64 / f.pixels as f64,
+        f.exact,
+        f.pgm.len()
+    )
+}
+
+/// Builds the Figure 7 floorplan with the Ring-64 area from the model.
+///
+/// # Panics
+///
+/// Panics if the blocks fail to pack (a model regression).
+pub fn figure7() -> (f64, Floorplan) {
+    let ring64 = core_area(RingGeometry::RING_64, HardwareParams::PAPER, ST_CMOS_018).total_mm2();
+    let plan = pack(4.0, 3.0, &figure7_blocks(ring64)).expect("floorplan packs");
+    (ring64, plan)
+}
+
+/// Renders the Figure 7 report with the ASCII floorplan.
+pub fn render_figure7(ring64_mm2: f64, plan: &Floorplan) -> String {
+    let mut out = format!(
+        "Figure 7 — foreseeable SoC: 4x3 mm die, 0.18um.\n\
+         Ring-64 modelled at {ring64_mm2:.2} mm2 (paper projects 3.4 mm2); \
+         ARM7TDMI at the paper's 0.54 mm2.\n\
+         die utilization {:.0}%\n\n",
+        plan.utilization() * 100.0
+    );
+    for p in &plan.placements {
+        out.push_str(&format!(
+            "  {:<12} {:>5.2} mm2 at ({:.2}, {:.2})  {:.2} x {:.2} mm\n",
+            p.block.name, p.block.area_mm2, p.x_mm, p.y_mm, p.w_mm, p.h_mm
+        ));
+    }
+    out.push('\n');
+    out.push_str(&plan.ascii(56, 21));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_runs_exactly() {
+        let f = figure6();
+        assert!(f.exact);
+        assert_eq!(f.pixels, 4096);
+        assert!(f.core_cycles < 4500);
+        assert!(f.pgm.starts_with(b"P5\n64 64\n255\n"));
+    }
+
+    #[test]
+    fn figure7_packs_and_renders() {
+        let (ring64, plan) = figure7();
+        assert!((2.6..4.2).contains(&ring64));
+        let text = render_figure7(ring64, &plan);
+        assert!(text.contains("ARM7TDMI"));
+        assert!(text.contains("Ring-64"));
+        assert!(text.contains('R'));
+    }
+}

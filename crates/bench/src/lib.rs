@@ -1,0 +1,26 @@
+//! Benchmark harness: every table and figure of the paper, regenerated.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — motion-estimation cycles (ASIC / Ring / MMX) |
+//! | [`table2`] | Table 2 — wavelet-transform implementations |
+//! | [`table3`] | Table 3 — synthesis results |
+//! | [`comparative`] | §5.1 — MIPS and bandwidth figures |
+//! | [`figures`] | Figures 6 (APEX prototype) and 7 (SoC floorplan) |
+//! | [`scalability`] | extension A1 — the scalability sweep |
+//! | [`kernels_table`] | extension — the validated kernel-library summary |
+//! | [`ablations`] | extension A2 + design-decision ablations |
+//!
+//! Run `cargo run --release -p systolic-ring-bench --bin report -- all`
+//! for the full paper-vs-measured report; criterion benches under
+//! `benches/` time the same workloads.
+
+pub mod ablations;
+pub mod comparative;
+pub mod figures;
+pub mod kernels_table;
+pub mod scalability;
+pub mod table;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,111 @@
+//! Plain-text table rendering for the report binary.
+
+/// A simple left-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.trim_end().len().max(8)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a cycle count with thousands separators.
+pub fn cycles(n: u64) -> String {
+    let digits: Vec<char> = n.to_string().chars().rev().collect();
+    let mut out = String::new();
+    for (i, c) in digits.iter().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*c);
+    }
+    out.chars().rev().collect()
+}
+
+/// Formats a ratio like `7.9x`.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "cycles"]);
+        t.row(["ring", "1,234"]);
+        t.row(["mmx", "20,000"]);
+        let text = t.render();
+        assert!(text.contains("name"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn thousands_separators() {
+        assert_eq!(cycles(0), "0");
+        assert_eq!(cycles(999), "999");
+        assert_eq!(cycles(1_000), "1,000");
+        assert_eq!(cycles(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn ratio_format() {
+        assert_eq!(ratio(7.94), "7.9x");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert!(t.render().contains('x'));
+    }
+}

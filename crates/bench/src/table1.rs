@@ -1,0 +1,148 @@
+//! Table 1 — motion-estimation performance: ASIC vs Systolic Ring vs MMX.
+//!
+//! Paper setup: "the number of cycles needed for matching a 8x8 reference
+//! block against its search area of 8 pixels displacement", on a 64x64
+//! picture, with the ring results from a Ring-16. Claims to reproduce:
+//! the ASIC is much faster than the ring; the ring is "almost 8 times
+//! faster than an MMX solution".
+
+use systolic_ring_baselines::{asic_me, mmx};
+use systolic_ring_isa::RingGeometry;
+use systolic_ring_kernels::image::Image;
+use systolic_ring_kernels::motion::{self, BlockMatch};
+
+use crate::table::{cycles, ratio, TextTable};
+
+/// Results of the Table 1 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// Ring cycles (simulated, drains and controller overhead included).
+    pub ring_cycles: u64,
+    /// Ring geometry used.
+    pub geometry: RingGeometry,
+    /// MMX-model cycles.
+    pub mmx_cycles: u64,
+    /// ASIC-model cycles.
+    pub asic_cycles: u64,
+    /// Number of candidates evaluated (in-frame).
+    pub candidates: usize,
+    /// `true` if all three implementations agreed on the best match (they
+    /// must — they compute the same SADs).
+    pub agree: bool,
+    /// The agreed best displacement.
+    pub best: (isize, isize),
+}
+
+impl Table1 {
+    /// MMX cycles over ring cycles (paper: "almost 8x").
+    pub fn mmx_over_ring(&self) -> f64 {
+        self.mmx_cycles as f64 / self.ring_cycles as f64
+    }
+
+    /// Ring cycles over ASIC cycles (paper: ASIC "much faster").
+    pub fn ring_over_asic(&self) -> f64 {
+        self.ring_cycles as f64 / self.asic_cycles as f64
+    }
+}
+
+/// Runs the full Table 1 workload: 8x8 block, ±8 displacement, 64x64
+/// picture, Ring-16 (the paper's configuration).
+///
+/// # Panics
+///
+/// Panics if any implementation faults or they disagree on a SAD — that
+/// would be a correctness bug, not a measurement.
+pub fn run() -> Table1 {
+    run_with(RingGeometry::RING_16)
+}
+
+/// Runs Table 1 on an arbitrary geometry (used by the scalability sweep).
+///
+/// # Panics
+///
+/// See [`run`].
+pub fn run_with(geometry: RingGeometry) -> Table1 {
+    let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
+    let spec = BlockMatch::paper_at(28, 28);
+
+    let ring = motion::block_match(geometry, &reference, &current, spec)
+        .expect("ring motion estimation");
+    let mmx = mmx::full_search(&reference, &current, spec);
+    let asic = asic_me::full_search(&reference, &current, spec);
+
+    // Cross-validate: same candidates, same SADs, same winner.
+    assert_eq!(ring.candidates.len(), mmx.candidates.len());
+    assert_eq!(ring.candidates.len(), asic.candidates.len());
+    for (r, m) in ring.candidates.iter().zip(&mmx.candidates) {
+        assert_eq!(r, m, "ring vs mmx SAD mismatch");
+    }
+    let agree = ring.best == mmx.best && ring.best == asic.best;
+
+    Table1 {
+        ring_cycles: ring.cycles,
+        geometry,
+        mmx_cycles: mmx.cycles,
+        asic_cycles: asic.cycles,
+        candidates: ring.candidates.len(),
+        agree,
+        best: ring.best,
+    }
+}
+
+/// Renders the table with the paper's qualitative expectations alongside.
+pub fn render(t: &Table1) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1 — motion estimation: 8x8 block, +-8 displacement, 64x64 picture\n\
+         ({} candidates on {}; winner {:?}, all implementations agree: {})\n\n",
+        t.candidates, t.geometry, t.best, t.agree
+    ));
+    let mut table = TextTable::new(["implementation", "cycles", "vs ring", "paper says"]);
+    table.row([
+        "block-matching ASIC [7] (model)".to_owned(),
+        cycles(t.asic_cycles),
+        format!("{} faster", ratio(t.ring_over_asic())),
+        "\"much faster\" than the ring".to_owned(),
+    ]);
+    table.row([
+        format!("Systolic {} (simulated)", t.geometry),
+        cycles(t.ring_cycles),
+        "1.0x".to_owned(),
+        "-".to_owned(),
+    ]);
+    table.row([
+        "Intel MMX (model)".to_owned(),
+        cycles(t.mmx_cycles),
+        format!("{} slower", ratio(t.mmx_over_ring())),
+        "ring \"almost 8 times faster\"".to_owned(),
+    ]);
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds() {
+        let t = run();
+        assert!(t.agree, "implementations disagree on the best match");
+        assert_eq!(t.candidates, 289);
+        // ASIC much faster than the ring.
+        assert!(t.ring_over_asic() > 3.0, "ring/asic = {:.1}", t.ring_over_asic());
+        // Ring several times faster than MMX (paper: almost 8x).
+        let r = t.mmx_over_ring();
+        assert!((4.0..12.0).contains(&r), "mmx/ring = {r:.1}");
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let t = run();
+        let text = render(&t);
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("MMX"));
+        assert!(text.contains("ASIC"));
+        assert!(text.contains("Ring-16"));
+    }
+}

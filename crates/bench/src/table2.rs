@@ -1,0 +1,138 @@
+//! Table 2 — wavelet-transform implementations compared.
+//!
+//! Paper setup: 2-D direct lifting transform of a 1024x768 16-bit image,
+//! one pixel sample per clock cycle, 25% of the Ring-16 left free; the
+//! comparison rows are the published figures of two dedicated wavelet
+//! chips (\[10\], \[11\]).
+
+use systolic_ring_baselines::wavelet_cores::{
+    ring16_record, WaveletCoreRecord, DIOU_LIFTING, NAVARRO_MALLAT,
+};
+use systolic_ring_isa::RingGeometry;
+use systolic_ring_kernels::golden;
+use systolic_ring_kernels::image::Image;
+use systolic_ring_kernels::wavelet;
+use systolic_ring_model::{core_area, freq_mhz, HardwareParams, ST_CMOS_018};
+
+use crate::table::{cycles, TextTable};
+
+/// Results of the Table 2 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table2 {
+    /// Image dimensions processed.
+    pub width: usize,
+    /// Image dimensions processed.
+    pub height: usize,
+    /// Simulated cycles for the full 2-D transform.
+    pub cycles: u64,
+    /// Cycles per pixel (paper: 1).
+    pub cycles_per_pixel: f64,
+    /// Fraction of Dnodes never used (paper: 25% free).
+    pub free_fraction: f64,
+    /// `true` if the hardware coefficients matched the golden transform.
+    pub exact: bool,
+    /// The three comparison records (the ring row uses the area/frequency
+    /// model).
+    pub records: Vec<WaveletCoreRecord>,
+}
+
+/// Runs Table 2 on a `width` x `height` image (the paper uses 1024x768;
+/// smaller sizes keep the same per-pixel behaviour).
+///
+/// # Panics
+///
+/// Panics if the kernel faults or produces wrong coefficients.
+pub fn run(width: usize, height: usize) -> Table2 {
+    let geometry = RingGeometry::RING_16;
+    let image = Image::textured(width, height, 53);
+    let run = wavelet::forward_2d(geometry, &image).expect("wavelet transform");
+    let expect = golden::lifting53_forward_2d(width, height, image.data());
+    let exact = run.coefficients == expect;
+    assert!(exact, "hardware wavelet deviates from the golden transform");
+
+    let area = core_area(geometry, HardwareParams::PAPER, ST_CMOS_018).total_mm2();
+    let freq = freq_mhz(geometry, ST_CMOS_018);
+    let cycles_per_pixel = run.cycles as f64 / run.pixels as f64;
+    let free_fraction = run.stats.idle_dnodes() as f64 / geometry.dnodes() as f64;
+
+    Table2 {
+        width,
+        height,
+        cycles: run.cycles,
+        cycles_per_pixel,
+        free_fraction,
+        exact,
+        records: vec![
+            NAVARRO_MALLAT,
+            DIOU_LIFTING,
+            ring16_record(area, freq, 1.0 / cycles_per_pixel),
+        ],
+    }
+}
+
+/// Renders the comparison table plus the measured ring figures.
+pub fn render(t: &Table2) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 2 — 2-D 5/3 lifting wavelet, {}x{} 16-bit image\n\
+         (simulated {} cycles = {:.2} cycles/pixel; {:.0}% of the fabric left free;\n\
+          coefficients bit-exact vs the golden transform: {})\n\n",
+        t.width,
+        t.height,
+        cycles(t.cycles),
+        t.cycles_per_pixel,
+        t.free_fraction * 100.0,
+        t.exact
+    ));
+    let mut table = TextTable::new([
+        "circuit",
+        "techno",
+        "area mm2",
+        "freq MHz",
+        "memory",
+        "Msamples/s",
+        "flexible",
+    ]);
+    for r in &t.records {
+        table.row([
+            r.name.to_owned(),
+            format!("{:.2}um", r.techno_um),
+            format!("{:.1}", r.area_mm2),
+            format!("{:.0}", r.freq_mhz),
+            r.memory.to_owned(),
+            format!("{:.0}", r.msamples_per_s()),
+            if r.fixed_function { "no" } else { "yes" }.to_owned(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_holds() {
+        let t = run(64, 48);
+        assert!(t.exact);
+        // ~1 cycle/pixel for the full 2-D transform (the paper's rate).
+        assert!(t.cycles_per_pixel < 1.3, "cpp = {:.2}", t.cycles_per_pixel);
+        // ~25% of the fabric free.
+        assert!((t.free_fraction - 0.3125).abs() < 0.07, "free = {}", t.free_fraction);
+        // The ring is far smaller than the Mallat chip and competitive in
+        // throughput.
+        let ring = &t.records[2];
+        assert!(ring.area_mm2 < NAVARRO_MALLAT.area_mm2 / 10.0);
+        assert!(ring.msamples_per_s() > 100.0);
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let t = run(32, 16);
+        let text = render(&t);
+        assert!(text.contains("Mallat"));
+        assert!(text.contains("Lifting core"));
+        assert!(text.contains("Ring-16"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Table 3 — synthesis results: Dnode/core area and frequency per node.
+
+use systolic_ring_isa::RingGeometry;
+use systolic_ring_model::{core_area, dnode_area_mm2, freq_mhz, HardwareParams, Tech, ST_CMOS_018, ST_CMOS_025};
+
+use crate::table::TextTable;
+
+/// One technology row of Table 3: model output next to the paper value.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Technology name.
+    pub tech: &'static str,
+    /// Modelled Dnode area (mm²).
+    pub dnode_mm2: f64,
+    /// Paper Dnode area (mm²).
+    pub paper_dnode_mm2: f64,
+    /// Modelled Ring-8 core area (mm²).
+    pub core_mm2: f64,
+    /// Paper core area (mm²).
+    pub paper_core_mm2: f64,
+    /// Modelled frequency (MHz).
+    pub freq_mhz: f64,
+    /// Paper frequency (MHz).
+    pub paper_freq_mhz: f64,
+}
+
+/// The two Table 3 rows.
+pub fn run() -> Vec<Table3Row> {
+    let row = |tech: Tech, paper_dnode: f64, paper_core: f64, paper_freq: f64| {
+        let core = core_area(RingGeometry::RING_8, HardwareParams::PAPER, tech);
+        Table3Row {
+            tech: tech.name,
+            dnode_mm2: dnode_area_mm2(tech),
+            paper_dnode_mm2: paper_dnode,
+            core_mm2: core.total_mm2(),
+            paper_core_mm2: paper_core,
+            freq_mhz: freq_mhz(RingGeometry::RING_8, tech),
+            paper_freq_mhz: paper_freq,
+        }
+    };
+    vec![
+        row(ST_CMOS_025, 0.06, 0.9, 180.0),
+        row(ST_CMOS_018, 0.04, 0.7, 200.0),
+    ]
+}
+
+/// Renders Table 3 with paper-vs-model columns.
+pub fn render(rows: &[Table3Row]) -> String {
+    let mut out = String::from(
+        "Table 3 — synthesis results (Ring-8 core; model calibrated on the\n\
+         Dnode areas and Ring-8 frequencies, core areas are predictions)\n\n",
+    );
+    let mut table = TextTable::new([
+        "tech",
+        "Dnode mm2 (paper)",
+        "core mm2 (paper)",
+        "freq MHz (paper)",
+    ]);
+    for r in rows {
+        table.row([
+            r.tech.to_owned(),
+            format!("{:.3} ({:.2})", r.dnode_mm2, r.paper_dnode_mm2),
+            format!("{:.2} ({:.1})", r.core_mm2, r.paper_core_mm2),
+            format!("{:.0} ({:.0})", r.freq_mhz, r.paper_freq_mhz),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_the_paper_rows() {
+        let rows = run();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!((r.dnode_mm2 - r.paper_dnode_mm2).abs() < 1e-9, "{}", r.tech);
+            assert!((r.freq_mhz - r.paper_freq_mhz).abs() < 1e-6, "{}", r.tech);
+            let core_err = (r.core_mm2 - r.paper_core_mm2).abs() / r.paper_core_mm2;
+            assert!(core_err < 0.20, "{}: core error {:.0}%", r.tech, core_err * 100.0);
+        }
+    }
+
+    #[test]
+    fn render_has_both_nodes() {
+        let text = render(&run());
+        assert!(text.contains("0.25um"));
+        assert!(text.contains("0.18um"));
+    }
+}

@@ -1,0 +1,640 @@
+//! The compiler: dataflow graphs to fabric configurations.
+//!
+//! The paper closes with "Our future work takes place in the realization of
+//! an efficient compiling/profiling tool, the key to success of
+//! reconfigurable computing architectures" (§6). This module is that tool
+//! for feedforward graphs:
+//!
+//! 1. **Fold** — constant subtrees collapse into immediates; inputs and
+//!    constants used as outputs get pass-through operators.
+//! 2. **Place** — each operator's *depth* (longest operand chain) selects
+//!    its layer (`(depth - 1) % layers`); lanes are allocated within each
+//!    layer.
+//! 3. **Route** — consecutive depths use the direct crossbar; longer
+//!    value lifetimes read the producer back out of its downstream
+//!    switch's **feedback pipeline** at stage `d - j - 2` — exactly the
+//!    "required delays are automatically achieved in them" mechanism of
+//!    §4.2, applied mechanically.
+//! 4. **Align** — input streams are attached at every switch where they
+//!    are read, with a zero prefix matching the reader's depth, so every
+//!    operator sees the same sample slot at the same cycle.
+//! 5. **Emit** — the result is a set of configuration writes that
+//!    [`CompiledGraph::instantiate`] applies to a fresh machine;
+//!    [`CompiledGraph::run`] streams data through it and
+//!    [`CompiledGraph::report`] prints the mapping and utilization (the
+//!    "profiling" half).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use systolic_ring_core::{ConfigError, MachineParams, RingMachine, SimError};
+use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::{RingGeometry, Word16};
+
+use crate::graph::{Graph, GraphError, Node, NodeId};
+
+/// Compilation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The graph declares no outputs.
+    NoOutputs,
+    /// An operator belongs to the accumulator family (the graph IR is
+    /// state-free).
+    StatefulOp {
+        /// Offending node.
+        node: NodeId,
+        /// The operator.
+        op: AluOp,
+    },
+    /// More operators map to one layer than it has lanes.
+    LayerFull {
+        /// The saturated layer.
+        layer: usize,
+        /// Lanes available.
+        capacity: usize,
+        /// Operators needing the layer.
+        demand: usize,
+    },
+    /// A value lifetime exceeds the feedback-pipeline depth.
+    PipeTooShallow {
+        /// Stage the route needs.
+        needed: usize,
+        /// Configured depth.
+        depth: usize,
+    },
+    /// A switch ran out of host-input ports for stream attachments.
+    HostPortsExhausted {
+        /// The saturated switch.
+        switch: usize,
+        /// Ports available (`2 * width`).
+        capacity: usize,
+    },
+    /// A switch ran out of host-output capture ports.
+    CapturePortsExhausted {
+        /// The saturated switch.
+        switch: usize,
+        /// Ports available (`width`).
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoOutputs => f.write_str("graph has no outputs"),
+            CompileError::StatefulOp { node, op } => {
+                write!(f, "node {node} uses stateful operator `{op}`")
+            }
+            CompileError::LayerFull { layer, capacity, demand } => write!(
+                f,
+                "layer {layer} needs {demand} lanes but has {capacity}"
+            ),
+            CompileError::PipeTooShallow { needed, depth } => write!(
+                f,
+                "a value lifetime needs pipeline stage {needed}, depth is {depth}"
+            ),
+            CompileError::HostPortsExhausted { switch, capacity } => write!(
+                f,
+                "switch {switch} ran out of host-input ports ({capacity})"
+            ),
+            CompileError::CapturePortsExhausted { switch, capacity } => write!(
+                f,
+                "switch {switch} ran out of capture ports ({capacity})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Failure while running a compiled graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// Stream validation failed.
+    Graph(GraphError),
+    /// The machine rejected a configuration write (a compiler bug).
+    Config(ConfigError),
+    /// The machine faulted.
+    Sim(SimError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Graph(e) => write!(f, "stream error: {e}"),
+            RunError::Config(e) => write!(f, "configuration rejected: {e}"),
+            RunError::Sim(e) => write!(f, "machine fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<GraphError> for RunError {
+    fn from(e: GraphError) -> Self {
+        RunError::Graph(e)
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// A stream attachment the host must make.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InputFeed {
+    /// Which graph input.
+    pub input: usize,
+    /// Target switch.
+    pub switch: usize,
+    /// Host-input port on that switch.
+    pub port: usize,
+    /// Zero-prefix length aligning the stream to its readers' depth.
+    pub prefix: usize,
+}
+
+/// A capture the host must drain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutputTap {
+    /// Which graph output.
+    pub output: usize,
+    /// Capturing switch.
+    pub switch: usize,
+    /// Host-output port on that switch.
+    pub port: usize,
+    /// Sink entries to skip before the first valid sample.
+    pub latency: usize,
+}
+
+/// A placed operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// The operator node.
+    pub node: NodeId,
+    /// Its pipeline depth (1 = reads raw inputs).
+    pub depth: usize,
+    /// Assigned layer.
+    pub layer: usize,
+    /// Assigned lane.
+    pub lane: usize,
+}
+
+/// The compiled artifact: everything needed to configure, run and inspect
+/// the mapping.
+#[derive(Clone, Debug)]
+pub struct CompiledGraph {
+    geometry: RingGeometry,
+    params: MachineParams,
+    graph: Graph,
+    placements: Vec<Placement>,
+    dnode_instrs: Vec<(usize, MicroInstr)>,
+    routes: Vec<(usize, usize, usize, PortSource)>,
+    captures: Vec<(usize, usize, u8)>,
+    feeds: Vec<InputFeed>,
+    taps: Vec<OutputTap>,
+    max_depth: usize,
+    /// Zero slots streamed before slot 0 so pipeline taps are saturated.
+    warmup: usize,
+}
+
+/// Compiles `graph` for `geometry` with the given machine sizing (the
+/// pipeline depth bounds value lifetimes).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the graph does not fit; the message names
+/// the exhausted resource.
+pub fn compile(
+    graph: &Graph,
+    geometry: RingGeometry,
+    params: MachineParams,
+) -> Result<CompiledGraph, CompileError> {
+    if graph.output_count() == 0 {
+        return Err(CompileError::NoOutputs);
+    }
+    let mut graph = graph.clone();
+
+    // ---- Fold: constant subtrees + pass-through for raw outputs ---------
+    let folded = fold_constants(&mut graph)?;
+    wrap_raw_outputs(&mut graph);
+
+    // ---- Depths -----------------------------------------------------------
+    let nodes = graph.nodes().to_vec();
+    let mut depth = vec![0usize; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        depth[i] = match *node {
+            Node::Input { .. } | Node::Const(_) => 0,
+            // A delay is free: it compiles to a pipeline tap, not a Dnode.
+            Node::Delay { src, .. } => depth[src.0],
+            Node::Op { op, a, b } => {
+                if op.uses_accumulator() {
+                    return Err(CompileError::StatefulOp { node: NodeId(i), op });
+                }
+                // Operands precede the op in the arena, so their depths are
+                // final.
+                1 + depth[a.0].max(depth[b.0])
+            }
+        };
+    }
+    let _ = folded;
+
+    // ---- Liveness: only outputs' transitive operands occupy Dnodes ------
+    let mut live = vec![false; nodes.len()];
+    let mut stack: Vec<NodeId> = graph.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if live[id.0] {
+            continue;
+        }
+        live[id.0] = true;
+        match nodes[id.0] {
+            Node::Op { a, b, .. } => {
+                stack.push(a);
+                stack.push(b);
+            }
+            Node::Delay { src, .. } => stack.push(src),
+            _ => {}
+        }
+    }
+
+    // ---- Place -------------------------------------------------------------
+    let layers = geometry.layers();
+    let width = geometry.width();
+    let mut lane_next = vec![0usize; layers];
+    let mut placements = Vec::new();
+    let mut place_of: HashMap<NodeId, (usize, usize)> = HashMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if let Node::Op { .. } = node {
+            if !live[i] {
+                continue;
+            }
+            let d = depth[i];
+            let layer = (d - 1) % layers;
+            let lane = lane_next[layer];
+            if lane >= width {
+                let demand = nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, n)| {
+                        matches!(n, Node::Op { .. })
+                            && live[*j]
+                            && (depth[*j] - 1) % layers == layer
+                    })
+                    .count();
+                return Err(CompileError::LayerFull { layer, capacity: width, demand });
+            }
+            lane_next[layer] += 1;
+            placements.push(Placement { node: NodeId(i), depth: d, layer, lane });
+            place_of.insert(NodeId(i), (layer, lane));
+        }
+    }
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+
+    // ---- Route --------------------------------------------------------------
+    let mut dnode_instrs = Vec::new();
+    let mut routes: Vec<(usize, usize, usize, PortSource)> = Vec::new();
+    let mut feeds: Vec<InputFeed> = Vec::new();
+    let mut settle = vec![0usize; nodes.len()];
+    // (input index, switch, prefix) -> allocated port.
+    let mut feed_ports: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    let mut hostin_next: HashMap<usize, usize> = HashMap::new();
+
+    for p in &placements {
+        let Node::Op { op, a, b } = nodes[p.node.0] else { unreachable!() };
+        let mut imm = None;
+        let route_operand = |which: usize,
+                                 operand: NodeId,
+                                 imm: &mut Option<Word16>,
+                                 routes: &mut Vec<(usize, usize, usize, PortSource)>,
+                                 feeds: &mut Vec<InputFeed>,
+                                 feed_ports: &mut HashMap<(usize, usize, usize), usize>,
+                                 hostin_next: &mut HashMap<usize, usize>|
+         -> Result<(Operand, NodeId, usize), CompileError> {
+            // Resolve delay chains to (base node, accumulated slots).
+            let mut base = operand;
+            let mut extra = 0usize;
+            while let Node::Delay { src, cycles } = nodes[base.0] {
+                base = src;
+                extra += cycles;
+            }
+            match nodes[base.0] {
+                Node::Delay { .. } => unreachable!("resolved above"),
+                Node::Const(value) => {
+                    // Constants are time-invariant: a delayed constant is
+                    // the constant (matching the interpreter's
+                    // zero-extended-past semantics). Two distinct constant
+                    // operands cannot reach one op: folding would have
+                    // collapsed the op.
+                    debug_assert!(imm.is_none() || *imm == Some(value));
+                    *imm = Some(value);
+                    Ok((Operand::Imm, base, 0))
+                }
+                Node::Input { index } => {
+                    let switch = p.layer;
+                    let prefix = p.depth - 1 + extra;
+                    let key = (index, switch, prefix);
+                    let port = match feed_ports.get(&key) {
+                        Some(&port) => port,
+                        None => {
+                            let next = hostin_next.entry(switch).or_insert(0);
+                            if *next >= 2 * width {
+                                return Err(CompileError::HostPortsExhausted {
+                                    switch,
+                                    capacity: 2 * width,
+                                });
+                            }
+                            let port = *next;
+                            *next += 1;
+                            feed_ports.insert(key, port);
+                            feeds.push(InputFeed { input: index, switch, port, prefix });
+                            port
+                        }
+                    };
+                    routes.push((
+                        p.layer,
+                        p.lane,
+                        which,
+                        PortSource::HostIn { port: port as u8 },
+                    ));
+                    Ok((
+                        if which == 0 { Operand::In1 } else { Operand::In2 },
+                        base,
+                        0,
+                    ))
+                }
+                Node::Op { .. } => {
+                    let j = depth[base.0];
+                    let (src_layer, src_lane) = place_of[&base];
+                    // Total lookback in sample slots beyond the direct hop.
+                    let total = (p.depth - 1 - j) + extra;
+                    if total == 0 {
+                        routes.push((
+                            p.layer,
+                            p.lane,
+                            which,
+                            PortSource::PrevOut { lane: src_lane as u8 },
+                        ));
+                    } else {
+                        let stage = total - 1;
+                        if stage >= params.pipe_depth {
+                            return Err(CompileError::PipeTooShallow {
+                                needed: stage,
+                                depth: params.pipe_depth,
+                            });
+                        }
+                        let pipe_switch = (src_layer + 1) % layers;
+                        routes.push((
+                            p.layer,
+                            p.lane,
+                            which,
+                            PortSource::Pipe {
+                                switch: pipe_switch as u8,
+                                stage: stage as u8,
+                                lane: src_lane as u8,
+                            },
+                        ));
+                    }
+                    Ok((
+                        if which == 0 { Operand::In1 } else { Operand::In2 },
+                        base,
+                        total,
+                    ))
+                }
+            }
+        };
+        let (src_a, base_a, total_a) =
+            route_operand(0, a, &mut imm, &mut routes, &mut feeds, &mut feed_ports, &mut hostin_next)?;
+        let (src_b, base_b, total_b) =
+            route_operand(1, b, &mut imm, &mut routes, &mut feeds, &mut feed_ports, &mut hostin_next)?;
+        // Settle time: warm slots needed before this node's value reflects
+        // the zero-extended past rather than machine-reset zeros. A tap
+        // with lookback `total` needs its producer settled `total` slots
+        // earlier.
+        settle[p.node.0] = (settle[base_a.0] + total_a).max(settle[base_b.0] + total_b);
+        let mut instr = MicroInstr::op(op, src_a, src_b).write_out();
+        if let Some(value) = imm {
+            instr = instr.with_imm(value);
+        }
+        dnode_instrs.push((geometry.dnode_index(p.layer, p.lane), instr));
+    }
+
+    // ---- Outputs --------------------------------------------------------------
+    let mut captures = Vec::new();
+    let mut taps = Vec::new();
+    let mut capture_next: HashMap<usize, usize> = HashMap::new();
+    for (o, &out_node) in graph.outputs().iter().enumerate() {
+        let (src_layer, src_lane) = place_of[&out_node];
+        let switch = (src_layer + 1) % layers;
+        let next = capture_next.entry(switch).or_insert(0);
+        if *next >= width {
+            return Err(CompileError::CapturePortsExhausted { switch, capacity: width });
+        }
+        let port = *next;
+        *next += 1;
+        captures.push((switch, port, src_lane as u8));
+        taps.push(OutputTap {
+            output: o,
+            switch,
+            port,
+            latency: depth[out_node.0] + 1,
+        });
+    }
+
+    // Pipe warm-up: run enough zero slots first that every tapped stage —
+    // including chains of taps — holds op-on-zero history rather than
+    // machine-reset zeros.
+    let warmup = settle.iter().copied().max().unwrap_or(0);
+
+    Ok(CompiledGraph {
+        geometry,
+        params,
+        graph,
+        placements,
+        dnode_instrs,
+        routes,
+        captures,
+        feeds,
+        taps,
+        max_depth,
+        warmup,
+    })
+}
+
+/// Collapses constant subtrees: delays of constants become the constant
+/// (constants are time-invariant), and ops whose operands both resolve to
+/// constants evaluate at compile time. Returns the number of folded nodes.
+fn fold_constants(graph: &mut Graph) -> Result<usize, CompileError> {
+    let mut folded = 0;
+    let nodes: Vec<Node> = graph.nodes().to_vec();
+    let mut replacement: Vec<Node> = nodes.clone();
+    for (i, node) in nodes.iter().enumerate() {
+        match *node {
+            Node::Delay { src, .. } => {
+                if let Node::Const(v) = replacement[src.0] {
+                    replacement[i] = Node::Const(v);
+                    folded += 1;
+                }
+            }
+            Node::Op { op, a, b } => {
+                if op.uses_accumulator() {
+                    return Err(CompileError::StatefulOp { node: NodeId(i), op });
+                }
+                if let (Node::Const(va), Node::Const(vb)) = (replacement[a.0], replacement[b.0]) {
+                    replacement[i] = Node::Const(op.eval(va, vb, Word16::ZERO));
+                    folded += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    graph.replace_nodes(replacement);
+    Ok(folded)
+}
+
+/// Wraps outputs that are raw inputs or constants in a pass-through op so
+/// they exist on the fabric.
+fn wrap_raw_outputs(graph: &mut Graph) {
+    for o in 0..graph.output_count() {
+        let node = graph.outputs()[o];
+        if !matches!(graph.node(node), Node::Op { .. }) {
+            let pass = graph.op(AluOp::PassA, node, node);
+            graph.replace_output(o, pass);
+        }
+    }
+}
+
+impl CompiledGraph {
+    /// The geometry this mapping targets.
+    pub fn geometry(&self) -> RingGeometry {
+        self.geometry
+    }
+
+    /// Operators placed on the fabric.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Stream attachments the host must make.
+    pub fn feeds(&self) -> &[InputFeed] {
+        &self.feeds
+    }
+
+    /// Captures the host must drain.
+    pub fn taps(&self) -> &[OutputTap] {
+        &self.taps
+    }
+
+    /// Dnodes the mapping occupies.
+    pub fn dnodes_used(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Longest operand chain (pipeline fill latency in cycles).
+    pub fn pipeline_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Builds and configures a machine for this mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] only on a compiler bug — all resources were
+    /// validated during compilation.
+    pub fn instantiate(&self) -> Result<RingMachine, ConfigError> {
+        let mut m = RingMachine::new(self.geometry, self.params);
+        for &(dnode, instr) in &self.dnode_instrs {
+            m.configure().set_dnode_instr(0, dnode, instr)?;
+        }
+        for &(layer, lane, port, source) in &self.routes {
+            m.configure().set_port(0, layer, lane, port, source)?;
+        }
+        for &(switch, port, lane) in &self.captures {
+            m.configure().set_capture(0, switch, port, HostCapture::lane(lane))?;
+            m.open_sink(switch, port)?;
+        }
+        Ok(m)
+    }
+
+    /// Streams `streams` through the compiled fabric and returns the
+    /// output streams (same order as the graph's outputs) plus the cycle
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on stream mismatches or machine faults.
+    pub fn run(&self, streams: &[&[i16]]) -> Result<(Vec<Vec<i16>>, u64), RunError> {
+        if streams.len() != self.graph.input_count() {
+            return Err(GraphError::InputCountMismatch {
+                expected: self.graph.input_count(),
+                got: streams.len(),
+            }
+            .into());
+        }
+        let len = streams.first().map_or(0, |s| s.len());
+        if streams.iter().any(|s| s.len() != len) {
+            return Err(GraphError::RaggedStreams.into());
+        }
+        let mut m = self.instantiate()?;
+        for feed in &self.feeds {
+            let mut words = vec![Word16::ZERO; self.warmup + feed.prefix];
+            words.extend(streams[feed.input].iter().map(|&v| Word16::from_i16(v)));
+            m.attach_input(feed.switch, feed.port, words)?;
+        }
+        m.run((self.warmup + len + self.max_depth + 4) as u64)?;
+        let mut outputs = vec![Vec::new(); self.taps.len()];
+        for tap in &self.taps {
+            let sink = m.take_sink(tap.switch, tap.port)?;
+            outputs[tap.output] = sink
+                .iter()
+                .skip(self.warmup + tap.latency)
+                .take(len)
+                .map(|w| w.as_i16())
+                .collect();
+        }
+        Ok((outputs, m.cycle()))
+    }
+
+    /// The profiling report: placements, routes, stream plumbing and
+    /// fabric utilization.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "compiled for {}: {} operators on {} Dnodes ({:.0}% of the fabric), \
+             pipeline depth {}\n",
+            self.geometry,
+            self.placements.len(),
+            self.geometry.dnodes(),
+            self.placements.len() as f64 / self.geometry.dnodes() as f64 * 100.0,
+            self.max_depth
+        );
+        for p in &self.placements {
+            let Node::Op { op, a, b } = self.graph.node(p.node) else {
+                continue;
+            };
+            out.push_str(&format!(
+                "  {} = {} {a}, {b}  @ layer {} lane {} (depth {})\n",
+                p.node, op, p.layer, p.lane, p.depth
+            ));
+        }
+        for f in &self.feeds {
+            out.push_str(&format!(
+                "  input {} -> switch {} port {} (prefix {})\n",
+                f.input, f.switch, f.port, f.prefix
+            ));
+        }
+        for t in &self.taps {
+            out.push_str(&format!(
+                "  output {} <- switch {} out-port {} (latency {})\n",
+                t.output, t.switch, t.port, t.latency
+            ));
+        }
+        out
+    }
+}

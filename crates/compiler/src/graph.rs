@@ -1,0 +1,328 @@
+//! The dataflow-graph IR: streaming operator graphs over 16-bit samples.
+//!
+//! A [`Graph`] is a DAG of binary Dnode operations over input streams and
+//! constants. One *sample slot* flows through the whole graph per cycle
+//! once compiled; the graph is pure feedforward (state-free), matching the
+//! spatially-mapped datapaths of the paper's global mode.
+
+use std::fmt;
+
+use systolic_ring_isa::dnode::AluOp;
+use systolic_ring_isa::Word16;
+
+/// Handle to a graph node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One graph node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// An input stream (one sample per slot).
+    Input {
+        /// Dense input index (order of creation).
+        index: usize,
+    },
+    /// A compile-time constant (folded into consumer immediates).
+    Const(Word16),
+    /// A binary Dnode operation.
+    Op {
+        /// The operation (accumulator-family ops are rejected at compile
+        /// time — the graph is state-free).
+        op: AluOp,
+        /// Left operand.
+        a: NodeId,
+        /// Right operand.
+        b: NodeId,
+    },
+    /// The value of `src` from `cycles` sample slots ago. Streams are
+    /// zero-extended into the past, so before the stream starts a node's
+    /// value is what its operator produces on all-zero inputs (constants
+    /// stay constant). Delays cost no Dnodes: they compile to feedback
+    /// pipeline taps and stream-prefix adjustments.
+    Delay {
+        /// Delayed value.
+        src: NodeId,
+        /// Delay in sample slots.
+        cycles: usize,
+    },
+}
+
+/// A streaming dataflow graph.
+///
+/// # Examples
+///
+/// `y = (x0 + x1) * 3`:
+///
+/// ```
+/// use systolic_ring_compiler::Graph;
+/// use systolic_ring_isa::dnode::AluOp;
+///
+/// let mut g = Graph::new();
+/// let x0 = g.input();
+/// let x1 = g.input();
+/// let c = g.constant(3);
+/// let sum = g.op(AluOp::Add, x0, x1);
+/// let y = g.op(AluOp::Mul, sum, c);
+/// g.output(y);
+/// assert_eq!(g.interpret(&[&[1, 2], &[10, 20]]).unwrap(), vec![vec![33, 66]]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    inputs: usize,
+    outputs: Vec<NodeId>,
+}
+
+/// Error raised when evaluating or building a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Stream count does not match the graph's inputs.
+    InputCountMismatch {
+        /// Inputs the graph declares.
+        expected: usize,
+        /// Streams provided.
+        got: usize,
+    },
+    /// Input streams have different lengths.
+    RaggedStreams,
+    /// The graph declares no outputs.
+    NoOutputs,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InputCountMismatch { expected, got } => {
+                write!(f, "graph has {expected} inputs but {got} streams were given")
+            }
+            GraphError::RaggedStreams => f.write_str("input streams have different lengths"),
+            GraphError::NoOutputs => f.write_str("graph has no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds an input stream; returns its node.
+    pub fn input(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Input { index: self.inputs });
+        self.inputs += 1;
+        id
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: i16) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Const(Word16::from_i16(value)));
+        id
+    }
+
+    /// Adds a binary operation node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand handle does not belong to this graph.
+    pub fn op(&mut self, op: AluOp, a: NodeId, b: NodeId) -> NodeId {
+        assert!(a.0 < self.nodes.len(), "operand {a} out of range");
+        assert!(b.0 < self.nodes.len(), "operand {b} out of range");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Op { op, a, b });
+        id
+    }
+
+    /// Adds a delay node: the value of `src` from `cycles` slots ago.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this graph.
+    pub fn delay(&mut self, src: NodeId, cycles: usize) -> NodeId {
+        assert!(src.0 < self.nodes.len(), "node {src} out of range");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Delay { src, cycles });
+        id
+    }
+
+    /// Marks `node` as a graph output (in declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this graph.
+    pub fn output(&mut self, node: NodeId) {
+        assert!(node.0 < self.nodes.len(), "node {node} out of range");
+        self.outputs.push(node);
+    }
+
+    /// Number of input streams.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of declared outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The declared outputs in order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All nodes (indexable by [`NodeId`]).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.0]
+    }
+
+    /// Replaces the whole node arena (compiler passes only; the shape must
+    /// be preserved).
+    pub(crate) fn replace_nodes(&mut self, nodes: Vec<Node>) {
+        debug_assert_eq!(nodes.len(), self.nodes.len());
+        self.nodes = nodes;
+    }
+
+    /// Redirects output `index` to `node` (compiler passes only).
+    pub(crate) fn replace_output(&mut self, index: usize, node: NodeId) {
+        self.outputs[index] = node;
+    }
+
+    /// Evaluates the graph in software, sample slot by sample slot — the
+    /// golden model every compiled configuration is checked against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] for mismatched or ragged streams or a graph
+    /// without outputs.
+    pub fn interpret(&self, streams: &[&[i16]]) -> Result<Vec<Vec<i16>>, GraphError> {
+        if streams.len() != self.inputs {
+            return Err(GraphError::InputCountMismatch {
+                expected: self.inputs,
+                got: streams.len(),
+            });
+        }
+        if self.outputs.is_empty() {
+            return Err(GraphError::NoOutputs);
+        }
+        let len = streams.first().map_or(0, |s| s.len());
+        if streams.iter().any(|s| s.len() != len) {
+            return Err(GraphError::RaggedStreams);
+        }
+        let mut outputs = vec![Vec::with_capacity(len); self.outputs.len()];
+        // A node's value at any negative slot: its operator applied to
+        // all-zero inputs (time-invariant, computed once).
+        let mut zero_value = vec![Word16::ZERO; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            zero_value[i] = match self.nodes[i] {
+                Node::Input { .. } => Word16::ZERO,
+                Node::Const(value) => value,
+                Node::Op { op, a, b } => {
+                    op.eval(zero_value[a.0], zero_value[b.0], Word16::ZERO)
+                }
+                Node::Delay { src, .. } => zero_value[src.0],
+            };
+        }
+        // Full per-node history so delay nodes can look back.
+        let mut history: Vec<Vec<Word16>> = vec![Vec::with_capacity(len); self.nodes.len()];
+        for slot in 0..len {
+            for i in 0..self.nodes.len() {
+                let value = match self.nodes[i] {
+                    Node::Input { index } => Word16::from_i16(streams[index][slot]),
+                    Node::Const(value) => value,
+                    Node::Op { op, a, b } => {
+                        op.eval(history[a.0][slot], history[b.0][slot], Word16::ZERO)
+                    }
+                    Node::Delay { src, cycles } => {
+                        if slot >= cycles {
+                            history[src.0][slot - cycles]
+                        } else {
+                            zero_value[src.0]
+                        }
+                    }
+                };
+                history[i].push(value);
+            }
+            for (o, &node) in self.outputs.iter().enumerate() {
+                outputs[o].push(history[node.0][slot].as_i16());
+            }
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpret_evaluates_in_topological_order() {
+        let mut g = Graph::new();
+        let x = g.input();
+        let five = g.constant(5);
+        let one = g.constant(1);
+        let shifted = g.op(AluOp::Shl, x, one);
+        let sum = g.op(AluOp::Add, shifted, five);
+        g.output(sum);
+        g.output(shifted);
+        let out = g.interpret(&[&[1, 2, 3]]).unwrap();
+        assert_eq!(out[0], vec![7, 9, 11]);
+        assert_eq!(out[1], vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn delays_look_back_with_zero_fill() {
+        let mut g = Graph::new();
+        let x = g.input();
+        let d1 = g.delay(x, 1);
+        let d3 = g.delay(x, 3);
+        let sum = g.op(AluOp::Add, d1, d3);
+        g.output(sum);
+        let out = g.interpret(&[&[10, 20, 30, 40, 50]]).unwrap();
+        // d1: 0,10,20,30,40; d3: 0,0,0,10,20.
+        assert_eq!(out[0], vec![0, 10, 20, 40, 60]);
+    }
+
+    #[test]
+    fn interpret_validates_streams() {
+        let mut g = Graph::new();
+        let x = g.input();
+        let _y = g.input();
+        g.output(x);
+        assert_eq!(
+            g.interpret(&[&[1]]),
+            Err(GraphError::InputCountMismatch { expected: 2, got: 1 })
+        );
+        assert_eq!(g.interpret(&[&[1], &[1, 2]]), Err(GraphError::RaggedStreams));
+        let empty = Graph::new();
+        assert_eq!(empty.interpret(&[]), Err(GraphError::NoOutputs));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_handles_are_rejected() {
+        let mut g1 = Graph::new();
+        let x = g1.input();
+        let _ = g1.op(AluOp::Add, x, x);
+        let mut g2 = Graph::new();
+        g2.output(NodeId(5));
+    }
+}

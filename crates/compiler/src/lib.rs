@@ -1,0 +1,48 @@
+//! Dataflow-graph compiler for the Systolic Ring — the paper's stated
+//! future work ("an efficient compiling/profiling tool, the key to success
+//! of reconfigurable computing architectures", §6), built on the
+//! cycle-accurate simulator.
+//!
+//! * [`Graph`] — a streaming operator DAG over 16-bit samples, with a
+//!   software interpreter as the golden model,
+//! * [`compile`] — placement onto ring layers, operand routing through
+//!   crossbars and feedback pipelines, stream-skew alignment, resource
+//!   checking,
+//! * [`CompiledGraph`] — instantiate a configured machine, stream data
+//!   through it, or print the mapping/profiling report.
+//!
+//! # Examples
+//!
+//! Compile `y = (x0 + x1) * 3 - x0` and check it against the interpreter:
+//!
+//! ```
+//! use systolic_ring_compiler::{compile, Graph};
+//! use systolic_ring_core::MachineParams;
+//! use systolic_ring_isa::dnode::AluOp;
+//! use systolic_ring_isa::RingGeometry;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Graph::new();
+//! let x0 = g.input();
+//! let x1 = g.input();
+//! let three = g.constant(3);
+//! let sum = g.op(AluOp::Add, x0, x1);
+//! let scaled = g.op(AluOp::Mul, sum, three);
+//! let y = g.op(AluOp::Sub, scaled, x0);
+//! g.output(y);
+//!
+//! let compiled = compile(&g, RingGeometry::RING_16, MachineParams::PAPER)?;
+//! let streams: [&[i16]; 2] = [&[1, 2, 3], &[10, 20, 30]];
+//! let (hardware, _cycles) = compiled.run(&streams)?;
+//! assert_eq!(hardware, g.interpret(&streams)?);
+//! # Ok(())
+//! # }
+//! ```
+
+mod compile;
+mod graph;
+
+pub use compile::{
+    compile, CompileError, CompiledGraph, InputFeed, OutputTap, Placement, RunError,
+};
+pub use graph::{Graph, GraphError, Node, NodeId};

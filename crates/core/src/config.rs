@@ -1,0 +1,458 @@
+//! The configuration layer: multi-context fabric configuration memory.
+//!
+//! "The configuration layer follows the same principle as FPGAs, it's a
+//! \[memory\] which contains the configuration of all the components (Dnodes
+//! and interconnect) of the operative layer" (§3). We model it as a set of
+//! *contexts*, each holding a full fabric configuration (every Dnode
+//! microinstruction, every switch crossbar port, every host-capture
+//! selector). The configuration controller edits contexts word-by-word and
+//! switches the *active* context in a single cycle — the mechanism behind
+//! "the configuration controller is able to change up to the entire content
+//! of the [configuration layer]" each clock cycle.
+
+use systolic_ring_isa::dnode::MicroInstr;
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::RingGeometry;
+
+use crate::error::ConfigError;
+
+/// Number of routed input ports per Dnode (`In1`, `In2`, `Fifo1`, `Fifo2`).
+pub const DNODE_PORTS: usize = 4;
+
+/// One full fabric configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Context {
+    /// Microinstruction per Dnode (flat index).
+    dnode_instr: Vec<MicroInstr>,
+    /// Port sources per `(switch * width + lane) * 4 + port`.
+    ports: Vec<PortSource>,
+    /// Host-capture selector per `(switch * width + out_port)`.
+    capture: Vec<HostCapture>,
+}
+
+impl Context {
+    fn new(geometry: RingGeometry) -> Self {
+        Context {
+            dnode_instr: vec![MicroInstr::NOP; geometry.dnodes()],
+            ports: vec![PortSource::Zero; geometry.switches() * geometry.width() * DNODE_PORTS],
+            capture: vec![HostCapture::DISABLED; geometry.switches() * geometry.width()],
+        }
+    }
+
+    /// Microinstruction of Dnode `dnode`.
+    pub fn dnode_instr(&self, dnode: usize) -> MicroInstr {
+        self.dnode_instr[dnode]
+    }
+
+    /// Source of input `port` (0..4) of the Dnode at (`switch`, `lane`).
+    pub fn port(&self, width: usize, switch: usize, lane: usize, port: usize) -> PortSource {
+        self.ports[(switch * width + lane) * DNODE_PORTS + port]
+    }
+
+    /// Host-capture selector of out-port `port` of `switch`.
+    pub fn capture(&self, width: usize, switch: usize, port: usize) -> HostCapture {
+        self.capture[switch * width + port]
+    }
+}
+
+/// The multi-context configuration memory plus the active-context register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigLayer {
+    geometry: RingGeometry,
+    pipe_depth: usize,
+    contexts: Vec<Context>,
+    active: usize,
+    /// Context switch staged by the controller, applied at commit.
+    staged_active: Option<usize>,
+}
+
+impl ConfigLayer {
+    /// A configuration layer of `contexts` all-NOP contexts.
+    pub fn new(geometry: RingGeometry, contexts: usize, pipe_depth: usize) -> Self {
+        assert!(contexts >= 1, "at least one context is required");
+        ConfigLayer {
+            geometry,
+            pipe_depth,
+            contexts: (0..contexts).map(|_| Context::new(geometry)).collect(),
+            active: 0,
+            staged_active: None,
+        }
+    }
+
+    /// Number of contexts.
+    pub fn contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Index of the active context.
+    pub fn active_index(&self) -> usize {
+        self.active
+    }
+
+    /// The active context.
+    pub fn active(&self) -> &Context {
+        &self.contexts[self.active]
+    }
+
+    /// A context by index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ContextOutOfRange`] for a bad index.
+    pub fn context(&self, ctx: usize) -> Result<&Context, ConfigError> {
+        self.contexts.get(ctx).ok_or(ConfigError::ContextOutOfRange {
+            ctx,
+            contexts: self.contexts.len(),
+        })
+    }
+
+    fn context_mut(&mut self, ctx: usize) -> Result<&mut Context, ConfigError> {
+        let contexts = self.contexts.len();
+        self.contexts
+            .get_mut(ctx)
+            .ok_or(ConfigError::ContextOutOfRange { ctx, contexts })
+    }
+
+    /// Validates that `source` is routable on this machine.
+    pub fn validate_source(&self, source: PortSource) -> Result<(), ConfigError> {
+        let g = self.geometry;
+        match source {
+            PortSource::Zero | PortSource::Bus => Ok(()),
+            PortSource::PrevOut { lane } => {
+                if (lane as usize) < g.width() {
+                    Ok(())
+                } else {
+                    Err(ConfigError::LaneOutOfRange {
+                        lane: lane as usize,
+                        width: g.width(),
+                    })
+                }
+            }
+            PortSource::Pipe {
+                switch,
+                stage,
+                lane,
+            } => {
+                if switch as usize >= g.switches() {
+                    Err(ConfigError::SwitchOutOfRange {
+                        switch: switch as usize,
+                        switches: g.switches(),
+                    })
+                } else if stage as usize >= self.pipe_depth {
+                    Err(ConfigError::StageOutOfRange {
+                        stage: stage as usize,
+                        depth: self.pipe_depth,
+                    })
+                } else if lane as usize >= g.width() {
+                    Err(ConfigError::LaneOutOfRange {
+                        lane: lane as usize,
+                        width: g.width(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            PortSource::HostIn { port } => {
+                let ports = 2 * g.width();
+                if (port as usize) < ports {
+                    Ok(())
+                } else {
+                    Err(ConfigError::HostPortOutOfRange {
+                        port: port as usize,
+                        ports,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Sets the microinstruction of `dnode` in context `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range indices.
+    pub fn set_dnode_instr(
+        &mut self,
+        ctx: usize,
+        dnode: usize,
+        instr: MicroInstr,
+    ) -> Result<(), ConfigError> {
+        let dnodes = self.geometry.dnodes();
+        if dnode >= dnodes {
+            return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
+        }
+        self.context_mut(ctx)?.dnode_instr[dnode] = instr;
+        Ok(())
+    }
+
+    /// Sets input `port` (0..4) of the Dnode at (`switch`, `lane`) in
+    /// context `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range indices or an unroutable
+    /// source.
+    pub fn set_port(
+        &mut self,
+        ctx: usize,
+        switch: usize,
+        lane: usize,
+        port: usize,
+        source: PortSource,
+    ) -> Result<(), ConfigError> {
+        let g = self.geometry;
+        if switch >= g.switches() {
+            return Err(ConfigError::SwitchOutOfRange {
+                switch,
+                switches: g.switches(),
+            });
+        }
+        if lane >= g.width() {
+            return Err(ConfigError::LaneOutOfRange {
+                lane,
+                width: g.width(),
+            });
+        }
+        if port >= DNODE_PORTS {
+            return Err(ConfigError::PortOutOfRange { port });
+        }
+        self.validate_source(source)?;
+        let width = g.width();
+        self.context_mut(ctx)?.ports[(switch * width + lane) * DNODE_PORTS + port] = source;
+        Ok(())
+    }
+
+    /// Sets input `port` by flat port index (`(switch * width + lane) * 4 +
+    /// port`), the controller's `wsw` addressing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range indices or an unroutable
+    /// source.
+    pub fn set_port_flat(
+        &mut self,
+        ctx: usize,
+        flat: usize,
+        source: PortSource,
+    ) -> Result<(), ConfigError> {
+        let width = self.geometry.width();
+        let port = flat % DNODE_PORTS;
+        let lane = (flat / DNODE_PORTS) % width;
+        let switch = flat / (DNODE_PORTS * width);
+        self.set_port(ctx, switch, lane, port, source)
+    }
+
+    /// Sets the host-capture selector of out-port `port` of `switch` in
+    /// context `ctx`. A switch has `width` host-output ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range indices or a captured lane
+    /// outside the layer width.
+    pub fn set_capture(
+        &mut self,
+        ctx: usize,
+        switch: usize,
+        port: usize,
+        capture: HostCapture,
+    ) -> Result<(), ConfigError> {
+        let g = self.geometry;
+        if switch >= g.switches() {
+            return Err(ConfigError::SwitchOutOfRange {
+                switch,
+                switches: g.switches(),
+            });
+        }
+        if port >= g.width() {
+            return Err(ConfigError::HostPortOutOfRange { port, ports: g.width() });
+        }
+        if let Some(lane) = capture.selected() {
+            if lane as usize >= g.width() {
+                return Err(ConfigError::LaneOutOfRange {
+                    lane: lane as usize,
+                    width: g.width(),
+                });
+            }
+        }
+        let width = g.width();
+        self.context_mut(ctx)?.capture[switch * width + port] = capture;
+        Ok(())
+    }
+
+    /// Immediately selects the active context (programmatic setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ContextOutOfRange`] for a bad index.
+    pub fn select(&mut self, ctx: usize) -> Result<(), ConfigError> {
+        if ctx >= self.contexts.len() {
+            return Err(ConfigError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts.len(),
+            });
+        }
+        self.active = ctx;
+        Ok(())
+    }
+
+    /// Stages a context switch that takes effect at the next commit (the
+    /// controller's `ctx` instruction semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ContextOutOfRange`] for a bad index.
+    pub fn stage_select(&mut self, ctx: usize) -> Result<(), ConfigError> {
+        if ctx >= self.contexts.len() {
+            return Err(ConfigError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts.len(),
+            });
+        }
+        self.staged_active = Some(ctx);
+        Ok(())
+    }
+
+    /// Applies a staged context switch, if any. Returns `true` if the
+    /// active context changed.
+    pub fn commit(&mut self) -> bool {
+        match self.staged_active.take() {
+            Some(ctx) if ctx != self.active => {
+                self.active = ctx;
+                true
+            }
+            Some(_) => false,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ring_isa::dnode::{AluOp, Operand};
+
+    fn layer() -> ConfigLayer {
+        ConfigLayer::new(RingGeometry::RING_8, 2, 8)
+    }
+
+    #[test]
+    fn reset_state_is_all_nops() {
+        let cfg = layer();
+        assert_eq!(cfg.contexts(), 2);
+        assert_eq!(cfg.active_index(), 0);
+        assert_eq!(cfg.active().dnode_instr(0), MicroInstr::NOP);
+        assert_eq!(cfg.active().port(2, 0, 0, 0), PortSource::Zero);
+        assert_eq!(cfg.active().capture(2, 0, 0), HostCapture::DISABLED);
+        assert_eq!(cfg.active().capture(2, 3, 1), HostCapture::DISABLED);
+    }
+
+    #[test]
+    fn writes_land_in_the_right_context() {
+        let mut cfg = layer();
+        let instr = MicroInstr::op(AluOp::Add, Operand::In1, Operand::In2);
+        cfg.set_dnode_instr(1, 3, instr).unwrap();
+        assert_eq!(cfg.context(0).unwrap().dnode_instr(3), MicroInstr::NOP);
+        assert_eq!(cfg.context(1).unwrap().dnode_instr(3), instr);
+    }
+
+    #[test]
+    fn rejects_out_of_range_writes() {
+        let mut cfg = layer();
+        assert!(matches!(
+            cfg.set_dnode_instr(2, 0, MicroInstr::NOP),
+            Err(ConfigError::ContextOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cfg.set_dnode_instr(0, 8, MicroInstr::NOP),
+            Err(ConfigError::DnodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cfg.set_port(0, 4, 0, 0, PortSource::Zero),
+            Err(ConfigError::SwitchOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cfg.set_port(0, 0, 2, 0, PortSource::Zero),
+            Err(ConfigError::LaneOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cfg.set_port(0, 0, 0, 4, PortSource::Zero),
+            Err(ConfigError::PortOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_sources() {
+        let cfg = layer();
+        assert!(cfg.validate_source(PortSource::PrevOut { lane: 1 }).is_ok());
+        assert!(matches!(
+            cfg.validate_source(PortSource::PrevOut { lane: 2 }),
+            Err(ConfigError::LaneOutOfRange { .. })
+        ));
+        assert!(cfg
+            .validate_source(PortSource::Pipe { switch: 3, stage: 7, lane: 1 })
+            .is_ok());
+        assert!(matches!(
+            cfg.validate_source(PortSource::Pipe { switch: 4, stage: 0, lane: 0 }),
+            Err(ConfigError::SwitchOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cfg.validate_source(PortSource::Pipe { switch: 0, stage: 8, lane: 0 }),
+            Err(ConfigError::StageOutOfRange { .. })
+        ));
+        assert!(cfg.validate_source(PortSource::HostIn { port: 3 }).is_ok());
+        assert!(matches!(
+            cfg.validate_source(PortSource::HostIn { port: 4 }),
+            Err(ConfigError::HostPortOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_port_addressing_matches_structured() {
+        let mut cfg = layer();
+        let src = PortSource::PrevOut { lane: 1 };
+        // Ring-8: width 2. switch 1, lane 1, port 2 -> flat (1*2+1)*4+2 = 14.
+        cfg.set_port_flat(0, 14, src).unwrap();
+        assert_eq!(cfg.context(0).unwrap().port(2, 1, 1, 2), src);
+    }
+
+    #[test]
+    fn capture_validation() {
+        let mut cfg = layer();
+        assert!(cfg.set_capture(0, 0, 0, HostCapture::lane(1)).is_ok());
+        assert!(cfg.set_capture(0, 0, 1, HostCapture::lane(0)).is_ok());
+        assert_eq!(cfg.active().capture(2, 0, 1), HostCapture::lane(0));
+        assert!(matches!(
+            cfg.set_capture(0, 0, 0, HostCapture::lane(2)),
+            Err(ConfigError::LaneOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cfg.set_capture(0, 0, 2, HostCapture::DISABLED),
+            Err(ConfigError::HostPortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            cfg.set_capture(0, 4, 0, HostCapture::DISABLED),
+            Err(ConfigError::SwitchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn staged_context_switch_applies_at_commit() {
+        let mut cfg = layer();
+        cfg.stage_select(1).unwrap();
+        assert_eq!(cfg.active_index(), 0);
+        assert!(cfg.commit());
+        assert_eq!(cfg.active_index(), 1);
+        // Re-selecting the same context is not a switch.
+        cfg.stage_select(1).unwrap();
+        assert!(!cfg.commit());
+        assert!(cfg.stage_select(2).is_err());
+    }
+
+    #[test]
+    fn immediate_select() {
+        let mut cfg = layer();
+        cfg.select(1).unwrap();
+        assert_eq!(cfg.active_index(), 1);
+        assert!(cfg.select(5).is_err());
+    }
+}

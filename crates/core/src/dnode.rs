@@ -1,0 +1,305 @@
+//! Dnode state: register file, registered output and the local sequencer.
+//!
+//! The Dnode datapath itself (operand selection and ALU evaluation) lives in
+//! the machine stepper, because operand values come from the surrounding
+//! switch fabric; this module holds the per-Dnode *state* and its two-phase
+//! (master/slave) commit discipline.
+
+use systolic_ring_isa::dnode::{DnodeMode, MicroInstr, Reg, LOCAL_SLOTS};
+use systolic_ring_isa::Word16;
+
+/// The local control unit of a Dnode (paper §4.1, local mode).
+///
+/// Eight instruction registers `S1..S8`, a `LIMIT` register and a counter
+/// `CPT` stepping `0..LIMIT` each cycle through an 8:1 multiplexer. With
+/// `LIMIT = 1` the Dnode replays a single microinstruction forever — the
+/// degenerate case used for MAC macro-operators; larger limits express
+/// short loops (serial filters, FIFO emulation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalSequencer {
+    slots: [MicroInstr; LOCAL_SLOTS],
+    limit: u8,
+    cpt: u8,
+}
+
+impl LocalSequencer {
+    /// A sequencer holding NOPs with `LIMIT = 1`.
+    pub fn new() -> Self {
+        LocalSequencer {
+            slots: [MicroInstr::NOP; LOCAL_SLOTS],
+            limit: 1,
+            cpt: 0,
+        }
+    }
+
+    /// The microinstruction selected this cycle.
+    #[inline]
+    pub fn current(&self) -> MicroInstr {
+        self.slots[self.cpt as usize]
+    }
+
+    /// Writes slot `slot` (0-based, i.e. `S(slot+1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`; callers validate against
+    /// [`crate::ConfigError::SlotOutOfRange`] first.
+    pub fn set_slot(&mut self, slot: usize, instr: MicroInstr) {
+        self.slots[slot] = instr;
+    }
+
+    /// Reads slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn slot(&self, slot: usize) -> MicroInstr {
+        self.slots[slot]
+    }
+
+    /// Sets `LIMIT` (must be `1..=8`) and resets the counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range limit; callers validate against
+    /// [`crate::ConfigError::BadLocalLimit`] first.
+    pub fn set_limit(&mut self, limit: u8) {
+        assert!((1..=LOCAL_SLOTS as u8).contains(&limit), "limit {limit}");
+        self.limit = limit;
+        self.cpt = 0;
+    }
+
+    /// The current `LIMIT` value.
+    #[inline]
+    pub fn limit(&self) -> u8 {
+        self.limit
+    }
+
+    /// The current counter value.
+    #[inline]
+    pub fn counter(&self) -> u8 {
+        self.cpt
+    }
+
+    /// Resets the counter to zero (performed on entry into local mode).
+    pub fn reset_counter(&mut self) {
+        self.cpt = 0;
+    }
+
+    /// Advances the counter by one state, wrapping at `LIMIT`.
+    pub fn advance(&mut self) {
+        self.cpt = (self.cpt + 1) % self.limit;
+    }
+}
+
+impl Default for LocalSequencer {
+    fn default() -> Self {
+        LocalSequencer::new()
+    }
+}
+
+/// Architectural state of one Dnode.
+///
+/// All fields follow master/slave semantics: reads during a cycle observe
+/// the *pre-cycle* values; writes are staged and committed together at the
+/// end of the cycle by the machine commit phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnodeState {
+    regs: [Word16; 4],
+    out: Word16,
+    mode: DnodeMode,
+    seq: LocalSequencer,
+    staged_reg: Option<(Reg, Word16)>,
+    staged_out: Option<Word16>,
+}
+
+impl DnodeState {
+    /// A reset Dnode: zero registers, zero output, global mode.
+    pub fn new() -> Self {
+        DnodeState {
+            regs: [Word16::ZERO; 4],
+            out: Word16::ZERO,
+            mode: DnodeMode::Global,
+            seq: LocalSequencer::new(),
+            staged_reg: None,
+            staged_out: None,
+        }
+    }
+
+    /// Pre-cycle value of register `reg`.
+    #[inline]
+    pub fn reg(&self, reg: Reg) -> Word16 {
+        self.regs[reg.index()]
+    }
+
+    /// Pre-cycle registered output (what the downstream switch observes).
+    #[inline]
+    pub fn out(&self) -> Word16 {
+        self.out
+    }
+
+    /// Current execution mode.
+    #[inline]
+    pub fn mode(&self) -> DnodeMode {
+        self.mode
+    }
+
+    /// The local sequencer.
+    #[inline]
+    pub fn sequencer(&self) -> &LocalSequencer {
+        &self.seq
+    }
+
+    /// Mutable access to the local sequencer (configuration writes).
+    #[inline]
+    pub fn sequencer_mut(&mut self) -> &mut LocalSequencer {
+        &mut self.seq
+    }
+
+    /// Sets the execution mode. Entering local mode resets the sequencer
+    /// counter so the loop starts at `S1`.
+    pub fn set_mode(&mut self, mode: DnodeMode) {
+        if mode == DnodeMode::Local && self.mode != DnodeMode::Local {
+            self.seq.reset_counter();
+        }
+        self.mode = mode;
+    }
+
+    /// Directly sets a register value (testing / host-mediated setup).
+    pub fn set_reg(&mut self, reg: Reg, value: Word16) {
+        self.regs[reg.index()] = value;
+    }
+
+    /// Stages this cycle's writes per the executed microinstruction.
+    pub(crate) fn stage(&mut self, instr: &MicroInstr, result: Word16) {
+        if let Some(reg) = instr.wr_reg {
+            self.staged_reg = Some((reg, result));
+        }
+        if instr.wr_out {
+            self.staged_out = Some(result);
+        }
+    }
+
+    /// Commits staged writes and advances the sequencer if in local mode.
+    pub(crate) fn commit(&mut self) {
+        if let Some((reg, value)) = self.staged_reg.take() {
+            self.regs[reg.index()] = value;
+        }
+        if let Some(value) = self.staged_out.take() {
+            self.out = value;
+        }
+        if self.mode == DnodeMode::Local {
+            self.seq.advance();
+        }
+    }
+}
+
+impl Default for DnodeState {
+    fn default() -> Self {
+        DnodeState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ring_isa::dnode::{AluOp, Operand};
+
+    #[test]
+    fn master_slave_commit() {
+        let mut d = DnodeState::new();
+        let instr = MicroInstr::op(AluOp::PassA, Operand::Imm, Operand::Zero)
+            .write_reg(Reg::R1)
+            .write_out();
+        d.stage(&instr, Word16::from_i16(7));
+        // Pre-commit reads still see the old values.
+        assert_eq!(d.reg(Reg::R1), Word16::ZERO);
+        assert_eq!(d.out(), Word16::ZERO);
+        d.commit();
+        assert_eq!(d.reg(Reg::R1), Word16::from_i16(7));
+        assert_eq!(d.out(), Word16::from_i16(7));
+    }
+
+    #[test]
+    fn commit_without_writes_preserves_state() {
+        let mut d = DnodeState::new();
+        d.set_reg(Reg::R0, Word16::from_i16(3));
+        let instr = MicroInstr::op(AluOp::Add, Operand::Zero, Operand::Zero);
+        d.stage(&instr, Word16::from_i16(99));
+        d.commit();
+        assert_eq!(d.reg(Reg::R0), Word16::from_i16(3));
+        assert_eq!(d.out(), Word16::ZERO);
+    }
+
+    #[test]
+    fn sequencer_wraps_at_limit() {
+        let mut s = LocalSequencer::new();
+        let i1 = MicroInstr::op(AluOp::Add, Operand::In1, Operand::In2);
+        let i2 = MicroInstr::op(AluOp::Sub, Operand::In1, Operand::In2);
+        let i3 = MicroInstr::op(AluOp::Mul, Operand::In1, Operand::In2);
+        s.set_slot(0, i1);
+        s.set_slot(1, i2);
+        s.set_slot(2, i3);
+        s.set_limit(3);
+        let mut seen = Vec::new();
+        for _ in 0..7 {
+            seen.push(s.current().alu);
+            s.advance();
+        }
+        assert_eq!(
+            seen,
+            vec![
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Mul,
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Mul,
+                AluOp::Add
+            ]
+        );
+    }
+
+    #[test]
+    fn set_limit_resets_counter() {
+        let mut s = LocalSequencer::new();
+        s.set_limit(4);
+        s.advance();
+        s.advance();
+        assert_eq!(s.counter(), 2);
+        s.set_limit(2);
+        assert_eq!(s.counter(), 0);
+        assert_eq!(s.limit(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit")]
+    fn set_limit_rejects_zero() {
+        LocalSequencer::new().set_limit(0);
+    }
+
+    #[test]
+    fn entering_local_mode_resets_counter() {
+        let mut d = DnodeState::new();
+        d.sequencer_mut().set_limit(4);
+        d.set_mode(DnodeMode::Local);
+        d.commit();
+        d.commit();
+        assert_eq!(d.sequencer().counter(), 2);
+        // Staying in local mode does not reset.
+        d.set_mode(DnodeMode::Local);
+        assert_eq!(d.sequencer().counter(), 2);
+        // Leaving and re-entering resets.
+        d.set_mode(DnodeMode::Global);
+        d.set_mode(DnodeMode::Local);
+        assert_eq!(d.sequencer().counter(), 0);
+    }
+
+    #[test]
+    fn global_mode_does_not_advance_sequencer() {
+        let mut d = DnodeState::new();
+        d.sequencer_mut().set_limit(4);
+        d.commit();
+        assert_eq!(d.sequencer().counter(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Error types for configuration and simulation.
+
+use std::fmt;
+
+use systolic_ring_isa::ctrl::DecodeCtrlError;
+use systolic_ring_isa::dnode::DecodeMicroError;
+use systolic_ring_isa::switch::DecodeSwitchError;
+
+/// Error raised when configuring the machine (programmatically or through a
+/// loaded object) with out-of-range indices or malformed words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Context index exceeds the machine's context count.
+    ContextOutOfRange {
+        /// Offending context index.
+        ctx: usize,
+        /// Number of contexts in this machine.
+        contexts: usize,
+    },
+    /// Dnode index exceeds the geometry's Dnode count.
+    DnodeOutOfRange {
+        /// Offending Dnode index.
+        dnode: usize,
+        /// Number of Dnodes in this machine.
+        dnodes: usize,
+    },
+    /// Switch index exceeds the geometry's switch count.
+    SwitchOutOfRange {
+        /// Offending switch index.
+        switch: usize,
+        /// Number of switches in this machine.
+        switches: usize,
+    },
+    /// Lane index exceeds the geometry's width.
+    LaneOutOfRange {
+        /// Offending lane.
+        lane: usize,
+        /// Ring width.
+        width: usize,
+    },
+    /// Input-port index exceeds the per-Dnode port count (4).
+    PortOutOfRange {
+        /// Offending port index.
+        port: usize,
+    },
+    /// Host-input port index exceeds the switch's port count (`2 * width`).
+    HostPortOutOfRange {
+        /// Offending host-input port.
+        port: usize,
+        /// Host-input ports per switch.
+        ports: usize,
+    },
+    /// Local-sequencer slot exceeds `S8`.
+    SlotOutOfRange {
+        /// Offending slot index.
+        slot: usize,
+    },
+    /// Sequencer limit outside `1..=8`.
+    BadLocalLimit {
+        /// Offending limit.
+        limit: usize,
+    },
+    /// A routed pipeline stage exceeds the configured pipeline depth.
+    StageOutOfRange {
+        /// Offending stage.
+        stage: usize,
+        /// Configured feedback-pipeline depth.
+        depth: usize,
+    },
+    /// Microinstruction word failed to decode.
+    BadMicroWord(DecodeMicroError),
+    /// Switch configuration word failed to decode.
+    BadSwitchWord(DecodeSwitchError),
+    /// A program's declared geometry does not match the machine.
+    GeometryMismatch {
+        /// Geometry declared by the object.
+        declared: systolic_ring_isa::RingGeometry,
+        /// Geometry of the machine being loaded.
+        machine: systolic_ring_isa::RingGeometry,
+    },
+    /// A program requires more contexts than the machine provides.
+    NotEnoughContexts {
+        /// Contexts required by the object.
+        required: usize,
+        /// Contexts available in the machine.
+        available: usize,
+    },
+    /// Controller program does not fit in program memory.
+    ProgramTooLarge {
+        /// Words in the program.
+        words: usize,
+        /// Program memory capacity in words.
+        capacity: usize,
+    },
+    /// Initial data does not fit in controller data memory.
+    DataTooLarge {
+        /// Words of initial data.
+        words: usize,
+        /// Data memory capacity in words.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ContextOutOfRange { ctx, contexts } => {
+                write!(f, "context {ctx} out of range (machine has {contexts})")
+            }
+            ConfigError::DnodeOutOfRange { dnode, dnodes } => {
+                write!(f, "dnode {dnode} out of range (machine has {dnodes})")
+            }
+            ConfigError::SwitchOutOfRange { switch, switches } => {
+                write!(f, "switch {switch} out of range (machine has {switches})")
+            }
+            ConfigError::LaneOutOfRange { lane, width } => {
+                write!(f, "lane {lane} out of range (width {width})")
+            }
+            ConfigError::PortOutOfRange { port } => {
+                write!(f, "input port {port} out of range (dnodes have 4 ports)")
+            }
+            ConfigError::HostPortOutOfRange { port, ports } => {
+                write!(f, "host-input port {port} out of range (switch has {ports})")
+            }
+            ConfigError::SlotOutOfRange { slot } => {
+                write!(f, "sequencer slot {slot} out of range (S1..S8)")
+            }
+            ConfigError::BadLocalLimit { limit } => {
+                write!(f, "sequencer limit {limit} outside 1..=8")
+            }
+            ConfigError::StageOutOfRange { stage, depth } => {
+                write!(f, "pipeline stage {stage} out of range (depth {depth})")
+            }
+            ConfigError::BadMicroWord(e) => write!(f, "bad microinstruction word: {e}"),
+            ConfigError::BadSwitchWord(e) => write!(f, "bad switch word: {e}"),
+            ConfigError::GeometryMismatch { declared, machine } => write!(
+                f,
+                "object assembled for {declared} but machine is {machine}"
+            ),
+            ConfigError::NotEnoughContexts { required, available } => write!(
+                f,
+                "object requires {required} configuration contexts, machine has {available}"
+            ),
+            ConfigError::ProgramTooLarge { words, capacity } => write!(
+                f,
+                "controller program of {words} words exceeds program memory ({capacity} words)"
+            ),
+            ConfigError::DataTooLarge { words, capacity } => write!(
+                f,
+                "initial data of {words} words exceeds data memory ({capacity} words)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<DecodeMicroError> for ConfigError {
+    fn from(err: DecodeMicroError) -> Self {
+        ConfigError::BadMicroWord(err)
+    }
+}
+
+impl From<DecodeSwitchError> for ConfigError {
+    fn from(err: DecodeSwitchError) -> Self {
+        ConfigError::BadSwitchWord(err)
+    }
+}
+
+/// Error raised while the machine is running (a "machine check").
+///
+/// Simulation errors indicate a *program* bug — the controller wrote a
+/// malformed configuration word or jumped outside program memory — and carry
+/// the cycle at which they occurred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The controller fetched from an address outside program memory.
+    PcOutOfRange {
+        /// Cycle of the fault.
+        cycle: u64,
+        /// Faulting program counter.
+        pc: u32,
+    },
+    /// The controller fetched a word that is not a valid instruction.
+    BadInstruction {
+        /// Cycle of the fault.
+        cycle: u64,
+        /// Faulting program counter.
+        pc: u32,
+        /// Decode failure.
+        cause: DecodeCtrlError,
+    },
+    /// The controller accessed data memory out of range.
+    DmemOutOfRange {
+        /// Cycle of the fault.
+        cycle: u64,
+        /// Faulting word address.
+        addr: u32,
+    },
+    /// A configuration write raised a configuration error.
+    BadConfigWrite {
+        /// Cycle of the fault.
+        cycle: u64,
+        /// Underlying configuration error.
+        cause: ConfigError,
+    },
+    /// `run_until_halt` exhausted its cycle budget.
+    CycleLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfRange { cycle, pc } => {
+                write!(f, "cycle {cycle}: pc {pc:#x} outside program memory")
+            }
+            SimError::BadInstruction { cycle, pc, cause } => {
+                write!(f, "cycle {cycle}: bad instruction at pc {pc:#x}: {cause}")
+            }
+            SimError::DmemOutOfRange { cycle, addr } => {
+                write!(f, "cycle {cycle}: data access at {addr:#x} outside data memory")
+            }
+            SimError::BadConfigWrite { cycle, cause } => {
+                write!(f, "cycle {cycle}: bad configuration write: {cause}")
+            }
+            SimError::CycleLimit { limit } => {
+                write!(f, "machine did not halt within {limit} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::BadInstruction { cause, .. } => Some(cause),
+            SimError::BadConfigWrite { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ConfigError::DnodeOutOfRange { dnode: 9, dnodes: 8 };
+        assert!(err.to_string().contains("dnode 9"));
+        let err = SimError::CycleLimit { limit: 100 };
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    fn sim_error_exposes_source() {
+        use std::error::Error;
+        let err = SimError::BadConfigWrite {
+            cycle: 3,
+            cause: ConfigError::PortOutOfRange { port: 7 },
+        };
+        assert!(err.source().is_some());
+        assert!(SimError::CycleLimit { limit: 1 }.source().is_none());
+    }
+}

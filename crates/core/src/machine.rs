@@ -1,0 +1,709 @@
+//! The whole-machine cycle-accurate stepper.
+//!
+//! A [`RingMachine`] wires together the operating layer (Dnodes and
+//! switches), the configuration layer, the RISC configuration controller
+//! and the host interface, and advances them under a single two-phase clock
+//! discipline:
+//!
+//! 1. **Compute** — every Dnode selects its operands from *pre-cycle* state
+//!    (registered upstream outputs, feedback-pipeline stages, host FIFO
+//!    heads, the bus, its own registers) and evaluates its microinstruction;
+//!    the controller executes one instruction; the host interface moves
+//!    stream words.
+//! 2. **Commit** — register files, Dnode outputs, pipelines, captures,
+//!    configuration writes, the bus and the active context all update
+//!    together.
+//!
+//! Consequently a value produced by layer *n* at cycle *t* is visible to
+//! layer *n+1* at cycle *t+1*: the ring is a synchronous systolic pipeline,
+//! exactly the paper's "each Dnode can be seen as an arithmetic operator of
+//! a datapath which computes a data each clock cycle".
+
+use systolic_ring_isa::dnode::{DnodeMode, MicroInstr, Operand};
+use systolic_ring_isa::object::{Object, Preload};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::{RingGeometry, Word16};
+
+use crate::config::ConfigLayer;
+use crate::controller::{Controller, CtrlEffect, CtrlFault, CtrlPorts};
+use crate::dnode::DnodeState;
+use crate::error::{ConfigError, SimError};
+use crate::host::HostInterface;
+use crate::params::MachineParams;
+use crate::stats::Stats;
+use crate::switch::{PushOutcome, SwitchState};
+
+/// A complete Systolic Ring instance.
+///
+/// # Examples
+///
+/// Run a single Dnode in local mode as a MAC macro-operator fed by two host
+/// streams:
+///
+/// ```
+/// use systolic_ring_core::{MachineParams, RingMachine};
+/// use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+/// use systolic_ring_isa::switch::PortSource;
+/// use systolic_ring_isa::{RingGeometry, Word16};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = RingMachine::new(RingGeometry::RING_8, MachineParams::PAPER);
+/// // Route both forward ports of Dnode (layer 0, lane 0) from host streams.
+/// m.configure().set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
+/// m.configure().set_port(0, 0, 0, 1, PortSource::HostIn { port: 1 })?;
+/// // Program the Dnode as a stand-alone MAC.
+/// let mac = MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0);
+/// m.set_local_program(0, &[mac])?;
+/// m.set_mode(0, DnodeMode::Local);
+/// // Stream 1*2 + 3*4 + 5*6 through the ports.
+/// m.attach_input(0, 0, [1, 3, 5].map(Word16::from_i16))?;
+/// m.attach_input(0, 1, [2, 4, 6].map(Word16::from_i16))?;
+/// m.run(8)?;
+/// assert_eq!(m.dnode(0).reg(Reg::R0).as_i16(), 44);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RingMachine {
+    geometry: RingGeometry,
+    params: MachineParams,
+    dnodes: Vec<DnodeState>,
+    switches: Vec<SwitchState>,
+    config: ConfigLayer,
+    controller: Controller,
+    host: HostInterface,
+    bus: Word16,
+    cycle: u64,
+    stats: Stats,
+}
+
+struct PortsAdapter<'a> {
+    bus: Word16,
+    switches: &'a mut [SwitchState],
+}
+
+impl CtrlPorts for PortsAdapter<'_> {
+    fn bus(&self) -> Word16 {
+        self.bus
+    }
+
+    fn hpop(&mut self, switch: usize, port: usize) -> Result<Option<Word16>, ConfigError> {
+        let switches = self.switches.len();
+        let state = self
+            .switches
+            .get_mut(switch)
+            .ok_or(ConfigError::SwitchOutOfRange { switch, switches })?;
+        let ports = state.host_out.len();
+        let fifo = state
+            .host_out
+            .get_mut(port)
+            .ok_or(ConfigError::HostPortOutOfRange { port, ports })?;
+        Ok(fifo.pop())
+    }
+}
+
+/// One Dnode's resolved work for the current cycle.
+struct DnodePlan {
+    instr: MicroInstr,
+    result: Word16,
+}
+
+impl RingMachine {
+    /// Creates a reset machine.
+    pub fn new(geometry: RingGeometry, params: MachineParams) -> Self {
+        let dnodes = (0..geometry.dnodes()).map(|_| DnodeState::new()).collect();
+        let switches = (0..geometry.switches())
+            .map(|_| SwitchState::new(params.pipe_depth, geometry.width(), params.host_fifo_capacity))
+            .collect();
+        RingMachine {
+            geometry,
+            params,
+            dnodes,
+            switches,
+            config: ConfigLayer::new(geometry, params.contexts, params.pipe_depth),
+            controller: Controller::new(params.prog_capacity, params.dmem_capacity),
+            host: HostInterface::new(
+                geometry.switches(),
+                2 * geometry.width(),
+                geometry.width(),
+                params.link,
+            ),
+            bus: Word16::ZERO,
+            cycle: 0,
+            stats: Stats::new(geometry.dnodes()),
+        }
+    }
+
+    /// Creates a machine with the paper's default parameters.
+    pub fn with_defaults(geometry: RingGeometry) -> Self {
+        RingMachine::new(geometry, MachineParams::PAPER)
+    }
+
+    /// The ring geometry.
+    pub fn geometry(&self) -> RingGeometry {
+        self.geometry
+    }
+
+    /// The sizing parameters.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters (state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::new(self.geometry.dnodes());
+    }
+
+    /// The configuration layer, for programmatic setup.
+    pub fn configure(&mut self) -> &mut ConfigLayer {
+        &mut self.config
+    }
+
+    /// Read-only view of the configuration layer.
+    pub fn config(&self) -> &ConfigLayer {
+        &self.config
+    }
+
+    /// A Dnode's architectural state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dnode` is out of range.
+    pub fn dnode(&self, dnode: usize) -> &DnodeState {
+        &self.dnodes[dnode]
+    }
+
+    /// The configuration controller.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Mutable access to the controller (program loading, test setup).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
+    /// The host interface.
+    pub fn host(&self) -> &HostInterface {
+        &self.host
+    }
+
+    /// Current value of the shared bus.
+    pub fn bus(&self) -> Word16 {
+        self.bus
+    }
+
+    /// A switch's stateful parts (pipelines and FIFOs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is out of range.
+    pub fn switch(&self, switch: usize) -> &SwitchState {
+        &self.switches[switch]
+    }
+
+    /// Sets a Dnode's execution mode (programmatic setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dnode` is out of range.
+    pub fn set_mode(&mut self, dnode: usize, mode: DnodeMode) {
+        self.dnodes[dnode].set_mode(mode);
+    }
+
+    /// Loads `program` into a Dnode's local sequencer and sets its limit to
+    /// the program length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `dnode` is out of range or the program is
+    /// empty or longer than 8 microinstructions.
+    pub fn set_local_program(
+        &mut self,
+        dnode: usize,
+        program: &[MicroInstr],
+    ) -> Result<(), ConfigError> {
+        let dnodes = self.geometry.dnodes();
+        if dnode >= dnodes {
+            return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
+        }
+        if program.is_empty() || program.len() > 8 {
+            return Err(ConfigError::BadLocalLimit { limit: program.len() });
+        }
+        let seq = self.dnodes[dnode].sequencer_mut();
+        for (slot, instr) in program.iter().enumerate() {
+            seq.set_slot(slot, *instr);
+        }
+        seq.set_limit(program.len() as u8);
+        Ok(())
+    }
+
+    /// Appends words to the host source stream of (`switch`, `port`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range indices.
+    pub fn attach_input<I>(&mut self, switch: usize, port: usize, words: I) -> Result<(), ConfigError>
+    where
+        I: IntoIterator<Item = Word16>,
+    {
+        self.host.attach_input(switch, port, words)
+    }
+
+    /// Opens the host sink of (`switch`, `port`) so captured words are
+    /// drained into it (see [`HostInterface::open_sink`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range indices.
+    pub fn open_sink(&mut self, switch: usize, port: usize) -> Result<(), ConfigError> {
+        self.host.open_sink(switch, port)
+    }
+
+    /// Removes and returns the host sink contents of (`switch`, `port`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range indices.
+    pub fn take_sink(&mut self, switch: usize, port: usize) -> Result<Vec<Word16>, ConfigError> {
+        self.host.take_sink(switch, port)
+    }
+
+    /// Loads an assembled [`Object`]: controller program and data, then the
+    /// fabric preload records in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the object declares a different geometry,
+    /// needs more contexts than available, or contains out-of-range or
+    /// malformed preload records.
+    pub fn load(&mut self, object: &Object) -> Result<(), ConfigError> {
+        if let Some(declared) = object.geometry {
+            if declared != self.geometry {
+                return Err(ConfigError::GeometryMismatch {
+                    declared,
+                    machine: self.geometry,
+                });
+            }
+        }
+        if object.contexts as usize > self.params.contexts {
+            return Err(ConfigError::NotEnoughContexts {
+                required: object.contexts as usize,
+                available: self.params.contexts,
+            });
+        }
+        self.controller.load_program(&object.code)?;
+        self.controller.load_data(&object.data)?;
+        for record in &object.preload {
+            self.apply_preload(record)?;
+        }
+        Ok(())
+    }
+
+    fn apply_preload(&mut self, record: &Preload) -> Result<(), ConfigError> {
+        match *record {
+            Preload::DnodeInstr { ctx, dnode, word } => {
+                let instr = MicroInstr::decode(word)?;
+                self.config.set_dnode_instr(ctx as usize, dnode as usize, instr)
+            }
+            Preload::SwitchPort {
+                ctx,
+                switch,
+                lane,
+                input,
+                word,
+            } => {
+                let source = PortSource::decode(word)?;
+                self.config.set_port(
+                    ctx as usize,
+                    switch as usize,
+                    lane as usize,
+                    input as usize,
+                    source,
+                )
+            }
+            Preload::HostCapture { ctx, switch, port, word } => {
+                let capture = HostCapture::decode(word)?;
+                self.config
+                    .set_capture(ctx as usize, switch as usize, port as usize, capture)
+            }
+            Preload::Mode { dnode, local } => {
+                let dnodes = self.geometry.dnodes();
+                if dnode as usize >= dnodes {
+                    return Err(ConfigError::DnodeOutOfRange { dnode: dnode as usize, dnodes });
+                }
+                self.dnodes[dnode as usize].set_mode(if local {
+                    DnodeMode::Local
+                } else {
+                    DnodeMode::Global
+                });
+                Ok(())
+            }
+            Preload::LocalSlot { dnode, slot, word } => {
+                let dnodes = self.geometry.dnodes();
+                if dnode as usize >= dnodes {
+                    return Err(ConfigError::DnodeOutOfRange { dnode: dnode as usize, dnodes });
+                }
+                if slot as usize >= 8 {
+                    return Err(ConfigError::SlotOutOfRange { slot: slot as usize });
+                }
+                let instr = MicroInstr::decode(word)?;
+                self.dnodes[dnode as usize]
+                    .sequencer_mut()
+                    .set_slot(slot as usize, instr);
+                Ok(())
+            }
+            Preload::LocalLimit { dnode, limit } => {
+                let dnodes = self.geometry.dnodes();
+                if dnode as usize >= dnodes {
+                    return Err(ConfigError::DnodeOutOfRange { dnode: dnode as usize, dnodes });
+                }
+                if !(1..=8).contains(&limit) {
+                    return Err(ConfigError::BadLocalLimit { limit: limit as usize });
+                }
+                self.dnodes[dnode as usize].sequencer_mut().set_limit(limit);
+                Ok(())
+            }
+        }
+    }
+
+    /// The microinstruction a Dnode will execute this cycle.
+    fn current_instr(&self, dnode: usize) -> MicroInstr {
+        match self.dnodes[dnode].mode() {
+            DnodeMode::Global => self.config.active().dnode_instr(dnode),
+            DnodeMode::Local => self.dnodes[dnode].sequencer().current(),
+        }
+    }
+
+    /// Resolves one routed port source against pre-cycle state.
+    ///
+    /// `hostin_reads` records (switch, port) host FIFO consumption.
+    fn resolve_source(
+        &self,
+        switch: usize,
+        source: PortSource,
+        hostin_reads: &mut [Vec<bool>],
+        underflows: &mut u64,
+    ) -> Word16 {
+        match source {
+            PortSource::Zero => Word16::ZERO,
+            PortSource::Bus => self.bus,
+            PortSource::PrevOut { lane } => {
+                let layer = self.geometry.upstream_layer(switch);
+                self.dnodes[self.geometry.dnode_index(layer, lane as usize)].out()
+            }
+            PortSource::Pipe {
+                switch: pipe_switch,
+                stage,
+                lane,
+            } => self.switches[pipe_switch as usize]
+                .pipe
+                .read(stage as usize, lane as usize),
+            PortSource::HostIn { port } => {
+                let fifo = &self.switches[switch].host_in[port as usize];
+                hostin_reads[switch][port as usize] = true;
+                match fifo.peek() {
+                    Some(word) => word,
+                    None => {
+                        *underflows += 1;
+                        Word16::ZERO
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves a microinstruction operand for the Dnode at
+    /// (`layer`, `lane`).
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_operand(
+        &self,
+        dnode: usize,
+        layer: usize,
+        lane: usize,
+        operand: Operand,
+        hostin_reads: &mut [Vec<bool>],
+        underflows: &mut u64,
+    ) -> Word16 {
+        let ctx = self.config.active();
+        let width = self.geometry.width();
+        let port = |p: usize| ctx.port(width, layer, lane, p);
+        match operand {
+            Operand::Reg(reg) => self.dnodes[dnode].reg(reg),
+            Operand::In1 => self.resolve_source(layer, port(0), hostin_reads, underflows),
+            Operand::In2 => self.resolve_source(layer, port(1), hostin_reads, underflows),
+            Operand::Fifo1 => self.resolve_source(layer, port(2), hostin_reads, underflows),
+            Operand::Fifo2 => self.resolve_source(layer, port(3), hostin_reads, underflows),
+            Operand::Bus => self.bus,
+            Operand::Imm => self.current_instr(dnode).imm,
+            Operand::Zero => Word16::ZERO,
+            Operand::One => Word16::ONE,
+        }
+    }
+
+    /// Advances the machine by one clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on controller faults or malformed configuration
+    /// writes; the machine state is left at the faulting cycle boundary.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        let width = self.geometry.width();
+        let layers = self.geometry.layers();
+
+        // ---- Compute phase -------------------------------------------------
+        // 1. Dnode datapaths: resolve operands against pre-cycle state.
+        let mut hostin_reads: Vec<Vec<bool>> = (0..self.geometry.switches())
+            .map(|s| vec![false; self.switches[s].host_in.len()])
+            .collect();
+        let mut underflows = 0u64;
+        let mut plans = Vec::with_capacity(self.geometry.dnodes());
+        let mut bus_drives: Vec<Word16> = Vec::new();
+
+        for layer in 0..layers {
+            for lane in 0..width {
+                let d = self.geometry.dnode_index(layer, lane);
+                let instr = self.current_instr(d);
+                let a = self.resolve_operand(d, layer, lane, instr.src_a, &mut hostin_reads, &mut underflows);
+                let b = self.resolve_operand(d, layer, lane, instr.src_b, &mut hostin_reads, &mut underflows);
+                let acc = instr
+                    .wr_reg
+                    .filter(|_| instr.alu.uses_accumulator())
+                    .map(|reg| self.dnodes[d].reg(reg))
+                    .unwrap_or(Word16::ZERO);
+                let result = instr.alu.eval(a, b, acc);
+                if instr.wr_bus {
+                    bus_drives.push(result);
+                }
+                plans.push(DnodePlan { instr, result });
+            }
+        }
+        self.stats.fifo_underflows += underflows;
+
+        // Consume host-input FIFO heads that were read this cycle.
+        for (s, ports) in hostin_reads.iter().enumerate() {
+            for (p, read) in ports.iter().enumerate() {
+                if *read {
+                    self.switches[s].host_in[p].pop();
+                }
+            }
+        }
+
+        // 2. Controller.
+        let ctrl_step = {
+            let mut ports = PortsAdapter {
+                bus: self.bus,
+                switches: &mut self.switches,
+            };
+            self.controller.step(&mut ports).map_err(|fault| match fault {
+                CtrlFault::PcOutOfRange { pc } => SimError::PcOutOfRange { cycle, pc },
+                CtrlFault::BadInstruction { pc, cause } => {
+                    SimError::BadInstruction { cycle, pc, cause }
+                }
+                CtrlFault::DmemOutOfRange { addr } => SimError::DmemOutOfRange { cycle, addr },
+                CtrlFault::BadPort(cause) => SimError::BadConfigWrite { cycle, cause },
+            })?
+        };
+        if ctrl_step.retired {
+            self.stats.ctrl_instrs += 1;
+        } else {
+            self.stats.ctrl_stall_cycles += 1;
+        }
+
+        // 3. Host stream movement (words pushed now are visible next cycle).
+        self.host.step(&mut self.switches, &mut self.stats);
+
+        // ---- Commit phase ---------------------------------------------------
+        // Gather pre-commit layer-output vectors for pipelines and captures.
+        let captures: Vec<Vec<Word16>> = (0..self.geometry.switches())
+            .map(|s| {
+                let layer = self.geometry.upstream_layer(s);
+                (0..width)
+                    .map(|lane| self.dnodes[self.geometry.dnode_index(layer, lane)].out())
+                    .collect()
+            })
+            .collect();
+
+        // Host captures (under the context active this cycle): each of the
+        // switch's `width` out-ports captures its selected lane.
+        for (s, vector) in captures.iter().enumerate() {
+            for port in 0..width {
+                if let Some(lane) = self.config.active().capture(width, s, port).selected() {
+                    if self.switches[s].host_out[port].push(vector[lane as usize])
+                        == PushOutcome::Dropped
+                    {
+                        self.stats.fifo_overflows += 1;
+                    }
+                }
+            }
+        }
+
+        // Feedback pipelines.
+        for (s, vector) in captures.into_iter().enumerate() {
+            self.switches[s].pipe.push(vector);
+        }
+
+        // Dnode registers, outputs and sequencers; statistics.
+        for (d, plan) in plans.iter().enumerate() {
+            use systolic_ring_isa::dnode::AluOp;
+            self.dnodes[d].stage(&plan.instr, plan.result);
+            self.dnodes[d].commit();
+            if self.dnodes[d].mode() == DnodeMode::Local {
+                self.stats.dnodes[d].local_cycles += 1;
+            }
+            if plan.instr.alu != AluOp::Nop {
+                self.stats.dnodes[d].active_cycles += 1;
+                self.stats.dnodes[d].alu_ops += 1;
+                if plan.instr.alu.uses_multiplier() {
+                    self.stats.dnodes[d].mult_ops += 1;
+                }
+            }
+        }
+
+        // Controller effects (after Dnode commit so mode/sequencer writes
+        // take effect cleanly at the next cycle boundary).
+        for effect in &ctrl_step.effects {
+            self.apply_effect(effect)
+                .map_err(|cause| SimError::BadConfigWrite { cycle, cause })?;
+        }
+
+        // Shared bus: controller drive wins, then the lowest-index Dnode.
+        let ctrl_drive = ctrl_step.effects.iter().find_map(|e| match e {
+            CtrlEffect::DriveBus(w) => Some(*w),
+            _ => None,
+        });
+        let total_drivers = bus_drives.len() + usize::from(ctrl_drive.is_some());
+        if total_drivers > 1 {
+            self.stats.bus_conflicts += 1;
+        }
+        if let Some(word) = ctrl_drive.or_else(|| bus_drives.first().copied()) {
+            self.bus = word;
+        }
+
+        // Active-context switch staged by the controller.
+        if self.config.commit() {
+            self.stats.ctx_switches += 1;
+        }
+
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        Ok(())
+    }
+
+    fn apply_effect(&mut self, effect: &CtrlEffect) -> Result<(), ConfigError> {
+        match *effect {
+            CtrlEffect::WriteDnode { ctx, dnode, word } => {
+                let instr = MicroInstr::decode(word)?;
+                self.config.set_dnode_instr(ctx, dnode, instr)?;
+                self.stats.config_writes += 1;
+                Ok(())
+            }
+            CtrlEffect::WritePort { ctx, flat, word } => {
+                let source = PortSource::decode(word)?;
+                self.config.set_port_flat(ctx, flat, source)?;
+                self.stats.config_writes += 1;
+                Ok(())
+            }
+            CtrlEffect::WriteCapture { ctx, switch, port, word } => {
+                let capture = HostCapture::decode(word)?;
+                self.config.set_capture(ctx, switch, port, capture)?;
+                self.stats.config_writes += 1;
+                Ok(())
+            }
+            CtrlEffect::WriteMode { dnode, local } => {
+                let dnodes = self.geometry.dnodes();
+                if dnode >= dnodes {
+                    return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
+                }
+                self.dnodes[dnode].set_mode(if local { DnodeMode::Local } else { DnodeMode::Global });
+                self.stats.config_writes += 1;
+                Ok(())
+            }
+            CtrlEffect::WriteLocalSlot { dnode, slot, word } => {
+                let dnodes = self.geometry.dnodes();
+                if dnode >= dnodes {
+                    return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
+                }
+                if slot >= 8 {
+                    return Err(ConfigError::SlotOutOfRange { slot });
+                }
+                let instr = MicroInstr::decode(word)?;
+                self.dnodes[dnode].sequencer_mut().set_slot(slot, instr);
+                self.stats.config_writes += 1;
+                Ok(())
+            }
+            CtrlEffect::WriteLocalLimit { dnode, limit } => {
+                let dnodes = self.geometry.dnodes();
+                if dnode >= dnodes {
+                    return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
+                }
+                if !(1..=8).contains(&limit) {
+                    return Err(ConfigError::BadLocalLimit { limit: limit as usize });
+                }
+                self.dnodes[dnode].sequencer_mut().set_limit(limit as u8);
+                self.stats.config_writes += 1;
+                Ok(())
+            }
+            CtrlEffect::SetActiveCtx(ctx) => self.config.stage_select(ctx),
+            CtrlEffect::DriveBus(_) => Ok(()), // handled by the bus arbiter
+            CtrlEffect::HostPush { switch, port, word } => {
+                let switches = self.switches.len();
+                let state = self
+                    .switches
+                    .get_mut(switch)
+                    .ok_or(ConfigError::SwitchOutOfRange { switch, switches })?;
+                let ports = state.host_in.len();
+                let fifo = state
+                    .host_in
+                    .get_mut(port)
+                    .ok_or(ConfigError::HostPortOutOfRange { port, ports })?;
+                if fifo.push(word) == PushOutcome::Dropped {
+                    self.stats.fifo_overflows += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs `cycles` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] encountered.
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until the controller halts, up to `max_cycles`.
+    ///
+    /// Returns the number of cycles executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the controller has not halted
+    /// within the budget, or any fault encountered earlier.
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> Result<u64, SimError> {
+        let start = self.cycle;
+        while !self.controller.is_halted() {
+            if self.cycle - start >= max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.cycle - start)
+    }
+}

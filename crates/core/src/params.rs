@@ -1,0 +1,155 @@
+//! Machine parameterization beyond the ring geometry.
+
+/// Host-link bandwidth model.
+///
+/// The paper quotes two operating points for Ring-8 at 200 MHz (§5.1): the
+/// theoretical ~3 GB/s of the direct dedicated ports and the 250 MB/s of the
+/// implemented PCI-class link. The link model meters how many 16-bit words
+/// the host interface may move (in plus out) per cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum LinkModel {
+    /// Direct dedicated ports: no metering (on-chip memories feed every
+    /// switch at full rate, as on the APEX prototype).
+    #[default]
+    Direct,
+    /// A metered link moving at most `bytes_per_cycle` bytes per clock
+    /// cycle, shared by all host traffic in both directions.
+    Metered {
+        /// Link budget in bytes per core clock cycle.
+        bytes_per_cycle: f64,
+    },
+}
+
+impl LinkModel {
+    /// The paper's implemented PCI-class link: 250 MB/s at a 200 MHz core
+    /// clock = 1.25 bytes per cycle.
+    pub const PCI_250MBPS_AT_200MHZ: LinkModel = LinkModel::Metered { bytes_per_cycle: 1.25 };
+
+    /// Words the link may move this cycle given `credit` accumulated bytes;
+    /// returns the new credit and the word allowance.
+    pub(crate) fn allowance(self, credit: f64) -> (f64, usize) {
+        match self {
+            LinkModel::Direct => (0.0, usize::MAX),
+            LinkModel::Metered { bytes_per_cycle } => {
+                let total = credit + bytes_per_cycle;
+                let words = (total / 2.0).floor() as usize;
+                (total - words as f64 * 2.0, words)
+            }
+        }
+    }
+}
+
+/// Sizing parameters of a [`crate::RingMachine`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineParams {
+    /// Number of configuration contexts in the configuration layer.
+    pub contexts: usize,
+    /// Depth of each switch's feedback pipeline (stages).
+    pub pipe_depth: usize,
+    /// Capacity of each switch's host-input and host-output FIFOs (words).
+    pub host_fifo_capacity: usize,
+    /// Controller program-memory capacity (words).
+    pub prog_capacity: usize,
+    /// Controller data-memory capacity (words).
+    pub dmem_capacity: usize,
+    /// Host-link bandwidth model.
+    pub link: LinkModel,
+}
+
+impl MachineParams {
+    /// Parameters used throughout the paper reproduction: 8 contexts,
+    /// 8-stage feedback pipelines, generous on-chip FIFOs, direct ports.
+    pub const PAPER: MachineParams = MachineParams {
+        contexts: 8,
+        pipe_depth: 8,
+        host_fifo_capacity: 4096,
+        prog_capacity: 65536,
+        dmem_capacity: 65536,
+        link: LinkModel::Direct,
+    };
+
+    /// Builder: set the context count.
+    pub fn with_contexts(mut self, contexts: usize) -> Self {
+        self.contexts = contexts;
+        self
+    }
+
+    /// Builder: set the feedback-pipeline depth.
+    pub fn with_pipe_depth(mut self, pipe_depth: usize) -> Self {
+        self.pipe_depth = pipe_depth;
+        self
+    }
+
+    /// Builder: set the host FIFO capacity.
+    pub fn with_host_fifo_capacity(mut self, capacity: usize) -> Self {
+        self.host_fifo_capacity = capacity;
+        self
+    }
+
+    /// Builder: set the host-link model.
+    pub fn with_link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_params() {
+        let p = MachineParams::default();
+        assert_eq!(p.contexts, 8);
+        assert_eq!(p.pipe_depth, 8);
+        assert_eq!(p.link, LinkModel::Direct);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let p = MachineParams::default()
+            .with_contexts(2)
+            .with_pipe_depth(4)
+            .with_host_fifo_capacity(64)
+            .with_link(LinkModel::PCI_250MBPS_AT_200MHZ);
+        assert_eq!(p.contexts, 2);
+        assert_eq!(p.pipe_depth, 4);
+        assert_eq!(p.host_fifo_capacity, 64);
+        assert_ne!(p.link, LinkModel::Direct);
+    }
+
+    #[test]
+    fn direct_link_is_unmetered() {
+        let (credit, words) = LinkModel::Direct.allowance(0.0);
+        assert_eq!(words, usize::MAX);
+        assert_eq!(credit, 0.0);
+    }
+
+    #[test]
+    fn metered_link_accumulates_credit() {
+        // 1.25 bytes/cycle: first cycle 0 words (1.25 B), second 1 word
+        // (2.5 B -> 1 word, 0.5 B left), etc.
+        let link = LinkModel::PCI_250MBPS_AT_200MHZ;
+        let (credit, words) = link.allowance(0.0);
+        assert_eq!(words, 0);
+        assert!((credit - 1.25).abs() < 1e-9);
+        let (credit, words) = link.allowance(credit);
+        assert_eq!(words, 1);
+        assert!((credit - 0.5).abs() < 1e-9);
+        // Long-run rate: 0.625 words/cycle.
+        let mut credit = 0.0;
+        let mut total = 0usize;
+        for _ in 0..1000 {
+            let (c, w) = link.allowance(credit);
+            credit = c;
+            total += w;
+        }
+        assert_eq!(total, 625);
+    }
+}

@@ -1,0 +1,119 @@
+//! Execution statistics gathered by the simulator.
+//!
+//! The evaluation leans on these counters: cycle counts drive every
+//! performance table, operation counts give the MIPS figures of §5.1, and
+//! per-Dnode activity gives the fabric-utilization claims ("25% of the Ring
+//! structure remains free", Table 2 discussion).
+
+/// Counters for one Dnode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DnodeStats {
+    /// Cycles in which the Dnode executed a non-NOP microinstruction.
+    pub active_cycles: u64,
+    /// ALU operations executed (every non-NOP counts one).
+    pub alu_ops: u64,
+    /// Operations that also engaged the hardwired multiplier; the MAC
+    /// family counts here *and* in `alu_ops` (two arithmetic operations in
+    /// one cycle, as the paper advertises).
+    pub mult_ops: u64,
+    /// Cycles spent in local (stand-alone) mode.
+    pub local_cycles: u64,
+}
+
+/// Machine-wide execution statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Stats {
+    /// Clock cycles simulated.
+    pub cycles: u64,
+    /// Per-Dnode counters, indexed by flat Dnode index.
+    pub dnodes: Vec<DnodeStats>,
+    /// Controller instructions retired (excludes stall cycles).
+    pub ctrl_instrs: u64,
+    /// Controller cycles spent stalled (`wait`, blocked `hpop`, halted).
+    pub ctrl_stall_cycles: u64,
+    /// Configuration words written by the controller (`wdn`/`wsw`/`who`/
+    /// `wloc`/`wlim`/`wmode`).
+    pub config_writes: u64,
+    /// Active-context switches performed (`ctx`).
+    pub ctx_switches: u64,
+    /// Words delivered from host streams into switch FIFOs.
+    pub host_words_in: u64,
+    /// Words drained from switch FIFOs into host sinks.
+    pub host_words_out: u64,
+    /// Cycles in which host traffic was deferred by the link model.
+    pub link_stall_cycles: u64,
+    /// Reads of an empty host-input FIFO (returned zero).
+    pub fifo_underflows: u64,
+    /// Captures dropped because a host-output FIFO was full.
+    pub fifo_overflows: u64,
+    /// Cycles in which more than one writer drove the shared bus.
+    pub bus_conflicts: u64,
+}
+
+impl Stats {
+    /// Creates zeroed statistics for `dnodes` Dnodes.
+    pub fn new(dnodes: usize) -> Self {
+        Stats {
+            dnodes: vec![DnodeStats::default(); dnodes],
+            ..Stats::default()
+        }
+    }
+
+    /// Total ALU operations across the fabric.
+    pub fn total_ops(&self) -> u64 {
+        self.dnodes.iter().map(|d| d.alu_ops + d.mult_ops).sum()
+    }
+
+    /// Fabric utilization: mean fraction of Dnodes active per cycle.
+    ///
+    /// Returns 0.0 before any cycle has run.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 || self.dnodes.is_empty() {
+            return 0.0;
+        }
+        let active: u64 = self.dnodes.iter().map(|d| d.active_cycles).sum();
+        active as f64 / (self.cycles as f64 * self.dnodes.len() as f64)
+    }
+
+    /// Number of Dnodes that never executed an operation (free fabric).
+    pub fn idle_dnodes(&self) -> usize {
+        self.dnodes.iter().filter(|d| d.active_cycles == 0).count()
+    }
+
+    /// Operations per cycle achieved over the run.
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_construction() {
+        let s = Stats::new(8);
+        assert_eq!(s.dnodes.len(), 8);
+        assert_eq!(s.total_ops(), 0);
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.idle_dnodes(), 8);
+        assert_eq!(s.ops_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = Stats::new(2);
+        s.cycles = 10;
+        s.dnodes[0].active_cycles = 10;
+        s.dnodes[0].alu_ops = 10;
+        s.dnodes[0].mult_ops = 5;
+        assert_eq!(s.total_ops(), 15);
+        assert_eq!(s.utilization(), 0.5);
+        assert_eq!(s.idle_dnodes(), 1);
+        assert_eq!(s.ops_per_cycle(), 1.5);
+    }
+}

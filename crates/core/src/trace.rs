@@ -1,0 +1,321 @@
+//! Waveform tracing: the simulator's logic analyzer.
+//!
+//! The paper debugged the APEX prototype with a logic analyzer (Figure 6).
+//! [`Tracer`] plays that role for the simulator: it samples selected
+//! machine signals every cycle and renders them either as a text waveform
+//! or as an industry-standard **VCD** (Value Change Dump) file loadable in
+//! GTKWave & friends.
+//!
+//! # Examples
+//!
+//! ```
+//! use systolic_ring_core::trace::{Signal, Tracer};
+//! use systolic_ring_core::RingMachine;
+//! use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand, Reg};
+//! use systolic_ring_isa::RingGeometry;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+//! m.configure().set_dnode_instr(
+//!     0,
+//!     0,
+//!     MicroInstr::op(AluOp::Add, Operand::Reg(Reg::R0), Operand::One)
+//!         .write_reg(Reg::R0)
+//!         .write_out(),
+//! )?;
+//! let mut tracer = Tracer::new([Signal::DnodeOut { dnode: 0 }, Signal::Bus]);
+//! for _ in 0..4 {
+//!     tracer.sample(&m);
+//!     m.step()?;
+//! }
+//! tracer.sample(&m);
+//! let vcd = tracer.to_vcd();
+//! assert!(vcd.contains("$enddefinitions"));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use systolic_ring_isa::dnode::Reg;
+
+use crate::machine::RingMachine;
+
+/// A traceable machine signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// A Dnode's registered output.
+    DnodeOut {
+        /// Flat Dnode index.
+        dnode: usize,
+    },
+    /// A Dnode register.
+    DnodeReg {
+        /// Flat Dnode index.
+        dnode: usize,
+        /// Which register.
+        reg: Reg,
+    },
+    /// The shared bus.
+    Bus,
+    /// The controller's program counter.
+    CtrlPc,
+    /// The active configuration context.
+    ActiveCtx,
+}
+
+impl Signal {
+    /// The VCD/waveform display name.
+    pub fn name(&self) -> String {
+        match self {
+            Signal::DnodeOut { dnode } => format!("d{dnode}_out"),
+            Signal::DnodeReg { dnode, reg } => format!("d{dnode}_{reg}"),
+            Signal::Bus => "bus".to_owned(),
+            Signal::CtrlPc => "ctrl_pc".to_owned(),
+            Signal::ActiveCtx => "active_ctx".to_owned(),
+        }
+    }
+
+    fn read(&self, machine: &RingMachine) -> u32 {
+        match self {
+            Signal::DnodeOut { dnode } => machine.dnode(*dnode).out().bits() as u32,
+            Signal::DnodeReg { dnode, reg } => machine.dnode(*dnode).reg(*reg).bits() as u32,
+            Signal::Bus => machine.bus().bits() as u32,
+            Signal::CtrlPc => machine.controller().pc(),
+            Signal::ActiveCtx => machine.config().active_index() as u32,
+        }
+    }
+
+    fn width(&self) -> usize {
+        match self {
+            Signal::CtrlPc => 32,
+            _ => 16,
+        }
+    }
+}
+
+/// A cycle-sampling tracer over a fixed signal set.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    signals: Vec<Signal>,
+    /// One sample vector per call to [`Tracer::sample`].
+    samples: Vec<Vec<u32>>,
+    /// Cycle numbers of the samples.
+    cycles: Vec<u64>,
+}
+
+impl Tracer {
+    /// A tracer for the given signals.
+    pub fn new(signals: impl IntoIterator<Item = Signal>) -> Self {
+        Tracer {
+            signals: signals.into_iter().collect(),
+            samples: Vec::new(),
+            cycles: Vec::new(),
+        }
+    }
+
+    /// Number of samples captured.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples all signals at the machine's current cycle.
+    pub fn sample(&mut self, machine: &RingMachine) {
+        self.cycles.push(machine.cycle());
+        self.samples
+            .push(self.signals.iter().map(|s| s.read(machine)).collect());
+    }
+
+    /// Steps the machine `cycles` times, sampling before every step and
+    /// once at the end.
+    ///
+    /// # Errors
+    ///
+    /// Returns the machine's [`crate::SimError`] on a fault.
+    pub fn run(&mut self, machine: &mut RingMachine, cycles: u64) -> Result<(), crate::SimError> {
+        for _ in 0..cycles {
+            self.sample(machine);
+            machine.step()?;
+        }
+        self.sample(machine);
+        Ok(())
+    }
+
+    /// The sampled values of one signal in cycle order.
+    pub fn series(&self, signal: Signal) -> Option<Vec<u32>> {
+        let idx = self.signals.iter().position(|s| *s == signal)?;
+        Some(self.samples.iter().map(|row| row[idx]).collect())
+    }
+
+    /// Renders a compact text waveform (one line per signal, one column
+    /// per sample, hexadecimal values).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{:>10} |", "cycle");
+        for cycle in &self.cycles {
+            let _ = write!(out, " {cycle:>5}");
+        }
+        out.push('\n');
+        for (i, signal) in self.signals.iter().enumerate() {
+            let _ = write!(out, "{:>10} |", signal.name());
+            for row in &self.samples {
+                let _ = write!(out, " {:>5x}", row[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a VCD (Value Change Dump) document of all samples.
+    ///
+    /// One VCD time unit is one clock cycle.
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$date systolic-ring simulation $end\n");
+        out.push_str("$version systolic-ring-core tracer $end\n");
+        out.push_str("$timescale 1 ns $end\n");
+        out.push_str("$scope module ring $end\n");
+        let id = |i: usize| -> String {
+            // Printable VCD identifiers: ! .. ~ in base-94.
+            let mut n = i;
+            let mut s = String::new();
+            loop {
+                s.push((33 + (n % 94)) as u8 as char);
+                n /= 94;
+                if n == 0 {
+                    break;
+                }
+            }
+            s
+        };
+        for (i, signal) in self.signals.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                signal.width(),
+                id(i),
+                signal.name()
+            );
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut last: Vec<Option<u32>> = vec![None; self.signals.len()];
+        for (row, cycle) in self.samples.iter().zip(&self.cycles) {
+            let mut emitted_time = false;
+            for (i, value) in row.iter().enumerate() {
+                if last[i] != Some(*value) {
+                    if !emitted_time {
+                        let _ = writeln!(out, "#{cycle}");
+                        emitted_time = true;
+                    }
+                    let width = self.signals[i].width();
+                    let _ = writeln!(out, "b{:0width$b} {}", value, id(i), width = width);
+                    last[i] = Some(*value);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand};
+    use systolic_ring_isa::RingGeometry;
+
+    fn counting_machine() -> RingMachine {
+        let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+        m.configure()
+            .set_dnode_instr(
+                0,
+                0,
+                MicroInstr::op(AluOp::Add, Operand::Reg(Reg::R0), Operand::One)
+                    .write_reg(Reg::R0)
+                    .write_out(),
+            )
+            .expect("config");
+        m
+    }
+
+    #[test]
+    fn series_follows_machine_state() {
+        let mut m = counting_machine();
+        let mut tracer = Tracer::new([
+            Signal::DnodeOut { dnode: 0 },
+            Signal::DnodeReg { dnode: 0, reg: Reg::R0 },
+        ]);
+        tracer.run(&mut m, 4).expect("run");
+        assert_eq!(tracer.len(), 5);
+        let regs = tracer.series(Signal::DnodeReg { dnode: 0, reg: Reg::R0 }).expect("series");
+        assert_eq!(regs, vec![0, 1, 2, 3, 4]);
+        assert!(tracer.series(Signal::Bus).is_none());
+    }
+
+    #[test]
+    fn text_waveform_lists_signals() {
+        let mut m = counting_machine();
+        let mut tracer = Tracer::new([Signal::DnodeOut { dnode: 0 }, Signal::ActiveCtx]);
+        tracer.run(&mut m, 2).expect("run");
+        let text = tracer.render_text();
+        assert!(text.contains("d0_out"));
+        assert!(text.contains("active_ctx"));
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn vcd_structure_and_change_compression() {
+        let mut m = counting_machine();
+        let mut tracer = Tracer::new([
+            Signal::DnodeReg { dnode: 0, reg: Reg::R0 },
+            Signal::Bus, // never changes -> one initial emission only
+            Signal::CtrlPc,
+        ]);
+        tracer.run(&mut m, 3).expect("run");
+        let vcd = tracer.to_vcd();
+        assert!(vcd.contains("$timescale"));
+        assert!(vcd.contains("$var wire 16"));
+        assert!(vcd.contains("$var wire 32"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        // The bus is constant: exactly one emission for its id.
+        let bus_id_line = vcd
+            .lines()
+            .find(|l| l.ends_with("bus $end"))
+            .expect("bus var");
+        let id = bus_id_line.split_whitespace().nth(3).expect("id");
+        let emissions = vcd
+            .lines()
+            .filter(|l| l.starts_with('b') && l.ends_with(&format!(" {id}")))
+            .count();
+        assert_eq!(emissions, 1);
+    }
+
+    #[test]
+    fn empty_tracer_renders() {
+        let tracer = Tracer::new([Signal::Bus]);
+        assert!(tracer.is_empty());
+        assert!(tracer.to_vcd().contains("$enddefinitions"));
+        assert!(tracer.render_text().contains("bus"));
+    }
+
+    #[test]
+    fn vcd_ids_stay_printable_for_many_signals() {
+        let signals: Vec<Signal> = (0..8)
+            .flat_map(|d| {
+                Reg::ALL
+                    .into_iter()
+                    .map(move |reg| Signal::DnodeReg { dnode: d, reg })
+            })
+            .collect();
+        let mut m = counting_machine();
+        let mut tracer = Tracer::new(signals);
+        tracer.run(&mut m, 1).expect("run");
+        let vcd = tracer.to_vcd();
+        assert!(vcd.is_ascii());
+        assert_eq!(vcd.matches("$var wire").count(), 32);
+    }
+}

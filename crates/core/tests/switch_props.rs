@@ -1,0 +1,71 @@
+//! Property tests for the switch-state primitives: the feedback pipeline
+//! behaves as a shift register of layer snapshots, and the bounded FIFO
+//! behaves as a queue with drop-on-full semantics.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use systolic_ring_core::switch::{FeedbackPipeline, PushOutcome, WordFifo};
+use systolic_ring_isa::Word16;
+
+proptest! {
+    /// After any push sequence, stage `q` holds the vector pushed `q`
+    /// pushes ago (zero-filled beyond history).
+    #[test]
+    fn pipeline_is_a_shift_register(
+        depth in 1usize..12,
+        width in 1usize..6,
+        pushes in proptest::collection::vec(any::<i16>(), 0..40),
+    ) {
+        let mut pipe = FeedbackPipeline::new(depth, width);
+        let mut history: Vec<Vec<Word16>> = Vec::new();
+        for (i, &seed) in pushes.iter().enumerate() {
+            let vector: Vec<Word16> = (0..width)
+                .map(|lane| Word16::from_i16(seed.wrapping_add(lane as i16 + i as i16)))
+                .collect();
+            history.push(vector.clone());
+            pipe.push(vector);
+        }
+        for q in 0..depth {
+            for lane in 0..width {
+                let expect = if q < history.len() {
+                    history[history.len() - 1 - q][lane]
+                } else {
+                    Word16::ZERO
+                };
+                prop_assert_eq!(pipe.read(q, lane), expect, "stage {} lane {}", q, lane);
+            }
+        }
+    }
+
+    /// The bounded FIFO agrees with a reference deque that ignores pushes
+    /// past capacity.
+    #[test]
+    fn fifo_matches_a_reference_queue(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec(proptest::option::of(any::<i16>()), 0..64),
+    ) {
+        let mut fifo = WordFifo::new(capacity);
+        let mut model: VecDeque<Word16> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let word = Word16::from_i16(v);
+                    let outcome = fifo.push(word);
+                    if model.len() < capacity {
+                        prop_assert_eq!(outcome, PushOutcome::Stored);
+                        model.push_back(word);
+                    } else {
+                        prop_assert_eq!(outcome, PushOutcome::Dropped);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(fifo.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(fifo.len(), model.len());
+            prop_assert_eq!(fifo.peek(), model.front().copied());
+            prop_assert_eq!(fifo.is_empty(), model.is_empty());
+            prop_assert_eq!(fifo.is_full(), model.len() >= capacity);
+        }
+    }
+}

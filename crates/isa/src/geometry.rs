@@ -1,0 +1,207 @@
+//! Ring geometry: the layer/width parameterization of the fabric.
+//!
+//! The paper scales the ring along two axes: the number of Dnode *layers*
+//! (the ring length) and the number of Dnodes *per layer* (the width).
+//! "Ring-8" is the prototyped 4-layer x 2-wide instance; "Ring-16" runs the
+//! evaluation workloads; "Ring-64" is the projected SoC configuration.
+
+use std::fmt;
+
+/// Shape of a Systolic Ring instance.
+///
+/// A geometry has `layers` Dnode layers of `width` Dnodes each, connected in
+/// a ring by `layers` switches (switch `s` feeds layer `s` with the outputs
+/// of layer `(s + layers - 1) % layers`).
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_isa::RingGeometry;
+///
+/// let ring8 = RingGeometry::RING_8;
+/// assert_eq!(ring8.dnodes(), 8);
+/// assert_eq!(ring8.switches(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RingGeometry {
+    layers: usize,
+    width: usize,
+}
+
+/// Error returned when constructing an invalid [`RingGeometry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidGeometry {
+    layers: usize,
+    width: usize,
+}
+
+impl fmt::Display for InvalidGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid ring geometry {}x{}: layers must be in 2..=256 and width in 1..=256",
+            self.layers, self.width
+        )
+    }
+}
+
+impl std::error::Error for InvalidGeometry {}
+
+impl RingGeometry {
+    /// The prototyped Ring-8: 4 layers of 2 Dnodes.
+    pub const RING_8: RingGeometry = RingGeometry { layers: 4, width: 2 };
+    /// The evaluation Ring-16: 4 layers of 4 Dnodes.
+    pub const RING_16: RingGeometry = RingGeometry { layers: 4, width: 4 };
+    /// The projected SoC Ring-64: 8 layers of 8 Dnodes.
+    pub const RING_64: RingGeometry = RingGeometry { layers: 8, width: 8 };
+
+    /// Creates a geometry with the given number of layers and per-layer width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGeometry`] unless `2 <= layers <= 256` and
+    /// `1 <= width <= 256` (a ring needs at least two layers to be a ring,
+    /// and the configuration encodings address at most 256 elements per
+    /// dimension).
+    pub fn new(layers: usize, width: usize) -> Result<Self, InvalidGeometry> {
+        if (2..=256).contains(&layers) && (1..=256).contains(&width) {
+            Ok(RingGeometry { layers, width })
+        } else {
+            Err(InvalidGeometry { layers, width })
+        }
+    }
+
+    /// Number of Dnode layers (ring length).
+    #[inline]
+    pub const fn layers(self) -> usize {
+        self.layers
+    }
+
+    /// Number of Dnodes per layer (ring width).
+    #[inline]
+    pub const fn width(self) -> usize {
+        self.width
+    }
+
+    /// Total Dnode count (`layers * width`).
+    #[inline]
+    pub const fn dnodes(self) -> usize {
+        self.layers * self.width
+    }
+
+    /// Number of inter-layer switches (one per layer boundary; equals
+    /// `layers` because the topology is a closed ring).
+    #[inline]
+    pub const fn switches(self) -> usize {
+        self.layers
+    }
+
+    /// Flat index of the Dnode at (`layer`, `lane`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= layers()` or `lane >= width()`.
+    #[inline]
+    pub fn dnode_index(self, layer: usize, lane: usize) -> usize {
+        assert!(layer < self.layers, "layer {layer} out of range");
+        assert!(lane < self.width, "lane {lane} out of range");
+        layer * self.width + lane
+    }
+
+    /// Inverse of [`RingGeometry::dnode_index`]: `(layer, lane)` of a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dnodes()`.
+    #[inline]
+    pub fn dnode_position(self, index: usize) -> (usize, usize) {
+        assert!(index < self.dnodes(), "dnode index {index} out of range");
+        (index / self.width, index % self.width)
+    }
+
+    /// The layer whose outputs feed switch `switch` (its upstream layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch >= switches()`.
+    #[inline]
+    pub fn upstream_layer(self, switch: usize) -> usize {
+        assert!(switch < self.switches(), "switch {switch} out of range");
+        (switch + self.layers - 1) % self.layers
+    }
+
+    /// The layer fed by switch `switch` (its downstream layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch >= switches()`.
+    #[inline]
+    pub fn downstream_layer(self, switch: usize) -> usize {
+        assert!(switch < self.switches(), "switch {switch} out of range");
+        switch
+    }
+}
+
+impl fmt::Display for RingGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Ring-{} ({} layers x {} wide)",
+            self.dnodes(),
+            self.layers,
+            self.width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_instances_match_the_paper() {
+        assert_eq!(RingGeometry::RING_8.dnodes(), 8);
+        assert_eq!(RingGeometry::RING_16.dnodes(), 16);
+        assert_eq!(RingGeometry::RING_64.dnodes(), 64);
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        assert!(RingGeometry::new(1, 4).is_err());
+        assert!(RingGeometry::new(0, 4).is_err());
+        assert!(RingGeometry::new(4, 0).is_err());
+        assert!(RingGeometry::new(257, 1).is_err());
+        assert!(RingGeometry::new(4, 257).is_err());
+        assert!(RingGeometry::new(2, 1).is_ok());
+        assert!(RingGeometry::new(256, 256).is_ok());
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let g = RingGeometry::new(3, 5).unwrap();
+        for layer in 0..3 {
+            for lane in 0..5 {
+                let idx = g.dnode_index(layer, lane);
+                assert_eq!(g.dnode_position(idx), (layer, lane));
+            }
+        }
+    }
+
+    #[test]
+    fn switch_topology_is_a_closed_ring() {
+        let g = RingGeometry::RING_8;
+        // Switch 0 feeds layer 0 with the outputs of the last layer.
+        assert_eq!(g.upstream_layer(0), 3);
+        assert_eq!(g.downstream_layer(0), 0);
+        assert_eq!(g.upstream_layer(1), 0);
+        assert_eq!(g.downstream_layer(3), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            RingGeometry::RING_8.to_string(),
+            "Ring-8 (4 layers x 2 wide)"
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! Loadable object-code format emitted by the assembler and consumed by the
+//! machine loader.
+//!
+//! The paper's tool flow "directly generates the machine object code, ready
+//! to be executed in the architecture" (§5.1). An [`Object`] bundles
+//! everything a Systolic Ring needs to start computing:
+//!
+//! * the controller program (`code`) and initial data memory (`data`),
+//! * fabric preload records — initial configuration-context contents,
+//!   Dnode modes and local-sequencer programs — applied before cycle 0,
+//! * the ring geometry and context count the program was assembled for.
+//!
+//! The serialized form is a small little-endian binary container (magic
+//! `SRNGOBJ1`).
+
+use std::fmt;
+
+use crate::geometry::RingGeometry;
+
+/// Magic bytes opening every serialized object.
+pub const MAGIC: [u8; 8] = *b"SRNGOBJ1";
+
+/// One fabric-preload action, applied in order before the machine starts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preload {
+    /// Set `contexts[ctx][dnode]` to a microinstruction word.
+    DnodeInstr {
+        /// Target configuration context.
+        ctx: u16,
+        /// Target Dnode (flat index).
+        dnode: u16,
+        /// Encoded microinstruction ([`crate::dnode::MicroInstr::encode`]).
+        word: u64,
+    },
+    /// Set a switch crossbar port in `ctx`.
+    SwitchPort {
+        /// Target configuration context.
+        ctx: u16,
+        /// Switch index.
+        switch: u16,
+        /// Downstream lane.
+        lane: u16,
+        /// Input port: 0 = `In1`, 1 = `In2`, 2 = `Fifo1`, 3 = `Fifo2`.
+        input: u8,
+        /// Encoded port source ([`crate::switch::PortSource::encode`]).
+        word: u32,
+    },
+    /// Set one of a switch's host-output capture selectors in `ctx`.
+    HostCapture {
+        /// Target configuration context.
+        ctx: u16,
+        /// Switch index.
+        switch: u16,
+        /// Host-output port within the switch (a switch has `width` of
+        /// them).
+        port: u16,
+        /// Encoded capture selector ([`crate::switch::HostCapture::encode`]).
+        word: u32,
+    },
+    /// Set a Dnode's execution mode.
+    Mode {
+        /// Target Dnode (flat index).
+        dnode: u16,
+        /// `true` for local (stand-alone) mode.
+        local: bool,
+    },
+    /// Write a local-sequencer slot.
+    LocalSlot {
+        /// Target Dnode (flat index).
+        dnode: u16,
+        /// Sequencer slot (0..8, i.e. `S1..S8`).
+        slot: u8,
+        /// Encoded microinstruction.
+        word: u64,
+    },
+    /// Set a Dnode's sequencer limit (1..=8).
+    LocalLimit {
+        /// Target Dnode (flat index).
+        dnode: u16,
+        /// New limit.
+        limit: u8,
+    },
+}
+
+/// A complete loadable program for one Systolic Ring instance.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Object {
+    /// Ring geometry the program was assembled for, if declared.
+    pub geometry: Option<RingGeometry>,
+    /// Number of configuration contexts the program expects (0 = default).
+    pub contexts: u16,
+    /// Controller program (encoded [`crate::ctrl::CtrlInstr`] words).
+    pub code: Vec<u32>,
+    /// Initial controller data memory.
+    pub data: Vec<u32>,
+    /// Fabric preload records, applied in order at load time.
+    pub preload: Vec<Preload>,
+}
+
+/// Error deserializing an [`Object`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjectError {
+    /// Input does not start with [`MAGIC`].
+    BadMagic,
+    /// Input ended before the declared contents.
+    Truncated,
+    /// Unknown preload record tag.
+    BadRecordTag(u8),
+    /// Declared geometry is invalid.
+    BadGeometry {
+        /// Declared layer count.
+        layers: u16,
+        /// Declared width.
+        width: u16,
+    },
+    /// Trailing bytes after the declared contents.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::BadMagic => f.write_str("not a systolic-ring object (bad magic)"),
+            ObjectError::Truncated => f.write_str("object truncated"),
+            ObjectError::BadRecordTag(tag) => write!(f, "unknown preload record tag {tag}"),
+            ObjectError::BadGeometry { layers, width } => {
+                write!(f, "invalid declared geometry {layers}x{width}")
+            }
+            ObjectError::TrailingBytes(n) => write!(f, "{n} trailing bytes after object"),
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}
+
+const TAG_DNODE_INSTR: u8 = 1;
+const TAG_SWITCH_PORT: u8 = 2;
+const TAG_HOST_CAPTURE: u8 = 3;
+const TAG_MODE: u8 = 4;
+const TAG_LOCAL_SLOT: u8 = 5;
+const TAG_LOCAL_LIMIT: u8 = 6;
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObjectError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ObjectError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ObjectError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ObjectError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ObjectError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ObjectError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Object {
+    /// Creates an empty object (no geometry, no code).
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// Serializes to the binary container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.code.len() * 4 + self.data.len() * 4);
+        out.extend_from_slice(&MAGIC);
+        let (layers, width) = match self.geometry {
+            Some(g) => (g.layers() as u16, g.width() as u16),
+            None => (0, 0),
+        };
+        out.extend_from_slice(&layers.to_le_bytes());
+        out.extend_from_slice(&width.to_le_bytes());
+        out.extend_from_slice(&self.contexts.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(self.code.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.preload.len() as u32).to_le_bytes());
+        for word in &self.code {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        for word in &self.data {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        for record in &self.preload {
+            match *record {
+                Preload::DnodeInstr { ctx, dnode, word } => {
+                    out.push(TAG_DNODE_INSTR);
+                    out.extend_from_slice(&ctx.to_le_bytes());
+                    out.extend_from_slice(&dnode.to_le_bytes());
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+                Preload::SwitchPort {
+                    ctx,
+                    switch,
+                    lane,
+                    input,
+                    word,
+                } => {
+                    out.push(TAG_SWITCH_PORT);
+                    out.extend_from_slice(&ctx.to_le_bytes());
+                    out.extend_from_slice(&switch.to_le_bytes());
+                    out.extend_from_slice(&lane.to_le_bytes());
+                    out.push(input);
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+                Preload::HostCapture { ctx, switch, port, word } => {
+                    out.push(TAG_HOST_CAPTURE);
+                    out.extend_from_slice(&ctx.to_le_bytes());
+                    out.extend_from_slice(&switch.to_le_bytes());
+                    out.extend_from_slice(&port.to_le_bytes());
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+                Preload::Mode { dnode, local } => {
+                    out.push(TAG_MODE);
+                    out.extend_from_slice(&dnode.to_le_bytes());
+                    out.push(local as u8);
+                }
+                Preload::LocalSlot { dnode, slot, word } => {
+                    out.push(TAG_LOCAL_SLOT);
+                    out.extend_from_slice(&dnode.to_le_bytes());
+                    out.push(slot);
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+                Preload::LocalLimit { dnode, limit } => {
+                    out.push(TAG_LOCAL_LIMIT);
+                    out.extend_from_slice(&dnode.to_le_bytes());
+                    out.push(limit);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes from the binary container format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectError`] if the input is not a well-formed container.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ObjectError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(8)? != MAGIC {
+            return Err(ObjectError::BadMagic);
+        }
+        let layers = cur.u16()?;
+        let width = cur.u16()?;
+        let contexts = cur.u16()?;
+        let _reserved = cur.u16()?;
+        let geometry = if layers == 0 && width == 0 {
+            None
+        } else {
+            Some(
+                RingGeometry::new(layers as usize, width as usize)
+                    .map_err(|_| ObjectError::BadGeometry { layers, width })?,
+            )
+        };
+        let code_len = cur.u32()? as usize;
+        let data_len = cur.u32()? as usize;
+        let preload_len = cur.u32()? as usize;
+        let mut code = Vec::with_capacity(code_len.min(1 << 20));
+        for _ in 0..code_len {
+            code.push(cur.u32()?);
+        }
+        let mut data = Vec::with_capacity(data_len.min(1 << 20));
+        for _ in 0..data_len {
+            data.push(cur.u32()?);
+        }
+        let mut preload = Vec::with_capacity(preload_len.min(1 << 20));
+        for _ in 0..preload_len {
+            let tag = cur.u8()?;
+            let record = match tag {
+                TAG_DNODE_INSTR => Preload::DnodeInstr {
+                    ctx: cur.u16()?,
+                    dnode: cur.u16()?,
+                    word: cur.u64()?,
+                },
+                TAG_SWITCH_PORT => Preload::SwitchPort {
+                    ctx: cur.u16()?,
+                    switch: cur.u16()?,
+                    lane: cur.u16()?,
+                    input: cur.u8()?,
+                    word: cur.u32()?,
+                },
+                TAG_HOST_CAPTURE => Preload::HostCapture {
+                    ctx: cur.u16()?,
+                    switch: cur.u16()?,
+                    port: cur.u16()?,
+                    word: cur.u32()?,
+                },
+                TAG_MODE => Preload::Mode {
+                    dnode: cur.u16()?,
+                    local: cur.u8()? != 0,
+                },
+                TAG_LOCAL_SLOT => Preload::LocalSlot {
+                    dnode: cur.u16()?,
+                    slot: cur.u8()?,
+                    word: cur.u64()?,
+                },
+                TAG_LOCAL_LIMIT => Preload::LocalLimit {
+                    dnode: cur.u16()?,
+                    limit: cur.u8()?,
+                },
+                other => return Err(ObjectError::BadRecordTag(other)),
+            };
+            preload.push(record);
+        }
+        if cur.pos != bytes.len() {
+            return Err(ObjectError::TrailingBytes(bytes.len() - cur.pos));
+        }
+        Ok(Object {
+            geometry,
+            contexts,
+            code,
+            data,
+            preload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Object {
+        Object {
+            geometry: Some(RingGeometry::RING_8),
+            contexts: 4,
+            code: vec![0xdead_beef, 0x0123_4567, 0],
+            data: vec![42, 0xffff_ffff],
+            preload: vec![
+                Preload::DnodeInstr {
+                    ctx: 0,
+                    dnode: 3,
+                    word: 0x1234_0000_00ab,
+                },
+                Preload::SwitchPort {
+                    ctx: 1,
+                    switch: 2,
+                    lane: 0,
+                    input: 1,
+                    word: 9,
+                },
+                Preload::HostCapture {
+                    ctx: 0,
+                    switch: 3,
+                    port: 1,
+                    word: 1,
+                },
+                Preload::Mode { dnode: 7, local: true },
+                Preload::LocalSlot {
+                    dnode: 7,
+                    slot: 2,
+                    word: 0x55,
+                },
+                Preload::LocalLimit { dnode: 7, limit: 3 },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let obj = sample();
+        let bytes = obj.to_bytes();
+        assert_eq!(Object::from_bytes(&bytes).unwrap(), obj);
+    }
+
+    #[test]
+    fn empty_object_round_trips() {
+        let obj = Object::new();
+        assert_eq!(Object::from_bytes(&obj.to_bytes()).unwrap(), obj);
+        assert_eq!(obj.geometry, None);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Object::from_bytes(&bytes), Err(ObjectError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            let err = Object::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, ObjectError::Truncated | ObjectError::BadMagic),
+                "unexpected error at len {len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert_eq!(Object::from_bytes(&bytes), Err(ObjectError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn rejects_bad_record_tag() {
+        let mut obj = Object::new();
+        obj.preload.push(Preload::Mode { dnode: 0, local: false });
+        let mut bytes = obj.to_bytes();
+        // The record tag is the first byte after the 28-byte header.
+        let tag_pos = 8 + 8 + 12;
+        assert_eq!(bytes[tag_pos], TAG_MODE);
+        bytes[tag_pos] = 99;
+        assert_eq!(Object::from_bytes(&bytes), Err(ObjectError::BadRecordTag(99)));
+    }
+
+    #[test]
+    fn rejects_invalid_geometry() {
+        let mut bytes = Object::new().to_bytes();
+        // layers = 1 (invalid), width = 4.
+        bytes[8..10].copy_from_slice(&1u16.to_le_bytes());
+        bytes[10..12].copy_from_slice(&4u16.to_le_bytes());
+        assert_eq!(
+            Object::from_bytes(&bytes),
+            Err(ObjectError::BadGeometry { layers: 1, width: 4 })
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Switch configuration: crossbar port sources and host-capture selection.
+//!
+//! A switch sits between two adjacent Dnode layers. It is itself dynamically
+//! reconfigurable and performs three tasks (paper §4.2):
+//!
+//! 1. **Forward routing** — for each input port (`In1`, `In2`) of each
+//!    downstream Dnode, select a source: an upstream Dnode output, a stage of
+//!    any feedback pipeline, the switch's host-input port, the shared bus, or
+//!    constant zero.
+//! 2. **Feedback capture** — unconditionally (no control needed) push the
+//!    whole upstream layer's output vector into its own feedback pipeline.
+//! 3. **Host traffic** — optionally capture one upstream Dnode's output into
+//!    the switch's host-output port each cycle.
+
+use std::fmt;
+
+/// Source selector for one downstream Dnode input port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PortSource {
+    /// Constant zero (the reset routing).
+    #[default]
+    Zero,
+    /// Output of upstream-layer Dnode `lane`.
+    PrevOut {
+        /// Lane (index within the upstream layer) of the source Dnode.
+        lane: u8,
+    },
+    /// Stage `stage` of the feedback pipeline owned by switch `switch`.
+    ///
+    /// Stage 0 is the most recently captured vector. Every switch has read
+    /// access to every pipeline (the paper's global feedback network).
+    Pipe {
+        /// Owning switch of the pipeline.
+        switch: u8,
+        /// Pipeline stage, 0 = newest.
+        stage: u8,
+        /// Lane within the captured layer-output vector.
+        lane: u8,
+    },
+    /// Head of one of this switch's host-input FIFOs (direct dedicated
+    /// ports; a switch has `2 * width` of them, enough to feed both forward
+    /// ports of every downstream Dnode).
+    HostIn {
+        /// Host-input port index within this switch.
+        port: u8,
+    },
+    /// The shared bus.
+    Bus,
+}
+
+/// Error decoding a switch configuration word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeSwitchError {
+    word: u32,
+}
+
+impl fmt::Display for DecodeSwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reserved switch port-source encoding in word {:#010x}",
+            self.word
+        )
+    }
+}
+
+impl std::error::Error for DecodeSwitchError {}
+
+impl PortSource {
+    /// Encodes to a 32-bit configuration word.
+    ///
+    /// Layout: `[0..3)` kind, `[3..11)` field A, `[11..19)` field B,
+    /// `[19..27)` field C, rest zero.
+    pub fn encode(self) -> u32 {
+        match self {
+            PortSource::Zero => 0,
+            PortSource::PrevOut { lane } => 1 | (lane as u32) << 3,
+            PortSource::Pipe {
+                switch,
+                stage,
+                lane,
+            } => 2 | (switch as u32) << 3 | (stage as u32) << 11 | (lane as u32) << 19,
+            PortSource::HostIn { port } => 3 | (port as u32) << 3,
+            PortSource::Bus => 4,
+        }
+    }
+
+    /// Decodes a 32-bit configuration word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeSwitchError`] for reserved kind codes or nonzero
+    /// payload bits on payload-free kinds.
+    pub fn decode(word: u32) -> Result<Self, DecodeSwitchError> {
+        let kind = word & 0x7;
+        let a = ((word >> 3) & 0xff) as u8;
+        let b = ((word >> 11) & 0xff) as u8;
+        let c = ((word >> 19) & 0xff) as u8;
+        let payload = word >> 3;
+        let source = match kind {
+            0 if payload == 0 => PortSource::Zero,
+            1 if word >> 11 == 0 => PortSource::PrevOut { lane: a },
+            2 if word >> 27 == 0 => PortSource::Pipe {
+                switch: a,
+                stage: b,
+                lane: c,
+            },
+            3 if word >> 11 == 0 => PortSource::HostIn { port: a },
+            4 if payload == 0 => PortSource::Bus,
+            _ => return Err(DecodeSwitchError { word }),
+        };
+        Ok(source)
+    }
+}
+
+impl fmt::Display for PortSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortSource::Zero => f.write_str("zero"),
+            PortSource::PrevOut { lane } => write!(f, "prev.{lane}"),
+            PortSource::Pipe {
+                switch,
+                stage,
+                lane,
+            } => write!(f, "pipe[{switch}][{stage}].{lane}"),
+            PortSource::HostIn { port } => write!(f, "hostin.{port}"),
+            PortSource::Bus => f.write_str("bus"),
+        }
+    }
+}
+
+/// Host-output capture selection for one switch.
+///
+/// Encoded as `0` (disabled) or `lane + 1` in configuration words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct HostCapture(Option<u8>);
+
+impl HostCapture {
+    /// No capture (reset value).
+    pub const DISABLED: HostCapture = HostCapture(None);
+
+    /// Capture the output of upstream Dnode `lane` every cycle.
+    pub const fn lane(lane: u8) -> Self {
+        HostCapture(Some(lane))
+    }
+
+    /// The captured lane, if capture is enabled.
+    pub const fn selected(self) -> Option<u8> {
+        self.0
+    }
+
+    /// Encodes to a configuration word (`0` = disabled, else `lane + 1`).
+    pub fn encode(self) -> u32 {
+        match self.0 {
+            None => 0,
+            Some(lane) => lane as u32 + 1,
+        }
+    }
+
+    /// Decodes a configuration word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeSwitchError`] if the encoded lane exceeds 255.
+    pub fn decode(word: u32) -> Result<Self, DecodeSwitchError> {
+        match word {
+            0 => Ok(HostCapture(None)),
+            1..=256 => Ok(HostCapture(Some((word - 1) as u8))),
+            _ => Err(DecodeSwitchError { word }),
+        }
+    }
+}
+
+impl fmt::Display for HostCapture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            None => f.write_str("off"),
+            Some(lane) => write!(f, "lane {lane}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_source_round_trips() {
+        let sources = [
+            PortSource::Zero,
+            PortSource::PrevOut { lane: 0 },
+            PortSource::PrevOut { lane: 255 },
+            PortSource::Pipe {
+                switch: 3,
+                stage: 7,
+                lane: 1,
+            },
+            PortSource::Pipe {
+                switch: 255,
+                stage: 255,
+                lane: 255,
+            },
+            PortSource::HostIn { port: 0 },
+            PortSource::HostIn { port: 255 },
+            PortSource::Bus,
+        ];
+        for src in sources {
+            assert_eq!(PortSource::decode(src.encode()), Ok(src));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_reserved_kinds() {
+        for kind in 5u32..8 {
+            assert!(PortSource::decode(kind).is_err());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_stray_payload() {
+        assert!(PortSource::decode(1 | 1 << 3).is_ok()); // PrevOut lane 1
+        assert!(PortSource::decode(8).is_err()); // kind 0 (Zero) with payload
+        assert!(PortSource::decode(3 | 1 << 11).is_err()); // HostIn with b field
+        assert!(PortSource::decode(4 | 1 << 3).is_err()); // Bus with payload
+        assert!(PortSource::decode(1 | 1 << 11).is_err()); // PrevOut with b field
+    }
+
+    #[test]
+    fn host_capture_round_trips() {
+        for cap in [
+            HostCapture::DISABLED,
+            HostCapture::lane(0),
+            HostCapture::lane(255),
+        ] {
+            assert_eq!(HostCapture::decode(cap.encode()), Ok(cap));
+        }
+        assert!(HostCapture::decode(257).is_err());
+    }
+
+    #[test]
+    fn default_routing_is_zero() {
+        assert_eq!(PortSource::default(), PortSource::Zero);
+        assert_eq!(HostCapture::default(), HostCapture::DISABLED);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(PortSource::PrevOut { lane: 2 }.to_string(), "prev.2");
+        assert_eq!(
+            PortSource::Pipe {
+                switch: 1,
+                stage: 0,
+                lane: 3
+            }
+            .to_string(),
+            "pipe[1][0].3"
+        );
+        assert_eq!(HostCapture::lane(4).to_string(), "lane 4");
+        assert_eq!(HostCapture::DISABLED.to_string(), "off");
+    }
+}

@@ -1,0 +1,434 @@
+//! The 16-bit machine word of the Systolic Ring datapath.
+//!
+//! The paper specifies a 16-bit ALU with a hardwired multiplier in every
+//! Dnode. All datapath values — register file contents, switch ports,
+//! feedback-pipeline stages, the shared bus — carry this word type.
+//!
+//! Arithmetic follows DSP conventions:
+//! * plain add/sub/mul wrap (two's complement),
+//! * explicit saturating variants are provided as distinct operations,
+//! * `abs` and `abs_diff` saturate (|i16::MIN| is not representable).
+
+use std::fmt;
+
+/// A 16-bit two's-complement machine word.
+///
+/// `Word16` is a transparent wrapper over the raw bit pattern; signed and
+/// unsigned views are provided by [`Word16::as_i16`] and [`Word16::bits`].
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_isa::Word16;
+///
+/// let a = Word16::from_i16(-3);
+/// let b = Word16::from_i16(5);
+/// assert_eq!(a.wrapping_add(b).as_i16(), 2);
+/// assert_eq!(a.abs_diff(b).as_i16(), 8);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Word16(u16);
+
+impl Word16 {
+    /// The all-zero word.
+    pub const ZERO: Word16 = Word16(0);
+    /// The word with value one.
+    pub const ONE: Word16 = Word16(1);
+    /// Most positive signed value (`0x7fff`).
+    pub const SIGNED_MAX: Word16 = Word16(i16::MAX as u16);
+    /// Most negative signed value (`0x8000`).
+    pub const SIGNED_MIN: Word16 = Word16(i16::MIN as u16);
+    /// All bits set (`0xffff`, i.e. -1 signed / 65535 unsigned).
+    pub const ALL_ONES: Word16 = Word16(u16::MAX);
+
+    /// Creates a word from its raw bit pattern.
+    #[inline]
+    pub const fn new(bits: u16) -> Self {
+        Word16(bits)
+    }
+
+    /// Creates a word from a signed value.
+    #[inline]
+    pub const fn from_i16(value: i16) -> Self {
+        Word16(value as u16)
+    }
+
+    /// Returns the raw bit pattern (unsigned view).
+    #[inline]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the signed (two's complement) view.
+    #[inline]
+    pub const fn as_i16(self) -> i16 {
+        self.0 as i16
+    }
+
+    /// Wrapping (modular) addition.
+    #[inline]
+    pub const fn wrapping_add(self, rhs: Word16) -> Word16 {
+        Word16(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Wrapping (modular) subtraction.
+    #[inline]
+    pub const fn wrapping_sub(self, rhs: Word16) -> Word16 {
+        Word16(self.0.wrapping_sub(rhs.0))
+    }
+
+    /// Wrapping two's-complement negation.
+    #[inline]
+    pub const fn wrapping_neg(self) -> Word16 {
+        Word16(self.0.wrapping_neg())
+    }
+
+    /// Signed saturating addition (clamps to `i16::MIN..=i16::MAX`).
+    #[inline]
+    pub const fn saturating_add(self, rhs: Word16) -> Word16 {
+        Word16(self.as_i16().saturating_add(rhs.as_i16()) as u16)
+    }
+
+    /// Signed saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Word16) -> Word16 {
+        Word16(self.as_i16().saturating_sub(rhs.as_i16()) as u16)
+    }
+
+    /// Full 16x16 -> 32-bit signed product.
+    #[inline]
+    pub const fn widening_mul(self, rhs: Word16) -> i32 {
+        self.as_i16() as i32 * rhs.as_i16() as i32
+    }
+
+    /// Low 16 bits of the product (identical for signed and unsigned).
+    #[inline]
+    pub const fn mul_lo(self, rhs: Word16) -> Word16 {
+        Word16(self.0.wrapping_mul(rhs.0))
+    }
+
+    /// High 16 bits of the signed 16x16 -> 32 product.
+    #[inline]
+    pub const fn mul_hi(self, rhs: Word16) -> Word16 {
+        Word16((self.widening_mul(rhs) >> 16) as u16)
+    }
+
+    /// High 16 bits of the unsigned 16x16 -> 32 product.
+    #[inline]
+    pub const fn mul_hi_unsigned(self, rhs: Word16) -> Word16 {
+        Word16(((self.0 as u32 * rhs.0 as u32) >> 16) as u16)
+    }
+
+    /// Saturating signed absolute value (`|i16::MIN|` clamps to `i16::MAX`).
+    #[inline]
+    pub const fn abs(self) -> Word16 {
+        let v = self.as_i16();
+        if v == i16::MIN {
+            Word16::SIGNED_MAX
+        } else {
+            Word16(v.unsigned_abs())
+        }
+    }
+
+    /// Saturating signed absolute difference `|a - b|`.
+    ///
+    /// The difference is computed exactly (in 32 bits) and then clamped, so
+    /// `abs_diff` never wraps — this matches media-ALU behaviour and is the
+    /// primitive the motion-estimation kernel builds SAD from.
+    #[inline]
+    pub const fn abs_diff(self, rhs: Word16) -> Word16 {
+        let d = self.as_i16() as i32 - rhs.as_i16() as i32;
+        let d = if d < 0 { -d } else { d };
+        if d > i16::MAX as i32 {
+            Word16::SIGNED_MAX
+        } else {
+            Word16(d as u16)
+        }
+    }
+
+    /// Signed minimum.
+    #[inline]
+    pub const fn min_s(self, rhs: Word16) -> Word16 {
+        if self.as_i16() <= rhs.as_i16() {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Signed maximum.
+    #[inline]
+    pub const fn max_s(self, rhs: Word16) -> Word16 {
+        if self.as_i16() >= rhs.as_i16() {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Unsigned minimum.
+    #[inline]
+    pub const fn min_u(self, rhs: Word16) -> Word16 {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Unsigned maximum.
+    #[inline]
+    pub const fn max_u(self, rhs: Word16) -> Word16 {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Logical left shift by `rhs & 15`.
+    #[inline]
+    pub const fn shl(self, rhs: Word16) -> Word16 {
+        Word16(self.0 << (rhs.0 & 15))
+    }
+
+    /// Logical right shift by `rhs & 15`.
+    #[inline]
+    pub const fn shr(self, rhs: Word16) -> Word16 {
+        Word16(self.0 >> (rhs.0 & 15))
+    }
+
+    /// Arithmetic (sign-extending) right shift by `rhs & 15`.
+    #[inline]
+    pub const fn asr(self, rhs: Word16) -> Word16 {
+        Word16((self.as_i16() >> (rhs.0 & 15)) as u16)
+    }
+
+    /// Signed set-less-than: `1` if `self < rhs`, else `0`.
+    #[inline]
+    pub const fn slt(self, rhs: Word16) -> Word16 {
+        if self.as_i16() < rhs.as_i16() {
+            Word16::ONE
+        } else {
+            Word16::ZERO
+        }
+    }
+
+    /// Unsigned set-less-than: `1` if `self < rhs`, else `0`.
+    #[inline]
+    pub const fn sltu(self, rhs: Word16) -> Word16 {
+        if self.0 < rhs.0 {
+            Word16::ONE
+        } else {
+            Word16::ZERO
+        }
+    }
+
+    /// Bitwise AND.
+    #[inline]
+    pub const fn and(self, rhs: Word16) -> Word16 {
+        Word16(self.0 & rhs.0)
+    }
+
+    /// Bitwise OR.
+    #[inline]
+    pub const fn or(self, rhs: Word16) -> Word16 {
+        Word16(self.0 | rhs.0)
+    }
+
+    /// Bitwise XOR.
+    #[inline]
+    pub const fn xor(self, rhs: Word16) -> Word16 {
+        Word16(self.0 ^ rhs.0)
+    }
+
+    /// Bitwise NOT.
+    #[inline]
+    pub const fn not(self) -> Word16 {
+        Word16(!self.0)
+    }
+
+    /// `true` if all bits are zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u16> for Word16 {
+    fn from(bits: u16) -> Self {
+        Word16(bits)
+    }
+}
+
+impl From<i16> for Word16 {
+    fn from(value: i16) -> Self {
+        Word16::from_i16(value)
+    }
+}
+
+impl From<Word16> for u16 {
+    fn from(word: Word16) -> Self {
+        word.0
+    }
+}
+
+impl From<Word16> for i16 {
+    fn from(word: Word16) -> Self {
+        word.as_i16()
+    }
+}
+
+impl fmt::Debug for Word16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word16({:#06x} = {})", self.0, self.as_i16())
+    }
+}
+
+impl fmt::Display for Word16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.as_i16(), f)
+    }
+}
+
+impl fmt::LowerHex for Word16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Word16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Word16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Word16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_add_wraps_at_modulus() {
+        assert_eq!(
+            Word16::new(0xffff).wrapping_add(Word16::ONE),
+            Word16::ZERO
+        );
+        assert_eq!(
+            Word16::SIGNED_MAX.wrapping_add(Word16::ONE),
+            Word16::SIGNED_MIN
+        );
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(
+            Word16::SIGNED_MAX.saturating_add(Word16::ONE),
+            Word16::SIGNED_MAX
+        );
+        assert_eq!(
+            Word16::SIGNED_MIN.saturating_add(Word16::from_i16(-1)),
+            Word16::SIGNED_MIN
+        );
+        assert_eq!(
+            Word16::from_i16(100).saturating_add(Word16::from_i16(-30)),
+            Word16::from_i16(70)
+        );
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(
+            Word16::SIGNED_MIN.saturating_sub(Word16::ONE),
+            Word16::SIGNED_MIN
+        );
+        assert_eq!(
+            Word16::SIGNED_MAX.saturating_sub(Word16::from_i16(-1)),
+            Word16::SIGNED_MAX
+        );
+    }
+
+    #[test]
+    fn abs_saturates_at_signed_min() {
+        assert_eq!(Word16::SIGNED_MIN.abs(), Word16::SIGNED_MAX);
+        assert_eq!(Word16::from_i16(-5).abs(), Word16::from_i16(5));
+        assert_eq!(Word16::from_i16(5).abs(), Word16::from_i16(5));
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric_and_saturates() {
+        let a = Word16::from_i16(-30000);
+        let b = Word16::from_i16(30000);
+        assert_eq!(a.abs_diff(b), Word16::SIGNED_MAX);
+        assert_eq!(b.abs_diff(a), Word16::SIGNED_MAX);
+        assert_eq!(
+            Word16::from_i16(7).abs_diff(Word16::from_i16(12)),
+            Word16::from_i16(5)
+        );
+    }
+
+    #[test]
+    fn multiplier_views() {
+        let a = Word16::from_i16(-300);
+        let b = Word16::from_i16(200);
+        assert_eq!(a.widening_mul(b), -60000);
+        assert_eq!(a.mul_lo(b).bits(), (-60000i32 as u32 & 0xffff) as u16);
+        assert_eq!(a.mul_hi(b).bits(), ((-60000i32 >> 16) as u32 & 0xffff) as u16);
+        // Unsigned high half differs from signed high half for negative inputs.
+        assert_eq!(
+            Word16::new(0xffff).mul_hi_unsigned(Word16::new(2)),
+            Word16::new(1)
+        );
+        assert_eq!(
+            Word16::new(0xffff).mul_hi(Word16::new(2)),
+            Word16::new(0xffff)
+        );
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        let v = Word16::new(0x8001);
+        assert_eq!(v.shl(Word16::new(16)), v);
+        assert_eq!(v.shr(Word16::new(17)), Word16::new(0x4000));
+        assert_eq!(v.asr(Word16::new(1)), Word16::new(0xc000));
+    }
+
+    #[test]
+    fn comparisons_signed_vs_unsigned() {
+        let minus_one = Word16::from_i16(-1);
+        assert_eq!(minus_one.slt(Word16::ZERO), Word16::ONE);
+        assert_eq!(minus_one.sltu(Word16::ZERO), Word16::ZERO);
+        assert_eq!(minus_one.min_s(Word16::ONE), minus_one);
+        assert_eq!(minus_one.min_u(Word16::ONE), Word16::ONE);
+        assert_eq!(minus_one.max_u(Word16::ONE), minus_one);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(format!("{}", Word16::from_i16(-2)), "-2");
+        assert_eq!(format!("{:x}", Word16::from_i16(-2)), "fffe");
+        assert!(format!("{:?}", Word16::ZERO).contains("0x0000"));
+        assert_eq!(format!("{:b}", Word16::new(5)), "101");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        for v in [-32768i16, -1, 0, 1, 32767] {
+            let w = Word16::from(v);
+            assert_eq!(i16::from(w), v);
+            assert_eq!(u16::from(w), v as u16);
+            assert_eq!(Word16::from(v as u16), w);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Separable 3x3 image convolution: the FIR engine applied in 2-D.
+//!
+//! Gaussian-style smoothing, Sobel gradients and most classic video
+//! filters factor into a horizontal and a vertical 3-tap pass. Each pass
+//! runs on the spatial FIR pipeline ([`crate::fir::spatial`], one pixel
+//! per cycle); rows are streamed back-to-back with a two-zero inter-row
+//! gap (the FIR's memory), giving zero-padded boundaries, and the host
+//! transposes between passes — the same line-based division of labour as
+//! the wavelet workload.
+
+use systolic_ring_isa::RingGeometry;
+
+use crate::fir;
+use crate::image::Image;
+use crate::{KernelError, KernelRun};
+
+/// Runs one 3-tap pass over every row of a `width x height` plane.
+///
+/// Output pixel `(x, y)` is `k[0]*p(x+1,y) + k[1]*p(x,y) + k[2]*p(x-1,y)`
+/// with zero padding.
+fn row_pass(
+    geometry: RingGeometry,
+    k: &[i16; 3],
+    width: usize,
+    height: usize,
+    data: &[i16],
+) -> Result<(Vec<i16>, u64), KernelError> {
+    // Slotted stream: each row followed by two zeros so the FIR delay line
+    // drains between rows.
+    let stride = width + 2;
+    let mut stream = Vec::with_capacity(stride * height);
+    for y in 0..height {
+        stream.extend_from_slice(&data[y * width..(y + 1) * width]);
+        stream.extend_from_slice(&[0, 0]);
+    }
+    let run = fir::spatial(geometry, k, &stream)?;
+    let mut out = vec![0i16; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            // out(x) = fir output one slot later (the x+1 tap leads).
+            out[y * width + x] = run.outputs[y * stride + x + 1];
+        }
+    }
+    Ok((out, run.cycles))
+}
+
+/// Result of a 2-D convolution.
+#[derive(Clone, Debug)]
+pub struct ConvRun {
+    /// Filtered plane, row-major.
+    pub output: Vec<i16>,
+    /// Total cycles (both passes).
+    pub cycles: u64,
+    /// Pixels processed.
+    pub pixels: usize,
+}
+
+/// Convolves `image` with the separable 3x3 kernel `kh x kv`
+/// (zero-padded borders, 16-bit wrapping arithmetic, matching
+/// [`crate::golden::conv3x3_separable`] exactly).
+///
+/// # Errors
+///
+/// Returns [`KernelError`] if the geometry cannot host the FIR pipeline or
+/// the image is empty.
+pub fn conv3x3(
+    geometry: RingGeometry,
+    kh: &[i16; 3],
+    kv: &[i16; 3],
+    image: &Image,
+) -> Result<ConvRun, KernelError> {
+    let (w, h) = (image.width(), image.height());
+    if w == 0 || h == 0 {
+        return Err(KernelError::BadParams("empty image".into()));
+    }
+    // Horizontal pass over rows.
+    let (hpass, c1) = row_pass(geometry, kh, w, h, image.data())?;
+    // Vertical pass = horizontal pass over the transpose.
+    let mut transposed = vec![0i16; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            transposed[x * h + y] = hpass[y * w + x];
+        }
+    }
+    let (vpass_t, c2) = row_pass(geometry, kv, h, w, &transposed)?;
+    let mut output = vec![0i16; w * h];
+    for x in 0..w {
+        for y in 0..h {
+            output[y * w + x] = vpass_t[x * h + y];
+        }
+    }
+    Ok(ConvRun {
+        output,
+        cycles: c1 + c2,
+        pixels: w * h,
+    })
+}
+
+/// Convenience wrapper returning a [`KernelRun`] for uniform harness code.
+pub fn conv3x3_run(
+    geometry: RingGeometry,
+    kh: &[i16; 3],
+    kv: &[i16; 3],
+    image: &Image,
+) -> Result<KernelRun, KernelError> {
+    let run = conv3x3(geometry, kh, kv, image)?;
+    Ok(KernelRun {
+        outputs: run.output,
+        cycles: run.cycles,
+        stats: systolic_ring_core::Stats::new(geometry.dnodes()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+
+    #[test]
+    fn identity_kernel_passes_the_image_through() {
+        let image = Image::textured(12, 9, 5);
+        let run = conv3x3(RingGeometry::RING_16, &[0, 1, 0], &[0, 1, 0], &image).unwrap();
+        assert_eq!(run.output, image.data());
+    }
+
+    #[test]
+    fn box_blur_matches_golden() {
+        let image = Image::textured(16, 12, 6);
+        let kh = [1, 1, 1];
+        let kv = [1, 1, 1];
+        let run = conv3x3(RingGeometry::RING_16, &kh, &kv, &image).unwrap();
+        assert_eq!(
+            run.output,
+            golden::conv3x3_separable(&kh, &kv, 16, 12, image.data())
+        );
+    }
+
+    #[test]
+    fn sobel_x_matches_golden() {
+        // Sobel horizontal gradient: [-1 0 1] x [1 2 1].
+        let image = Image::textured(20, 10, 7);
+        let kh = [1, 0, -1];
+        let kv = [1, 2, 1];
+        let run = conv3x3(RingGeometry::RING_16, &kh, &kv, &image).unwrap();
+        assert_eq!(
+            run.output,
+            golden::conv3x3_separable(&kh, &kv, 20, 10, image.data())
+        );
+    }
+
+    #[test]
+    fn throughput_is_about_one_pixel_per_cycle_per_pass() {
+        let image = Image::textured(32, 32, 8);
+        let run = conv3x3(RingGeometry::RING_16, &[1, 2, 1], &[1, 2, 1], &image).unwrap();
+        let cpp = run.cycles as f64 / run.pixels as f64;
+        // Two passes plus inter-row gaps: a little over 2 cycles/pixel.
+        assert!(cpp < 2.5, "cycles/pixel = {cpp:.2}");
+    }
+
+    #[test]
+    fn rejects_empty_images() {
+        let empty = Image::zeros(0, 0);
+        assert!(matches!(
+            conv3x3(RingGeometry::RING_16, &[1, 1, 1], &[1, 1, 1], &empty),
+            Err(KernelError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn too_narrow_geometry_is_reported() {
+        let image = Image::textured(8, 8, 1);
+        assert!(matches!(
+            conv3x3(RingGeometry::RING_8, &[1, 1, 1], &[1, 1, 1], &image),
+            Err(KernelError::DoesNotFit(_))
+        ));
+    }
+}

@@ -1,0 +1,373 @@
+//! Radix-2 FFT butterflies: complex arithmetic on the fabric.
+//!
+//! §6 lists "trigonometric op." among the macro-operators the architecture
+//! targets. This module maps the radix-2 DIT **butterfly**
+//! `(X, Y) = (A + W·B, A − W·B)` onto twelve Dnodes of a 4x4 ring —
+//! four multipliers, the complex cross sums, a fixed-point scale, and the
+//! final add/subtract pairs — streaming one butterfly per cycle, with all
+//! four result words captured in parallel on the downstream switch's
+//! per-lane host-output ports.
+//!
+//! A full FFT ([`fft`]) composes `log2(N)` streamed stages with host-side
+//! reordering between them (the SoC usage model: the host owns the data
+//! layout, the ring owns the arithmetic).
+//!
+//! # Fixed point
+//!
+//! Twiddles are in Q(`shift`) fixed point ([`twiddle`], `shift <= 15`);
+//! the products use the Dnode's high-half multiply (`mulh`) and a left
+//! shift by `16 - shift` after the complex cross sums restores the scale —
+//! the classic truncating Q15 complex multiply. All arithmetic is exactly
+//! mirrored by [`golden_fft`], so hardware/golden comparisons are
+//! bit-exact, while accuracy versus an ideal DFT is the usual fixed-point
+//! truncation trade-off.
+
+use systolic_ring_core::{MachineParams, RingMachine};
+use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::{RingGeometry, Word16};
+
+use crate::golden::{butterfly, Complex16};
+use crate::{KernelError, KernelRun};
+
+/// Pipeline latency from a butterfly's stream slot to its results at the
+/// capture sinks.
+const LATENCY: usize = 5;
+
+/// The Q(`shift`) twiddle factor `W_m^j = exp(-2*pi*i*j/m)`, clamped to
+/// the i16 range (`+1.0` in Q15 becomes `32767`).
+pub fn twiddle(j: usize, m: usize, shift: u16) -> Complex16 {
+    let theta = -2.0 * std::f64::consts::PI * j as f64 / m as f64;
+    let scale = (1i32 << shift) as f64;
+    let q = |v: f64| (v * scale).round().clamp(-32768.0, 32767.0) as i16;
+    (q(theta.cos()), q(theta.sin()))
+}
+
+/// Result of a hardware FFT.
+#[derive(Clone, Debug)]
+pub struct FftRun {
+    /// Output spectrum (natural order).
+    pub output: Vec<Complex16>,
+    /// Total cycles across all stages.
+    pub cycles: u64,
+    /// Number of butterfly stages executed.
+    pub stages: usize,
+}
+
+/// Streams one batch of butterflies through the fabric.
+///
+/// Returns `(x, y)` with `x[i], y[i] = butterfly(a[i], b[i], w[i], shift)`.
+///
+/// # Errors
+///
+/// Returns [`KernelError`] if the geometry is smaller than 4x4, the slices
+/// differ in length, or the machine faults.
+pub fn butterfly_stage(
+    geometry: RingGeometry,
+    a: &[Complex16],
+    b: &[Complex16],
+    w: &[Complex16],
+    shift: u16,
+) -> Result<(Vec<Complex16>, Vec<Complex16>, KernelRun), KernelError> {
+    if geometry.layers() < 4 || geometry.width() < 4 {
+        return Err(KernelError::DoesNotFit(format!(
+            "the butterfly pipeline needs a 4x4 fabric, {geometry} is too small"
+        )));
+    }
+    if a.len() != b.len() || a.len() != w.len() {
+        return Err(KernelError::BadParams(format!(
+            "operand lengths differ: {} / {} / {}",
+            a.len(),
+            b.len(),
+            w.len()
+        )));
+    }
+    let n = a.len();
+    let params = MachineParams::PAPER.with_host_fifo_capacity(1 << 17);
+    let mut m = RingMachine::new(geometry, params);
+    configure_butterfly(&mut m, shift)?;
+
+    // B and W streams on switch 0; A streams on switch 3 with the
+    // alignment prefix.
+    let words = |f: fn(&Complex16) -> i16, v: &[Complex16]| -> Vec<Word16> {
+        v.iter().map(|c| Word16::from_i16(f(c))).collect()
+    };
+    m.attach_input(0, 0, words(|c| c.0, b))?;
+    m.attach_input(0, 1, words(|c| c.1, b))?;
+    m.attach_input(0, 2, words(|c| c.0, w))?;
+    m.attach_input(0, 3, words(|c| c.1, w))?;
+    let mut a_re = vec![Word16::ZERO; 3];
+    let mut a_im = vec![Word16::ZERO; 3];
+    a_re.extend(words(|c| c.0, a));
+    a_im.extend(words(|c| c.1, a));
+    m.attach_input(3, 0, a_re)?;
+    m.attach_input(3, 1, a_im)?;
+
+    m.run(n as u64 + LATENCY as u64 + 4)?;
+
+    let take = |m: &mut RingMachine, port: usize| -> Result<Vec<i16>, KernelError> {
+        Ok(m.take_sink(0, port)?
+            .iter()
+            .skip(LATENCY)
+            .take(n)
+            .map(|v| v.as_i16())
+            .collect())
+    };
+    let xr = take(&mut m, 0)?;
+    let xi = take(&mut m, 1)?;
+    let yr = take(&mut m, 2)?;
+    let yi = take(&mut m, 3)?;
+    let x: Vec<Complex16> = xr.into_iter().zip(xi).collect();
+    let y: Vec<Complex16> = yr.into_iter().zip(yi).collect();
+    let run = KernelRun {
+        outputs: Vec::new(),
+        cycles: m.cycle(),
+        stats: m.stats().clone(),
+    };
+    Ok((x, y, run))
+}
+
+fn configure_butterfly(m: &mut RingMachine, shift: u16) -> Result<(), KernelError> {
+    use Operand::{In1, In2};
+    let g = m.geometry();
+    let d = |layer: usize, lane: usize| g.dnode_index(layer, lane);
+    let cfg = m.configure();
+
+    // Layer 0: the four high-half products.
+    let mul = MicroInstr::op(AluOp::MulHi, In1, In2).write_out();
+    let prods = [(0usize, 0u8, 2u8), (1, 1, 3), (2, 0, 3), (3, 1, 2)];
+    for (lane, p1, p2) in prods {
+        cfg.set_port(0, 0, lane, 0, PortSource::HostIn { port: p1 })?;
+        cfg.set_port(0, 0, lane, 1, PortSource::HostIn { port: p2 })?;
+        cfg.set_dnode_instr(0, d(0, lane), mul)?;
+    }
+    // Layer 1: complex cross sums.
+    cfg.set_port(0, 1, 0, 0, PortSource::PrevOut { lane: 0 })?;
+    cfg.set_port(0, 1, 0, 1, PortSource::PrevOut { lane: 1 })?;
+    cfg.set_dnode_instr(0, d(1, 0), MicroInstr::op(AluOp::Sub, In1, In2).write_out())?;
+    cfg.set_port(0, 1, 1, 0, PortSource::PrevOut { lane: 2 })?;
+    cfg.set_port(0, 1, 1, 1, PortSource::PrevOut { lane: 3 })?;
+    cfg.set_dnode_instr(0, d(1, 1), MicroInstr::op(AluOp::Add, In1, In2).write_out())?;
+    // Layer 2: restore the fixed-point scale (high half lost 16 bits, the
+    // twiddle carried `shift` of them).
+    for lane in 0..2 {
+        cfg.set_port(0, 2, lane, 0, PortSource::PrevOut { lane: lane as u8 })?;
+        cfg.set_dnode_instr(
+            0,
+            d(2, lane),
+            MicroInstr::op(AluOp::Shl, In1, Operand::Imm)
+                .with_imm(Word16::new(16 - shift))
+                .write_out(),
+        )?;
+    }
+    // Layer 3: X = A + t, Y = A - t; A arrives on switch 3's host ports.
+    let specs = [
+        (0usize, 0u8, 0u8, AluOp::Add), // X_re
+        (1, 1, 1, AluOp::Add),          // X_im
+        (2, 0, 0, AluOp::Sub),          // Y_re
+        (3, 1, 1, AluOp::Sub),          // Y_im
+    ];
+    for (lane, host, prev, op) in specs {
+        cfg.set_port(0, 3, lane, 0, PortSource::HostIn { port: host })?;
+        cfg.set_port(0, 3, lane, 1, PortSource::PrevOut { lane: prev })?;
+        cfg.set_dnode_instr(0, d(3, lane), MicroInstr::op(op, In1, In2).write_out())?;
+    }
+    // Captures: switch 0 sees layer 3; port p captures lane p.
+    for port in 0..4 {
+        cfg.set_capture(0, 0, port, HostCapture::lane(port as u8))?;
+    }
+    for port in 0..4 {
+        m.open_sink(0, port)?;
+    }
+    Ok(())
+}
+
+fn bit_reverse(n: usize, bits: u32) -> usize {
+    n.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// One DIT stage applied in software, mirroring the hardware exactly —
+/// used by [`golden_fft`] and for cross-checking stage decompositions.
+fn stage_lists(
+    data: &[Complex16],
+    m_size: usize,
+    shift: u16,
+) -> (Vec<usize>, Vec<usize>, Vec<Complex16>) {
+    let n = data.len();
+    let mut ia = Vec::with_capacity(n / 2);
+    let mut ib = Vec::with_capacity(n / 2);
+    let mut tw = Vec::with_capacity(n / 2);
+    for k in (0..n).step_by(m_size) {
+        for j in 0..m_size / 2 {
+            ia.push(k + j);
+            ib.push(k + j + m_size / 2);
+            tw.push(twiddle(j, m_size, shift));
+        }
+    }
+    (ia, ib, tw)
+}
+
+/// The bit-exact software reference: the same stage decomposition and
+/// butterfly arithmetic as [`fft`], entirely in software.
+pub fn golden_fft(signal: &[Complex16], shift: u16) -> Vec<Complex16> {
+    let n = signal.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be a power of two");
+    let bits = n.trailing_zeros();
+    let mut data: Vec<Complex16> = (0..n).map(|i| signal[bit_reverse(i, bits)]).collect();
+    let mut m_size = 2;
+    while m_size <= n {
+        let (ia, ib, tw) = stage_lists(&data, m_size, shift);
+        for i in 0..ia.len() {
+            let (x, y) = butterfly(data[ia[i]], data[ib[i]], tw[i], shift);
+            data[ia[i]] = x;
+            data[ib[i]] = y;
+        }
+        m_size *= 2;
+    }
+    data
+}
+
+/// Computes the radix-2 DIT FFT of `signal` (power-of-two length) on the
+/// fabric, one streamed butterfly stage at a time.
+///
+/// # Errors
+///
+/// Returns [`KernelError::BadParams`] for non-power-of-two lengths and
+/// propagates fabric errors.
+pub fn fft(
+    geometry: RingGeometry,
+    signal: &[Complex16],
+    shift: u16,
+) -> Result<FftRun, KernelError> {
+    let n = signal.len();
+    if !n.is_power_of_two() || n < 2 {
+        return Err(KernelError::BadParams(format!(
+            "FFT length must be a power of two >= 2 (got {n})"
+        )));
+    }
+    let bits = n.trailing_zeros();
+    let mut data: Vec<Complex16> = (0..n).map(|i| signal[bit_reverse(i, bits)]).collect();
+    let mut cycles = 0u64;
+    let mut stages = 0usize;
+    let mut m_size = 2;
+    while m_size <= n {
+        let (ia, ib, tw) = stage_lists(&data, m_size, shift);
+        let a: Vec<Complex16> = ia.iter().map(|&i| data[i]).collect();
+        let b: Vec<Complex16> = ib.iter().map(|&i| data[i]).collect();
+        let (x, y, run) = butterfly_stage(geometry, &a, &b, &tw, shift)?;
+        for i in 0..ia.len() {
+            data[ia[i]] = x[i];
+            data[ib[i]] = y[i];
+        }
+        cycles += run.cycles;
+        stages += 1;
+        m_size *= 2;
+    }
+    Ok(FftRun { output: data, cycles, stages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, freq: usize, amp: i16) -> Vec<Complex16> {
+        (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * (freq * i) as f64 / n as f64;
+                ((amp as f64 * theta.cos()) as i16, (amp as f64 * theta.sin()) as i16)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn butterfly_stage_matches_golden() {
+        let a = [(100i16, -50i16), (7, 8), (-3, 4), (0, 0)];
+        let b = [(30i16, 20i16), (-9, 1), (5, 5), (1, -1)];
+        let w: Vec<Complex16> = (0..4).map(|j| twiddle(j, 8, 15)).collect();
+        let (x, y, _) =
+            butterfly_stage(RingGeometry::RING_16, &a, &b, &w, 15).unwrap();
+        for i in 0..4 {
+            let (gx, gy) = butterfly(a[i], b[i], w[i], 15);
+            assert_eq!(x[i], gx, "x[{i}]");
+            assert_eq!(y[i], gy, "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn fft_matches_golden_bit_exactly() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let signal = tone(n, 1, 900);
+            let hw = fft(RingGeometry::RING_16, &signal, 15).unwrap();
+            assert_eq!(hw.output, golden_fft(&signal, 15), "n = {n}");
+            assert_eq!(hw.stages, n.trailing_zeros() as usize);
+        }
+    }
+
+    #[test]
+    fn fft_finds_the_tone_bin() {
+        // A complex exponential at bin 3 concentrates energy there.
+        let n = 16;
+        let signal = tone(n, 3, 1000);
+        let hw = fft(RingGeometry::RING_16, &signal, 15).unwrap();
+        let mag: Vec<i64> = hw
+            .output
+            .iter()
+            .map(|&(re, im)| (re as i64).pow(2) + (im as i64).pow(2))
+            .collect();
+        let peak = mag.iter().position(|&v| v == *mag.iter().max().unwrap()).unwrap();
+        assert_eq!(peak, 3, "magnitudes: {mag:?}");
+        // The peak dominates the spectrum.
+        let rest: i64 = mag.iter().enumerate().filter(|&(i, _)| i != 3).map(|(_, &v)| v).sum();
+        assert!(mag[3] > rest, "peak {} vs rest {rest}", mag[3]);
+    }
+
+    #[test]
+    fn dc_signal_concentrates_at_bin_zero() {
+        let signal = vec![(500i16, 0i16); 8];
+        let hw = fft(RingGeometry::RING_16, &signal, 15).unwrap();
+        // 8 * 500 = 4000, minus a few counts of Q15 truncation per stage.
+        assert!(
+            (3950..=4000).contains(&hw.output[0].0),
+            "bin 0 = {:?}",
+            hw.output[0]
+        );
+        for &(re, im) in &hw.output[1..] {
+            assert!(re.abs() <= 32 && im.abs() <= 32, "leakage ({re}, {im})");
+        }
+    }
+
+    #[test]
+    fn throughput_is_one_butterfly_per_cycle() {
+        let n = 64;
+        let a = vec![(1i16, 2i16); n];
+        let b = vec![(3i16, 4i16); n];
+        let w = vec![twiddle(0, 2, 10); n];
+        let (_, _, run) = butterfly_stage(RingGeometry::RING_16, &a, &b, &w, 10).unwrap();
+        assert!(run.cycles < n as u64 + 16, "cycles = {}", run.cycles);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            fft(RingGeometry::RING_16, &[(1, 2), (3, 4), (5, 6)], 10),
+            Err(KernelError::BadParams(_))
+        ));
+        assert!(matches!(
+            butterfly_stage(RingGeometry::RING_8, &[], &[], &[], 10),
+            Err(KernelError::DoesNotFit(_))
+        ));
+        assert!(matches!(
+            butterfly_stage(RingGeometry::RING_16, &[(1, 1)], &[], &[], 10),
+            Err(KernelError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn twiddles_are_unit_magnitude() {
+        for j in 0..8 {
+            let (re, im) = twiddle(j, 16, 14);
+            let mag = ((re as f64).powi(2) + (im as f64).powi(2)).sqrt();
+            assert!((mag - 16384.0).abs() < 16.0, "w_16^{j} = ({re}, {im})");
+        }
+    }
+}

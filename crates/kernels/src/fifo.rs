@@ -1,0 +1,128 @@
+//! FIFO emulation macro-operator.
+//!
+//! §4.1 lists "FIFO emulation without RISC controller overheading" among
+//! the local-mode macro-operators. A single Dnode emulates a small FIFO by
+//! circulating its register file: each loop iteration emits the oldest
+//! element, shifts the line, and latches a fresh input word.
+//!
+//! With depth `k` (1..=3) the local program is `k + 1` microinstructions,
+//! and the Dnode behaves as a `k`-deep FIFO clocked at one word per
+//! iteration.
+
+use systolic_ring_core::{MachineParams, RingMachine};
+use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+use systolic_ring_isa::switch::PortSource;
+use systolic_ring_isa::{RingGeometry, Word16};
+
+use crate::{KernelError, KernelRun};
+
+/// Runs a depth-`depth` FIFO emulation (1..=3) over `input`, returning the
+/// delayed stream (first `depth` outputs are the zero fill).
+///
+/// # Errors
+///
+/// Returns [`KernelError::BadParams`] for depths outside 1..=3 (the Dnode
+/// register file holds at most three queued words plus the input latch).
+pub fn emulate(
+    geometry: RingGeometry,
+    depth: usize,
+    input: &[i16],
+) -> Result<KernelRun, KernelError> {
+    if !(1..=3).contains(&depth) {
+        return Err(KernelError::BadParams(format!(
+            "FIFO emulation depth must be 1..=3 (got {depth})"
+        )));
+    }
+    let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+    m.configure().set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
+
+    // Registers r0..r(depth-1) hold the queue, oldest in r(depth-1).
+    let regs = [Reg::R0, Reg::R1, Reg::R2];
+    let mut program = Vec::new();
+    // Emit the oldest element.
+    program.push(
+        MicroInstr::op(AluOp::PassA, Operand::Reg(regs[depth - 1]), Operand::Zero).write_out(),
+    );
+    // Shift towards the tail: r(i) <- r(i-1) for i = depth-1 .. 1.
+    for i in (1..depth).rev() {
+        program.push(
+            MicroInstr::op(AluOp::PassA, Operand::Reg(regs[i - 1]), Operand::Zero)
+                .write_reg(regs[i]),
+        );
+    }
+    // Latch the new word.
+    program.push(MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_reg(regs[0]));
+
+    let period = program.len() as u64;
+    m.set_local_program(0, &program)?;
+    m.set_mode(0, DnodeMode::Local);
+    m.attach_input(0, 0, input.iter().map(|&v| Word16::from_i16(v)))?;
+
+    // Iteration j emits x[j - depth] (zero fill before that): sample right
+    // after each iteration's first microinstruction commits.
+    let mut outputs = Vec::with_capacity(input.len());
+    for _ in 0..input.len() {
+        m.run(1)?;
+        outputs.push(m.dnode(0).out().as_i16());
+        m.run(period - 1)?;
+    }
+    Ok(KernelRun {
+        outputs,
+        cycles: m.cycle(),
+        stats: m.stats().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::test_signal;
+
+    fn delayed(input: &[i16], depth: usize) -> Vec<i16> {
+        let mut expect = vec![0i16; depth];
+        expect.extend_from_slice(&input[..input.len() - depth]);
+        expect
+    }
+
+    #[test]
+    fn depth_one_delays_by_one() {
+        let input = test_signal(12, 1);
+        let run = emulate(RingGeometry::RING_8, 1, &input).unwrap();
+        assert_eq!(run.outputs, delayed(&input, 1));
+    }
+
+    #[test]
+    fn depth_two_delays_by_two() {
+        let input = test_signal(12, 2);
+        let run = emulate(RingGeometry::RING_8, 2, &input).unwrap();
+        assert_eq!(run.outputs, delayed(&input, 2));
+    }
+
+    #[test]
+    fn depth_three_delays_by_three() {
+        let input = test_signal(12, 3);
+        let run = emulate(RingGeometry::RING_8, 3, &input).unwrap();
+        assert_eq!(run.outputs, delayed(&input, 3));
+    }
+
+    #[test]
+    fn rejects_bad_depths() {
+        assert!(matches!(
+            emulate(RingGeometry::RING_8, 0, &[1]),
+            Err(KernelError::BadParams(_))
+        ));
+        assert!(matches!(
+            emulate(RingGeometry::RING_8, 4, &[1]),
+            Err(KernelError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn period_scales_with_depth() {
+        let input = test_signal(8, 4);
+        let d1 = emulate(RingGeometry::RING_8, 1, &input).unwrap();
+        let d3 = emulate(RingGeometry::RING_8, 3, &input).unwrap();
+        assert_eq!(d1.cycles, 2 * input.len() as u64);
+        assert_eq!(d3.cycles, 4 * input.len() as u64);
+    }
+}

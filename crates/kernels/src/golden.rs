@@ -1,0 +1,532 @@
+//! Bit-exact software reference models for every kernel.
+//!
+//! Each hardware mapping in this crate is validated against these functions;
+//! they use the same 16-bit wrapping arithmetic as the Dnode ALU so the
+//! comparison is exact, not approximate.
+
+/// Dot product of `a` and `b` with 16-bit wrapping accumulation (the
+/// semantics of a chained Dnode MAC).
+pub fn dot_product(a: &[i16], b: &[i16]) -> i16 {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    let mut acc: i16 = 0;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = acc.wrapping_add(x.wrapping_mul(y));
+    }
+    acc
+}
+
+/// FIR filter `y[n] = sum_k c[k] * x[n-k]` with 16-bit wrapping arithmetic
+/// and zero initial state. Returns one output per input sample.
+pub fn fir(coeffs: &[i16], input: &[i16]) -> Vec<i16> {
+    let mut out = Vec::with_capacity(input.len());
+    for n in 0..input.len() {
+        let mut acc: i16 = 0;
+        for (k, &c) in coeffs.iter().enumerate() {
+            let x = if n >= k { input[n - k] } else { 0 };
+            acc = acc.wrapping_add(c.wrapping_mul(x));
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// First-order IIR filter `y[n] = x[n] + (a * y[n-1]) >> shift` with 16-bit
+/// wrapping arithmetic (`shift` keeps the fixed-point pole below one).
+pub fn iir_first_order(a: i16, shift: u16, input: &[i16]) -> Vec<i16> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut y: i16 = 0;
+    for &x in input {
+        let fb = a.wrapping_mul(y) >> shift;
+        y = x.wrapping_add(fb);
+        out.push(y);
+    }
+    out
+}
+
+/// Biquad (second-order) IIR filter with 16-bit wrapping arithmetic:
+///
+/// ```text
+/// y[n] = (b0 x[n] + b1 x[n-1] + b2 x[n-2])
+///      + ((a1 y[n-1] + a2 y[n-2]) >> shift)
+/// ```
+pub fn iir_biquad(b: &[i16; 3], a: &[i16; 2], shift: u16, input: &[i16]) -> Vec<i16> {
+    let mut out = Vec::with_capacity(input.len());
+    let (mut y1, mut y2) = (0i16, 0i16);
+    for n in 0..input.len() {
+        let x = |k: usize| if n >= k { input[n - k] } else { 0 };
+        let ff = b[0]
+            .wrapping_mul(x(0))
+            .wrapping_add(b[1].wrapping_mul(x(1)))
+            .wrapping_add(b[2].wrapping_mul(x(2)));
+        let fb = a[0].wrapping_mul(y1).wrapping_add(a[1].wrapping_mul(y2)) >> shift;
+        let y = ff.wrapping_add(fb);
+        y2 = y1;
+        y1 = y;
+        out.push(y);
+    }
+    out
+}
+
+/// Sum of absolute differences between two equally-sized pixel blocks,
+/// saturating per-pixel as the Dnode `absd` does.
+pub fn sad(a: &[i16], b: &[i16]) -> i32 {
+    assert_eq!(a.len(), b.len(), "block size mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x as i32 - y as i32).abs();
+            d.min(i16::MAX as i32)
+        })
+        .sum()
+}
+
+/// The 5/3 (LeGall) lifting forward transform of one signal, returning
+/// `(approx, detail)` coefficients.
+///
+/// Uses the JPEG2000 reversible lifting steps with symmetric boundary
+/// extension:
+///
+/// ```text
+/// d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+/// s[i] = x[2i]   + floor((d[i-1] + d[i] + 2) / 4)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `input.len()` is not even or is zero.
+pub fn lifting53_forward(input: &[i16]) -> (Vec<i16>, Vec<i16>) {
+    assert!(!input.is_empty() && input.len().is_multiple_of(2), "length must be even");
+    let half = input.len() / 2;
+    let x = |i: isize| -> i32 {
+        // Symmetric (whole-sample) extension.
+        let n = input.len() as isize;
+        let idx = if i < 0 {
+            -i
+        } else if i >= n {
+            2 * n - 2 - i
+        } else {
+            i
+        };
+        input[idx as usize] as i32
+    };
+    let mut detail = Vec::with_capacity(half);
+    for i in 0..half as isize {
+        let d = x(2 * i + 1) - ((x(2 * i) + x(2 * i + 2)) >> 1);
+        detail.push(d as i16);
+    }
+    let d = |i: isize| -> i32 {
+        let idx = if i < 0 { -i - 1 } else { i };
+        detail[(idx as usize).min(detail.len() - 1)] as i32
+    };
+    let mut approx = Vec::with_capacity(half);
+    for i in 0..half as isize {
+        let s = x(2 * i) + ((d(i - 1) + d(i) + 2) >> 2);
+        approx.push(s as i16);
+    }
+    (approx, detail)
+}
+
+/// Inverse of [`lifting53_forward`] (bit-exact reconstruction).
+///
+/// # Panics
+///
+/// Panics if the operand lengths differ or are zero.
+pub fn lifting53_inverse(approx: &[i16], detail: &[i16]) -> Vec<i16> {
+    assert_eq!(approx.len(), detail.len(), "subband length mismatch");
+    assert!(!approx.is_empty(), "empty subbands");
+    let half = approx.len();
+    let d = |i: isize| -> i32 {
+        let idx = if i < 0 { -i - 1 } else { i };
+        detail[(idx as usize).min(half - 1)] as i32
+    };
+    // Undo update: x[2i] = s[i] - floor((d[i-1] + d[i] + 2) / 4).
+    let mut even = Vec::with_capacity(half);
+    for i in 0..half as isize {
+        even.push(approx[i as usize] as i32 - ((d(i - 1) + d(i) + 2) >> 2));
+    }
+    // Undo predict: x[2i+1] = d[i] + floor((x[2i] + x[2i+2]) / 2).
+    let e = |i: isize| -> i32 {
+        let n = half as isize;
+        let idx = if i >= n { 2 * n - 2 - i + 1 } else { i };
+        even[(idx.max(0) as usize).min(half - 1)]
+    };
+    let mut out = Vec::with_capacity(half * 2);
+    for i in 0..half as isize {
+        out.push(even[i as usize] as i16);
+        let odd = detail[i as usize] as i32 + ((e(i) + e(i + 1)) >> 1);
+        out.push(odd as i16);
+    }
+    out
+}
+
+/// One-level 2-D 5/3 transform: rows then columns. Returns the transformed
+/// image in-place layout (LL/HL over LH/HH after deinterleaving, but kept
+/// interleaved per the line-based hardware: `[approx | detail]` per row,
+/// then per column).
+pub fn lifting53_forward_2d(width: usize, height: usize, data: &[i16]) -> Vec<i16> {
+    assert_eq!(data.len(), width * height, "image size mismatch");
+    assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "dimensions must be even");
+    let mut rows = vec![0i16; width * height];
+    for y in 0..height {
+        let row = &data[y * width..(y + 1) * width];
+        let (a, d) = lifting53_forward(row);
+        rows[y * width..y * width + width / 2].copy_from_slice(&a);
+        rows[y * width + width / 2..(y + 1) * width].copy_from_slice(&d);
+    }
+    let mut out = vec![0i16; width * height];
+    let mut column = vec![0i16; height];
+    for x in 0..width {
+        for y in 0..height {
+            column[y] = rows[y * width + x];
+        }
+        let (a, d) = lifting53_forward(&column);
+        for y in 0..height / 2 {
+            out[y * width + x] = a[y];
+            out[(y + height / 2) * width + x] = d[y];
+        }
+    }
+    out
+}
+
+/// Full-search block matching: returns `(best_dx, best_dy, best_sad)` for
+/// matching `block` (of `bw` x `bh` pixels) against `frame` around
+/// (`x0`, `y0`) with displacements in `[-range, +range]`.
+///
+/// Candidates whose window leaves the frame are skipped. Ties resolve to
+/// the first candidate in row-major displacement order, matching the
+/// hardware kernel's comparison order.
+#[allow(clippy::too_many_arguments)]
+pub fn full_search(
+    frame: &[i16],
+    fw: usize,
+    fh: usize,
+    block: &[i16],
+    bw: usize,
+    bh: usize,
+    x0: isize,
+    y0: isize,
+    range: isize,
+) -> (isize, isize, i32) {
+    assert_eq!(block.len(), bw * bh, "block size mismatch");
+    assert_eq!(frame.len(), fw * fh, "frame size mismatch");
+    let mut best = (0isize, 0isize, i32::MAX);
+    for dy in -range..=range {
+        for dx in -range..=range {
+            let cx = x0 + dx;
+            let cy = y0 + dy;
+            if cx < 0 || cy < 0 || cx as usize + bw > fw || cy as usize + bh > fh {
+                continue;
+            }
+            let mut acc = 0i32;
+            for by in 0..bh {
+                for bx in 0..bw {
+                    let p = frame[(cy as usize + by) * fw + cx as usize + bx];
+                    let q = block[by * bw + bx];
+                    acc += ((p as i32 - q as i32).abs()).min(i16::MAX as i32);
+                }
+            }
+            if acc < best.2 {
+                best = (dx, dy, acc);
+            }
+        }
+    }
+    best
+}
+
+/// Multi-level 2-D 5/3 transform: each level re-transforms the LL
+/// quadrant of the previous one (the JPEG2000 dyadic decomposition).
+///
+/// # Panics
+///
+/// Panics if any level's LL quadrant has odd dimensions.
+pub fn lifting53_forward_2d_multi(
+    width: usize,
+    height: usize,
+    data: &[i16],
+    levels: usize,
+) -> Vec<i16> {
+    assert!(levels >= 1, "at least one level");
+    let mut out = data.to_vec();
+    let (mut w, mut h) = (width, height);
+    for _ in 0..levels {
+        // Extract the current LL region, transform it, write it back.
+        let mut region = vec![0i16; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                region[y * w + x] = out[y * width + x];
+            }
+        }
+        let transformed = lifting53_forward_2d(w, h, &region);
+        for y in 0..h {
+            for x in 0..w {
+                out[y * width + x] = transformed[y * w + x];
+            }
+        }
+        w /= 2;
+        h /= 2;
+    }
+    out
+}
+
+/// Matrix-vector product `y = A x` with 16-bit wrapping arithmetic
+/// (`A` is `rows x cols`, row-major).
+///
+/// # Panics
+///
+/// Panics if the dimensions are inconsistent.
+pub fn matvec(a: &[i16], rows: usize, cols: usize, x: &[i16]) -> Vec<i16> {
+    assert_eq!(a.len(), rows * cols, "matrix size mismatch");
+    assert_eq!(x.len(), cols, "vector size mismatch");
+    (0..rows)
+        .map(|r| dot_product(&a[r * cols..(r + 1) * cols], x))
+        .collect()
+}
+
+/// A complex sample as a `(re, im)` pair of 16-bit words.
+pub type Complex16 = (i16, i16);
+
+/// One radix-2 DIT butterfly with the fabric's exact arithmetic.
+///
+/// Twiddles are in Q(`shift`) fixed point (`shift <= 15`); the products
+/// are formed with the Dnode's **high-half multiply** (`mulh`, the top 16
+/// bits of the 32-bit product, i.e. `>> 16`), the cross sums are wrapping,
+/// and a left shift by `16 - shift` restores the scale. This is the
+/// classic truncating Q15 complex multiply — small per-stage truncation
+/// error, no wraparound.
+///
+/// Returns `(a + w*b, a - w*b)`.
+pub fn butterfly(a: Complex16, b: Complex16, w: Complex16, shift: u16) -> (Complex16, Complex16) {
+    debug_assert!(shift <= 15, "twiddle scale must fit i16");
+    let hi = |x: i16, y: i16| -> i16 { ((x as i32 * y as i32) >> 16) as i16 };
+    let back = (16 - shift) as u32;
+    let rr = hi(b.0, w.0);
+    let ii = hi(b.1, w.1);
+    let ri = hi(b.0, w.1);
+    let ir = hi(b.1, w.0);
+    let t_re = rr.wrapping_sub(ii).wrapping_shl(back);
+    let t_im = ri.wrapping_add(ir).wrapping_shl(back);
+    (
+        (a.0.wrapping_add(t_re), a.1.wrapping_add(t_im)),
+        (a.0.wrapping_sub(t_re), a.1.wrapping_sub(t_im)),
+    )
+}
+
+/// Separable 3x3 convolution with zero padding: the horizontal kernel `kh`
+/// then the vertical kernel `kv`, 16-bit wrapping arithmetic.
+///
+/// `kh[1]`/`kv[1]` are the center taps (output pixel (x,y) sees
+/// `p(x-1..=x+1, y-1..=y+1)`).
+///
+/// # Panics
+///
+/// Panics if `data.len() != width * height`.
+pub fn conv3x3_separable(
+    kh: &[i16; 3],
+    kv: &[i16; 3],
+    width: usize,
+    height: usize,
+    data: &[i16],
+) -> Vec<i16> {
+    assert_eq!(data.len(), width * height, "image size mismatch");
+    let px = |x: isize, y: isize| -> i16 {
+        if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
+            0
+        } else {
+            data[y as usize * width + x as usize]
+        }
+    };
+    // Horizontal pass.
+    let mut h = vec![0i16; width * height];
+    for y in 0..height as isize {
+        for x in 0..width as isize {
+            let mut acc: i16 = 0;
+            for (k, &c) in kh.iter().enumerate() {
+                acc = acc.wrapping_add(c.wrapping_mul(px(x + 1 - k as isize, y)));
+            }
+            h[y as usize * width + x as usize] = acc;
+        }
+    }
+    // Vertical pass on the horizontal result.
+    let hx = |x: isize, y: isize| -> i16 {
+        if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
+            0
+        } else {
+            h[y as usize * width + x as usize]
+        }
+    };
+    let mut out = vec![0i16; width * height];
+    for y in 0..height as isize {
+        for x in 0..width as isize {
+            let mut acc: i16 = 0;
+            for (k, &c) in kv.iter().enumerate() {
+                acc = acc.wrapping_add(c.wrapping_mul(hx(x, y + 1 - k as isize)));
+            }
+            out[y as usize * width + x as usize] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_matches_hand_result() {
+        assert_eq!(dot_product(&[1, 2, 3], &[4, 5, 6]), 32);
+        assert_eq!(dot_product(&[], &[]), 0);
+    }
+
+    #[test]
+    fn fir_impulse_response_is_the_coefficients() {
+        let coeffs = [3, -2, 5];
+        let mut input = vec![0i16; 6];
+        input[0] = 1;
+        assert_eq!(fir(&coeffs, &input), vec![3, -2, 5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fir_step_response_accumulates() {
+        let coeffs = [1, 1, 1];
+        let input = vec![2i16; 5];
+        assert_eq!(fir(&coeffs, &input), vec![2, 4, 6, 6, 6]);
+    }
+
+    #[test]
+    fn iir_decays_geometrically() {
+        // a = 128, shift = 8 -> pole 0.5.
+        let mut input = vec![0i16; 5];
+        input[0] = 64;
+        assert_eq!(iir_first_order(128, 8, &input), vec![64, 32, 16, 8, 4]);
+    }
+
+    #[test]
+    fn biquad_reduces_to_fir_without_feedback() {
+        let input: Vec<i16> = (0..12).map(|v| v * 3 - 7).collect();
+        let ff_only = iir_biquad(&[2, -1, 4], &[0, 0], 8, &input);
+        assert_eq!(ff_only, fir(&[2, -1, 4], &input));
+    }
+
+    #[test]
+    fn biquad_impulse_with_single_pole() {
+        // b = delta, a1 = 128 @ shift 8 -> pole 0.5 like the first-order.
+        let mut input = vec![0i16; 5];
+        input[0] = 64;
+        assert_eq!(
+            iir_biquad(&[1, 0, 0], &[128, 0], 8, &input),
+            iir_first_order(128, 8, &input)
+        );
+    }
+
+    #[test]
+    fn sad_of_identical_blocks_is_zero() {
+        let block = [10i16, 20, 30, 40];
+        assert_eq!(sad(&block, &block), 0);
+        assert_eq!(sad(&block, &[11, 19, 33, 36]), 1 + 1 + 3 + 4);
+    }
+
+    #[test]
+    fn lifting_round_trips() {
+        let signal: Vec<i16> = (0..32).map(|i| (i * 13 % 251) as i16 - 100).collect();
+        let (a, d) = lifting53_forward(&signal);
+        assert_eq!(a.len(), 16);
+        assert_eq!(d.len(), 16);
+        assert_eq!(lifting53_inverse(&a, &d), signal);
+    }
+
+    #[test]
+    fn lifting_on_constant_signal_has_zero_detail() {
+        let signal = vec![100i16; 16];
+        let (a, d) = lifting53_forward(&signal);
+        assert!(d.iter().all(|&v| v == 0));
+        assert!(a.iter().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn lifting_2d_preserves_energy_structure() {
+        // A constant image transforms to constant LL and zero elsewhere.
+        let (w, h) = (8, 8);
+        let data = vec![50i16; w * h];
+        let out = lifting53_forward_2d(w, h, &data);
+        for y in 0..h {
+            for x in 0..w {
+                let v = out[y * w + x];
+                if x < w / 2 && y < h / 2 {
+                    assert_eq!(v, 50);
+                } else {
+                    assert_eq!(v, 0, "at ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_search_finds_a_planted_block() {
+        let (fw, fh) = (16, 16);
+        let mut frame = vec![0i16; fw * fh];
+        // Plant a distinctive 4x4 block at (9, 6).
+        let block: Vec<i16> = (0..16).map(|i| 100 + i as i16 * 7).collect();
+        for by in 0..4 {
+            for bx in 0..4 {
+                frame[(6 + by) * fw + 9 + bx] = block[by * 4 + bx];
+            }
+        }
+        let (dx, dy, s) = full_search(&frame, fw, fh, &block, 4, 4, 8, 8, 4);
+        assert_eq!((dx, dy), (1, -2));
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn matvec_matches_hand_result() {
+        // [1 2; 3 4] * [5, 6] = [17, 39]
+        assert_eq!(matvec(&[1, 2, 3, 4], 2, 2, &[5, 6]), vec![17, 39]);
+    }
+
+    #[test]
+    fn butterfly_near_identity_twiddle() {
+        // w = 0.99997 in Q15: t = w*b with ~0.05% truncation error.
+        let (x, y) = butterfly((100, -50), (4000, 7000), (32767, 0), 15);
+        // hi(4000*32767) = 1999, <<1 = 3998; hi(7000*32767) = 3499, <<1 = 6998.
+        assert_eq!(x, (100 + 3998, -50 + 6998));
+        assert_eq!(y, (100 - 3998, -50 - 6998));
+    }
+
+    #[test]
+    fn butterfly_exact_minus_i_twiddle() {
+        // w = -i = (0, -32768) is exact in Q15: -i*(3000+5000i) = 5000-3000i.
+        let (x, y) = butterfly((0, 0), (3000, 5000), (0, -32768), 15);
+        assert_eq!(x, (5000, -3000));
+        assert_eq!(y, (-5000, 3000));
+    }
+
+    #[test]
+    fn conv3x3_identity_kernel() {
+        let data: Vec<i16> = (0..12).collect();
+        let out = conv3x3_separable(&[0, 1, 0], &[0, 1, 0], 4, 3, &data);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn conv3x3_box_blur_shape() {
+        let mut data = vec![0i16; 25];
+        data[12] = 9; // center impulse
+        let out = conv3x3_separable(&[1, 1, 1], &[1, 1, 1], 5, 5, &data);
+        // 3x3 neighbourhood of the impulse all become 9.
+        for y in 1..4 {
+            for x in 1..4 {
+                assert_eq!(out[y * 5 + x], 9);
+            }
+        }
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn full_search_skips_out_of_frame_candidates() {
+        let frame = vec![0i16; 64];
+        let block = vec![0i16; 16];
+        let (dx, dy, s) = full_search(&frame, 8, 8, &block, 4, 4, 0, 0, 8);
+        // Only displacements keeping the window in-frame are considered.
+        assert_eq!(s, 0);
+        assert!(dx >= 0 && dy >= 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! IIR (RII) filters through the feedback network.
+//!
+//! Recursive filters are the workload the **reverse dataflow** exists for
+//! (§4.2, Figure 5): the filter state flows backwards through the feedback
+//! pipelines instead of long routing wires.
+//!
+//! [`first_order`] realizes `y[n] = x[n] + (a * y[n-1]) >> shift` with
+//! three Dnodes:
+//!
+//! * `D_add` (layer 0) — `y = x + fb`, in local mode with a period equal to
+//!   the feedback-loop latency so each sample sees the *previous* output,
+//! * `D_mul` (layer 1) — `a * y`, reading `y` from switch 1's pipeline,
+//! * `D_shr` (layer 2) — the fixed-point scale `>> shift`, whose output
+//!   returns to `D_add` through switch 3's pipeline.
+//!
+//! The registered loop (Dnode output register plus a pipeline stage at the
+//! capture hops) is **five cycles** long, so the filter runs at one sample
+//! per five cycles — the price of recursion on a pipelined fabric, made
+//! explicit by the cycle counter.
+//!
+//! [`biquad`] extends the idea to the second-order section (the building
+//! block of all classical IIR designs): a folded FIR macro-operator for
+//! the feedforward taps plus a two-tap feedback path whose `y[n-1]` and
+//! `y[n-2]` are **two pipeline stages of the same switch, one loop period
+//! apart** — the output updates once per period, so consecutive samples
+//! sit exactly `period` stages apart in the feedback pipeline.
+
+use systolic_ring_core::{MachineParams, RingMachine};
+use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand};
+use systolic_ring_isa::switch::PortSource;
+use systolic_ring_isa::{RingGeometry, Word16};
+
+use crate::{KernelError, KernelRun};
+
+/// Clock cycles per sample of the first-order IIR mapping.
+pub const LOOP_CYCLES: u64 = 5;
+
+/// Runs `y[n] = x[n] + (a * y[n-1]) >> shift` on the feedback network.
+///
+/// # Errors
+///
+/// Returns [`KernelError::DoesNotFit`] if the ring has fewer than 4 layers.
+pub fn first_order(
+    geometry: RingGeometry,
+    a: i16,
+    shift: u16,
+    input: &[i16],
+) -> Result<KernelRun, KernelError> {
+    if geometry.layers() < 4 {
+        return Err(KernelError::DoesNotFit(format!(
+            "first-order IIR needs 4 layers, {geometry} has {}",
+            geometry.layers()
+        )));
+    }
+    let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+    let cfg = m.configure();
+
+    // D_add at (0,0): local mode, period LOOP_CYCLES, samples x and the
+    // returned feedback once per period.
+    cfg.set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
+    cfg.set_port(0, 0, 0, 2, PortSource::Pipe { switch: 3, stage: 0, lane: 0 })?;
+
+    // D_mul at (1,0): a * y, y read from switch 1's pipeline (capture of
+    // layer 0).
+    cfg.set_port(0, 1, 0, 2, PortSource::Pipe { switch: 1, stage: 0, lane: 0 })?;
+    cfg.set_dnode_instr(
+        0,
+        geometry.dnode_index(1, 0),
+        MicroInstr::op(AluOp::Mul, Operand::Fifo1, Operand::Imm)
+            .with_imm(Word16::from_i16(a))
+            .write_out(),
+    )?;
+
+    // D_shr at (2,0): >> shift.
+    cfg.set_port(0, 2, 0, 0, PortSource::PrevOut { lane: 0 })?;
+    cfg.set_dnode_instr(
+        0,
+        geometry.dnode_index(2, 0),
+        MicroInstr::op(AluOp::Asr, Operand::In1, Operand::Imm)
+            .with_imm(Word16::new(shift))
+            .write_out(),
+    )?;
+
+    let add = MicroInstr::op(AluOp::Add, Operand::In1, Operand::Fifo1).write_out();
+    let mut program = vec![add];
+    program.extend(std::iter::repeat_n(MicroInstr::NOP, LOOP_CYCLES as usize - 1));
+    m.set_local_program(0, &program)?;
+    m.set_mode(0, DnodeMode::Local);
+
+    m.attach_input(0, 0, input.iter().map(|&v| Word16::from_i16(v)))?;
+
+    // Sample y after each add commit (logic-analyzer observation). The
+    // first loop iteration reads an empty FIFO (x arrives one cycle after
+    // the stream starts), so skip one warm-up period.
+    let mut outputs = Vec::with_capacity(input.len());
+    m.run(LOOP_CYCLES)?;
+    for _ in 0..input.len() {
+        // The add executes at the first cycle of each period; its result is
+        // visible from the second cycle on.
+        m.run(LOOP_CYCLES)?;
+        outputs.push(m.dnode(0).out().as_i16());
+    }
+    Ok(KernelRun {
+        outputs,
+        cycles: m.cycle(),
+        stats: m.stats().clone(),
+    })
+}
+
+/// Clock cycles per sample of the biquad mapping (the folded feedforward
+/// FIR's loop length paces the whole filter).
+pub const BIQUAD_PERIOD: u64 = 7;
+
+/// Runs the biquad `y[n] = (b0 x[n] + b1 x[n-1] + b2 x[n-2]) +
+/// ((a1 y[n-1] + a2 y[n-2]) >> shift)` on six Dnodes:
+///
+/// * `D_ff` (1,0) — the folded 3-tap FIR macro-operator (local mode,
+///   7-instruction loop) computing the feedforward part,
+/// * `D_acc` (2,0) — local mode, period 7: `y = ff + fb` once per sample,
+/// * `D_fb1` (3,0) / `D_fb2` (3,1) — `a1 * y[n-1]` and `a2 * y[n-2]`,
+///   both read from **stage 1 and stage 8 of `D_acc`'s feedback
+///   pipeline**: because `y` updates once per period, consecutive taps sit
+///   exactly one period (7 stages) apart,
+/// * `D_sum` (0,0) / `D_shr` (1,1) — the feedback sum and fixed-point
+///   scale, re-entering `D_acc` through the crossbar.
+///
+/// # Errors
+///
+/// Returns [`KernelError::DoesNotFit`] for rings with fewer than 4 layers
+/// or 2 lanes.
+pub fn biquad(
+    geometry: RingGeometry,
+    b: &[i16; 3],
+    a: &[i16; 2],
+    shift: u16,
+    input: &[i16],
+) -> Result<KernelRun, KernelError> {
+    if geometry.layers() < 4 || geometry.width() < 2 {
+        return Err(KernelError::DoesNotFit(format!(
+            "the biquad needs a 4x2 fabric, {geometry} is too small"
+        )));
+    }
+    use systolic_ring_isa::dnode::Reg;
+    let params = MachineParams::PAPER.with_pipe_depth(16);
+    let mut m = RingMachine::new(geometry, params);
+    let imm = Word16::from_i16;
+
+    // D_ff at (1,0): the folded FIR-3 (x stream on switch 1, port 0).
+    let d_ff = geometry.dnode_index(1, 0);
+    m.configure().set_port(0, 1, 0, 0, PortSource::HostIn { port: 0 })?;
+    let ff_program = [
+        MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_reg(Reg::R2),
+        MicroInstr::op(AluOp::Mul, Operand::Reg(Reg::R2), Operand::Imm)
+            .with_imm(imm(b[0]))
+            .write_reg(Reg::R3),
+        MicroInstr::op(AluOp::Mac, Operand::Reg(Reg::R0), Operand::Imm)
+            .with_imm(imm(b[1]))
+            .write_reg(Reg::R3),
+        MicroInstr::op(AluOp::Mac, Operand::Reg(Reg::R1), Operand::Imm)
+            .with_imm(imm(b[2]))
+            .write_reg(Reg::R3),
+        MicroInstr::op(AluOp::PassA, Operand::Reg(Reg::R0), Operand::Zero).write_reg(Reg::R1),
+        MicroInstr::op(AluOp::PassA, Operand::Reg(Reg::R2), Operand::Zero).write_reg(Reg::R0),
+        MicroInstr::op(AluOp::PassA, Operand::Reg(Reg::R3), Operand::Zero).write_out(),
+    ];
+    m.set_local_program(d_ff, &ff_program)?;
+    m.set_mode(d_ff, DnodeMode::Local);
+
+    // D_acc at (2,0): y = ff + fb, once per period.
+    let d_acc = geometry.dnode_index(2, 0);
+    m.configure().set_port(0, 2, 0, 0, PortSource::PrevOut { lane: 0 })?; // ff
+    m.configure().set_port(0, 2, 0, 1, PortSource::PrevOut { lane: 1 })?; // fb (D_shr)
+    let mut acc_program =
+        vec![MicroInstr::op(AluOp::Add, Operand::In1, Operand::In2).write_out()];
+    acc_program
+        .extend(std::iter::repeat_n(MicroInstr::NOP, BIQUAD_PERIOD as usize - 1));
+    m.set_local_program(d_acc, &acc_program)?;
+    m.set_mode(d_acc, DnodeMode::Local);
+
+    // Feedback taps read D_acc's pipeline (switch 3 captures layer 2):
+    // stage 1 = y[n-1], stage 1 + period = y[n-2].
+    let q1: u8 = 1;
+    let q2: u8 = q1 + BIQUAD_PERIOD as u8;
+    let d_fb1 = geometry.dnode_index(3, 0);
+    m.configure().set_port(0, 3, 0, 2, PortSource::Pipe { switch: 3, stage: q1, lane: 0 })?;
+    m.configure().set_dnode_instr(
+        0,
+        d_fb1,
+        MicroInstr::op(AluOp::Mul, Operand::Fifo1, Operand::Imm)
+            .with_imm(imm(a[0]))
+            .write_out(),
+    )?;
+    let d_fb2 = geometry.dnode_index(3, 1);
+    m.configure().set_port(0, 3, 1, 2, PortSource::Pipe { switch: 3, stage: q2, lane: 0 })?;
+    m.configure().set_dnode_instr(
+        0,
+        d_fb2,
+        MicroInstr::op(AluOp::Mul, Operand::Fifo1, Operand::Imm)
+            .with_imm(imm(a[1]))
+            .write_out(),
+    )?;
+    // D_sum at (0,0): a1*y1 + a2*y2.
+    let d_sum = geometry.dnode_index(0, 0);
+    m.configure().set_port(0, 0, 0, 0, PortSource::PrevOut { lane: 0 })?;
+    m.configure().set_port(0, 0, 0, 1, PortSource::PrevOut { lane: 1 })?;
+    m.configure().set_dnode_instr(
+        0,
+        d_sum,
+        MicroInstr::op(AluOp::Add, Operand::In1, Operand::In2).write_out(),
+    )?;
+    // D_shr at (1,1): >> shift.
+    let d_shr = geometry.dnode_index(1, 1);
+    m.configure().set_port(0, 1, 1, 0, PortSource::PrevOut { lane: 0 })?;
+    m.configure().set_dnode_instr(
+        0,
+        d_shr,
+        MicroInstr::op(AluOp::Asr, Operand::In1, Operand::Imm)
+            .with_imm(Word16::new(shift))
+            .write_out(),
+    )?;
+
+    m.attach_input(1, 0, input.iter().map(|&v| Word16::from_i16(v)))?;
+
+    // The FF FIR's iteration j consumes x[j-1], and D_acc adds one period
+    // later: sample y after two warm-up periods, then once per period.
+    let mut outputs = Vec::with_capacity(input.len());
+    m.run(2 * BIQUAD_PERIOD)?;
+    for _ in 0..input.len() {
+        m.run(BIQUAD_PERIOD)?;
+        outputs.push(m.dnode(d_acc).out().as_i16());
+    }
+    Ok(KernelRun {
+        outputs,
+        cycles: m.cycle(),
+        stats: m.stats().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+    use crate::image::test_signal;
+
+    #[test]
+    fn impulse_decays_like_golden() {
+        // Pole 0.5: a = 128, shift = 8.
+        let mut input = vec![0i16; 8];
+        input[0] = 64;
+        let run = first_order(RingGeometry::RING_8, 128, 8, &input).unwrap();
+        assert_eq!(run.outputs, golden::iir_first_order(128, 8, &input));
+        assert_eq!(run.outputs[..4], [64, 32, 16, 8]);
+    }
+
+    #[test]
+    fn general_signal_matches_golden() {
+        let input = test_signal(40, 21);
+        let run = first_order(RingGeometry::RING_8, 100, 8, &input).unwrap();
+        assert_eq!(run.outputs, golden::iir_first_order(100, 8, &input));
+    }
+
+    #[test]
+    fn negative_pole_oscillates_like_golden() {
+        let input = test_signal(30, 4);
+        let run = first_order(RingGeometry::RING_16, -90, 8, &input).unwrap();
+        assert_eq!(run.outputs, golden::iir_first_order(-90, 8, &input));
+    }
+
+    #[test]
+    fn throughput_is_one_sample_per_loop() {
+        let input = test_signal(20, 2);
+        let run = first_order(RingGeometry::RING_8, 50, 8, &input).unwrap();
+        assert_eq!(run.cycles, LOOP_CYCLES * (input.len() as u64 + 1));
+    }
+
+    #[test]
+    fn biquad_matches_golden() {
+        let b = [2i16, -1, 3];
+        let a = [100i16, -40];
+        let input = test_signal(32, 13);
+        let run = biquad(RingGeometry::RING_8, &b, &a, 8, &input).unwrap();
+        assert_eq!(run.outputs, golden::iir_biquad(&b, &a, 8, &input));
+    }
+
+    #[test]
+    fn biquad_without_feedback_is_the_fir() {
+        let b = [3i16, -2, 5];
+        let input = test_signal(24, 14);
+        let run = biquad(RingGeometry::RING_8, &b, &[0, 0], 8, &input).unwrap();
+        assert_eq!(run.outputs, golden::fir(&b, &input));
+    }
+
+    #[test]
+    fn biquad_resonator_rings() {
+        // A damped resonator: poles near the unit circle produce a ringing
+        // impulse response that must match the golden model exactly.
+        let mut input = vec![0i16; 40];
+        input[0] = 100;
+        let b = [1i16, 0, 0];
+        let a = [200i16, -120];
+        let run = biquad(RingGeometry::RING_16, &b, &a, 7, &input).unwrap();
+        let expect = golden::iir_biquad(&b, &a, 7, &input);
+        assert_eq!(run.outputs, expect);
+        // It actually oscillates (sign changes in the tail).
+        let flips = run.outputs.windows(2).filter(|w| (w[0] as i32) * (w[1] as i32) < 0).count();
+        assert!(flips >= 2, "outputs: {:?}", run.outputs);
+    }
+
+    #[test]
+    fn biquad_throughput_is_one_sample_per_period() {
+        let input = test_signal(10, 3);
+        let run = biquad(RingGeometry::RING_8, &[1, 0, 0], &[50, 10], 8, &input).unwrap();
+        assert_eq!(run.cycles, BIQUAD_PERIOD * (input.len() as u64 + 2));
+        // Six Dnodes busy.
+        assert_eq!(run.stats.idle_dnodes(), 2);
+    }
+
+    #[test]
+    fn biquad_needs_a_4x2_fabric() {
+        let tiny = RingGeometry::new(4, 1).unwrap();
+        assert!(matches!(
+            biquad(tiny, &[1, 0, 0], &[0, 0], 0, &[1]),
+            Err(KernelError::DoesNotFit(_))
+        ));
+    }
+
+    #[test]
+    fn needs_four_layers() {
+        let tiny = RingGeometry::new(2, 4).unwrap();
+        assert!(matches!(
+            first_order(tiny, 1, 0, &[1]),
+            Err(KernelError::DoesNotFit(_))
+        ));
+    }
+}

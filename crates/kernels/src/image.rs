@@ -1,0 +1,199 @@
+//! Synthetic image and signal generators.
+//!
+//! The paper evaluates on 16-bit-coded images (64x64 on the APEX prototype,
+//! 1024x768 for the wavelet workload) and H.261-style video for motion
+//! estimation. Those inputs are not archived, so every experiment here uses
+//! deterministic, seeded synthetic data with the same statistics the
+//! kernels care about: textured frames for SAD landscapes, smooth gradients
+//! plus noise for wavelet energy compaction, and frame pairs with known
+//! motion for block matching.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// A 16-bit grayscale image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<i16>,
+}
+
+impl Image {
+    /// An all-zero image.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Image {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Wraps existing pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_data(width: usize, height: usize, data: Vec<i16>) -> Self {
+        assert_eq!(data.len(), width * height, "pixel count mismatch");
+        Image { width, height, data }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major pixel data.
+    pub fn data(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Pixel at (`x`, `y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn pixel(&self, x: usize, y: usize) -> i16 {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets pixel (`x`, `y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn set_pixel(&mut self, x: usize, y: usize, value: i16) {
+        assert!(x < self.width && y < self.height, "pixel out of range");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Copies the `bw` x `bh` block at (`x0`, `y0`) into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block leaves the image.
+    pub fn block(&self, x0: usize, y0: usize, bw: usize, bh: usize) -> Vec<i16> {
+        assert!(x0 + bw <= self.width && y0 + bh <= self.height, "block out of range");
+        let mut out = Vec::with_capacity(bw * bh);
+        for y in 0..bh {
+            for x in 0..bw {
+                out.push(self.pixel(x0 + x, y0 + y));
+            }
+        }
+        out
+    }
+
+    /// A deterministic textured test frame: smooth gradient plus seeded
+    /// noise, pixel values in `0..=255` (8-bit video samples carried in
+    /// 16-bit words, as in the paper's workloads).
+    pub fn textured(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let grad = ((x * 151) / width.max(1) + (y * 83) / height.max(1)) as i16;
+                let noise: i16 = rng.random_range(-20..=20);
+                data.push((grad + noise).clamp(0, 255));
+            }
+        }
+        Image { width, height, data }
+    }
+
+    /// A motion-estimation frame pair: `reference` is textured; `current`
+    /// is `reference` shifted by (`dx`, `dy`) with fresh sensor noise, so a
+    /// block tracked from `current` back into `reference` has true motion
+    /// `(-dx, -dy)` up to the noise floor.
+    pub fn motion_pair(
+        width: usize,
+        height: usize,
+        dx: isize,
+        dy: isize,
+        seed: u64,
+    ) -> (Image, Image) {
+        let reference = Image::textured(width, height, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+        let mut current = Image::zeros(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let sx = (x as isize - dx).clamp(0, width as isize - 1) as usize;
+                let sy = (y as isize - dy).clamp(0, height as isize - 1) as usize;
+                let noise: i16 = rng.random_range(-2..=2);
+                current.set_pixel(x, y, (reference.pixel(sx, sy) + noise).clamp(0, 255));
+            }
+        }
+        (reference, current)
+    }
+}
+
+/// A deterministic test signal: a slow ramp with seeded perturbations,
+/// bounded to keep 16-bit kernels far from saturation.
+pub fn test_signal(len: usize, seed: u64) -> Vec<i16> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| ((i % 97) as i16 - 48) + rng.random_range(-10..=10))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(Image::textured(16, 16, 7), Image::textured(16, 16, 7));
+        assert_ne!(
+            Image::textured(16, 16, 7).data(),
+            Image::textured(16, 16, 8).data()
+        );
+        assert_eq!(test_signal(64, 1), test_signal(64, 1));
+    }
+
+    #[test]
+    fn pixels_are_video_range() {
+        let img = Image::textured(32, 32, 3);
+        assert!(img.data().iter().all(|&p| (0..=255).contains(&p)));
+    }
+
+    #[test]
+    fn block_extraction() {
+        let mut img = Image::zeros(8, 8);
+        img.set_pixel(2, 3, 42);
+        let block = img.block(2, 3, 2, 2);
+        assert_eq!(block, vec![42, 0, 0, 0]);
+        assert_eq!(img.pixel(2, 3), 42);
+    }
+
+    #[test]
+    fn motion_pair_embeds_the_shift() {
+        let (reference, current) = Image::motion_pair(64, 64, 3, -2, 11);
+        // A block in `current` matches the reference at the shifted spot.
+        let block = current.block(20, 20, 8, 8);
+        let (dx, dy, best) = crate::golden::full_search(
+            reference.data(),
+            64,
+            64,
+            &block,
+            8,
+            8,
+            20,
+            20,
+            8,
+        );
+        assert_eq!((dx, dy), (-3, 2));
+        // Only sensor noise remains.
+        assert!(best < 8 * 8 * 5, "best = {best}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn from_data_validates_size() {
+        Image::from_data(4, 4, vec![0; 15]);
+    }
+}

@@ -1,0 +1,91 @@
+//! DSP kernels mapped onto the Systolic Ring, with bit-exact golden models.
+//!
+//! This crate reproduces the paper's application layer:
+//!
+//! * the **macro-operator library** the local (stand-alone) mode is designed
+//!   for — [`mac`] (multiply-accumulate), [`fir`] (RIF filters), [`iir`]
+//!   (RII filters with the feedback network), [`fifo`] (FIFO emulation) —
+//!   §4.1 and §6,
+//! * the two evaluation workloads — [`motion`] (H.261-style full-search
+//!   block matching, Table 1) and [`wavelet`] (JPEG2000-style 5/3 lifting
+//!   transform, Table 2),
+//! * further DSP applications in the paper's target domain — [`matvec`]
+//!   (batched matrix-vector products), [`conv`] (separable 3x3 image
+//!   convolution) and [`fft`] (radix-2 butterflies / a full streamed FFT),
+//! * [`golden`] software reference models and [`image`] synthetic workload
+//!   generators.
+//!
+//! Every kernel returns a [`KernelRun`] carrying its outputs *and* the
+//! exact cycle count, which the benchmark harness turns into the paper's
+//! tables.
+
+use systolic_ring_core::Stats;
+
+pub mod conv;
+pub mod fft;
+pub mod fifo;
+pub mod fir;
+pub mod golden;
+pub mod iir;
+pub mod image;
+pub mod mac;
+pub mod matvec;
+pub mod motion;
+pub mod wavelet;
+
+/// Result of running a kernel on the simulator.
+#[derive(Clone, Debug)]
+pub struct KernelRun {
+    /// Kernel outputs in producer order.
+    pub outputs: Vec<i16>,
+    /// Clock cycles consumed (from machine reset to result availability).
+    pub cycles: u64,
+    /// Machine statistics over the run.
+    pub stats: Stats,
+}
+
+/// Error raised by a kernel driver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelError {
+    /// The requested geometry cannot host this kernel mapping.
+    DoesNotFit(String),
+    /// Invalid kernel parameters.
+    BadParams(String),
+    /// The underlying machine rejected the configuration.
+    Config(systolic_ring_core::ConfigError),
+    /// The machine faulted while running.
+    Sim(systolic_ring_core::SimError),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::DoesNotFit(msg) => write!(f, "kernel does not fit: {msg}"),
+            KernelError::BadParams(msg) => write!(f, "bad kernel parameters: {msg}"),
+            KernelError::Config(e) => write!(f, "configuration rejected: {e}"),
+            KernelError::Sim(e) => write!(f, "machine fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Config(e) => Some(e),
+            KernelError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<systolic_ring_core::ConfigError> for KernelError {
+    fn from(e: systolic_ring_core::ConfigError) -> Self {
+        KernelError::Config(e)
+    }
+}
+
+impl From<systolic_ring_core::SimError> for KernelError {
+    fn from(e: systolic_ring_core::SimError) -> Self {
+        KernelError::Sim(e)
+    }
+}

@@ -1,0 +1,233 @@
+//! Multiply-accumulate macro-operators: dot products on the ring.
+//!
+//! The single-cycle MAC is the paper's flagship Dnode feature ("its
+//! instruction set features for instance a MAC operation using this
+//! resources, thus accelerating multiply-and-accumulate operations", §4.1).
+//! Two mappings are provided:
+//!
+//! * [`dot_product`] — one Dnode in **local mode** accumulating two host
+//!   streams: the canonical stand-alone macro-operator.
+//! * [`dot_product_parallel`] — one MAC lane per Dnode of the first layer,
+//!   each handling an interleaved slice of the vectors; results drain
+//!   through a second configuration context that turns the accumulators
+//!   into outputs (dynamic reconfiguration for result extraction).
+
+use systolic_ring_core::{MachineParams, RingMachine};
+use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::{RingGeometry, Word16};
+
+use crate::{KernelError, KernelRun};
+
+/// Computes `sum(a[i] * b[i])` (16-bit wrapping) on a single local-mode
+/// MAC Dnode.
+///
+/// # Errors
+///
+/// Returns [`KernelError::BadParams`] if the vectors differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_isa::RingGeometry;
+/// use systolic_ring_kernels::mac::dot_product;
+///
+/// let run = dot_product(RingGeometry::RING_8, &[1, 2, 3], &[4, 5, 6])?;
+/// assert_eq!(run.outputs, vec![32]);
+/// # Ok::<(), systolic_ring_kernels::KernelError>(())
+/// ```
+pub fn dot_product(
+    geometry: RingGeometry,
+    a: &[i16],
+    b: &[i16],
+) -> Result<KernelRun, KernelError> {
+    if a.len() != b.len() {
+        return Err(KernelError::BadParams(format!(
+            "vector lengths differ: {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+    m.configure().set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
+    m.configure().set_port(0, 0, 0, 1, PortSource::HostIn { port: 1 })?;
+    let mac = MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0);
+    m.set_local_program(0, &[mac])?;
+    m.set_mode(0, DnodeMode::Local);
+    m.attach_input(0, 0, a.iter().map(|&v| Word16::from_i16(v)))?;
+    m.attach_input(0, 1, b.iter().map(|&v| Word16::from_i16(v)))?;
+    // One word per port per cycle, plus one warm-up cycle; trailing cycles
+    // accumulate zero products and are harmless.
+    let cycles = a.len() as u64 + 2;
+    m.run(cycles)?;
+    Ok(KernelRun {
+        outputs: vec![m.dnode(0).reg(Reg::R0).as_i16()],
+        cycles: m.cycle(),
+        stats: m.stats().clone(),
+    })
+}
+
+/// Computes a dot product with `width` parallel MAC lanes (layer 0), each
+/// accumulating an interleaved slice, then drains the lane accumulators
+/// through a second configuration context and a host capture.
+///
+/// The drain path exercises exactly the mechanism the evaluation workloads
+/// use: context 0 computes, context 1 turns every lane into `mov r0 > out`
+/// and sums pairwise through the next layer.
+///
+/// # Errors
+///
+/// Returns [`KernelError`] if the vectors differ in length or the machine
+/// rejects the mapping.
+pub fn dot_product_parallel(
+    geometry: RingGeometry,
+    a: &[i16],
+    b: &[i16],
+) -> Result<KernelRun, KernelError> {
+    if a.len() != b.len() {
+        return Err(KernelError::BadParams(format!(
+            "vector lengths differ: {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let width = geometry.width();
+    let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+
+    // Context 0: every lane of layer 0 MACs its two host streams.
+    for lane in 0..width {
+        m.configure()
+            .set_port(0, 0, lane, 0, PortSource::HostIn { port: (2 * lane) as u8 })?;
+        m.configure()
+            .set_port(0, 0, lane, 1, PortSource::HostIn { port: (2 * lane + 1) as u8 })?;
+        let d = geometry.dnode_index(0, lane);
+        m.configure().set_dnode_instr(
+            0,
+            d,
+            MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0),
+        )?;
+    }
+
+    // Context 1: lanes expose their accumulators; switch 1 captures them
+    // one lane at a time is not possible (capture selects a single lane),
+    // so lanes take turns via the drain loop below.
+    for lane in 0..width {
+        let d = geometry.dnode_index(0, lane);
+        m.configure().set_dnode_instr(
+            1,
+            d,
+            MicroInstr::op(AluOp::PassA, Operand::Reg(Reg::R0), Operand::Zero).write_out(),
+        )?;
+    }
+    m.open_sink(1, 0)?;
+
+    // Interleave the vectors across lanes.
+    for lane in 0..width {
+        let slice_a: Vec<Word16> = a
+            .iter()
+            .skip(lane)
+            .step_by(width)
+            .map(|&v| Word16::from_i16(v))
+            .collect();
+        let slice_b: Vec<Word16> = b
+            .iter()
+            .skip(lane)
+            .step_by(width)
+            .map(|&v| Word16::from_i16(v))
+            .collect();
+        m.attach_input(0, 2 * lane, slice_a)?;
+        m.attach_input(0, 2 * lane + 1, slice_b)?;
+    }
+
+    let compute_cycles = a.len().div_ceil(width) as u64 + 2;
+    m.run(compute_cycles)?;
+
+    // Drain: context 1, capture each lane in turn.
+    m.configure().select(1)?;
+    let mut outputs = Vec::with_capacity(width);
+    for lane in 0..width {
+        m.configure().set_capture(1, 1, 0, HostCapture::lane(lane as u8))?;
+        // out is registered and the capture runs off the registered value:
+        // give each lane three cycles to appear at the sink.
+        m.run(3)?;
+        let sink = m.take_sink(1, 0)?;
+        let value = sink.last().copied().unwrap_or(Word16::ZERO);
+        outputs.push(value.as_i16());
+    }
+    Ok(KernelRun {
+        outputs,
+        cycles: m.cycle(),
+        stats: m.stats().clone(),
+    })
+}
+
+/// Host-side reduction of the per-lane partial sums produced by
+/// [`dot_product_parallel`].
+pub fn reduce_partials(partials: &[i16]) -> i16 {
+    partials.iter().fold(0i16, |acc, &v| acc.wrapping_add(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+
+    #[test]
+    fn single_lane_matches_golden() {
+        let a: Vec<i16> = (1..=20).collect();
+        let b: Vec<i16> = (1..=20).map(|v| v * 3 % 17).collect();
+        let run = dot_product(RingGeometry::RING_8, &a, &b).unwrap();
+        assert_eq!(run.outputs[0], golden::dot_product(&a, &b));
+        // One MAC per element (plus warm-up idle cycles).
+        assert_eq!(run.stats.dnodes[0].mult_ops, run.stats.cycles);
+    }
+
+    #[test]
+    fn single_lane_wraps_like_golden() {
+        let a = vec![i16::MAX; 9];
+        let b = vec![3; 9];
+        let run = dot_product(RingGeometry::RING_8, &a, &b).unwrap();
+        assert_eq!(run.outputs[0], golden::dot_product(&a, &b));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(matches!(
+            dot_product(RingGeometry::RING_8, &[1], &[1, 2]),
+            Err(KernelError::BadParams(_))
+        ));
+        assert!(matches!(
+            dot_product_parallel(RingGeometry::RING_8, &[1], &[]),
+            Err(KernelError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_lanes_match_golden() {
+        let a: Vec<i16> = (0..32).map(|v| v - 11).collect();
+        let b: Vec<i16> = (0..32).map(|v| 2 * v % 23 - 7).collect();
+        let run = dot_product_parallel(RingGeometry::RING_8, &a, &b).unwrap();
+        assert_eq!(run.outputs.len(), 2); // Ring-8 width
+        assert_eq!(reduce_partials(&run.outputs), golden::dot_product(&a, &b));
+    }
+
+    #[test]
+    fn parallel_is_faster_per_element() {
+        let a: Vec<i16> = vec![1; 64];
+        let b: Vec<i16> = vec![2; 64];
+        let serial = dot_product(RingGeometry::RING_16, &a, &b).unwrap();
+        let parallel = dot_product_parallel(RingGeometry::RING_16, &a, &b).unwrap();
+        assert!(
+            parallel.cycles < serial.cycles,
+            "parallel {} vs serial {}",
+            parallel.cycles,
+            serial.cycles
+        );
+    }
+
+    #[test]
+    fn empty_vectors_yield_zero() {
+        let run = dot_product(RingGeometry::RING_8, &[], &[]).unwrap();
+        assert_eq!(run.outputs, vec![0]);
+    }
+}

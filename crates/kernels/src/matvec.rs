@@ -1,0 +1,238 @@
+//! Matrix-vector multiplication: batched MAC lanes with parallel capture
+//! drain.
+//!
+//! `y = A x` maps naturally onto the fabric: each layer-0 lane runs a MAC
+//! over one matrix row's stream, so a batch of `width` rows completes
+//! every `cols` cycles. Between batches the controller flips to a drain
+//! context in which every lane exposes its accumulator and the downstream
+//! switch's **per-lane host-output ports** capture all of them in a single
+//! cycle — the parallel-extraction pattern the switches' "direct dedicated
+//! ports" exist for — then a reset context clears the accumulators.
+//!
+//! Context schedule (driven by an assembled controller program):
+//!
+//! | context | role |
+//! |---------|------|
+//! | 0 | idle (reset state while the controller boots) |
+//! | 1 | compute: every lane MACs `A[row][k] * x[k]` |
+//! | 2 | drain: lanes expose accumulators; switch 1 captures all lanes |
+//! | 3 | reset: accumulators cleared |
+
+use systolic_ring_asm::assemble;
+use systolic_ring_core::{MachineParams, RingMachine};
+use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand, Reg};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::{RingGeometry, Word16};
+
+use crate::{KernelError, KernelRun};
+
+/// Computes `y = A x` on the fabric (`a` is `rows x cols`, row-major).
+///
+/// # Errors
+///
+/// Returns [`KernelError`] for inconsistent dimensions or machine faults.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_isa::RingGeometry;
+/// use systolic_ring_kernels::matvec::multiply;
+///
+/// // [1 2; 3 4] * [5, 6]
+/// let run = multiply(RingGeometry::RING_16, &[1, 2, 3, 4], 2, 2, &[5, 6])?;
+/// assert_eq!(run.outputs, vec![17, 39]);
+/// # Ok::<(), systolic_ring_kernels::KernelError>(())
+/// ```
+pub fn multiply(
+    geometry: RingGeometry,
+    a: &[i16],
+    rows: usize,
+    cols: usize,
+    x: &[i16],
+) -> Result<KernelRun, KernelError> {
+    if a.len() != rows * cols {
+        return Err(KernelError::BadParams(format!(
+            "matrix is {}x{} but {} elements were given",
+            rows,
+            cols,
+            a.len()
+        )));
+    }
+    if x.len() != cols {
+        return Err(KernelError::BadParams(format!(
+            "vector length {} does not match {} columns",
+            x.len(),
+            cols
+        )));
+    }
+    if rows == 0 || cols == 0 {
+        return Err(KernelError::BadParams("empty matrix".into()));
+    }
+    let width = geometry.width();
+    let batches = rows.div_ceil(width);
+
+    let params = MachineParams::PAPER
+        .with_contexts(4)
+        .with_host_fifo_capacity(1 << 17);
+    let mut m = RingMachine::new(geometry, params);
+
+    let ctx_compute = 1;
+    let ctx_drain = 2;
+    let ctx_reset = 3;
+    for lane in 0..width {
+        let d = geometry.dnode_index(0, lane);
+        let cfg = m.configure();
+        cfg.set_port(ctx_compute, 0, lane, 0, PortSource::HostIn { port: (2 * lane) as u8 })?;
+        cfg.set_port(ctx_compute, 0, lane, 1, PortSource::HostIn { port: (2 * lane + 1) as u8 })?;
+        cfg.set_dnode_instr(
+            ctx_compute,
+            d,
+            MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0),
+        )?;
+        cfg.set_dnode_instr(
+            ctx_drain,
+            d,
+            MicroInstr::op(AluOp::PassA, Operand::Reg(Reg::R0), Operand::Zero).write_out(),
+        )?;
+        cfg.set_dnode_instr(
+            ctx_reset,
+            d,
+            MicroInstr::op(AluOp::PassA, Operand::Zero, Operand::Zero).write_reg(Reg::R0),
+        )?;
+        // The drain context captures every lane in parallel on switch 1's
+        // per-lane host-output ports.
+        cfg.set_capture(ctx_drain, 1, lane, HostCapture::lane(lane as u8))?;
+        m.open_sink(1, lane)?;
+    }
+
+    // Streams: lane l's row stream (port 2l) carries A[b*width + l][*] per
+    // batch (zero rows for padding); the x stream (port 2l+1) repeats x.
+    for lane in 0..width {
+        let mut row_stream = Vec::with_capacity(batches * cols);
+        let mut x_stream = Vec::with_capacity(batches * cols);
+        for b in 0..batches {
+            let r = b * width + lane;
+            if r < rows {
+                row_stream.extend(a[r * cols..(r + 1) * cols].iter().map(|&v| Word16::from_i16(v)));
+            } else {
+                row_stream.extend(std::iter::repeat_n(Word16::ZERO, cols));
+            }
+            x_stream.extend(x.iter().map(|&v| Word16::from_i16(v)));
+        }
+        m.attach_input(0, 2 * lane, row_stream)?;
+        m.attach_input(0, 2 * lane + 1, x_stream)?;
+    }
+
+    // Controller: per batch, compute for `cols` cycles, drain two cycles
+    // (the first capture is stale, the second fresh), reset.
+    let mut asm = String::from(".code\n");
+    asm.push_str(&format!("  addi r4, r0, {batches}\n"));
+    asm.push_str("top:\n");
+    asm.push_str(&format!("  ctx {ctx_compute}\n"));
+    if cols > 1 {
+        asm.push_str(&format!("  wait {}\n", cols - 1));
+    }
+    asm.push_str(&format!("  ctx {ctx_drain}\n"));
+    asm.push_str("  nop\n");
+    asm.push_str(&format!("  ctx {ctx_reset}\n"));
+    asm.push_str("  addi r4, r4, -1\n");
+    asm.push_str("  bne r4, r0, top\n");
+    asm.push_str("  halt\n");
+    let object = assemble(&asm).map_err(|e| KernelError::BadParams(format!("asm: {e}")))?;
+    m.load(&object)?;
+
+    let budget = (batches * (cols + 8) + 16) as u64;
+    let cycles = m.run_until_halt(budget)?;
+
+    // Each batch leaves two captures per port: a stale one (the previous
+    // drain's output register) and the fresh accumulator.
+    let mut outputs = vec![0i16; rows];
+    for lane in 0..width {
+        let sink = m.take_sink(1, lane)?;
+        for b in 0..batches {
+            let r = b * width + lane;
+            if r < rows {
+                outputs[r] = sink
+                    .get(2 * b + 1)
+                    .copied()
+                    .unwrap_or(Word16::ZERO)
+                    .as_i16();
+            }
+        }
+    }
+    Ok(KernelRun {
+        outputs,
+        cycles,
+        stats: m.stats().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+    use crate::image::test_signal;
+
+    #[test]
+    fn small_matrix_matches_golden() {
+        let a = [1i16, 2, 3, 4, 5, 6];
+        let x = [7i16, -8];
+        let run = multiply(RingGeometry::RING_16, &a, 3, 2, &x).unwrap();
+        assert_eq!(run.outputs, golden::matvec(&a, 3, 2, &x));
+    }
+
+    #[test]
+    fn larger_matrix_matches_golden() {
+        let rows = 13;
+        let cols = 9;
+        let a = test_signal(rows * cols, 31);
+        let x = test_signal(cols, 32);
+        let run = multiply(RingGeometry::RING_16, &a, rows, cols, &x).unwrap();
+        assert_eq!(run.outputs, golden::matvec(&a, rows, cols, &x));
+    }
+
+    #[test]
+    fn single_column_matrix() {
+        let a = [3i16, -4, 5];
+        let x = [6i16];
+        let run = multiply(RingGeometry::RING_8, &a, 3, 1, &x).unwrap();
+        assert_eq!(run.outputs, vec![18, -24, 30]);
+    }
+
+    #[test]
+    fn batches_scale_with_width() {
+        // Same problem on a wider ring takes fewer cycles.
+        let rows = 16;
+        let cols = 24;
+        let a = test_signal(rows * cols, 41);
+        let x = test_signal(cols, 42);
+        let narrow = multiply(RingGeometry::RING_8, &a, rows, cols, &x).unwrap();
+        let wide = multiply(RingGeometry::RING_16, &a, rows, cols, &x).unwrap();
+        assert_eq!(narrow.outputs, wide.outputs);
+        assert!(wide.cycles < narrow.cycles);
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(matches!(
+            multiply(RingGeometry::RING_8, &[1, 2, 3], 2, 2, &[1, 2]),
+            Err(KernelError::BadParams(_))
+        ));
+        assert!(matches!(
+            multiply(RingGeometry::RING_8, &[1, 2], 1, 2, &[1]),
+            Err(KernelError::BadParams(_))
+        ));
+        assert!(matches!(
+            multiply(RingGeometry::RING_8, &[], 0, 0, &[]),
+            Err(KernelError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn wrapping_matches_golden() {
+        let a = vec![i16::MAX; 8];
+        let x = vec![7i16; 4];
+        let run = multiply(RingGeometry::RING_8, &a, 2, 4, &x).unwrap();
+        assert_eq!(run.outputs, golden::matvec(&a, 2, 4, &x));
+    }
+}

@@ -1,0 +1,252 @@
+//! SoC floorplanning for the paper's Figure 7.
+//!
+//! Figure 7 sketches "a foreseeable SoC": a 4 x 3 mm die in 0.18 µm
+//! carrying an ARM7TDMI (0.54 mm²), a Ring-64 (3.4 mm²), flash and
+//! converters. This module packs rectangular blocks into a die outline
+//! with a simple shelf (row) packer and renders an ASCII floorplan.
+
+use std::fmt;
+
+/// A block to place, with its required area.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Display name.
+    pub name: String,
+    /// Required area in mm².
+    pub area_mm2: f64,
+}
+
+impl Block {
+    /// Creates a block.
+    pub fn new(name: impl Into<String>, area_mm2: f64) -> Self {
+        Block { name: name.into(), area_mm2 }
+    }
+}
+
+/// A placed block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Placement {
+    /// The block.
+    pub block: Block,
+    /// Lower-left x in mm.
+    pub x_mm: f64,
+    /// Lower-left y in mm.
+    pub y_mm: f64,
+    /// Width in mm.
+    pub w_mm: f64,
+    /// Height in mm.
+    pub h_mm: f64,
+}
+
+/// A completed floorplan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Floorplan {
+    /// Die width in mm.
+    pub die_w_mm: f64,
+    /// Die height in mm.
+    pub die_h_mm: f64,
+    /// Placements in input order.
+    pub placements: Vec<Placement>,
+}
+
+/// Error returned when the blocks do not fit the die.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DoesNotFit {
+    /// Total block area in mm².
+    pub required_mm2: f64,
+    /// Die area in mm².
+    pub die_mm2: f64,
+}
+
+impl fmt::Display for DoesNotFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "blocks need {:.2} mm2 but the die offers {:.2} mm2 (with packing margin)",
+            self.required_mm2, self.die_mm2
+        )
+    }
+}
+
+impl std::error::Error for DoesNotFit {}
+
+/// Packs `blocks` into a `die_w_mm` x `die_h_mm` die using shelf rows,
+/// tallest-first within the input order preserved for display.
+///
+/// # Errors
+///
+/// Returns [`DoesNotFit`] if the summed block area exceeds 85% of the die
+/// (routing/pad margin) or a shelf overflows.
+pub fn pack(die_w_mm: f64, die_h_mm: f64, blocks: &[Block]) -> Result<Floorplan, DoesNotFit> {
+    let required: f64 = blocks.iter().map(|b| b.area_mm2).sum();
+    let die = die_w_mm * die_h_mm;
+    if required > 0.85 * die {
+        return Err(DoesNotFit { required_mm2: required, die_mm2: die });
+    }
+
+    // Sort by area descending for packing, remembering original order.
+    let mut order: Vec<usize> = (0..blocks.len()).collect();
+    order.sort_by(|&a, &b| {
+        blocks[b]
+            .area_mm2
+            .partial_cmp(&blocks[a].area_mm2)
+            .expect("finite areas")
+    });
+
+    let mut placements: Vec<Option<Placement>> = vec![None; blocks.len()];
+    let mut shelf_y = 0.0f64;
+    let mut shelf_h = 0.0f64;
+    let mut cursor_x = 0.0f64;
+    for &idx in &order {
+        let block = &blocks[idx];
+        // Aspect: near-square, flattened to the remaining die height and
+        // capped by the die width.
+        let shape = |avail_h: f64| -> Option<(f64, f64)> {
+            let mut w = block.area_mm2.sqrt().min(die_w_mm);
+            let mut h = block.area_mm2 / w;
+            if h > avail_h {
+                if avail_h <= 0.0 {
+                    return None;
+                }
+                h = avail_h;
+                w = block.area_mm2 / h;
+            }
+            (w <= die_w_mm + 1e-9).then_some((w, h))
+        };
+        let (mut w, mut h) = shape(die_h_mm - shelf_y)
+            .ok_or(DoesNotFit { required_mm2: required, die_mm2: die })?;
+        if cursor_x + w > die_w_mm + 1e-9 {
+            // New shelf.
+            shelf_y += shelf_h;
+            shelf_h = 0.0;
+            cursor_x = 0.0;
+            (w, h) = shape(die_h_mm - shelf_y)
+                .ok_or(DoesNotFit { required_mm2: required, die_mm2: die })?;
+        }
+        if shelf_y + h > die_h_mm + 1e-9 || cursor_x + w > die_w_mm + 1e-9 {
+            return Err(DoesNotFit { required_mm2: required, die_mm2: die });
+        }
+        placements[idx] = Some(Placement {
+            block: block.clone(),
+            x_mm: cursor_x,
+            y_mm: shelf_y,
+            w_mm: w,
+            h_mm: h,
+        });
+        cursor_x += w;
+        if h > shelf_h {
+            shelf_h = h;
+        }
+    }
+    Ok(Floorplan {
+        die_w_mm,
+        die_h_mm,
+        placements: placements.into_iter().map(|p| p.expect("placed")).collect(),
+    })
+}
+
+impl Floorplan {
+    /// Fraction of the die covered by placed blocks.
+    pub fn utilization(&self) -> f64 {
+        let used: f64 = self.placements.iter().map(|p| p.block.area_mm2).sum();
+        used / (self.die_w_mm * self.die_h_mm)
+    }
+
+    /// Renders an ASCII sketch (`cols` x `rows` characters), each block
+    /// filled with the first letter of its name.
+    pub fn ascii(&self, cols: usize, rows: usize) -> String {
+        let mut grid = vec![vec!['.'; cols]; rows];
+        for (i, p) in self.placements.iter().enumerate() {
+            let letter = p
+                .block
+                .name
+                .chars()
+                .next()
+                .unwrap_or((b'A' + (i % 26) as u8) as char)
+                .to_ascii_uppercase();
+            let x0 = (p.x_mm / self.die_w_mm * cols as f64).floor() as usize;
+            let x1 = (((p.x_mm + p.w_mm) / self.die_w_mm * cols as f64).ceil() as usize).min(cols);
+            let y0 = (p.y_mm / self.die_h_mm * rows as f64).floor() as usize;
+            let y1 = (((p.y_mm + p.h_mm) / self.die_h_mm * rows as f64).ceil() as usize).min(rows);
+            for row in grid.iter_mut().take(y1).skip(y0) {
+                for cell in row.iter_mut().take(x1).skip(x0) {
+                    *cell = letter;
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push_str("+\n");
+        for row in grid.iter().rev() {
+            out.push('|');
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push_str("+\n");
+        out
+    }
+}
+
+/// The Figure 7 block list: ARM7TDMI at the paper's 0.54 mm², the Ring-64
+/// at `ring64_mm2` (from the area model), plus flash and converters sized
+/// to the sketch.
+pub fn figure7_blocks(ring64_mm2: f64) -> Vec<Block> {
+    vec![
+        Block::new("Ring-64", ring64_mm2),
+        Block::new("ARM7TDMI", 0.54),
+        Block::new("FLASH", 1.6),
+        Block::new("CAN/CNA", 0.6),
+        Block::new("SRAM", 1.2),
+        Block::new("Peripherals", 0.7),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_fits_the_4x3_die() {
+        let plan = pack(4.0, 3.0, &figure7_blocks(3.4)).unwrap();
+        assert_eq!(plan.placements.len(), 6);
+        assert!(plan.utilization() > 0.5 && plan.utilization() < 0.85);
+        // Everything inside the outline.
+        for p in &plan.placements {
+            assert!(p.x_mm + p.w_mm <= 4.0 + 1e-6);
+            assert!(p.y_mm + p.h_mm <= 3.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn placements_do_not_overlap() {
+        let plan = pack(4.0, 3.0, &figure7_blocks(3.4)).unwrap();
+        for (i, a) in plan.placements.iter().enumerate() {
+            for b in plan.placements.iter().skip(i + 1) {
+                let disjoint = a.x_mm + a.w_mm <= b.x_mm + 1e-9
+                    || b.x_mm + b.w_mm <= a.x_mm + 1e-9
+                    || a.y_mm + a.h_mm <= b.y_mm + 1e-9
+                    || b.y_mm + b.h_mm <= a.y_mm + 1e-9;
+                assert!(disjoint, "{} overlaps {}", a.block.name, b.block.name);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_blocks_are_rejected() {
+        let blocks = vec![Block::new("huge", 100.0)];
+        assert!(pack(4.0, 3.0, &blocks).is_err());
+    }
+
+    #[test]
+    fn ascii_render_contains_all_blocks() {
+        let plan = pack(4.0, 3.0, &figure7_blocks(3.4)).unwrap();
+        let art = plan.ascii(48, 18);
+        assert!(art.contains('R')); // Ring-64
+        assert!(art.contains('A')); // ARM7TDMI
+        assert!(art.contains('F')); // FLASH
+        assert!(art.lines().count() >= 18);
+    }
+}

@@ -1,0 +1,107 @@
+//! Grain-size comparison: the paper's §2 motivation, quantified.
+//!
+//! §2 argues that fine-grained (bit-level) fabrics are the wrong substrate
+//! for word-level DSP: "A study at MIT reports, that FPGAs use only one
+//! percent chip area for the real application, whereas the other 99% are
+//! used for reconfigurability artefacts (about 10% configuration code
+//! memory, and about 90% for programmability of interconnect)."
+//!
+//! This module prices the same Ring-8 datapath on three substrates:
+//!
+//! * the **coarse-grained ASIC** fabric of the paper (the calibrated
+//!   [`crate::area`] model),
+//! * an **FPGA at the empirical ASIC:FPGA gap** (logic mapped to LUTs at
+//!   [`LUT_LOGIC_INEFFICIENCY`], with [`FPGA_LOGIC_SHARE`] of each tile
+//!   being usable logic — the ~35x of Kuon & Rose's later measurements),
+//! * an **FPGA at the paper's quoted MIT shares** (1% application logic),
+//!   the pessimistic utilization-inclusive bound the paper argues from.
+
+use systolic_ring_isa::RingGeometry;
+
+use crate::area::{core_area, HardwareParams};
+use crate::tech::Tech;
+
+/// Area inefficiency of mapping random word-level logic onto 4-LUTs
+/// (LUT + carry + FF tile versus NAND2-equivalent standard cells).
+pub const LUT_LOGIC_INEFFICIENCY: f64 = 3.5;
+
+/// Fraction of an FPGA tile that is usable application logic in the
+/// empirical model (the rest is routing mux trees and configuration
+/// SRAM) — yields the classic ~35x ASIC:FPGA area gap.
+pub const FPGA_LOGIC_SHARE: f64 = 0.10;
+
+/// The paper's quoted MIT-study share of chip area doing "the real
+/// application" on an FPGA.
+pub const MIT_LOGIC_SHARE: f64 = 0.01;
+
+/// The paper's quoted configuration-memory share.
+pub const MIT_CONFIG_SHARE: f64 = 0.10;
+
+/// The paper's quoted interconnect-programmability share.
+pub const MIT_INTERCONNECT_SHARE: f64 = 0.90;
+
+/// Areas of one ring datapath on the three substrates, in mm².
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GrainComparison {
+    /// The coarse-grained ASIC core (this paper's architecture).
+    pub ring_asic_mm2: f64,
+    /// The same logic on an FPGA at the empirical ~35x gap.
+    pub fpga_empirical_mm2: f64,
+    /// The same logic on an FPGA at the paper's MIT shares (1% useful).
+    pub fpga_mit_quote_mm2: f64,
+}
+
+impl GrainComparison {
+    /// The empirical FPGA-over-ring area factor.
+    pub fn empirical_factor(&self) -> f64 {
+        self.fpga_empirical_mm2 / self.ring_asic_mm2
+    }
+
+    /// The MIT-quote FPGA-over-ring area factor.
+    pub fn mit_factor(&self) -> f64 {
+        self.fpga_mit_quote_mm2 / self.ring_asic_mm2
+    }
+}
+
+/// Prices the `geometry` core on all three substrates in `tech`.
+pub fn compare(geometry: RingGeometry, hw: HardwareParams, tech: Tech) -> GrainComparison {
+    let ring = core_area(geometry, hw, tech).total_mm2();
+    // The FPGA must implement the same application logic; its tiles carry
+    // the LUT inefficiency and the non-logic overhead share.
+    let logic_on_fpga = ring * LUT_LOGIC_INEFFICIENCY;
+    GrainComparison {
+        ring_asic_mm2: ring,
+        fpga_empirical_mm2: logic_on_fpga / FPGA_LOGIC_SHARE,
+        fpga_mit_quote_mm2: logic_on_fpga / MIT_LOGIC_SHARE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::ST_CMOS_018;
+
+    #[test]
+    fn mit_shares_are_the_papers_numbers() {
+        assert_eq!(MIT_LOGIC_SHARE, 0.01);
+        assert_eq!(MIT_CONFIG_SHARE, 0.10);
+        assert_eq!(MIT_INTERCONNECT_SHARE, 0.90);
+    }
+
+    #[test]
+    fn empirical_gap_is_the_classic_35x() {
+        let c = compare(RingGeometry::RING_8, HardwareParams::PAPER, ST_CMOS_018);
+        assert!((c.empirical_factor() - 35.0).abs() < 1e-9);
+        // The paper's own quote implies an order of magnitude more.
+        assert!((c.mit_factor() - 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpga_never_wins_on_area() {
+        for g in [RingGeometry::RING_8, RingGeometry::RING_64] {
+            let c = compare(g, HardwareParams::PAPER, ST_CMOS_018);
+            assert!(c.fpga_empirical_mm2 > c.ring_asic_mm2);
+            assert!(c.fpga_mit_quote_mm2 > c.fpga_empirical_mm2);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Analytical technology model for the Systolic Ring.
+//!
+//! Reproduces the physical-implementation results of the paper:
+//!
+//! * **Table 3** — Dnode and core area plus estimated frequency in the
+//!   0.25 µm and 0.18 µm ST CMOS nodes ([`area`], [`timing`], [`tech`]),
+//! * **Figure 7** — the projected Ring-64 + ARM7 SoC floorplan
+//!   ([`floorplan`]),
+//! * the §5.1 peak figures (1600 MIPS, ~3 GB/s for Ring-8 at 200 MHz)
+//!   ([`timing`]),
+//! * the §2 fine-vs-coarse-grain area argument — the same datapath priced
+//!   on an FPGA-class bit-level fabric ([`grain`]).
+//!
+//! The model is calibrated at exactly two anchors — the Table 3 Dnode
+//! areas and Ring-8 frequencies — and *predicts* everything else (core
+//! areas, Ring-16/Ring-64, the scalability sweep). See
+//! `DESIGN.md` §4 for the substitution rationale.
+
+pub mod area;
+pub mod floorplan;
+pub mod grain;
+pub mod tech;
+pub mod timing;
+
+pub use area::{core_area, dnode_area_mm2, CoreArea, HardwareParams};
+pub use tech::{Tech, ST_CMOS_018, ST_CMOS_025};
+pub use timing::{freq_mhz, peak_mips, peak_port_bandwidth_bytes};

@@ -1,0 +1,109 @@
+//! Process-technology parameters.
+//!
+//! The paper reports Synopsys Design Compiler estimates in the two ST CMOS
+//! nodes of the day (Table 3). Absent the original libraries, each node
+//! carries two calibrated constants:
+//!
+//! * `um2_per_gate` — layout area of one NAND2-equivalent gate *including
+//!   routing overhead*, calibrated so the modelled Dnode lands exactly on
+//!   the paper's Dnode area (0.06 mm² at 0.25 µm, 0.04 mm² at 0.18 µm for
+//!   the ~7400-gate Dnode budget of [`crate::area`]),
+//! * `ps_per_level` — effective delay of one logic level on the critical
+//!   path, calibrated so the Ring-8 core hits the paper's 180 / 200 MHz.
+//!
+//! All other configurations (Ring-16, Ring-64, the scalability sweep) are
+//! then *predictions* of the same constants — the calibration points are
+//! only the Table 3 anchors.
+
+use std::fmt;
+
+/// A CMOS process node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tech {
+    /// Display name, e.g. `"0.25um"`.
+    pub name: &'static str,
+    /// Drawn feature size in micrometres.
+    pub feature_um: f64,
+    /// Layout area per NAND2-equivalent gate, in µm² (routed).
+    pub um2_per_gate: f64,
+    /// Area per SRAM bit, in µm².
+    pub um2_per_sram_bit: f64,
+    /// Effective critical-path delay per logic level, in picoseconds.
+    pub ps_per_level: f64,
+}
+
+/// The Dnode gate budget the area constants are calibrated against.
+pub const DNODE_GATES_CALIBRATION: f64 = 7400.0;
+
+/// The critical-path depth (logic levels) of the calibration Ring-8.
+pub const RING8_LEVELS_CALIBRATION: f64 = 28.0;
+
+/// ST CMOS 0.25 µm, calibrated to Table 3's first row
+/// (Dnode 0.06 mm², Ring-8 core 0.9 mm², 180 MHz).
+pub const ST_CMOS_025: Tech = Tech {
+    name: "0.25um",
+    feature_um: 0.25,
+    // 0.06 mm² / 7400 gates.
+    um2_per_gate: 60_000.0 / DNODE_GATES_CALIBRATION,
+    um2_per_sram_bit: 60_000.0 / DNODE_GATES_CALIBRATION * 0.35,
+    // 1 / (180 MHz * 28 levels).
+    ps_per_level: 1.0e6 / (180.0 * RING8_LEVELS_CALIBRATION),
+};
+
+/// ST CMOS 0.18 µm, calibrated to Table 3's second row
+/// (Dnode 0.04 mm², Ring-8 core 0.7 mm², 200 MHz).
+pub const ST_CMOS_018: Tech = Tech {
+    name: "0.18um",
+    feature_um: 0.18,
+    um2_per_gate: 40_000.0 / DNODE_GATES_CALIBRATION,
+    um2_per_sram_bit: 40_000.0 / DNODE_GATES_CALIBRATION * 0.35,
+    ps_per_level: 1.0e6 / (200.0 * RING8_LEVELS_CALIBRATION),
+};
+
+impl Tech {
+    /// Area of `gates` NAND2-equivalents, in mm².
+    pub fn gates_to_mm2(&self, gates: f64) -> f64 {
+        gates * self.um2_per_gate / 1.0e6
+    }
+
+    /// Area of `bits` of SRAM, in mm².
+    pub fn sram_to_mm2(&self, bits: f64) -> f64 {
+        bits * self.um2_per_sram_bit / 1.0e6
+    }
+
+    /// Clock frequency in MHz for a critical path of `levels` logic levels.
+    pub fn freq_mhz(&self, levels: f64) -> f64 {
+        1.0e6 / (levels * self.ps_per_level)
+    }
+}
+
+impl fmt::Display for Tech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_dnode_area() {
+        assert!((ST_CMOS_025.gates_to_mm2(DNODE_GATES_CALIBRATION) - 0.06).abs() < 1e-9);
+        assert!((ST_CMOS_018.gates_to_mm2(DNODE_GATES_CALIBRATION) - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_reproduces_core_frequency() {
+        assert!((ST_CMOS_025.freq_mhz(RING8_LEVELS_CALIBRATION) - 180.0).abs() < 1e-6);
+        assert!((ST_CMOS_018.freq_mhz(RING8_LEVELS_CALIBRATION) - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn newer_node_is_denser_and_faster() {
+        let (new, old) = (ST_CMOS_018, ST_CMOS_025);
+        assert!(new.um2_per_gate < old.um2_per_gate);
+        assert!(new.ps_per_level < old.ps_per_level);
+        assert!(new.sram_to_mm2(1000.0) < old.sram_to_mm2(1000.0));
+    }
+}

@@ -1,0 +1,96 @@
+//! Critical-path and performance model.
+//!
+//! The clock-limiting path of the architecture is the Dnode MAC (multiplier
+//! chained into the adder, §4.1) plus the switch crossbar mux in front of
+//! it. The crossbar deepens logarithmically with the layer width — the
+//! ring's only width-dependent timing term, and deliberately *not*
+//! dependent on the layer count: that locality is the paper's scalability
+//! argument (§4.2).
+
+use systolic_ring_isa::RingGeometry;
+
+use crate::tech::{Tech, RING8_LEVELS_CALIBRATION};
+
+/// Logic levels on the critical path for a given geometry.
+///
+/// Calibrated so the Ring-8 (width 2) matches
+/// [`RING8_LEVELS_CALIBRATION`]; every doubling of the width adds 1.5
+/// levels of crossbar multiplexing.
+pub fn critical_path_levels(geometry: RingGeometry) -> f64 {
+    let width = geometry.width() as f64;
+    let base = RING8_LEVELS_CALIBRATION - 1.5; // width-2 crossbar = 1 doubling
+    base + 1.5 * width.log2()
+}
+
+/// Estimated clock frequency in MHz.
+pub fn freq_mhz(geometry: RingGeometry, tech: Tech) -> f64 {
+    tech.freq_mhz(critical_path_levels(geometry))
+}
+
+/// Peak instructions per second in MIPS, counting one operation per Dnode
+/// per cycle (the paper's counting: Ring-8 at 200 MHz = 1600 MIPS).
+pub fn peak_mips(geometry: RingGeometry, tech: Tech) -> f64 {
+    geometry.dnodes() as f64 * freq_mhz(geometry, tech)
+}
+
+/// Peak operations per second counting the MAC as two arithmetic
+/// operations ("able to compute up to two arithmetic operations each clock
+/// cycle", §4.1).
+pub fn peak_mops_mac(geometry: RingGeometry, tech: Tech) -> f64 {
+    2.0 * peak_mips(geometry, tech)
+}
+
+/// Theoretical host-port bandwidth in bytes/s: every Dnode of the fabric
+/// can absorb one 16-bit word per cycle through the direct dedicated ports
+/// (the paper's "about 3 Gbytes/s" for Ring-8 at 200 MHz).
+pub fn peak_port_bandwidth_bytes(geometry: RingGeometry, tech: Tech) -> f64 {
+    geometry.dnodes() as f64 * 2.0 * freq_mhz(geometry, tech) * 1.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::{ST_CMOS_018, ST_CMOS_025};
+
+    #[test]
+    fn ring8_frequencies_match_table3() {
+        assert!((freq_mhz(RingGeometry::RING_8, ST_CMOS_025) - 180.0).abs() < 1e-6);
+        assert!((freq_mhz(RingGeometry::RING_8, ST_CMOS_018) - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ring8_peak_mips_matches_section_5_1() {
+        // "A 8 Dnodes ... version has a maximal computing power of 1600
+        // MIPS at the typical 200 MHz evaluated functional frequency".
+        let mips = peak_mips(RingGeometry::RING_8, ST_CMOS_018);
+        assert!((mips - 1600.0).abs() < 1e-6, "mips = {mips}");
+        assert!((peak_mops_mac(RingGeometry::RING_8, ST_CMOS_018) - 3200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ring8_port_bandwidth_is_about_3_gbytes() {
+        let bw = peak_port_bandwidth_bytes(RingGeometry::RING_8, ST_CMOS_018);
+        assert!((bw - 3.2e9).abs() < 1e3, "bw = {bw}");
+    }
+
+    #[test]
+    fn wider_fabrics_clock_slightly_slower() {
+        let f2 = freq_mhz(RingGeometry::RING_8, ST_CMOS_018); // width 2
+        let f4 = freq_mhz(RingGeometry::RING_16, ST_CMOS_018); // width 4
+        let f8 = freq_mhz(RingGeometry::RING_64, ST_CMOS_018); // width 8
+        assert!(f2 > f4 && f4 > f8);
+        // ...but only logarithmically: Ring-64 keeps >85% of Ring-8's clock.
+        assert!(f8 > 0.85 * f2, "f8 = {f8}, f2 = {f2}");
+    }
+
+    #[test]
+    fn longer_rings_do_not_slow_the_clock() {
+        // Layer count must not appear in the critical path (ring locality).
+        let short = RingGeometry::new(4, 4).unwrap();
+        let long = RingGeometry::new(64, 4).unwrap();
+        assert_eq!(
+            critical_path_levels(short),
+            critical_path_levels(long)
+        );
+    }
+}

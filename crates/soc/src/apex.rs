@@ -1,0 +1,336 @@
+//! The APEX-board prototype of Figure 6, end to end.
+//!
+//! "A Ring-8 (8 Dnodes) version including the configuration controller has
+//! been synthesized and implemented. This core reads its configuration
+//! code from a preloaded memory (PRG), and apply the corresponding
+//! computations on an 16 bits coded image also preloaded on another memory
+//! (IMAGE). The resulting image is then wrote on video memory (VIDEO)
+//! displayed on a monitor by an also synthesized VGA controller."
+//!
+//! This module reproduces that complete system:
+//!
+//! 1. the demo program is **assembled** and its object code stored into
+//!    the PRG word memory,
+//! 2. at boot the object code is read back *out of PRG* and loaded into
+//!    the Ring-8,
+//! 3. the host DMA streams the IMAGE memory through the ring, which runs a
+//!    horizontal smoothing filter `y[k] = (x[k] + x[k-1]) >> 1` over the
+//!    raster scan (built from a pass Dnode, a feedback-pipeline delay tap,
+//!    an adder and a shifter),
+//! 4. the results land in the VIDEO memory and the VGA controller scans
+//!    them out — [`ApexPrototype::scan_ppm`] is the monitor.
+
+use systolic_ring_asm::assemble;
+use systolic_ring_core::{MachineParams, RingMachine, SimError};
+use systolic_ring_isa::object::Object;
+use systolic_ring_isa::{RingGeometry, Word16};
+use systolic_ring_kernels::image::Image;
+use systolic_ring_kernels::KernelError;
+
+use crate::hostcpu;
+use crate::mem::WordMemory;
+use crate::ppm;
+use crate::vga::VgaController;
+
+/// Pipeline latency of the built-in smoothing demo, from a pixel's stream
+/// slot to its processed value at the capture sink.
+const DEMO_LATENCY: usize = 4;
+
+/// A program to run on the board: the object code plus the I/O contract
+/// the host DMA needs (where results appear and how deep the pipeline is).
+#[derive(Clone, Debug)]
+pub struct BoardProgram {
+    /// The assembled object (stored into PRG, booted from there).
+    pub object: Object,
+    /// Switch whose capture produces the output stream.
+    pub output_switch: usize,
+    /// Host-output port on that switch.
+    pub output_port: usize,
+    /// Sink entries to skip before the first valid output (pipeline
+    /// warm-up).
+    pub latency: usize,
+    /// Extra cycles granted beyond one per pixel.
+    pub slack: u64,
+}
+
+/// The assembled demo: raster-scan horizontal smoothing on a Ring-8.
+fn demo_source(pixels: usize) -> String {
+    format!(
+        "; Figure 6 demo: y[k] = (x[k] + x[k-1]) >> 1 over the raster scan.
+         .ring 4x2
+         route 0,1.in1 = host.0
+         node  0,1: mov in1 > out            ; pass cell: x into pipe[1]
+         route 1,0.in1 = prev.1
+         route 1,0.fifo1 = pipe[1,0].1       ; one-pixel delay tap
+         node  1,0: add in1, fifo1 > out     ; x[k] + x[k-1]
+         route 2,0.in1 = prev.0
+         node  2,0: asr in1, #1 > out        ; >> 1
+         capture 3 = lane 0
+         .code
+           wait {wait}
+           halt
+        ",
+        wait = pixels + 32
+    )
+}
+
+/// Report of one prototype run.
+#[derive(Clone, Debug)]
+pub struct ApexReport {
+    /// Ring core cycles until the controller halted.
+    pub core_cycles: u64,
+    /// Words written to the VIDEO memory.
+    pub video_words: usize,
+    /// Machine statistics.
+    pub stats: systolic_ring_core::Stats,
+}
+
+/// The complete Figure 6 system.
+#[derive(Clone, Debug)]
+pub struct ApexPrototype {
+    machine: RingMachine,
+    prg: WordMemory,
+    image: WordMemory,
+    video: WordMemory,
+    vga: VgaController,
+    width: usize,
+    height: usize,
+    output_switch: usize,
+    output_port: usize,
+    latency: usize,
+    slack: u64,
+}
+
+impl ApexPrototype {
+    /// Builds the board: assembles the demo program into PRG, preloads
+    /// IMAGE with `input`, zeroes VIDEO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::BadParams`] if the demo program fails to
+    /// assemble (a bug) or the image is empty.
+    pub fn new(input: &Image) -> Result<Self, KernelError> {
+        let pixels = input.width() * input.height();
+        let object = assemble(&demo_source(pixels))
+            .map_err(|e| KernelError::BadParams(format!("demo assembly: {e}")))?;
+        ApexPrototype::with_program(
+            input,
+            BoardProgram {
+                object,
+                output_switch: 3,
+                output_port: 0,
+                latency: DEMO_LATENCY,
+                slack: 128,
+            },
+        )
+    }
+
+    /// Builds the board around a user program: any assembled object whose
+    /// fabric reads the image stream from switch 0 port 0 and captures its
+    /// result per `program`'s I/O contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::BadParams`] if the image is empty.
+    pub fn with_program(input: &Image, program: BoardProgram) -> Result<Self, KernelError> {
+        let pixels = input.width() * input.height();
+        if pixels == 0 {
+            return Err(KernelError::BadParams("empty image".into()));
+        }
+        let object = program.object;
+        // Object code lives in PRG as bytes packed into 16-bit words.
+        let bytes = object.to_bytes();
+        let mut prg_words: Vec<Word16> =
+            Vec::with_capacity(bytes.len().div_ceil(2) + 1);
+        prg_words.push(Word16::new(bytes.len() as u16));
+        for pair in bytes.chunks(2) {
+            let lo = pair[0] as u16;
+            let hi = *pair.get(1).unwrap_or(&0) as u16;
+            prg_words.push(Word16::new(lo | hi << 8));
+        }
+        let image_mem = WordMemory::preloaded(
+            "IMAGE",
+            input.data().iter().map(|&p| Word16::from_i16(p)),
+        );
+        Ok(ApexPrototype {
+            machine: RingMachine::new(RingGeometry::RING_8, MachineParams::PAPER),
+            prg: WordMemory::preloaded("PRG", prg_words),
+            image: image_mem,
+            video: WordMemory::new("VIDEO", pixels),
+            vga: VgaController::new(input.width(), input.height()),
+            width: input.width(),
+            height: input.height(),
+            output_switch: program.output_switch,
+            output_port: program.output_port,
+            latency: program.latency,
+            slack: program.slack,
+        })
+    }
+
+    /// Reads the object code back out of the PRG memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::BadParams`] if PRG does not hold a valid
+    /// object (corrupted board).
+    pub fn boot_object(&self) -> Result<Object, KernelError> {
+        let len = self.prg.read(0).bits() as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for addr in 0..len.div_ceil(2) {
+            let word = self.prg.read(1 + addr).bits();
+            bytes.push((word & 0xff) as u8);
+            if bytes.len() < len {
+                bytes.push((word >> 8) as u8);
+            }
+        }
+        Object::from_bytes(&bytes)
+            .map_err(|e| KernelError::BadParams(format!("PRG contents: {e}")))
+    }
+
+    /// Boots and runs the demo: loads the PRG object, streams IMAGE
+    /// through the ring, fills VIDEO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on load or machine faults.
+    pub fn run(&mut self) -> Result<ApexReport, KernelError> {
+        let object = self.boot_object()?;
+        self.machine.load(&object)?;
+        self.machine.open_sink(self.output_switch, self.output_port)?;
+        hostcpu::dma_to_stream(&mut self.machine, &self.image, 0..self.image.len(), 0, 0)?;
+        let pixels = self.width * self.height;
+        let budget = pixels as u64 + self.slack;
+        let core_cycles = self
+            .machine
+            .run_until_halt(budget)
+            .map_err(KernelError::Sim)?;
+        // Collect the sink, dropping the pipeline warm-up prefix.
+        let sink = self.machine.take_sink(self.output_switch, self.output_port)?;
+        let produced: Vec<Word16> = sink
+            .iter()
+            .skip(self.latency)
+            .take(pixels)
+            .copied()
+            .collect();
+        if produced.len() < pixels {
+            return Err(KernelError::Sim(SimError::CycleLimit { limit: budget }));
+        }
+        self.video.write_block(0, &produced);
+        Ok(ApexReport {
+            core_cycles,
+            video_words: produced.len(),
+            stats: self.machine.stats().clone(),
+        })
+    }
+
+    /// The VIDEO memory (the framebuffer).
+    pub fn video(&self) -> &WordMemory {
+        &self.video
+    }
+
+    /// Scans one VGA frame and encodes it as a binary PGM image — the
+    /// monitor picture.
+    pub fn scan_pgm(&mut self) -> Vec<u8> {
+        let frame = self.vga.scan_frame(&self.video);
+        ppm::encode_pgm(self.width, self.height, &frame)
+    }
+
+    /// Scans one VGA frame and encodes it as a binary PPM image.
+    pub fn scan_ppm(&mut self) -> Vec<u8> {
+        let frame = self.vga.scan_frame(&self.video);
+        ppm::encode_ppm(self.width, self.height, &frame)
+    }
+
+    /// The golden model of the demo computation, for validation:
+    /// `y[k] = (x[k] + x[k-1]) >> 1` over the raster scan with `x[-1]=0`.
+    pub fn golden(input: &Image) -> Vec<i16> {
+        let data = input.data();
+        (0..data.len())
+            .map(|k| {
+                let prev = if k == 0 { 0 } else { data[k - 1] as i32 };
+                ((data[k] as i32 + prev) >> 1) as i16
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_runs_and_matches_golden() {
+        let input = Image::textured(16, 16, 42);
+        let mut board = ApexPrototype::new(&input).unwrap();
+        let report = board.run().unwrap();
+        assert_eq!(report.video_words, 256);
+        let expect = ApexPrototype::golden(&input);
+        let got: Vec<i16> = board.video().words().iter().map(|w| w.as_i16()).collect();
+        assert_eq!(got, expect);
+        // Roughly one pixel per cycle plus the wait margin.
+        assert!(report.core_cycles < 256 + 64);
+    }
+
+    #[test]
+    fn object_survives_the_prg_round_trip() {
+        let input = Image::textured(8, 8, 1);
+        let board = ApexPrototype::new(&input).unwrap();
+        let object = board.boot_object().unwrap();
+        assert_eq!(object.geometry, Some(RingGeometry::RING_8));
+        assert!(!object.code.is_empty());
+        assert!(!object.preload.is_empty());
+    }
+
+    #[test]
+    fn monitor_output_is_a_valid_pgm() {
+        let input = Image::textured(8, 8, 2);
+        let mut board = ApexPrototype::new(&input).unwrap();
+        board.run().unwrap();
+        let pgm = board.scan_pgm();
+        assert!(pgm.starts_with(b"P5\n8 8\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n8 8\n255\n".len() + 64);
+        let ppm = board.scan_ppm();
+        assert!(ppm.starts_with(b"P6\n"));
+    }
+
+    #[test]
+    fn rejects_empty_images() {
+        let empty = Image::zeros(0, 0);
+        assert!(ApexPrototype::new(&empty).is_err());
+    }
+
+    #[test]
+    fn user_programs_run_on_the_board() {
+        // A custom program: video inversion y = 255 - x, captured at
+        // switch 1 (one Dnode deep).
+        let input = Image::textured(12, 12, 4);
+        let pixels = input.width() * input.height();
+        let source = format!(
+            ".ring 4x2
+             route 0,0.in1 = host.0
+             node 0,0: sub #255, in1 > out
+             capture 1 = lane 0
+             .code
+               wait {}
+               halt
+            ",
+            pixels + 16
+        );
+        let object = assemble(&source).unwrap();
+        let mut board = ApexPrototype::with_program(
+            &input,
+            BoardProgram {
+                object,
+                output_switch: 1,
+                output_port: 0,
+                latency: 2,
+                slack: 64,
+            },
+        )
+        .unwrap();
+        board.run().unwrap();
+        let got: Vec<i16> = board.video().words().iter().map(|w| w.as_i16()).collect();
+        let expect: Vec<i16> = input.data().iter().map(|&p| 255 - p).collect();
+        assert_eq!(got, expect);
+    }
+}

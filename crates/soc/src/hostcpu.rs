@@ -1,0 +1,77 @@
+//! Host-CPU stub: the DMA duties of the µP in the paper's SoC picture.
+//!
+//! "The host processor sends the data to the operating layer via a
+//! specific scheme and then get back the computed data" (§3). These
+//! helpers move data between on-board word memories and the ring's host
+//! streams/sinks.
+
+use systolic_ring_core::{ConfigError, RingMachine};
+use systolic_ring_isa::Word16;
+
+use crate::mem::WordMemory;
+
+/// Queues the whole of `memory` (or the `range` within it) on the host
+/// input stream of (`switch`, `port`).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for out-of-range stream indices.
+pub fn dma_to_stream(
+    machine: &mut RingMachine,
+    memory: &WordMemory,
+    range: std::ops::Range<usize>,
+    switch: usize,
+    port: usize,
+) -> Result<usize, ConfigError> {
+    let words: Vec<Word16> = memory.words()[range].to_vec();
+    let count = words.len();
+    machine.attach_input(switch, port, words)?;
+    Ok(count)
+}
+
+/// Drains the sink of (`switch`, `port`) into `memory` starting at
+/// `addr`; returns the number of words stored (clipped to the memory
+/// size).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for out-of-range indices.
+pub fn dma_from_sink(
+    machine: &mut RingMachine,
+    switch: usize,
+    port: usize,
+    memory: &mut WordMemory,
+    addr: usize,
+) -> Result<usize, ConfigError> {
+    let words = machine.take_sink(switch, port)?;
+    let room = memory.len().saturating_sub(addr);
+    let n = words.len().min(room);
+    memory.write_block(addr, &words[..n]);
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ring_isa::RingGeometry;
+
+    #[test]
+    fn dma_round_trip_through_streams() {
+        let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+        let src = WordMemory::preloaded("SRC", (0..10).map(Word16::new));
+        let n = dma_to_stream(&mut m, &src, 2..6, 0, 0).unwrap();
+        assert_eq!(n, 4);
+        assert!(dma_to_stream(&mut m, &src, 0..1, 9, 0).is_err());
+    }
+
+    #[test]
+    fn dma_from_sink_clips_to_memory() {
+        let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+        m.open_sink(1, 0).unwrap();
+        let mut dst = WordMemory::new("DST", 4);
+        let n = dma_from_sink(&mut m, 1, 0, &mut dst, 0).unwrap();
+        assert_eq!(n, 0); // nothing captured yet
+        assert!(dma_from_sink(&mut m, 9, 0, &mut dst, 0).is_err());
+        assert!(dma_from_sink(&mut m, 1, 7, &mut dst, 0).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! SoC substrate around the Systolic Ring: the paper's system context.
+//!
+//! * [`mem`] — the PRG / IMAGE / VIDEO word memories of the APEX board,
+//! * [`vga`] — the synthesized VGA controller model (standard 640x480@60
+//!   timing, framebuffer scan-out),
+//! * [`ppm`] — the "monitor": PGM/PPM encoders for scanned frames,
+//! * [`hostcpu`] — host-CPU DMA duties (memory <-> ring streams),
+//! * [`apex`] — the complete Figure 6 prototype: assembled object code in
+//!   PRG, image processing on the Ring-8, results on the VGA output.
+
+pub mod apex;
+pub mod hostcpu;
+pub mod mem;
+pub mod ppm;
+pub mod vga;
+
+pub use apex::{ApexPrototype, ApexReport, BoardProgram};

@@ -1,0 +1,112 @@
+//! On-board word memories (the PRG, IMAGE and VIDEO memories of Figure 6).
+
+use systolic_ring_isa::Word16;
+
+/// A simple 16-bit-word memory with bounds-checked access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WordMemory {
+    name: &'static str,
+    words: Vec<Word16>,
+}
+
+impl WordMemory {
+    /// A zeroed memory of `size` words.
+    pub fn new(name: &'static str, size: usize) -> Self {
+        WordMemory {
+            name,
+            words: vec![Word16::ZERO; size],
+        }
+    }
+
+    /// A memory preloaded from `data` (its length sets the size).
+    pub fn preloaded(name: &'static str, data: impl IntoIterator<Item = Word16>) -> Self {
+        WordMemory {
+            name,
+            words: data.into_iter().collect(),
+        }
+    }
+
+    /// The memory's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads word `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&self, addr: usize) -> Word16 {
+        assert!(addr < self.words.len(), "{}: read at {addr} out of range", self.name);
+        self.words[addr]
+    }
+
+    /// Writes word `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: usize, value: Word16) {
+        assert!(addr < self.words.len(), "{}: write at {addr} out of range", self.name);
+        self.words[addr] = value;
+    }
+
+    /// The full contents.
+    pub fn words(&self) -> &[Word16] {
+        &self.words
+    }
+
+    /// Bulk-writes `data` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write leaves the memory.
+    pub fn write_block(&mut self, addr: usize, data: &[Word16]) {
+        assert!(
+            addr + data.len() <= self.words.len(),
+            "{}: block write of {} words at {addr} out of range",
+            self.name,
+            data.len()
+        );
+        self.words[addr..addr + data.len()].copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = WordMemory::new("TEST", 16);
+        assert_eq!(mem.len(), 16);
+        mem.write(3, Word16::from_i16(-5));
+        assert_eq!(mem.read(3), Word16::from_i16(-5));
+        assert_eq!(mem.read(0), Word16::ZERO);
+    }
+
+    #[test]
+    fn preloaded_and_block_write() {
+        let mut mem = WordMemory::preloaded("P", (0..4).map(Word16::new));
+        assert_eq!(mem.len(), 4);
+        mem.write_block(1, &[Word16::new(9), Word16::new(8)]);
+        let values: Vec<u16> = mem.words().iter().map(|w| w.bits()).collect();
+        assert_eq!(values, vec![0, 9, 8, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        WordMemory::new("T", 2).read(2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Minimal PPM/PGM writers — the "monitor" output of the prototype.
+
+/// Encodes 8-bit grayscale pixels as a binary PGM (P5) image.
+///
+/// # Panics
+///
+/// Panics if `pixels.len() != width * height`.
+pub fn encode_pgm(width: usize, height: usize, pixels: &[u8]) -> Vec<u8> {
+    assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.extend_from_slice(pixels);
+    out
+}
+
+/// Encodes 8-bit grayscale pixels as a binary PPM (P6) image (gray
+/// replicated to RGB).
+///
+/// # Panics
+///
+/// Panics if `pixels.len() != width * height`.
+pub fn encode_ppm(width: usize, height: usize, pixels: &[u8]) -> Vec<u8> {
+    assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+    let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
+    for &p in pixels {
+        out.extend_from_slice(&[p, p, p]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_layout() {
+        let img = encode_pgm(2, 2, &[0, 64, 128, 255]);
+        assert!(img.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(&img[img.len() - 4..], &[0, 64, 128, 255]);
+    }
+
+    #[test]
+    fn ppm_replicates_channels() {
+        let img = encode_ppm(1, 1, &[7]);
+        assert!(img.starts_with(b"P6\n1 1\n255\n"));
+        assert_eq!(&img[img.len() - 3..], &[7, 7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn size_is_checked() {
+        encode_pgm(2, 2, &[1, 2, 3]);
+    }
+}

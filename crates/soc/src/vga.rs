@@ -1,0 +1,129 @@
+//! VGA controller model: scans the VIDEO memory out as frames.
+//!
+//! The APEX prototype (Figure 6) includes a synthesized VGA controller
+//! displaying the VIDEO memory on a monitor. We model the standard
+//! 640x480@60 timing (25.175 MHz pixel clock, 800x525 total slots) and
+//! rasterize the framebuffer into a grayscale image — the monitor becomes
+//! a PPM file.
+
+use systolic_ring_isa::Word16;
+
+use crate::mem::WordMemory;
+
+/// Standard 640x480@60 VGA timing constants.
+pub mod timing {
+    /// Visible pixels per line.
+    pub const H_VISIBLE: u64 = 640;
+    /// Total pixel slots per line (front/back porch + sync included).
+    pub const H_TOTAL: u64 = 800;
+    /// Visible lines per frame.
+    pub const V_VISIBLE: u64 = 480;
+    /// Total lines per frame.
+    pub const V_TOTAL: u64 = 525;
+    /// Pixel clock in Hz.
+    pub const PIXEL_CLOCK_HZ: u64 = 25_175_000;
+}
+
+/// A VGA controller bound to a framebuffer geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VgaController {
+    fb_width: usize,
+    fb_height: usize,
+    frames_scanned: u64,
+}
+
+impl VgaController {
+    /// A controller for a `fb_width` x `fb_height` framebuffer (displayed
+    /// at the top-left of the 640x480 raster).
+    pub fn new(fb_width: usize, fb_height: usize) -> Self {
+        assert!(fb_width <= timing::H_VISIBLE as usize, "framebuffer too wide");
+        assert!(fb_height <= timing::V_VISIBLE as usize, "framebuffer too tall");
+        VgaController {
+            fb_width,
+            fb_height,
+            frames_scanned: 0,
+        }
+    }
+
+    /// Pixel-clock cycles per full frame.
+    pub fn cycles_per_frame(&self) -> u64 {
+        timing::H_TOTAL * timing::V_TOTAL
+    }
+
+    /// Frames scanned so far.
+    pub fn frames_scanned(&self) -> u64 {
+        self.frames_scanned
+    }
+
+    /// Scans one frame out of `video`, returning 8-bit grayscale pixels
+    /// (row-major, `fb_width * fb_height`).
+    ///
+    /// 16-bit video words map to gray by clamping to `0..=255`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `video` is smaller than the framebuffer.
+    pub fn scan_frame(&mut self, video: &WordMemory) -> Vec<u8> {
+        assert!(
+            video.len() >= self.fb_width * self.fb_height,
+            "VIDEO memory smaller than the framebuffer"
+        );
+        let mut out = Vec::with_capacity(self.fb_width * self.fb_height);
+        for y in 0..self.fb_height {
+            for x in 0..self.fb_width {
+                let word: Word16 = video.read(y * self.fb_width + x);
+                out.push(word.as_i16().clamp(0, 255) as u8);
+            }
+        }
+        self.frames_scanned += 1;
+        out
+    }
+
+    /// Core-clock cycles spent scanning `frames` frames when the core runs
+    /// at `core_mhz` (for co-simulation bookkeeping).
+    pub fn core_cycles_for_frames(&self, frames: u64, core_mhz: f64) -> u64 {
+        let seconds = frames as f64 * self.cycles_per_frame() as f64
+            / timing::PIXEL_CLOCK_HZ as f64;
+        (seconds * core_mhz * 1.0e6).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_timing_is_standard_vga() {
+        let vga = VgaController::new(64, 64);
+        assert_eq!(vga.cycles_per_frame(), 800 * 525);
+        // ~60 Hz refresh.
+        let fps = timing::PIXEL_CLOCK_HZ as f64 / vga.cycles_per_frame() as f64;
+        assert!((59.0..61.0).contains(&fps), "fps = {fps:.2}");
+    }
+
+    #[test]
+    fn scan_clamps_to_8_bit() {
+        let mut video = WordMemory::new("VIDEO", 4);
+        video.write(0, Word16::from_i16(-5));
+        video.write(1, Word16::from_i16(0));
+        video.write(2, Word16::from_i16(128));
+        video.write(3, Word16::from_i16(300));
+        let mut vga = VgaController::new(2, 2);
+        assert_eq!(vga.scan_frame(&video), vec![0, 0, 128, 255]);
+        assert_eq!(vga.frames_scanned(), 1);
+    }
+
+    #[test]
+    fn core_cycle_bookkeeping() {
+        let vga = VgaController::new(64, 64);
+        // One frame at 200 MHz core clock: (800*525/25.175e6) * 200e6.
+        let cycles = vga.core_cycles_for_frames(1, 200.0);
+        assert!((3_300_000..3_400_000).contains(&cycles), "cycles = {cycles}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn rejects_oversized_framebuffers() {
+        VgaController::new(1000, 10);
+    }
+}

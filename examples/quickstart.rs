@@ -1,0 +1,67 @@
+//! Quickstart: build a ring, run the classic macro-operators, read results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks through the three ways of programming the fabric:
+//! 1. a **local-mode** MAC macro-operator (one Dnode, zero controller
+//!    overhead),
+//! 2. a **spatially mapped** 3-tap FIR at one sample per cycle,
+//! 3. a recursive IIR through the **feedback network**.
+
+use systolic_ring::isa::RingGeometry;
+use systolic_ring::kernels::image::test_signal;
+use systolic_ring::kernels::{fir, golden, iir, mac};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = RingGeometry::RING_16;
+    println!("Systolic Ring quickstart on a {geometry}\n");
+
+    // 1. Dot product on a single local-mode MAC Dnode.
+    let a: Vec<i16> = (1..=32).collect();
+    let b: Vec<i16> = (1..=32).map(|v| v % 7 - 3).collect();
+    let run = mac::dot_product(geometry, &a, &b)?;
+    println!(
+        "dot product (local-mode MAC): {} in {} cycles (golden: {})",
+        run.outputs[0],
+        run.cycles,
+        golden::dot_product(&a, &b)
+    );
+
+    // 2. Spatial 3-tap FIR: one output per cycle.
+    let coeffs = [3, -2, 5];
+    let input = test_signal(64, 1);
+    let run = fir::spatial(geometry, &coeffs, &input)?;
+    let expect = golden::fir(&coeffs, &input);
+    println!(
+        "spatial FIR-3: {} samples in {} cycles ({:.2} cycles/sample), exact = {}",
+        input.len(),
+        run.cycles,
+        run.cycles as f64 / input.len() as f64,
+        run.outputs == expect
+    );
+
+    // 3. The same FIR folded onto one Dnode in local mode.
+    let run = fir::local_serial(geometry, &coeffs, &input)?;
+    println!(
+        "folded FIR-3 (1 Dnode):  {} samples in {} cycles ({:.2} cycles/sample), exact = {}",
+        input.len(),
+        run.cycles,
+        run.cycles as f64 / input.len() as f64,
+        run.outputs == expect
+    );
+
+    // 4. Recursive IIR through the feedback pipelines.
+    let run = iir::first_order(geometry, 128, 8, &input)?;
+    let expect = golden::iir_first_order(128, 8, &input);
+    println!(
+        "IIR (pole 0.5, feedback network): {} samples in {} cycles, exact = {}",
+        input.len(),
+        run.cycles,
+        run.outputs == expect
+    );
+
+    println!("\nEverything above ran cycle-accurately on the simulated fabric.");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! The Figure 7 projection: a Ring-64 + ARM7 SoC on a 4x3 mm 0.18 µm die.
+//!
+//! ```sh
+//! cargo run --example soc_floorplan
+//! ```
+
+use systolic_ring::isa::RingGeometry;
+use systolic_ring::model::floorplan::{figure7_blocks, pack};
+use systolic_ring::model::{core_area, freq_mhz, peak_mips, HardwareParams, ST_CMOS_018};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = RingGeometry::RING_64;
+    let area = core_area(geometry, HardwareParams::PAPER, ST_CMOS_018);
+    println!("Figure 7 — foreseeable SoC (0.18um, 4x3 mm die)\n");
+    println!("Ring-64 area breakdown (model; paper projects 3.4 mm2):");
+    println!("  Dnodes        {:>6.2} mm2", area.dnodes_mm2);
+    println!("  switches      {:>6.2} mm2", area.switches_mm2);
+    println!("  config layer  {:>6.2} mm2", area.config_mm2);
+    println!("  controller    {:>6.2} mm2", area.controller_mm2);
+    println!("  integration   {:>6.2} mm2", area.overhead_mm2);
+    println!("  total         {:>6.2} mm2", area.total_mm2());
+    println!(
+        "\nclock {:.0} MHz, peak {:.1} GOPS (1 op/Dnode/cycle)",
+        freq_mhz(geometry, ST_CMOS_018),
+        peak_mips(geometry, ST_CMOS_018) / 1000.0
+    );
+
+    let plan = pack(4.0, 3.0, &figure7_blocks(area.total_mm2()))?;
+    println!("\ndie utilization {:.0}%:\n", plan.utilization() * 100.0);
+    for p in &plan.placements {
+        println!(
+            "  {:<12} {:>5.2} mm2  at ({:.2}, {:.2})  {:.2} x {:.2} mm",
+            p.block.name, p.block.area_mm2, p.x_mm, p.y_mm, p.w_mm, p.h_mm
+        );
+    }
+    println!("\n{}", plan.ascii(56, 21));
+    Ok(())
+}

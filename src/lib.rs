@@ -1,0 +1,60 @@
+//! Umbrella crate for the **Systolic Ring** reproduction — the coarse-grained
+//! dynamically reconfigurable DSP architecture of Sassatelli et al.
+//! (DATE 2002), rebuilt as a cycle-accurate Rust system.
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! * [`isa`] — word, geometry, Dnode/switch/controller encodings, object
+//!   format,
+//! * [`core`] — the cycle-accurate machine simulator,
+//! * [`asm`] — the two-level assembler and disassembler,
+//! * [`kernels`] — DSP kernels (MAC/FIR/IIR/FIFO, motion estimation,
+//!   wavelet) with golden models,
+//! * [`baselines`] — the comparators (MMX model, block-matching ASIC
+//!   model, scalar CPU model, wavelet-core records),
+//! * [`compiler`] — the dataflow-graph compiler/profiler (the paper's
+//!   stated future work),
+//! * [`model`] — the calibrated area/timing technology model,
+//! * [`soc`] — the APEX prototype substrate (memories, VGA, host DMA).
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results. The
+//! runnable entry points live in `examples/` and the report binary in
+//! `crates/bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use systolic_ring::asm::assemble;
+//! use systolic_ring::core::RingMachine;
+//! use systolic_ring::isa::{RingGeometry, Word16};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let object = assemble(
+//!     ".ring 4x2
+//!      route 0,0.in1 = host.0
+//!      node 0,0: shl in1, one > out
+//!      capture 1 = lane 0
+//!      .code
+//!      wait 16
+//!      halt
+//! ")?;
+//! let mut machine = RingMachine::with_defaults(RingGeometry::RING_8);
+//! machine.load(&object)?;
+//! machine.open_sink(1, 0)?;
+//! machine.attach_input(0, 0, [21].map(Word16::from_i16))?;
+//! machine.run_until_halt(100)?;
+//! let out = machine.take_sink(1, 0)?;
+//! assert!(out.contains(&Word16::from_i16(42)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use systolic_ring_asm as asm;
+pub use systolic_ring_baselines as baselines;
+pub use systolic_ring_compiler as compiler;
+pub use systolic_ring_core as core;
+pub use systolic_ring_isa as isa;
+pub use systolic_ring_kernels as kernels;
+pub use systolic_ring_model as model;
+pub use systolic_ring_soc as soc;

@@ -1,0 +1,99 @@
+//! Cross-crate regression tests pinning the paper's headline claims.
+//!
+//! Each test corresponds to a row of EXPERIMENTS.md; if a refactor shifts a
+//! measured figure outside the recorded band, these fail.
+
+use systolic_ring::baselines::{asic_me, mmx, scalar};
+use systolic_ring::isa::RingGeometry;
+use systolic_ring::kernels::image::Image;
+use systolic_ring::kernels::motion::{self, BlockMatch};
+use systolic_ring::kernels::{golden, wavelet};
+use systolic_ring::model::{
+    core_area, dnode_area_mm2, freq_mhz, peak_mips, peak_port_bandwidth_bytes, HardwareParams,
+    ST_CMOS_018, ST_CMOS_025,
+};
+
+/// Table 1: the ring beats MMX by roughly the paper's "almost 8x" and the
+/// ASIC beats the ring.
+#[test]
+fn table1_motion_estimation_ordering() {
+    let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
+    let spec = BlockMatch::paper_at(28, 28);
+
+    let ring = motion::block_match(RingGeometry::RING_16, &reference, &current, spec)
+        .expect("ring ME");
+    let m = mmx::full_search(&reference, &current, spec);
+    let a = asic_me::full_search(&reference, &current, spec);
+
+    assert_eq!(ring.candidates.len(), 289);
+    assert_eq!(ring.best, m.best);
+    assert_eq!(ring.best, a.best);
+
+    let mmx_over_ring = m.cycles as f64 / ring.cycles as f64;
+    assert!(
+        (4.0..12.0).contains(&mmx_over_ring),
+        "ring vs MMX = {mmx_over_ring:.1}x (paper: almost 8x)"
+    );
+    let ring_over_asic = ring.cycles as f64 / a.cycles as f64;
+    assert!(
+        ring_over_asic > 3.0,
+        "ASIC vs ring = {ring_over_asic:.1}x (paper: much faster)"
+    );
+}
+
+/// Table 2: one pixel per cycle for the 2-D transform with about a quarter
+/// of the fabric free, and bit-exact coefficients.
+#[test]
+fn table2_wavelet_rate_and_utilization() {
+    let image = Image::textured(128, 96, 53);
+    let run = wavelet::forward_2d(RingGeometry::RING_16, &image).expect("wavelet");
+    assert_eq!(
+        run.coefficients,
+        golden::lifting53_forward_2d(128, 96, image.data())
+    );
+    let cpp = run.cycles as f64 / run.pixels as f64;
+    assert!(cpp < 1.2, "cycles/pixel = {cpp:.2} (paper: 1)");
+    let free = run.stats.idle_dnodes() as f64 / 16.0;
+    assert!(
+        (0.2..0.4).contains(&free),
+        "free fabric = {free:.2} (paper: 0.25)"
+    );
+}
+
+/// Table 3: the calibrated anchors are exact, the predictions are close.
+#[test]
+fn table3_synthesis_results() {
+    assert!((dnode_area_mm2(ST_CMOS_025) - 0.06).abs() < 1e-9);
+    assert!((dnode_area_mm2(ST_CMOS_018) - 0.04).abs() < 1e-9);
+    assert!((freq_mhz(RingGeometry::RING_8, ST_CMOS_025) - 180.0).abs() < 1e-6);
+    assert!((freq_mhz(RingGeometry::RING_8, ST_CMOS_018) - 200.0).abs() < 1e-6);
+    let core025 = core_area(RingGeometry::RING_8, HardwareParams::PAPER, ST_CMOS_025).total_mm2();
+    let core018 = core_area(RingGeometry::RING_8, HardwareParams::PAPER, ST_CMOS_018).total_mm2();
+    assert!((core025 - 0.9).abs() / 0.9 < 0.2, "0.25um core = {core025:.2}");
+    assert!((core018 - 0.7).abs() / 0.7 < 0.2, "0.18um core = {core018:.2}");
+}
+
+/// §5.1: 1600 MIPS peak, ~3 GB/s ports, and the scalar anchor in range.
+#[test]
+fn comparative_figures() {
+    assert!((peak_mips(RingGeometry::RING_8, ST_CMOS_018) - 1600.0).abs() < 1.0);
+    let bw = peak_port_bandwidth_bytes(RingGeometry::RING_8, ST_CMOS_018);
+    assert!((bw / 1e9 - 3.2).abs() < 0.1, "bw = {bw:.2e}");
+    let run = scalar::dot_product(
+        scalar::CostModel::PENTIUM_II_CLASS,
+        &vec![1i16; 10_000],
+        &vec![2i16; 10_000],
+    );
+    let mips = run.mips(450.0);
+    assert!((200.0..500.0).contains(&mips), "scalar = {mips:.0} MIPS");
+}
+
+/// Figure 7: the projected SoC area for the Ring-64 stays near 3.4 mm².
+#[test]
+fn figure7_ring64_area() {
+    let area = core_area(RingGeometry::RING_64, HardwareParams::PAPER, ST_CMOS_018).total_mm2();
+    assert!(
+        (area - 3.4).abs() / 3.4 < 0.25,
+        "Ring-64 = {area:.2} mm2 (paper: 3.4)"
+    );
+}

@@ -1,0 +1,258 @@
+//! Property-based tests over the core data structures and kernel
+//! invariants, spanning crate boundaries.
+
+use proptest::prelude::*;
+
+use systolic_ring::isa::ctrl::CtrlInstr;
+use systolic_ring::isa::dnode::{AluOp, MicroInstr, Operand, Reg};
+use systolic_ring::isa::object::{Object, Preload};
+use systolic_ring::isa::switch::{HostCapture, PortSource};
+use systolic_ring::isa::{RingGeometry, Word16};
+use systolic_ring::kernels::golden;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![
+        Just(Reg::R0),
+        Just(Reg::R1),
+        Just(Reg::R2),
+        Just(Reg::R3)
+    ]
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        Just(Operand::In1),
+        Just(Operand::In2),
+        Just(Operand::Fifo1),
+        Just(Operand::Fifo2),
+        Just(Operand::Bus),
+        Just(Operand::Imm),
+        Just(Operand::Zero),
+        Just(Operand::One),
+    ]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Nop),
+        Just(AluOp::PassA),
+        Just(AluOp::PassB),
+        Just(AluOp::Add),
+        Just(AluOp::AddSat),
+        Just(AluOp::Sub),
+        Just(AluOp::SubSat),
+        Just(AluOp::Neg),
+        Just(AluOp::Abs),
+        Just(AluOp::AbsDiff),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Not),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Asr),
+        Just(AluOp::Min),
+        Just(AluOp::Max),
+        Just(AluOp::MinU),
+        Just(AluOp::MaxU),
+        Just(AluOp::Slt),
+        Just(AluOp::SltU),
+        Just(AluOp::Mul),
+        Just(AluOp::MulHi),
+        Just(AluOp::MulHiU),
+        Just(AluOp::Mac),
+        Just(AluOp::MacSat),
+        Just(AluOp::Msu),
+    ]
+}
+
+fn arb_micro() -> impl Strategy<Value = MicroInstr> {
+    (
+        arb_alu(),
+        arb_operand(),
+        arb_operand(),
+        proptest::option::of(arb_reg()),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u16>(),
+    )
+        .prop_map(|(alu, src_a, src_b, wr_reg, wr_out, wr_bus, imm)| MicroInstr {
+            alu,
+            src_a,
+            src_b,
+            wr_reg,
+            wr_out,
+            wr_bus,
+            imm: Word16::new(imm),
+        })
+}
+
+fn arb_source() -> impl Strategy<Value = PortSource> {
+    prop_oneof![
+        Just(PortSource::Zero),
+        Just(PortSource::Bus),
+        any::<u8>().prop_map(|lane| PortSource::PrevOut { lane }),
+        any::<u8>().prop_map(|port| PortSource::HostIn { port }),
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(switch, stage, lane)| PortSource::Pipe { switch, stage, lane }),
+    ]
+}
+
+proptest! {
+    /// Every microinstruction survives encode/decode.
+    #[test]
+    fn microinstruction_round_trips(instr in arb_micro()) {
+        let word = instr.encode();
+        prop_assert_eq!(MicroInstr::decode(word).unwrap(), instr);
+    }
+
+    /// Every switch source survives encode/decode.
+    #[test]
+    fn port_source_round_trips(src in arb_source()) {
+        prop_assert_eq!(PortSource::decode(src.encode()).unwrap(), src);
+    }
+
+    /// Decoding any 32-bit controller word either fails or re-encodes to
+    /// the identical word (no aliasing encodings).
+    #[test]
+    fn ctrl_decode_is_injective(word in any::<u32>()) {
+        if let Ok(instr) = CtrlInstr::decode(word) {
+            prop_assert_eq!(instr.encode(), word);
+        }
+    }
+
+    /// Decoding any 64-bit microinstruction word either fails or
+    /// re-encodes identically.
+    #[test]
+    fn micro_decode_is_injective(word in any::<u64>()) {
+        if let Ok(instr) = MicroInstr::decode(word) {
+            prop_assert_eq!(instr.encode(), word);
+        }
+    }
+
+    /// Word16 saturating ops stay within the signed range and agree with
+    /// wide arithmetic when no saturation occurs.
+    #[test]
+    fn word16_saturation_laws(a in any::<i16>(), b in any::<i16>()) {
+        let wa = Word16::from_i16(a);
+        let wb = Word16::from_i16(b);
+        let sat = wa.saturating_add(wb).as_i16();
+        let wide = a as i32 + b as i32;
+        prop_assert_eq!(sat as i32, wide.clamp(i16::MIN as i32, i16::MAX as i32));
+        let d = wa.abs_diff(wb).as_i16();
+        prop_assert!(d >= 0);
+        prop_assert_eq!(d as i32, (a as i32 - b as i32).abs().min(i16::MAX as i32));
+    }
+
+    /// ALU eval is total: every op on every input produces a value and
+    /// matches commutativity where algebra requires it.
+    #[test]
+    fn alu_commutativity(op in arb_alu(), a in any::<i16>(), b in any::<i16>()) {
+        let wa = Word16::from_i16(a);
+        let wb = Word16::from_i16(b);
+        let acc = Word16::ZERO;
+        let fwd = op.eval(wa, wb, acc);
+        if matches!(
+            op,
+            AluOp::Add | AluOp::AddSat | AluOp::And | AluOp::Or | AluOp::Xor
+                | AluOp::Min | AluOp::Max | AluOp::MinU | AluOp::MaxU
+                | AluOp::Mul | AluOp::MulHi | AluOp::MulHiU | AluOp::AbsDiff
+        ) {
+            prop_assert_eq!(fwd, op.eval(wb, wa, acc), "{} not commutative", op);
+        }
+    }
+
+    /// Object serialization round-trips for arbitrary well-formed objects.
+    #[test]
+    fn object_round_trips(
+        code in proptest::collection::vec(any::<u32>(), 0..64),
+        data in proptest::collection::vec(any::<u32>(), 0..64),
+        contexts in 0u16..16,
+        modes in proptest::collection::vec((any::<u16>(), any::<bool>()), 0..16),
+    ) {
+        let object = Object {
+            geometry: Some(RingGeometry::RING_16),
+            contexts,
+            code,
+            data,
+            preload: modes
+                .into_iter()
+                .map(|(dnode, local)| Preload::Mode { dnode, local })
+                .collect(),
+        };
+        prop_assert_eq!(Object::from_bytes(&object.to_bytes()).unwrap(), object);
+    }
+
+    /// Host-capture words round trip.
+    #[test]
+    fn host_capture_round_trips(lane in proptest::option::of(any::<u8>())) {
+        let cap = match lane {
+            Some(l) => HostCapture::lane(l),
+            None => HostCapture::DISABLED,
+        };
+        prop_assert_eq!(HostCapture::decode(cap.encode()).unwrap(), cap);
+    }
+
+    /// The golden 5/3 lifting transform is perfectly reversible for any
+    /// even-length signal.
+    #[test]
+    fn lifting_is_reversible(
+        signal in proptest::collection::vec(-4000i16..4000, 1..64)
+            .prop_map(|mut v| {
+                if v.len() % 2 == 1 {
+                    v.pop();
+                }
+                if v.is_empty() {
+                    v = vec![0, 0];
+                }
+                v
+            })
+    ) {
+        let (a, d) = golden::lifting53_forward(&signal);
+        prop_assert_eq!(golden::lifting53_inverse(&a, &d), signal);
+    }
+
+    /// Golden SAD is a metric-like form: zero on identical blocks,
+    /// symmetric, and monotone under single-pixel perturbation.
+    #[test]
+    fn sad_is_symmetric_and_zero_on_equal(
+        block in proptest::collection::vec(0i16..256, 16),
+        other in proptest::collection::vec(0i16..256, 16),
+    ) {
+        prop_assert_eq!(golden::sad(&block, &block), 0);
+        prop_assert_eq!(golden::sad(&block, &other), golden::sad(&other, &block));
+    }
+
+    /// Golden FIR is linear: fir(c, x + y) == fir(c, x) + fir(c, y) in
+    /// wrapping arithmetic.
+    #[test]
+    fn fir_is_linear(
+        coeffs in proptest::collection::vec(-20i16..20, 1..5),
+        x in proptest::collection::vec(-100i16..100, 1..32),
+    ) {
+        let y: Vec<i16> = x.iter().map(|v| v.wrapping_mul(2)).collect();
+        let sum: Vec<i16> = x.iter().zip(&y).map(|(a, b)| a.wrapping_add(*b)).collect();
+        let fx = golden::fir(&coeffs, &x);
+        let fy = golden::fir(&coeffs, &y);
+        let fsum = golden::fir(&coeffs, &sum);
+        let combined: Vec<i16> = fx.iter().zip(&fy).map(|(a, b)| a.wrapping_add(*b)).collect();
+        prop_assert_eq!(fsum, combined);
+    }
+}
+
+/// Hardware/golden agreement under random inputs: the single-Dnode MAC.
+#[test]
+fn hardware_mac_agrees_with_golden_on_random_vectors() {
+    use rand::rngs::SmallRng;
+    use rand::{RngExt as _, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(99);
+    for _ in 0..10 {
+        let n = rng.random_range(1..40);
+        let a: Vec<i16> = (0..n).map(|_| rng.random_range(-300..300)).collect();
+        let b: Vec<i16> = (0..n).map(|_| rng.random_range(-300..300)).collect();
+        let run = systolic_ring::kernels::mac::dot_product(RingGeometry::RING_8, &a, &b)
+            .expect("dot product");
+        assert_eq!(run.outputs[0], golden::dot_product(&a, &b));
+    }
+}
