@@ -1,0 +1,24 @@
+#!/bin/sh
+# Local CI gate: everything must pass before a change lands.
+#
+#   ./ci.sh          # build + tests + formatting
+#
+# The suite is fully offline and dependency-free: the workspace builds
+# against the standard library only, and all randomized tests run on the
+# in-tree deterministic test kit (`harness::testkit`).
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci: all checks passed"

@@ -105,22 +105,64 @@ fn is_reserved_name(name: &str) -> bool {
     if micro_op(name).is_some() {
         return true;
     }
-    if name.len() >= 2
-        && name.starts_with('r')
-        && name[1..].chars().all(|c| c.is_ascii_digit())
-    {
+    if name.len() >= 2 && name.starts_with('r') && name[1..].chars().all(|c| c.is_ascii_digit()) {
         return true;
     }
     matches!(
         name,
-        "in1" | "in2" | "fifo1" | "fifo2" | "bus" | "zero" | "one" | "out"
-            | "node" | "route" | "capture" | "lane" | "off" | "local" | "global"
-            | "prev" | "pipe" | "host" | "x"
-            | "addi" | "andi" | "ori" | "xori" | "slti" | "lui" | "li" | "lw" | "sw"
-            | "beq" | "bne" | "blt" | "bge" | "j" | "jal" | "jr"
-            | "cimm" | "wctx" | "wdn" | "wsw" | "who" | "wmode" | "wloc" | "wlim"
-            | "ctx" | "busw" | "busr" | "hpush" | "hpop" | "wait" | "halt"
-            | "sll" | "srl" | "sra"
+        "in1"
+            | "in2"
+            | "fifo1"
+            | "fifo2"
+            | "bus"
+            | "zero"
+            | "one"
+            | "out"
+            | "node"
+            | "route"
+            | "capture"
+            | "lane"
+            | "off"
+            | "local"
+            | "global"
+            | "prev"
+            | "pipe"
+            | "host"
+            | "x"
+            | "addi"
+            | "andi"
+            | "ori"
+            | "xori"
+            | "slti"
+            | "lui"
+            | "li"
+            | "lw"
+            | "sw"
+            | "beq"
+            | "bne"
+            | "blt"
+            | "bge"
+            | "j"
+            | "jal"
+            | "jr"
+            | "cimm"
+            | "wctx"
+            | "wdn"
+            | "wsw"
+            | "who"
+            | "wmode"
+            | "wloc"
+            | "wlim"
+            | "ctx"
+            | "busw"
+            | "busr"
+            | "hpush"
+            | "hpop"
+            | "wait"
+            | "halt"
+            | "sll"
+            | "srl"
+            | "sra"
     )
 }
 
@@ -186,7 +228,10 @@ impl<'a> Cur<'a> {
         } else {
             Err(AsmError::new(
                 self.line,
-                AsmErrorKind::OutOfRange { what: what.into(), value: n },
+                AsmErrorKind::OutOfRange {
+                    what: what.into(),
+                    value: n,
+                },
             ))
         }
     }
@@ -325,9 +370,9 @@ impl Assembler {
                 let width = match cur.peek().cloned() {
                     Some(Token::Ident(s)) if s.starts_with('x') && s.len() > 1 => {
                         cur.next();
-                        s[1..].parse::<u16>().map_err(|_| {
-                            AsmError::new(line, AsmErrorKind::BadNumber(s.clone()))
-                        })?
+                        s[1..]
+                            .parse::<u16>()
+                            .map_err(|_| AsmError::new(line, AsmErrorKind::BadNumber(s.clone())))?
                     }
                     Some(Token::Ident(s)) if s == "x" => {
                         cur.next();
@@ -452,7 +497,10 @@ impl Assembler {
                     if !(i32::MIN as i64..=u32::MAX as i64).contains(&n) {
                         return Err(AsmError::new(
                             line,
-                            AsmErrorKind::OutOfRange { what: "word".into(), value: n },
+                            AsmErrorKind::OutOfRange {
+                                what: "word".into(),
+                                value: n,
+                            },
                         ));
                     }
                     self.data.push(n as u32);
@@ -479,12 +527,13 @@ impl Assembler {
         if layer as usize >= g.layers() || lane as usize >= g.width() {
             return Err(AsmError::new(
                 line,
-                AsmErrorKind::Geometry(format!(
-                    "dnode {layer},{lane} outside {g}",
-                )),
+                AsmErrorKind::Geometry(format!("dnode {layer},{lane} outside {g}",)),
             ));
         }
-        Ok((g.dnode_index(layer as usize, lane as usize) as u16, (layer, lane)))
+        Ok((
+            g.dnode_index(layer as usize, lane as usize) as u16,
+            (layer, lane),
+        ))
     }
 
     fn fabric_line(&mut self, mut cur: Cur<'_>) -> Result<(), AsmError> {
@@ -664,7 +713,10 @@ fn parse_micro(cur: &mut Cur<'_>) -> Result<MicroInstr, AsmError> {
             if !(i16::MIN as i64..=u16::MAX as i64).contains(&value) {
                 return Err(AsmError::new(
                     line,
-                    AsmErrorKind::OutOfRange { what: "immediate".into(), value },
+                    AsmErrorKind::OutOfRange {
+                        what: "immediate".into(),
+                        value,
+                    },
                 ));
             }
             if let Some(prev) = imm {
@@ -679,9 +731,7 @@ fn parse_micro(cur: &mut Cur<'_>) -> Result<MicroInstr, AsmError> {
             return Ok(Operand::Imm);
         }
         let name = cur.ident("operand")?;
-        operand(&name).ok_or_else(|| {
-            AsmError::syntax(line, format!("unknown operand `{name}`"))
-        })
+        operand(&name).ok_or_else(|| AsmError::syntax(line, format!("unknown operand `{name}`")))
     };
 
     let (src_a, src_b) = match arity {
@@ -833,9 +883,7 @@ fn strip_label(
     labels: &mut HashMap<String, u32>,
     addr: u32,
 ) -> Result<bool, AsmError> {
-    if let (Some(Token::Ident(name)), Some(Token::Colon)) =
-        (cur.toks.first(), cur.toks.get(1))
-    {
+    if let (Some(Token::Ident(name)), Some(Token::Colon)) = (cur.toks.first(), cur.toks.get(1)) {
         let name = name.clone();
         if labels.insert(name.clone(), addr).is_some() {
             return Err(AsmError::new(cur.line, AsmErrorKind::DuplicateLabel(name)));
@@ -872,7 +920,10 @@ fn imm_i16(cur: &mut Cur<'_>, what: &str) -> Result<i16, AsmError> {
     } else {
         Err(AsmError::new(
             line,
-            AsmErrorKind::OutOfRange { what: what.into(), value: n },
+            AsmErrorKind::OutOfRange {
+                what: what.into(),
+                value: n,
+            },
         ))
     }
 }
@@ -888,16 +939,16 @@ fn imm_u16(cur: &mut Cur<'_>, what: &str) -> Result<u16, AsmError> {
     } else {
         Err(AsmError::new(
             line,
-            AsmErrorKind::OutOfRange { what: what.into(), value: n },
+            AsmErrorKind::OutOfRange {
+                what: what.into(),
+                value: n,
+            },
         ))
     }
 }
 
 /// A jump/branch target: a label or a literal address/offset.
-fn target(
-    cur: &mut Cur<'_>,
-    labels: &HashMap<String, u32>,
-) -> Result<u32, AsmError> {
+fn target(cur: &mut Cur<'_>, labels: &HashMap<String, u32>) -> Result<u32, AsmError> {
     let line = cur.line;
     match cur.next() {
         Some(Token::Num(n)) if *n >= 0 && *n <= u16::MAX as i64 => Ok(*n as u32),
@@ -955,7 +1006,10 @@ fn encode_ctrl(
         if !(i16::MIN as i64..=i16::MAX as i64).contains(&offset) {
             return Err(AsmError::new(
                 cur.line,
-                AsmErrorKind::OutOfRange { what: "branch offset".into(), value: offset },
+                AsmErrorKind::OutOfRange {
+                    what: "branch offset".into(),
+                    value: offset,
+                },
             ));
         }
         Ok((ra, rb, offset as i16))
@@ -970,8 +1024,7 @@ fn encode_ctrl(
     match mnemonic.as_str() {
         "nop" => push(Nop),
         "halt" => push(Halt),
-        "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu"
-        | "mul" => {
+        "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu" | "mul" => {
             let (rd, ra, rb) = r3(cur)?;
             push(match mnemonic.as_str() {
                 "add" => Add { rd, ra, rb },
@@ -1017,12 +1070,22 @@ fn encode_ctrl(
             if !(i32::MIN as i64..=u32::MAX as i64).contains(&n) {
                 return Err(AsmError::new(
                     line,
-                    AsmErrorKind::OutOfRange { what: "li immediate".into(), value: n },
+                    AsmErrorKind::OutOfRange {
+                        what: "li immediate".into(),
+                        value: n,
+                    },
                 ));
             }
             let bits = n as u32;
-            push(Lui { rd, imm: (bits >> 16) as u16 });
-            push(Ori { rd, ra: rd, imm: (bits & 0xffff) as u16 });
+            push(Lui {
+                rd,
+                imm: (bits >> 16) as u16,
+            });
+            push(Ori {
+                rd,
+                ra: rd,
+                imm: (bits & 0xffff) as u16,
+            });
         }
         "lw" => {
             let (rd, ra, imm) = mem(cur)?;
@@ -1044,9 +1107,13 @@ fn encode_ctrl(
         "j" | "jal" => {
             let dest = target(cur, labels)?;
             push(if mnemonic == "j" {
-                J { target: dest as u16 }
+                J {
+                    target: dest as u16,
+                }
             } else {
-                Jal { target: dest as u16 }
+                Jal {
+                    target: dest as u16,
+                }
             });
         }
         "jr" => {
@@ -1103,7 +1170,10 @@ fn encode_ctrl(
                 if a > 255 {
                     return Err(AsmError::new(
                         line,
-                        AsmErrorKind::OutOfRange { what: "hpush switch".into(), value: a as i64 },
+                        AsmErrorKind::OutOfRange {
+                            what: "hpush switch".into(),
+                            value: a as i64,
+                        },
                     ));
                 }
                 a << 8
@@ -1132,7 +1202,10 @@ fn encode_ctrl(
                 if a > 255 {
                     return Err(AsmError::new(
                         line,
-                        AsmErrorKind::OutOfRange { what: "hpop switch".into(), value: a as i64 },
+                        AsmErrorKind::OutOfRange {
+                            what: "hpop switch".into(),
+                            value: a as i64,
+                        },
                     ));
                 }
                 a << 8

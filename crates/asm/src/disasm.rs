@@ -67,12 +67,20 @@ fn preload_line(record: &Preload) -> String {
                 Err(_) => format!("ctx {ctx} route sw{switch} lane{lane}.{port} = .word {word:#x}"),
             }
         }
-        Preload::HostCapture { ctx, switch, port, word } => match HostCapture::decode(word) {
+        Preload::HostCapture {
+            ctx,
+            switch,
+            port,
+            word,
+        } => match HostCapture::decode(word) {
             Ok(cap) => format!("ctx {ctx} capture sw{switch}.{port} = {cap}"),
             Err(_) => format!("ctx {ctx} capture sw{switch}.{port} = .word {word:#x}"),
         },
         Preload::Mode { dnode, local } => {
-            format!("mode dnode {dnode} = {}", if local { "local" } else { "global" })
+            format!(
+                "mode dnode {dnode} = {}",
+                if local { "local" } else { "global" }
+            )
         }
         Preload::LocalSlot { dnode, slot, word } => match MicroInstr::decode(word) {
             Ok(instr) => format!("local dnode {dnode} s{}: {instr}", slot + 1),
@@ -92,7 +100,12 @@ mod tests {
     fn renders_code_and_bad_words() {
         let r1 = CReg::new(1).unwrap();
         let code = vec![
-            CtrlInstr::Addi { rd: r1, ra: CReg::ZERO, imm: 5 }.encode(),
+            CtrlInstr::Addi {
+                rd: r1,
+                ra: CReg::ZERO,
+                imm: 5,
+            }
+            .encode(),
             0xffff_ffff,
             CtrlInstr::Halt.encode(),
         ];
@@ -110,9 +123,17 @@ mod tests {
             code: vec![CtrlInstr::Halt.encode()],
             data: vec![7],
             preload: vec![
-                Preload::Mode { dnode: 1, local: true },
+                Preload::Mode {
+                    dnode: 1,
+                    local: true,
+                },
                 Preload::LocalLimit { dnode: 1, limit: 2 },
-                Preload::HostCapture { ctx: 0, switch: 1, port: 0, word: 1 },
+                Preload::HostCapture {
+                    ctx: 0,
+                    switch: 1,
+                    port: 0,
+                    word: 1,
+                },
             ],
         };
         let text = disassemble(&object);

@@ -83,7 +83,10 @@ mod tests {
         assert_eq!(err.to_string(), "line 12: syntax error: expected operand");
         let err = AsmError::new(
             3,
-            AsmErrorKind::OutOfRange { what: "immediate".into(), value: 70000 },
+            AsmErrorKind::OutOfRange {
+                what: "immediate".into(),
+                value: 70000,
+            },
         );
         assert!(err.to_string().contains("70000"));
     }

@@ -129,9 +129,7 @@ pub fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, AsmError> {
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
                 i += 1;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token::Ident(code[start..i].to_ascii_lowercase()));

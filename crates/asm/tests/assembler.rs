@@ -30,7 +30,11 @@ fn assembles_fabric_statements() {
     assert_eq!(object.contexts, 2);
     assert_eq!(object.preload.len(), 5);
     match object.preload[0] {
-        Preload::DnodeInstr { ctx: 1, dnode: 2, word } => {
+        Preload::DnodeInstr {
+            ctx: 1,
+            dnode: 2,
+            word,
+        } => {
             let instr = MicroInstr::decode(word).unwrap();
             assert_eq!(instr.alu, AluOp::Mac);
             assert_eq!(instr.wr_reg, Some(Reg::R0));
@@ -39,7 +43,13 @@ fn assembles_fabric_statements() {
         ref other => panic!("unexpected record {other:?}"),
     }
     match object.preload[1] {
-        Preload::SwitchPort { ctx: 1, switch: 1, lane: 0, input: 0, .. } => {}
+        Preload::SwitchPort {
+            ctx: 1,
+            switch: 1,
+            lane: 0,
+            input: 0,
+            ..
+        } => {}
         ref other => panic!("unexpected record {other:?}"),
     }
 }
@@ -239,12 +249,18 @@ fn end_to_end_assembled_program_runs() {
     let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
     m.load(&object).unwrap();
     m.open_sink(1, 0).unwrap();
-    m.attach_input(0, 0, [3, 4, 5].map(Word16::from_i16)).unwrap();
+    m.attach_input(0, 0, [3, 4, 5].map(Word16::from_i16))
+        .unwrap();
     m.run_until_halt(200).unwrap();
     m.run(5).unwrap();
 
     assert_eq!(m.controller().dmem(0), Some(3_628_800));
-    let sink: Vec<i16> = m.take_sink(1, 0).unwrap().iter().map(|w| w.as_i16()).collect();
+    let sink: Vec<i16> = m
+        .take_sink(1, 0)
+        .unwrap()
+        .iter()
+        .map(|w| w.as_i16())
+        .collect();
     assert!(sink.windows(3).any(|w| w == [6, 8, 10]), "sink = {sink:?}");
 }
 
@@ -264,7 +280,8 @@ fn local_mode_program_assembles_and_runs() {
     let object = assemble(source).unwrap();
     let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
     m.load(&object).unwrap();
-    m.attach_input(0, 0, [1, 2, 3, 4].map(Word16::from_i16)).unwrap();
+    m.attach_input(0, 0, [1, 2, 3, 4].map(Word16::from_i16))
+        .unwrap();
     m.run_until_halt(100).unwrap();
     assert_eq!(m.dnode(0).reg(Reg::R3).as_i16(), 2 * (1 + 2 + 3 + 4));
 }

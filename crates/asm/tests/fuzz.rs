@@ -1,84 +1,109 @@
 //! Robustness: the assembler and object loader must never panic, whatever
 //! bytes they are fed — they return diagnostics instead.
 
-use proptest::prelude::*;
-
 use systolic_ring_asm::{assemble, disassemble};
+use systolic_ring_harness::for_random_cases;
+use systolic_ring_harness::testkit::TestRng;
 use systolic_ring_isa::object::Object;
 
 /// Fragments that bias random programs towards almost-valid syntax, where
 /// parser bugs hide.
-fn fragmenty() -> impl Strategy<Value = String> {
-    let fragment = prop_oneof![
-        Just(".ring 4x2\n".to_owned()),
-        Just(".ring 999x0\n".to_owned()),
-        Just(".contexts 3\n".to_owned()),
-        Just(".ctx 1\n".to_owned()),
-        Just("node 0,0: mac in1, in2 > r0\n".to_owned()),
-        Just("node 7,9: add\n".to_owned()),
-        Just("route 0,0.in1 = host.0\n".to_owned()),
-        Just("route 0,0.fifo9 = pipe[1,2].3\n".to_owned()),
-        Just("capture 1 = lane 0\n".to_owned()),
-        Just("capture 1.9 = off\n".to_owned()),
-        Just(".local 0,0\n".to_owned()),
-        Just(".endlocal\n".to_owned()),
-        Just(".mode 0,0 local\n".to_owned()),
-        Just(".code\n".to_owned()),
-        Just("label:\n".to_owned()),
-        Just("addi r1, r0, -5\n".to_owned()),
-        Just("li r1, 0xffffffff\n".to_owned()),
-        Just("beq r1, r2, label\n".to_owned()),
-        Just("hpop r1, 300, 300\n".to_owned()),
-        Just("wdn r1, 65535\n".to_owned()),
-        Just(".data\n".to_owned()),
-        Just(".word 1, -2, 0xdeadbeef\n".to_owned()),
-        Just("halt\n".to_owned()),
-        Just("#>=[](),.\n".to_owned()),
-        Just("0x\n".to_owned()),
-        Just("; comment // nested\n".to_owned()),
-        "[ -~]{0,24}\n".prop_map(|s| s),
-    ];
-    proptest::collection::vec(fragment, 0..24).prop_map(|v| v.concat())
-}
+const FRAGMENTS: [&str; 26] = [
+    ".ring 4x2\n",
+    ".ring 999x0\n",
+    ".contexts 3\n",
+    ".ctx 1\n",
+    "node 0,0: mac in1, in2 > r0\n",
+    "node 7,9: add\n",
+    "route 0,0.in1 = host.0\n",
+    "route 0,0.fifo9 = pipe[1,2].3\n",
+    "capture 1 = lane 0\n",
+    "capture 1.9 = off\n",
+    ".local 0,0\n",
+    ".endlocal\n",
+    ".mode 0,0 local\n",
+    ".code\n",
+    "label:\n",
+    "addi r1, r0, -5\n",
+    "li r1, 0xffffffff\n",
+    "beq r1, r2, label\n",
+    "hpop r1, 300, 300\n",
+    "wdn r1, 65535\n",
+    ".data\n",
+    ".word 1, -2, 0xdeadbeef\n",
+    "halt\n",
+    "#>=[](),.\n",
+    "0x\n",
+    "; comment // nested\n",
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Arbitrary fragment soups assemble or fail cleanly, never panic.
-    #[test]
-    fn assembler_never_panics(source in fragmenty()) {
-        let _ = assemble(&source);
-    }
-
-    /// Arbitrary byte soups never panic the object parser, and whatever
-    /// parses re-serializes to something that parses identically.
-    #[test]
-    fn object_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        if let Ok(object) = Object::from_bytes(&bytes) {
-            let round = Object::from_bytes(&object.to_bytes()).expect("round trip");
-            prop_assert_eq!(round, object);
+/// A random fragment soup: known almost-valid lines plus fully random
+/// printable lines.
+fn fragment_soup(rng: &mut TestRng) -> String {
+    let count = rng.index(24);
+    let mut out = String::new();
+    for _ in 0..count {
+        if rng.index(27) < 26 {
+            out.push_str(*rng.choose(&FRAGMENTS));
+        } else {
+            let len = rng.index(25);
+            for _ in 0..len {
+                out.push((b' ' + rng.index(95) as u8) as char);
+            }
+            out.push('\n');
         }
     }
+    out
+}
 
-    /// Byte soups stamped with the magic exercise the record parser deeply;
-    /// still no panics.
-    #[test]
-    fn object_parser_survives_magic_prefixed_soup(
-        tail in proptest::collection::vec(any::<u8>(), 0..128)
-    ) {
+fn random_bytes(rng: &mut TestRng, max_len: usize) -> Vec<u8> {
+    let len = rng.index(max_len);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Arbitrary fragment soups assemble or fail cleanly, never panic.
+#[test]
+fn assembler_never_panics() {
+    for_random_cases!(512, 0xa5a1, |rng| {
+        let source = fragment_soup(rng);
+        let _ = assemble(&source);
+    });
+}
+
+/// Arbitrary byte soups never panic the object parser, and whatever parses
+/// re-serializes to something that parses identically.
+#[test]
+fn object_parser_never_panics() {
+    for_random_cases!(512, 0xa5a2, |rng| {
+        let bytes = random_bytes(rng, 256);
+        if let Ok(object) = Object::from_bytes(&bytes) {
+            let round = Object::from_bytes(&object.to_bytes()).expect("round trip");
+            assert_eq!(round, object);
+        }
+    });
+}
+
+/// Byte soups stamped with the magic exercise the record parser deeply;
+/// still no panics.
+#[test]
+fn object_parser_survives_magic_prefixed_soup() {
+    for_random_cases!(512, 0xa5a3, |rng| {
         let mut bytes = b"SRNGOBJ1".to_vec();
-        bytes.extend(tail);
+        bytes.extend(random_bytes(rng, 128));
         let _ = Object::from_bytes(&bytes);
-    }
+    });
+}
 
-    /// Anything that assembles also disassembles without panicking.
-    #[test]
-    fn disassembler_never_panics_on_assembled_output(source in fragmenty()) {
+/// Anything that assembles also disassembles without panicking.
+#[test]
+fn disassembler_never_panics_on_assembled_output() {
+    for_random_cases!(512, 0xa5a4, |rng| {
+        let source = fragment_soup(rng);
         if let Ok(object) = assemble(&source) {
             let _ = disassemble(&object);
             // And the serialized form always reloads.
             let round = Object::from_bytes(&object.to_bytes()).expect("reload");
-            prop_assert_eq!(round, object);
+            assert_eq!(round, object);
         }
-    }
+    });
 }

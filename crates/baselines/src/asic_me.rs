@@ -59,7 +59,10 @@ struct Pe {
 
 impl Pe {
     fn step(&self, window_pixel: i16, partial: u32) -> u32 {
-        partial + (window_pixel as i32 - self.reference as i32).unsigned_abs().min(i16::MAX as u32)
+        partial
+            + (window_pixel as i32 - self.reference as i32)
+                .unsigned_abs()
+                .min(i16::MAX as u32)
     }
 }
 
@@ -140,7 +143,12 @@ mod tests {
     #[test]
     fn sads_match_golden() {
         let (reference, current) = Image::motion_pair(48, 48, -2, 3, 8);
-        let spec = BlockMatch { x0: 20, y0: 20, block: 8, range: 6 };
+        let spec = BlockMatch {
+            x0: 20,
+            y0: 20,
+            block: 8,
+            range: 6,
+        };
         let result = full_search(&reference, &current, spec);
         let block = current.block(20, 20, 8, 8);
         for &(dx, dy, sad) in &result.candidates {

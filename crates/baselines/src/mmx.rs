@@ -331,13 +331,25 @@ fn row8(image: &Image, x: usize, y: usize) -> [u8; 8] {
 ///
 /// The reference block rows load aligned (the encoder copies the tracked
 /// block into an aligned buffer once); candidate rows load unaligned.
-fn candidate_sad(unit: &mut MmxUnit, block_rows: &[[u8; 8]; 8], reference: &Image, cx: usize, cy: usize) -> u32 {
+fn candidate_sad(
+    unit: &mut MmxUnit,
+    block_rows: &[[u8; 8]; 8],
+    reference: &Image,
+    cx: usize,
+    cy: usize,
+) -> u32 {
     // mm7 = 0 (zero for unpacking); mm6 = word accumulator.
     unit.issue(Op::Pxor { dst: 7, src: 7 });
     unit.issue(Op::Pxor { dst: 6, src: 6 });
     for (r, block_row) in block_rows.iter().enumerate() {
-        unit.issue(Op::LoadAligned { dst: 0, data: *block_row });
-        unit.issue(Op::LoadUnaligned { dst: 1, data: row8(reference, cx, cy + r) });
+        unit.issue(Op::LoadAligned {
+            dst: 0,
+            data: *block_row,
+        });
+        unit.issue(Op::LoadUnaligned {
+            dst: 1,
+            data: row8(reference, cx, cy + r),
+        });
         unit.issue(Op::Movq { dst: 2, src: 0 });
         unit.issue(Op::Psubusb { dst: 0, src: 1 });
         unit.issue(Op::Psubusb { dst: 1, src: 2 });
@@ -369,12 +381,11 @@ fn candidate_sad(unit: &mut MmxUnit, block_rows: &[[u8; 8]; 8], reference: &Imag
 ///
 /// Panics if `spec.block != 8` (the MMX loop is written for 8x8 blocks) or
 /// if the block leaves the frame.
-pub fn full_search(
-    reference: &Image,
-    current: &Image,
-    spec: BlockMatch,
-) -> MmxSearch {
-    assert_eq!(spec.block, 8, "the MMX kernel is specialized for 8x8 blocks");
+pub fn full_search(reference: &Image, current: &Image, spec: BlockMatch) -> MmxSearch {
+    assert_eq!(
+        spec.block, 8,
+        "the MMX kernel is specialized for 8x8 blocks"
+    );
     let mut block_rows = [[0u8; 8]; 8];
     for (r, row) in block_rows.iter_mut().enumerate() {
         *row = row8(current, spec.x0, spec.y0 + r);
@@ -420,8 +431,14 @@ mod tests {
     #[test]
     fn packed_ops_behave() {
         let mut u = MmxUnit::new();
-        u.issue(Op::LoadAligned { dst: 0, data: [10, 200, 0, 5, 255, 1, 2, 3] });
-        u.issue(Op::LoadAligned { dst: 1, data: [20, 100, 0, 9, 0, 1, 3, 2] });
+        u.issue(Op::LoadAligned {
+            dst: 0,
+            data: [10, 200, 0, 5, 255, 1, 2, 3],
+        });
+        u.issue(Op::LoadAligned {
+            dst: 1,
+            data: [20, 100, 0, 9, 0, 1, 3, 2],
+        });
         u.issue(Op::Movq { dst: 2, src: 0 });
         u.issue(Op::Psubusb { dst: 0, src: 1 });
         u.issue(Op::Psubusb { dst: 1, src: 2 });
@@ -434,7 +451,10 @@ mod tests {
     fn unpack_and_accumulate() {
         let mut u = MmxUnit::new();
         u.issue(Op::Pxor { dst: 7, src: 7 });
-        u.issue(Op::LoadAligned { dst: 0, data: [1, 2, 3, 4, 5, 6, 7, 8] });
+        u.issue(Op::LoadAligned {
+            dst: 0,
+            data: [1, 2, 3, 4, 5, 6, 7, 8],
+        });
         u.issue(Op::Movq { dst: 3, src: 0 });
         u.issue(Op::Punpcklbw { dst: 0, src: 7 });
         u.issue(Op::Punpckhbw { dst: 3, src: 7 });
@@ -464,8 +484,14 @@ mod tests {
 
         // Unaligned loads cost 3 and break pairing.
         let mut u = MmxUnit::new();
-        u.issue(Op::LoadUnaligned { dst: 0, data: [0; 8] });
-        u.issue(Op::LoadUnaligned { dst: 1, data: [0; 8] });
+        u.issue(Op::LoadUnaligned {
+            dst: 0,
+            data: [0; 8],
+        });
+        u.issue(Op::LoadUnaligned {
+            dst: 1,
+            data: [0; 8],
+        });
         u.drain();
         assert_eq!(u.cycles(), 6);
 
@@ -480,7 +506,12 @@ mod tests {
     #[test]
     fn sad_matches_golden_on_every_candidate() {
         let (reference, current) = Image::motion_pair(40, 40, 2, 1, 5);
-        let spec = BlockMatch { x0: 16, y0: 16, block: 8, range: 4 };
+        let spec = BlockMatch {
+            x0: 16,
+            y0: 16,
+            block: 8,
+            range: 4,
+        };
         let result = full_search(&reference, &current, spec);
         let block = current.block(16, 16, 8, 8);
         for &(dx, dy, sad) in &result.candidates {
@@ -488,9 +519,8 @@ mod tests {
             assert_eq!(sad as i32, golden::sad(&block, &cand), "({dx},{dy})");
         }
         // And the argmin agrees with an exhaustive check.
-        let (gdx, gdy, gsad) = golden::full_search(
-            reference.data(), 40, 40, &block, 8, 8, 16, 16, 4,
-        );
+        let (gdx, gdy, gsad) =
+            golden::full_search(reference.data(), 40, 40, &block, 8, 8, 16, 16, 4);
         assert_eq!(result.best, (gdx, gdy));
         assert_eq!(result.best_sad as i32, gsad);
     }
@@ -498,7 +528,12 @@ mod tests {
     #[test]
     fn per_candidate_cost_is_tens_of_cycles() {
         let (reference, current) = Image::motion_pair(40, 40, 0, 0, 1);
-        let spec = BlockMatch { x0: 16, y0: 16, block: 8, range: 4 };
+        let spec = BlockMatch {
+            x0: 16,
+            y0: 16,
+            block: 8,
+            range: 4,
+        };
         let result = full_search(&reference, &current, spec);
         let per_candidate = result.cycles as f64 / result.candidates.len() as f64;
         // The documented loop: ~12 instructions/row x 8 rows + reduction,

@@ -79,8 +79,8 @@ pub fn dot_product(model: CostModel, a: &[i16], b: &[i16]) -> ScalarRun {
     let mut acc: i16 = 0;
     for (&x, &y) in a.iter().zip(b) {
         acc = acc.wrapping_add(x.wrapping_mul(y));
-        cycles += 2 * model.load + model.mul + 2 * model.alu + model.alu
-            + model.taken_branch_bubble;
+        cycles +=
+            2 * model.load + model.mul + 2 * model.alu + model.alu + model.taken_branch_bubble;
         instructions += 6;
     }
     debug_assert_eq!(acc, golden::dot_product(a, b));
@@ -103,7 +103,9 @@ pub fn sad_8x8(model: CostModel, block: &[i16], candidate: &[i16]) -> ScalarRun 
     let mut instructions = 0u64;
     let mut acc = 0i64;
     for i in 0..64 {
-        acc += (block[i] as i64 - candidate[i] as i64).abs().min(i16::MAX as i64);
+        acc += (block[i] as i64 - candidate[i] as i64)
+            .abs()
+            .min(i16::MAX as i64);
         // ld, ld, sub, abs (2 ops), add, index bump.
         cycles += 2 * model.load + 5 * model.alu;
         instructions += 7;
@@ -141,10 +143,7 @@ mod tests {
         let run = dot_product(CostModel::PENTIUM_II_CLASS, &a, &b);
         let mips = run.mips(450.0);
         // The paper quotes 400 MIPS for a Pentium II 450.
-        assert!(
-            (200.0..500.0).contains(&mips),
-            "sustained MIPS = {mips:.0}"
-        );
+        assert!((200.0..500.0).contains(&mips), "sustained MIPS = {mips:.0}");
     }
 
     #[test]

@@ -68,11 +68,7 @@ pub const DIOU_LIFTING: WaveletCoreRecord = WaveletCoreRecord {
 
 /// Builds the Ring-16 row from measured simulator figures and the
 /// technology model's area/frequency estimates.
-pub fn ring16_record(
-    area_mm2: f64,
-    freq_mhz: f64,
-    pixels_per_cycle: f64,
-) -> WaveletCoreRecord {
+pub fn ring16_record(area_mm2: f64, freq_mhz: f64, pixels_per_cycle: f64) -> WaveletCoreRecord {
     WaveletCoreRecord {
         name: "Ring-16 (this work)",
         techno_um: 0.18,

@@ -1,33 +1,24 @@
-//! Criterion bench for the ablation workloads: spatial vs folded FIR and
-//! the recursive IIR on the feedback network.
+//! Ablation workloads: spatial vs folded FIR and the recursive IIR on the
+//! feedback network.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use systolic_ring_harness::microbench::{black_box, Group};
 use systolic_ring_isa::RingGeometry;
 use systolic_ring_kernels::image::test_signal;
 use systolic_ring_kernels::{fir, iir};
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let input = test_signal(128, 7);
     let coeffs = [5, -3, 2];
 
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("fir_spatial", |b| {
-        b.iter(|| fir::spatial(RingGeometry::RING_16, &coeffs, black_box(&input)).expect("fir"))
+    let mut group = Group::new("ablations");
+    group.bench("fir_spatial", || {
+        fir::spatial(RingGeometry::RING_16, &coeffs, black_box(&input)).expect("fir")
     });
-    group.bench_function("fir_folded_local", |b| {
-        b.iter(|| {
-            fir::local_serial(RingGeometry::RING_16, &coeffs, black_box(&input)).expect("fir")
-        })
+    group.bench("fir_folded_local", || {
+        fir::local_serial(RingGeometry::RING_16, &coeffs, black_box(&input)).expect("fir")
     });
-    group.bench_function("iir_feedback_network", |b| {
-        b.iter(|| {
-            iir::first_order(RingGeometry::RING_8, 100, 8, black_box(&input)).expect("iir")
-        })
+    group.bench("iir_feedback_network", || {
+        iir::first_order(RingGeometry::RING_8, 100, 8, black_box(&input)).expect("iir")
     });
-    group.finish();
+    group.finish_print();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

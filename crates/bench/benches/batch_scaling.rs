@@ -1,0 +1,52 @@
+//! Batch-engine scaling bench: wall-clock for a ≥32-job kernel sweep,
+//! serial vs `BatchRunner` across worker counts, with bit-identical
+//! per-job results checked on every configuration.
+
+use systolic_ring_harness::job::Job;
+use systolic_ring_harness::runner::BatchRunner;
+use systolic_ring_kernels::batch as kbatch;
+
+fn sweep_jobs() -> Vec<Job> {
+    // 36 independent kernel jobs (mixed FIR / MAC / IIR / matvec /
+    // wavelet), deterministic streams.
+    kbatch::kernel_sweep(0xba7c, 36)
+}
+
+fn main() {
+    let jobs = sweep_jobs();
+    println!("batch_scaling: {} jobs", jobs.len());
+
+    let serial = BatchRunner::run_serial(&jobs);
+    println!(
+        "  serial                 {:>10.3} ms",
+        serial.wall.as_secs_f64() * 1e3
+    );
+
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut workers = 2usize;
+    let mut counts = vec![1usize];
+    while workers < max_workers {
+        counts.push(workers);
+        workers *= 2;
+    }
+    counts.push(max_workers);
+    counts.dedup();
+
+    for &n in &counts {
+        let parallel = BatchRunner::with_workers(n).run(&jobs);
+        assert!(
+            parallel.outcomes_match(&serial),
+            "parallel results must be bit-identical to serial at {n} workers"
+        );
+        let summary = parallel.summary();
+        println!(
+            "  {:>2} workers             {:>10.3} ms   speedup {:>5.2}x   {:>8.2} sim-MIPS",
+            n,
+            parallel.wall.as_secs_f64() * 1e3,
+            serial.wall.as_secs_f64() / parallel.wall.as_secs_f64(),
+            summary.sim_mips
+        );
+    }
+}

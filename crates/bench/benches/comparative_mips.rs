@@ -1,35 +1,25 @@
-//! Criterion bench for the §5.1 comparative figures: the saturated-MAC
-//! fabric and the scalar baseline.
+//! §5.1 comparative figures: the saturated-MAC fabric and the scalar
+//! baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use systolic_ring_baselines::scalar::{self, CostModel};
+use systolic_ring_harness::microbench::{black_box, Group};
 use systolic_ring_isa::RingGeometry;
 use systolic_ring_kernels::mac;
 
-fn bench_comparative(c: &mut Criterion) {
+fn main() {
     let a: Vec<i16> = (0..512).map(|v| (v % 97) as i16).collect();
-    let b_vec: Vec<i16> = (0..512).map(|v| (v % 89) as i16 - 44).collect();
+    let b: Vec<i16> = (0..512).map(|v| (v % 89) as i16 - 44).collect();
 
-    let mut group = c.benchmark_group("comparative_mips");
-    group.sample_size(10);
-    group.bench_function("ring8_dot_product_simulated", |b| {
-        b.iter(|| {
-            mac::dot_product(RingGeometry::RING_8, black_box(&a), black_box(&b_vec))
-                .expect("dot product")
-        })
+    let mut group = Group::new("comparative_mips");
+    group.bench("ring8_dot_product_simulated", || {
+        mac::dot_product(RingGeometry::RING_8, black_box(&a), black_box(&b)).expect("dot product")
     });
-    group.bench_function("ring8_dot_product_parallel_simulated", |b| {
-        b.iter(|| {
-            mac::dot_product_parallel(RingGeometry::RING_8, black_box(&a), black_box(&b_vec))
-                .expect("dot product")
-        })
+    group.bench("ring8_dot_product_parallel_simulated", || {
+        mac::dot_product_parallel(RingGeometry::RING_8, black_box(&a), black_box(&b))
+            .expect("dot product")
     });
-    group.bench_function("scalar_model_dot_product", |b| {
-        b.iter(|| scalar::dot_product(CostModel::PENTIUM_II_CLASS, black_box(&a), black_box(&b_vec)))
+    group.bench("scalar_model_dot_product", || {
+        scalar::dot_product(CostModel::PENTIUM_II_CLASS, black_box(&a), black_box(&b))
     });
-    group.finish();
+    group.finish_print();
 }
-
-criterion_group!(benches, bench_comparative);
-criterion_main!(benches);

@@ -1,10 +1,9 @@
-//! Criterion bench of the dataflow compiler: compile time and compiled
-//! execution vs the software interpreter.
+//! Dataflow compiler: compile time and compiled execution vs the software
+//! interpreter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use systolic_ring_compiler::{compile, Graph};
 use systolic_ring_core::MachineParams;
+use systolic_ring_harness::microbench::{black_box, Group};
 use systolic_ring_isa::dnode::AluOp;
 use systolic_ring_isa::RingGeometry;
 
@@ -25,26 +24,22 @@ fn blend_graph() -> Graph {
     g
 }
 
-fn bench_compiler(c: &mut Criterion) {
+fn main() {
     let g = blend_graph();
     let p: Vec<i16> = (0..256).map(|i| i % 256).collect();
     let q: Vec<i16> = (0..256).map(|i| 255 - i % 256).collect();
     let streams: [&[i16]; 2] = [&p, &q];
 
-    let mut group = c.benchmark_group("compiler");
-    group.sample_size(10);
-    group.bench_function("compile_blend_graph", |b| {
-        b.iter(|| compile(black_box(&g), RingGeometry::RING_16, MachineParams::PAPER).expect("ok"))
+    let mut group = Group::new("compiler");
+    group.bench("compile_blend_graph", || {
+        compile(black_box(&g), RingGeometry::RING_16, MachineParams::PAPER).expect("ok")
     });
     let compiled = compile(&g, RingGeometry::RING_16, MachineParams::PAPER).expect("ok");
-    group.bench_function("run_compiled_256_samples", |b| {
-        b.iter(|| compiled.run(black_box(&streams)).expect("runs"))
+    group.bench("run_compiled_256_samples", || {
+        compiled.run(black_box(&streams)).expect("runs")
     });
-    group.bench_function("interpret_256_samples", |b| {
-        b.iter(|| g.interpret(black_box(&streams)).expect("ok"))
+    group.bench("interpret_256_samples", || {
+        g.interpret(black_box(&streams)).expect("ok")
     });
-    group.finish();
+    group.finish_print();
 }
-
-criterion_group!(benches, bench_compiler);
-criterion_main!(benches);

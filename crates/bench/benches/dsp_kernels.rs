@@ -1,28 +1,26 @@
-//! Criterion bench over the extended kernel library: matvec, separable
-//! convolution and FFT stages on the simulated fabric.
+//! Extended kernel library: matvec, separable convolution and FFT stages
+//! on the simulated fabric.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use systolic_ring_harness::microbench::{black_box, Group};
 use systolic_ring_isa::RingGeometry;
 use systolic_ring_kernels::golden::Complex16;
 use systolic_ring_kernels::image::{test_signal, Image};
 use systolic_ring_kernels::{conv, fft, matvec};
 
-fn bench_dsp_kernels(c: &mut Criterion) {
+fn main() {
     let g = RingGeometry::RING_16;
 
-    let mut group = c.benchmark_group("dsp_kernels");
-    group.sample_size(10);
+    let mut group = Group::new("dsp_kernels");
 
     let a = test_signal(16 * 12, 1);
     let x = test_signal(12, 2);
-    group.bench_function("matvec_16x12", |b| {
-        b.iter(|| matvec::multiply(g, black_box(&a), 16, 12, black_box(&x)).expect("matvec"))
+    group.bench("matvec_16x12", || {
+        matvec::multiply(g, black_box(&a), 16, 12, black_box(&x)).expect("matvec")
     });
 
     let image = Image::textured(24, 24, 3);
-    group.bench_function("conv3x3_24x24", |b| {
-        b.iter(|| conv::conv3x3(g, &[1, 2, 1], &[1, 2, 1], black_box(&image)).expect("conv"))
+    group.bench("conv3x3_24x24", || {
+        conv::conv3x3(g, &[1, 2, 1], &[1, 2, 1], black_box(&image)).expect("conv")
     });
 
     let signal: Vec<Complex16> = (0..32)
@@ -31,15 +29,12 @@ fn bench_dsp_kernels(c: &mut Criterion) {
             ((800.0 * theta.cos()) as i16, (800.0 * theta.sin()) as i16)
         })
         .collect();
-    group.bench_function("fft_32", |b| {
-        b.iter(|| fft::fft(g, black_box(&signal), 15).expect("fft"))
+    group.bench("fft_32", || {
+        fft::fft(g, black_box(&signal), 15).expect("fft")
     });
-    group.bench_function("fft_32_golden_software", |b| {
-        b.iter(|| fft::golden_fft(black_box(&signal), 15))
+    group.bench("fft_32_golden_software", || {
+        fft::golden_fft(black_box(&signal), 15)
     });
 
-    group.finish();
+    group.finish_print();
 }
-
-criterion_group!(benches, bench_dsp_kernels);
-criterion_main!(benches);

@@ -1,37 +1,26 @@
-//! Criterion bench for the scalability sweep: simulator throughput across
-//! ring sizes (cycles/second of wall time scales with fabric size).
+//! Scalability sweep: simulator throughput across ring sizes
+//! (cycles/second of wall time scales with fabric size).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use systolic_ring_core::RingMachine;
+use systolic_ring_harness::microbench::{black_box, Group};
 use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
 use systolic_ring_isa::RingGeometry;
 
-fn bench_scalability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scalability_sim_throughput");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("scalability_sim_throughput");
     for (layers, width) in [(4usize, 2usize), (4, 4), (8, 8), (16, 16)] {
         let geometry = RingGeometry::new(layers, width).expect("geometry");
-        group.bench_with_input(
-            BenchmarkId::new("run_1000_cycles", format!("ring{}", geometry.dnodes())),
-            &geometry,
-            |b, &g| {
-                b.iter(|| {
-                    let mut m = RingMachine::with_defaults(g);
-                    let mac = MicroInstr::op(AluOp::Mac, Operand::One, Operand::One)
-                        .write_reg(Reg::R0);
-                    for d in 0..g.dnodes() {
-                        m.set_local_program(d, &[mac]).expect("program");
-                        m.set_mode(d, DnodeMode::Local);
-                    }
-                    m.run(black_box(1000)).expect("run");
-                    m.stats().total_ops()
-                })
-            },
-        );
+        let name = format!("run_1000_cycles/ring{}", geometry.dnodes());
+        group.bench(&name, || {
+            let mut m = RingMachine::with_defaults(geometry);
+            let mac = MicroInstr::op(AluOp::Mac, Operand::One, Operand::One).write_reg(Reg::R0);
+            for d in 0..geometry.dnodes() {
+                m.set_local_program(d, &[mac]).expect("program");
+                m.set_mode(d, DnodeMode::Local);
+            }
+            m.run(black_box(1000)).expect("run");
+            m.stats().total_ops()
+        });
     }
-    group.finish();
+    group.finish_print();
 }
-
-criterion_group!(benches, bench_scalability);
-criterion_main!(benches);

@@ -1,38 +1,36 @@
-//! Criterion bench for the Table 1 motion-estimation workload: times the
-//! simulated Ring, the MMX model and the ASIC model on the same problem.
+//! Table 1 motion-estimation workload: times the simulated Ring, the MMX
+//! model and the ASIC model on the same problem.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use systolic_ring_baselines::{asic_me, mmx};
+use systolic_ring_harness::microbench::{black_box, Group};
 use systolic_ring_isa::RingGeometry;
 use systolic_ring_kernels::image::Image;
 use systolic_ring_kernels::motion::{self, BlockMatch};
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
-    let spec = BlockMatch { x0: 28, y0: 28, block: 8, range: 4 };
+    let spec = BlockMatch {
+        x0: 28,
+        y0: 28,
+        block: 8,
+        range: 4,
+    };
 
-    let mut group = c.benchmark_group("table1_motion");
-    group.sample_size(10);
-    group.bench_function("ring16_simulated", |b| {
-        b.iter(|| {
-            motion::block_match(
-                RingGeometry::RING_16,
-                black_box(&reference),
-                black_box(&current),
-                spec,
-            )
-            .expect("ring ME")
-        })
+    let mut group = Group::new("table1_motion");
+    group.bench("ring16_simulated", || {
+        motion::block_match(
+            RingGeometry::RING_16,
+            black_box(&reference),
+            black_box(&current),
+            spec,
+        )
+        .expect("ring ME")
     });
-    group.bench_function("mmx_model", |b| {
-        b.iter(|| mmx::full_search(black_box(&reference), black_box(&current), spec))
+    group.bench("mmx_model", || {
+        mmx::full_search(black_box(&reference), black_box(&current), spec)
     });
-    group.bench_function("asic_model", |b| {
-        b.iter(|| asic_me::full_search(black_box(&reference), black_box(&current), spec))
+    group.bench("asic_model", || {
+        asic_me::full_search(black_box(&reference), black_box(&current), spec)
     });
-    group.finish();
+    group.finish_print();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

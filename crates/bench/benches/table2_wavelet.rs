@@ -1,25 +1,20 @@
-//! Criterion bench for the Table 2 wavelet workload: the simulated Ring-16
-//! lifting pipeline versus the golden software transform.
+//! Table 2 wavelet workload: the simulated Ring-16 lifting pipeline versus
+//! the golden software transform.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use systolic_ring_harness::microbench::{black_box, Group};
 use systolic_ring_isa::RingGeometry;
 use systolic_ring_kernels::image::Image;
 use systolic_ring_kernels::{golden, wavelet};
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     let image = Image::textured(64, 48, 53);
 
-    let mut group = c.benchmark_group("table2_wavelet");
-    group.sample_size(10);
-    group.bench_function("ring16_simulated_2d", |b| {
-        b.iter(|| wavelet::forward_2d(RingGeometry::RING_16, black_box(&image)).expect("wavelet"))
+    let mut group = Group::new("table2_wavelet");
+    group.bench("ring16_simulated_2d", || {
+        wavelet::forward_2d(RingGeometry::RING_16, black_box(&image)).expect("wavelet")
     });
-    group.bench_function("golden_software_2d", |b| {
-        b.iter(|| golden::lifting53_forward_2d(64, 48, black_box(image.data())))
+    group.bench("golden_software_2d", || {
+        golden::lifting53_forward_2d(64, 48, black_box(image.data()))
     });
-    group.finish();
+    group.finish_print();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

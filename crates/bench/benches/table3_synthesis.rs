@@ -1,33 +1,27 @@
-//! Criterion bench for the Table 3 technology model (cheap analytic code;
-//! the bench guards against accidental blow-ups in the sweep path).
+//! Table 3 technology model (cheap analytic code; the bench guards
+//! against accidental blow-ups in the sweep path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use systolic_ring_harness::microbench::{black_box, Group};
 use systolic_ring_isa::RingGeometry;
 use systolic_ring_model::{core_area, freq_mhz, HardwareParams, ST_CMOS_018, ST_CMOS_025};
 
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_synthesis");
-    group.bench_function("core_area_both_nodes", |b| {
-        b.iter(|| {
-            let a = core_area(
-                black_box(RingGeometry::RING_8),
-                HardwareParams::PAPER,
-                ST_CMOS_025,
-            );
-            let b2 = core_area(
-                black_box(RingGeometry::RING_8),
-                HardwareParams::PAPER,
-                ST_CMOS_018,
-            );
-            (a.total_mm2(), b2.total_mm2())
-        })
+fn main() {
+    let mut group = Group::new("table3_synthesis").with_iters(10, 100);
+    group.bench("core_area_both_nodes", || {
+        let a = core_area(
+            black_box(RingGeometry::RING_8),
+            HardwareParams::PAPER,
+            ST_CMOS_025,
+        );
+        let b = core_area(
+            black_box(RingGeometry::RING_8),
+            HardwareParams::PAPER,
+            ST_CMOS_018,
+        );
+        (a.total_mm2(), b.total_mm2())
     });
-    group.bench_function("freq_model", |b| {
-        b.iter(|| freq_mhz(black_box(RingGeometry::RING_64), ST_CMOS_018))
+    group.bench("freq_model", || {
+        freq_mhz(black_box(RingGeometry::RING_64), ST_CMOS_018)
     });
-    group.finish();
+    group.finish_print();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

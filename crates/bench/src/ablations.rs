@@ -84,7 +84,11 @@ pub fn depth_ablation() -> Vec<DepthPoint> {
                     2,
                     2,
                     1,
-                    PortSource::Pipe { switch: 1, stage, lane: 3 },
+                    PortSource::Pipe {
+                        switch: 1,
+                        stage,
+                        lane: 3,
+                    },
                 ) {
                     Ok(()) => true,
                     Err(ConfigError::StageOutOfRange { .. }) => false,
@@ -95,9 +99,12 @@ pub fn depth_ablation() -> Vec<DepthPoint> {
             let fir_fits = probe(&mut m, 0);
             // Pipeline registers: depth x width x 16 bits x 6 gates per
             // switch (the model's pipeline term).
-            let hw = HardwareParams { pipe_depth: depth, ..HardwareParams::PAPER };
-            let gates = depth as f64 * geometry.width() as f64 * 16.0 * 6.0
-                * geometry.switches() as f64;
+            let hw = HardwareParams {
+                pipe_depth: depth,
+                ..HardwareParams::PAPER
+            };
+            let gates =
+                depth as f64 * geometry.width() as f64 * 16.0 * 6.0 * geometry.switches() as f64;
             let _ = hw;
             DepthPoint {
                 depth,
@@ -129,9 +136,21 @@ pub fn context_ablation() -> Vec<ContextPoint> {
     let cost = |n: usize| ST_CMOS_018.sram_to_mm2(bits * n as f64);
     let me_contexts = motion::sad_units(g) + 4;
     vec![
-        ContextPoint { workload: "wavelet / FIR / FFT (static datapath)", contexts: 1, sram_mm2: cost(1) },
-        ContextPoint { workload: "matvec (compute/drain/reset)", contexts: 4, sram_mm2: cost(4) },
-        ContextPoint { workload: "motion estimation (per-unit drains)", contexts: me_contexts, sram_mm2: cost(me_contexts) },
+        ContextPoint {
+            workload: "wavelet / FIR / FFT (static datapath)",
+            contexts: 1,
+            sram_mm2: cost(1),
+        },
+        ContextPoint {
+            workload: "matvec (compute/drain/reset)",
+            contexts: 4,
+            sram_mm2: cost(4),
+        },
+        ContextPoint {
+            workload: "motion estimation (per-unit drains)",
+            contexts: me_contexts,
+            sram_mm2: cost(me_contexts),
+        },
     ]
 }
 
@@ -155,18 +174,22 @@ impl MeOverhead {
 
 /// ME drain-overhead ablation across geometries.
 pub fn me_overhead() -> Vec<MeOverhead> {
-    [RingGeometry::RING_8, RingGeometry::RING_16, RingGeometry::RING_64]
-        .into_iter()
-        .map(|g| {
-            let units = motion::sad_units(g) as u64;
-            let rounds = 289u64.div_ceil(units);
-            MeOverhead {
-                geometry: g,
-                total: motion::analytic_cycles(g, 289, 64),
-                compute: rounds * 64,
-            }
-        })
-        .collect()
+    [
+        RingGeometry::RING_8,
+        RingGeometry::RING_16,
+        RingGeometry::RING_64,
+    ]
+    .into_iter()
+    .map(|g| {
+        let units = motion::sad_units(g) as u64;
+        let rounds = 289u64.div_ceil(units);
+        MeOverhead {
+            geometry: g,
+            total: motion::analytic_cycles(g, 289, 64),
+            compute: rounds * 64,
+        }
+    })
+    .collect()
 }
 
 /// Renders all ablations.
@@ -199,7 +222,12 @@ pub fn render() -> String {
     ));
 
     out.push_str("Feedback-pipeline depth (Ring-16):\n");
-    let mut t = TextTable::new(["depth", "FIR skew fits", "wavelet tap fits", "pipe area mm2"]);
+    let mut t = TextTable::new([
+        "depth",
+        "FIR skew fits",
+        "wavelet tap fits",
+        "pipe area mm2",
+    ]);
     for p in depth_ablation() {
         t.row([
             p.depth.to_string(),
@@ -240,11 +268,7 @@ pub fn render() -> String {
         "Grain size (the §2 motivation): the Ring-8 datapath priced on a\n\
          bit-level (FPGA-class) fabric at 0.18um:\n",
     );
-    let c = grain::compare(
-        RingGeometry::RING_8,
-        HardwareParams::PAPER,
-        ST_CMOS_018,
-    );
+    let c = grain::compare(RingGeometry::RING_8, HardwareParams::PAPER, ST_CMOS_018);
     let mut t = TextTable::new(["substrate", "area mm2", "vs ring"]);
     t.row([
         "coarse-grained ring (this paper)".to_owned(),

@@ -1,0 +1,144 @@
+//! Batch-engine experiment: parallel simulation throughput plus the
+//! differential oracle verdict.
+//!
+//! The batch engine is infrastructure, not a paper artifact, but the
+//! report treats it like one: the scaling section shows how many
+//! simulated kernels per second the machine under test sustains at each
+//! worker count (with bit-identical results enforced against the serial
+//! baseline), and the oracle section confirms that every kernel family
+//! still matches its golden software model when scheduled concurrently.
+
+use std::time::Duration;
+
+use systolic_ring_harness::runner::BatchRunner;
+use systolic_ring_kernels::batch::{kernel_sweep, oracle_suite, run_oracle, OracleReport};
+
+use crate::table::TextTable;
+
+/// Seed for the report's deterministic sweep.
+pub const SWEEP_SEED: u64 = 0xba7c;
+
+/// One worker-count measurement over the sweep.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Batch wall-clock time.
+    pub wall: Duration,
+    /// Speedup vs the measured serial baseline.
+    pub speedup: f64,
+    /// Simulated operations per wall-clock second, in millions.
+    pub sim_mips: f64,
+    /// `true` when outcomes were bit-identical to the serial run.
+    pub matches_serial: bool,
+}
+
+/// The full batch experiment result.
+#[derive(Clone, Debug)]
+pub struct BatchExperiment {
+    /// Jobs in the sweep.
+    pub jobs: usize,
+    /// Serial wall-clock baseline.
+    pub serial_wall: Duration,
+    /// One point per measured worker count.
+    pub points: Vec<ScalePoint>,
+    /// Differential-oracle verdict over every kernel family.
+    pub oracle: OracleReport,
+}
+
+/// Worker counts to measure: 1, 2, 4, ... up to available parallelism.
+fn worker_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize];
+    let mut w = 2usize;
+    while w < max {
+        counts.push(w);
+        w *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts.dedup();
+    counts
+}
+
+/// Runs the scaling sweep (`jobs` kernel jobs) and the oracle.
+pub fn run(jobs: usize) -> BatchExperiment {
+    let sweep = kernel_sweep(SWEEP_SEED, jobs);
+    let serial = BatchRunner::run_serial(&sweep);
+    let points = worker_counts()
+        .into_iter()
+        .map(|workers| {
+            let report = BatchRunner::with_workers(workers).run(&sweep);
+            let summary = report.summary();
+            ScalePoint {
+                workers,
+                wall: report.wall,
+                speedup: serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-9),
+                sim_mips: summary.sim_mips,
+                matches_serial: report.outcomes_match(&serial),
+            }
+        })
+        .collect();
+    let oracle = run_oracle(&BatchRunner::new(), oracle_suite(SWEEP_SEED, 2));
+    BatchExperiment {
+        jobs: sweep.len(),
+        serial_wall: serial.wall,
+        points,
+        oracle,
+    }
+}
+
+/// Renders the experiment.
+pub fn render(exp: &BatchExperiment) -> String {
+    let mut out = format!(
+        "Batch engine (extension) — {} mixed kernel jobs, serial baseline\n\
+         {:.3} ms; every parallel run checked bit-identical to serial.\n\n",
+        exp.jobs,
+        exp.serial_wall.as_secs_f64() * 1e3
+    );
+    let mut t = TextTable::new(["workers", "wall ms", "speedup", "sim-MIPS", "bit-identical"]);
+    for p in &exp.points {
+        t.row([
+            format!("{}", p.workers),
+            format!("{:.3}", p.wall.as_secs_f64() * 1e3),
+            format!("{:.2}x", p.speedup),
+            format!("{:.2}", p.sim_mips),
+            if p.matches_serial { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\ndifferential oracle: {} cases, {} mismatches, {} faults — {}\n",
+        exp.oracle.cases,
+        exp.oracle.mismatches.len(),
+        exp.oracle.faults.len(),
+        if exp.oracle.all_match() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    ));
+    for line in exp.oracle.mismatches.iter().chain(&exp.oracle.faults) {
+        out.push_str(&format!("  {line}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_runs_and_renders() {
+        let exp = run(8);
+        assert_eq!(exp.jobs, 8);
+        assert!(exp.points.iter().all(|p| p.matches_serial));
+        assert!(exp.oracle.all_match(), "{:?}", exp.oracle.mismatches);
+        let text = render(&exp);
+        assert!(text.contains("bit-identical"));
+        assert!(text.contains("PASS"));
+    }
+}

@@ -1,11 +1,13 @@
 //! Regenerates the paper's tables and figures on stdout.
 //!
-//! Usage: `report [all|table1|table2|table3|comparative|scalability|ablations|figure6|figure7] [--full]`
+//! Usage: `report [all|table1|table2|table3|comparative|scalability|ablations|batch|figure6|figure7] [--full]`
 //!
 //! `--full` runs Table 2 at the paper's 1024x768 (slow in debug builds);
 //! the default is a 256x192 image with identical per-pixel behaviour.
 
-use systolic_ring_bench::{ablations, comparative, figures, kernels_table, scalability, table1, table2, table3};
+use systolic_ring_bench::{
+    ablations, batch, comparative, figures, kernels_table, scalability, table1, table2, table3,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +33,7 @@ fn main() {
         "comparative" => print!("{}", comparative::render(&comparative::run())),
         "scalability" => print!("{}", scalability::render(&scalability::run())),
         "ablations" => print!("{}", ablations::render()),
+        "batch" => print!("{}", batch::render(&batch::run(36))),
         "kernels" => print!("{}", kernels_table::render(&kernels_table::run())),
         "figure6" => print!("{}", figures::render_figure6(&figures::figure6())),
         "figure7" => {
@@ -50,11 +53,12 @@ fn main() {
             println!("{}", figures::render_figure7(ring64, &plan));
             println!("{}", scalability::render(&scalability::run()));
             println!("{}", ablations::render());
+            println!("{}", batch::render(&batch::run(36)));
             print!("{}", kernels_table::render(&kernels_table::run()));
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: report [all|table1|table2|table3|comparative|scalability|ablations|kernels|figure6|figure7] [--full]");
+            eprintln!("usage: report [all|table1|table2|table3|comparative|scalability|ablations|batch|kernels|figure6|figure7] [--full]");
             std::process::exit(2);
         }
     }

@@ -47,7 +47,15 @@ fn saturate(geometry: RingGeometry, link: LinkModel, cycles: u64) -> (f64, f64) 
         for lane in 0..geometry.width() {
             let d = geometry.dnode_index(layer, lane);
             m.configure()
-                .set_port(0, layer, lane, 0, PortSource::HostIn { port: (2 * lane) as u8 })
+                .set_port(
+                    0,
+                    layer,
+                    lane,
+                    0,
+                    PortSource::HostIn {
+                        port: (2 * lane) as u8,
+                    },
+                )
                 .expect("port");
             m.set_local_program(d, &[mac]).expect("program");
             m.set_mode(d, DnodeMode::Local);
@@ -95,7 +103,8 @@ pub fn run() -> Comparative {
 
 /// Renders the comparative table.
 pub fn render(c: &Comparative) -> String {
-    let mut out = String::from("Comparative results (§5.1) — Ring-8 at the modelled 0.18um clock\n\n");
+    let mut out =
+        String::from("Comparative results (§5.1) — Ring-8 at the modelled 0.18um clock\n\n");
     let mut t = TextTable::new(["figure", "measured/model", "paper says"]);
     t.row([
         "Ring-8 clock".to_owned(),

@@ -170,8 +170,8 @@ pub fn run() -> Vec<KernelRow> {
 
     // Motion estimation (Table 1 scale).
     let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
-    let est = motion::block_match(g, &reference, &current, BlockMatch::paper_at(28, 28))
-        .expect("motion");
+    let est =
+        motion::block_match(g, &reference, &current, BlockMatch::paper_at(28, 28)).expect("motion");
     let block = current.block(28, 28, 8, 8);
     let exact = est.candidates.iter().all(|&(dx, dy, sad)| {
         let cand = reference.block((28 + dx) as usize, (28 + dy) as usize, 8, 8);

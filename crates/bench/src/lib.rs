@@ -10,12 +10,15 @@
 //! | [`scalability`] | extension A1 — the scalability sweep |
 //! | [`kernels_table`] | extension — the validated kernel-library summary |
 //! | [`ablations`] | extension A2 + design-decision ablations |
+//! | [`batch`] | extension — parallel batch-simulation scaling + oracle |
 //!
 //! Run `cargo run --release -p systolic-ring-bench --bin report -- all`
-//! for the full paper-vs-measured report; criterion benches under
-//! `benches/` time the same workloads.
+//! for the full paper-vs-measured report; the wall-clock benches under
+//! `benches/` (plain `std::time::Instant` timers, no external harness)
+//! time the same workloads.
 
 pub mod ablations;
+pub mod batch;
 pub mod comparative;
 pub mod figures;
 pub mod kernels_table;

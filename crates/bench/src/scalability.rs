@@ -147,7 +147,10 @@ mod tests {
         // Beyond that the serial bus drain (4 cycles per SAD unit per
         // round) dominates and scaling saturates — a real architectural
         // finding the report surfaces.
-        let ring64 = points.iter().find(|p| p.geometry.dnodes() == 64).expect("Ring-64");
+        let ring64 = points
+            .iter()
+            .find(|p| p.geometry.dnodes() == 64)
+            .expect("Ring-64");
         let ring256 = points.last().expect("points");
         assert!(ring256.me_cycles as f64 > 0.5 * ring64.me_cycles as f64);
     }
@@ -157,8 +160,8 @@ mod tests {
         let points = run();
         let ring4 = &points[0];
         let ring256 = &points[points.len() - 1];
-        let growth = ring256.global_only_writes_per_cycle as f64
-            / ring4.global_only_writes_per_cycle as f64;
+        let growth =
+            ring256.global_only_writes_per_cycle as f64 / ring4.global_only_writes_per_cycle as f64;
         assert!(growth > 40.0, "growth = {growth:.0}x");
         // Even the smallest ring already exceeds 1 write/cycle.
         assert!(ring4.global_only_writes_per_cycle > 1);

@@ -65,8 +65,8 @@ pub fn run_with(geometry: RingGeometry) -> Table1 {
     let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
     let spec = BlockMatch::paper_at(28, 28);
 
-    let ring = motion::block_match(geometry, &reference, &current, spec)
-        .expect("ring motion estimation");
+    let ring =
+        motion::block_match(geometry, &reference, &current, spec).expect("ring motion estimation");
     let mmx = mmx::full_search(&reference, &current, spec);
     let asic = asic_me::full_search(&reference, &current, spec);
 
@@ -130,7 +130,11 @@ mod tests {
         assert!(t.agree, "implementations disagree on the best match");
         assert_eq!(t.candidates, 289);
         // ASIC much faster than the ring.
-        assert!(t.ring_over_asic() > 3.0, "ring/asic = {:.1}", t.ring_over_asic());
+        assert!(
+            t.ring_over_asic() > 3.0,
+            "ring/asic = {:.1}",
+            t.ring_over_asic()
+        );
         // Ring several times faster than MMX (paper: almost 8x).
         let r = t.mmx_over_ring();
         assert!((4.0..12.0).contains(&r), "mmx/ring = {r:.1}");

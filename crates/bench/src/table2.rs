@@ -119,7 +119,11 @@ mod tests {
         // ~1 cycle/pixel for the full 2-D transform (the paper's rate).
         assert!(t.cycles_per_pixel < 1.3, "cpp = {:.2}", t.cycles_per_pixel);
         // ~25% of the fabric free.
-        assert!((t.free_fraction - 0.3125).abs() < 0.07, "free = {}", t.free_fraction);
+        assert!(
+            (t.free_fraction - 0.3125).abs() < 0.07,
+            "free = {}",
+            t.free_fraction
+        );
         // The ring is far smaller than the Mallat chip and competitive in
         // throughput.
         let ring = &t.records[2];

@@ -1,7 +1,9 @@
 //! Table 3 — synthesis results: Dnode/core area and frequency per node.
 
 use systolic_ring_isa::RingGeometry;
-use systolic_ring_model::{core_area, dnode_area_mm2, freq_mhz, HardwareParams, Tech, ST_CMOS_018, ST_CMOS_025};
+use systolic_ring_model::{
+    core_area, dnode_area_mm2, freq_mhz, HardwareParams, Tech, ST_CMOS_018, ST_CMOS_025,
+};
 
 use crate::table::TextTable;
 
@@ -80,7 +82,12 @@ mod tests {
             assert!((r.dnode_mm2 - r.paper_dnode_mm2).abs() < 1e-9, "{}", r.tech);
             assert!((r.freq_mhz - r.paper_freq_mhz).abs() < 1e-6, "{}", r.tech);
             let core_err = (r.core_mm2 - r.paper_core_mm2).abs() / r.paper_core_mm2;
-            assert!(core_err < 0.20, "{}: core error {:.0}%", r.tech, core_err * 100.0);
+            assert!(
+                core_err < 0.20,
+                "{}: core error {:.0}%",
+                r.tech,
+                core_err * 100.0
+            );
         }
     }
 

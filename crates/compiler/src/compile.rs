@@ -86,10 +86,11 @@ impl fmt::Display for CompileError {
             CompileError::StatefulOp { node, op } => {
                 write!(f, "node {node} uses stateful operator `{op}`")
             }
-            CompileError::LayerFull { layer, capacity, demand } => write!(
-                f,
-                "layer {layer} needs {demand} lanes but has {capacity}"
-            ),
+            CompileError::LayerFull {
+                layer,
+                capacity,
+                demand,
+            } => write!(f, "layer {layer} needs {demand} lanes but has {capacity}"),
             CompileError::PipeTooShallow { needed, depth } => write!(
                 f,
                 "a value lifetime needs pipeline stage {needed}, depth is {depth}"
@@ -98,10 +99,9 @@ impl fmt::Display for CompileError {
                 f,
                 "switch {switch} ran out of host-input ports ({capacity})"
             ),
-            CompileError::CapturePortsExhausted { switch, capacity } => write!(
-                f,
-                "switch {switch} ran out of capture ports ({capacity})"
-            ),
+            CompileError::CapturePortsExhausted { switch, capacity } => {
+                write!(f, "switch {switch} ran out of capture ports ({capacity})")
+            }
         }
     }
 }
@@ -237,7 +237,10 @@ pub fn compile(
             Node::Delay { src, .. } => depth[src.0],
             Node::Op { op, a, b } => {
                 if op.uses_accumulator() {
-                    return Err(CompileError::StatefulOp { node: NodeId(i), op });
+                    return Err(CompileError::StatefulOp {
+                        node: NodeId(i),
+                        op,
+                    });
                 }
                 // Operands precede the op in the arena, so their depths are
                 // final.
@@ -289,10 +292,19 @@ pub fn compile(
                             && (depth[*j] - 1) % layers == layer
                     })
                     .count();
-                return Err(CompileError::LayerFull { layer, capacity: width, demand });
+                return Err(CompileError::LayerFull {
+                    layer,
+                    capacity: width,
+                    demand,
+                });
             }
             lane_next[layer] += 1;
-            placements.push(Placement { node: NodeId(i), depth: d, layer, lane });
+            placements.push(Placement {
+                node: NodeId(i),
+                depth: d,
+                layer,
+                lane,
+            });
             place_of.insert(NodeId(i), (layer, lane));
         }
     }
@@ -308,15 +320,17 @@ pub fn compile(
     let mut hostin_next: HashMap<usize, usize> = HashMap::new();
 
     for p in &placements {
-        let Node::Op { op, a, b } = nodes[p.node.0] else { unreachable!() };
+        let Node::Op { op, a, b } = nodes[p.node.0] else {
+            unreachable!()
+        };
         let mut imm = None;
         let route_operand = |which: usize,
-                                 operand: NodeId,
-                                 imm: &mut Option<Word16>,
-                                 routes: &mut Vec<(usize, usize, usize, PortSource)>,
-                                 feeds: &mut Vec<InputFeed>,
-                                 feed_ports: &mut HashMap<(usize, usize, usize), usize>,
-                                 hostin_next: &mut HashMap<usize, usize>|
+                             operand: NodeId,
+                             imm: &mut Option<Word16>,
+                             routes: &mut Vec<(usize, usize, usize, PortSource)>,
+                             feeds: &mut Vec<InputFeed>,
+                             feed_ports: &mut HashMap<(usize, usize, usize), usize>,
+                             hostin_next: &mut HashMap<usize, usize>|
          -> Result<(Operand, NodeId, usize), CompileError> {
             // Resolve delay chains to (base node, accumulated slots).
             let mut base = operand;
@@ -354,7 +368,12 @@ pub fn compile(
                             let port = *next;
                             *next += 1;
                             feed_ports.insert(key, port);
-                            feeds.push(InputFeed { input: index, switch, port, prefix });
+                            feeds.push(InputFeed {
+                                input: index,
+                                switch,
+                                port,
+                                prefix,
+                            });
                             port
                         }
                     };
@@ -365,7 +384,11 @@ pub fn compile(
                         PortSource::HostIn { port: port as u8 },
                     ));
                     Ok((
-                        if which == 0 { Operand::In1 } else { Operand::In2 },
+                        if which == 0 {
+                            Operand::In1
+                        } else {
+                            Operand::In2
+                        },
                         base,
                         0,
                     ))
@@ -380,7 +403,9 @@ pub fn compile(
                             p.layer,
                             p.lane,
                             which,
-                            PortSource::PrevOut { lane: src_lane as u8 },
+                            PortSource::PrevOut {
+                                lane: src_lane as u8,
+                            },
                         ));
                     } else {
                         let stage = total - 1;
@@ -403,17 +428,35 @@ pub fn compile(
                         ));
                     }
                     Ok((
-                        if which == 0 { Operand::In1 } else { Operand::In2 },
+                        if which == 0 {
+                            Operand::In1
+                        } else {
+                            Operand::In2
+                        },
                         base,
                         total,
                     ))
                 }
             }
         };
-        let (src_a, base_a, total_a) =
-            route_operand(0, a, &mut imm, &mut routes, &mut feeds, &mut feed_ports, &mut hostin_next)?;
-        let (src_b, base_b, total_b) =
-            route_operand(1, b, &mut imm, &mut routes, &mut feeds, &mut feed_ports, &mut hostin_next)?;
+        let (src_a, base_a, total_a) = route_operand(
+            0,
+            a,
+            &mut imm,
+            &mut routes,
+            &mut feeds,
+            &mut feed_ports,
+            &mut hostin_next,
+        )?;
+        let (src_b, base_b, total_b) = route_operand(
+            1,
+            b,
+            &mut imm,
+            &mut routes,
+            &mut feeds,
+            &mut feed_ports,
+            &mut hostin_next,
+        )?;
         // Settle time: warm slots needed before this node's value reflects
         // the zero-extended past rather than machine-reset zeros. A tap
         // with lookback `total` needs its producer settled `total` slots
@@ -435,7 +478,10 @@ pub fn compile(
         let switch = (src_layer + 1) % layers;
         let next = capture_next.entry(switch).or_insert(0);
         if *next >= width {
-            return Err(CompileError::CapturePortsExhausted { switch, capacity: width });
+            return Err(CompileError::CapturePortsExhausted {
+                switch,
+                capacity: width,
+            });
         }
         let port = *next;
         *next += 1;
@@ -485,7 +531,10 @@ fn fold_constants(graph: &mut Graph) -> Result<usize, CompileError> {
             }
             Node::Op { op, a, b } => {
                 if op.uses_accumulator() {
-                    return Err(CompileError::StatefulOp { node: NodeId(i), op });
+                    return Err(CompileError::StatefulOp {
+                        node: NodeId(i),
+                        op,
+                    });
                 }
                 if let (Node::Const(va), Node::Const(vb)) = (replacement[a.0], replacement[b.0]) {
                     replacement[i] = Node::Const(op.eval(va, vb, Word16::ZERO));
@@ -557,7 +606,8 @@ impl CompiledGraph {
             m.configure().set_port(0, layer, lane, port, source)?;
         }
         for &(switch, port, lane) in &self.captures {
-            m.configure().set_capture(0, switch, port, HostCapture::lane(lane))?;
+            m.configure()
+                .set_capture(0, switch, port, HostCapture::lane(lane))?;
             m.open_sink(switch, port)?;
         }
         Ok(m)

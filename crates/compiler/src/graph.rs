@@ -99,7 +99,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::InputCountMismatch { expected, got } => {
-                write!(f, "graph has {expected} inputs but {got} streams were given")
+                write!(
+                    f,
+                    "graph has {expected} inputs but {got} streams were given"
+                )
             }
             GraphError::RaggedStreams => f.write_str("input streams have different lengths"),
             GraphError::NoOutputs => f.write_str("graph has no outputs"),
@@ -235,9 +238,7 @@ impl Graph {
             zero_value[i] = match self.nodes[i] {
                 Node::Input { .. } => Word16::ZERO,
                 Node::Const(value) => value,
-                Node::Op { op, a, b } => {
-                    op.eval(zero_value[a.0], zero_value[b.0], Word16::ZERO)
-                }
+                Node::Op { op, a, b } => op.eval(zero_value[a.0], zero_value[b.0], Word16::ZERO),
                 Node::Delay { src, .. } => zero_value[src.0],
             };
         }
@@ -309,9 +310,15 @@ mod tests {
         g.output(x);
         assert_eq!(
             g.interpret(&[&[1]]),
-            Err(GraphError::InputCountMismatch { expected: 2, got: 1 })
+            Err(GraphError::InputCountMismatch {
+                expected: 2,
+                got: 1
+            })
         );
-        assert_eq!(g.interpret(&[&[1], &[1, 2]]), Err(GraphError::RaggedStreams));
+        assert_eq!(
+            g.interpret(&[&[1], &[1, 2]]),
+            Err(GraphError::RaggedStreams)
+        );
         let empty = Graph::new();
         assert_eq!(empty.interpret(&[]), Err(GraphError::NoOutputs));
     }

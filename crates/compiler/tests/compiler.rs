@@ -2,9 +2,9 @@
 //! graphs and randomized DAGs, resource limits produce clean errors, and
 //! the profiling report reflects the mapping.
 
-use proptest::prelude::*;
 use systolic_ring_compiler::{compile, CompileError, Graph, NodeId};
 use systolic_ring_core::MachineParams;
+use systolic_ring_harness::for_random_cases;
 use systolic_ring_isa::dnode::AluOp;
 use systolic_ring_isa::RingGeometry;
 
@@ -148,7 +148,11 @@ fn resource_errors_are_reported() {
     g.output(acc);
     assert!(matches!(
         compile(&g, RingGeometry::RING_16, MachineParams::PAPER),
-        Err(CompileError::LayerFull { layer: 0, capacity: 4, .. })
+        Err(CompileError::LayerFull {
+            layer: 0,
+            capacity: 4,
+            ..
+        })
     ));
 
     // Value lifetimes beyond the pipeline depth are rejected.
@@ -193,38 +197,37 @@ fn report_names_the_mapping() {
     assert!(report.contains("output 0"));
 }
 
+/// Ops a random feedforward DAG may use (stateless, so the interpreter
+/// and the hardware agree sample by sample).
+const SAFE_OPS: [AluOp; 14] = [
+    AluOp::Add,
+    AluOp::AddSat,
+    AluOp::Sub,
+    AluOp::SubSat,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Min,
+    AluOp::Max,
+    AluOp::AbsDiff,
+    AluOp::Mul,
+    AluOp::MulHi,
+    AluOp::Slt,
+    AluOp::PassA,
+];
+
 /// Random feedforward DAGs: every compilable graph must match the
 /// interpreter exactly.
-fn arb_safe_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::AddSat),
-        Just(AluOp::Sub),
-        Just(AluOp::SubSat),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Min),
-        Just(AluOp::Max),
-        Just(AluOp::AbsDiff),
-        Just(AluOp::Mul),
-        Just(AluOp::MulHi),
-        Just(AluOp::Slt),
-        Just(AluOp::PassA),
-    ]
-}
+#[test]
+fn random_dags_match_the_interpreter() {
+    for_random_cases!(48, 0xda6, |rng| {
+        let const_count = rng.index(2) + 1;
+        let consts = rng.vec_i16(const_count, -50..50);
+        let a_len = rng.index(11) + 1;
+        let stream_a = rng.vec_i16(a_len, -300..300);
+        let b_len = rng.index(11) + 1;
+        let stream_b = rng.vec_i16(b_len, -300..300);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_dags_match_the_interpreter(
-        op_choices in proptest::collection::vec(
-            (arb_safe_op(), any::<u16>(), any::<u16>(), 0usize..4), 1..10),
-        consts in proptest::collection::vec(-50i16..50, 1..3),
-        stream_a in proptest::collection::vec(-300i16..300, 1..12),
-        stream_b in proptest::collection::vec(-300i16..300, 1..12),
-    ) {
         let mut g = Graph::new();
         let x0 = g.input();
         let x1 = g.input();
@@ -232,11 +235,14 @@ proptest! {
         for &c in &consts {
             pool.push(g.constant(c));
         }
-        for (op, ia, ib, delay) in op_choices {
-            let a = pool[ia as usize % pool.len()];
-            let b = pool[ib as usize % pool.len()];
+        let op_count = rng.index(9) + 1;
+        for _ in 0..op_count {
+            let op = *rng.choose(&SAFE_OPS);
+            let a = pool[rng.index(pool.len())];
+            let b = pool[rng.index(pool.len())];
             let node = g.op(op, a, b);
             pool.push(node);
+            let delay = rng.index(4);
             if delay > 0 {
                 pool.push(g.delay(node, delay));
             }
@@ -251,7 +257,7 @@ proptest! {
             Ok(compiled) => {
                 let (hw, _) = compiled.run(&streams).expect("runs");
                 let sw = g.interpret(&streams).expect("interprets");
-                prop_assert_eq!(hw, sw);
+                assert_eq!(hw, sw);
             }
             // Resource exhaustion is a legitimate outcome for random DAGs.
             Err(
@@ -260,9 +266,9 @@ proptest! {
                 | CompileError::HostPortsExhausted { .. }
                 | CompileError::CapturePortsExhausted { .. },
             ) => {}
-            Err(other) => return Err(TestCaseError::fail(format!("unexpected: {other}"))),
+            Err(other) => panic!("unexpected: {other}"),
         }
-    }
+    });
 }
 
 #[test]

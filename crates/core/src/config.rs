@@ -100,10 +100,12 @@ impl ConfigLayer {
     ///
     /// Returns [`ConfigError::ContextOutOfRange`] for a bad index.
     pub fn context(&self, ctx: usize) -> Result<&Context, ConfigError> {
-        self.contexts.get(ctx).ok_or(ConfigError::ContextOutOfRange {
-            ctx,
-            contexts: self.contexts.len(),
-        })
+        self.contexts
+            .get(ctx)
+            .ok_or(ConfigError::ContextOutOfRange {
+                ctx,
+                contexts: self.contexts.len(),
+            })
     }
 
     fn context_mut(&mut self, ctx: usize) -> Result<&mut Context, ConfigError> {
@@ -264,7 +266,10 @@ impl ConfigLayer {
             });
         }
         if port >= g.width() {
-            return Err(ConfigError::HostPortOutOfRange { port, ports: g.width() });
+            return Err(ConfigError::HostPortOutOfRange {
+                port,
+                ports: g.width(),
+            });
         }
         if let Some(lane) = capture.selected() {
             if lane as usize >= g.width() {
@@ -389,14 +394,26 @@ mod tests {
             Err(ConfigError::LaneOutOfRange { .. })
         ));
         assert!(cfg
-            .validate_source(PortSource::Pipe { switch: 3, stage: 7, lane: 1 })
+            .validate_source(PortSource::Pipe {
+                switch: 3,
+                stage: 7,
+                lane: 1
+            })
             .is_ok());
         assert!(matches!(
-            cfg.validate_source(PortSource::Pipe { switch: 4, stage: 0, lane: 0 }),
+            cfg.validate_source(PortSource::Pipe {
+                switch: 4,
+                stage: 0,
+                lane: 0
+            }),
             Err(ConfigError::SwitchOutOfRange { .. })
         ));
         assert!(matches!(
-            cfg.validate_source(PortSource::Pipe { switch: 0, stage: 8, lane: 0 }),
+            cfg.validate_source(PortSource::Pipe {
+                switch: 0,
+                stage: 8,
+                lane: 0
+            }),
             Err(ConfigError::StageOutOfRange { .. })
         ));
         assert!(cfg.validate_source(PortSource::HostIn { port: 3 }).is_ok());

@@ -290,7 +290,8 @@ impl Controller {
             .get(pc as usize)
             .filter(|_| (pc as usize) < self.prog_len)
             .ok_or(CtrlFault::PcOutOfRange { pc })?;
-        let instr = CtrlInstr::decode(word).map_err(|cause| CtrlFault::BadInstruction { pc, cause })?;
+        let instr =
+            CtrlInstr::decode(word).map_err(|cause| CtrlFault::BadInstruction { pc, cause })?;
 
         let mut next_pc = pc.wrapping_add(1);
         let r = |reg: systolic_ring_isa::ctrl::CReg| self.regs[reg.index()];
@@ -305,18 +306,14 @@ impl Controller {
             Sll { rd, ra, rb } => self.write_reg(rd, r(ra) << (r(rb) & 31)),
             Srl { rd, ra, rb } => self.write_reg(rd, r(ra) >> (r(rb) & 31)),
             Sra { rd, ra, rb } => self.write_reg(rd, ((r(ra) as i32) >> (r(rb) & 31)) as u32),
-            Slt { rd, ra, rb } => {
-                self.write_reg(rd, ((r(ra) as i32) < (r(rb) as i32)) as u32)
-            }
+            Slt { rd, ra, rb } => self.write_reg(rd, ((r(ra) as i32) < (r(rb) as i32)) as u32),
             Sltu { rd, ra, rb } => self.write_reg(rd, (r(ra) < r(rb)) as u32),
             Mul { rd, ra, rb } => self.write_reg(rd, r(ra).wrapping_mul(r(rb))),
             Addi { rd, ra, imm } => self.write_reg(rd, r(ra).wrapping_add(imm as i32 as u32)),
             Andi { rd, ra, imm } => self.write_reg(rd, r(ra) & imm as u32),
             Ori { rd, ra, imm } => self.write_reg(rd, r(ra) | imm as u32),
             Xori { rd, ra, imm } => self.write_reg(rd, r(ra) ^ imm as u32),
-            Slti { rd, ra, imm } => {
-                self.write_reg(rd, ((r(ra) as i32) < imm as i32) as u32)
-            }
+            Slti { rd, ra, imm } => self.write_reg(rd, ((r(ra) as i32) < imm as i32) as u32),
             Lui { rd, imm } => self.write_reg(rd, (imm as u32) << 16),
             Lw { rd, ra, imm } => {
                 let addr = r(ra).wrapping_add(imm as i32 as u32);
@@ -454,7 +451,10 @@ mod tests {
         }
         fn hpop(&mut self, switch: usize, _port: usize) -> Result<Option<Word16>, ConfigError> {
             if switch > 3 {
-                return Err(ConfigError::SwitchOutOfRange { switch, switches: 4 });
+                return Err(ConfigError::SwitchOutOfRange {
+                    switch,
+                    switches: 4,
+                });
             }
             Ok(if self.fifo.is_empty() {
                 None
@@ -472,7 +472,10 @@ mod tests {
         let mut ctrl = Controller::new(1024, 256);
         let words: Vec<u32> = code.iter().map(CtrlInstr::encode).collect();
         ctrl.load_program(&words).unwrap();
-        let mut ports = FakePorts { bus: Word16::from_i16(77), fifo: vec![Word16::from_i16(5)] };
+        let mut ports = FakePorts {
+            bus: Word16::from_i16(77),
+            fifo: vec![Word16::from_i16(5)],
+        };
         let mut effects = Vec::new();
         for _ in 0..max_cycles {
             if ctrl.is_halted() {
@@ -490,10 +493,26 @@ mod tests {
     fn arithmetic_and_halt() {
         let (ctrl, _) = run(
             &[
-                CtrlInstr::Addi { rd: r(1), ra: r(0), imm: 10 },
-                CtrlInstr::Addi { rd: r(2), ra: r(0), imm: -3 },
-                CtrlInstr::Add { rd: r(3), ra: r(1), rb: r(2) },
-                CtrlInstr::Mul { rd: r(4), ra: r(3), rb: r(3) },
+                CtrlInstr::Addi {
+                    rd: r(1),
+                    ra: r(0),
+                    imm: 10,
+                },
+                CtrlInstr::Addi {
+                    rd: r(2),
+                    ra: r(0),
+                    imm: -3,
+                },
+                CtrlInstr::Add {
+                    rd: r(3),
+                    ra: r(1),
+                    rb: r(2),
+                },
+                CtrlInstr::Mul {
+                    rd: r(4),
+                    ra: r(3),
+                    rb: r(3),
+                },
                 CtrlInstr::Halt,
             ],
             10,
@@ -507,7 +526,11 @@ mod tests {
     fn r0_is_hardwired_zero() {
         let (ctrl, _) = run(
             &[
-                CtrlInstr::Addi { rd: r(0), ra: r(0), imm: 42 },
+                CtrlInstr::Addi {
+                    rd: r(0),
+                    ra: r(0),
+                    imm: 42,
+                },
                 CtrlInstr::Halt,
             ],
             10,
@@ -519,10 +542,26 @@ mod tests {
     fn loop_with_branch() {
         // r1 = 5; r2 = 0; while (r1 != 0) { r2 += r1; r1 -= 1 }
         let code = [
-            CtrlInstr::Addi { rd: r(1), ra: r(0), imm: 5 },
-            CtrlInstr::Beq { ra: r(1), rb: r(0), offset: 3 },
-            CtrlInstr::Add { rd: r(2), ra: r(2), rb: r(1) },
-            CtrlInstr::Addi { rd: r(1), ra: r(1), imm: -1 },
+            CtrlInstr::Addi {
+                rd: r(1),
+                ra: r(0),
+                imm: 5,
+            },
+            CtrlInstr::Beq {
+                ra: r(1),
+                rb: r(0),
+                offset: 3,
+            },
+            CtrlInstr::Add {
+                rd: r(2),
+                ra: r(2),
+                rb: r(1),
+            },
+            CtrlInstr::Addi {
+                rd: r(1),
+                ra: r(1),
+                imm: -1,
+            },
             CtrlInstr::J { target: 1 },
             CtrlInstr::Halt,
         ];
@@ -534,11 +573,19 @@ mod tests {
     #[test]
     fn jal_links_and_jr_returns() {
         let code = [
-            CtrlInstr::Jal { target: 3 },          // 0: call
-            CtrlInstr::Addi { rd: r(2), ra: r(0), imm: 1 }, // 1: after return
-            CtrlInstr::Halt,                        // 2
-            CtrlInstr::Addi { rd: r(1), ra: r(0), imm: 9 }, // 3: callee
-            CtrlInstr::Jr { ra: r(15) },            // 4: return
+            CtrlInstr::Jal { target: 3 }, // 0: call
+            CtrlInstr::Addi {
+                rd: r(2),
+                ra: r(0),
+                imm: 1,
+            }, // 1: after return
+            CtrlInstr::Halt,              // 2
+            CtrlInstr::Addi {
+                rd: r(1),
+                ra: r(0),
+                imm: 9,
+            }, // 3: callee
+            CtrlInstr::Jr { ra: r(15) },  // 4: return
         ];
         let (ctrl, _) = run(&code, 20);
         assert!(ctrl.is_halted());
@@ -550,9 +597,21 @@ mod tests {
     #[test]
     fn memory_load_store() {
         let code = [
-            CtrlInstr::Addi { rd: r(1), ra: r(0), imm: 123 },
-            CtrlInstr::Sw { rs: r(1), ra: r(0), imm: 7 },
-            CtrlInstr::Lw { rd: r(2), ra: r(0), imm: 7 },
+            CtrlInstr::Addi {
+                rd: r(1),
+                ra: r(0),
+                imm: 123,
+            },
+            CtrlInstr::Sw {
+                rs: r(1),
+                ra: r(0),
+                imm: 7,
+            },
+            CtrlInstr::Lw {
+                rd: r(2),
+                ra: r(0),
+                imm: 7,
+            },
             CtrlInstr::Halt,
         ];
         let (ctrl, _) = run(&code, 10);
@@ -563,9 +622,17 @@ mod tests {
     #[test]
     fn dmem_fault() {
         let mut ctrl = Controller::new(16, 4);
-        ctrl.load_program(&[CtrlInstr::Lw { rd: r(1), ra: r(0), imm: 100 }.encode()])
+        ctrl.load_program(&[CtrlInstr::Lw {
+            rd: r(1),
+            ra: r(0),
+            imm: 100,
+        }
+        .encode()])
             .unwrap();
-        let mut ports = FakePorts { bus: Word16::ZERO, fifo: vec![] };
+        let mut ports = FakePorts {
+            bus: Word16::ZERO,
+            fifo: vec![],
+        };
         assert_eq!(
             ctrl.step(&mut ports),
             Err(CtrlFault::DmemOutOfRange { addr: 100 })
@@ -576,9 +643,15 @@ mod tests {
     fn pc_fault_on_running_off_the_end() {
         let mut ctrl = Controller::new(16, 4);
         ctrl.load_program(&[CtrlInstr::Nop.encode()]).unwrap();
-        let mut ports = FakePorts { bus: Word16::ZERO, fifo: vec![] };
+        let mut ports = FakePorts {
+            bus: Word16::ZERO,
+            fifo: vec![],
+        };
         ctrl.step(&mut ports).unwrap();
-        assert_eq!(ctrl.step(&mut ports), Err(CtrlFault::PcOutOfRange { pc: 1 }));
+        assert_eq!(
+            ctrl.step(&mut ports),
+            Err(CtrlFault::PcOutOfRange { pc: 1 })
+        );
     }
 
     #[test]
@@ -586,9 +659,16 @@ mod tests {
         let code = [
             CtrlInstr::Cimm { imm: 0xbeef },
             CtrlInstr::Wctx { ctx: 2 },
-            CtrlInstr::Addi { rd: r(1), ra: r(0), imm: 0x55 },
+            CtrlInstr::Addi {
+                rd: r(1),
+                ra: r(0),
+                imm: 0x55,
+            },
             CtrlInstr::Wdn { rs: r(1), dnode: 3 },
-            CtrlInstr::Wloc { rs: r(1), packed: (5 << 3) | 2 },
+            CtrlInstr::Wloc {
+                rs: r(1),
+                packed: (5 << 3) | 2,
+            },
             CtrlInstr::Ctx { ctx: 1 },
             CtrlInstr::Halt,
         ];
@@ -626,14 +706,23 @@ mod tests {
     #[test]
     fn hpop_pops_then_stalls() {
         let code = [
-            CtrlInstr::Hpop { rd: r(1), switch: 0 },
-            CtrlInstr::Hpop { rd: r(2), switch: 0 },
+            CtrlInstr::Hpop {
+                rd: r(1),
+                switch: 0,
+            },
+            CtrlInstr::Hpop {
+                rd: r(2),
+                switch: 0,
+            },
             CtrlInstr::Halt,
         ];
         let mut ctrl = Controller::new(16, 4);
         let words: Vec<u32> = code.iter().map(CtrlInstr::encode).collect();
         ctrl.load_program(&words).unwrap();
-        let mut ports = FakePorts { bus: Word16::ZERO, fifo: vec![Word16::from_i16(5)] };
+        let mut ports = FakePorts {
+            bus: Word16::ZERO,
+            fifo: vec![Word16::from_i16(5)],
+        };
         // First hpop succeeds.
         assert!(ctrl.step(&mut ports).unwrap().retired);
         assert_eq!(ctrl.reg(1), 5);
@@ -652,9 +741,16 @@ mod tests {
     fn hpop_bad_switch_faults() {
         let mut ctrl = Controller::new(16, 4);
         // switch field packs switch<<8|port: switch 9 is out of range.
-        ctrl.load_program(&[CtrlInstr::Hpop { rd: r(1), switch: 9 << 8 }.encode()])
+        ctrl.load_program(&[CtrlInstr::Hpop {
+            rd: r(1),
+            switch: 9 << 8,
+        }
+        .encode()])
             .unwrap();
-        let mut ports = FakePorts { bus: Word16::ZERO, fifo: vec![] };
+        let mut ports = FakePorts {
+            bus: Word16::ZERO,
+            fifo: vec![],
+        };
         assert!(matches!(ctrl.step(&mut ports), Err(CtrlFault::BadPort(_))));
     }
 
@@ -662,13 +758,20 @@ mod tests {
     fn wait_stalls_for_n_cycles() {
         let code = [
             CtrlInstr::Wait { cycles: 3 },
-            CtrlInstr::Addi { rd: r(1), ra: r(0), imm: 1 },
+            CtrlInstr::Addi {
+                rd: r(1),
+                ra: r(0),
+                imm: 1,
+            },
             CtrlInstr::Halt,
         ];
         let mut ctrl = Controller::new(16, 4);
         let words: Vec<u32> = code.iter().map(CtrlInstr::encode).collect();
         ctrl.load_program(&words).unwrap();
-        let mut ports = FakePorts { bus: Word16::ZERO, fifo: vec![] };
+        let mut ports = FakePorts {
+            bus: Word16::ZERO,
+            fifo: vec![],
+        };
         // Cycle 1: wait retires and schedules 2 stall cycles.
         assert!(ctrl.step(&mut ports).unwrap().retired);
         // Cycles 2-3: stalled.

@@ -120,7 +120,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "input port {port} out of range (dnodes have 4 ports)")
             }
             ConfigError::HostPortOutOfRange { port, ports } => {
-                write!(f, "host-input port {port} out of range (switch has {ports})")
+                write!(
+                    f,
+                    "host-input port {port} out of range (switch has {ports})"
+                )
             }
             ConfigError::SlotOutOfRange { slot } => {
                 write!(f, "sequencer slot {slot} out of range (S1..S8)")
@@ -137,7 +140,10 @@ impl fmt::Display for ConfigError {
                 f,
                 "object assembled for {declared} but machine is {machine}"
             ),
-            ConfigError::NotEnoughContexts { required, available } => write!(
+            ConfigError::NotEnoughContexts {
+                required,
+                available,
+            } => write!(
                 f,
                 "object requires {required} configuration contexts, machine has {available}"
             ),
@@ -221,7 +227,10 @@ impl fmt::Display for SimError {
                 write!(f, "cycle {cycle}: bad instruction at pc {pc:#x}: {cause}")
             }
             SimError::DmemOutOfRange { cycle, addr } => {
-                write!(f, "cycle {cycle}: data access at {addr:#x} outside data memory")
+                write!(
+                    f,
+                    "cycle {cycle}: data access at {addr:#x} outside data memory"
+                )
             }
             SimError::BadConfigWrite { cycle, cause } => {
                 write!(f, "cycle {cycle}: bad configuration write: {cause}")
@@ -249,7 +258,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = ConfigError::DnodeOutOfRange { dnode: 9, dnodes: 8 };
+        let err = ConfigError::DnodeOutOfRange {
+            dnode: 9,
+            dnodes: 8,
+        };
         assert!(err.to_string().contains("dnode 9"));
         let err = SimError::CycleLimit { limit: 100 };
         assert!(err.to_string().contains("100"));

@@ -94,7 +94,12 @@ impl HostInterface {
     /// # Errors
     ///
     /// Returns [`ConfigError`] for out-of-range indices.
-    pub fn attach_input<I>(&mut self, switch: usize, port: usize, words: I) -> Result<(), ConfigError>
+    pub fn attach_input<I>(
+        &mut self,
+        switch: usize,
+        port: usize,
+        words: I,
+    ) -> Result<(), ConfigError>
     where
         I: IntoIterator<Item = Word16>,
     {
@@ -237,8 +242,14 @@ mod tests {
     #[test]
     fn metered_link_throttles() {
         // 2 bytes/cycle = 1 word/cycle across all traffic.
-        let mut host =
-            HostInterface::new(2, 2, 1, LinkModel::Metered { bytes_per_cycle: 2.0 });
+        let mut host = HostInterface::new(
+            2,
+            2,
+            1,
+            LinkModel::Metered {
+                bytes_per_cycle: 2.0,
+            },
+        );
         let mut sw = switches(2, 1);
         let mut stats = Stats::new(2);
         host.attach_input(0, 0, vec![w(1); 10]).unwrap();

@@ -65,4 +65,4 @@ pub mod trace;
 pub use error::{ConfigError, SimError};
 pub use machine::RingMachine;
 pub use params::{LinkModel, MachineParams};
-pub use stats::Stats;
+pub use stats::{DnodeStats, Stats};

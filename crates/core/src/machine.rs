@@ -108,12 +108,28 @@ struct DnodePlan {
     result: Word16,
 }
 
+/// A machine is plain owned data: batches of machines step on independent
+/// threads with no shared state. This assertion keeps that guarantee from
+/// regressing silently (e.g. by an `Rc` or raw pointer sneaking into the
+/// state tree) — the batch engine in `systolic-ring-harness` depends on it.
+#[allow(dead_code)]
+fn _ring_machine_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RingMachine>();
+}
+
 impl RingMachine {
     /// Creates a reset machine.
     pub fn new(geometry: RingGeometry, params: MachineParams) -> Self {
         let dnodes = (0..geometry.dnodes()).map(|_| DnodeState::new()).collect();
         let switches = (0..geometry.switches())
-            .map(|_| SwitchState::new(params.pipe_depth, geometry.width(), params.host_fifo_capacity))
+            .map(|_| {
+                SwitchState::new(
+                    params.pipe_depth,
+                    geometry.width(),
+                    params.host_fifo_capacity,
+                )
+            })
             .collect();
         RingMachine {
             geometry,
@@ -238,7 +254,9 @@ impl RingMachine {
             return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
         }
         if program.is_empty() || program.len() > 8 {
-            return Err(ConfigError::BadLocalLimit { limit: program.len() });
+            return Err(ConfigError::BadLocalLimit {
+                limit: program.len(),
+            });
         }
         let seq = self.dnodes[dnode].sequencer_mut();
         for (slot, instr) in program.iter().enumerate() {
@@ -253,7 +271,12 @@ impl RingMachine {
     /// # Errors
     ///
     /// Returns [`ConfigError`] for out-of-range indices.
-    pub fn attach_input<I>(&mut self, switch: usize, port: usize, words: I) -> Result<(), ConfigError>
+    pub fn attach_input<I>(
+        &mut self,
+        switch: usize,
+        port: usize,
+        words: I,
+    ) -> Result<(), ConfigError>
     where
         I: IntoIterator<Item = Word16>,
     {
@@ -314,7 +337,8 @@ impl RingMachine {
         match *record {
             Preload::DnodeInstr { ctx, dnode, word } => {
                 let instr = MicroInstr::decode(word)?;
-                self.config.set_dnode_instr(ctx as usize, dnode as usize, instr)
+                self.config
+                    .set_dnode_instr(ctx as usize, dnode as usize, instr)
             }
             Preload::SwitchPort {
                 ctx,
@@ -332,7 +356,12 @@ impl RingMachine {
                     source,
                 )
             }
-            Preload::HostCapture { ctx, switch, port, word } => {
+            Preload::HostCapture {
+                ctx,
+                switch,
+                port,
+                word,
+            } => {
                 let capture = HostCapture::decode(word)?;
                 self.config
                     .set_capture(ctx as usize, switch as usize, port as usize, capture)
@@ -340,7 +369,10 @@ impl RingMachine {
             Preload::Mode { dnode, local } => {
                 let dnodes = self.geometry.dnodes();
                 if dnode as usize >= dnodes {
-                    return Err(ConfigError::DnodeOutOfRange { dnode: dnode as usize, dnodes });
+                    return Err(ConfigError::DnodeOutOfRange {
+                        dnode: dnode as usize,
+                        dnodes,
+                    });
                 }
                 self.dnodes[dnode as usize].set_mode(if local {
                     DnodeMode::Local
@@ -352,10 +384,15 @@ impl RingMachine {
             Preload::LocalSlot { dnode, slot, word } => {
                 let dnodes = self.geometry.dnodes();
                 if dnode as usize >= dnodes {
-                    return Err(ConfigError::DnodeOutOfRange { dnode: dnode as usize, dnodes });
+                    return Err(ConfigError::DnodeOutOfRange {
+                        dnode: dnode as usize,
+                        dnodes,
+                    });
                 }
                 if slot as usize >= 8 {
-                    return Err(ConfigError::SlotOutOfRange { slot: slot as usize });
+                    return Err(ConfigError::SlotOutOfRange {
+                        slot: slot as usize,
+                    });
                 }
                 let instr = MicroInstr::decode(word)?;
                 self.dnodes[dnode as usize]
@@ -366,10 +403,15 @@ impl RingMachine {
             Preload::LocalLimit { dnode, limit } => {
                 let dnodes = self.geometry.dnodes();
                 if dnode as usize >= dnodes {
-                    return Err(ConfigError::DnodeOutOfRange { dnode: dnode as usize, dnodes });
+                    return Err(ConfigError::DnodeOutOfRange {
+                        dnode: dnode as usize,
+                        dnodes,
+                    });
                 }
                 if !(1..=8).contains(&limit) {
-                    return Err(ConfigError::BadLocalLimit { limit: limit as usize });
+                    return Err(ConfigError::BadLocalLimit {
+                        limit: limit as usize,
+                    });
                 }
                 self.dnodes[dnode as usize].sequencer_mut().set_limit(limit);
                 Ok(())
@@ -475,8 +517,22 @@ impl RingMachine {
             for lane in 0..width {
                 let d = self.geometry.dnode_index(layer, lane);
                 let instr = self.current_instr(d);
-                let a = self.resolve_operand(d, layer, lane, instr.src_a, &mut hostin_reads, &mut underflows);
-                let b = self.resolve_operand(d, layer, lane, instr.src_b, &mut hostin_reads, &mut underflows);
+                let a = self.resolve_operand(
+                    d,
+                    layer,
+                    lane,
+                    instr.src_a,
+                    &mut hostin_reads,
+                    &mut underflows,
+                );
+                let b = self.resolve_operand(
+                    d,
+                    layer,
+                    lane,
+                    instr.src_b,
+                    &mut hostin_reads,
+                    &mut underflows,
+                );
                 let acc = instr
                     .wr_reg
                     .filter(|_| instr.alu.uses_accumulator())
@@ -506,14 +562,16 @@ impl RingMachine {
                 bus: self.bus,
                 switches: &mut self.switches,
             };
-            self.controller.step(&mut ports).map_err(|fault| match fault {
-                CtrlFault::PcOutOfRange { pc } => SimError::PcOutOfRange { cycle, pc },
-                CtrlFault::BadInstruction { pc, cause } => {
-                    SimError::BadInstruction { cycle, pc, cause }
-                }
-                CtrlFault::DmemOutOfRange { addr } => SimError::DmemOutOfRange { cycle, addr },
-                CtrlFault::BadPort(cause) => SimError::BadConfigWrite { cycle, cause },
-            })?
+            self.controller
+                .step(&mut ports)
+                .map_err(|fault| match fault {
+                    CtrlFault::PcOutOfRange { pc } => SimError::PcOutOfRange { cycle, pc },
+                    CtrlFault::BadInstruction { pc, cause } => {
+                        SimError::BadInstruction { cycle, pc, cause }
+                    }
+                    CtrlFault::DmemOutOfRange { addr } => SimError::DmemOutOfRange { cycle, addr },
+                    CtrlFault::BadPort(cause) => SimError::BadConfigWrite { cycle, cause },
+                })?
         };
         if ctrl_step.retired {
             self.stats.ctrl_instrs += 1;
@@ -615,7 +673,12 @@ impl RingMachine {
                 self.stats.config_writes += 1;
                 Ok(())
             }
-            CtrlEffect::WriteCapture { ctx, switch, port, word } => {
+            CtrlEffect::WriteCapture {
+                ctx,
+                switch,
+                port,
+                word,
+            } => {
                 let capture = HostCapture::decode(word)?;
                 self.config.set_capture(ctx, switch, port, capture)?;
                 self.stats.config_writes += 1;
@@ -626,7 +689,11 @@ impl RingMachine {
                 if dnode >= dnodes {
                     return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
                 }
-                self.dnodes[dnode].set_mode(if local { DnodeMode::Local } else { DnodeMode::Global });
+                self.dnodes[dnode].set_mode(if local {
+                    DnodeMode::Local
+                } else {
+                    DnodeMode::Global
+                });
                 self.stats.config_writes += 1;
                 Ok(())
             }
@@ -649,7 +716,9 @@ impl RingMachine {
                     return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
                 }
                 if !(1..=8).contains(&limit) {
-                    return Err(ConfigError::BadLocalLimit { limit: limit as usize });
+                    return Err(ConfigError::BadLocalLimit {
+                        limit: limit as usize,
+                    });
                 }
                 self.dnodes[dnode].sequencer_mut().set_limit(limit as u8);
                 self.stats.config_writes += 1;

@@ -23,7 +23,9 @@ pub enum LinkModel {
 impl LinkModel {
     /// The paper's implemented PCI-class link: 250 MB/s at a 200 MHz core
     /// clock = 1.25 bytes per cycle.
-    pub const PCI_250MBPS_AT_200MHZ: LinkModel = LinkModel::Metered { bytes_per_cycle: 1.25 };
+    pub const PCI_250MBPS_AT_200MHZ: LinkModel = LinkModel::Metered {
+        bytes_per_cycle: 1.25,
+    };
 
     /// Words the link may move this cycle given `credit` accumulated bytes;
     /// returns the new credit and the word allowance.

@@ -88,6 +88,37 @@ impl Stats {
             self.total_ops() as f64 / self.cycles as f64
         }
     }
+
+    /// Accumulates `other` into `self`, counter by counter.
+    ///
+    /// Per-Dnode counters are added index-wise; if `other` covers more
+    /// Dnodes (a bigger geometry), `self` grows to match. The batch
+    /// engine uses this to fold per-job statistics into one batch-level
+    /// record, so derived figures (utilization, ops/cycle) read as
+    /// aggregates over the summed cycle base.
+    pub fn merge(&mut self, other: &Stats) {
+        if self.dnodes.len() < other.dnodes.len() {
+            self.dnodes
+                .resize(other.dnodes.len(), DnodeStats::default());
+        }
+        for (mine, theirs) in self.dnodes.iter_mut().zip(&other.dnodes) {
+            mine.active_cycles += theirs.active_cycles;
+            mine.alu_ops += theirs.alu_ops;
+            mine.mult_ops += theirs.mult_ops;
+            mine.local_cycles += theirs.local_cycles;
+        }
+        self.cycles += other.cycles;
+        self.ctrl_instrs += other.ctrl_instrs;
+        self.ctrl_stall_cycles += other.ctrl_stall_cycles;
+        self.config_writes += other.config_writes;
+        self.ctx_switches += other.ctx_switches;
+        self.host_words_in += other.host_words_in;
+        self.host_words_out += other.host_words_out;
+        self.link_stall_cycles += other.link_stall_cycles;
+        self.fifo_underflows += other.fifo_underflows;
+        self.fifo_overflows += other.fifo_overflows;
+        self.bus_conflicts += other.bus_conflicts;
+    }
 }
 
 #[cfg(test)]

@@ -152,7 +152,9 @@ impl SwitchState {
     pub fn new(pipe_depth: usize, width: usize, fifo_capacity: usize) -> Self {
         SwitchState {
             pipe: FeedbackPipeline::new(pipe_depth, width),
-            host_in: (0..2 * width).map(|_| WordFifo::new(fifo_capacity)).collect(),
+            host_in: (0..2 * width)
+                .map(|_| WordFifo::new(fifo_capacity))
+                .collect(),
             host_out: (0..width).map(|_| WordFifo::new(fifo_capacity)).collect(),
         }
     }

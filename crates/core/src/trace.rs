@@ -247,11 +247,19 @@ mod tests {
         let mut m = counting_machine();
         let mut tracer = Tracer::new([
             Signal::DnodeOut { dnode: 0 },
-            Signal::DnodeReg { dnode: 0, reg: Reg::R0 },
+            Signal::DnodeReg {
+                dnode: 0,
+                reg: Reg::R0,
+            },
         ]);
         tracer.run(&mut m, 4).expect("run");
         assert_eq!(tracer.len(), 5);
-        let regs = tracer.series(Signal::DnodeReg { dnode: 0, reg: Reg::R0 }).expect("series");
+        let regs = tracer
+            .series(Signal::DnodeReg {
+                dnode: 0,
+                reg: Reg::R0,
+            })
+            .expect("series");
         assert_eq!(regs, vec![0, 1, 2, 3, 4]);
         assert!(tracer.series(Signal::Bus).is_none());
     }
@@ -271,7 +279,10 @@ mod tests {
     fn vcd_structure_and_change_compression() {
         let mut m = counting_machine();
         let mut tracer = Tracer::new([
-            Signal::DnodeReg { dnode: 0, reg: Reg::R0 },
+            Signal::DnodeReg {
+                dnode: 0,
+                reg: Reg::R0,
+            },
             Signal::Bus, // never changes -> one initial emission only
             Signal::CtrlPc,
         ]);

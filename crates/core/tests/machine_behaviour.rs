@@ -38,7 +38,11 @@ fn forward_pipeline_across_two_layers() {
         .set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })
         .unwrap();
     m.configure()
-        .set_dnode_instr(0, 0, MicroInstr::op(AluOp::Add, Operand::In1, Operand::One).write_out())
+        .set_dnode_instr(
+            0,
+            0,
+            MicroInstr::op(AluOp::Add, Operand::In1, Operand::One).write_out(),
+        )
         .unwrap();
     // Layer 1 lane 0: out = in1 * 2; fed from layer 0 lane 0 through switch 1.
     m.configure()
@@ -53,11 +57,19 @@ fn forward_pipeline_across_two_layers() {
         )
         .unwrap();
     // Capture layer 1's output at switch 2.
-    m.configure().set_capture(0, 2, 0, HostCapture::lane(0)).unwrap();
+    m.configure()
+        .set_capture(0, 2, 0, HostCapture::lane(0))
+        .unwrap();
     m.open_sink(2, 0).unwrap();
-    m.attach_input(0, 0, [5, 6, 7].map(Word16::from_i16)).unwrap();
+    m.attach_input(0, 0, [5, 6, 7].map(Word16::from_i16))
+        .unwrap();
     m.run(10).unwrap();
-    let out: Vec<i16> = m.take_sink(2, 0).unwrap().iter().map(|v| v.as_i16()).collect();
+    let out: Vec<i16> = m
+        .take_sink(2, 0)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_i16())
+        .collect();
     // (x + 1) * 2 appears as a contiguous run once the pipeline is primed.
     assert!(
         out.windows(3).any(|w| w == [12, 14, 16]),
@@ -78,7 +90,11 @@ fn each_layer_adds_one_cycle_of_latency() {
         };
         m.configure().set_port(0, layer, 0, 0, src).unwrap();
         m.configure()
-            .set_dnode_instr(0, d, MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out())
+            .set_dnode_instr(
+                0,
+                d,
+                MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out(),
+            )
             .unwrap();
     }
     m.attach_input(0, 0, [42].map(Word16::from_i16)).unwrap();
@@ -109,8 +125,10 @@ fn global_mode_mac_accumulates_streams() {
             MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R2),
         )
         .unwrap();
-    m.attach_input(0, 0, [1, 2, 3, 4].map(Word16::from_i16)).unwrap();
-    m.attach_input(0, 1, [10, 20, 30, 40].map(Word16::from_i16)).unwrap();
+    m.attach_input(0, 0, [1, 2, 3, 4].map(Word16::from_i16))
+        .unwrap();
+    m.attach_input(0, 1, [10, 20, 30, 40].map(Word16::from_i16))
+        .unwrap();
     m.run(10).unwrap();
     assert_eq!(m.dnode(0).reg(Reg::R2).as_i16(), 10 + 40 + 90 + 160);
 }
@@ -132,7 +150,11 @@ fn feedback_pipeline_implements_recursion() {
             0,
             0,
             2,
-            PortSource::Pipe { switch: 1, stage: 0, lane: 0 },
+            PortSource::Pipe {
+                switch: 1,
+                stage: 0,
+                lane: 0,
+            },
         )
         .unwrap();
     m.configure()
@@ -159,7 +181,11 @@ fn deeper_pipeline_stages_give_longer_delays() {
         .set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })
         .unwrap();
     m.configure()
-        .set_dnode_instr(0, 0, MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out())
+        .set_dnode_instr(
+            0,
+            0,
+            MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out(),
+        )
         .unwrap();
     m.configure()
         .set_port(
@@ -167,14 +193,24 @@ fn deeper_pipeline_stages_give_longer_delays() {
             1,
             0,
             0,
-            PortSource::Pipe { switch: 1, stage: 3, lane: 0 },
+            PortSource::Pipe {
+                switch: 1,
+                stage: 3,
+                lane: 0,
+            },
         )
         .unwrap();
     let d1 = RingGeometry::RING_8.dnode_index(1, 0);
     m.configure()
-        .set_dnode_instr(0, d1, MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out())
+        .set_dnode_instr(
+            0,
+            d1,
+            MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out(),
+        )
         .unwrap();
-    m.configure().set_capture(0, 2, 0, HostCapture::lane(0)).unwrap();
+    m.configure()
+        .set_capture(0, 2, 0, HostCapture::lane(0))
+        .unwrap();
     m.open_sink(2, 0).unwrap();
     m.attach_input(0, 0, (1..=6).map(Word16::from_i16)).unwrap();
     m.run(16).unwrap();
@@ -259,11 +295,25 @@ fn controller_builds_a_local_mac_at_runtime() {
     let lo = (word & 0xffff_ffff) as i32;
     let hi = (word >> 32) as u16;
     let program = [
-        CtrlInstr::Lui { rd: r(1), imm: (lo as u32 >> 16) as u16 },
-        CtrlInstr::Ori { rd: r(1), ra: r(1), imm: (lo as u32 & 0xffff) as u16 },
+        CtrlInstr::Lui {
+            rd: r(1),
+            imm: (lo as u32 >> 16) as u16,
+        },
+        CtrlInstr::Ori {
+            rd: r(1),
+            ra: r(1),
+            imm: (lo as u32 & 0xffff) as u16,
+        },
         CtrlInstr::Cimm { imm: hi },
-        CtrlInstr::Wloc { rs: r(1), packed: 0 }, // dnode 0, slot 0
-        CtrlInstr::Addi { rd: r(2), ra: r(0), imm: 1 },
+        CtrlInstr::Wloc {
+            rs: r(1),
+            packed: 0,
+        }, // dnode 0, slot 0
+        CtrlInstr::Addi {
+            rd: r(2),
+            ra: r(0),
+            imm: 1,
+        },
         CtrlInstr::Wlim { rs: r(2), dnode: 0 },
         CtrlInstr::Wmode { rs: r(2), dnode: 0 },
         CtrlInstr::Halt,
@@ -295,10 +345,14 @@ fn bus_connects_dnodes_and_controller() {
         )
         .unwrap();
     let program = [
-        CtrlInstr::Nop,                       // cycle 0: dnode drives bus
-        CtrlInstr::Busr { rd: r(1) },         // cycle 1: bus = 100 visible
-        CtrlInstr::Addi { rd: r(1), ra: r(1), imm: 5 },
-        CtrlInstr::Busw { rs: r(1) },         // controller wins arbitration
+        CtrlInstr::Nop,               // cycle 0: dnode drives bus
+        CtrlInstr::Busr { rd: r(1) }, // cycle 1: bus = 100 visible
+        CtrlInstr::Addi {
+            rd: r(1),
+            ra: r(1),
+            imm: 5,
+        },
+        CtrlInstr::Busw { rs: r(1) }, // controller wins arbitration
         CtrlInstr::Halt,
     ];
     let code: Vec<u32> = program.iter().map(CtrlInstr::encode).collect();
@@ -326,7 +380,9 @@ fn host_capture_respects_fifo_capacity() {
                 .write_out(),
         )
         .unwrap();
-    m.configure().set_capture(0, 1, 0, HostCapture::lane(0)).unwrap();
+    m.configure()
+        .set_capture(0, 1, 0, HostCapture::lane(0))
+        .unwrap();
     m.open_sink(1, 0).unwrap();
     // The host drains one word per cycle but capture also produces one per
     // cycle; with capacity 2 nothing overflows in steady state.
@@ -367,7 +423,11 @@ fn object_load_applies_preloads() {
         code: vec![CtrlInstr::Halt.encode()],
         data: vec![7, 8, 9],
         preload: vec![
-            Preload::DnodeInstr { ctx: 0, dnode: 0, word: instr.encode() },
+            Preload::DnodeInstr {
+                ctx: 0,
+                dnode: 0,
+                word: instr.encode(),
+            },
             Preload::SwitchPort {
                 ctx: 0,
                 switch: 0,
@@ -381,8 +441,15 @@ fn object_load_applies_preloads() {
                 port: 0,
                 word: HostCapture::lane(0).encode(),
             },
-            Preload::Mode { dnode: 3, local: true },
-            Preload::LocalSlot { dnode: 3, slot: 0, word: MicroInstr::NOP.encode() },
+            Preload::Mode {
+                dnode: 3,
+                local: true,
+            },
+            Preload::LocalSlot {
+                dnode: 3,
+                slot: 0,
+                word: MicroInstr::NOP.encode(),
+            },
             Preload::LocalLimit { dnode: 3, limit: 1 },
         ],
     };
@@ -393,7 +460,12 @@ fn object_load_applies_preloads() {
     m.open_sink(1, 0).unwrap();
     m.attach_input(0, 0, [9].map(Word16::from_i16)).unwrap();
     m.run(6).unwrap();
-    let out: Vec<i16> = m.take_sink(1, 0).unwrap().iter().map(|v| v.as_i16()).collect();
+    let out: Vec<i16> = m
+        .take_sink(1, 0)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_i16())
+        .collect();
     // Underflow cycles produce 1 (0 + 1); the streamed word produces 10.
     assert!(out.contains(&10), "out = {out:?}");
 }
@@ -433,7 +505,10 @@ fn runtime_bad_config_write_is_a_machine_check() {
     let mut m = ring8();
     // wdn to dnode 200 (out of range on Ring-8).
     let program = [
-        CtrlInstr::Wdn { rs: r(0), dnode: 200 },
+        CtrlInstr::Wdn {
+            rs: r(0),
+            dnode: 200,
+        },
         CtrlInstr::Halt,
     ];
     let code: Vec<u32> = program.iter().map(CtrlInstr::encode).collect();
@@ -485,7 +560,11 @@ fn underflow_reads_return_zero_and_are_counted() {
         .set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })
         .unwrap();
     m.configure()
-        .set_dnode_instr(0, 0, MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out())
+        .set_dnode_instr(
+            0,
+            0,
+            MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out(),
+        )
         .unwrap();
     m.run(5).unwrap();
     assert_eq!(m.dnode(0).out(), Word16::ZERO);
@@ -530,15 +609,39 @@ fn controller_hpush_and_hpop_move_words() {
         .set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })
         .unwrap();
     m.configure()
-        .set_dnode_instr(0, 0, MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out())
+        .set_dnode_instr(
+            0,
+            0,
+            MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out(),
+        )
         .unwrap();
-    m.configure().set_capture(0, 1, 0, HostCapture::lane(0)).unwrap();
+    m.configure()
+        .set_capture(0, 1, 0, HostCapture::lane(0))
+        .unwrap();
     let program = [
-        CtrlInstr::Addi { rd: r(1), ra: r(0), imm: 3 },
-        CtrlInstr::Hpush { rs: r(1), switch: 0 }, // switch 0, port 0
-        CtrlInstr::Hpop { rd: r(5), switch: 1 << 8 }, // pc 2: pop sw1 port 0
-        CtrlInstr::Beq { ra: r(5), rb: r(0), offset: -2 }, // retry on zero
-        CtrlInstr::Sw { rs: r(5), ra: r(0), imm: 0 },
+        CtrlInstr::Addi {
+            rd: r(1),
+            ra: r(0),
+            imm: 3,
+        },
+        CtrlInstr::Hpush {
+            rs: r(1),
+            switch: 0,
+        }, // switch 0, port 0
+        CtrlInstr::Hpop {
+            rd: r(5),
+            switch: 1 << 8,
+        }, // pc 2: pop sw1 port 0
+        CtrlInstr::Beq {
+            ra: r(5),
+            rb: r(0),
+            offset: -2,
+        }, // retry on zero
+        CtrlInstr::Sw {
+            rs: r(5),
+            ra: r(0),
+            imm: 0,
+        },
         CtrlInstr::Halt,
     ];
     let code: Vec<u32> = program.iter().map(CtrlInstr::encode).collect();
@@ -622,8 +725,15 @@ fn controller_who_configures_per_port_captures() {
         .unwrap();
     // who r1, (1 << 8) | 1: switch 1, out-port 1, capture lane 1.
     let program = [
-        CtrlInstr::Addi { rd: r(1), ra: r(0), imm: 2 }, // HostCapture::lane(1)
-        CtrlInstr::Who { rs: r(1), switch: (1 << 8) | 1 },
+        CtrlInstr::Addi {
+            rd: r(1),
+            ra: r(0),
+            imm: 2,
+        }, // HostCapture::lane(1)
+        CtrlInstr::Who {
+            rs: r(1),
+            switch: (1 << 8) | 1,
+        },
         CtrlInstr::Halt,
     ];
     let code: Vec<u32> = program.iter().map(CtrlInstr::encode).collect();
@@ -654,10 +764,21 @@ fn controller_hpop_addresses_ports() {
         .set_capture(0, 1, 1, HostCapture::lane(1))
         .unwrap();
     let program = [
-        CtrlInstr::Hpop { rd: r(2), switch: (1 << 8) | 1 },
-        CtrlInstr::Bne { ra: r(2), rb: r(0), offset: 1 },
+        CtrlInstr::Hpop {
+            rd: r(2),
+            switch: (1 << 8) | 1,
+        },
+        CtrlInstr::Bne {
+            ra: r(2),
+            rb: r(0),
+            offset: 1,
+        },
         CtrlInstr::J { target: 0 },
-        CtrlInstr::Sw { rs: r(2), ra: r(0), imm: 0 },
+        CtrlInstr::Sw {
+            rs: r(2),
+            ra: r(0),
+            imm: 0,
+        },
         CtrlInstr::Halt,
     ];
     let code: Vec<u32> = program.iter().map(CtrlInstr::encode).collect();

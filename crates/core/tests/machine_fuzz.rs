@@ -2,90 +2,90 @@
 //! controller programs must never panic the simulator — faults surface as
 //! clean `SimError`s only.
 
-use proptest::prelude::*;
 use systolic_ring_core::{MachineParams, RingMachine};
+use systolic_ring_harness::for_random_cases;
+use systolic_ring_harness::testkit::TestRng;
 use systolic_ring_isa::ctrl::{CReg, CtrlInstr};
 use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
 use systolic_ring_isa::switch::{HostCapture, PortSource};
 use systolic_ring_isa::{RingGeometry, Word16};
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        Just(Operand::Reg(Reg::R0)),
-        Just(Operand::Reg(Reg::R3)),
-        Just(Operand::In1),
-        Just(Operand::In2),
-        Just(Operand::Fifo1),
-        Just(Operand::Fifo2),
-        Just(Operand::Bus),
-        Just(Operand::Imm),
-        Just(Operand::Zero),
-        Just(Operand::One),
-    ]
+fn any_operand(rng: &mut TestRng) -> Operand {
+    *rng.choose(&[
+        Operand::Reg(Reg::R0),
+        Operand::Reg(Reg::R3),
+        Operand::In1,
+        Operand::In2,
+        Operand::Fifo1,
+        Operand::Fifo2,
+        Operand::Bus,
+        Operand::Imm,
+        Operand::Zero,
+        Operand::One,
+    ])
 }
 
-fn arb_alu() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Nop),
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Mac),
-        Just(AluOp::AbsDiff),
-        Just(AluOp::Shl),
-        Just(AluOp::Asr),
-        Just(AluOp::Min),
-        Just(AluOp::SltU),
-    ]
+fn any_alu(rng: &mut TestRng) -> AluOp {
+    *rng.choose(&[
+        AluOp::Nop,
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Mac,
+        AluOp::AbsDiff,
+        AluOp::Shl,
+        AluOp::Asr,
+        AluOp::Min,
+        AluOp::SltU,
+    ])
 }
 
-fn arb_micro() -> impl Strategy<Value = MicroInstr> {
-    (
-        arb_alu(),
-        arb_operand(),
-        arb_operand(),
-        proptest::option::of(Just(Reg::R1)),
-        any::<bool>(),
-        any::<bool>(),
-        any::<i16>(),
-    )
-        .prop_map(|(alu, a, b, wr, out, bus, imm)| MicroInstr {
-            alu,
-            src_a: a,
-            src_b: b,
-            wr_reg: wr,
-            wr_out: out,
-            wr_bus: bus,
-            imm: Word16::from_i16(imm),
-        })
+fn any_micro(rng: &mut TestRng) -> MicroInstr {
+    MicroInstr {
+        alu: any_alu(rng),
+        src_a: any_operand(rng),
+        src_b: any_operand(rng),
+        wr_reg: if rng.next_bool() { Some(Reg::R1) } else { None },
+        wr_out: rng.next_bool(),
+        wr_bus: rng.next_bool(),
+        imm: Word16::from_i16(rng.any_i16()),
+    }
 }
 
 /// A random but in-range port source for a Ring-8 with default params.
-fn arb_source() -> impl Strategy<Value = PortSource> {
-    prop_oneof![
-        Just(PortSource::Zero),
-        Just(PortSource::Bus),
-        (0u8..2).prop_map(|lane| PortSource::PrevOut { lane }),
-        (0u8..4).prop_map(|port| PortSource::HostIn { port }),
-        (0u8..4, 0u8..8, 0u8..2)
-            .prop_map(|(switch, stage, lane)| PortSource::Pipe { switch, stage, lane }),
-    ]
+fn any_source(rng: &mut TestRng) -> PortSource {
+    match rng.index(5) {
+        0 => PortSource::Zero,
+        1 => PortSource::Bus,
+        2 => PortSource::PrevOut {
+            lane: rng.index(2) as u8,
+        },
+        3 => PortSource::HostIn {
+            port: rng.index(4) as u8,
+        },
+        _ => PortSource::Pipe {
+            switch: rng.index(4) as u8,
+            stage: rng.index(8) as u8,
+            lane: rng.index(2) as u8,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random valid fabric configurations with random streams run clean.
+#[test]
+fn random_fabrics_never_panic() {
+    for_random_cases!(64, 0xfab, |rng| {
+        let instrs: Vec<MicroInstr> = (0..8).map(|_| any_micro(rng)).collect();
+        let sources: Vec<PortSource> = (0..16).map(|_| any_source(rng)).collect();
+        let modes: Vec<bool> = (0..8).map(|_| rng.next_bool()).collect();
+        let word_count = rng.index(32);
+        let words = rng.vec_i16(word_count, i16::MIN as i64..i16::MAX as i64 + 1);
 
-    /// Random valid fabric configurations with random streams run clean.
-    #[test]
-    fn random_fabrics_never_panic(
-        instrs in proptest::collection::vec(arb_micro(), 8),
-        sources in proptest::collection::vec(arb_source(), 16),
-        modes in proptest::collection::vec(any::<bool>(), 8),
-        words in proptest::collection::vec(any::<i16>(), 0..32),
-    ) {
         let mut m = RingMachine::new(RingGeometry::RING_8, MachineParams::PAPER);
         for (d, instr) in instrs.iter().enumerate() {
-            m.configure().set_dnode_instr(0, d, *instr).expect("in range");
+            m.configure()
+                .set_dnode_instr(0, d, *instr)
+                .expect("in range");
             if modes[d] {
                 m.set_local_program(d, &[*instr]).expect("program");
                 m.set_mode(d, DnodeMode::Local);
@@ -95,38 +95,71 @@ proptest! {
             let switch = i % 4;
             let lane = (i / 4) % 2;
             let port = i % 4;
-            m.configure().set_port(0, switch, lane, port, *src).expect("validated");
+            m.configure()
+                .set_port(0, switch, lane, port, *src)
+                .expect("validated");
         }
-        m.configure().set_capture(0, 1, 0, HostCapture::lane(1)).expect("capture");
+        m.configure()
+            .set_capture(0, 1, 0, HostCapture::lane(1))
+            .expect("capture");
         m.open_sink(1, 0).expect("sink");
-        m.attach_input(0, 0, words.iter().map(|&v| Word16::from_i16(v))).expect("stream");
-        m.run(64).expect("no faults possible without a controller program");
-        prop_assert_eq!(m.stats().cycles, 64);
-    }
+        m.attach_input(0, 0, words.iter().map(|&v| Word16::from_i16(v)))
+            .expect("stream");
+        m.run(64)
+            .expect("no faults possible without a controller program");
+        assert_eq!(m.stats().cycles, 64);
+    });
+}
 
-    /// Random controller programs over valid instruction words either halt,
-    /// keep running, or fault with a clean machine check — never panic.
-    #[test]
-    fn random_controller_programs_never_panic(
-        raw in proptest::collection::vec((0u8..42, any::<u8>(), any::<u8>(), any::<u16>()), 1..24),
-    ) {
+/// Random controller programs over valid instruction words either halt,
+/// keep running, or fault with a clean machine check — never panic.
+#[test]
+fn random_controller_programs_never_panic() {
+    for_random_cases!(64, 0xc0de, |rng| {
         // Build semi-structured instructions: random but decodable words.
+        let len = rng.index(23) + 1;
         let mut code = Vec::new();
-        for (op, r1, r2, imm) in raw {
+        for _ in 0..len {
+            let op = rng.index(42) as u8;
+            let r1 = rng.next_u64() as u8;
+            let r2 = rng.next_u64() as u8;
+            let imm = rng.any_u16();
             let rd = CReg::new(r1 % 16).expect("reg");
             let ra = CReg::new(r2 % 16).expect("reg");
             let instr = match op % 14 {
-                0 => CtrlInstr::Addi { rd, ra, imm: imm as i16 },
+                0 => CtrlInstr::Addi {
+                    rd,
+                    ra,
+                    imm: imm as i16,
+                },
                 1 => CtrlInstr::Add { rd, ra, rb: rd },
                 2 => CtrlInstr::Lui { rd, imm },
-                3 => CtrlInstr::Lw { rd, ra, imm: (imm % 128) as i16 },
-                4 => CtrlInstr::Sw { rs: rd, ra, imm: (imm % 128) as i16 },
-                5 => CtrlInstr::Beq { ra, rb: rd, offset: (imm % 8) as i16 - 4 },
+                3 => CtrlInstr::Lw {
+                    rd,
+                    ra,
+                    imm: (imm % 128) as i16,
+                },
+                4 => CtrlInstr::Sw {
+                    rs: rd,
+                    ra,
+                    imm: (imm % 128) as i16,
+                },
+                5 => CtrlInstr::Beq {
+                    ra,
+                    rb: rd,
+                    offset: (imm % 8) as i16 - 4,
+                },
                 6 => CtrlInstr::J { target: imm % 32 },
                 7 => CtrlInstr::Cimm { imm },
                 8 => CtrlInstr::Wctx { ctx: imm % 8 },
-                9 => CtrlInstr::Wdn { rs: rd, dnode: imm % 8 },
-                10 => CtrlInstr::Wsw { rs: rd, port: imm % 32 },
+                9 => CtrlInstr::Wdn {
+                    rs: rd,
+                    dnode: imm % 8,
+                },
+                10 => CtrlInstr::Wsw {
+                    rs: rd,
+                    port: imm % 32,
+                },
                 11 => CtrlInstr::Ctx { ctx: imm % 8 },
                 12 => CtrlInstr::Busw { rs: rd },
                 _ => CtrlInstr::Wait { cycles: imm % 16 },
@@ -139,5 +172,5 @@ proptest! {
         // Run; faults (bad config words from register garbage) are fine,
         // panics are not.
         let _ = m.run(256);
-    }
+    });
 }

@@ -2,20 +2,21 @@
 //! behaves as a shift register of layer snapshots, and the bounded FIFO
 //! behaves as a queue with drop-on-full semantics.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use systolic_ring_core::switch::{FeedbackPipeline, PushOutcome, WordFifo};
+use systolic_ring_harness::for_random_cases;
 use systolic_ring_isa::Word16;
 
-proptest! {
-    /// After any push sequence, stage `q` holds the vector pushed `q`
-    /// pushes ago (zero-filled beyond history).
-    #[test]
-    fn pipeline_is_a_shift_register(
-        depth in 1usize..12,
-        width in 1usize..6,
-        pushes in proptest::collection::vec(any::<i16>(), 0..40),
-    ) {
+/// After any push sequence, stage `q` holds the vector pushed `q` pushes
+/// ago (zero-filled beyond history).
+#[test]
+fn pipeline_is_a_shift_register() {
+    for_random_cases!(256, 0x51f7, |rng| {
+        let depth = rng.index(11) + 1;
+        let width = rng.index(5) + 1;
+        let push_count = rng.index(40);
+        let pushes = rng.vec_i16(push_count, i16::MIN as i64..i16::MAX as i64 + 1);
+
         let mut pipe = FeedbackPipeline::new(depth, width);
         let mut history: Vec<Vec<Word16>> = Vec::new();
         for (i, &seed) in pushes.iter().enumerate() {
@@ -32,18 +33,23 @@ proptest! {
                 } else {
                     Word16::ZERO
                 };
-                prop_assert_eq!(pipe.read(q, lane), expect, "stage {} lane {}", q, lane);
+                assert_eq!(pipe.read(q, lane), expect, "stage {q} lane {lane}");
             }
         }
-    }
+    });
+}
 
-    /// The bounded FIFO agrees with a reference deque that ignores pushes
-    /// past capacity.
-    #[test]
-    fn fifo_matches_a_reference_queue(
-        capacity in 1usize..8,
-        ops in proptest::collection::vec(proptest::option::of(any::<i16>()), 0..64),
-    ) {
+/// The bounded FIFO agrees with a reference deque that ignores pushes past
+/// capacity.
+#[test]
+fn fifo_matches_a_reference_queue() {
+    for_random_cases!(256, 0xf1f0, |rng| {
+        let capacity = rng.index(7) + 1;
+        let op_count = rng.index(64);
+        let ops: Vec<Option<i16>> = (0..op_count)
+            .map(|_| rng.next_bool().then(|| rng.any_i16()))
+            .collect();
+
         let mut fifo = WordFifo::new(capacity);
         let mut model: VecDeque<Word16> = VecDeque::new();
         for op in ops {
@@ -52,20 +58,20 @@ proptest! {
                     let word = Word16::from_i16(v);
                     let outcome = fifo.push(word);
                     if model.len() < capacity {
-                        prop_assert_eq!(outcome, PushOutcome::Stored);
+                        assert_eq!(outcome, PushOutcome::Stored);
                         model.push_back(word);
                     } else {
-                        prop_assert_eq!(outcome, PushOutcome::Dropped);
+                        assert_eq!(outcome, PushOutcome::Dropped);
                     }
                 }
                 None => {
-                    prop_assert_eq!(fifo.pop(), model.pop_front());
+                    assert_eq!(fifo.pop(), model.pop_front());
                 }
             }
-            prop_assert_eq!(fifo.len(), model.len());
-            prop_assert_eq!(fifo.peek(), model.front().copied());
-            prop_assert_eq!(fifo.is_empty(), model.is_empty());
-            prop_assert_eq!(fifo.is_full(), model.len() >= capacity);
+            assert_eq!(fifo.len(), model.len());
+            assert_eq!(fifo.peek(), model.front().copied());
+            assert_eq!(fifo.is_empty(), model.is_empty());
+            assert_eq!(fifo.is_full(), model.len() >= capacity);
         }
-    }
+    });
 }

@@ -1,0 +1,235 @@
+//! Coverage for the tracer's VCD emission and the statistics counters:
+//! header structure, value-change ordering, global- vs local-mode
+//! accounting, and `Stats::merge`.
+
+use systolic_ring_core::trace::{Signal, Tracer};
+use systolic_ring_core::{DnodeStats, RingMachine, Stats};
+use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+use systolic_ring_isa::RingGeometry;
+
+fn counting_machine() -> RingMachine {
+    let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+    m.configure()
+        .set_dnode_instr(
+            0,
+            0,
+            MicroInstr::op(AluOp::Add, Operand::Reg(Reg::R0), Operand::One)
+                .write_reg(Reg::R0)
+                .write_out(),
+        )
+        .expect("config");
+    m
+}
+
+#[test]
+fn vcd_header_precedes_enddefinitions_and_all_vars() {
+    let mut m = counting_machine();
+    let mut tracer = Tracer::new([Signal::DnodeOut { dnode: 0 }, Signal::Bus, Signal::CtrlPc]);
+    tracer.run(&mut m, 3).expect("run");
+    let vcd = tracer.to_vcd();
+
+    let position = |needle: &str| {
+        vcd.find(needle)
+            .unwrap_or_else(|| panic!("missing {needle}"))
+    };
+    let end_defs = position("$enddefinitions $end");
+    for header in [
+        "$date",
+        "$version",
+        "$timescale",
+        "$scope module ring",
+        "$upscope",
+    ] {
+        assert!(
+            position(header) < end_defs,
+            "{header} after $enddefinitions"
+        );
+    }
+    // Every declared signal appears as a $var before $enddefinitions.
+    for name in ["d0_out", "bus", "ctrl_pc"] {
+        let var_line = vcd
+            .lines()
+            .find(|l| l.starts_with("$var") && l.contains(name))
+            .unwrap_or_else(|| panic!("no $var for {name}"));
+        assert!(position(var_line) < end_defs);
+    }
+    // No value change is emitted before the definitions close.
+    let first_change = position("#0");
+    assert!(first_change > end_defs);
+}
+
+#[test]
+fn vcd_value_changes_are_time_ordered_and_grouped() {
+    let mut m = counting_machine();
+    let mut tracer = Tracer::new([Signal::DnodeReg {
+        dnode: 0,
+        reg: Reg::R0,
+    }]);
+    tracer.run(&mut m, 5).expect("run");
+    let vcd = tracer.to_vcd();
+
+    let body = vcd.split("$enddefinitions $end").nth(1).expect("body");
+    let mut timestamps: Vec<u64> = Vec::new();
+    let mut changes_after_last_timestamp = 0usize;
+    for line in body.lines() {
+        if let Some(t) = line.strip_prefix('#') {
+            // A timestamp is only emitted when at least one change follows
+            // the previous one.
+            if !timestamps.is_empty() {
+                assert!(changes_after_last_timestamp > 0, "empty timestamp block");
+            }
+            timestamps.push(t.parse().expect("numeric timestamp"));
+            changes_after_last_timestamp = 0;
+        } else if line.starts_with('b') {
+            assert!(!timestamps.is_empty(), "value change before any timestamp");
+            changes_after_last_timestamp += 1;
+        }
+    }
+    assert!(changes_after_last_timestamp > 0);
+    // Strictly increasing cycle stamps: R0 counts 0,1,2,.. so it changes
+    // at every sample.
+    assert_eq!(timestamps, vec![0, 1, 2, 3, 4, 5]);
+    // The 16-bit register emits 16-bit binary vectors.
+    let first_change = body.lines().find(|l| l.starts_with('b')).expect("change");
+    let bits = first_change[1..].split(' ').next().expect("bits");
+    assert_eq!(bits.len(), 16);
+}
+
+#[test]
+fn global_mode_accounting_counts_ops_not_local_cycles() {
+    let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+    // Dnode 0 MACs every cycle from the global context: one ALU op and one
+    // multiplier op per cycle, zero local cycles.
+    m.configure()
+        .set_dnode_instr(
+            0,
+            0,
+            MicroInstr::op(AluOp::Mac, Operand::One, Operand::One).write_reg(Reg::R0),
+        )
+        .expect("config");
+    m.run(25).expect("run");
+    let stats = m.stats();
+    assert_eq!(stats.cycles, 25);
+    assert_eq!(stats.dnodes[0].active_cycles, 25);
+    assert_eq!(stats.dnodes[0].alu_ops, 25);
+    assert_eq!(stats.dnodes[0].mult_ops, 25);
+    assert_eq!(stats.dnodes[0].local_cycles, 0);
+    // The other seven Dnodes executed NOPs only.
+    for d in 1..8 {
+        assert_eq!(stats.dnodes[d], DnodeStats::default(), "dnode {d}");
+    }
+    assert_eq!(stats.total_ops(), 50);
+    assert_eq!(stats.idle_dnodes(), 7);
+}
+
+#[test]
+fn local_mode_accounting_counts_local_cycles() {
+    let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+    let add = MicroInstr::op(AluOp::Add, Operand::Reg(Reg::R0), Operand::One).write_reg(Reg::R0);
+    m.set_local_program(0, &[add]).expect("program");
+    m.set_mode(0, DnodeMode::Local);
+    m.run(30).expect("run");
+    let stats = m.stats();
+    assert_eq!(stats.dnodes[0].local_cycles, 30);
+    assert_eq!(stats.dnodes[0].active_cycles, 30);
+    assert_eq!(stats.dnodes[0].alu_ops, 30);
+    // Plain ADD engages no multiplier.
+    assert_eq!(stats.dnodes[0].mult_ops, 0);
+    // Global-mode neighbours accumulate no local cycles.
+    assert_eq!(stats.dnodes[1].local_cycles, 0);
+}
+
+#[test]
+fn merge_adds_every_counter() {
+    let mut a = Stats::new(2);
+    a.cycles = 10;
+    a.ctrl_instrs = 3;
+    a.ctrl_stall_cycles = 1;
+    a.config_writes = 4;
+    a.ctx_switches = 2;
+    a.host_words_in = 7;
+    a.host_words_out = 6;
+    a.link_stall_cycles = 5;
+    a.fifo_underflows = 1;
+    a.fifo_overflows = 2;
+    a.bus_conflicts = 3;
+    a.dnodes[0] = DnodeStats {
+        active_cycles: 8,
+        alu_ops: 8,
+        mult_ops: 4,
+        local_cycles: 2,
+    };
+
+    let mut b = Stats::new(2);
+    b.cycles = 5;
+    b.ctrl_instrs = 1;
+    b.host_words_in = 3;
+    b.dnodes[1] = DnodeStats {
+        active_cycles: 5,
+        alu_ops: 5,
+        mult_ops: 0,
+        local_cycles: 5,
+    };
+
+    a.merge(&b);
+    assert_eq!(a.cycles, 15);
+    assert_eq!(a.ctrl_instrs, 4);
+    assert_eq!(a.ctrl_stall_cycles, 1);
+    assert_eq!(a.config_writes, 4);
+    assert_eq!(a.ctx_switches, 2);
+    assert_eq!(a.host_words_in, 10);
+    assert_eq!(a.host_words_out, 6);
+    assert_eq!(a.link_stall_cycles, 5);
+    assert_eq!(a.fifo_underflows, 1);
+    assert_eq!(a.fifo_overflows, 2);
+    assert_eq!(a.bus_conflicts, 3);
+    assert_eq!(a.dnodes[0].active_cycles, 8);
+    assert_eq!(a.dnodes[1].active_cycles, 5);
+    assert_eq!(a.dnodes[1].local_cycles, 5);
+    // alu_ops + mult_ops over both Dnodes: (8 + 4) + (5 + 0).
+    assert_eq!(a.total_ops(), 17);
+}
+
+#[test]
+fn merge_grows_to_the_larger_geometry() {
+    let mut small = Stats::new(2);
+    small.cycles = 4;
+    small.dnodes[1].alu_ops = 4;
+
+    let mut big = Stats::new(5);
+    big.cycles = 6;
+    big.dnodes[4].alu_ops = 6;
+
+    small.merge(&big);
+    assert_eq!(small.dnodes.len(), 5);
+    assert_eq!(small.cycles, 10);
+    assert_eq!(small.dnodes[1].alu_ops, 4);
+    assert_eq!(small.dnodes[4].alu_ops, 6);
+
+    // Merging a smaller record into a bigger one leaves the extra Dnodes
+    // untouched.
+    let mut tiny = Stats::new(1);
+    tiny.dnodes[0].mult_ops = 9;
+    big.merge(&tiny);
+    assert_eq!(big.dnodes.len(), 5);
+    assert_eq!(big.dnodes[0].mult_ops, 9);
+    assert_eq!(big.dnodes[4].alu_ops, 6);
+}
+
+#[test]
+fn merge_into_empty_is_identity() {
+    let mut machine = RingMachine::with_defaults(RingGeometry::RING_8);
+    machine
+        .configure()
+        .set_dnode_instr(
+            0,
+            0,
+            MicroInstr::op(AluOp::Mac, Operand::One, Operand::One).write_reg(Reg::R0),
+        )
+        .expect("config");
+    machine.run(12).expect("run");
+
+    let mut merged = Stats::new(0);
+    merged.merge(machine.stats());
+    assert_eq!(&merged, machine.stats());
+}

@@ -1,0 +1,69 @@
+//! Batch-execution engine and zero-dependency test kit for the Systolic
+//! Ring simulator.
+//!
+//! The reproduction's evaluation sweeps many independent simulator runs —
+//! kernel instances across geometries, randomized configuration fuzzing,
+//! scaling tables. Every one of those runs is embarrassingly parallel:
+//! a [`RingMachine`](systolic_ring_core::RingMachine) is plain owned data,
+//! so independent machines can step on independent OS threads with no
+//! shared state at all. This crate turns that observation into
+//! infrastructure:
+//!
+//! * [`job`] — a [`Job`](job::Job) describes one simulator run (geometry,
+//!   sizing parameters, an assembled object or a raw configuration
+//!   closure, input streams, cycle budget) or wraps an arbitrary
+//!   self-contained workload closure,
+//! * [`runner`] — a [`BatchRunner`](runner::BatchRunner) shards jobs
+//!   across `std::thread::available_parallelism()` workers with
+//!   work-stealing, captures panics and faults per job (a diverging or
+//!   panicking job yields a fault report, never poisons the batch) and
+//!   aggregates per-job [`Stats`](systolic_ring_core::Stats) into a
+//!   batch-level summary,
+//! * [`testkit`] — a deterministic SplitMix64 PRNG and the
+//!   [`for_random_cases!`] helper, replacing external `rand`/`proptest`
+//!   dependencies so the whole workspace builds and tests offline,
+//! * [`microbench`] — a tiny `std::time::Instant` wall-clock benchmark
+//!   timer, replacing `criterion` for the same reason.
+//!
+//! Everything here is `std`-only: no external crates, no unsafe code.
+//!
+//! # Examples
+//!
+//! Sweep a local-mode MAC program across a batch of machines:
+//!
+//! ```
+//! use systolic_ring_harness::job::{CycleBudget, Job};
+//! use systolic_ring_harness::runner::BatchRunner;
+//! use systolic_ring_core::MachineParams;
+//! use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+//! use systolic_ring_isa::RingGeometry;
+//!
+//! let jobs: Vec<Job> = (0..8)
+//!     .map(|i| {
+//!         Job::from_config(
+//!             format!("mac-{i}"),
+//!             RingGeometry::RING_8,
+//!             MachineParams::PAPER,
+//!             move |m| {
+//!                 let mac = MicroInstr::op(AluOp::Mac, Operand::One, Operand::One)
+//!                     .write_reg(Reg::R0);
+//!                 m.set_local_program(0, &[mac])?;
+//!                 m.set_mode(0, DnodeMode::Local);
+//!                 Ok(())
+//!             },
+//!             CycleBudget::Cycles(64 + i),
+//!         )
+//!     })
+//!     .collect();
+//! let report = BatchRunner::new().run(&jobs);
+//! assert_eq!(report.summary().completed, 8);
+//! ```
+
+pub mod job;
+pub mod microbench;
+pub mod runner;
+pub mod testkit;
+
+pub use job::{CycleBudget, Job, JobFault, JobOutcome, JobOutput, JobReport};
+pub use runner::{BatchReport, BatchRunner, BatchSummary};
+pub use testkit::TestRng;

@@ -1,0 +1,163 @@
+//! A minimal wall-clock micro-benchmark timer.
+//!
+//! The seed repository timed its workloads with `criterion`, which cannot
+//! be fetched in the offline build environment. The benches only need
+//! honest medians over a handful of iterations of millisecond-scale
+//! simulator runs, so this module provides exactly that on
+//! `std::time::Instant`: warmup, N timed iterations, min/median/mean
+//! reporting, and a `black_box` re-export to keep the optimizer honest.
+//!
+//! # Examples
+//!
+//! ```
+//! use systolic_ring_harness::microbench::Group;
+//!
+//! let mut group = Group::new("example");
+//! group.bench("sum_1k", || (0..1000u64).sum::<u64>());
+//! let report = group.finish();
+//! assert!(report.contains("sum_1k"));
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing figures for one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+}
+
+/// Times `f` over `iters` iterations after `warmup` untimed ones.
+pub fn measure<T>(warmup: u32, iters: u32, mut f: impl FnMut() -> T) -> Measurement {
+    let iters = iters.max(1);
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let started = Instant::now();
+            black_box(f());
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    Measurement {
+        iters,
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        mean: total / iters,
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks with aligned text output.
+#[derive(Clone, Debug)]
+pub struct Group {
+    name: String,
+    warmup: u32,
+    iters: u32,
+    lines: Vec<String>,
+}
+
+impl Group {
+    /// A group with the default 2 warmup + 10 timed iterations.
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            warmup: 2,
+            iters: 10,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-benchmark iteration counts.
+    pub fn with_iters(mut self, warmup: u32, iters: u32) -> Self {
+        self.warmup = warmup;
+        self.iters = iters.max(1);
+        self
+    }
+
+    /// Times `f` and records a result line.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) -> Measurement {
+        let m = measure(self.warmup, self.iters, f);
+        self.lines.push(format!(
+            "  {:<36} min {:>10}   median {:>10}   mean {:>10}   ({} iters)",
+            name,
+            fmt_duration(m.min),
+            fmt_duration(m.median),
+            fmt_duration(m.mean),
+            m.iters
+        ));
+        m
+    }
+
+    /// Renders the group report.
+    pub fn finish(self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.name);
+        for line in &self.lines {
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Renders and prints the group report.
+    pub fn finish_print(self) {
+        print!("{}", self.finish());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_ordered_figures() {
+        let m = measure(1, 5, || std::thread::sleep(Duration::from_micros(50)));
+        assert_eq!(m.iters, 5);
+        assert!(m.min >= Duration::from_micros(50));
+        assert!(m.min <= m.median);
+    }
+
+    #[test]
+    fn group_renders_all_lines() {
+        let mut group = Group::new("g").with_iters(0, 3);
+        group.bench("a", || 1 + 1);
+        group.bench("b", || 2 + 2);
+        let text = group.finish();
+        assert!(text.starts_with("g\n"));
+        assert!(text.contains("  a"));
+        assert!(text.contains("  b"));
+        assert!(text.contains("median"));
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(500)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(20)).ends_with(" s"));
+    }
+}

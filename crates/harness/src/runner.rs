@@ -1,0 +1,388 @@
+//! The work-stealing batch runner and its aggregate reports.
+//!
+//! [`BatchRunner`] executes a slice of [`Job`]s on `N` scoped OS threads.
+//! Scheduling is a single shared atomic cursor: each worker claims the
+//! next unclaimed job index, so fast workers steal the tail of the batch
+//! from slow ones and no static partition can go unbalanced. Results land
+//! in per-job slots, so the report order always matches submission order
+//! regardless of which worker ran what.
+//!
+//! Fault isolation: a job that returns a simulator fault, exceeds its
+//! budget, or outright panics produces a [`JobOutcome::Fault`] in its own
+//! report slot; the remaining jobs are unaffected.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use systolic_ring_core::Stats;
+
+use crate::job::{Job, JobFault, JobOutcome, JobReport, JobWork};
+
+/// Runs batches of jobs across worker threads.
+#[derive(Clone, Debug)]
+pub struct BatchRunner {
+    workers: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// A runner sized to `std::thread::available_parallelism()`.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        BatchRunner { workers }
+    }
+
+    /// A runner with an explicit worker count (`0` is clamped to 1).
+    pub fn with_workers(workers: usize) -> Self {
+        BatchRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The worker-thread count this runner uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job and returns the batch report (submission order).
+    pub fn run(&self, jobs: &[Job]) -> BatchReport {
+        let started = Instant::now();
+        let mut slots: Vec<Option<JobReport>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        let slots = Mutex::new(slots);
+        let cursor = AtomicUsize::new(0);
+        let workers = self.workers.min(jobs.len()).max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else {
+                        break;
+                    };
+                    let report = execute(index, job);
+                    slots
+                        .lock()
+                        .expect("report lock")
+                        .get_mut(index)
+                        .expect("slot")
+                        .replace(report);
+                });
+            }
+        });
+
+        let reports = slots
+            .into_inner()
+            .expect("report lock")
+            .into_iter()
+            .map(|slot| slot.expect("every job executed"))
+            .collect();
+        BatchReport {
+            reports,
+            wall: started.elapsed(),
+            workers,
+        }
+    }
+
+    /// Runs every job on the calling thread (the serial baseline the
+    /// speedup figures and determinism tests compare against).
+    pub fn run_serial(jobs: &[Job]) -> BatchReport {
+        let started = Instant::now();
+        let reports = jobs
+            .iter()
+            .enumerate()
+            .map(|(index, job)| execute(index, job))
+            .collect();
+        BatchReport {
+            reports,
+            wall: started.elapsed(),
+            workers: 1,
+        }
+    }
+}
+
+/// Executes one job, translating panics into faults.
+fn execute(index: usize, job: &Job) -> JobReport {
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| match &job.work {
+        JobWork::Machine(machine) => crate::job::run_machine(machine, job.wall_limit),
+        JobWork::Custom(work) => {
+            let job_started = Instant::now();
+            let out = work().map_err(JobFault::Workload)?;
+            if let Some(limit) = job.wall_limit {
+                if job_started.elapsed() >= limit {
+                    return Err(JobFault::WallLimit { limit });
+                }
+            }
+            Ok(out)
+        }
+    }));
+    let outcome = match result {
+        Ok(Ok(output)) => JobOutcome::Completed(output),
+        Ok(Err(fault)) => JobOutcome::Fault(fault),
+        Err(panic) => JobOutcome::Fault(JobFault::Panic(panic_message(&panic))),
+    };
+    JobReport {
+        index,
+        name: job.name.clone(),
+        wall: started.elapsed(),
+        outcome,
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// The result of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job reports in submission order.
+    pub reports: Vec<JobReport>,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// `true` when both batches produced identical per-job outcomes
+    /// (outputs, cycle counts and statistics; wall times are ignored).
+    pub fn outcomes_match(&self, other: &BatchReport) -> bool {
+        self.reports.len() == other.reports.len()
+            && self
+                .reports
+                .iter()
+                .zip(&other.reports)
+                .all(|(a, b)| a.name == b.name && a.outcome == b.outcome)
+    }
+
+    /// Aggregates the batch into summary figures.
+    pub fn summary(&self) -> BatchSummary {
+        let mut merged = Stats::new(0);
+        let mut completed = 0usize;
+        let mut faulted = 0usize;
+        let mut total_cycles = 0u64;
+        let mut serial_wall = Duration::ZERO;
+        let mut histogram = [0usize; 10];
+        for report in &self.reports {
+            serial_wall += report.wall;
+            match &report.outcome {
+                JobOutcome::Completed(out) => {
+                    completed += 1;
+                    total_cycles += out.cycles;
+                    merged.merge(&out.stats);
+                    let bucket = ((out.stats.utilization() * 10.0) as usize).min(9);
+                    histogram[bucket] += 1;
+                }
+                JobOutcome::Fault(_) => faulted += 1,
+            }
+        }
+        let secs = self.wall.as_secs_f64();
+        BatchSummary {
+            jobs: self.reports.len(),
+            completed,
+            faulted,
+            workers: self.workers,
+            total_cycles,
+            total_ops: merged.total_ops(),
+            wall: self.wall,
+            serial_wall,
+            speedup: if secs > 0.0 {
+                serial_wall.as_secs_f64() / secs
+            } else {
+                1.0
+            },
+            sim_mips: if secs > 0.0 {
+                merged.total_ops() as f64 / secs / 1.0e6
+            } else {
+                0.0
+            },
+            cycles_per_sec: if secs > 0.0 {
+                total_cycles as f64 / secs
+            } else {
+                0.0
+            },
+            utilization_histogram: histogram,
+            merged,
+        }
+    }
+}
+
+/// Batch-level aggregate figures.
+#[derive(Clone, Debug)]
+pub struct BatchSummary {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs that faulted (including panics).
+    pub faulted: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Simulated cycles across completed jobs.
+    pub total_cycles: u64,
+    /// ALU + multiplier operations across completed jobs.
+    pub total_ops: u64,
+    /// Merged statistics across completed jobs.
+    pub merged: Stats,
+    /// Batch wall-clock time.
+    pub wall: Duration,
+    /// Sum of per-job wall times (the work a single thread would do).
+    pub serial_wall: Duration,
+    /// `serial_wall / wall` — observed parallel speedup.
+    pub speedup: f64,
+    /// Simulated operations per wall-clock second, in millions.
+    pub sim_mips: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Completed-job count per 10%-wide fabric-utilization bucket.
+    pub utilization_histogram: [usize; 10],
+}
+
+impl BatchSummary {
+    /// Renders the summary as an aligned text block.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "batch: {} jobs ({} completed, {} faulted) on {} workers",
+            self.jobs, self.completed, self.faulted, self.workers
+        );
+        let _ = writeln!(
+            out,
+            "  wall {:>10.3} ms   serial {:>10.3} ms   speedup {:>5.2}x",
+            self.wall.as_secs_f64() * 1e3,
+            self.serial_wall.as_secs_f64() * 1e3,
+            self.speedup
+        );
+        let _ = writeln!(
+            out,
+            "  {:>12} simulated cycles   {:>12} ops   {:>8.2} sim-MIPS   {:>10.0} cycles/s",
+            self.total_cycles, self.total_ops, self.sim_mips, self.cycles_per_sec
+        );
+        let _ = write!(out, "  utilization ");
+        for (i, count) in self.utilization_histogram.iter().enumerate() {
+            let _ = write!(out, "[{}0-{}0%:{}] ", i, i + 1, count);
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{CycleBudget, JobOutput};
+    use systolic_ring_core::MachineParams;
+    use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+    use systolic_ring_isa::RingGeometry;
+
+    fn mac_job(name: &str, cycles: u64) -> Job {
+        Job::from_config(
+            name.to_owned(),
+            RingGeometry::RING_8,
+            MachineParams::PAPER,
+            |m| {
+                let mac = MicroInstr::op(AluOp::Mac, Operand::One, Operand::One).write_reg(Reg::R0);
+                for d in 0..m.geometry().dnodes() {
+                    m.set_local_program(d, &[mac])?;
+                    m.set_mode(d, DnodeMode::Local);
+                }
+                Ok(())
+            },
+            CycleBudget::Cycles(cycles),
+        )
+    }
+
+    #[test]
+    fn batch_matches_serial_bit_for_bit() {
+        let jobs: Vec<Job> = (0..12).map(|i| mac_job(&format!("j{i}"), 50 + i)).collect();
+        let parallel = BatchRunner::with_workers(4).run(&jobs);
+        let serial = BatchRunner::run_serial(&jobs);
+        assert!(parallel.outcomes_match(&serial));
+        assert_eq!(parallel.summary().completed, 12);
+    }
+
+    #[test]
+    fn report_order_matches_submission_order() {
+        let jobs: Vec<Job> = (0..9).map(|i| mac_job(&format!("j{i}"), 10)).collect();
+        let report = BatchRunner::with_workers(3).run(&jobs);
+        for (i, r) in report.reports.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.name, format!("j{i}"));
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_the_batch() {
+        let mut jobs = vec![mac_job("ok-0", 20)];
+        jobs.push(Job::custom("bomb", || panic!("deliberate test panic")));
+        jobs.push(mac_job("ok-1", 20));
+        let report = BatchRunner::with_workers(2).run(&jobs);
+        let summary = report.summary();
+        assert_eq!(summary.completed, 2);
+        assert_eq!(summary.faulted, 1);
+        match &report.reports[1].outcome {
+            JobOutcome::Fault(JobFault::Panic(msg)) => {
+                assert!(msg.contains("deliberate test panic"))
+            }
+            other => panic!("expected panic fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_jobs_flow_through() {
+        let job = Job::custom("fixed", || {
+            Ok(JobOutput {
+                outputs: vec![vec![1, 2, 3]],
+                cycles: 7,
+                stats: Stats::new(1),
+            })
+        });
+        let report = BatchRunner::with_workers(1).run(&[job]);
+        let out = report.reports[0].outcome.output().expect("completed");
+        assert_eq!(out.outputs[0], vec![1, 2, 3]);
+        assert_eq!(report.summary().total_cycles, 7);
+    }
+
+    #[test]
+    fn summary_merges_stats_and_renders() {
+        let jobs: Vec<Job> = (0..4).map(|i| mac_job(&format!("j{i}"), 100)).collect();
+        let report = BatchRunner::with_workers(2).run(&jobs);
+        let summary = report.summary();
+        assert_eq!(summary.total_cycles, 400);
+        // 8 Dnodes all MACing every cycle in every job.
+        assert_eq!(summary.merged.cycles, 400);
+        assert_eq!(summary.total_ops, 4 * 100 * 8 * 2);
+        assert_eq!(summary.utilization_histogram[9], 4);
+        let text = summary.render();
+        assert!(text.contains("4 jobs"));
+        assert!(text.contains("speedup"));
+    }
+
+    #[test]
+    fn zero_and_oversubscribed_worker_counts_are_clamped() {
+        assert_eq!(BatchRunner::with_workers(0).workers(), 1);
+        let jobs = vec![mac_job("only", 5)];
+        let report = BatchRunner::with_workers(64).run(&jobs);
+        assert_eq!(report.workers, 1); // clamped to job count
+        assert_eq!(report.summary().completed, 1);
+    }
+}

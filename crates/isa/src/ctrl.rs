@@ -236,7 +236,10 @@ const OP_WAIT: u8 = 40;
 const OP_HALT: u8 = 41;
 
 fn pack(op: u8, rd: u8, ra: u8, rb: u8, imm: u16) -> u32 {
-    debug_assert!(rb == 0 || imm == 0, "R and I payloads are mutually exclusive");
+    debug_assert!(
+        rb == 0 || imm == 0,
+        "R and I payloads are mutually exclusive"
+    );
     (op as u32) << 26 | (rd as u32) << 22 | (ra as u32) << 18 | (rb as u32) | imm as u32
 }
 
@@ -315,22 +318,25 @@ impl CtrlInstr {
         if gap_bits != 0 {
             return Err(DecodeCtrlError::StrayBits(word));
         }
-        let require =
-            |used_rd: bool, used_ra: bool, used_rb: bool, used_imm: bool| -> Result<(), DecodeCtrlError> {
-                debug_assert!(!(used_rb && used_imm));
-                let low_ok = if used_imm {
-                    true
-                } else if used_rb {
-                    imm >> 4 == 0
-                } else {
-                    imm == 0
-                };
-                if (!used_rd && rd_bits != 0) || (!used_ra && ra_bits != 0) || !low_ok {
-                    Err(DecodeCtrlError::StrayBits(word))
-                } else {
-                    Ok(())
-                }
+        let require = |used_rd: bool,
+                       used_ra: bool,
+                       used_rb: bool,
+                       used_imm: bool|
+         -> Result<(), DecodeCtrlError> {
+            debug_assert!(!(used_rb && used_imm));
+            let low_ok = if used_imm {
+                true
+            } else if used_rb {
+                imm >> 4 == 0
+            } else {
+                imm == 0
             };
+            if (!used_rd && rd_bits != 0) || (!used_ra && ra_bits != 0) || !low_ok {
+                Err(DecodeCtrlError::StrayBits(word))
+            } else {
+                Ok(())
+            }
+        };
 
         let instr = match op {
             OP_NOP => {
@@ -384,7 +390,11 @@ impl CtrlInstr {
             }
             OP_SW => {
                 require(true, true, false, true)?;
-                Sw { rs: rd, ra, imm: simm }
+                Sw {
+                    rs: rd,
+                    ra,
+                    imm: simm,
+                }
             }
             OP_BEQ | OP_BNE | OP_BLT | OP_BGE => {
                 require(true, true, false, true)?;
@@ -426,7 +436,10 @@ impl CtrlInstr {
             }
             OP_WHO => {
                 require(true, false, false, true)?;
-                Who { rs: rd, switch: imm }
+                Who {
+                    rs: rd,
+                    switch: imm,
+                }
             }
             OP_WMODE => {
                 require(true, false, false, true)?;
@@ -434,7 +447,10 @@ impl CtrlInstr {
             }
             OP_WLOC => {
                 require(true, false, false, true)?;
-                Wloc { rs: rd, packed: imm }
+                Wloc {
+                    rs: rd,
+                    packed: imm,
+                }
             }
             OP_WLIM => {
                 require(true, false, false, true)?;
@@ -454,7 +470,10 @@ impl CtrlInstr {
             }
             OP_HPUSH => {
                 require(true, false, false, true)?;
-                Hpush { rs: rd, switch: imm }
+                Hpush {
+                    rs: rd,
+                    switch: imm,
+                }
             }
             OP_HPOP => {
                 require(true, false, false, true)?;
@@ -540,45 +559,157 @@ mod tests {
         use CtrlInstr::*;
         vec![
             Nop,
-            Add { rd: r(1), ra: r(2), rb: r(3) },
-            Sub { rd: r(15), ra: r(0), rb: r(7) },
-            And { rd: r(4), ra: r(5), rb: r(6) },
-            Or { rd: r(4), ra: r(5), rb: r(6) },
-            Xor { rd: r(4), ra: r(5), rb: r(6) },
-            Sll { rd: r(1), ra: r(1), rb: r(2) },
-            Srl { rd: r(1), ra: r(1), rb: r(2) },
-            Sra { rd: r(1), ra: r(1), rb: r(2) },
-            Slt { rd: r(9), ra: r(10), rb: r(11) },
-            Sltu { rd: r(9), ra: r(10), rb: r(11) },
-            Mul { rd: r(12), ra: r(13), rb: r(14) },
-            Addi { rd: r(1), ra: r(0), imm: -32768 },
-            Andi { rd: r(2), ra: r(2), imm: 0xffff },
-            Ori { rd: r(2), ra: r(2), imm: 0x00ff },
-            Xori { rd: r(2), ra: r(2), imm: 0x0f0f },
-            Slti { rd: r(3), ra: r(4), imm: -1 },
-            Lui { rd: r(5), imm: 0xdead },
-            Lw { rd: r(6), ra: r(7), imm: -4 },
-            Sw { rs: r(6), ra: r(7), imm: 12 },
-            Beq { ra: r(1), rb: r(2), offset: -10 },
-            Bne { ra: r(1), rb: r(2), offset: 10 },
-            Blt { ra: r(1), rb: r(2), offset: 0 },
-            Bge { ra: r(1), rb: r(2), offset: 5 },
+            Add {
+                rd: r(1),
+                ra: r(2),
+                rb: r(3),
+            },
+            Sub {
+                rd: r(15),
+                ra: r(0),
+                rb: r(7),
+            },
+            And {
+                rd: r(4),
+                ra: r(5),
+                rb: r(6),
+            },
+            Or {
+                rd: r(4),
+                ra: r(5),
+                rb: r(6),
+            },
+            Xor {
+                rd: r(4),
+                ra: r(5),
+                rb: r(6),
+            },
+            Sll {
+                rd: r(1),
+                ra: r(1),
+                rb: r(2),
+            },
+            Srl {
+                rd: r(1),
+                ra: r(1),
+                rb: r(2),
+            },
+            Sra {
+                rd: r(1),
+                ra: r(1),
+                rb: r(2),
+            },
+            Slt {
+                rd: r(9),
+                ra: r(10),
+                rb: r(11),
+            },
+            Sltu {
+                rd: r(9),
+                ra: r(10),
+                rb: r(11),
+            },
+            Mul {
+                rd: r(12),
+                ra: r(13),
+                rb: r(14),
+            },
+            Addi {
+                rd: r(1),
+                ra: r(0),
+                imm: -32768,
+            },
+            Andi {
+                rd: r(2),
+                ra: r(2),
+                imm: 0xffff,
+            },
+            Ori {
+                rd: r(2),
+                ra: r(2),
+                imm: 0x00ff,
+            },
+            Xori {
+                rd: r(2),
+                ra: r(2),
+                imm: 0x0f0f,
+            },
+            Slti {
+                rd: r(3),
+                ra: r(4),
+                imm: -1,
+            },
+            Lui {
+                rd: r(5),
+                imm: 0xdead,
+            },
+            Lw {
+                rd: r(6),
+                ra: r(7),
+                imm: -4,
+            },
+            Sw {
+                rs: r(6),
+                ra: r(7),
+                imm: 12,
+            },
+            Beq {
+                ra: r(1),
+                rb: r(2),
+                offset: -10,
+            },
+            Bne {
+                ra: r(1),
+                rb: r(2),
+                offset: 10,
+            },
+            Blt {
+                ra: r(1),
+                rb: r(2),
+                offset: 0,
+            },
+            Bge {
+                ra: r(1),
+                rb: r(2),
+                offset: 5,
+            },
             J { target: 1000 },
             Jal { target: 2000 },
             Jr { ra: r(15) },
             Cimm { imm: 0xbeef },
             Wctx { ctx: 3 },
-            Wdn { rs: r(8), dnode: 255 },
-            Wsw { rs: r(8), port: 1023 },
-            Who { rs: r(8), switch: 7 },
-            Wmode { rs: r(8), dnode: 63 },
-            Wloc { rs: r(8), packed: 517 },
+            Wdn {
+                rs: r(8),
+                dnode: 255,
+            },
+            Wsw {
+                rs: r(8),
+                port: 1023,
+            },
+            Who {
+                rs: r(8),
+                switch: 7,
+            },
+            Wmode {
+                rs: r(8),
+                dnode: 63,
+            },
+            Wloc {
+                rs: r(8),
+                packed: 517,
+            },
             Wlim { rs: r(8), dnode: 2 },
             Ctx { ctx: 255 },
             Busw { rs: r(9) },
             Busr { rd: r(10) },
-            Hpush { rs: r(11), switch: 1 },
-            Hpop { rd: r(12), switch: 2 },
+            Hpush {
+                rs: r(11),
+                switch: 1,
+            },
+            Hpop {
+                rd: r(12),
+                switch: 2,
+            },
             Wait { cycles: 500 },
             Halt,
         ]
@@ -644,12 +775,21 @@ mod tests {
     #[test]
     fn display_round_trip_examples() {
         assert_eq!(
-            CtrlInstr::Lw { rd: r(6), ra: r(7), imm: -4 }.to_string(),
+            CtrlInstr::Lw {
+                rd: r(6),
+                ra: r(7),
+                imm: -4
+            }
+            .to_string(),
             "lw r6, -4(r7)"
         );
         assert_eq!(CtrlInstr::Halt.to_string(), "halt");
         assert_eq!(
-            CtrlInstr::Lui { rd: r(5), imm: 0xdead }.to_string(),
+            CtrlInstr::Lui {
+                rd: r(5),
+                imm: 0xdead
+            }
+            .to_string(),
             "lui r5, 0xdead"
         );
     }

@@ -615,20 +615,14 @@ mod tests {
 
     #[test]
     fn decode_rejects_reserved_opcode() {
-        assert_eq!(
-            MicroInstr::decode(31),
-            Err(DecodeMicroError::Opcode(31))
-        );
+        assert_eq!(MicroInstr::decode(31), Err(DecodeMicroError::Opcode(31)));
     }
 
     #[test]
     fn decode_rejects_reserved_operand() {
         // opcode 0 with src_a = 15 (reserved).
         let word = 15u64 << 5;
-        assert_eq!(
-            MicroInstr::decode(word),
-            Err(DecodeMicroError::Operand(15))
-        );
+        assert_eq!(MicroInstr::decode(word), Err(DecodeMicroError::Operand(15)));
     }
 
     #[test]

@@ -49,11 +49,20 @@ impl std::error::Error for InvalidGeometry {}
 
 impl RingGeometry {
     /// The prototyped Ring-8: 4 layers of 2 Dnodes.
-    pub const RING_8: RingGeometry = RingGeometry { layers: 4, width: 2 };
+    pub const RING_8: RingGeometry = RingGeometry {
+        layers: 4,
+        width: 2,
+    };
     /// The evaluation Ring-16: 4 layers of 4 Dnodes.
-    pub const RING_16: RingGeometry = RingGeometry { layers: 4, width: 4 };
+    pub const RING_16: RingGeometry = RingGeometry {
+        layers: 4,
+        width: 4,
+    };
     /// The projected SoC Ring-64: 8 layers of 8 Dnodes.
-    pub const RING_64: RingGeometry = RingGeometry { layers: 8, width: 8 };
+    pub const RING_64: RingGeometry = RingGeometry {
+        layers: 8,
+        width: 8,
+    };
 
     /// Creates a geometry with the given number of layers and per-layer width.
     ///

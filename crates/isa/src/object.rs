@@ -221,7 +221,12 @@ impl Object {
                     out.push(input);
                     out.extend_from_slice(&word.to_le_bytes());
                 }
-                Preload::HostCapture { ctx, switch, port, word } => {
+                Preload::HostCapture {
+                    ctx,
+                    switch,
+                    port,
+                    word,
+                } => {
                     out.push(TAG_HOST_CAPTURE);
                     out.extend_from_slice(&ctx.to_le_bytes());
                     out.extend_from_slice(&switch.to_le_bytes());
@@ -363,7 +368,10 @@ mod tests {
                     port: 1,
                     word: 1,
                 },
-                Preload::Mode { dnode: 7, local: true },
+                Preload::Mode {
+                    dnode: 7,
+                    local: true,
+                },
                 Preload::LocalSlot {
                     dnode: 7,
                     slot: 2,
@@ -411,19 +419,28 @@ mod tests {
     fn rejects_trailing_bytes() {
         let mut bytes = sample().to_bytes();
         bytes.push(0);
-        assert_eq!(Object::from_bytes(&bytes), Err(ObjectError::TrailingBytes(1)));
+        assert_eq!(
+            Object::from_bytes(&bytes),
+            Err(ObjectError::TrailingBytes(1))
+        );
     }
 
     #[test]
     fn rejects_bad_record_tag() {
         let mut obj = Object::new();
-        obj.preload.push(Preload::Mode { dnode: 0, local: false });
+        obj.preload.push(Preload::Mode {
+            dnode: 0,
+            local: false,
+        });
         let mut bytes = obj.to_bytes();
         // The record tag is the first byte after the 28-byte header.
         let tag_pos = 8 + 8 + 12;
         assert_eq!(bytes[tag_pos], TAG_MODE);
         bytes[tag_pos] = 99;
-        assert_eq!(Object::from_bytes(&bytes), Err(ObjectError::BadRecordTag(99)));
+        assert_eq!(
+            Object::from_bytes(&bytes),
+            Err(ObjectError::BadRecordTag(99))
+        );
     }
 
     #[test]
@@ -434,7 +451,10 @@ mod tests {
         bytes[10..12].copy_from_slice(&4u16.to_le_bytes());
         assert_eq!(
             Object::from_bytes(&bytes),
-            Err(ObjectError::BadGeometry { layers: 1, width: 4 })
+            Err(ObjectError::BadGeometry {
+                layers: 1,
+                width: 4
+            })
         );
     }
 }

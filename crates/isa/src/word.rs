@@ -321,10 +321,7 @@ mod tests {
 
     #[test]
     fn wrapping_add_wraps_at_modulus() {
-        assert_eq!(
-            Word16::new(0xffff).wrapping_add(Word16::ONE),
-            Word16::ZERO
-        );
+        assert_eq!(Word16::new(0xffff).wrapping_add(Word16::ONE), Word16::ZERO);
         assert_eq!(
             Word16::SIGNED_MAX.wrapping_add(Word16::ONE),
             Word16::SIGNED_MIN
@@ -384,7 +381,10 @@ mod tests {
         let b = Word16::from_i16(200);
         assert_eq!(a.widening_mul(b), -60000);
         assert_eq!(a.mul_lo(b).bits(), (-60000i32 as u32 & 0xffff) as u16);
-        assert_eq!(a.mul_hi(b).bits(), ((-60000i32 >> 16) as u32 & 0xffff) as u16);
+        assert_eq!(
+            a.mul_hi(b).bits(),
+            ((-60000i32 >> 16) as u32 & 0xffff) as u16
+        );
         // Unsigned high half differs from signed high half for negative inputs.
         assert_eq!(
             Word16::new(0xffff).mul_hi_unsigned(Word16::new(2)),

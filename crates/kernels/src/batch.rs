@@ -1,0 +1,499 @@
+//! Batch-engine adapters and the differential oracle.
+//!
+//! Every kernel in this crate gets a *job adapter* that wraps its driver
+//! into a [`Job`] the harness [`BatchRunner`] can schedule on any worker
+//! thread. Each adapter is paired with the kernel's bit-exact golden
+//! software model from [`golden`], forming an [`OracleCase`]: the
+//! differential oracle runs the whole suite through the batch engine and
+//! demands that every hardware output equal its golden reference exactly.
+//!
+//! [`oracle_suite`] generates a randomized sweep (geometries, stream
+//! contents, kernel parameters) from a deterministic
+//! [`TestRng`] seed, so any failure replays from the
+//! printed seed, and [`kernel_sweep`] reuses the same generators to
+//! produce arbitrarily large mixed batches for scaling experiments.
+
+use systolic_ring_core::Stats;
+use systolic_ring_harness::job::{Job, JobOutput};
+use systolic_ring_harness::runner::{BatchRunner, BatchSummary};
+use systolic_ring_harness::testkit::TestRng;
+use systolic_ring_isa::RingGeometry;
+
+use crate::golden::{self, Complex16};
+use crate::image::Image;
+use crate::motion::BlockMatch;
+use crate::{conv, fft, fifo, fir, iir, mac, matvec, motion, wavelet, KernelRun};
+
+/// One differential-oracle case: a schedulable job plus the exact outputs
+/// its golden model predicts.
+#[derive(Debug)]
+pub struct OracleCase {
+    /// Display name (kernel + parameters).
+    pub name: String,
+    /// The job to run.
+    pub job: Job,
+    /// Expected job outputs, lane by lane.
+    pub expected: Vec<Vec<i16>>,
+}
+
+fn from_kernel_run(run: KernelRun) -> JobOutput {
+    JobOutput {
+        outputs: vec![run.outputs],
+        cycles: run.cycles,
+        stats: run.stats,
+    }
+}
+
+/// Splits an unsigned 32-bit figure into two output words (low, high).
+fn encode_u32(value: u32) -> Vec<i16> {
+    vec![value as u16 as i16, (value >> 16) as u16 as i16]
+}
+
+/// MAC dot product vs [`golden::dot_product`].
+pub fn dot_product_case(geometry: RingGeometry, a: Vec<i16>, b: Vec<i16>) -> OracleCase {
+    let expected = vec![vec![golden::dot_product(&a, &b)]];
+    let name = format!("mac/dot{}x{}", a.len(), geometry.dnodes());
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            mac::dot_product(geometry, &a, &b)
+                .map(from_kernel_run)
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// Spatial (systolic) FIR vs [`golden::fir`].
+pub fn fir_spatial_case(geometry: RingGeometry, coeffs: Vec<i16>, input: Vec<i16>) -> OracleCase {
+    let expected = vec![golden::fir(&coeffs, &input)];
+    let name = format!("fir/spatial-{}tap-{}", coeffs.len(), input.len());
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            fir::spatial(geometry, &coeffs, &input)
+                .map(from_kernel_run)
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// Folded local-mode FIR vs [`golden::fir`].
+pub fn fir_local_case(geometry: RingGeometry, coeffs: Vec<i16>, input: Vec<i16>) -> OracleCase {
+    let expected = vec![golden::fir(&coeffs, &input)];
+    let name = format!("fir/local-{}tap-{}", coeffs.len(), input.len());
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            fir::local_serial(geometry, &coeffs, &input)
+                .map(from_kernel_run)
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// First-order IIR on the feedback network vs
+/// [`golden::iir_first_order`].
+pub fn iir_first_order_case(
+    geometry: RingGeometry,
+    a: i16,
+    shift: u16,
+    input: Vec<i16>,
+) -> OracleCase {
+    let expected = vec![golden::iir_first_order(a, shift, &input)];
+    let name = format!("iir/first-a{a}-{}", input.len());
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            iir::first_order(geometry, a, shift, &input)
+                .map(from_kernel_run)
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// Biquad IIR vs [`golden::iir_biquad`].
+pub fn iir_biquad_case(
+    geometry: RingGeometry,
+    b: [i16; 3],
+    a: [i16; 2],
+    shift: u16,
+    input: Vec<i16>,
+) -> OracleCase {
+    let expected = vec![golden::iir_biquad(&b, &a, shift, &input)];
+    let name = format!("iir/biquad-{}", input.len());
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            iir::biquad(geometry, &b, &a, shift, &input)
+                .map(from_kernel_run)
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// FIFO emulation vs the shifted input stream.
+pub fn fifo_case(geometry: RingGeometry, depth: usize, input: Vec<i16>) -> OracleCase {
+    let mut expected_lane = vec![0i16; depth.min(input.len())];
+    if input.len() > depth {
+        expected_lane.extend_from_slice(&input[..input.len() - depth]);
+    }
+    let expected = vec![expected_lane];
+    let name = format!("fifo/depth{depth}-{}", input.len());
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            fifo::emulate(geometry, depth, &input)
+                .map(from_kernel_run)
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// Batched matrix-vector product vs [`golden::matvec`].
+pub fn matvec_case(
+    geometry: RingGeometry,
+    a: Vec<i16>,
+    rows: usize,
+    cols: usize,
+    x: Vec<i16>,
+) -> OracleCase {
+    let expected = vec![golden::matvec(&a, rows, cols, &x)];
+    let name = format!("matvec/{rows}x{cols}");
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            matvec::multiply(geometry, &a, rows, cols, &x)
+                .map(from_kernel_run)
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// 1-D 5/3 lifting wavelet vs [`golden::lifting53_forward`].
+pub fn wavelet_case(geometry: RingGeometry, signal: Vec<i16>) -> OracleCase {
+    let (approx, detail) = golden::lifting53_forward(&signal);
+    let expected = vec![approx.into_iter().chain(detail).collect()];
+    let name = format!("wavelet/1d-{}", signal.len());
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            wavelet::forward_1d(geometry, &signal)
+                .map(|run| JobOutput {
+                    outputs: vec![run.coefficients],
+                    cycles: run.cycles,
+                    stats: run.stats,
+                })
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// Separable 3x3 convolution vs [`golden::conv3x3_separable`].
+pub fn conv_case(geometry: RingGeometry, kh: [i16; 3], kv: [i16; 3], image: Image) -> OracleCase {
+    let expected = vec![golden::conv3x3_separable(
+        &kh,
+        &kv,
+        image.width(),
+        image.height(),
+        image.data(),
+    )];
+    let name = format!("conv/3x3-{}x{}", image.width(), image.height());
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            conv::conv3x3(geometry, &kh, &kv, &image)
+                .map(|run| JobOutput {
+                    outputs: vec![run.output],
+                    cycles: run.cycles,
+                    stats: Stats::new(0),
+                })
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// Full-search block matching vs [`golden::full_search`].
+///
+/// Outputs two lanes: `[dx, dy]` and the winning SAD as `[low, high]`
+/// 16-bit halves.
+pub fn motion_case(
+    geometry: RingGeometry,
+    reference: Image,
+    current: Image,
+    spec: BlockMatch,
+) -> OracleCase {
+    let block = current.block(spec.x0, spec.y0, spec.block, spec.block);
+    let (dx, dy, sad) = golden::full_search(
+        reference.data(),
+        reference.width(),
+        reference.height(),
+        &block,
+        spec.block,
+        spec.block,
+        spec.x0 as isize,
+        spec.y0 as isize,
+        spec.range,
+    );
+    let expected = vec![vec![dx as i16, dy as i16], encode_u32(sad as u32)];
+    let name = format!("motion/b{}r{}", spec.block, spec.range);
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            motion::block_match(geometry, &reference, &current, spec)
+                .map(|estimate| JobOutput {
+                    outputs: vec![
+                        vec![estimate.best.0 as i16, estimate.best.1 as i16],
+                        encode_u32(estimate.best_sad),
+                    ],
+                    cycles: estimate.cycles,
+                    stats: estimate.stats,
+                })
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// Streamed radix-2 FFT vs [`fft::golden_fft`], spectra flattened to
+/// interleaved `re, im` words.
+pub fn fft_case(geometry: RingGeometry, signal: Vec<Complex16>, shift: u16) -> OracleCase {
+    let flatten = |spectrum: &[Complex16]| -> Vec<i16> {
+        spectrum.iter().flat_map(|&(re, im)| [re, im]).collect()
+    };
+    let expected = vec![flatten(&fft::golden_fft(&signal, shift))];
+    let name = format!("fft/{}", signal.len());
+    OracleCase {
+        name: name.clone(),
+        job: Job::custom(name, move || {
+            fft::fft(geometry, &signal, shift)
+                .map(|run| JobOutput {
+                    outputs: vec![flatten(&run.output)],
+                    cycles: run.cycles,
+                    stats: Stats::new(0),
+                })
+                .map_err(|e| e.to_string())
+        }),
+        expected,
+    }
+}
+
+/// One randomized case per kernel family, drawn from `rng`.
+fn random_round(rng: &mut TestRng) -> Vec<OracleCase> {
+    let mut cases = Vec::new();
+
+    let n = rng.index(39) + 1;
+    cases.push(dot_product_case(
+        *rng.choose(&[RingGeometry::RING_8, RingGeometry::RING_16]),
+        rng.vec_i16(n, -300..300),
+        rng.vec_i16(n, -300..300),
+    ));
+
+    let taps = rng.index(3) + 1;
+    let stream_len = rng.index(48) + 8;
+    cases.push(fir_spatial_case(
+        RingGeometry::RING_16,
+        rng.vec_i16(taps, -20..20),
+        rng.vec_i16(stream_len, -100..100),
+    ));
+    // The local-mode serial driver is fixed at three taps.
+    let stream_len = rng.index(32) + 8;
+    cases.push(fir_local_case(
+        RingGeometry::RING_16,
+        rng.vec_i16(3, -20..20),
+        rng.vec_i16(stream_len, -100..100),
+    ));
+
+    let stream_len = rng.index(40) + 8;
+    cases.push(iir_first_order_case(
+        RingGeometry::RING_8,
+        rng.i16_in(-120..121),
+        8,
+        rng.vec_i16(stream_len, -100..100),
+    ));
+    let stream_len = rng.index(32) + 8;
+    cases.push(iir_biquad_case(
+        RingGeometry::RING_16,
+        [
+            rng.i16_in(-30..31),
+            rng.i16_in(-30..31),
+            rng.i16_in(-30..31),
+        ],
+        [rng.i16_in(-60..61), rng.i16_in(-60..61)],
+        8,
+        rng.vec_i16(stream_len, -80..80),
+    ));
+
+    let depth = rng.index(3) + 1;
+    let stream_len = rng.index(24) + 4;
+    cases.push(fifo_case(
+        RingGeometry::RING_8,
+        depth,
+        rng.vec_i16(stream_len, -1000..1000),
+    ));
+
+    let rows = rng.index(5) + 1;
+    let cols = rng.index(7) + 1;
+    cases.push(matvec_case(
+        RingGeometry::RING_16,
+        rng.vec_i16(rows * cols, -100..100),
+        rows,
+        cols,
+        rng.vec_i16(cols, -100..100),
+    ));
+
+    let wlen = 2 * (rng.index(28) + 2);
+    cases.push(wavelet_case(
+        RingGeometry::RING_16,
+        rng.vec_i16(wlen, -4000..4000),
+    ));
+
+    let (w, h) = (rng.index(8) + 6, rng.index(6) + 6);
+    cases.push(conv_case(
+        RingGeometry::RING_16,
+        [rng.i16_in(-3..4), rng.i16_in(-3..4), rng.i16_in(-3..4)],
+        [rng.i16_in(-3..4), rng.i16_in(-3..4), rng.i16_in(-3..4)],
+        Image::textured(w, h, rng.next_u64()),
+    ));
+
+    let (dx, dy) = (rng.range_i64(-3..4) as isize, rng.range_i64(-3..4) as isize);
+    let (reference, current) = Image::motion_pair(32, 32, dx, dy, rng.next_u64());
+    cases.push(motion_case(
+        RingGeometry::RING_16,
+        reference,
+        current,
+        BlockMatch {
+            x0: 12,
+            y0: 12,
+            block: 8,
+            range: 4,
+        },
+    ));
+
+    let bits = rng.index(3) + 3; // 8, 16 or 32 points
+    let len = 1usize << bits;
+    let signal: Vec<Complex16> = (0..len)
+        .map(|_| (rng.i16_in(-900..900), rng.i16_in(-900..900)))
+        .collect();
+    cases.push(fft_case(RingGeometry::RING_16, signal, 15));
+
+    cases
+}
+
+/// A randomized differential-oracle suite covering every kernel family.
+///
+/// `rounds` random parameterizations of each of the 11 adapters; all
+/// randomness derives from `seed`.
+pub fn oracle_suite(seed: u64, rounds: usize) -> Vec<OracleCase> {
+    let mut rng = TestRng::new(seed);
+    let mut cases = Vec::new();
+    for _ in 0..rounds {
+        cases.extend(random_round(&mut rng));
+    }
+    cases
+}
+
+/// A mixed batch of `n` kernel jobs for scaling experiments (the oracle
+/// expectations are dropped; only the work remains).
+pub fn kernel_sweep(seed: u64, n: usize) -> Vec<Job> {
+    let rounds = n.div_ceil(11).max(1);
+    oracle_suite(seed, rounds)
+        .into_iter()
+        .take(n)
+        .map(|case| case.job)
+        .collect()
+}
+
+/// The differential oracle's verdict over one suite run.
+#[derive(Clone, Debug)]
+pub struct OracleReport {
+    /// Cases executed.
+    pub cases: usize,
+    /// Case names whose hardware outputs differed from the golden model.
+    pub mismatches: Vec<String>,
+    /// Case names that faulted instead of completing.
+    pub faults: Vec<String>,
+    /// Batch-level execution summary.
+    pub summary: BatchSummary,
+}
+
+impl OracleReport {
+    /// `true` when every case completed and matched its golden model.
+    pub fn all_match(&self) -> bool {
+        self.mismatches.is_empty() && self.faults.is_empty()
+    }
+}
+
+/// Runs `suite` through `runner` and checks every output against its
+/// golden expectation.
+pub fn run_oracle(runner: &BatchRunner, suite: Vec<OracleCase>) -> OracleReport {
+    let mut jobs = Vec::with_capacity(suite.len());
+    let mut expectations = Vec::with_capacity(suite.len());
+    for case in suite {
+        jobs.push(case.job);
+        expectations.push((case.name, case.expected));
+    }
+    let report = runner.run(&jobs);
+    let mut mismatches = Vec::new();
+    let mut faults = Vec::new();
+    for (job_report, (name, expected)) in report.reports.iter().zip(&expectations) {
+        match job_report.outcome.output() {
+            Some(out) => {
+                if &out.outputs != expected {
+                    mismatches.push(format!(
+                        "{name}: hardware {:?} != golden {:?}",
+                        out.outputs, expected
+                    ));
+                }
+            }
+            None => faults.push(format!("{name}: {:?}", job_report.outcome)),
+        }
+    }
+    OracleReport {
+        cases: expectations.len(),
+        mismatches,
+        faults,
+        summary: report.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_every_kernel_family_deterministically() {
+        let a = oracle_suite(42, 1);
+        let b = oracle_suite(42, 1);
+        assert_eq!(a.len(), 11);
+        assert_eq!(
+            a.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            b.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+        for (ca, cb) in a.iter().zip(&b) {
+            assert_eq!(ca.expected, cb.expected, "{}", ca.name);
+        }
+    }
+
+    #[test]
+    fn single_case_differential_check() {
+        let case = dot_product_case(RingGeometry::RING_8, vec![1, 2, 3], vec![4, 5, 6]);
+        let report = run_oracle(&BatchRunner::with_workers(1), vec![case]);
+        assert!(report.all_match(), "{:?}", report.mismatches);
+        assert_eq!(report.cases, 1);
+    }
+
+    #[test]
+    fn sweep_produces_exactly_n_jobs() {
+        assert_eq!(kernel_sweep(1, 7).len(), 7);
+        assert_eq!(kernel_sweep(1, 23).len(), 23);
+    }
+}

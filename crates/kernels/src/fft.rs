@@ -211,7 +211,10 @@ fn stage_lists(
 /// butterfly arithmetic as [`fft`], entirely in software.
 pub fn golden_fft(signal: &[Complex16], shift: u16) -> Vec<Complex16> {
     let n = signal.len();
-    assert!(n.is_power_of_two() && n >= 2, "length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "length must be a power of two"
+    );
     let bits = n.trailing_zeros();
     let mut data: Vec<Complex16> = (0..n).map(|i| signal[bit_reverse(i, bits)]).collect();
     let mut m_size = 2;
@@ -263,7 +266,11 @@ pub fn fft(
         stages += 1;
         m_size *= 2;
     }
-    Ok(FftRun { output: data, cycles, stages })
+    Ok(FftRun {
+        output: data,
+        cycles,
+        stages,
+    })
 }
 
 #[cfg(test)]
@@ -274,7 +281,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let theta = 2.0 * std::f64::consts::PI * (freq * i) as f64 / n as f64;
-                ((amp as f64 * theta.cos()) as i16, (amp as f64 * theta.sin()) as i16)
+                (
+                    (amp as f64 * theta.cos()) as i16,
+                    (amp as f64 * theta.sin()) as i16,
+                )
             })
             .collect()
     }
@@ -284,8 +294,7 @@ mod tests {
         let a = [(100i16, -50i16), (7, 8), (-3, 4), (0, 0)];
         let b = [(30i16, 20i16), (-9, 1), (5, 5), (1, -1)];
         let w: Vec<Complex16> = (0..4).map(|j| twiddle(j, 8, 15)).collect();
-        let (x, y, _) =
-            butterfly_stage(RingGeometry::RING_16, &a, &b, &w, 15).unwrap();
+        let (x, y, _) = butterfly_stage(RingGeometry::RING_16, &a, &b, &w, 15).unwrap();
         for i in 0..4 {
             let (gx, gy) = butterfly(a[i], b[i], w[i], 15);
             assert_eq!(x[i], gx, "x[{i}]");
@@ -314,10 +323,18 @@ mod tests {
             .iter()
             .map(|&(re, im)| (re as i64).pow(2) + (im as i64).pow(2))
             .collect();
-        let peak = mag.iter().position(|&v| v == *mag.iter().max().unwrap()).unwrap();
+        let peak = mag
+            .iter()
+            .position(|&v| v == *mag.iter().max().unwrap())
+            .unwrap();
         assert_eq!(peak, 3, "magnitudes: {mag:?}");
         // The peak dominates the spectrum.
-        let rest: i64 = mag.iter().enumerate().filter(|&(i, _)| i != 3).map(|(_, &v)| v).sum();
+        let rest: i64 = mag
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 3)
+            .map(|(_, &v)| v)
+            .sum();
         assert!(mag[3] > rest, "peak {} vs rest {rest}", mag[3]);
     }
 

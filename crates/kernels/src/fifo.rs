@@ -34,7 +34,8 @@ pub fn emulate(
         )));
     }
     let mut m = RingMachine::new(geometry, MachineParams::PAPER);
-    m.configure().set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
+    m.configure()
+        .set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
 
     // Registers r0..r(depth-1) hold the queue, oldest in r(depth-1).
     let regs = [Reg::R0, Reg::R1, Reg::R2];

@@ -67,7 +67,11 @@ pub fn spatial(
             PortSource::HostIn { port: 0 }
         } else {
             // Route through the pipe to add the extra skew register.
-            PortSource::Pipe { switch: k as u8, stage: 0, lane: 0 }
+            PortSource::Pipe {
+                switch: k as u8,
+                stage: 0,
+                lane: 0,
+            }
         };
         // Lane 0: sample chain (skewed).
         cfg.set_port(0, k, 0, 0, x_src)?;
@@ -167,7 +171,8 @@ pub fn local_serial(
         )));
     }
     let mut m = RingMachine::new(geometry, MachineParams::PAPER);
-    m.configure().set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
+    m.configure()
+        .set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
     let imm = |c: i16| Word16::from_i16(c);
     let program = [
         MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_reg(Reg::R2),

@@ -95,7 +95,10 @@ pub fn sad(a: &[i16], b: &[i16]) -> i32 {
 ///
 /// Panics if `input.len()` is not even or is zero.
 pub fn lifting53_forward(input: &[i16]) -> (Vec<i16>, Vec<i16>) {
-    assert!(!input.is_empty() && input.len().is_multiple_of(2), "length must be even");
+    assert!(
+        !input.is_empty() && input.len().is_multiple_of(2),
+        "length must be even"
+    );
     let half = input.len() / 2;
     let x = |i: isize| -> i32 {
         // Symmetric (whole-sample) extension.
@@ -165,7 +168,10 @@ pub fn lifting53_inverse(approx: &[i16], detail: &[i16]) -> Vec<i16> {
 /// then per column).
 pub fn lifting53_forward_2d(width: usize, height: usize, data: &[i16]) -> Vec<i16> {
     assert_eq!(data.len(), width * height, "image size mismatch");
-    assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "dimensions must be even");
+    assert!(
+        width.is_multiple_of(2) && height.is_multiple_of(2),
+        "dimensions must be even"
+    );
     let mut rows = vec![0i16; width * height];
     for y in 0..height {
         let row = &data[y * width..(y + 1) * width];

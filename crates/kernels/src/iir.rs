@@ -58,11 +58,31 @@ pub fn first_order(
     // D_add at (0,0): local mode, period LOOP_CYCLES, samples x and the
     // returned feedback once per period.
     cfg.set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
-    cfg.set_port(0, 0, 0, 2, PortSource::Pipe { switch: 3, stage: 0, lane: 0 })?;
+    cfg.set_port(
+        0,
+        0,
+        0,
+        2,
+        PortSource::Pipe {
+            switch: 3,
+            stage: 0,
+            lane: 0,
+        },
+    )?;
 
     // D_mul at (1,0): a * y, y read from switch 1's pipeline (capture of
     // layer 0).
-    cfg.set_port(0, 1, 0, 2, PortSource::Pipe { switch: 1, stage: 0, lane: 0 })?;
+    cfg.set_port(
+        0,
+        1,
+        0,
+        2,
+        PortSource::Pipe {
+            switch: 1,
+            stage: 0,
+            lane: 0,
+        },
+    )?;
     cfg.set_dnode_instr(
         0,
         geometry.dnode_index(1, 0),
@@ -83,7 +103,10 @@ pub fn first_order(
 
     let add = MicroInstr::op(AluOp::Add, Operand::In1, Operand::Fifo1).write_out();
     let mut program = vec![add];
-    program.extend(std::iter::repeat_n(MicroInstr::NOP, LOOP_CYCLES as usize - 1));
+    program.extend(std::iter::repeat_n(
+        MicroInstr::NOP,
+        LOOP_CYCLES as usize - 1,
+    ));
     m.set_local_program(0, &program)?;
     m.set_mode(0, DnodeMode::Local);
 
@@ -147,7 +170,8 @@ pub fn biquad(
 
     // D_ff at (1,0): the folded FIR-3 (x stream on switch 1, port 0).
     let d_ff = geometry.dnode_index(1, 0);
-    m.configure().set_port(0, 1, 0, 0, PortSource::HostIn { port: 0 })?;
+    m.configure()
+        .set_port(0, 1, 0, 0, PortSource::HostIn { port: 0 })?;
     let ff_program = [
         MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_reg(Reg::R2),
         MicroInstr::op(AluOp::Mul, Operand::Reg(Reg::R2), Operand::Imm)
@@ -168,12 +192,15 @@ pub fn biquad(
 
     // D_acc at (2,0): y = ff + fb, once per period.
     let d_acc = geometry.dnode_index(2, 0);
-    m.configure().set_port(0, 2, 0, 0, PortSource::PrevOut { lane: 0 })?; // ff
-    m.configure().set_port(0, 2, 0, 1, PortSource::PrevOut { lane: 1 })?; // fb (D_shr)
-    let mut acc_program =
-        vec![MicroInstr::op(AluOp::Add, Operand::In1, Operand::In2).write_out()];
-    acc_program
-        .extend(std::iter::repeat_n(MicroInstr::NOP, BIQUAD_PERIOD as usize - 1));
+    m.configure()
+        .set_port(0, 2, 0, 0, PortSource::PrevOut { lane: 0 })?; // ff
+    m.configure()
+        .set_port(0, 2, 0, 1, PortSource::PrevOut { lane: 1 })?; // fb (D_shr)
+    let mut acc_program = vec![MicroInstr::op(AluOp::Add, Operand::In1, Operand::In2).write_out()];
+    acc_program.extend(std::iter::repeat_n(
+        MicroInstr::NOP,
+        BIQUAD_PERIOD as usize - 1,
+    ));
     m.set_local_program(d_acc, &acc_program)?;
     m.set_mode(d_acc, DnodeMode::Local);
 
@@ -182,7 +209,17 @@ pub fn biquad(
     let q1: u8 = 1;
     let q2: u8 = q1 + BIQUAD_PERIOD as u8;
     let d_fb1 = geometry.dnode_index(3, 0);
-    m.configure().set_port(0, 3, 0, 2, PortSource::Pipe { switch: 3, stage: q1, lane: 0 })?;
+    m.configure().set_port(
+        0,
+        3,
+        0,
+        2,
+        PortSource::Pipe {
+            switch: 3,
+            stage: q1,
+            lane: 0,
+        },
+    )?;
     m.configure().set_dnode_instr(
         0,
         d_fb1,
@@ -191,7 +228,17 @@ pub fn biquad(
             .write_out(),
     )?;
     let d_fb2 = geometry.dnode_index(3, 1);
-    m.configure().set_port(0, 3, 1, 2, PortSource::Pipe { switch: 3, stage: q2, lane: 0 })?;
+    m.configure().set_port(
+        0,
+        3,
+        1,
+        2,
+        PortSource::Pipe {
+            switch: 3,
+            stage: q2,
+            lane: 0,
+        },
+    )?;
     m.configure().set_dnode_instr(
         0,
         d_fb2,
@@ -201,8 +248,10 @@ pub fn biquad(
     )?;
     // D_sum at (0,0): a1*y1 + a2*y2.
     let d_sum = geometry.dnode_index(0, 0);
-    m.configure().set_port(0, 0, 0, 0, PortSource::PrevOut { lane: 0 })?;
-    m.configure().set_port(0, 0, 0, 1, PortSource::PrevOut { lane: 1 })?;
+    m.configure()
+        .set_port(0, 0, 0, 0, PortSource::PrevOut { lane: 0 })?;
+    m.configure()
+        .set_port(0, 0, 0, 1, PortSource::PrevOut { lane: 1 })?;
     m.configure().set_dnode_instr(
         0,
         d_sum,
@@ -210,7 +259,8 @@ pub fn biquad(
     )?;
     // D_shr at (1,1): >> shift.
     let d_shr = geometry.dnode_index(1, 1);
-    m.configure().set_port(0, 1, 1, 0, PortSource::PrevOut { lane: 0 })?;
+    m.configure()
+        .set_port(0, 1, 1, 0, PortSource::PrevOut { lane: 0 })?;
     m.configure().set_dnode_instr(
         0,
         d_shr,
@@ -302,7 +352,11 @@ mod tests {
         let expect = golden::iir_biquad(&b, &a, 7, &input);
         assert_eq!(run.outputs, expect);
         // It actually oscillates (sign changes in the tail).
-        let flips = run.outputs.windows(2).filter(|w| (w[0] as i32) * (w[1] as i32) < 0).count();
+        let flips = run
+            .outputs
+            .windows(2)
+            .filter(|w| (w[0] as i32) * (w[1] as i32) < 0)
+            .count();
         assert!(flips >= 2, "outputs: {:?}", run.outputs);
     }
 

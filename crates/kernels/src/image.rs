@@ -8,8 +8,7 @@
 //! plus noise for wavelet energy compaction, and frame pairs with known
 //! motion for block matching.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt as _, SeedableRng};
+use systolic_ring_harness::testkit::TestRng;
 
 /// A 16-bit grayscale image.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,7 +35,11 @@ impl Image {
     /// Panics if `data.len() != width * height`.
     pub fn from_data(width: usize, height: usize, data: Vec<i16>) -> Self {
         assert_eq!(data.len(), width * height, "pixel count mismatch");
-        Image { width, height, data }
+        Image {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -80,7 +83,10 @@ impl Image {
     ///
     /// Panics if the block leaves the image.
     pub fn block(&self, x0: usize, y0: usize, bw: usize, bh: usize) -> Vec<i16> {
-        assert!(x0 + bw <= self.width && y0 + bh <= self.height, "block out of range");
+        assert!(
+            x0 + bw <= self.width && y0 + bh <= self.height,
+            "block out of range"
+        );
         let mut out = Vec::with_capacity(bw * bh);
         for y in 0..bh {
             for x in 0..bw {
@@ -94,16 +100,20 @@ impl Image {
     /// noise, pixel values in `0..=255` (8-bit video samples carried in
     /// 16-bit words, as in the paper's workloads).
     pub fn textured(width: usize, height: usize, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = TestRng::new(seed);
         let mut data = Vec::with_capacity(width * height);
         for y in 0..height {
             for x in 0..width {
                 let grad = ((x * 151) / width.max(1) + (y * 83) / height.max(1)) as i16;
-                let noise: i16 = rng.random_range(-20..=20);
+                let noise: i16 = rng.i16_in(-20..21);
                 data.push((grad + noise).clamp(0, 255));
             }
         }
-        Image { width, height, data }
+        Image {
+            width,
+            height,
+            data,
+        }
     }
 
     /// A motion-estimation frame pair: `reference` is textured; `current`
@@ -118,13 +128,13 @@ impl Image {
         seed: u64,
     ) -> (Image, Image) {
         let reference = Image::textured(width, height, seed);
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+        let mut rng = TestRng::new(seed ^ 0x5eed);
         let mut current = Image::zeros(width, height);
         for y in 0..height {
             for x in 0..width {
                 let sx = (x as isize - dx).clamp(0, width as isize - 1) as usize;
                 let sy = (y as isize - dy).clamp(0, height as isize - 1) as usize;
-                let noise: i16 = rng.random_range(-2..=2);
+                let noise: i16 = rng.i16_in(-2..3);
                 current.set_pixel(x, y, (reference.pixel(sx, sy) + noise).clamp(0, 255));
             }
         }
@@ -135,9 +145,9 @@ impl Image {
 /// A deterministic test signal: a slow ramp with seeded perturbations,
 /// bounded to keep 16-bit kernels far from saturation.
 pub fn test_signal(len: usize, seed: u64) -> Vec<i16> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = TestRng::new(seed);
     (0..len)
-        .map(|i| ((i % 97) as i16 - 48) + rng.random_range(-10..=10))
+        .map(|i| ((i % 97) as i16 - 48) + rng.i16_in(-10..11))
         .collect()
 }
 
@@ -175,17 +185,8 @@ mod tests {
         let (reference, current) = Image::motion_pair(64, 64, 3, -2, 11);
         // A block in `current` matches the reference at the shifted spot.
         let block = current.block(20, 20, 8, 8);
-        let (dx, dy, best) = crate::golden::full_search(
-            reference.data(),
-            64,
-            64,
-            &block,
-            8,
-            8,
-            20,
-            20,
-            8,
-        );
+        let (dx, dy, best) =
+            crate::golden::full_search(reference.data(), 64, 64, &block, 8, 8, 20, 20, 8);
         assert_eq!((dx, dy), (-3, 2));
         // Only sensor noise remains.
         assert!(best < 8 * 8 * 5, "best = {best}");

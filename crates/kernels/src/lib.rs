@@ -21,6 +21,7 @@
 
 use systolic_ring_core::Stats;
 
+pub mod batch;
 pub mod conv;
 pub mod fft;
 pub mod fifo;

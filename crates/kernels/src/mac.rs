@@ -36,11 +36,7 @@ use crate::{KernelError, KernelRun};
 /// assert_eq!(run.outputs, vec![32]);
 /// # Ok::<(), systolic_ring_kernels::KernelError>(())
 /// ```
-pub fn dot_product(
-    geometry: RingGeometry,
-    a: &[i16],
-    b: &[i16],
-) -> Result<KernelRun, KernelError> {
+pub fn dot_product(geometry: RingGeometry, a: &[i16], b: &[i16]) -> Result<KernelRun, KernelError> {
     if a.len() != b.len() {
         return Err(KernelError::BadParams(format!(
             "vector lengths differ: {} vs {}",
@@ -49,8 +45,10 @@ pub fn dot_product(
         )));
     }
     let mut m = RingMachine::new(geometry, MachineParams::PAPER);
-    m.configure().set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
-    m.configure().set_port(0, 0, 0, 1, PortSource::HostIn { port: 1 })?;
+    m.configure()
+        .set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
+    m.configure()
+        .set_port(0, 0, 0, 1, PortSource::HostIn { port: 1 })?;
     let mac = MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0);
     m.set_local_program(0, &[mac])?;
     m.set_mode(0, DnodeMode::Local);
@@ -96,10 +94,24 @@ pub fn dot_product_parallel(
 
     // Context 0: every lane of layer 0 MACs its two host streams.
     for lane in 0..width {
-        m.configure()
-            .set_port(0, 0, lane, 0, PortSource::HostIn { port: (2 * lane) as u8 })?;
-        m.configure()
-            .set_port(0, 0, lane, 1, PortSource::HostIn { port: (2 * lane + 1) as u8 })?;
+        m.configure().set_port(
+            0,
+            0,
+            lane,
+            0,
+            PortSource::HostIn {
+                port: (2 * lane) as u8,
+            },
+        )?;
+        m.configure().set_port(
+            0,
+            0,
+            lane,
+            1,
+            PortSource::HostIn {
+                port: (2 * lane + 1) as u8,
+            },
+        )?;
         let d = geometry.dnode_index(0, lane);
         m.configure().set_dnode_instr(
             0,
@@ -146,7 +158,8 @@ pub fn dot_product_parallel(
     m.configure().select(1)?;
     let mut outputs = Vec::with_capacity(width);
     for lane in 0..width {
-        m.configure().set_capture(1, 1, 0, HostCapture::lane(lane as u8))?;
+        m.configure()
+            .set_capture(1, 1, 0, HostCapture::lane(lane as u8))?;
         // out is registered and the capture runs off the registered value:
         // give each lane three cycles to appear at the sink.
         m.run(3)?;

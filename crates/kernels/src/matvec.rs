@@ -82,8 +82,24 @@ pub fn multiply(
     for lane in 0..width {
         let d = geometry.dnode_index(0, lane);
         let cfg = m.configure();
-        cfg.set_port(ctx_compute, 0, lane, 0, PortSource::HostIn { port: (2 * lane) as u8 })?;
-        cfg.set_port(ctx_compute, 0, lane, 1, PortSource::HostIn { port: (2 * lane + 1) as u8 })?;
+        cfg.set_port(
+            ctx_compute,
+            0,
+            lane,
+            0,
+            PortSource::HostIn {
+                port: (2 * lane) as u8,
+            },
+        )?;
+        cfg.set_port(
+            ctx_compute,
+            0,
+            lane,
+            1,
+            PortSource::HostIn {
+                port: (2 * lane + 1) as u8,
+            },
+        )?;
         cfg.set_dnode_instr(
             ctx_compute,
             d,
@@ -113,7 +129,11 @@ pub fn multiply(
         for b in 0..batches {
             let r = b * width + lane;
             if r < rows {
-                row_stream.extend(a[r * cols..(r + 1) * cols].iter().map(|&v| Word16::from_i16(v)));
+                row_stream.extend(
+                    a[r * cols..(r + 1) * cols]
+                        .iter()
+                        .map(|&v| Word16::from_i16(v)),
+                );
             } else {
                 row_stream.extend(std::iter::repeat_n(Word16::ZERO, cols));
             }

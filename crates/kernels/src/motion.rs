@@ -54,11 +54,20 @@ pub struct BlockMatch {
 
 impl BlockMatch {
     /// The paper's Table 1 configuration: 8x8 block, ±8 displacement.
-    pub const PAPER: BlockMatch = BlockMatch { x0: 0, y0: 0, block: 8, range: 8 };
+    pub const PAPER: BlockMatch = BlockMatch {
+        x0: 0,
+        y0: 0,
+        block: 8,
+        range: 8,
+    };
 
     /// The paper configuration centred at (`x0`, `y0`).
     pub fn paper_at(x0: usize, y0: usize) -> Self {
-        BlockMatch { x0, y0, ..BlockMatch::PAPER }
+        BlockMatch {
+            x0,
+            y0,
+            ..BlockMatch::PAPER
+        }
     }
 }
 
@@ -184,19 +193,47 @@ pub fn block_match(
             let acc = geometry.dnode_index(2 * p + 1, l);
             let cfg = m.configure();
             // Compute context.
-            cfg.set_port(ctx_compute, 2 * p, l, 0, PortSource::HostIn { port: (2 * l) as u8 })?;
-            cfg.set_port(ctx_compute, 2 * p, l, 1, PortSource::HostIn { port: (2 * l + 1) as u8 })?;
+            cfg.set_port(
+                ctx_compute,
+                2 * p,
+                l,
+                0,
+                PortSource::HostIn {
+                    port: (2 * l) as u8,
+                },
+            )?;
+            cfg.set_port(
+                ctx_compute,
+                2 * p,
+                l,
+                1,
+                PortSource::HostIn {
+                    port: (2 * l + 1) as u8,
+                },
+            )?;
             cfg.set_dnode_instr(
                 ctx_compute,
                 absd,
                 MicroInstr::op(AluOp::AbsDiff, Operand::In1, Operand::In2).write_out(),
             )?;
-            cfg.set_port(ctx_compute, 2 * p + 1, l, 0, PortSource::PrevOut { lane: l as u8 })?;
+            cfg.set_port(
+                ctx_compute,
+                2 * p + 1,
+                l,
+                0,
+                PortSource::PrevOut { lane: l as u8 },
+            )?;
             let accumulate =
                 MicroInstr::op(AluOp::Add, Operand::Reg(Reg::R0), Operand::In1).write_reg(Reg::R0);
             cfg.set_dnode_instr(ctx_compute, acc, accumulate)?;
             // Finish context: one extra accumulate, no host reads.
-            cfg.set_port(ctx_finish, 2 * p + 1, l, 0, PortSource::PrevOut { lane: l as u8 })?;
+            cfg.set_port(
+                ctx_finish,
+                2 * p + 1,
+                l,
+                0,
+                PortSource::PrevOut { lane: l as u8 },
+            )?;
             cfg.set_dnode_instr(ctx_finish, acc, accumulate)?;
             // Drain context for this unit.
             cfg.set_dnode_instr(
@@ -325,7 +362,12 @@ mod tests {
     /// ±2 displacement on Ring-8 (4 SAD units).
     fn small_case() -> (Image, Image, BlockMatch) {
         let (reference, current) = Image::motion_pair(24, 24, 1, -1, 3);
-        let spec = BlockMatch { x0: 8, y0: 8, block: 4, range: 2 };
+        let spec = BlockMatch {
+            x0: 8,
+            y0: 8,
+            block: 4,
+            range: 2,
+        };
         (reference, current, spec)
     }
 
@@ -395,7 +437,12 @@ mod tests {
             block_match(odd, &reference, &current, spec),
             Err(KernelError::DoesNotFit(_))
         ));
-        let bad = BlockMatch { x0: 30, y0: 0, block: 4, range: 2 };
+        let bad = BlockMatch {
+            x0: 30,
+            y0: 0,
+            block: 4,
+            range: 2,
+        };
         assert!(matches!(
             block_match(RingGeometry::RING_8, &reference, &current, bad),
             Err(KernelError::BadParams(_))
@@ -415,7 +462,12 @@ mod tests {
     #[test]
     fn edge_blocks_skip_out_of_frame_candidates() {
         let (reference, current) = Image::motion_pair(16, 16, 0, 0, 9);
-        let spec = BlockMatch { x0: 0, y0: 0, block: 4, range: 3 };
+        let spec = BlockMatch {
+            x0: 0,
+            y0: 0,
+            block: 4,
+            range: 3,
+        };
         let est = block_match(RingGeometry::RING_8, &reference, &current, spec).unwrap();
         // Only non-negative displacements stay in frame.
         assert!(est.candidates.iter().all(|&(dx, dy, _)| dx >= 0 && dy >= 0));

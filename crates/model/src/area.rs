@@ -217,7 +217,10 @@ mod tests {
         let per_dnode_64 = a64 / 64.0;
         // Per-Dnode cost should not grow more than ~40% from 16 to 64
         // (crossbars widen with width, but only within a layer).
-        assert!(per_dnode_64 < per_dnode_16 * 1.4, "{per_dnode_16} vs {per_dnode_64}");
+        assert!(
+            per_dnode_64 < per_dnode_16 * 1.4,
+            "{per_dnode_16} vs {per_dnode_64}"
+        );
     }
 
     #[test]

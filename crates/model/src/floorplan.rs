@@ -19,7 +19,10 @@ pub struct Block {
 impl Block {
     /// Creates a block.
     pub fn new(name: impl Into<String>, area_mm2: f64) -> Self {
-        Block { name: name.into(), area_mm2 }
+        Block {
+            name: name.into(),
+            area_mm2,
+        }
     }
 }
 
@@ -81,7 +84,10 @@ pub fn pack(die_w_mm: f64, die_h_mm: f64, blocks: &[Block]) -> Result<Floorplan,
     let required: f64 = blocks.iter().map(|b| b.area_mm2).sum();
     let die = die_w_mm * die_h_mm;
     if required > 0.85 * die {
-        return Err(DoesNotFit { required_mm2: required, die_mm2: die });
+        return Err(DoesNotFit {
+            required_mm2: required,
+            die_mm2: die,
+        });
     }
 
     // Sort by area descending for packing, remembering original order.
@@ -113,18 +119,25 @@ pub fn pack(die_w_mm: f64, die_h_mm: f64, blocks: &[Block]) -> Result<Floorplan,
             }
             (w <= die_w_mm + 1e-9).then_some((w, h))
         };
-        let (mut w, mut h) = shape(die_h_mm - shelf_y)
-            .ok_or(DoesNotFit { required_mm2: required, die_mm2: die })?;
+        let (mut w, mut h) = shape(die_h_mm - shelf_y).ok_or(DoesNotFit {
+            required_mm2: required,
+            die_mm2: die,
+        })?;
         if cursor_x + w > die_w_mm + 1e-9 {
             // New shelf.
             shelf_y += shelf_h;
             shelf_h = 0.0;
             cursor_x = 0.0;
-            (w, h) = shape(die_h_mm - shelf_y)
-                .ok_or(DoesNotFit { required_mm2: required, die_mm2: die })?;
+            (w, h) = shape(die_h_mm - shelf_y).ok_or(DoesNotFit {
+                required_mm2: required,
+                die_mm2: die,
+            })?;
         }
         if shelf_y + h > die_h_mm + 1e-9 || cursor_x + w > die_w_mm + 1e-9 {
-            return Err(DoesNotFit { required_mm2: required, die_mm2: die });
+            return Err(DoesNotFit {
+                required_mm2: required,
+                die_mm2: die,
+            });
         }
         placements[idx] = Some(Placement {
             block: block.clone(),

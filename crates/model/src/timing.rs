@@ -88,9 +88,6 @@ mod tests {
         // Layer count must not appear in the critical path (ring locality).
         let short = RingGeometry::new(4, 4).unwrap();
         let long = RingGeometry::new(64, 4).unwrap();
-        assert_eq!(
-            critical_path_levels(short),
-            critical_path_levels(long)
-        );
+        assert_eq!(critical_path_levels(short), critical_path_levels(long));
     }
 }

@@ -140,18 +140,15 @@ impl ApexPrototype {
         let object = program.object;
         // Object code lives in PRG as bytes packed into 16-bit words.
         let bytes = object.to_bytes();
-        let mut prg_words: Vec<Word16> =
-            Vec::with_capacity(bytes.len().div_ceil(2) + 1);
+        let mut prg_words: Vec<Word16> = Vec::with_capacity(bytes.len().div_ceil(2) + 1);
         prg_words.push(Word16::new(bytes.len() as u16));
         for pair in bytes.chunks(2) {
             let lo = pair[0] as u16;
             let hi = *pair.get(1).unwrap_or(&0) as u16;
             prg_words.push(Word16::new(lo | hi << 8));
         }
-        let image_mem = WordMemory::preloaded(
-            "IMAGE",
-            input.data().iter().map(|&p| Word16::from_i16(p)),
-        );
+        let image_mem =
+            WordMemory::preloaded("IMAGE", input.data().iter().map(|&p| Word16::from_i16(p)));
         Ok(ApexPrototype {
             machine: RingMachine::new(RingGeometry::RING_8, MachineParams::PAPER),
             prg: WordMemory::preloaded("PRG", prg_words),
@@ -183,8 +180,7 @@ impl ApexPrototype {
                 bytes.push((word >> 8) as u8);
             }
         }
-        Object::from_bytes(&bytes)
-            .map_err(|e| KernelError::BadParams(format!("PRG contents: {e}")))
+        Object::from_bytes(&bytes).map_err(|e| KernelError::BadParams(format!("PRG contents: {e}")))
     }
 
     /// Boots and runs the demo: loads the PRG object, streams IMAGE
@@ -196,7 +192,8 @@ impl ApexPrototype {
     pub fn run(&mut self) -> Result<ApexReport, KernelError> {
         let object = self.boot_object()?;
         self.machine.load(&object)?;
-        self.machine.open_sink(self.output_switch, self.output_port)?;
+        self.machine
+            .open_sink(self.output_switch, self.output_port)?;
         hostcpu::dma_to_stream(&mut self.machine, &self.image, 0..self.image.len(), 0, 0)?;
         let pixels = self.width * self.height;
         let budget = pixels as u64 + self.slack;
@@ -205,7 +202,9 @@ impl ApexPrototype {
             .run_until_halt(budget)
             .map_err(KernelError::Sim)?;
         // Collect the sink, dropping the pipeline warm-up prefix.
-        let sink = self.machine.take_sink(self.output_switch, self.output_port)?;
+        let sink = self
+            .machine
+            .take_sink(self.output_switch, self.output_port)?;
         let produced: Vec<Word16> = sink
             .iter()
             .skip(self.latency)

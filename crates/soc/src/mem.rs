@@ -47,7 +47,11 @@ impl WordMemory {
     ///
     /// Panics if `addr` is out of range.
     pub fn read(&self, addr: usize) -> Word16 {
-        assert!(addr < self.words.len(), "{}: read at {addr} out of range", self.name);
+        assert!(
+            addr < self.words.len(),
+            "{}: read at {addr} out of range",
+            self.name
+        );
         self.words[addr]
     }
 
@@ -57,7 +61,11 @@ impl WordMemory {
     ///
     /// Panics if `addr` is out of range.
     pub fn write(&mut self, addr: usize, value: Word16) {
-        assert!(addr < self.words.len(), "{}: write at {addr} out of range", self.name);
+        assert!(
+            addr < self.words.len(),
+            "{}: write at {addr} out of range",
+            self.name
+        );
         self.words[addr] = value;
     }
 

@@ -36,8 +36,14 @@ impl VgaController {
     /// A controller for a `fb_width` x `fb_height` framebuffer (displayed
     /// at the top-left of the 640x480 raster).
     pub fn new(fb_width: usize, fb_height: usize) -> Self {
-        assert!(fb_width <= timing::H_VISIBLE as usize, "framebuffer too wide");
-        assert!(fb_height <= timing::V_VISIBLE as usize, "framebuffer too tall");
+        assert!(
+            fb_width <= timing::H_VISIBLE as usize,
+            "framebuffer too wide"
+        );
+        assert!(
+            fb_height <= timing::V_VISIBLE as usize,
+            "framebuffer too tall"
+        );
         VgaController {
             fb_width,
             fb_height,
@@ -82,8 +88,8 @@ impl VgaController {
     /// Core-clock cycles spent scanning `frames` frames when the core runs
     /// at `core_mhz` (for co-simulation bookkeeping).
     pub fn core_cycles_for_frames(&self, frames: u64, core_mhz: f64) -> u64 {
-        let seconds = frames as f64 * self.cycles_per_frame() as f64
-            / timing::PIXEL_CLOCK_HZ as f64;
+        let seconds =
+            frames as f64 * self.cycles_per_frame() as f64 / timing::PIXEL_CLOCK_HZ as f64;
         (seconds * core_mhz * 1.0e6).round() as u64
     }
 }
@@ -118,7 +124,10 @@ mod tests {
         let vga = VgaController::new(64, 64);
         // One frame at 200 MHz core clock: (800*525/25.175e6) * 200e6.
         let cycles = vga.core_cycles_for_frames(1, 200.0);
-        assert!((3_300_000..3_400_000).contains(&cycles), "cycles = {cycles}");
+        assert!(
+            (3_300_000..3_400_000).contains(&cycles),
+            "cycles = {cycles}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::fs;
 
 use systolic_ring::kernels::image::Image;
-use systolic_ring::soc::{ApexPrototype, ppm};
+use systolic_ring::soc::{ppm, ApexPrototype};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = Image::textured(64, 64, 1964);
@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let got: Vec<i16> = board.video().words().iter().map(|w| w.as_i16()).collect();
     println!("VIDEO memory matches the golden filter: {}", got == golden);
 
-    let input_pixels: Vec<u8> = input.data().iter().map(|&p| p.clamp(0, 255) as u8).collect();
+    let input_pixels: Vec<u8> = input
+        .data()
+        .iter()
+        .map(|&p| p.clamp(0, 255) as u8)
+        .collect();
     fs::write("apex_input.pgm", ppm::encode_pgm(64, 64, &input_pixels))?;
     fs::write("apex_output.pgm", board.scan_pgm())?;
     println!("\nwrote apex_input.pgm and apex_output.pgm (the monitor picture).");

@@ -45,8 +45,12 @@ next:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let object = assemble(SOURCE)?;
-    println!("assembled: {} controller words, {} fabric preloads, {} data words\n",
-        object.code.len(), object.preload.len(), object.data.len());
+    println!(
+        "assembled: {} controller words, {} fabric preloads, {} data words\n",
+        object.code.len(),
+        object.preload.len(),
+        object.data.len()
+    );
 
     println!("--- disassembly ---------------------------------------------");
     print!("{}", disassemble(&object));

@@ -1,0 +1,59 @@
+//! Batch-engine demo: run a mixed sweep of kernel jobs across all cores,
+//! verify bit-identical results against the serial baseline, and print
+//! the aggregate report plus the differential-oracle verdict.
+//!
+//! ```sh
+//! cargo run --release --example batch_sweep
+//! cargo run --release --example batch_sweep -- 64 0xfeed
+//! ```
+
+use systolic_ring::harness::runner::BatchRunner;
+use systolic_ring::kernels::batch::{kernel_sweep, oracle_suite, run_oracle};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args
+        .next()
+        .map(|a| a.parse().expect("job count"))
+        .unwrap_or(36);
+    let seed: u64 = args
+        .next()
+        .map(|a| {
+            let a = a.trim_start_matches("0x");
+            u64::from_str_radix(a, 16).expect("hex seed")
+        })
+        .unwrap_or(0xba7c);
+
+    println!("batch sweep: {jobs} kernel jobs, seed {seed:#x}\n");
+
+    let sweep = kernel_sweep(seed, jobs);
+    let serial = BatchRunner::run_serial(&sweep);
+    println!("serial baseline: {:.3} ms", serial.wall.as_secs_f64() * 1e3);
+
+    let runner = BatchRunner::new();
+    let parallel = runner.run(&sweep);
+    assert!(
+        parallel.outcomes_match(&serial),
+        "parallel outcomes must be bit-identical to serial"
+    );
+    println!(
+        "parallel ({} workers): {:.3} ms — bit-identical to serial\n",
+        parallel.workers,
+        parallel.wall.as_secs_f64() * 1e3
+    );
+    print!("{}", parallel.summary().render());
+
+    println!("\ndifferential oracle (every kernel family vs its golden model):");
+    let oracle = run_oracle(&runner, oracle_suite(seed, 2));
+    println!(
+        "  {} cases, {} mismatches, {} faults — {}",
+        oracle.cases,
+        oracle.mismatches.len(),
+        oracle.faults.len(),
+        if oracle.all_match() { "PASS" } else { "FAIL" }
+    );
+    for line in oracle.mismatches.iter().chain(&oracle.faults) {
+        println!("  {line}");
+    }
+    std::process::exit(if oracle.all_match() { 0 } else { 1 });
+}

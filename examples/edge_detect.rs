@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(&x, &y)| ((x.unsigned_abs() + y.unsigned_abs()) / 4).min(255) as u8)
         .collect();
 
-    let input_pixels: Vec<u8> = input.data().iter().map(|&p| p.clamp(0, 255) as u8).collect();
+    let input_pixels: Vec<u8> = input
+        .data()
+        .iter()
+        .map(|&p| p.clamp(0, 255) as u8)
+        .collect();
     fs::write("edges_input.pgm", ppm::encode_pgm(w, h, &input_pixels))?;
     fs::write("edges_output.pgm", ppm::encode_pgm(w, h, &mag))?;
 

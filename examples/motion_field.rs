@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut field = String::new();
     for by in (0..h).step_by(bs) {
         for bx in (0..w).step_by(bs) {
-            let spec = BlockMatch { x0: bx, y0: by, block: bs, range: 4 };
+            let spec = BlockMatch {
+                x0: bx,
+                y0: by,
+                block: bs,
+                range: 4,
+            };
             let est = motion::block_match(RingGeometry::RING_16, &reference, &current, spec)?;
             total_cycles += est.cycles;
             blocks += 1;

@@ -20,13 +20,15 @@ use systolic_ring::isa::{RingGeometry, Word16};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
     // Stage 1: double the host stream; stage 2: accumulate.
-    m.configure().set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
+    m.configure()
+        .set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })?;
     m.configure().set_dnode_instr(
         0,
         0,
         MicroInstr::op(AluOp::Shl, Operand::In1, Operand::One).write_out(),
     )?;
-    m.configure().set_port(0, 1, 0, 0, PortSource::PrevOut { lane: 0 })?;
+    m.configure()
+        .set_port(0, 1, 0, 0, PortSource::PrevOut { lane: 0 })?;
     let d1 = RingGeometry::RING_8.dnode_index(1, 0);
     m.configure().set_dnode_instr(
         0,
@@ -50,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tracer = Tracer::new([
         Signal::DnodeOut { dnode: 0 },
         Signal::DnodeOut { dnode: d1 },
-        Signal::DnodeReg { dnode: d1, reg: Reg::R0 },
+        Signal::DnodeReg {
+            dnode: d1,
+            reg: Reg::R0,
+        },
         Signal::CtrlPc,
         Signal::ActiveCtx,
     ]);

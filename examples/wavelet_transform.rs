@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let row = &image.data()[..w];
     let (a, d) = golden::lifting53_forward(row);
     let back = golden::lifting53_inverse(&a, &d);
-    println!("reversible (row 0 round-trips through the inverse): {}", back == row);
+    println!(
+        "reversible (row 0 round-trips through the inverse): {}",
+        back == row
+    );
 
     // Energy compaction: most coefficient energy sits in the LL quadrant.
     let energy = |vals: &[i16]| -> f64 { vals.iter().map(|&v| (v as f64).powi(2)).sum() };

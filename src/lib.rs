@@ -15,7 +15,9 @@
 //! * [`compiler`] — the dataflow-graph compiler/profiler (the paper's
 //!   stated future work),
 //! * [`model`] — the calibrated area/timing technology model,
-//! * [`soc`] — the APEX prototype substrate (memories, VGA, host DMA).
+//! * [`soc`] — the APEX prototype substrate (memories, VGA, host DMA),
+//! * [`harness`] — the parallel batch-simulation engine, the deterministic
+//!   test kit (SplitMix64 PRNG) and the wall-clock microbenchmark timer.
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the system
 //! inventory and `EXPERIMENTS.md` for paper-vs-measured results. The
@@ -54,6 +56,7 @@ pub use systolic_ring_asm as asm;
 pub use systolic_ring_baselines as baselines;
 pub use systolic_ring_compiler as compiler;
 pub use systolic_ring_core as core;
+pub use systolic_ring_harness as harness;
 pub use systolic_ring_isa as isa;
 pub use systolic_ring_kernels as kernels;
 pub use systolic_ring_model as model;

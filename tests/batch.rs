@@ -1,0 +1,194 @@
+//! Batch-engine integration: determinism across runs and worker counts,
+//! fault isolation, the differential oracle over the whole kernel
+//! library, and the (ignored-by-default) speedup acceptance test.
+
+use std::time::Duration;
+
+use systolic_ring::core::{MachineParams, Stats};
+use systolic_ring::harness::job::{CycleBudget, Job, JobFault, JobOutcome, JobOutput};
+use systolic_ring::harness::runner::BatchRunner;
+use systolic_ring::harness::testkit::TestRng;
+use systolic_ring::isa::ctrl::CtrlInstr;
+use systolic_ring::isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+use systolic_ring::isa::RingGeometry;
+use systolic_ring::kernels::batch::{kernel_sweep, oracle_suite, run_oracle};
+
+fn mac_job(name: &str, cycles: u64) -> Job {
+    Job::from_config(
+        name.to_owned(),
+        RingGeometry::RING_8,
+        MachineParams::PAPER,
+        |m| {
+            let mac = MicroInstr::op(AluOp::Mac, Operand::One, Operand::One).write_reg(Reg::R0);
+            for d in 0..m.geometry().dnodes() {
+                m.set_local_program(d, &[mac])?;
+                m.set_mode(d, DnodeMode::Local);
+            }
+            Ok(())
+        },
+        CycleBudget::Cycles(cycles),
+    )
+}
+
+/// The same job built twice produces bit-identical outcomes, run after
+/// run, serial or parallel.
+#[test]
+fn identical_jobs_are_bit_identical_across_runs_and_schedulers() {
+    let build = || -> Vec<Job> {
+        (0..6)
+            .map(|i| mac_job(&format!("job{i}"), 40 + i))
+            .collect()
+    };
+    let first = BatchRunner::run_serial(&build());
+    let second = BatchRunner::run_serial(&build());
+    assert!(first.outcomes_match(&second), "serial reruns must agree");
+
+    for workers in [1, 2, 3, 8] {
+        let parallel = BatchRunner::with_workers(workers).run(&build());
+        assert!(
+            parallel.outcomes_match(&first),
+            "{workers}-worker run diverged from serial"
+        );
+    }
+}
+
+/// Kernel jobs generated from the same seed are deterministic end to end.
+#[test]
+fn seeded_kernel_sweeps_are_deterministic() {
+    let a = BatchRunner::with_workers(4).run(&kernel_sweep(0x5eed, 12));
+    let b = BatchRunner::run_serial(&kernel_sweep(0x5eed, 12));
+    assert!(a.outcomes_match(&b));
+    assert_eq!(a.summary().completed, 12);
+}
+
+/// A panicking, a faulting and a diverging job each land in their own
+/// report slot without disturbing their neighbours.
+#[test]
+fn faults_are_isolated_per_job() {
+    let jobs = vec![
+        mac_job("healthy-0", 30),
+        Job::custom("panics", || panic!("deliberate test panic")),
+        Job::custom("errors", || Err("deliberate workload error".to_owned())),
+        Job::from_config(
+            "diverges".to_owned(),
+            RingGeometry::RING_8,
+            MachineParams::PAPER,
+            // A controller spin loop that never halts.
+            |m| {
+                m.controller_mut()
+                    .load_program(&[CtrlInstr::J { target: 0 }.encode()])
+            },
+            CycleBudget::UntilHalt { max_cycles: 100 },
+        ),
+        mac_job("healthy-1", 30),
+    ];
+    let report = BatchRunner::with_workers(2).run(&jobs);
+    let summary = report.summary();
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.faulted, 3);
+    assert!(matches!(
+        report.reports[1].outcome,
+        JobOutcome::Fault(JobFault::Panic(_))
+    ));
+    assert!(matches!(
+        report.reports[2].outcome,
+        JobOutcome::Fault(JobFault::Workload(_))
+    ));
+    assert!(matches!(
+        report.reports[3].outcome,
+        JobOutcome::Fault(JobFault::Diverged { max_cycles: 100 })
+    ));
+    assert!(report.reports[0].outcome.output().is_some());
+    assert!(report.reports[4].outcome.output().is_some());
+}
+
+/// A job that blows its wall-clock limit reports `WallLimit`.
+#[test]
+fn wall_limits_are_enforced() {
+    let slow = Job::custom("sleeper", || {
+        std::thread::sleep(Duration::from_millis(30));
+        Ok(JobOutput {
+            outputs: Vec::new(),
+            cycles: 0,
+            stats: Stats::new(0),
+        })
+    })
+    .with_wall_limit(Duration::from_millis(1));
+    let report = BatchRunner::with_workers(1).run(&[slow]);
+    assert!(matches!(
+        report.reports[0].outcome,
+        JobOutcome::Fault(JobFault::WallLimit { .. })
+    ));
+}
+
+/// Every kernel family agrees with its golden model when scheduled through
+/// the batch engine, over randomized parameter sweeps.
+#[test]
+fn differential_oracle_matches_every_kernel_family() {
+    // Two seeds x two rounds: 44 randomized cases over 11 adapters.
+    for seed in [0xfeed_f00d, 0x0ddba11] {
+        let report = run_oracle(&BatchRunner::new(), oracle_suite(seed, 2));
+        assert!(
+            report.all_match(),
+            "seed {seed:#x}: mismatches {:?} faults {:?}",
+            report.mismatches,
+            report.faults
+        );
+    }
+}
+
+/// Randomized geometry/stream MAC sweeps agree between the machine run
+/// through the batch engine and the golden dot product.
+#[test]
+fn randomized_machine_jobs_match_golden_through_the_engine() {
+    let mut rng = TestRng::new(2026);
+    let mut jobs = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..16 {
+        let n = rng.index(30) + 1;
+        let a = rng.vec_i16(n, -200..200);
+        let b = rng.vec_i16(n, -200..200);
+        expected.push(systolic_ring::kernels::golden::dot_product(&a, &b));
+        let geometry = *rng.choose(&[RingGeometry::RING_8, RingGeometry::RING_16]);
+        jobs.push(Job::custom(format!("mac{i}"), move || {
+            systolic_ring::kernels::mac::dot_product(geometry, &a, &b)
+                .map(|run| JobOutput {
+                    outputs: vec![run.outputs],
+                    cycles: run.cycles,
+                    stats: run.stats,
+                })
+                .map_err(|e| e.to_string())
+        }));
+    }
+    let report = BatchRunner::new().run(&jobs);
+    for (job_report, want) in report.reports.iter().zip(&expected) {
+        let out = job_report.outcome.output().expect("completed");
+        assert_eq!(out.outputs[0], vec![*want], "{}", job_report.name);
+    }
+}
+
+/// Acceptance: a ≥32-job sweep must speed up ≥2x over serial on a
+/// multi-core host while staying bit-identical. Wall-clock-sensitive, so
+/// ignored by default; run with `cargo test -- --ignored` on quiet
+/// machines (the `batch_scaling` bench reports the same figures).
+#[test]
+#[ignore = "wall-clock performance assertion; run explicitly on a quiet multi-core host"]
+fn batch_runner_doubles_throughput_on_a_32_job_sweep() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    assert!(workers >= 4, "needs a multi-core host, found {workers}");
+
+    let jobs: Vec<Job> = (0..32).map(|i| mac_job(&format!("j{i}"), 60_000)).collect();
+    let serial = BatchRunner::run_serial(&jobs);
+    let parallel = BatchRunner::with_workers(workers).run(&jobs);
+    assert!(parallel.outcomes_match(&serial), "results diverged");
+    let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64();
+    assert!(
+        speedup >= 2.0,
+        "expected >= 2x speedup on {workers} workers, measured {speedup:.2}x \
+         (serial {:?}, parallel {:?})",
+        serial.wall,
+        parallel.wall
+    );
+}

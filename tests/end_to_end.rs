@@ -43,10 +43,16 @@ fn assembled_program_round_trips_through_bytes_and_runs() {
     let mut m = RingMachine::with_defaults(RingGeometry::RING_16);
     m.load(&reloaded).expect("loads");
     m.open_sink(2, 0).expect("sink");
-    m.attach_input(0, 0, (1..=10).map(Word16::from_i16)).expect("stream");
+    m.attach_input(0, 0, (1..=10).map(Word16::from_i16))
+        .expect("stream");
     m.run_until_halt(200).expect("halts");
 
-    let out: Vec<i16> = m.take_sink(2, 0).expect("sink").iter().map(|w| w.as_i16()).collect();
+    let out: Vec<i16> = m
+        .take_sink(2, 0)
+        .expect("sink")
+        .iter()
+        .map(|w| w.as_i16())
+        .collect();
     let expect: Vec<i16> = (1..=10).map(|x| x * 3 - 1).collect();
     assert!(
         out.windows(10).any(|w| w == expect),
@@ -119,7 +125,8 @@ fn link_model_shapes_end_to_end_runtime() {
         let mut m = RingMachine::new(RingGeometry::RING_8, params);
         m.load(&object).expect("loads");
         m.open_sink(1, 0).expect("sink");
-        m.attach_input(0, 0, vec![Word16::from_i16(7); 400]).expect("stream");
+        m.attach_input(0, 0, vec![Word16::from_i16(7); 400])
+            .expect("stream");
         m.run_until_halt(2000).expect("halts");
         let sink = m.take_sink(1, 0).expect("sink");
         sink.iter().filter(|w| w.as_i16() == 8).count()

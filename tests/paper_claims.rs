@@ -20,8 +20,8 @@ fn table1_motion_estimation_ordering() {
     let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
     let spec = BlockMatch::paper_at(28, 28);
 
-    let ring = motion::block_match(RingGeometry::RING_16, &reference, &current, spec)
-        .expect("ring ME");
+    let ring =
+        motion::block_match(RingGeometry::RING_16, &reference, &current, spec).expect("ring ME");
     let m = mmx::full_search(&reference, &current, spec);
     let a = asic_me::full_search(&reference, &current, spec);
 
@@ -69,8 +69,14 @@ fn table3_synthesis_results() {
     assert!((freq_mhz(RingGeometry::RING_8, ST_CMOS_018) - 200.0).abs() < 1e-6);
     let core025 = core_area(RingGeometry::RING_8, HardwareParams::PAPER, ST_CMOS_025).total_mm2();
     let core018 = core_area(RingGeometry::RING_8, HardwareParams::PAPER, ST_CMOS_018).total_mm2();
-    assert!((core025 - 0.9).abs() / 0.9 < 0.2, "0.25um core = {core025:.2}");
-    assert!((core018 - 0.7).abs() / 0.7 < 0.2, "0.18um core = {core018:.2}");
+    assert!(
+        (core025 - 0.9).abs() / 0.9 < 0.2,
+        "0.25um core = {core025:.2}"
+    );
+    assert!(
+        (core018 - 0.7).abs() / 0.7 < 0.2,
+        "0.18um core = {core018:.2}"
+    );
 }
 
 /// §5.1: 1600 MIPS peak, ~3 GB/s ports, and the scalar anchor in range.

@@ -79,9 +79,15 @@ fn context_switch_program_interleaves_operations() {
     let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
     m.load(&object).expect("loads");
     m.open_sink(1, 0).expect("sink");
-    m.attach_input(0, 0, vec![Word16::from_i16(10); 80]).expect("stream");
+    m.attach_input(0, 0, vec![Word16::from_i16(10); 80])
+        .expect("stream");
     m.run_until_halt(500).expect("halts");
-    let sink: Vec<i16> = m.take_sink(1, 0).expect("sink").iter().map(|w| w.as_i16()).collect();
+    let sink: Vec<i16> = m
+        .take_sink(1, 0)
+        .expect("sink")
+        .iter()
+        .map(|w| w.as_i16())
+        .collect();
     // Both personalities of the Dnode appear in the capture stream.
     assert!(sink.contains(&110), "add context output missing: {sink:?}");
     assert!(sink.contains(&30), "mul context output missing: {sink:?}");

@@ -1,7 +1,6 @@
 //! Property-based tests over the core data structures and kernel
-//! invariants, spanning crate boundaries.
-
-use proptest::prelude::*;
+//! invariants, spanning crate boundaries, driven by the in-tree
+//! deterministic testkit.
 
 use systolic_ring::isa::ctrl::CtrlInstr;
 use systolic_ring::isa::dnode::{AluOp, MicroInstr, Operand, Reg};
@@ -9,250 +8,275 @@ use systolic_ring::isa::object::{Object, Preload};
 use systolic_ring::isa::switch::{HostCapture, PortSource};
 use systolic_ring::isa::{RingGeometry, Word16};
 use systolic_ring::kernels::golden;
+use systolic_ring_harness::for_random_cases;
+use systolic_ring_harness::testkit::TestRng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    prop_oneof![
-        Just(Reg::R0),
-        Just(Reg::R1),
-        Just(Reg::R2),
-        Just(Reg::R3)
-    ]
+const REGS: [Reg; 4] = [Reg::R0, Reg::R1, Reg::R2, Reg::R3];
+
+const ALU_OPS: [AluOp; 29] = [
+    AluOp::Nop,
+    AluOp::PassA,
+    AluOp::PassB,
+    AluOp::Add,
+    AluOp::AddSat,
+    AluOp::Sub,
+    AluOp::SubSat,
+    AluOp::Neg,
+    AluOp::Abs,
+    AluOp::AbsDiff,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Not,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Asr,
+    AluOp::Min,
+    AluOp::Max,
+    AluOp::MinU,
+    AluOp::MaxU,
+    AluOp::Slt,
+    AluOp::SltU,
+    AluOp::Mul,
+    AluOp::MulHi,
+    AluOp::MulHiU,
+    AluOp::Mac,
+    AluOp::MacSat,
+    AluOp::Msu,
+];
+
+fn any_operand(rng: &mut TestRng) -> Operand {
+    match rng.index(9) {
+        0 => Operand::Reg(*rng.choose(&REGS)),
+        1 => Operand::In1,
+        2 => Operand::In2,
+        3 => Operand::Fifo1,
+        4 => Operand::Fifo2,
+        5 => Operand::Bus,
+        6 => Operand::Imm,
+        7 => Operand::Zero,
+        _ => Operand::One,
+    }
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        Just(Operand::In1),
-        Just(Operand::In2),
-        Just(Operand::Fifo1),
-        Just(Operand::Fifo2),
-        Just(Operand::Bus),
-        Just(Operand::Imm),
-        Just(Operand::Zero),
-        Just(Operand::One),
-    ]
+fn any_micro(rng: &mut TestRng) -> MicroInstr {
+    MicroInstr {
+        alu: *rng.choose(&ALU_OPS),
+        src_a: any_operand(rng),
+        src_b: any_operand(rng),
+        wr_reg: if rng.next_bool() {
+            Some(*rng.choose(&REGS))
+        } else {
+            None
+        },
+        wr_out: rng.next_bool(),
+        wr_bus: rng.next_bool(),
+        imm: Word16::new(rng.any_u16()),
+    }
 }
 
-fn arb_alu() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Nop),
-        Just(AluOp::PassA),
-        Just(AluOp::PassB),
-        Just(AluOp::Add),
-        Just(AluOp::AddSat),
-        Just(AluOp::Sub),
-        Just(AluOp::SubSat),
-        Just(AluOp::Neg),
-        Just(AluOp::Abs),
-        Just(AluOp::AbsDiff),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Not),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::Asr),
-        Just(AluOp::Min),
-        Just(AluOp::Max),
-        Just(AluOp::MinU),
-        Just(AluOp::MaxU),
-        Just(AluOp::Slt),
-        Just(AluOp::SltU),
-        Just(AluOp::Mul),
-        Just(AluOp::MulHi),
-        Just(AluOp::MulHiU),
-        Just(AluOp::Mac),
-        Just(AluOp::MacSat),
-        Just(AluOp::Msu),
-    ]
+fn any_source(rng: &mut TestRng) -> PortSource {
+    match rng.index(5) {
+        0 => PortSource::Zero,
+        1 => PortSource::Bus,
+        2 => PortSource::PrevOut {
+            lane: rng.next_u64() as u8,
+        },
+        3 => PortSource::HostIn {
+            port: rng.next_u64() as u8,
+        },
+        _ => PortSource::Pipe {
+            switch: rng.next_u64() as u8,
+            stage: rng.next_u64() as u8,
+            lane: rng.next_u64() as u8,
+        },
+    }
 }
 
-fn arb_micro() -> impl Strategy<Value = MicroInstr> {
-    (
-        arb_alu(),
-        arb_operand(),
-        arb_operand(),
-        proptest::option::of(arb_reg()),
-        any::<bool>(),
-        any::<bool>(),
-        any::<u16>(),
-    )
-        .prop_map(|(alu, src_a, src_b, wr_reg, wr_out, wr_bus, imm)| MicroInstr {
-            alu,
-            src_a,
-            src_b,
-            wr_reg,
-            wr_out,
-            wr_bus,
-            imm: Word16::new(imm),
-        })
-}
-
-fn arb_source() -> impl Strategy<Value = PortSource> {
-    prop_oneof![
-        Just(PortSource::Zero),
-        Just(PortSource::Bus),
-        any::<u8>().prop_map(|lane| PortSource::PrevOut { lane }),
-        any::<u8>().prop_map(|port| PortSource::HostIn { port }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(switch, stage, lane)| PortSource::Pipe { switch, stage, lane }),
-    ]
-}
-
-proptest! {
-    /// Every microinstruction survives encode/decode.
-    #[test]
-    fn microinstruction_round_trips(instr in arb_micro()) {
+/// Every microinstruction survives encode/decode.
+#[test]
+fn microinstruction_round_trips() {
+    for_random_cases!(512, 0x01, |rng| {
+        let instr = any_micro(rng);
         let word = instr.encode();
-        prop_assert_eq!(MicroInstr::decode(word).unwrap(), instr);
-    }
+        assert_eq!(MicroInstr::decode(word).unwrap(), instr);
+    });
+}
 
-    /// Every switch source survives encode/decode.
-    #[test]
-    fn port_source_round_trips(src in arb_source()) {
-        prop_assert_eq!(PortSource::decode(src.encode()).unwrap(), src);
-    }
+/// Every switch source survives encode/decode.
+#[test]
+fn port_source_round_trips() {
+    for_random_cases!(512, 0x02, |rng| {
+        let src = any_source(rng);
+        assert_eq!(PortSource::decode(src.encode()).unwrap(), src);
+    });
+}
 
-    /// Decoding any 32-bit controller word either fails or re-encodes to
-    /// the identical word (no aliasing encodings).
-    #[test]
-    fn ctrl_decode_is_injective(word in any::<u32>()) {
+/// Decoding any 32-bit controller word either fails or re-encodes to the
+/// identical word (no aliasing encodings).
+#[test]
+fn ctrl_decode_is_injective() {
+    for_random_cases!(2048, 0x03, |rng| {
+        let word = rng.next_u32();
         if let Ok(instr) = CtrlInstr::decode(word) {
-            prop_assert_eq!(instr.encode(), word);
+            assert_eq!(instr.encode(), word);
         }
-    }
+    });
+}
 
-    /// Decoding any 64-bit microinstruction word either fails or
-    /// re-encodes identically.
-    #[test]
-    fn micro_decode_is_injective(word in any::<u64>()) {
+/// Decoding any 64-bit microinstruction word either fails or re-encodes
+/// identically.
+#[test]
+fn micro_decode_is_injective() {
+    for_random_cases!(2048, 0x04, |rng| {
+        let word = rng.next_u64();
         if let Ok(instr) = MicroInstr::decode(word) {
-            prop_assert_eq!(instr.encode(), word);
+            assert_eq!(instr.encode(), word);
         }
-    }
+    });
+}
 
-    /// Word16 saturating ops stay within the signed range and agree with
-    /// wide arithmetic when no saturation occurs.
-    #[test]
-    fn word16_saturation_laws(a in any::<i16>(), b in any::<i16>()) {
+/// Word16 saturating ops stay within the signed range and agree with wide
+/// arithmetic when no saturation occurs.
+#[test]
+fn word16_saturation_laws() {
+    for_random_cases!(1024, 0x05, |rng| {
+        let a = rng.any_i16();
+        let b = rng.any_i16();
         let wa = Word16::from_i16(a);
         let wb = Word16::from_i16(b);
         let sat = wa.saturating_add(wb).as_i16();
         let wide = a as i32 + b as i32;
-        prop_assert_eq!(sat as i32, wide.clamp(i16::MIN as i32, i16::MAX as i32));
+        assert_eq!(sat as i32, wide.clamp(i16::MIN as i32, i16::MAX as i32));
         let d = wa.abs_diff(wb).as_i16();
-        prop_assert!(d >= 0);
-        prop_assert_eq!(d as i32, (a as i32 - b as i32).abs().min(i16::MAX as i32));
-    }
+        assert!(d >= 0);
+        assert_eq!(d as i32, (a as i32 - b as i32).abs().min(i16::MAX as i32));
+    });
+}
 
-    /// ALU eval is total: every op on every input produces a value and
-    /// matches commutativity where algebra requires it.
-    #[test]
-    fn alu_commutativity(op in arb_alu(), a in any::<i16>(), b in any::<i16>()) {
-        let wa = Word16::from_i16(a);
-        let wb = Word16::from_i16(b);
+/// ALU eval is total: every op on every input produces a value and matches
+/// commutativity where algebra requires it.
+#[test]
+fn alu_commutativity() {
+    for_random_cases!(1024, 0x06, |rng| {
+        let op = *rng.choose(&ALU_OPS);
+        let wa = Word16::from_i16(rng.any_i16());
+        let wb = Word16::from_i16(rng.any_i16());
         let acc = Word16::ZERO;
         let fwd = op.eval(wa, wb, acc);
         if matches!(
             op,
-            AluOp::Add | AluOp::AddSat | AluOp::And | AluOp::Or | AluOp::Xor
-                | AluOp::Min | AluOp::Max | AluOp::MinU | AluOp::MaxU
-                | AluOp::Mul | AluOp::MulHi | AluOp::MulHiU | AluOp::AbsDiff
+            AluOp::Add
+                | AluOp::AddSat
+                | AluOp::And
+                | AluOp::Or
+                | AluOp::Xor
+                | AluOp::Min
+                | AluOp::Max
+                | AluOp::MinU
+                | AluOp::MaxU
+                | AluOp::Mul
+                | AluOp::MulHi
+                | AluOp::MulHiU
+                | AluOp::AbsDiff
         ) {
-            prop_assert_eq!(fwd, op.eval(wb, wa, acc), "{} not commutative", op);
+            assert_eq!(fwd, op.eval(wb, wa, acc), "{op} not commutative");
         }
-    }
+    });
+}
 
-    /// Object serialization round-trips for arbitrary well-formed objects.
-    #[test]
-    fn object_round_trips(
-        code in proptest::collection::vec(any::<u32>(), 0..64),
-        data in proptest::collection::vec(any::<u32>(), 0..64),
-        contexts in 0u16..16,
-        modes in proptest::collection::vec((any::<u16>(), any::<bool>()), 0..16),
-    ) {
+/// Object serialization round-trips for arbitrary well-formed objects.
+#[test]
+fn object_round_trips() {
+    for_random_cases!(256, 0x07, |rng| {
+        let code: Vec<u32> = (0..rng.index(64)).map(|_| rng.next_u32()).collect();
+        let data: Vec<u32> = (0..rng.index(64)).map(|_| rng.next_u32()).collect();
+        let preload: Vec<Preload> = (0..rng.index(16))
+            .map(|_| Preload::Mode {
+                dnode: rng.any_u16(),
+                local: rng.next_bool(),
+            })
+            .collect();
         let object = Object {
             geometry: Some(RingGeometry::RING_16),
-            contexts,
+            contexts: rng.below(16) as u16,
             code,
             data,
-            preload: modes
-                .into_iter()
-                .map(|(dnode, local)| Preload::Mode { dnode, local })
-                .collect(),
+            preload,
         };
-        prop_assert_eq!(Object::from_bytes(&object.to_bytes()).unwrap(), object);
-    }
+        assert_eq!(Object::from_bytes(&object.to_bytes()).unwrap(), object);
+    });
+}
 
-    /// Host-capture words round trip.
-    #[test]
-    fn host_capture_round_trips(lane in proptest::option::of(any::<u8>())) {
-        let cap = match lane {
-            Some(l) => HostCapture::lane(l),
-            None => HostCapture::DISABLED,
+/// Host-capture words round trip.
+#[test]
+fn host_capture_round_trips() {
+    for_random_cases!(256, 0x08, |rng| {
+        let cap = if rng.next_bool() {
+            HostCapture::lane(rng.next_u64() as u8)
+        } else {
+            HostCapture::DISABLED
         };
-        prop_assert_eq!(HostCapture::decode(cap.encode()).unwrap(), cap);
-    }
+        assert_eq!(HostCapture::decode(cap.encode()).unwrap(), cap);
+    });
+}
 
-    /// The golden 5/3 lifting transform is perfectly reversible for any
-    /// even-length signal.
-    #[test]
-    fn lifting_is_reversible(
-        signal in proptest::collection::vec(-4000i16..4000, 1..64)
-            .prop_map(|mut v| {
-                if v.len() % 2 == 1 {
-                    v.pop();
-                }
-                if v.is_empty() {
-                    v = vec![0, 0];
-                }
-                v
-            })
-    ) {
+/// The golden 5/3 lifting transform is perfectly reversible for any
+/// even-length signal.
+#[test]
+fn lifting_is_reversible() {
+    for_random_cases!(256, 0x09, |rng| {
+        let len = 2 * (rng.index(31) + 1);
+        let signal = rng.vec_i16(len, -4000..4000);
         let (a, d) = golden::lifting53_forward(&signal);
-        prop_assert_eq!(golden::lifting53_inverse(&a, &d), signal);
-    }
+        assert_eq!(golden::lifting53_inverse(&a, &d), signal);
+    });
+}
 
-    /// Golden SAD is a metric-like form: zero on identical blocks,
-    /// symmetric, and monotone under single-pixel perturbation.
-    #[test]
-    fn sad_is_symmetric_and_zero_on_equal(
-        block in proptest::collection::vec(0i16..256, 16),
-        other in proptest::collection::vec(0i16..256, 16),
-    ) {
-        prop_assert_eq!(golden::sad(&block, &block), 0);
-        prop_assert_eq!(golden::sad(&block, &other), golden::sad(&other, &block));
-    }
+/// Golden SAD is a metric-like form: zero on identical blocks and
+/// symmetric.
+#[test]
+fn sad_is_symmetric_and_zero_on_equal() {
+    for_random_cases!(256, 0x0a, |rng| {
+        let block = rng.vec_i16(16, 0..256);
+        let other = rng.vec_i16(16, 0..256);
+        assert_eq!(golden::sad(&block, &block), 0);
+        assert_eq!(golden::sad(&block, &other), golden::sad(&other, &block));
+    });
+}
 
-    /// Golden FIR is linear: fir(c, x + y) == fir(c, x) + fir(c, y) in
-    /// wrapping arithmetic.
-    #[test]
-    fn fir_is_linear(
-        coeffs in proptest::collection::vec(-20i16..20, 1..5),
-        x in proptest::collection::vec(-100i16..100, 1..32),
-    ) {
+/// Golden FIR is linear: fir(c, x + y) == fir(c, x) + fir(c, y) in
+/// wrapping arithmetic.
+#[test]
+fn fir_is_linear() {
+    for_random_cases!(256, 0x0b, |rng| {
+        let taps = rng.index(4) + 1;
+        let coeffs = rng.vec_i16(taps, -20..20);
+        let len = rng.index(31) + 1;
+        let x = rng.vec_i16(len, -100..100);
         let y: Vec<i16> = x.iter().map(|v| v.wrapping_mul(2)).collect();
         let sum: Vec<i16> = x.iter().zip(&y).map(|(a, b)| a.wrapping_add(*b)).collect();
         let fx = golden::fir(&coeffs, &x);
         let fy = golden::fir(&coeffs, &y);
         let fsum = golden::fir(&coeffs, &sum);
-        let combined: Vec<i16> = fx.iter().zip(&fy).map(|(a, b)| a.wrapping_add(*b)).collect();
-        prop_assert_eq!(fsum, combined);
-    }
+        let combined: Vec<i16> = fx
+            .iter()
+            .zip(&fy)
+            .map(|(a, b)| a.wrapping_add(*b))
+            .collect();
+        assert_eq!(fsum, combined);
+    });
 }
 
 /// Hardware/golden agreement under random inputs: the single-Dnode MAC.
 #[test]
 fn hardware_mac_agrees_with_golden_on_random_vectors() {
-    use rand::rngs::SmallRng;
-    use rand::{RngExt as _, SeedableRng};
-    let mut rng = SmallRng::seed_from_u64(99);
-    for _ in 0..10 {
-        let n = rng.random_range(1..40);
-        let a: Vec<i16> = (0..n).map(|_| rng.random_range(-300..300)).collect();
-        let b: Vec<i16> = (0..n).map(|_| rng.random_range(-300..300)).collect();
+    for_random_cases!(10, 99, |rng| {
+        let n = rng.index(39) + 1;
+        let a = rng.vec_i16(n, -300..300);
+        let b = rng.vec_i16(n, -300..300);
         let run = systolic_ring::kernels::mac::dot_product(RingGeometry::RING_8, &a, &b)
             .expect("dot product");
         assert_eq!(run.outputs[0], golden::dot_product(&a, &b));
-    }
+    });
 }
