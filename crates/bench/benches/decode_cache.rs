@@ -1,0 +1,85 @@
+//! Decode-cache ablation: simulated cycles per wall-clock second on the
+//! Table 1 motion-estimation and Table 2 wavelet workloads, with the
+//! predecoded configuration cache enabled (the default) and disabled
+//! (the decode-per-cycle reference path).
+//!
+//! The kernels construct their machines internally with
+//! [`MachineParams::PAPER`], so the uncached runs use the scoped
+//! [`with_decode_cache`] override rather than threading a flag through
+//! every driver.
+//!
+//! [`MachineParams::PAPER`]: systolic_ring_core::MachineParams::PAPER
+
+use systolic_ring_core::with_decode_cache;
+use systolic_ring_harness::microbench::{black_box, Group, Measurement};
+use systolic_ring_isa::RingGeometry;
+use systolic_ring_kernels::image::Image;
+use systolic_ring_kernels::motion::{self, BlockMatch};
+use systolic_ring_kernels::wavelet;
+
+fn cycles_per_sec(cycles: u64, m: Measurement) -> f64 {
+    cycles as f64 / m.median.as_secs_f64()
+}
+
+fn report(name: &str, cycles: u64, cached: Measurement, uncached: Measurement) {
+    let fast = cycles_per_sec(cycles, cached);
+    let slow = cycles_per_sec(cycles, uncached);
+    println!(
+        "  {name:<16} {cycles:>9} cycles   cached {:>7.2} Mcyc/s   uncached {:>7.2} Mcyc/s   speedup {:.2}x",
+        fast / 1e6,
+        slow / 1e6,
+        fast / slow
+    );
+}
+
+fn main() {
+    // Table 1: full-search motion estimation on a Ring-16.
+    let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
+    let spec = BlockMatch {
+        x0: 28,
+        y0: 28,
+        block: 8,
+        range: 4,
+    };
+    let motion_run = || {
+        motion::block_match_run(
+            RingGeometry::RING_16,
+            black_box(&reference),
+            black_box(&current),
+            spec,
+        )
+        .expect("ring ME")
+    };
+    let motion_cycles = motion_run().cycles;
+
+    // Table 2: 2-D 5/3 lifting wavelet on a Ring-16.
+    let image = Image::textured(64, 48, 53);
+    let wavelet_run =
+        || wavelet::forward_2d(RingGeometry::RING_16, black_box(&image)).expect("wavelet");
+    let wavelet_cycles = wavelet_run().cycles;
+
+    let mut group = Group::new("decode_cache");
+    let motion_cached = group.bench("table1_motion/cached", motion_run);
+    let motion_uncached = group.bench("table1_motion/uncached", || {
+        with_decode_cache(false, motion_run)
+    });
+    let wavelet_cached = group.bench("table2_wavelet/cached", wavelet_run);
+    let wavelet_uncached = group.bench("table2_wavelet/uncached", || {
+        with_decode_cache(false, wavelet_run)
+    });
+    group.finish_print();
+
+    println!("simulated throughput (median):");
+    report(
+        "table1_motion",
+        motion_cycles,
+        motion_cached,
+        motion_uncached,
+    );
+    report(
+        "table2_wavelet",
+        wavelet_cycles,
+        wavelet_cached,
+        wavelet_uncached,
+    );
+}

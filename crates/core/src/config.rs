@@ -56,7 +56,16 @@ impl Context {
 }
 
 /// The multi-context configuration memory plus the active-context register.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Besides the configuration words themselves, the layer keeps a monotonic
+/// *write clock* and per-entry epochs recording when each Dnode's
+/// configuration (microinstruction or any of its routed input ports) and
+/// each context's host-capture table were last written. The predecoded
+/// configuration cache compares epochs against the epochs its entries were
+/// built at, so a controller write invalidates exactly the touched entries.
+/// Epochs are bookkeeping, not architectural state: two layers holding the
+/// same configuration compare equal regardless of write history.
+#[derive(Clone, Debug)]
 pub struct ConfigLayer {
     geometry: RingGeometry,
     pipe_depth: usize,
@@ -64,7 +73,28 @@ pub struct ConfigLayer {
     active: usize,
     /// Context switch staged by the controller, applied at commit.
     staged_active: Option<usize>,
+    /// Monotonic write clock: bumped once per configuration write.
+    clock: u64,
+    /// Per-context, per-Dnode epoch of the last write touching that Dnode's
+    /// microinstruction or input routing.
+    dnode_epochs: Vec<Vec<u64>>,
+    /// Per-context epoch of the last host-capture write.
+    capture_epochs: Vec<u64>,
+    /// Per-context epoch of the last write of any kind.
+    ctx_epochs: Vec<u64>,
 }
+
+impl PartialEq for ConfigLayer {
+    fn eq(&self, other: &Self) -> bool {
+        self.geometry == other.geometry
+            && self.pipe_depth == other.pipe_depth
+            && self.contexts == other.contexts
+            && self.active == other.active
+            && self.staged_active == other.staged_active
+    }
+}
+
+impl Eq for ConfigLayer {}
 
 impl ConfigLayer {
     /// A configuration layer of `contexts` all-NOP contexts.
@@ -76,6 +106,38 @@ impl ConfigLayer {
             contexts: (0..contexts).map(|_| Context::new(geometry)).collect(),
             active: 0,
             staged_active: None,
+            clock: 0,
+            dnode_epochs: vec![vec![0; geometry.dnodes()]; contexts],
+            capture_epochs: vec![0; contexts],
+            ctx_epochs: vec![0; contexts],
+        }
+    }
+
+    /// Epoch of the last write of any kind into context `ctx`.
+    pub(crate) fn ctx_epoch(&self, ctx: usize) -> u64 {
+        self.ctx_epochs[ctx]
+    }
+
+    /// Epoch of the last write touching `dnode`'s configuration in `ctx`.
+    pub(crate) fn dnode_epoch(&self, ctx: usize, dnode: usize) -> u64 {
+        self.dnode_epochs[ctx][dnode]
+    }
+
+    /// Epoch of the last host-capture write into context `ctx`.
+    pub(crate) fn capture_epoch(&self, ctx: usize) -> u64 {
+        self.capture_epochs[ctx]
+    }
+
+    /// Bumps the write clock and stamps `ctx` (and `dnode`, when the write
+    /// targets one) with the new epoch.
+    fn touch(&mut self, ctx: usize, dnode: Option<usize>, capture: bool) {
+        self.clock += 1;
+        self.ctx_epochs[ctx] = self.clock;
+        if let Some(d) = dnode {
+            self.dnode_epochs[ctx][d] = self.clock;
+        }
+        if capture {
+            self.capture_epochs[ctx] = self.clock;
         }
     }
 
@@ -184,6 +246,7 @@ impl ConfigLayer {
             return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
         }
         self.context_mut(ctx)?.dnode_instr[dnode] = instr;
+        self.touch(ctx, Some(dnode), false);
         Ok(())
     }
 
@@ -221,6 +284,9 @@ impl ConfigLayer {
         self.validate_source(source)?;
         let width = g.width();
         self.context_mut(ctx)?.ports[(switch * width + lane) * DNODE_PORTS + port] = source;
+        // The ports of (switch, lane) feed the Dnode at (layer = switch,
+        // lane): a switch's downstream layer carries its own index.
+        self.touch(ctx, Some(switch * width + lane), false);
         Ok(())
     }
 
@@ -281,6 +347,7 @@ impl ConfigLayer {
         }
         let width = g.width();
         self.context_mut(ctx)?.capture[switch * width + port] = capture;
+        self.touch(ctx, None, true);
         Ok(())
     }
 

@@ -172,10 +172,16 @@ impl DnodeState {
 
     /// Stages this cycle's writes per the executed microinstruction.
     pub(crate) fn stage(&mut self, instr: &MicroInstr, result: Word16) {
-        if let Some(reg) = instr.wr_reg {
+        self.stage_write(instr.wr_reg, instr.wr_out, result);
+    }
+
+    /// Stages this cycle's writes from predecoded destination flags (the
+    /// fast path's equivalent of [`DnodeState::stage`]).
+    pub(crate) fn stage_write(&mut self, wr_reg: Option<Reg>, wr_out: bool, result: Word16) {
+        if let Some(reg) = wr_reg {
             self.staged_reg = Some((reg, result));
         }
-        if instr.wr_out {
+        if wr_out {
             self.staged_out = Some(result);
         }
     }

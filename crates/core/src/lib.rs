@@ -51,6 +51,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod controller;
 pub mod dnode;
@@ -58,11 +60,12 @@ mod error;
 pub mod host;
 mod machine;
 mod params;
+mod plan;
 pub mod stats;
 pub mod switch;
 pub mod trace;
 
 pub use error::{ConfigError, SimError};
 pub use machine::RingMachine;
-pub use params::{LinkModel, MachineParams};
+pub use params::{with_decode_cache, LinkModel, MachineParams};
 pub use stats::{DnodeStats, Stats};

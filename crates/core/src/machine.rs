@@ -25,11 +25,12 @@ use systolic_ring_isa::switch::{HostCapture, PortSource};
 use systolic_ring_isa::{RingGeometry, Word16};
 
 use crate::config::ConfigLayer;
-use crate::controller::{Controller, CtrlEffect, CtrlFault, CtrlPorts};
+use crate::controller::{Controller, CtrlEffect, CtrlFault, CtrlPorts, CtrlStep};
 use crate::dnode::DnodeState;
 use crate::error::{ConfigError, SimError};
 use crate::host::HostInterface;
 use crate::params::MachineParams;
+use crate::plan::{DecodedPlan, FastSrc, Scratch, StagedWrite};
 use crate::stats::Stats;
 use crate::switch::{PushOutcome, SwitchState};
 
@@ -75,6 +76,10 @@ pub struct RingMachine {
     bus: Word16,
     cycle: u64,
     stats: Stats,
+    /// The predecoded configuration cache (consulted only when
+    /// `params.decode_cache` is set; kept sized either way so invalidation
+    /// notes never go out of bounds).
+    plan: DecodedPlan,
 }
 
 struct PortsAdapter<'a> {
@@ -120,7 +125,14 @@ fn _ring_machine_is_send_and_sync() {
 
 impl RingMachine {
     /// Creates a reset machine.
+    ///
+    /// If a [`crate::with_decode_cache`] scope is active on this thread,
+    /// its setting overrides `params.decode_cache`.
     pub fn new(geometry: RingGeometry, params: MachineParams) -> Self {
+        let mut params = params;
+        if let Some(enabled) = crate::params::decode_cache_override() {
+            params.decode_cache = enabled;
+        }
         let dnodes = (0..geometry.dnodes()).map(|_| DnodeState::new()).collect();
         let switches = (0..geometry.switches())
             .map(|_| {
@@ -147,6 +159,7 @@ impl RingMachine {
             bus: Word16::ZERO,
             cycle: 0,
             stats: Stats::new(geometry.dnodes()),
+            plan: DecodedPlan::new(geometry, params.contexts),
         }
     }
 
@@ -234,6 +247,9 @@ impl RingMachine {
     ///
     /// Panics if `dnode` is out of range.
     pub fn set_mode(&mut self, dnode: usize, mode: DnodeMode) {
+        if self.dnodes[dnode].mode() != mode {
+            self.plan.note_mode_write();
+        }
         self.dnodes[dnode].set_mode(mode);
     }
 
@@ -263,6 +279,7 @@ impl RingMachine {
             seq.set_slot(slot, *instr);
         }
         seq.set_limit(program.len() as u8);
+        self.plan.note_seq_write(dnode);
         Ok(())
     }
 
@@ -374,11 +391,15 @@ impl RingMachine {
                         dnodes,
                     });
                 }
-                self.dnodes[dnode as usize].set_mode(if local {
+                let mode = if local {
                     DnodeMode::Local
                 } else {
                     DnodeMode::Global
-                });
+                };
+                if self.dnodes[dnode as usize].mode() != mode {
+                    self.plan.note_mode_write();
+                }
+                self.dnodes[dnode as usize].set_mode(mode);
                 Ok(())
             }
             Preload::LocalSlot { dnode, slot, word } => {
@@ -398,6 +419,7 @@ impl RingMachine {
                 self.dnodes[dnode as usize]
                     .sequencer_mut()
                     .set_slot(slot as usize, instr);
+                self.plan.note_seq_write(dnode as usize);
                 Ok(())
             }
             Preload::LocalLimit { dnode, limit } => {
@@ -495,11 +517,29 @@ impl RingMachine {
 
     /// Advances the machine by one clock cycle.
     ///
+    /// Dispatches to the predecoded-cache fast path or the decode-per-cycle
+    /// reference path per [`MachineParams::decode_cache`]; the two are
+    /// architecturally indistinguishable (see the flag's documentation).
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] on controller faults or malformed configuration
     /// writes; the machine state is left at the faulting cycle boundary.
     pub fn step(&mut self) -> Result<(), SimError> {
+        // The plan is moved out for the duration of the cycle so the
+        // stepper can borrow the rest of the machine mutably alongside it.
+        let mut plan = std::mem::take(&mut self.plan);
+        let result = if self.params.decode_cache {
+            self.step_cached(&mut plan)
+        } else {
+            self.step_decoded(&mut plan)
+        };
+        self.plan = plan;
+        result
+    }
+
+    /// One cycle of the decode-per-cycle reference path.
+    fn step_decoded(&mut self, plan: &mut DecodedPlan) -> Result<(), SimError> {
         let cycle = self.cycle;
         let width = self.geometry.width();
         let layers = self.geometry.layers();
@@ -557,27 +597,7 @@ impl RingMachine {
         }
 
         // 2. Controller.
-        let ctrl_step = {
-            let mut ports = PortsAdapter {
-                bus: self.bus,
-                switches: &mut self.switches,
-            };
-            self.controller
-                .step(&mut ports)
-                .map_err(|fault| match fault {
-                    CtrlFault::PcOutOfRange { pc } => SimError::PcOutOfRange { cycle, pc },
-                    CtrlFault::BadInstruction { pc, cause } => {
-                        SimError::BadInstruction { cycle, pc, cause }
-                    }
-                    CtrlFault::DmemOutOfRange { addr } => SimError::DmemOutOfRange { cycle, addr },
-                    CtrlFault::BadPort(cause) => SimError::BadConfigWrite { cycle, cause },
-                })?
-        };
-        if ctrl_step.retired {
-            self.stats.ctrl_instrs += 1;
-        } else {
-            self.stats.ctrl_stall_cycles += 1;
-        }
+        let ctrl_step = self.controller_substep(cycle)?;
 
         // 3. Host stream movement (words pushed now are visible next cycle).
         self.host.step(&mut self.switches, &mut self.stats);
@@ -632,7 +652,7 @@ impl RingMachine {
         // Controller effects (after Dnode commit so mode/sequencer writes
         // take effect cleanly at the next cycle boundary).
         for effect in &ctrl_step.effects {
-            self.apply_effect(effect)
+            self.apply_effect(effect, plan)
                 .map_err(|cause| SimError::BadConfigWrite { cycle, cause })?;
         }
 
@@ -659,7 +679,220 @@ impl RingMachine {
         Ok(())
     }
 
-    fn apply_effect(&mut self, effect: &CtrlEffect) -> Result<(), ConfigError> {
+    /// One cycle of the predecoded-cache fast path.
+    ///
+    /// Structurally a mirror of [`RingMachine::step_decoded`] with the same
+    /// phase ordering and the per-cycle decode, allocation and idle-Dnode
+    /// work hoisted into [`DecodedPlan`]; every architectural effect and
+    /// statistic is reproduced exactly.
+    fn step_cached(&mut self, plan: &mut DecodedPlan) -> Result<(), SimError> {
+        let cycle = self.cycle;
+
+        // ---- Compute phase -------------------------------------------------
+        // 0. Bring the active context's plan up to date.
+        let active_ctx = self.config.active_index();
+        let misses = plan.refresh(active_ctx, &self.config, &self.dnodes, self.geometry);
+        if misses == 0 {
+            self.stats.decode_cache_hits += 1;
+        } else {
+            self.stats.decode_cache_misses += misses;
+        }
+
+        // 1. Dnode datapaths, over the work list only.
+        let (cp, scratch) = plan.parts(active_ctx);
+        scratch.begin();
+        let mut underflows = 0u64;
+        let mut bus_first: Option<Word16> = None;
+        let mut bus_count = 0usize;
+        for &d32 in &cp.work {
+            let d = d32 as usize;
+            let op = match self.dnodes[d].mode() {
+                DnodeMode::Global => &cp.ops[d],
+                DnodeMode::Local => {
+                    let lp = cp.local[d].as_ref().expect("local plan refreshed");
+                    &lp.ops[self.dnodes[d].sequencer().counter() as usize]
+                }
+            };
+            if op.skip {
+                // An idle local-mode slot computes nothing, but the commit
+                // phase must still advance the sequencer and count the
+                // local cycle.
+                scratch.staged.push(StagedWrite {
+                    dnode: d32,
+                    result: Word16::ZERO,
+                    wr_reg: None,
+                    wr_out: false,
+                    active: false,
+                    mult: false,
+                });
+                continue;
+            }
+            let a = self.read_fast(op.a, d, scratch, &mut underflows);
+            let b = self.read_fast(op.b, d, scratch, &mut underflows);
+            let acc = op
+                .acc
+                .map(|reg| self.dnodes[d].reg(reg))
+                .unwrap_or(Word16::ZERO);
+            let result = op.alu.eval(a, b, acc);
+            if op.wr_bus {
+                if bus_first.is_none() {
+                    bus_first = Some(result);
+                }
+                bus_count += 1;
+            }
+            scratch.staged.push(StagedWrite {
+                dnode: d32,
+                result,
+                wr_reg: op.wr_reg,
+                wr_out: op.wr_out,
+                active: op.active,
+                mult: op.mult,
+            });
+        }
+        self.stats.fifo_underflows += underflows;
+
+        // Consume the host-input FIFO heads read this cycle.
+        let stride = scratch.hostin_stride;
+        for &flat in &scratch.hostin_touched {
+            let flat = flat as usize;
+            self.switches[flat / stride].host_in[flat % stride].pop();
+        }
+
+        // 2. Controller.
+        let ctrl_step = self.controller_substep(cycle)?;
+
+        // 3. Host stream movement (words pushed now are visible next cycle).
+        self.host.step(&mut self.switches, &mut self.stats);
+
+        // ---- Commit phase ---------------------------------------------------
+        // Host captures from pre-commit outputs, in commit order.
+        for cap in &cp.captures {
+            let word = self.dnodes[cap.src].out();
+            if self.switches[cap.switch].host_out[cap.port].push(word) == PushOutcome::Dropped {
+                self.stats.fifo_overflows += 1;
+            }
+        }
+
+        // Feedback pipelines, allocation-free.
+        let geometry = self.geometry;
+        let dnodes = &self.dnodes;
+        for (s, switch) in self.switches.iter_mut().enumerate() {
+            let layer = geometry.upstream_layer(s);
+            switch
+                .pipe
+                .rotate_with(|lane| dnodes[geometry.dnode_index(layer, lane)].out());
+        }
+
+        // Dnode registers, outputs and sequencers; statistics.
+        for st in &scratch.staged {
+            let d = st.dnode as usize;
+            self.dnodes[d].stage_write(st.wr_reg, st.wr_out, st.result);
+            self.dnodes[d].commit();
+            if self.dnodes[d].mode() == DnodeMode::Local {
+                self.stats.dnodes[d].local_cycles += 1;
+            }
+            if st.active {
+                self.stats.dnodes[d].active_cycles += 1;
+                self.stats.dnodes[d].alu_ops += 1;
+                if st.mult {
+                    self.stats.dnodes[d].mult_ops += 1;
+                }
+            }
+        }
+
+        // Controller effects (after Dnode commit so mode/sequencer writes
+        // take effect cleanly at the next cycle boundary).
+        for effect in &ctrl_step.effects {
+            self.apply_effect(effect, plan)
+                .map_err(|cause| SimError::BadConfigWrite { cycle, cause })?;
+        }
+
+        // Shared bus: controller drive wins, then the lowest-index Dnode.
+        let ctrl_drive = ctrl_step.effects.iter().find_map(|e| match e {
+            CtrlEffect::DriveBus(w) => Some(*w),
+            _ => None,
+        });
+        let total_drivers = bus_count + usize::from(ctrl_drive.is_some());
+        if total_drivers > 1 {
+            self.stats.bus_conflicts += 1;
+        }
+        if let Some(word) = ctrl_drive.or(bus_first) {
+            self.bus = word;
+        }
+
+        // Active-context switch staged by the controller.
+        if self.config.commit() {
+            self.stats.ctx_switches += 1;
+        }
+
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        Ok(())
+    }
+
+    /// The controller's share of the compute phase (both paths).
+    fn controller_substep(&mut self, cycle: u64) -> Result<CtrlStep, SimError> {
+        let ctrl_step = {
+            let mut ports = PortsAdapter {
+                bus: self.bus,
+                switches: &mut self.switches,
+            };
+            self.controller
+                .step(&mut ports)
+                .map_err(|fault| match fault {
+                    CtrlFault::PcOutOfRange { pc } => SimError::PcOutOfRange { cycle, pc },
+                    CtrlFault::BadInstruction { pc, cause } => {
+                        SimError::BadInstruction { cycle, pc, cause }
+                    }
+                    CtrlFault::DmemOutOfRange { addr } => SimError::DmemOutOfRange { cycle, addr },
+                    CtrlFault::BadPort(cause) => SimError::BadConfigWrite { cycle, cause },
+                })?
+        };
+        if ctrl_step.retired {
+            self.stats.ctrl_instrs += 1;
+        } else {
+            self.stats.ctrl_stall_cycles += 1;
+        }
+        Ok(ctrl_step)
+    }
+
+    /// Reads one pre-resolved operand source against pre-cycle state
+    /// (the fast path's [`RingMachine::resolve_source`]).
+    fn read_fast(
+        &self,
+        src: FastSrc,
+        dnode: usize,
+        scratch: &mut Scratch,
+        underflows: &mut u64,
+    ) -> Word16 {
+        match src {
+            FastSrc::Const(word) => word,
+            FastSrc::Reg(reg) => self.dnodes[dnode].reg(reg),
+            FastSrc::Bus => self.bus,
+            FastSrc::Out(index) => self.dnodes[index].out(),
+            FastSrc::Pipe {
+                switch,
+                stage,
+                lane,
+            } => self.switches[switch].pipe.read(stage, lane),
+            FastSrc::HostIn { switch, port } => {
+                scratch.mark_hostin(switch, port);
+                match self.switches[switch].host_in[port].peek() {
+                    Some(word) => word,
+                    None => {
+                        *underflows += 1;
+                        Word16::ZERO
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_effect(
+        &mut self,
+        effect: &CtrlEffect,
+        plan: &mut DecodedPlan,
+    ) -> Result<(), ConfigError> {
         match *effect {
             CtrlEffect::WriteDnode { ctx, dnode, word } => {
                 let instr = MicroInstr::decode(word)?;
@@ -689,11 +922,15 @@ impl RingMachine {
                 if dnode >= dnodes {
                     return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
                 }
-                self.dnodes[dnode].set_mode(if local {
+                let mode = if local {
                     DnodeMode::Local
                 } else {
                     DnodeMode::Global
-                });
+                };
+                if self.dnodes[dnode].mode() != mode {
+                    plan.note_mode_write();
+                }
+                self.dnodes[dnode].set_mode(mode);
                 self.stats.config_writes += 1;
                 Ok(())
             }
@@ -707,6 +944,7 @@ impl RingMachine {
                 }
                 let instr = MicroInstr::decode(word)?;
                 self.dnodes[dnode].sequencer_mut().set_slot(slot, instr);
+                plan.note_seq_write(dnode);
                 self.stats.config_writes += 1;
                 Ok(())
             }
@@ -757,14 +995,54 @@ impl RingMachine {
         Ok(())
     }
 
-    /// Runs until the controller halts, up to `max_cycles`.
+    /// Runs until the controller halts, executing at most `max_cycles`
+    /// further cycles. Returns the number of cycles executed.
     ///
-    /// Returns the number of cycles executed.
+    /// # Budget-boundary semantics
+    ///
+    /// The halt flag is sampled at cycle *boundaries*, before each step:
+    /// an already-halted machine executes zero cycles, and a `halt`
+    /// retiring on some cycle is itself the last cycle counted. The budget
+    /// is exact — this method never "overshoots mid-step". In particular,
+    /// on [`SimError::CycleLimit`] exactly `max_cycles` cycles have been
+    /// executed and are reflected in [`RingMachine::cycle`] (and in the
+    /// statistics), and the machine can simply be resumed with a fresh
+    /// budget. The batch runner's `UntilHalt` accounting slices its total
+    /// budget through this method and relies on that exactness.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::CycleLimit`] if the controller has not halted
     /// within the budget, or any fault encountered earlier.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use systolic_ring_core::{RingMachine, SimError};
+    /// use systolic_ring_isa::ctrl::CtrlInstr;
+    /// use systolic_ring_isa::RingGeometry;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+    /// m.controller_mut().load_program(&[
+    ///     CtrlInstr::Wait { cycles: 3 }.encode(),
+    ///     CtrlInstr::Halt.encode(),
+    /// ])?;
+    /// // Budget exhausted: exactly 2 cycles ran, not one more.
+    /// assert!(matches!(
+    ///     m.run_until_halt(2),
+    ///     Err(SimError::CycleLimit { limit: 2 })
+    /// ));
+    /// assert_eq!(m.cycle(), 2);
+    /// // Resuming finishes the wait; the halt occupies its own cycle.
+    /// let executed = m.run_until_halt(64)?;
+    /// assert_eq!(m.cycle(), 2 + executed);
+    /// assert!(m.controller().is_halted());
+    /// // A halted machine runs zero further cycles.
+    /// assert_eq!(m.run_until_halt(64)?, 0);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn run_until_halt(&mut self, max_cycles: u64) -> Result<u64, SimError> {
         let start = self.cycle;
         while !self.controller.is_halted() {

@@ -1,5 +1,7 @@
 //! Machine parameterization beyond the ring geometry.
 
+use std::cell::Cell;
+
 /// Host-link bandwidth model.
 ///
 /// The paper quotes two operating points for Ring-8 at 200 MHz (§5.1): the
@@ -56,6 +58,18 @@ pub struct MachineParams {
     pub dmem_capacity: usize,
     /// Host-link bandwidth model.
     pub link: LinkModel,
+    /// Execute from the predecoded configuration cache (the fast path).
+    ///
+    /// When `true` (the default), [`crate::RingMachine::step`] runs each
+    /// cycle from dense pre-resolved operation plans that are decoded once
+    /// per distinct configuration and invalidated only by configuration
+    /// writes; NOP/idle Dnodes are skipped entirely. When `false` the
+    /// machine takes the original decode-per-cycle reference path. The two
+    /// paths are architecturally identical — same outputs, same traces,
+    /// same statistics except the [`crate::Stats::decode_cache_hits`] /
+    /// [`crate::Stats::decode_cache_misses`] counters — so differential
+    /// tests oracle one against the other.
+    pub decode_cache: bool,
 }
 
 impl MachineParams {
@@ -68,6 +82,7 @@ impl MachineParams {
         prog_capacity: 65536,
         dmem_capacity: 65536,
         link: LinkModel::Direct,
+        decode_cache: true,
     };
 
     /// Builder: set the context count.
@@ -93,12 +108,86 @@ impl MachineParams {
         self.link = link;
         self
     }
+
+    /// Builder: enable or disable the predecoded configuration cache.
+    ///
+    /// # Examples
+    ///
+    /// The cached fast path and the uncached reference path are
+    /// bit-identical:
+    ///
+    /// ```
+    /// use systolic_ring_core::{MachineParams, RingMachine};
+    /// use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand, Reg};
+    /// use systolic_ring_isa::RingGeometry;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let count = MicroInstr::op(AluOp::Add, Operand::Reg(Reg::R0), Operand::One)
+    ///     .write_reg(Reg::R0)
+    ///     .write_out();
+    /// let mut runs = Vec::new();
+    /// for cached in [true, false] {
+    ///     let params = MachineParams::PAPER.with_decode_cache(cached);
+    ///     let mut m = RingMachine::new(RingGeometry::RING_8, params);
+    ///     m.configure().set_dnode_instr(0, 0, count)?;
+    ///     m.run(5)?;
+    ///     runs.push(m.dnode(0).reg(Reg::R0));
+    /// }
+    /// assert_eq!(runs[0], runs[1]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_decode_cache(mut self, decode_cache: bool) -> Self {
+        self.decode_cache = decode_cache;
+        self
+    }
 }
 
 impl Default for MachineParams {
     fn default() -> Self {
         MachineParams::PAPER
     }
+}
+
+thread_local! {
+    static DECODE_CACHE_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with [`MachineParams::decode_cache`] forced to `enabled` for
+/// every [`crate::RingMachine`] *created* on this thread inside the call.
+///
+/// Kernel drivers and other workload adapters construct their machines
+/// internally with fixed parameters; differential fast-vs-slow oracles wrap
+/// whole driver calls in `with_decode_cache(false, ..)` to obtain the
+/// uncached reference run without widening every driver signature. The
+/// override nests, applies only to machine construction (an existing
+/// machine keeps the flag it was built with), and is restored even if `f`
+/// panics.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_core::{with_decode_cache, MachineParams, RingMachine};
+/// use systolic_ring_isa::RingGeometry;
+///
+/// let m = with_decode_cache(false, || RingMachine::with_defaults(RingGeometry::RING_8));
+/// assert!(!m.params().decode_cache);
+/// assert!(RingMachine::with_defaults(RingGeometry::RING_8).params().decode_cache);
+/// ```
+pub fn with_decode_cache<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DECODE_CACHE_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(DECODE_CACHE_OVERRIDE.with(|cell| cell.replace(Some(enabled))));
+    f()
+}
+
+/// The active scoped override, if any (consulted by machine construction).
+pub(crate) fn decode_cache_override() -> Option<bool> {
+    DECODE_CACHE_OVERRIDE.with(|cell| cell.get())
 }
 
 #[cfg(test)]

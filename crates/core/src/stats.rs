@@ -48,6 +48,13 @@ pub struct Stats {
     pub fifo_overflows: u64,
     /// Cycles in which more than one writer drove the shared bus.
     pub bus_conflicts: u64,
+    /// Cycles the predecoded-configuration fast path ran without rebuilding
+    /// any cache entry (always 0 when the cache is disabled).
+    pub decode_cache_hits: u64,
+    /// Predecoded-cache entries (re)built: one per Dnode plan, capture
+    /// plan, work-list or local-loop unroll decoded (always 0 when the
+    /// cache is disabled).
+    pub decode_cache_misses: u64,
 }
 
 impl Stats {
@@ -118,6 +125,22 @@ impl Stats {
         self.fifo_underflows += other.fifo_underflows;
         self.fifo_overflows += other.fifo_overflows;
         self.bus_conflicts += other.bus_conflicts;
+        self.decode_cache_hits += other.decode_cache_hits;
+        self.decode_cache_misses += other.decode_cache_misses;
+    }
+
+    /// A copy with the decode-cache counters zeroed.
+    ///
+    /// The cache counters are the one intentional difference between the
+    /// fast and reference execution paths; differential oracles compare
+    /// `a.without_cache_counters() == b.without_cache_counters()` to demand
+    /// equality of every architectural counter.
+    pub fn without_cache_counters(&self) -> Stats {
+        Stats {
+            decode_cache_hits: 0,
+            decode_cache_misses: 0,
+            ..self.clone()
+        }
     }
 }
 

@@ -61,6 +61,18 @@ impl FeedbackPipeline {
         self.stages.push_front(vector);
         self.stages.pop_back();
     }
+
+    /// Captures a new stage-0 vector without allocating: the evicted
+    /// oldest stage's buffer is refilled lane-by-lane from `fill` and
+    /// reinserted as the newest stage. Equivalent to
+    /// [`FeedbackPipeline::push`] with `vec![fill(0), .., fill(width-1)]`.
+    pub fn rotate_with<F: FnMut(usize) -> Word16>(&mut self, mut fill: F) {
+        let mut stage = self.stages.pop_back().expect("depth >= 1");
+        for (lane, slot) in stage.iter_mut().enumerate() {
+            *slot = fill(lane);
+        }
+        self.stages.push_front(stage);
+    }
 }
 
 /// Outcome of a bounded FIFO push.

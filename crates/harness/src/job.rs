@@ -13,7 +13,7 @@
 
 use std::time::{Duration, Instant};
 
-use systolic_ring_core::{ConfigError, MachineParams, RingMachine, Stats};
+use systolic_ring_core::{ConfigError, MachineParams, RingMachine, SimError, Stats};
 use systolic_ring_isa::object::Object;
 use systolic_ring_isa::{RingGeometry, Word16};
 
@@ -217,6 +217,29 @@ impl Job {
         self.wall_limit = Some(limit);
         self
     }
+
+    /// Forces the predecoded configuration cache on or off for every
+    /// machine this job creates.
+    ///
+    /// Machine jobs get the flag set directly on their
+    /// [`MachineParams`]. Custom jobs — kernel drivers that build their
+    /// machines internally with fixed parameters — are wrapped in a
+    /// [`systolic_ring_core::with_decode_cache`] scope, which follows the
+    /// closure onto whichever worker thread runs it. This is how the
+    /// fast-vs-slow differential oracle obtains reference runs of every
+    /// kernel family without widening each driver's signature.
+    pub fn with_decode_cache(mut self, enabled: bool) -> Self {
+        self.work = match self.work {
+            JobWork::Machine(mut m) => {
+                m.params = m.params.with_decode_cache(enabled);
+                JobWork::Machine(m)
+            }
+            JobWork::Custom(work) => JobWork::Custom(Box::new(move || {
+                systolic_ring_core::with_decode_cache(enabled, || work())
+            })),
+        };
+        self
+    }
 }
 
 /// A completed job's results.
@@ -225,7 +248,12 @@ pub struct JobOutput {
     /// Output words, one vector per declared sink (machine jobs) or in
     /// workload-defined order (custom jobs).
     pub outputs: Vec<Vec<i16>>,
-    /// Simulated cycles consumed.
+    /// Simulated cycles consumed — exactly the cycles executed, with no
+    /// overshoot at budget boundaries. Machine jobs inherit the exact
+    /// budget-boundary semantics of
+    /// [`RingMachine::run_until_halt`]: a `Cycles(n)` budget reports `n`,
+    /// and an `UntilHalt` run reports the cycle on which the halt retired
+    /// (the `halt` occupies its own cycle), never a mid-slice rounding.
     pub cycles: u64,
     /// Machine statistics over the run.
     pub stats: Stats,
@@ -350,13 +378,15 @@ pub(crate) fn run_machine(
                 executed += slice;
             }
             CycleBudget::UntilHalt { .. } => {
-                // Step one slice, stopping early on halt.
-                for _ in 0..slice {
-                    if m.controller().is_halted() {
-                        break;
-                    }
-                    m.step().map_err(|e| JobFault::Sim(e.to_string()))?;
-                    executed += 1;
+                // Delegate the slice to the machine's own halt-aware
+                // runner so the two agree on budget-boundary accounting
+                // by construction: a `CycleLimit` on the slice means
+                // exactly `slice` cycles ran (never a partial step), and
+                // a halt stops the count on the halt's own cycle.
+                match m.run_until_halt(slice) {
+                    Ok(n) => executed += n,
+                    Err(SimError::CycleLimit { .. }) => executed += slice,
+                    Err(e) => return Err(JobFault::Sim(e.to_string())),
                 }
             }
         }
@@ -468,5 +498,92 @@ mod tests {
         let fault = JobFault::Diverged { max_cycles: 9 };
         assert!(fault.to_string().contains("9 cycles"));
         assert!(JobFault::Panic("boom".into()).to_string().contains("boom"));
+    }
+
+    fn halting_job(wait: u16, max_cycles: u64) -> Job {
+        use systolic_ring_isa::ctrl::CtrlInstr;
+        let program = vec![
+            CtrlInstr::Wait { cycles: wait }.encode(),
+            CtrlInstr::Halt.encode(),
+        ];
+        Job::from_config(
+            "halting",
+            RingGeometry::RING_8,
+            MachineParams::PAPER,
+            move |m| m.controller_mut().load_program(&program),
+            CycleBudget::UntilHalt { max_cycles },
+        )
+    }
+
+    /// The batch runner's `UntilHalt` accounting must agree exactly with
+    /// `RingMachine::run_until_halt`, including at budget boundaries.
+    #[test]
+    fn until_halt_cycle_accounting_matches_run_until_halt() {
+        use systolic_ring_isa::ctrl::CtrlInstr;
+        let program = vec![
+            CtrlInstr::Wait { cycles: 37 }.encode(),
+            CtrlInstr::Halt.encode(),
+        ];
+        let mut reference = RingMachine::new(RingGeometry::RING_8, MachineParams::PAPER);
+        reference.controller_mut().load_program(&program).unwrap();
+        let halted_at = reference.run_until_halt(10_000).expect("halts");
+
+        let job = halting_job(37, 10_000);
+        let JobWork::Machine(m) = &job.work else {
+            panic!("machine job")
+        };
+        let out = run_machine(m, None).expect("runs");
+        assert_eq!(out.cycles, halted_at);
+        assert_eq!(out.stats.cycles, halted_at);
+
+        // A budget of exactly the halt cycle completes; one less diverges
+        // with exactly the budget consumed — no mid-step overshoot.
+        let job = halting_job(37, halted_at);
+        let JobWork::Machine(m) = &job.work else {
+            panic!("machine job")
+        };
+        assert_eq!(run_machine(m, None).expect("exact fit").cycles, halted_at);
+
+        let job = halting_job(37, halted_at - 1);
+        let JobWork::Machine(m) = &job.work else {
+            panic!("machine job")
+        };
+        assert!(matches!(
+            run_machine(m, None),
+            Err(JobFault::Diverged { max_cycles }) if max_cycles == halted_at - 1
+        ));
+    }
+
+    #[test]
+    fn decode_cache_toggle_reaches_machine_jobs() {
+        for (enabled, expect_hits) in [(true, true), (false, false)] {
+            let job = counting_job(64).with_decode_cache(enabled);
+            let JobWork::Machine(m) = &job.work else {
+                panic!("machine job")
+            };
+            assert_eq!(m.params.decode_cache, enabled);
+            let out = run_machine(m, None).expect("runs");
+            assert_eq!(out.stats.decode_cache_hits > 0, expect_hits);
+        }
+    }
+
+    #[test]
+    fn decode_cache_toggle_wraps_custom_jobs() {
+        let job = Job::custom("probe", || {
+            let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+            m.run(16).map_err(|e| e.to_string())?;
+            Ok(JobOutput {
+                outputs: Vec::new(),
+                cycles: m.cycle(),
+                stats: m.stats().clone(),
+            })
+        })
+        .with_decode_cache(false);
+        let JobWork::Custom(work) = &job.work else {
+            panic!("custom job")
+        };
+        let out = work().expect("runs");
+        assert_eq!(out.stats.decode_cache_hits, 0);
+        assert_eq!(out.stats.decode_cache_misses, 0);
     }
 }

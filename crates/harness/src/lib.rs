@@ -9,11 +9,11 @@
 //! shared state at all. This crate turns that observation into
 //! infrastructure:
 //!
-//! * [`job`] — a [`Job`](job::Job) describes one simulator run (geometry,
+//! * [`job`] — a [`Job`] describes one simulator run (geometry,
 //!   sizing parameters, an assembled object or a raw configuration
 //!   closure, input streams, cycle budget) or wraps an arbitrary
 //!   self-contained workload closure,
-//! * [`runner`] — a [`BatchRunner`](runner::BatchRunner) shards jobs
+//! * [`runner`] — a [`BatchRunner`] shards jobs
 //!   across `std::thread::available_parallelism()` workers with
 //!   work-stealing, captures panics and faults per job (a diverging or
 //!   panicking job yields a fault report, never poisons the batch) and

@@ -96,98 +96,324 @@ pub enum CtrlInstr {
     /// No operation.
     Nop,
     /// `rd = ra + rb` (wrapping).
-    Add { rd: CReg, ra: CReg, rb: CReg },
+    Add {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = ra - rb` (wrapping).
-    Sub { rd: CReg, ra: CReg, rb: CReg },
+    Sub {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = ra & rb`.
-    And { rd: CReg, ra: CReg, rb: CReg },
+    And {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = ra | rb`.
-    Or { rd: CReg, ra: CReg, rb: CReg },
+    Or {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = ra ^ rb`.
-    Xor { rd: CReg, ra: CReg, rb: CReg },
+    Xor {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = ra << (rb & 31)`.
-    Sll { rd: CReg, ra: CReg, rb: CReg },
+    Sll {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = ra >> (rb & 31)` (logical).
-    Srl { rd: CReg, ra: CReg, rb: CReg },
+    Srl {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = ra >> (rb & 31)` (arithmetic).
-    Sra { rd: CReg, ra: CReg, rb: CReg },
+    Sra {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = (ra <s rb) ? 1 : 0`.
-    Slt { rd: CReg, ra: CReg, rb: CReg },
+    Slt {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = (ra <u rb) ? 1 : 0`.
-    Sltu { rd: CReg, ra: CReg, rb: CReg },
+    Sltu {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = ra * rb` (low 32 bits).
-    Mul { rd: CReg, ra: CReg, rb: CReg },
+    Mul {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+    },
     /// `rd = ra + sext(imm)`.
-    Addi { rd: CReg, ra: CReg, imm: i16 },
+    Addi {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Immediate operand.
+        imm: i16,
+    },
     /// `rd = ra & zext(imm)`.
-    Andi { rd: CReg, ra: CReg, imm: u16 },
+    Andi {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Immediate operand.
+        imm: u16,
+    },
     /// `rd = ra | zext(imm)`.
-    Ori { rd: CReg, ra: CReg, imm: u16 },
+    Ori {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Immediate operand.
+        imm: u16,
+    },
     /// `rd = ra ^ zext(imm)`.
-    Xori { rd: CReg, ra: CReg, imm: u16 },
+    Xori {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Immediate operand.
+        imm: u16,
+    },
     /// `rd = (ra <s sext(imm)) ? 1 : 0`.
-    Slti { rd: CReg, ra: CReg, imm: i16 },
+    Slti {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Immediate operand.
+        imm: i16,
+    },
     /// `rd = imm << 16`.
-    Lui { rd: CReg, imm: u16 },
+    Lui {
+        /// Destination register.
+        rd: CReg,
+        /// Immediate operand.
+        imm: u16,
+    },
     /// `rd = dmem[ra + sext(imm)]` (word addressed).
-    Lw { rd: CReg, ra: CReg, imm: i16 },
+    Lw {
+        /// Destination register.
+        rd: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Immediate operand.
+        imm: i16,
+    },
     /// `dmem[ra + sext(imm)] = rs` (word addressed).
-    Sw { rs: CReg, ra: CReg, imm: i16 },
+    Sw {
+        /// Source register `rs`.
+        rs: CReg,
+        /// Source register `ra`.
+        ra: CReg,
+        /// Immediate operand.
+        imm: i16,
+    },
     /// Branch if `ra == rb` to `pc + 1 + offset`.
-    Beq { ra: CReg, rb: CReg, offset: i16 },
+    Beq {
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+        /// Branch offset in words, relative to `pc + 1`.
+        offset: i16,
+    },
     /// Branch if `ra != rb`.
-    Bne { ra: CReg, rb: CReg, offset: i16 },
+    Bne {
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+        /// Branch offset in words, relative to `pc + 1`.
+        offset: i16,
+    },
     /// Branch if `ra <s rb`.
-    Blt { ra: CReg, rb: CReg, offset: i16 },
+    Blt {
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+        /// Branch offset in words, relative to `pc + 1`.
+        offset: i16,
+    },
     /// Branch if `ra >=s rb`.
-    Bge { ra: CReg, rb: CReg, offset: i16 },
+    Bge {
+        /// Source register `ra`.
+        ra: CReg,
+        /// Source register `rb`.
+        rb: CReg,
+        /// Branch offset in words, relative to `pc + 1`.
+        offset: i16,
+    },
     /// Jump to absolute word address `target`.
-    J { target: u16 },
+    J {
+        /// Absolute word address.
+        target: u16,
+    },
     /// Jump and link: `r15 = pc + 1; pc = target`.
-    Jal { target: u16 },
+    Jal {
+        /// Absolute word address.
+        target: u16,
+    },
     /// Jump to the address in `ra`.
-    Jr { ra: CReg },
+    Jr {
+        /// Source register `ra`.
+        ra: CReg,
+    },
     /// Set the 16-bit configuration-immediate register `CIR` (supplies the
     /// immediate field of subsequently written Dnode microinstructions).
-    Cimm { imm: u16 },
+    Cimm {
+        /// Immediate operand.
+        imm: u16,
+    },
     /// Select the context written by subsequent `Wdn`/`Wsw`/`Who` writes.
-    Wctx { ctx: u16 },
+    Wctx {
+        /// Context index.
+        ctx: u16,
+    },
     /// Write Dnode microinstruction: `contexts[WCTX][dnode].instr =
     /// (rs as low 32 bits) | (CIR << 32)`.
-    Wdn { rs: CReg, dnode: u16 },
+    Wdn {
+        /// Source register `rs`.
+        rs: CReg,
+        /// Flat Dnode index.
+        dnode: u16,
+    },
     /// Write a switch crossbar port: `port` packs
     /// `(switch * width + lane) * 4 + input` where `input` selects
     /// `In1`/`In2`/`Fifo1`/`Fifo2`; the value is `rs` interpreted as a
     /// [`crate::switch::PortSource`] word.
-    Wsw { rs: CReg, port: u16 },
+    Wsw {
+        /// Source register `rs`.
+        rs: CReg,
+        /// Flat port index.
+        port: u16,
+    },
     /// Write a host-output capture selector; `switch` packs
     /// `switch_index << 8 | out_port` and the value is a
     /// [`crate::switch::HostCapture`] word.
-    Who { rs: CReg, switch: u16 },
+    Who {
+        /// Source register `rs`.
+        rs: CReg,
+        /// Packed `switch_index << 8 | port` address.
+        switch: u16,
+    },
     /// Set a Dnode's execution mode: `rs = 0` global, nonzero local.
     /// Entering local mode resets the sequencer counter.
-    Wmode { rs: CReg, dnode: u16 },
+    Wmode {
+        /// Source register `rs`.
+        rs: CReg,
+        /// Flat Dnode index.
+        dnode: u16,
+    },
     /// Write local-sequencer slot: `packed = dnode << 3 | slot`; the value is
     /// `(rs as low 32 bits) | (CIR << 32)` as a microinstruction word.
-    Wloc { rs: CReg, packed: u16 },
+    Wloc {
+        /// Source register `rs`.
+        rs: CReg,
+        /// Packed `dnode << 3 | slot` address.
+        packed: u16,
+    },
     /// Set a Dnode's sequencer limit (`rs` in 1..=8) and reset its counter.
-    Wlim { rs: CReg, dnode: u16 },
+    Wlim {
+        /// Source register `rs`.
+        rs: CReg,
+        /// Flat Dnode index.
+        dnode: u16,
+    },
     /// Select the active configuration context, effective next cycle — the
     /// whole-fabric reconfiguration primitive.
-    Ctx { ctx: u16 },
+    Ctx {
+        /// Context index.
+        ctx: u16,
+    },
     /// Drive the shared bus with the low 16 bits of `rs` for one cycle.
-    Busw { rs: CReg },
+    Busw {
+        /// Source register `rs`.
+        rs: CReg,
+    },
     /// Read the current bus value (zero-extended) into `rd`.
-    Busr { rd: CReg },
+    Busr {
+        /// Destination register.
+        rd: CReg,
+    },
     /// Push the low 16 bits of `rs` into a host-input FIFO; `switch` packs
     /// `switch_index << 8 | port`.
-    Hpush { rs: CReg, switch: u16 },
+    Hpush {
+        /// Source register `rs`.
+        rs: CReg,
+        /// Packed `switch_index << 8 | port` address.
+        switch: u16,
+    },
     /// Pop a host-output FIFO into `rd`; `switch` packs
     /// `switch_index << 8 | out_port`. Stalls the controller (the ring
     /// keeps running) until data is available.
-    Hpop { rd: CReg, switch: u16 },
+    Hpop {
+        /// Destination register.
+        rd: CReg,
+        /// Packed `switch_index << 8 | port` address.
+        switch: u16,
+    },
     /// Stall for `cycles` cycles while the ring keeps running.
-    Wait { cycles: u16 },
+    Wait {
+        /// Stall duration in cycles.
+        cycles: u16,
+    },
     /// Stop the controller; the machine reports completion.
     Halt,
 }

@@ -33,6 +33,8 @@
 //! assert_eq!(MicroInstr::decode(mac.encode()).unwrap(), mac);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ctrl;
 pub mod dnode;
 pub mod geometry;

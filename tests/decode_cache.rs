@@ -1,0 +1,78 @@
+//! Decode-cache acceptance: the cached fast path and the
+//! decode-per-cycle reference path must agree — output for output, cycle
+//! for cycle, counter for counter — over every kernel family in the
+//! library, and both must match the golden software models.
+
+use systolic_ring::harness::runner::BatchRunner;
+use systolic_ring::kernels::batch::{oracle_suite, run_oracle, OracleCase};
+
+const SEED: u64 = 0xdeca_c4ed;
+const ROUNDS: usize = 2;
+
+fn suite_with_cache(enabled: bool) -> Vec<OracleCase> {
+    oracle_suite(SEED, ROUNDS)
+        .into_iter()
+        .map(|case| OracleCase {
+            job: case.job.with_decode_cache(enabled),
+            ..case
+        })
+        .collect()
+}
+
+/// Both paths satisfy the golden differential oracle on their own.
+#[test]
+fn both_paths_match_golden_models() {
+    for enabled in [true, false] {
+        let report = run_oracle(&BatchRunner::new(), suite_with_cache(enabled));
+        assert!(
+            report.all_match(),
+            "decode_cache={enabled}: mismatches {:?} faults {:?}",
+            report.mismatches,
+            report.faults
+        );
+    }
+}
+
+/// Fast vs slow, kernel by kernel: identical outputs, identical cycle
+/// counts, identical architectural statistics. Only the cache's own
+/// hit/miss counters may differ — and they must be zero on the slow path
+/// and live on the fast path.
+#[test]
+fn fast_and_slow_paths_agree_over_every_kernel_family() {
+    let fast_jobs: Vec<_> = suite_with_cache(true).into_iter().map(|c| c.job).collect();
+    let slow_jobs: Vec<_> = suite_with_cache(false).into_iter().map(|c| c.job).collect();
+    let fast = BatchRunner::new().run(&fast_jobs);
+    let slow = BatchRunner::new().run(&slow_jobs);
+
+    assert_eq!(fast.reports.len(), 22, "11 kernel families x 2 rounds");
+    let mut fast_hits = 0;
+    for (f, s) in fast.reports.iter().zip(&slow.reports) {
+        let fo = f
+            .outcome
+            .output()
+            .unwrap_or_else(|| panic!("fast path faulted on {}: {:?}", f.name, f.outcome));
+        let so = s
+            .outcome
+            .output()
+            .unwrap_or_else(|| panic!("slow path faulted on {}: {:?}", s.name, s.outcome));
+        assert_eq!(fo.outputs, so.outputs, "{}: outputs diverged", f.name);
+        assert_eq!(fo.cycles, so.cycles, "{}: cycle counts diverged", f.name);
+        assert_eq!(
+            fo.stats.without_cache_counters(),
+            so.stats.without_cache_counters(),
+            "{}: architectural stats diverged",
+            f.name
+        );
+        assert_eq!(
+            so.stats.decode_cache_hits + so.stats.decode_cache_misses,
+            0,
+            "{}: slow path must never touch the cache",
+            s.name
+        );
+        fast_hits += fo.stats.decode_cache_hits;
+    }
+    assert!(
+        fast_hits > 0,
+        "the cached suite must actually execute from the cache"
+    );
+}
