@@ -18,6 +18,12 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> chaos smoke (fault injection, 1 seed, 2 kernel families)"
+cargo test -q --test chaos chaos_smoke
+
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

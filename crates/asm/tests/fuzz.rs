@@ -44,7 +44,8 @@ fn fragment_soup(rng: &mut TestRng) -> String {
     let mut out = String::new();
     for _ in 0..count {
         if rng.index(27) < 26 {
-            out.push_str(*rng.choose(&FRAGMENTS));
+            let fragment: &&str = rng.choose(&FRAGMENTS);
+            out.push_str(fragment);
         } else {
             let len = rng.index(25);
             for _ in 0..len {

@@ -1,0 +1,109 @@
+//! Resilience bench: what fault tolerance costs and what it buys.
+//!
+//! Three measurements, all on the Table 1 / Table 2 workloads:
+//!
+//! 1. **Detection overhead** — the Table 1 motion-estimation and Table 2
+//!    wavelet kernels with per-cycle parity scrubs armed (injection off)
+//!    versus bare. The acceptance bound is ≤ 5% wall-clock overhead.
+//! 2. **Checkpoint cost** — wall-clock of `checkpoint()` and `restore()`
+//!    on a configured Ring-16, the unit of rollback the retry policy pays
+//!    per recovery.
+//! 3. **Resilience table** — a chaos campaign across every kernel family
+//!    and a sweep of injection rates: clean / recovered / detected-failed
+//!    / undetected counts, detected faults, retries and remaps per rate.
+//!
+//! The kernels construct their machines internally, so detection is armed
+//! through the scoped [`with_faults`] override, mirroring how the decode
+//! cache ablation uses [`with_decode_cache`].
+//!
+//! [`with_decode_cache`]: systolic_ring_core::with_decode_cache
+
+use systolic_ring_core::{with_faults, FaultConfig, MachineParams, RingMachine};
+use systolic_ring_harness::campaign::run_chaos;
+use systolic_ring_harness::job::RetryPolicy;
+use systolic_ring_harness::microbench::{black_box, Group, Measurement};
+use systolic_ring_harness::runner::BatchRunner;
+use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+use systolic_ring_isa::RingGeometry;
+use systolic_ring_kernels::batch::campaign_suite;
+use systolic_ring_kernels::image::Image;
+use systolic_ring_kernels::motion::{self, BlockMatch};
+use systolic_ring_kernels::wavelet;
+
+fn overhead_pct(bare: &Measurement, armed: &Measurement) -> f64 {
+    (armed.median.as_secs_f64() / bare.median.as_secs_f64() - 1.0) * 100.0
+}
+
+fn main() {
+    // Table 1: full-search motion estimation on a Ring-16.
+    let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
+    let spec = BlockMatch {
+        x0: 28,
+        y0: 28,
+        block: 8,
+        range: 4,
+    };
+    let motion_run = || {
+        motion::block_match_run(
+            RingGeometry::RING_16,
+            black_box(&reference),
+            black_box(&current),
+            spec,
+        )
+        .expect("ring ME")
+    };
+
+    // Table 2: 2-D 5/3 lifting wavelet on a Ring-16.
+    let image = Image::textured(64, 48, 53);
+    let wavelet_run =
+        || wavelet::forward_2d(RingGeometry::RING_16, black_box(&image)).expect("wavelet");
+
+    // Detection armed, injection off: the configuration every production
+    // run would ship with if this were silicon.
+    let detect = FaultConfig::detect_only(1);
+
+    let mut group = Group::new("resilience");
+    let motion_bare = group.bench("table1_motion/bare", motion_run);
+    let motion_armed = group.bench("table1_motion/detect", || with_faults(detect, motion_run));
+    let wavelet_bare = group.bench("table2_wavelet/bare", wavelet_run);
+    let wavelet_armed = group.bench("table2_wavelet/detect", || with_faults(detect, wavelet_run));
+
+    // Checkpoint/restore cost on a configured, busy Ring-16.
+    let mut m = RingMachine::new(RingGeometry::RING_16, MachineParams::PAPER);
+    let mac = MicroInstr::op(AluOp::Mac, Operand::One, Operand::One)
+        .write_reg(Reg::R0)
+        .write_out();
+    for d in 0..m.geometry().dnodes() {
+        m.set_local_program(d, &[mac]).expect("program");
+        m.set_mode(d, DnodeMode::Local);
+    }
+    m.run(256).expect("warm-up");
+    let ckpt_cost = group.bench("ring16/checkpoint", || black_box(m.checkpoint()));
+    let snapshot = m.checkpoint();
+    let restore_cost = group.bench("ring16/restore", || m.restore(black_box(&snapshot)));
+    group.finish_print();
+
+    println!("detection overhead (median, parity scrub every cycle):");
+    println!(
+        "  table1_motion    {:+.2}%    table2_wavelet   {:+.2}%",
+        overhead_pct(&motion_bare, &motion_armed),
+        overhead_pct(&wavelet_bare, &wavelet_armed),
+    );
+    println!(
+        "checkpoint {:.1} us   restore {:.1} us (Ring-16)",
+        ckpt_cost.median.as_secs_f64() * 1e6,
+        restore_cost.median.as_secs_f64() * 1e6,
+    );
+
+    // The resilience table: every kernel family under a fault-rate sweep.
+    let report = run_chaos(
+        &BatchRunner::new(),
+        &[0, 200, 1_000, 5_000, 20_000],
+        0xC0FFEE,
+        RetryPolicy::retries(8).with_remap(true),
+        |_| campaign_suite(0xC0FFEE, 2),
+    );
+    println!("\nchaos campaign (11 kernel families x 2 rounds per rate):");
+    print!("{}", report.render());
+    assert!(report.zero_undetected(), "silent corruption in the sweep");
+}

@@ -55,6 +55,20 @@ impl Context {
     }
 }
 
+/// The modeled configuration parity of one (context, Dnode) entry: parity
+/// of the Dnode's encoded microinstruction XOR its four encoded port
+/// words. The ports of flat Dnode `d` sit at `d * 4 ..` because the switch
+/// feeding layer `l` carries index `l` (see [`ConfigLayer::set_port`]).
+fn entry_parity(context: &Context, dnode: usize) -> bool {
+    let mut ones = context.dnode_instr[dnode].encode().count_ones();
+    for port in 0..DNODE_PORTS {
+        ones += context.ports[dnode * DNODE_PORTS + port]
+            .encode()
+            .count_ones();
+    }
+    ones % 2 == 1
+}
+
 /// The multi-context configuration memory plus the active-context register.
 ///
 /// Besides the configuration words themselves, the layer keeps a monotonic
@@ -82,6 +96,22 @@ pub struct ConfigLayer {
     capture_epochs: Vec<u64>,
     /// Per-context epoch of the last write of any kind.
     ctx_epochs: Vec<u64>,
+    /// Per-(context, Dnode) configuration parity: the expected parity of
+    /// the Dnode's stored microinstruction word XOR its four port words.
+    /// Legitimate writes keep it in sync; fault-injected corruption
+    /// (`corrupt_*`) deliberately does not, which is what
+    /// [`ConfigLayer::scrub`] detects. Granularity matches the predecoded
+    /// plan cache's per-(context, Dnode) epochs — one scrub group per
+    /// cache entry, so a detected corruption invalidates exactly one plan
+    /// entry and nothing else.
+    parity: Vec<Vec<bool>>,
+    /// Per-context count of `corrupt_*` writes since the context last
+    /// verified clean. A scrub of a context with a zero count is O(1) —
+    /// only corruption can create a mismatch, so the full parity scan
+    /// runs only while corruption is actually outstanding. This keeps
+    /// the always-armed detection profile effectively free on healthy
+    /// machines without changing *when* a mismatch is reported.
+    suspect: Vec<u32>,
 }
 
 impl PartialEq for ConfigLayer {
@@ -110,6 +140,14 @@ impl ConfigLayer {
             dnode_epochs: vec![vec![0; geometry.dnodes()]; contexts],
             capture_epochs: vec![0; contexts],
             ctx_epochs: vec![0; contexts],
+            parity: {
+                let reset = Context::new(geometry);
+                let lane = (0..geometry.dnodes())
+                    .map(|d| entry_parity(&reset, d))
+                    .collect::<Vec<bool>>();
+                vec![lane; contexts]
+            },
+            suspect: vec![0; contexts],
         }
     }
 
@@ -247,6 +285,7 @@ impl ConfigLayer {
         }
         self.context_mut(ctx)?.dnode_instr[dnode] = instr;
         self.touch(ctx, Some(dnode), false);
+        self.refresh_parity(ctx, dnode);
         Ok(())
     }
 
@@ -287,6 +326,7 @@ impl ConfigLayer {
         // The ports of (switch, lane) feed the Dnode at (layer = switch,
         // lane): a switch's downstream layer carries its own index.
         self.touch(ctx, Some(switch * width + lane), false);
+        self.refresh_parity(ctx, switch * width + lane);
         Ok(())
     }
 
@@ -395,6 +435,205 @@ impl ConfigLayer {
             Some(_) => false,
             None => false,
         }
+    }
+
+    /// Recomputes the stored parity of one (context, Dnode) entry,
+    /// accepting its current content as ground truth.
+    pub(crate) fn refresh_parity(&mut self, ctx: usize, dnode: usize) {
+        self.parity[ctx][dnode] = entry_parity(&self.contexts[ctx], dnode);
+    }
+
+    /// Recomputes every stored parity bit (used after a remap, and by
+    /// [`crate::RingMachine::acknowledge_faults`] to accept a corrupted
+    /// configuration as the new ground truth).
+    pub(crate) fn refresh_all_parity(&mut self) {
+        for ctx in 0..self.contexts.len() {
+            for dnode in 0..self.geometry.dnodes() {
+                self.refresh_parity(ctx, dnode);
+            }
+            self.suspect[ctx] = 0;
+        }
+    }
+
+    /// Fault-injection entry point: overwrites a stored microinstruction
+    /// *without* refreshing the entry's parity. Bumps the same write
+    /// epochs as a legitimate write, so the predecoded plan cache
+    /// re-decodes the corrupted entry — the plan epochs double as scrub
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range indices.
+    pub(crate) fn corrupt_dnode_instr(
+        &mut self,
+        ctx: usize,
+        dnode: usize,
+        instr: MicroInstr,
+    ) -> Result<(), ConfigError> {
+        let dnodes = self.geometry.dnodes();
+        if dnode >= dnodes {
+            return Err(ConfigError::DnodeOutOfRange { dnode, dnodes });
+        }
+        self.context_mut(ctx)?.dnode_instr[dnode] = instr;
+        self.suspect[ctx] = self.suspect[ctx].saturating_add(1);
+        self.touch(ctx, Some(dnode), false);
+        Ok(())
+    }
+
+    /// Fault-injection entry point: overwrites a stored port source
+    /// *without* refreshing the entry's parity (see
+    /// [`ConfigLayer::corrupt_dnode_instr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range indices or an unroutable
+    /// source.
+    pub(crate) fn corrupt_port(
+        &mut self,
+        ctx: usize,
+        switch: usize,
+        lane: usize,
+        port: usize,
+        source: PortSource,
+    ) -> Result<(), ConfigError> {
+        let g = self.geometry;
+        if switch >= g.switches() {
+            return Err(ConfigError::SwitchOutOfRange {
+                switch,
+                switches: g.switches(),
+            });
+        }
+        if lane >= g.width() {
+            return Err(ConfigError::LaneOutOfRange {
+                lane,
+                width: g.width(),
+            });
+        }
+        if port >= DNODE_PORTS {
+            return Err(ConfigError::PortOutOfRange { port });
+        }
+        self.validate_source(source)?;
+        let width = g.width();
+        self.context_mut(ctx)?.ports[(switch * width + lane) * DNODE_PORTS + port] = source;
+        self.suspect[ctx] = self.suspect[ctx].saturating_add(1);
+        self.touch(ctx, Some(switch * width + lane), false);
+        Ok(())
+    }
+
+    /// Parity-checks every Dnode entry of context `ctx`, returning the
+    /// first Dnode whose configuration no longer matches its stored
+    /// parity, if any.
+    ///
+    /// Only `corrupt_*` writes can create a mismatch (legitimate writes
+    /// refresh parity in the same call), so the scan short-circuits to
+    /// O(1) while the context has no outstanding corruption; a scan that
+    /// comes back clean re-arms the short-circuit.
+    pub fn scrub(&mut self, ctx: usize) -> Option<usize> {
+        if self.suspect[ctx] == 0 {
+            return None;
+        }
+        let context = &self.contexts[ctx];
+        let hit =
+            (0..self.geometry.dnodes()).find(|&d| entry_parity(context, d) != self.parity[ctx][d]);
+        if hit.is_none() {
+            self.suspect[ctx] = 0;
+        }
+        hit
+    }
+
+    /// Swaps the configuration roles of two same-layer Dnodes across
+    /// every context: their microinstructions and input-port blocks trade
+    /// places, and every reference to their *outputs* (forward `PrevOut`
+    /// routes, feedback `Pipe` routes and host-capture selectors of the
+    /// layer's downstream switch) is rewritten to follow the swap. Used by
+    /// [`crate::RingMachine::remap_dnode`] to retire a faulty Dnode onto a
+    /// spare.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::DnodeOutOfRange`] for bad indices and
+    /// [`ConfigError::RemapLayerMismatch`] if the Dnodes sit in different
+    /// layers.
+    pub(crate) fn remap_dnodes(&mut self, from: usize, to: usize) -> Result<(), ConfigError> {
+        let g = self.geometry;
+        let dnodes = g.dnodes();
+        for d in [from, to] {
+            if d >= dnodes {
+                return Err(ConfigError::DnodeOutOfRange { dnode: d, dnodes });
+            }
+        }
+        let (layer, lane_from) = g.dnode_position(from);
+        let (layer_to, lane_to) = g.dnode_position(to);
+        if layer != layer_to {
+            return Err(ConfigError::RemapLayerMismatch { from, to });
+        }
+        if from == to {
+            return Ok(());
+        }
+        let width = g.width();
+        let swap_lane = |lane: usize| {
+            if lane == lane_from {
+                Some(lane_to)
+            } else if lane == lane_to {
+                Some(lane_from)
+            } else {
+                None
+            }
+        };
+        // The switch whose pipeline and captures carry this layer's
+        // outputs is the layer's downstream neighbour.
+        let downstream = (layer + 1) % g.layers();
+        for context in &mut self.contexts {
+            context.dnode_instr.swap(from, to);
+            for port in 0..DNODE_PORTS {
+                context
+                    .ports
+                    .swap(from * DNODE_PORTS + port, to * DNODE_PORTS + port);
+            }
+            for (flat, source) in context.ports.iter_mut().enumerate() {
+                let owner = flat / (DNODE_PORTS * width);
+                match *source {
+                    PortSource::PrevOut { lane } if g.upstream_layer(owner) == layer => {
+                        if let Some(swapped) = swap_lane(lane as usize) {
+                            *source = PortSource::PrevOut {
+                                lane: swapped as u8,
+                            };
+                        }
+                    }
+                    PortSource::Pipe {
+                        switch,
+                        stage,
+                        lane,
+                    } if g.upstream_layer(switch as usize) == layer => {
+                        if let Some(swapped) = swap_lane(lane as usize) {
+                            *source = PortSource::Pipe {
+                                switch,
+                                stage,
+                                lane: swapped as u8,
+                            };
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for port in 0..width {
+                let idx = downstream * width + port;
+                if let Some(lane) = context.capture[idx].selected() {
+                    if let Some(swapped) = swap_lane(lane as usize) {
+                        context.capture[idx] = HostCapture::lane(swapped as u8);
+                    }
+                }
+            }
+        }
+        // Every context's routing may have changed: bump every epoch and
+        // re-baseline every parity bit.
+        for ctx in 0..self.contexts.len() {
+            for dnode in 0..dnodes {
+                self.touch(ctx, Some(dnode), true);
+            }
+        }
+        self.refresh_all_parity();
+        Ok(())
     }
 }
 

@@ -111,6 +111,13 @@ pub struct DnodeState {
     seq: LocalSequencer,
     staged_reg: Option<(Reg, Word16)>,
     staged_out: Option<Word16>,
+    /// Cycle of the last *committed* output write, if any. Updated only
+    /// when a staged output actually commits, so it evolves identically on
+    /// the fast path (which skips commit entirely for idle Dnodes) and the
+    /// reference path (which commits every Dnode every cycle). The fault
+    /// injector's stuck-output model keys off it: a stuck write port only
+    /// manifests on cycles the Dnode really drove its output register.
+    out_stamp: Option<u64>,
 }
 
 impl DnodeState {
@@ -123,6 +130,7 @@ impl DnodeState {
             seq: LocalSequencer::new(),
             staged_reg: None,
             staged_out: None,
+            out_stamp: None,
         }
     }
 
@@ -187,16 +195,33 @@ impl DnodeState {
     }
 
     /// Commits staged writes and advances the sequencer if in local mode.
-    pub(crate) fn commit(&mut self) {
+    /// `cycle` stamps a committed output write (see
+    /// [`DnodeState::out_written_at`]).
+    pub(crate) fn commit(&mut self, cycle: u64) {
         if let Some((reg, value)) = self.staged_reg.take() {
             self.regs[reg.index()] = value;
         }
         if let Some(value) = self.staged_out.take() {
             self.out = value;
+            self.out_stamp = Some(cycle);
         }
         if self.mode == DnodeMode::Local {
             self.seq.advance();
         }
+    }
+
+    /// Cycle of the last committed output write, or `None` if the output
+    /// register has never been written.
+    #[inline]
+    pub fn out_written_at(&self) -> Option<u64> {
+        self.out_stamp
+    }
+
+    /// Fault-injection hook: overwrites the registered output in place
+    /// (bypassing the master/slave discipline), as a stuck output-write
+    /// port would.
+    pub(crate) fn force_out(&mut self, value: Word16) {
+        self.out = value;
     }
 }
 
@@ -221,7 +246,7 @@ mod tests {
         // Pre-commit reads still see the old values.
         assert_eq!(d.reg(Reg::R1), Word16::ZERO);
         assert_eq!(d.out(), Word16::ZERO);
-        d.commit();
+        d.commit(0);
         assert_eq!(d.reg(Reg::R1), Word16::from_i16(7));
         assert_eq!(d.out(), Word16::from_i16(7));
     }
@@ -232,7 +257,7 @@ mod tests {
         d.set_reg(Reg::R0, Word16::from_i16(3));
         let instr = MicroInstr::op(AluOp::Add, Operand::Zero, Operand::Zero);
         d.stage(&instr, Word16::from_i16(99));
-        d.commit();
+        d.commit(0);
         assert_eq!(d.reg(Reg::R0), Word16::from_i16(3));
         assert_eq!(d.out(), Word16::ZERO);
     }
@@ -289,8 +314,8 @@ mod tests {
         let mut d = DnodeState::new();
         d.sequencer_mut().set_limit(4);
         d.set_mode(DnodeMode::Local);
-        d.commit();
-        d.commit();
+        d.commit(0);
+        d.commit(0);
         assert_eq!(d.sequencer().counter(), 2);
         // Staying in local mode does not reset.
         d.set_mode(DnodeMode::Local);
@@ -305,7 +330,7 @@ mod tests {
     fn global_mode_does_not_advance_sequencer() {
         let mut d = DnodeState::new();
         d.sequencer_mut().set_limit(4);
-        d.commit();
+        d.commit(0);
         assert_eq!(d.sequencer().counter(), 0);
     }
 }

@@ -6,6 +6,8 @@ use systolic_ring_isa::ctrl::DecodeCtrlError;
 use systolic_ring_isa::dnode::DecodeMicroError;
 use systolic_ring_isa::switch::DecodeSwitchError;
 
+use crate::fault::FaultSite;
+
 /// Error raised when configuring the machine (programmatically or through a
 /// loaded object) with out-of-range indices or malformed words.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -99,6 +101,16 @@ pub enum ConfigError {
         /// Data memory capacity in words.
         capacity: usize,
     },
+    /// A Dnode remap pairs two Dnodes from different layers.
+    ///
+    /// Remapping swaps a faulty Dnode with a spare *within its layer*; a
+    /// cross-layer swap would change the dataflow topology.
+    RemapLayerMismatch {
+        /// The Dnode being remapped away from.
+        from: usize,
+        /// The requested replacement.
+        to: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -154,6 +166,10 @@ impl fmt::Display for ConfigError {
             ConfigError::DataTooLarge { words, capacity } => write!(
                 f,
                 "initial data of {words} words exceeds data memory ({capacity} words)"
+            ),
+            ConfigError::RemapLayerMismatch { from, to } => write!(
+                f,
+                "cannot remap dnode {from} onto dnode {to}: different layers"
             ),
         }
     }
@@ -215,6 +231,51 @@ pub enum SimError {
         /// The exhausted budget.
         limit: u64,
     },
+    /// A configuration-parity scrub found a corrupted configuration entry.
+    ///
+    /// Raised at the start of the faulting cycle, before any compute, so
+    /// with a scrub interval of 1 the corruption has not propagated into
+    /// the datapath yet; the machine can be rolled back to a checkpoint
+    /// (or the configuration rewritten) and resumed.
+    ConfigCorruption {
+        /// Cycle of the detection.
+        cycle: u64,
+        /// Context holding the corrupted entry.
+        ctx: usize,
+        /// Dnode whose configuration (microinstruction or input routing)
+        /// failed its parity check.
+        dnode: usize,
+    },
+    /// A datapath-fault sweep found a flipped or stuck datapath word.
+    DatapathFault {
+        /// Cycle of the detection.
+        cycle: u64,
+        /// Where the fault landed.
+        site: FaultSite,
+    },
+    /// The watchdog expired: no controller or host progress for the
+    /// configured interval (see
+    /// [`MachineParams::watchdog_interval`](crate::MachineParams::watchdog_interval)).
+    Watchdog {
+        /// Cycle of the trip.
+        cycle: u64,
+        /// Cycles elapsed since the last observed progress.
+        idle_cycles: u64,
+    },
+}
+
+impl SimError {
+    /// `true` for errors raised by the fault-detection machinery
+    /// (parity scrubs, datapath sweeps, the watchdog) — the errors a
+    /// retry policy treats as recoverable, as opposed to program bugs.
+    pub fn is_detected_fault(&self) -> bool {
+        matches!(
+            self,
+            SimError::ConfigCorruption { .. }
+                | SimError::DatapathFault { .. }
+                | SimError::Watchdog { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -237,6 +298,21 @@ impl fmt::Display for SimError {
             }
             SimError::CycleLimit { limit } => {
                 write!(f, "machine did not halt within {limit} cycles")
+            }
+            SimError::ConfigCorruption { cycle, ctx, dnode } => {
+                write!(
+                    f,
+                    "cycle {cycle}: configuration parity mismatch in context {ctx} at dnode {dnode}"
+                )
+            }
+            SimError::DatapathFault { cycle, site } => {
+                write!(f, "cycle {cycle}: datapath fault at {site}")
+            }
+            SimError::Watchdog { cycle, idle_cycles } => {
+                write!(
+                    f,
+                    "cycle {cycle}: watchdog expired after {idle_cycles} cycles without progress"
+                )
             }
         }
     }

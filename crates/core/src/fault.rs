@@ -1,0 +1,623 @@
+//! Deterministic fault injection and the machinery that detects it.
+//!
+//! The paper positions the Systolic Ring as an IP core inside a SoC, where
+//! soft errors in the configuration layer or the datapath would silently
+//! corrupt dataflow results. This module gives the simulator a *fault
+//! model* so the reproduction can demonstrate graceful degradation instead
+//! of silent corruption:
+//!
+//! * [`FaultConfig`] — a plain-data description of per-cycle fault rates,
+//!   carried in [`MachineParams`](crate::MachineParams) (and overridable
+//!   per thread with [`with_faults`](crate::with_faults), mirroring
+//!   [`with_decode_cache`](crate::with_decode_cache)).
+//! * [`FaultInjector`] — the seed-driven injector owned by a running
+//!   [`RingMachine`](crate::RingMachine). Every injection decision is a
+//!   pure function of `(seed, salt, cycle)` — never of machine state — so
+//!   the predecoded fast path and the decode-per-cycle reference path
+//!   observe *identical* fault schedules and report identical fault
+//!   cycles under the same seed.
+//! * [`FaultSite`] — where a datapath fault landed, carried by
+//!   [`SimError::DatapathFault`](crate::SimError).
+//!
+//! # The fault classes
+//!
+//! | class | what flips | detected by |
+//! |-------|------------|-------------|
+//! | configuration | one bit of a stored microinstruction or switch-port word | per-(context, Dnode) parity, checked at scrub points |
+//! | register file | one bit of one Dnode register | modeled word parity (a sticky fault tag) |
+//! | feedback pipeline | one bit of one pipeline stage word | modeled word parity |
+//! | local sequencer | one bit of one instruction slot | modeled word parity |
+//! | stuck output | a Dnode's output write port sticks at a fixed value | write-back readback compare |
+//!
+//! Configuration corruption flips a bit of the *encoded* word and
+//! re-decodes it, retrying deterministically until the flipped word is
+//! still decodable and routable: undecodable or unroutable flips
+//! correspond to faults the existing decode/validation machinery already
+//! rejects, so the interesting (silent) faults are exactly the in-space
+//! ones. A corrupted configuration entry bumps the same write epochs the
+//! predecoded plan cache watches, so the fast path re-decodes exactly the
+//! corrupted entries — the plan epochs double as scrub points.
+//!
+//! Datapath flips (registers, pipeline stages, sequencer slots) are
+//! modeled as leaving a bad parity bit on the flipped word: the injector
+//! keeps a sticky [`FaultSite`] tag which the next scrub reports. This is
+//! conservative — a flipped word that is overwritten before anyone reads
+//! it still reports a fault (a false positive, counted as detected), but
+//! there are no false *negatives*.
+//!
+//! A stuck output is permanent (it survives [`rearm`](FaultInjector) — the
+//! silicon stays broken), which is what makes the harness's
+//! remap-to-spare-Dnode recovery meaningful: rollback alone replays into
+//! the same stuck cycle forever.
+
+use std::fmt;
+
+use systolic_ring_isa::dnode::{MicroInstr, Reg, LOCAL_SLOTS};
+use systolic_ring_isa::switch::PortSource;
+use systolic_ring_isa::{RingGeometry, Word16};
+
+use crate::config::{ConfigLayer, DNODE_PORTS};
+use crate::dnode::DnodeState;
+use crate::error::SimError;
+use crate::plan::DecodedPlan;
+use crate::stats::Stats;
+use crate::switch::SwitchState;
+
+/// Per-cycle fault rates and detection cadence for one machine.
+///
+/// Rates are probabilities in parts-per-million per cycle (at most one
+/// fault of each class fires per cycle). All-zero rates with a nonzero
+/// [`scrub_interval`](FaultConfig::scrub_interval) give a detection-only
+/// machine (the configuration parity is swept but nothing is injected) —
+/// that is the configuration whose overhead the resilience bench reports.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_core::fault::FaultConfig;
+///
+/// let cfg = FaultConfig::uniform(0x5EED, 50);
+/// assert!(cfg.injects() && cfg.detects() && cfg.is_active());
+/// assert!(!FaultConfig::OFF.is_active());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Master seed of the fault schedule.
+    pub seed: u64,
+    /// Retry salt mixed into the *transient* fault draws; stuck faults
+    /// deliberately ignore it (broken silicon stays broken across
+    /// retries). The harness bumps the salt on every rollback so a replay
+    /// does not re-execute the same transient flips.
+    pub salt: u64,
+    /// Configuration-layer bit flips (microinstruction or switch-port
+    /// words), per cycle, in parts-per-million.
+    pub config_ppm: u32,
+    /// Dnode register-file bit flips, per cycle, in ppm.
+    pub reg_ppm: u32,
+    /// Feedback-pipeline stage bit flips, per cycle, in ppm.
+    pub pipe_ppm: u32,
+    /// Local-sequencer instruction-slot bit flips, per cycle, in ppm.
+    pub seq_ppm: u32,
+    /// Stuck-at activations of a Dnode output write port, per cycle, in
+    /// ppm. Once activated a stuck fault is permanent.
+    pub stuck_ppm: u32,
+    /// Cycles between detection sweeps (configuration parity plus pending
+    /// datapath fault tags), checked at the *start* of a cycle before any
+    /// compute. `1` detects every corruption before it can propagate;
+    /// larger intervals trade detection latency for sweep cost; `0`
+    /// disables detection entirely.
+    pub scrub_interval: u32,
+}
+
+impl FaultConfig {
+    /// No injection, no detection — the default in
+    /// [`MachineParams::PAPER`](crate::MachineParams::PAPER).
+    pub const OFF: FaultConfig = FaultConfig {
+        seed: 0,
+        salt: 0,
+        config_ppm: 0,
+        reg_ppm: 0,
+        pipe_ppm: 0,
+        seq_ppm: 0,
+        stuck_ppm: 0,
+        scrub_interval: 0,
+    };
+
+    /// Every fault class at the same rate, scrubbed every cycle.
+    pub const fn uniform(seed: u64, ppm: u32) -> FaultConfig {
+        FaultConfig {
+            seed,
+            salt: 0,
+            config_ppm: ppm,
+            reg_ppm: ppm,
+            pipe_ppm: ppm,
+            seq_ppm: ppm,
+            stuck_ppm: ppm / 4,
+            scrub_interval: 1,
+        }
+    }
+
+    /// Detection only: parity swept every `scrub_interval` cycles, nothing
+    /// injected. This is the configuration whose overhead the acceptance
+    /// criteria bound.
+    pub const fn detect_only(scrub_interval: u32) -> FaultConfig {
+        FaultConfig {
+            scrub_interval,
+            ..FaultConfig::OFF
+        }
+    }
+
+    /// Builder: replace the retry salt.
+    pub const fn with_salt(mut self, salt: u64) -> FaultConfig {
+        self.salt = salt;
+        self
+    }
+
+    /// `true` if any fault class has a nonzero rate.
+    pub const fn injects(&self) -> bool {
+        self.config_ppm | self.reg_ppm | self.pipe_ppm | self.seq_ppm | self.stuck_ppm != 0
+    }
+
+    /// `true` if detection sweeps run.
+    pub const fn detects(&self) -> bool {
+        self.scrub_interval != 0
+    }
+
+    /// `true` if the machine needs a [`FaultInjector`] at all.
+    pub const fn is_active(&self) -> bool {
+        self.injects() || self.detects()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::OFF
+    }
+}
+
+/// Where a datapath fault landed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A Dnode register-file word.
+    Reg {
+        /// Flat Dnode index.
+        dnode: usize,
+        /// The flipped register.
+        reg: Reg,
+    },
+    /// A feedback-pipeline stage word.
+    Pipe {
+        /// Owning switch.
+        switch: usize,
+        /// Pipeline stage (0 = newest).
+        stage: usize,
+        /// Lane within the stage.
+        lane: usize,
+    },
+    /// A local-sequencer instruction slot.
+    Seq {
+        /// Flat Dnode index.
+        dnode: usize,
+        /// Slot index (0-based).
+        slot: usize,
+    },
+    /// A Dnode output write port stuck at a fixed value (readback after
+    /// commit observed a value different from the one written).
+    StuckOut {
+        /// Flat Dnode index.
+        dnode: usize,
+    },
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Reg { dnode, reg } => write!(f, "dnode {dnode} register {reg}"),
+            FaultSite::Pipe {
+                switch,
+                stage,
+                lane,
+            } => write!(f, "pipeline of switch {switch}, stage {stage}, lane {lane}"),
+            FaultSite::Seq { dnode, slot } => {
+                write!(f, "dnode {dnode} sequencer slot S{}", slot + 1)
+            }
+            FaultSite::StuckOut { dnode } => write!(f, "dnode {dnode} output stuck"),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the bit mixer behind every fault draw.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic draw stream for one (seed, cycle, fault class).
+struct Draw(u64);
+
+/// Fault-class discriminators folded into the draw seed.
+const CLASS_CONFIG: u64 = 1;
+const CLASS_REG: u64 = 2;
+const CLASS_PIPE: u64 = 3;
+const CLASS_SEQ: u64 = 4;
+const CLASS_STUCK: u64 = 5;
+
+impl Draw {
+    fn new(seed: u64, cycle: u64, class: u64) -> Draw {
+        Draw(mix(seed
+            ^ cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ class.wrapping_mul(0xd134_2543_de82_ef95)))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = mix(self.0.wrapping_add(0x9e37_79b9_7f4a_7c15));
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// One Bernoulli trial at `ppm` parts-per-million.
+    fn fires(&mut self, ppm: u32) -> bool {
+        ppm > 0 && self.next() % 1_000_000 < u64::from(ppm)
+    }
+}
+
+/// Microinstruction bits a flip may target: the architecturally meaningful
+/// bits of the 48-bit encoding (flipping a reserved bit is a fault the
+/// decoder already rejects, so it is never silent).
+const INSTR_BITS: [u8; 34] = [
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, // opcode..bus
+    32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, // immediate
+];
+
+/// Bit-flip retry budget: how many candidate bits a corruption draw tries
+/// before giving up on finding a decodable in-space flip this cycle.
+const FLIP_ATTEMPTS: usize = 8;
+
+/// The mutable machine parts the injector touches at the start of a cycle.
+///
+/// Passed by the stepper with split field borrows; keeping the injector
+/// outside the machine's field tree would otherwise fight the borrow
+/// checker.
+pub(crate) struct FaultCtx<'a> {
+    pub geometry: RingGeometry,
+    pub config: &'a mut ConfigLayer,
+    pub dnodes: &'a mut [DnodeState],
+    pub switches: &'a mut [SwitchState],
+    pub plan: &'a mut DecodedPlan,
+    pub stats: &'a mut Stats,
+}
+
+/// The per-machine fault state: pending stuck faults and sticky datapath
+/// fault tags.
+///
+/// Owned (boxed) by a [`RingMachine`](crate::RingMachine) whenever its
+/// [`FaultConfig::is_active`]; cloned with the machine, so checkpoints
+/// capture and restores rewind the fault state alongside the architecture.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    /// Active retry salt (starts at `cfg.salt`, bumped by `rearm`).
+    salt: u64,
+    /// Per-Dnode stuck-output value, once activated.
+    stuck: Vec<Option<Word16>>,
+    /// Whether any stuck entry is live (gates the per-cycle readback
+    /// sweep in `end_cycle`).
+    any_stuck: bool,
+    /// Pending (injected but not yet reported) datapath fault sites.
+    tags: Vec<FaultSite>,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(cfg: FaultConfig, dnodes: usize) -> FaultInjector {
+        FaultInjector {
+            cfg,
+            salt: cfg.salt,
+            stuck: vec![None; dnodes],
+            any_stuck: false,
+            tags: Vec::new(),
+        }
+    }
+
+    /// The fault configuration this injector runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// The stuck-output value of `dnode`, if a stuck fault has activated.
+    pub fn stuck_value(&self, dnode: usize) -> Option<Word16> {
+        self.stuck.get(dnode).copied().flatten()
+    }
+
+    /// Pending datapath fault tags (injected, not yet reported or rolled
+    /// back).
+    pub fn pending(&self) -> &[FaultSite] {
+        &self.tags
+    }
+
+    /// Re-arms the transient fault schedule with a new salt (rollback
+    /// retries call this so the replay does not hit the same flips).
+    /// Stuck faults are unaffected: broken silicon stays broken.
+    pub(crate) fn rearm(&mut self, salt: u64) {
+        self.salt = self.cfg.salt ^ mix(salt.wrapping_add(1));
+    }
+
+    /// Drops pending fault tags (resume-after-fault without rollback).
+    pub(crate) fn clear_tags(&mut self) {
+        self.tags.clear();
+    }
+
+    /// Testing hook: activate a stuck-output fault directly.
+    pub(crate) fn force_stuck(&mut self, dnode: usize, value: Word16) {
+        self.stuck[dnode] = Some(value);
+        self.any_stuck = true;
+    }
+
+    fn tag(&mut self, site: FaultSite) {
+        if !self.tags.contains(&site) {
+            self.tags.push(site);
+        }
+    }
+
+    /// Seed of the transient (salt-sensitive) draws.
+    fn transient_seed(&self) -> u64 {
+        self.cfg.seed ^ mix(self.salt ^ 0xa5a5_5a5a_c0ff_ee00)
+    }
+
+    /// Start-of-cycle hook: inject this cycle's faults, then run the
+    /// detection sweep if a scrub is due. Runs before any compute, so with
+    /// `scrub_interval == 1` a corruption is reported before it can
+    /// propagate into the datapath.
+    pub(crate) fn begin_cycle(&mut self, cycle: u64, mut m: FaultCtx<'_>) -> Result<(), SimError> {
+        if self.cfg.injects() {
+            self.inject(cycle, &mut m);
+        }
+        self.detect(cycle, m.config, m.stats)
+    }
+
+    /// The detection half of a cycle start: configuration parity at scrub
+    /// points plus pending datapath fault tags. Split out of
+    /// [`FaultInjector::begin_cycle`] so a detection-only machine (the
+    /// always-armed production profile) skips assembling a full
+    /// [`FaultCtx`] every cycle.
+    pub(crate) fn detect(
+        &self,
+        cycle: u64,
+        config: &mut ConfigLayer,
+        stats: &mut Stats,
+    ) -> Result<(), SimError> {
+        if self.cfg.detects() && cycle.is_multiple_of(u64::from(self.cfg.scrub_interval)) {
+            stats.parity_scrubs += 1;
+            let active = config.active_index();
+            if let Some(dnode) = config.scrub(active) {
+                stats.config_faults_detected += 1;
+                return Err(SimError::ConfigCorruption {
+                    cycle,
+                    ctx: active,
+                    dnode,
+                });
+            }
+            if let Some(site) = self.tags.first() {
+                stats.datapath_faults_detected += 1;
+                return Err(SimError::DatapathFault { cycle, site: *site });
+            }
+        }
+        Ok(())
+    }
+
+    fn inject(&mut self, cycle: u64, m: &mut FaultCtx<'_>) {
+        let tseed = self.transient_seed();
+        let g = m.geometry;
+
+        // Configuration layer: flip one bit of a stored microinstruction
+        // or switch-port word, staying inside the decodable/routable space.
+        let mut d = Draw::new(tseed, cycle, CLASS_CONFIG);
+        if d.fires(self.cfg.config_ppm) {
+            let ctx = d.below(m.config.contexts());
+            if d.below(2) == 0 {
+                let dnode = d.below(g.dnodes());
+                let original = m
+                    .config
+                    .context(ctx)
+                    .expect("ctx in range")
+                    .dnode_instr(dnode);
+                let word = original.encode();
+                for _ in 0..FLIP_ATTEMPTS {
+                    let bit = INSTR_BITS[d.below(INSTR_BITS.len())];
+                    if let Ok(flipped) = MicroInstr::decode(word ^ (1u64 << bit)) {
+                        if flipped != original {
+                            m.config
+                                .corrupt_dnode_instr(ctx, dnode, flipped)
+                                .expect("in-range corruption");
+                            m.stats.faults_injected += 1;
+                            break;
+                        }
+                    }
+                }
+            } else {
+                let switch = d.below(g.switches());
+                let lane = d.below(g.width());
+                let port = d.below(DNODE_PORTS);
+                let original = m.config.context(ctx).expect("ctx in range").port(
+                    g.width(),
+                    switch,
+                    lane,
+                    port,
+                );
+                let word = original.encode();
+                for _ in 0..FLIP_ATTEMPTS {
+                    let bit = d.below(27) as u32;
+                    if let Ok(flipped) = PortSource::decode(word ^ (1u32 << bit)) {
+                        if flipped != original && m.config.validate_source(flipped).is_ok() {
+                            m.config
+                                .corrupt_port(ctx, switch, lane, port, flipped)
+                                .expect("in-range corruption");
+                            m.stats.faults_injected += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Dnode register files.
+        let mut d = Draw::new(tseed, cycle, CLASS_REG);
+        if d.fires(self.cfg.reg_ppm) {
+            let dnode = d.below(g.dnodes());
+            let reg = Reg::ALL[d.below(Reg::ALL.len())];
+            let bit = d.below(16) as u16;
+            let old = m.dnodes[dnode].reg(reg);
+            m.dnodes[dnode].set_reg(reg, Word16::new(old.bits() ^ (1 << bit)));
+            self.tag(FaultSite::Reg { dnode, reg });
+            m.stats.faults_injected += 1;
+        }
+
+        // Feedback-pipeline stages.
+        let mut d = Draw::new(tseed, cycle, CLASS_PIPE);
+        if d.fires(self.cfg.pipe_ppm) {
+            let switch = d.below(g.switches());
+            let pipe = &mut m.switches[switch].pipe;
+            let stage = d.below(pipe.depth());
+            let lane = d.below(g.width());
+            let bit = d.below(16) as u16;
+            let old = pipe.read(stage, lane);
+            pipe.poke(stage, lane, Word16::new(old.bits() ^ (1 << bit)));
+            self.tag(FaultSite::Pipe {
+                switch,
+                stage,
+                lane,
+            });
+            m.stats.faults_injected += 1;
+        }
+
+        // Local-sequencer instruction slots.
+        let mut d = Draw::new(tseed, cycle, CLASS_SEQ);
+        if d.fires(self.cfg.seq_ppm) {
+            let dnode = d.below(g.dnodes());
+            let slot = d.below(LOCAL_SLOTS);
+            let original = m.dnodes[dnode].sequencer().slot(slot);
+            let word = original.encode();
+            for _ in 0..FLIP_ATTEMPTS {
+                let bit = INSTR_BITS[d.below(INSTR_BITS.len())];
+                if let Ok(flipped) = MicroInstr::decode(word ^ (1u64 << bit)) {
+                    if flipped != original {
+                        m.dnodes[dnode].sequencer_mut().set_slot(slot, flipped);
+                        m.plan.note_seq_write(dnode);
+                        self.tag(FaultSite::Seq { dnode, slot });
+                        m.stats.faults_injected += 1;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Stuck-output activation: keyed off the *unsalted* seed so the
+        // fault persists across rollback retries.
+        let mut d = Draw::new(self.cfg.seed, cycle, CLASS_STUCK);
+        if d.fires(self.cfg.stuck_ppm) {
+            let dnode = d.below(g.dnodes());
+            if self.stuck[dnode].is_none() {
+                self.stuck[dnode] = Some(Word16::new(d.next() as u16));
+                self.any_stuck = true;
+                m.stats.faults_injected += 1;
+            }
+        }
+    }
+
+    /// End-of-cycle hook, after commit: apply stuck-output forcing. A
+    /// stuck write port only matters when the Dnode actually committed an
+    /// output write this cycle (`committed_cycle`); the forced value is
+    /// then observed by the write-back readback compare and tagged.
+    pub(crate) fn end_cycle(&mut self, committed_cycle: u64, dnodes: &mut [DnodeState]) {
+        // Fast exit for the common case: stuck faults only activate at
+        // `stuck_ppm` draws, so a healthy machine pays one flag test per
+        // cycle, not a per-Dnode sweep.
+        if !self.any_stuck {
+            return;
+        }
+        let mut tags = Vec::new();
+        for (dnode, stuck) in self.stuck.iter().enumerate() {
+            let Some(value) = *stuck else { continue };
+            if dnodes[dnode].out_written_at() == Some(committed_cycle)
+                && dnodes[dnode].out() != value
+            {
+                dnodes[dnode].force_out(value);
+                tags.push(FaultSite::StuckOut { dnode });
+            }
+        }
+        for site in tags {
+            self.tag(site);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_inactive_and_uniform_is_active() {
+        assert!(!FaultConfig::OFF.is_active());
+        assert!(!FaultConfig::OFF.injects());
+        assert!(!FaultConfig::OFF.detects());
+        let cfg = FaultConfig::uniform(9, 100);
+        assert!(cfg.injects() && cfg.detects());
+        assert!(FaultConfig::detect_only(4).detects());
+        assert!(!FaultConfig::detect_only(4).injects());
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_class_separated() {
+        let mut a = Draw::new(1, 5, CLASS_REG);
+        let mut b = Draw::new(1, 5, CLASS_REG);
+        assert_eq!(a.next(), b.next());
+        let mut c = Draw::new(1, 5, CLASS_PIPE);
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn fires_honours_rate_extremes() {
+        let mut d = Draw::new(3, 0, CLASS_CONFIG);
+        assert!(!d.fires(0));
+        assert!(d.fires(1_000_000));
+    }
+
+    #[test]
+    fn rearm_changes_transient_seed_only() {
+        let mut inj = FaultInjector::new(FaultConfig::uniform(7, 10), 4);
+        let before = inj.transient_seed();
+        inj.rearm(1);
+        assert_ne!(before, inj.transient_seed());
+        // Stuck state untouched by rearm.
+        inj.force_stuck(2, Word16::from_i16(9));
+        inj.rearm(2);
+        assert_eq!(inj.stuck_value(2), Some(Word16::from_i16(9)));
+    }
+
+    #[test]
+    fn tags_deduplicate() {
+        let mut inj = FaultInjector::new(FaultConfig::uniform(7, 10), 4);
+        let site = FaultSite::Reg {
+            dnode: 1,
+            reg: Reg::R0,
+        };
+        inj.tag(site);
+        inj.tag(site);
+        assert_eq!(inj.pending().len(), 1);
+        inj.clear_tags();
+        assert!(inj.pending().is_empty());
+    }
+
+    #[test]
+    fn site_display_is_informative() {
+        assert!(FaultSite::Seq { dnode: 3, slot: 0 }
+            .to_string()
+            .contains("S1"));
+        assert!(FaultSite::StuckOut { dnode: 2 }
+            .to_string()
+            .contains("stuck"));
+    }
+}

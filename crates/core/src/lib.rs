@@ -57,6 +57,7 @@ pub mod config;
 pub mod controller;
 pub mod dnode;
 mod error;
+pub mod fault;
 pub mod host;
 mod machine;
 mod params;
@@ -66,6 +67,7 @@ pub mod switch;
 pub mod trace;
 
 pub use error::{ConfigError, SimError};
-pub use machine::RingMachine;
-pub use params::{with_decode_cache, LinkModel, MachineParams};
+pub use fault::{FaultConfig, FaultInjector, FaultSite};
+pub use machine::{Checkpoint, RingMachine};
+pub use params::{with_decode_cache, with_faults, LinkModel, MachineParams};
 pub use stats::{DnodeStats, Stats};

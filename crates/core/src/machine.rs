@@ -28,6 +28,7 @@ use crate::config::ConfigLayer;
 use crate::controller::{Controller, CtrlEffect, CtrlFault, CtrlPorts, CtrlStep};
 use crate::dnode::DnodeState;
 use crate::error::{ConfigError, SimError};
+use crate::fault::{FaultConfig, FaultCtx, FaultInjector};
 use crate::host::HostInterface;
 use crate::params::MachineParams;
 use crate::plan::{DecodedPlan, FastSrc, Scratch, StagedWrite};
@@ -80,6 +81,34 @@ pub struct RingMachine {
     /// `params.decode_cache` is set; kept sized either way so invalidation
     /// notes never go out of bounds).
     plan: DecodedPlan,
+    /// The fault injector, present iff `params.faults.is_active()`. Boxed
+    /// so the fault-free machine pays one pointer of state; `None` means
+    /// the stepper takes the exact pre-fault code path.
+    fault: Option<Box<FaultInjector>>,
+    /// Watchdog progress snapshot: (ctrl instructions retired, config
+    /// writes, context switches, host words in, host words out).
+    wd_progress: (u64, u64, u64, u64, u64),
+    /// Cycle at which `wd_progress` last changed (or the watchdog was
+    /// petted).
+    wd_since: u64,
+}
+
+/// A machine snapshot taken by [`RingMachine::checkpoint`].
+///
+/// Checkpoints are plain owned data (a boxed machine image, including
+/// pending fault state); [`RingMachine::restore`] rewinds a machine to one
+/// any number of times. The retry policies in `systolic-ring-harness`
+/// checkpoint before running and roll back on detected faults.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    image: Box<RingMachine>,
+}
+
+impl Checkpoint {
+    /// The cycle at which this checkpoint was taken.
+    pub fn cycle(&self) -> u64 {
+        self.image.cycle
+    }
 }
 
 struct PortsAdapter<'a> {
@@ -133,6 +162,9 @@ impl RingMachine {
         if let Some(enabled) = crate::params::decode_cache_override() {
             params.decode_cache = enabled;
         }
+        if let Some(faults) = crate::params::fault_override() {
+            params.faults = faults;
+        }
         let dnodes = (0..geometry.dnodes()).map(|_| DnodeState::new()).collect();
         let switches = (0..geometry.switches())
             .map(|_| {
@@ -160,6 +192,12 @@ impl RingMachine {
             cycle: 0,
             stats: Stats::new(geometry.dnodes()),
             plan: DecodedPlan::new(geometry, params.contexts),
+            fault: params
+                .faults
+                .is_active()
+                .then(|| Box::new(FaultInjector::new(params.faults, geometry.dnodes()))),
+            wd_progress: (0, 0, 0, 0, 0),
+            wd_since: 0,
         }
     }
 
@@ -521,11 +559,37 @@ impl RingMachine {
     /// reference path per [`MachineParams::decode_cache`]; the two are
     /// architecturally indistinguishable (see the flag's documentation).
     ///
+    /// With an active [`MachineParams::faults`] configuration, the cycle is
+    /// bracketed by the fault hooks: injection and the detection sweep run
+    /// *before* any compute (so a detected corruption has not propagated),
+    /// and stuck-output forcing runs after commit. Because every fault
+    /// decision is a pure function of `(seed, salt, cycle)`, both execution
+    /// paths observe the same schedule and fail at the same cycles. A
+    /// nonzero [`MachineParams::watchdog_interval`] additionally checks the
+    /// progress heartbeat at the cycle boundary.
+    ///
     /// # Errors
     ///
-    /// Returns [`SimError`] on controller faults or malformed configuration
-    /// writes; the machine state is left at the faulting cycle boundary.
+    /// Returns [`SimError`] on controller faults, malformed configuration
+    /// writes, detected faults ([`SimError::ConfigCorruption`],
+    /// [`SimError::DatapathFault`]) or a watchdog trip
+    /// ([`SimError::Watchdog`]); the machine state is left at the faulting
+    /// cycle boundary.
     pub fn step(&mut self) -> Result<(), SimError> {
+        if self.params.watchdog_interval > 0 {
+            self.watchdog_check()?;
+        }
+        if let Some(mut injector) = self.fault.take() {
+            let result = self.step_with_faults(&mut injector);
+            self.fault = Some(injector);
+            result
+        } else {
+            self.step_inner()
+        }
+    }
+
+    /// One cycle of either execution path, fault machinery aside.
+    fn step_inner(&mut self) -> Result<(), SimError> {
         // The plan is moved out for the duration of the cycle so the
         // stepper can borrow the rest of the machine mutably alongside it.
         let mut plan = std::mem::take(&mut self.plan);
@@ -536,6 +600,209 @@ impl RingMachine {
         };
         self.plan = plan;
         result
+    }
+
+    /// One cycle bracketed by the fault-injection hooks.
+    fn step_with_faults(&mut self, injector: &mut FaultInjector) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        if injector.config().injects() {
+            let mut plan = std::mem::take(&mut self.plan);
+            let begun = injector.begin_cycle(
+                cycle,
+                FaultCtx {
+                    geometry: self.geometry,
+                    config: &mut self.config,
+                    dnodes: &mut self.dnodes,
+                    switches: &mut self.switches,
+                    plan: &mut plan,
+                    stats: &mut self.stats,
+                },
+            );
+            self.plan = plan;
+            begun?;
+        } else {
+            // Detection-only: no injection state can change, so skip the
+            // plan hand-off and the full fault context.
+            injector.detect(cycle, &mut self.config, &mut self.stats)?;
+        }
+        self.step_inner()?;
+        injector.end_cycle(cycle, &mut self.dnodes);
+        Ok(())
+    }
+
+    /// Raises [`SimError::Watchdog`] if no controller or host progress has
+    /// been observed for `watchdog_interval` cycles.
+    fn watchdog_check(&mut self) -> Result<(), SimError> {
+        let progress = (
+            self.stats.ctrl_instrs,
+            self.stats.config_writes,
+            self.stats.ctx_switches,
+            self.stats.host_words_in,
+            self.stats.host_words_out,
+        );
+        if progress != self.wd_progress {
+            self.wd_progress = progress;
+            self.wd_since = self.cycle;
+        } else if self.cycle - self.wd_since >= self.params.watchdog_interval {
+            let idle_cycles = self.cycle - self.wd_since;
+            self.stats.watchdog_trips += 1;
+            // Re-arm so a caller that resumes anyway gets a full interval
+            // before the next trip instead of tripping every cycle.
+            self.wd_since = self.cycle;
+            return Err(SimError::Watchdog {
+                cycle: self.cycle,
+                idle_cycles,
+            });
+        }
+        Ok(())
+    }
+
+    /// Resets the watchdog heartbeat, granting a fresh
+    /// [`MachineParams::watchdog_interval`] before the next possible trip.
+    /// Harness code calls this around phases that are legitimately quiet
+    /// (e.g. a long drain with the controller halted).
+    pub fn pet_watchdog(&mut self) {
+        self.wd_since = self.cycle;
+    }
+
+    /// Takes a full machine snapshot (architecture, statistics and pending
+    /// fault state). Counted in [`crate::Stats::checkpoints`].
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        self.stats.checkpoints += 1;
+        Checkpoint {
+            image: Box::new(self.clone()),
+        }
+    }
+
+    /// Rewinds the machine to `checkpoint`.
+    ///
+    /// Everything is restored to the snapshot except the monotonic
+    /// recovery counters ([`crate::Stats::checkpoints`] and
+    /// [`crate::Stats::restores`]), which survive so a post-run report can
+    /// still see how much recovery work happened. Restoring does *not*
+    /// re-arm the transient fault schedule — a plain replay hits the same
+    /// faults; call [`RingMachine::rearm_faults`] to retry under a
+    /// different schedule.
+    pub fn restore(&mut self, checkpoint: &Checkpoint) {
+        let checkpoints = self.stats.checkpoints;
+        let restores = self.stats.restores + 1;
+        *self = (*checkpoint.image).clone();
+        self.stats.checkpoints = checkpoints;
+        self.stats.restores = restores;
+    }
+
+    /// Re-arms the transient fault schedule with a retry salt so a replay
+    /// after [`RingMachine::restore`] does not re-execute the same
+    /// transient flips. Permanent (stuck) faults deliberately survive:
+    /// broken silicon stays broken, which is what makes
+    /// [`RingMachine::remap_dnode`] necessary. Pending fault tags are
+    /// dropped. No-op on a machine without fault machinery.
+    pub fn rearm_faults(&mut self, salt: u64) {
+        if let Some(injector) = &mut self.fault {
+            injector.rearm(salt);
+            injector.clear_tags();
+        }
+    }
+
+    /// Accepts the current state as fault-free: drops pending datapath
+    /// fault tags and re-baselines every configuration parity bit. The
+    /// resume-in-place alternative to rollback for callers that repaired
+    /// (or choose to tolerate) the corruption.
+    pub fn acknowledge_faults(&mut self) {
+        if let Some(injector) = &mut self.fault {
+            injector.clear_tags();
+        }
+        self.config.refresh_all_parity();
+    }
+
+    /// The fault injector, if fault machinery is active.
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.fault.as_deref()
+    }
+
+    /// Testing/experimentation hook: forces a permanent stuck-at fault on
+    /// `dnode`'s output write port. Attaches detection-only fault
+    /// machinery ([`FaultConfig::detect_only`] with a 1-cycle sweep) if
+    /// none is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dnode` is out of range.
+    pub fn force_stuck(&mut self, dnode: usize, value: Word16) {
+        assert!(dnode < self.geometry.dnodes(), "dnode {dnode} out of range");
+        if self.fault.is_none() {
+            self.params.faults = FaultConfig::detect_only(1);
+            self.fault = Some(Box::new(FaultInjector::new(
+                self.params.faults,
+                self.geometry.dnodes(),
+            )));
+        }
+        self.fault
+            .as_mut()
+            .expect("injector just ensured")
+            .force_stuck(dnode, value);
+    }
+
+    /// Finds a spare Dnode in `layer`: one in global mode, configured as a
+    /// NOP in every context, and not known to be stuck. Returns its flat
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn find_spare(&self, layer: usize) -> Option<usize> {
+        let g = self.geometry;
+        (0..g.width())
+            .map(|lane| g.dnode_index(layer, lane))
+            .find(|&d| {
+                self.dnodes[d].mode() == DnodeMode::Global
+                    && (0..self.config.contexts()).all(|ctx| {
+                        self.config
+                            .context(ctx)
+                            .map(|c| c.dnode_instr(d) == MicroInstr::NOP)
+                            .unwrap_or(false)
+                    })
+                    && self
+                        .fault
+                        .as_ref()
+                        .is_none_or(|f| f.stuck_value(d).is_none())
+            })
+    }
+
+    /// Remaps the role of Dnode `from` onto the same-layer Dnode `to` (and
+    /// vice versa): their architectural state (registers, output, mode,
+    /// sequencer), configuration (microinstructions and input routing in
+    /// every context), output references (forward routes, feedback routes,
+    /// host captures) and in-flight pipeline history all trade places. The
+    /// dataflow graph is unchanged — only which physical Dnode plays which
+    /// role — so a computation continues bit-identically across the remap.
+    /// Used with [`RingMachine::find_spare`] to retire a Dnode with a
+    /// permanent fault onto an idle spare.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::DnodeOutOfRange`] for bad indices and
+    /// [`ConfigError::RemapLayerMismatch`] for a cross-layer pair.
+    pub fn remap_dnode(&mut self, from: usize, to: usize) -> Result<(), ConfigError> {
+        self.config.remap_dnodes(from, to)?;
+        if from == to {
+            return Ok(());
+        }
+        let (layer, lane_from) = self.geometry.dnode_position(from);
+        let (_, lane_to) = self.geometry.dnode_position(to);
+        self.dnodes.swap(from, to);
+        // The downstream switch's pipeline carries this layer's output
+        // history; swap the lanes so feedback reads stay continuous.
+        let downstream = (layer + 1) % self.geometry.layers();
+        self.switches[downstream]
+            .pipe
+            .swap_lanes(lane_from, lane_to);
+        // Mode and sequencer state moved between Dnode slots: rebuild the
+        // affected plan entries.
+        self.plan.note_mode_write();
+        self.plan.note_seq_write(from);
+        self.plan.note_seq_write(to);
+        Ok(())
     }
 
     /// One cycle of the decode-per-cycle reference path.
@@ -636,7 +903,7 @@ impl RingMachine {
         for (d, plan) in plans.iter().enumerate() {
             use systolic_ring_isa::dnode::AluOp;
             self.dnodes[d].stage(&plan.instr, plan.result);
-            self.dnodes[d].commit();
+            self.dnodes[d].commit(cycle);
             if self.dnodes[d].mode() == DnodeMode::Local {
                 self.stats.dnodes[d].local_cycles += 1;
             }
@@ -787,7 +1054,7 @@ impl RingMachine {
         for st in &scratch.staged {
             let d = st.dnode as usize;
             self.dnodes[d].stage_write(st.wr_reg, st.wr_out, st.result);
-            self.dnodes[d].commit();
+            self.dnodes[d].commit(cycle);
             if self.dnodes[d].mode() == DnodeMode::Local {
                 self.stats.dnodes[d].local_cycles += 1;
             }

@@ -2,6 +2,8 @@
 
 use std::cell::Cell;
 
+use crate::fault::FaultConfig;
+
 /// Host-link bandwidth model.
 ///
 /// The paper quotes two operating points for Ring-8 at 200 MHz (§5.1): the
@@ -70,6 +72,25 @@ pub struct MachineParams {
     /// [`crate::Stats::decode_cache_misses`] counters — so differential
     /// tests oracle one against the other.
     pub decode_cache: bool,
+    /// Fault-injection and fault-detection configuration.
+    ///
+    /// [`FaultConfig::OFF`] (the default) builds no fault machinery at
+    /// all — the stepper takes the exact pre-fault code path. Any active
+    /// configuration attaches a seed-driven
+    /// [`FaultInjector`](crate::fault::FaultInjector) whose per-cycle
+    /// decisions depend only on `(seed, salt, cycle)`, so the predecoded
+    /// fast path and the reference path see identical fault schedules.
+    pub faults: FaultConfig,
+    /// Watchdog interval in cycles; `0` (the default) disables it.
+    ///
+    /// When nonzero, the machine checks at every cycle boundary whether
+    /// any controller or host progress (instructions retired,
+    /// configuration writes, context switches, host words moved) happened
+    /// in the last `watchdog_interval` cycles, and raises
+    /// [`SimError::Watchdog`](crate::SimError::Watchdog) if not — the
+    /// heartbeat that catches hung or diverged local-mode loops spinning
+    /// without supervision.
+    pub watchdog_interval: u64,
 }
 
 impl MachineParams {
@@ -83,6 +104,8 @@ impl MachineParams {
         dmem_capacity: 65536,
         link: LinkModel::Direct,
         decode_cache: true,
+        faults: FaultConfig::OFF,
+        watchdog_interval: 0,
     };
 
     /// Builder: set the context count.
@@ -141,6 +164,18 @@ impl MachineParams {
         self.decode_cache = decode_cache;
         self
     }
+
+    /// Builder: set the fault-injection/detection configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder: set the watchdog interval (`0` disables the watchdog).
+    pub fn with_watchdog(mut self, interval: u64) -> Self {
+        self.watchdog_interval = interval;
+        self
+    }
 }
 
 impl Default for MachineParams {
@@ -188,6 +223,52 @@ pub fn with_decode_cache<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
 /// The active scoped override, if any (consulted by machine construction).
 pub(crate) fn decode_cache_override() -> Option<bool> {
     DECODE_CACHE_OVERRIDE.with(|cell| cell.get())
+}
+
+thread_local! {
+    static FAULT_OVERRIDE: Cell<Option<FaultConfig>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with [`MachineParams::faults`] forced to `faults` for every
+/// [`crate::RingMachine`] *created* on this thread inside the call.
+///
+/// The fault-injection analogue of [`with_decode_cache`]: kernel drivers
+/// construct their machines internally, so chaos campaigns wrap whole
+/// driver calls in a `with_faults` scope to subject them to injection (and
+/// retries re-wrap with a different [`FaultConfig::salt`]) without
+/// widening every driver signature. Nests, applies only to machine
+/// construction, and is restored even if `f` panics.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_core::fault::FaultConfig;
+/// use systolic_ring_core::{with_faults, RingMachine};
+/// use systolic_ring_isa::RingGeometry;
+///
+/// let cfg = FaultConfig::uniform(7, 100);
+/// let m = with_faults(cfg, || RingMachine::with_defaults(RingGeometry::RING_8));
+/// assert_eq!(m.params().faults, cfg);
+/// assert_eq!(
+///     RingMachine::with_defaults(RingGeometry::RING_8).params().faults,
+///     FaultConfig::OFF,
+/// );
+/// ```
+pub fn with_faults<T>(faults: FaultConfig, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<FaultConfig>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FAULT_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(FAULT_OVERRIDE.with(|cell| cell.replace(Some(faults))));
+    f()
+}
+
+/// The active scoped fault override, if any (consulted by machine
+/// construction).
+pub(crate) fn fault_override() -> Option<FaultConfig> {
+    FAULT_OVERRIDE.with(|cell| cell.get())
 }
 
 #[cfg(test)]

@@ -55,6 +55,23 @@ pub struct Stats {
     /// plan, work-list or local-loop unroll decoded (always 0 when the
     /// cache is disabled).
     pub decode_cache_misses: u64,
+    /// Faults injected by the fault injector (all classes).
+    pub faults_injected: u64,
+    /// Detection sweeps executed (configuration parity plus pending
+    /// datapath fault tags).
+    pub parity_scrubs: u64,
+    /// Configuration corruptions caught by a parity scrub.
+    pub config_faults_detected: u64,
+    /// Datapath faults (register/pipeline/sequencer flips, stuck outputs)
+    /// caught by a detection sweep.
+    pub datapath_faults_detected: u64,
+    /// Watchdog expirations.
+    pub watchdog_trips: u64,
+    /// Checkpoints taken via [`crate::RingMachine::checkpoint`].
+    pub checkpoints: u64,
+    /// Restores performed via [`crate::RingMachine::restore`]; survives
+    /// the rollback itself (it is not rewound to the checkpointed value).
+    pub restores: u64,
 }
 
 impl Stats {
@@ -127,6 +144,13 @@ impl Stats {
         self.bus_conflicts += other.bus_conflicts;
         self.decode_cache_hits += other.decode_cache_hits;
         self.decode_cache_misses += other.decode_cache_misses;
+        self.faults_injected += other.faults_injected;
+        self.parity_scrubs += other.parity_scrubs;
+        self.config_faults_detected += other.config_faults_detected;
+        self.datapath_faults_detected += other.datapath_faults_detected;
+        self.watchdog_trips += other.watchdog_trips;
+        self.checkpoints += other.checkpoints;
+        self.restores += other.restores;
     }
 
     /// A copy with the decode-cache counters zeroed.

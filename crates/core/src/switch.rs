@@ -73,6 +73,28 @@ impl FeedbackPipeline {
         }
         self.stages.push_front(stage);
     }
+
+    /// Overwrites one `(stage, lane)` word in place (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= depth` or `lane >= width`.
+    pub fn poke(&mut self, stage: usize, lane: usize, word: Word16) {
+        self.stages[stage][lane] = word;
+    }
+
+    /// Swaps the contents of two lanes across every stage (Dnode remap:
+    /// the in-flight output history follows the swapped roles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either lane is `>= width`.
+    pub(crate) fn swap_lanes(&mut self, a: usize, b: usize) {
+        assert!(a < self.width && b < self.width, "lane out of range");
+        for stage in &mut self.stages {
+            stage.swap(a, b);
+        }
+    }
 }
 
 /// Outcome of a bounded FIFO push.

@@ -1,0 +1,287 @@
+//! Black-box tests of the fault-injection and recovery subsystem:
+//! fast/slow path agreement under injection, checkpoint/rollback
+//! determinism, watchdog behaviour, parity scrubs and stuck-output
+//! detection with spare-Dnode remapping.
+
+use systolic_ring_core::{FaultConfig, FaultSite, MachineParams, RingMachine, SimError, Stats};
+use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+use systolic_ring_isa::switch::PortSource;
+use systolic_ring_isa::{RingGeometry, Word16};
+
+fn w(v: i16) -> Word16 {
+    Word16::from_i16(v)
+}
+
+/// A machine with every Dnode running a local MAC loop: plenty of live
+/// registers, output writes and sequencer state for faults to land on.
+fn busy_machine(params: MachineParams) -> RingMachine {
+    let mut m = RingMachine::new(RingGeometry::RING_8, params);
+    let mac = MicroInstr::op(AluOp::Mac, Operand::One, Operand::One)
+        .write_reg(Reg::R0)
+        .write_out();
+    for d in 0..m.geometry().dnodes() {
+        m.set_local_program(d, &[mac]).unwrap();
+        m.set_mode(d, DnodeMode::Local);
+    }
+    m
+}
+
+/// Steps until the first error, returning (cycle, error, stats).
+fn first_fault(params: MachineParams, budget: u64) -> (u64, Option<SimError>, Stats) {
+    let mut m = busy_machine(params);
+    for _ in 0..budget {
+        if let Err(e) = m.step() {
+            return (m.cycle(), Some(e), m.stats().clone());
+        }
+    }
+    (m.cycle(), None, m.stats().clone())
+}
+
+#[test]
+fn fast_and_slow_paths_fault_at_identical_cycles() {
+    for seed in 0..8u64 {
+        let faults = FaultConfig::uniform(seed, 3_000);
+        let fast = MachineParams::PAPER
+            .with_faults(faults)
+            .with_decode_cache(true);
+        let slow = MachineParams::PAPER
+            .with_faults(faults)
+            .with_decode_cache(false);
+        let (fc, fe, fs) = first_fault(fast, 4096);
+        let (sc, se, ss) = first_fault(slow, 4096);
+        assert_eq!(fc, sc, "seed {seed}: fault cycle differs across paths");
+        assert_eq!(fe, se, "seed {seed}: fault differs across paths");
+        assert_eq!(
+            fs.without_cache_counters(),
+            ss.without_cache_counters(),
+            "seed {seed}: stats differ across paths"
+        );
+        if let Some(e) = fe {
+            assert!(e.is_detected_fault(), "seed {seed}: {e}");
+        }
+    }
+}
+
+#[test]
+fn undetected_corruption_evolves_identically_on_both_paths() {
+    // Scrub disabled: faults land and *propagate*, and the corrupted
+    // machine must still evolve bit-identically on the cached and
+    // decoded paths — corruption is part of the architectural state.
+    for seed in [3u64, 11, 42] {
+        let faults = FaultConfig {
+            scrub_interval: 0,
+            ..FaultConfig::uniform(seed, 2_000)
+        };
+        let mut fast = busy_machine(
+            MachineParams::PAPER
+                .with_faults(faults)
+                .with_decode_cache(true),
+        );
+        let mut slow = busy_machine(
+            MachineParams::PAPER
+                .with_faults(faults)
+                .with_decode_cache(false),
+        );
+        for chunk in 0..4 {
+            fast.run(128).unwrap();
+            slow.run(128).unwrap();
+            for d in 0..fast.geometry().dnodes() {
+                assert_eq!(
+                    fast.dnode(d),
+                    slow.dnode(d),
+                    "seed {seed} chunk {chunk}: dnode {d} diverged"
+                );
+            }
+        }
+        let fs = fast.stats().without_cache_counters();
+        let ss = slow.stats().without_cache_counters();
+        assert_eq!(fs, ss, "seed {seed}: stats diverged");
+        assert!(fs.faults_injected > 0, "seed {seed}: nothing was injected");
+    }
+}
+
+#[test]
+fn restore_replays_the_identical_fault_schedule() {
+    let faults = FaultConfig::uniform(7, 20_000);
+    let mut m = busy_machine(MachineParams::PAPER.with_faults(faults));
+    let ckpt = m.checkpoint();
+    let e1 = m.run(4096).unwrap_err();
+    let c1 = m.cycle();
+    assert!(e1.is_detected_fault(), "{e1}");
+
+    // Rolling back and re-running replays the exact same fault universe.
+    m.restore(&ckpt);
+    assert_eq!(m.cycle(), 0);
+    let e2 = m.run(4096).unwrap_err();
+    assert_eq!(e1, e2);
+    assert_eq!(m.cycle(), c1);
+
+    // Checkpoint/restore counters are monotonic — they survive restore.
+    assert_eq!(m.stats().checkpoints, 1);
+    assert_eq!(m.stats().restores, 1);
+
+    // Re-arming re-salts the transient schedule: the machine does not
+    // deterministically re-execute into the same fault.
+    m.restore(&ckpt);
+    m.rearm_faults(1);
+    assert_eq!(m.stats().restores, 2);
+    match m.run(4096) {
+        Ok(()) => {}
+        Err(e) => {
+            assert!(e.is_detected_fault(), "{e}");
+            assert!(
+                e != e1 || m.cycle() != c1,
+                "re-armed schedule identical to the original"
+            );
+        }
+    }
+}
+
+#[test]
+fn watchdog_trips_on_an_idle_machine_and_rearms() {
+    let mut m = RingMachine::new(RingGeometry::RING_8, MachineParams::PAPER.with_watchdog(64));
+    let err = m.run(1_000).unwrap_err();
+    match err {
+        SimError::Watchdog { cycle, idle_cycles } => {
+            assert_eq!(cycle, 64);
+            assert_eq!(idle_cycles, 64);
+        }
+        other => panic!("expected watchdog, got {other}"),
+    }
+    // The trip leaves the machine at the cycle boundary and re-arms.
+    assert_eq!(m.cycle(), 64);
+    assert_eq!(m.stats().watchdog_trips, 1);
+    let err = m.run(1_000).unwrap_err();
+    match err {
+        SimError::Watchdog { cycle, idle_cycles } => {
+            assert_eq!(cycle, 128);
+            assert_eq!(idle_cycles, 64);
+        }
+        other => panic!("expected second watchdog, got {other}"),
+    }
+    assert_eq!(m.stats().watchdog_trips, 2);
+
+    // Petting defers the next trip by a full interval.
+    m.pet_watchdog();
+    m.run(63).unwrap();
+}
+
+#[test]
+fn watchdog_ignores_a_machine_making_host_progress() {
+    let mut m = RingMachine::new(RingGeometry::RING_8, MachineParams::PAPER.with_watchdog(32));
+    // Dnode 0 consumes a host stream every cycle: host words count as
+    // progress, so the watchdog stays quiet while data flows.
+    m.configure()
+        .set_port(0, 0, 0, 0, PortSource::HostIn { port: 0 })
+        .unwrap();
+    m.configure()
+        .set_dnode_instr(
+            0,
+            0,
+            MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out(),
+        )
+        .unwrap();
+    m.attach_input(0, 0, (0..500).map(|i| w(i as i16))).unwrap();
+    m.run(400).unwrap();
+    assert_eq!(m.stats().watchdog_trips, 0);
+}
+
+#[test]
+fn config_corruption_is_caught_at_the_next_scrub() {
+    let cfg = FaultConfig {
+        seed: 5,
+        config_ppm: 10_000,
+        ..FaultConfig::detect_only(1)
+    };
+    let mut m = busy_machine(MachineParams::PAPER.with_faults(cfg));
+    let err = m.run(100_000).unwrap_err();
+    match err {
+        SimError::ConfigCorruption { cycle, ctx, dnode } => {
+            // Detection fires at the start of the faulting cycle, before
+            // compute: the corrupt entry was never executed.
+            assert_eq!(cycle, m.cycle());
+            assert_eq!(ctx, 0, "only the active context was being scrubbed");
+            assert!(dnode < m.geometry().dnodes());
+        }
+        other => panic!("expected config corruption, got {other}"),
+    }
+    assert_eq!(m.stats().config_faults_detected, 1);
+    assert!(m.stats().faults_injected >= 1);
+    assert!(m.stats().parity_scrubs >= m.cycle());
+
+    // Accepting the corrupted entry as the new truth lets the machine
+    // resume (until the next injection, which must again be detected).
+    m.acknowledge_faults();
+    for _ in 0..16 {
+        if let Err(e) = m.step() {
+            assert!(e.is_detected_fault(), "{e}");
+            break;
+        }
+    }
+}
+
+#[test]
+fn stuck_output_is_detected_and_a_spare_remap_recovers() {
+    // Dnode 0 counts: out = R0 + 1 every cycle.
+    let mut m = RingMachine::with_defaults(RingGeometry::RING_8);
+    let inc = MicroInstr::op(AluOp::Add, Operand::Reg(Reg::R0), Operand::One)
+        .write_reg(Reg::R0)
+        .write_out();
+    m.set_local_program(0, &[inc]).unwrap();
+    m.set_mode(0, DnodeMode::Local);
+    m.run(10).unwrap();
+    assert_eq!(m.dnode(0).out(), w(10));
+
+    // Break the silicon: the output write port sticks at a fixed value.
+    m.force_stuck(0, w(-77));
+    let err = m.run(10).unwrap_err();
+    match err {
+        SimError::DatapathFault {
+            site: FaultSite::StuckOut { dnode: 0 },
+            ..
+        } => {}
+        other => panic!("expected stuck-output fault, got {other}"),
+    }
+    // Cycle 10 committed (with the stuck value forced), detection fired
+    // before cycle 11 computed.
+    assert_eq!(m.cycle(), 11);
+    assert_eq!(m.dnode(0).out(), w(-77));
+    assert_eq!(m.dnode(0).reg(Reg::R0), w(11));
+    assert_eq!(m.stats().datapath_faults_detected, 1);
+
+    // Repair: migrate the role onto the spare in the same layer.
+    let spare = m.find_spare(0).expect("layer 0 has an idle spare");
+    assert_eq!(spare, 1);
+    m.remap_dnode(0, spare).unwrap();
+    m.acknowledge_faults();
+
+    // The counter's register state travelled with the remap; after five
+    // more cycles the count reads exactly what an unbroken machine shows.
+    m.run(5).unwrap();
+    assert_eq!(m.cycle(), 16);
+    assert_eq!(m.dnode(1).reg(Reg::R0), w(16));
+    assert_eq!(m.dnode(1).out(), w(16));
+
+    // The broken Dnode holds the spare's idle role and, being stuck, is
+    // no longer offered as a spare.
+    assert_eq!(m.dnode(0).mode(), DnodeMode::Global);
+    assert_eq!(m.find_spare(0), None);
+}
+
+#[test]
+fn detect_only_profile_never_fires_on_a_healthy_machine() {
+    // Detection armed, injection off: the control configuration for
+    // overhead measurements must be behaviourally invisible.
+    let armed = busy_machine(MachineParams::PAPER.with_faults(FaultConfig::detect_only(1)));
+    let bare = busy_machine(MachineParams::PAPER);
+    let mut armed = armed;
+    let mut bare = bare;
+    armed.run(512).unwrap();
+    bare.run(512).unwrap();
+    for d in 0..armed.geometry().dnodes() {
+        assert_eq!(armed.dnode(d), bare.dnode(d), "dnode {d} diverged");
+    }
+    assert_eq!(armed.stats().faults_injected, 0);
+    assert!(armed.stats().parity_scrubs >= 512);
+    assert_eq!(armed.stats().config_faults_detected, 0);
+}

@@ -1,0 +1,365 @@
+//! Chaos campaigns: fault-rate sweeps with oracle-checked outcomes.
+//!
+//! A chaos campaign answers the question the fault subsystem exists for:
+//! *under injected faults, does the machine ever silently produce a wrong
+//! answer?* For each fault rate in a sweep, the campaign re-derives a
+//! deterministic suite of jobs with golden expected outputs, arms every
+//! job with fault injection and a recovery policy, runs the batch, and
+//! classifies every job into exactly one of four buckets:
+//!
+//! * **clean** — completed with matching outputs and no fault activity,
+//! * **recovered** — completed with matching outputs after at least one
+//!   detected fault (rollback/retry/remap did its job),
+//! * **detected-failed** — did not complete, but every failure was a
+//!   *detected* fault (fail-stop; the host knows the result is bad),
+//! * **undetected** — the one unacceptable bucket: the job completed
+//!   with outputs that differ from the golden model, or failed in a way
+//!   the detection machinery cannot explain. Silent data corruption.
+//!
+//! [`CampaignReport::zero_undetected`] is the acceptance criterion: a
+//! correct parity/scrub design keeps the last bucket empty at every rate,
+//! because configuration faults are detected at the next scrub point
+//! before the corrupted entry is used, and datapath faults are tagged at
+//! injection time and reported before the poisoned value propagates.
+
+use std::time::Duration;
+
+use systolic_ring_core::FaultConfig;
+
+use crate::job::{Job, JobOutcome, JobReport, RecoveryStats, RetryPolicy};
+use crate::runner::BatchRunner;
+use crate::testkit::TestRng;
+
+/// One campaign case: a job plus the outputs its golden model predicts.
+///
+/// Mirrors the kernels crate's oracle cases; the campaign driver lives
+/// here (below the kernels crate) so it stays reusable for raw machine
+/// jobs too, and the kernels crate converts its oracle suite into this
+/// shape.
+#[derive(Debug)]
+pub struct CampaignCase {
+    /// Display name (kernel + parameters).
+    pub name: String,
+    /// The job to run (injection/retry are armed by the driver).
+    pub job: Job,
+    /// Expected job outputs, lane by lane.
+    pub expected: Vec<Vec<i16>>,
+}
+
+/// The classification of one job under injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseResult {
+    /// Completed, outputs match, no fault activity.
+    Clean,
+    /// Completed, outputs match, after detected faults and recovery.
+    Recovered,
+    /// Failed, but every failure was a detected fault (fail-stop).
+    DetectedFailed,
+    /// Silent corruption: wrong outputs, or a failure the fault-detection
+    /// machinery cannot account for.
+    Undetected,
+}
+
+/// Classifies one job report against its golden expectation.
+pub fn classify(report: &JobReport, expected: &[Vec<i16>]) -> CaseResult {
+    match &report.outcome {
+        JobOutcome::Completed(out) => {
+            if out.outputs[..] == *expected {
+                if report.recovery.faults_detected > 0 {
+                    CaseResult::Recovered
+                } else {
+                    CaseResult::Clean
+                }
+            } else {
+                CaseResult::Undetected
+            }
+        }
+        JobOutcome::Fault(fault) => {
+            if fault.is_detected_fault() {
+                CaseResult::DetectedFailed
+            } else {
+                CaseResult::Undetected
+            }
+        }
+    }
+}
+
+/// Aggregate outcome of one fault rate across the whole suite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignRow {
+    /// Per-class injection rate, parts per million per cycle.
+    pub ppm: u32,
+    /// Jobs run at this rate.
+    pub jobs: usize,
+    /// Jobs completing cleanly.
+    pub clean: usize,
+    /// Jobs completing after recovery.
+    pub recovered: usize,
+    /// Jobs failing with every fault detected.
+    pub detected_failed: usize,
+    /// Jobs with silent corruption (must stay zero).
+    pub undetected: usize,
+    /// Detected faults summed across all attempts of all jobs.
+    pub faults_detected: u64,
+    /// Rollback-retries summed across all jobs.
+    pub retries: u64,
+    /// Spare-Dnode remaps summed across all jobs.
+    pub remaps: u64,
+}
+
+/// The full campaign result: one row per fault rate.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Rows in sweep order.
+    pub rows: Vec<CampaignRow>,
+    /// Wall-clock time of the whole campaign.
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// The acceptance criterion: no job in any row was silently corrupted.
+    pub fn zero_undetected(&self) -> bool {
+        self.rows.iter().all(|row| row.undetected == 0)
+    }
+
+    /// Jobs executed across all rows.
+    pub fn total_jobs(&self) -> usize {
+        self.rows.iter().map(|row| row.jobs).sum()
+    }
+
+    /// Renders the campaign as an aligned resilience table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>9} {:>6} {:>6} {:>10} {:>9} {:>11} {:>7} {:>8} {:>7}",
+            "rate/ppm",
+            "jobs",
+            "clean",
+            "recovered",
+            "det-fail",
+            "UNDETECTED",
+            "faults",
+            "retries",
+            "remaps"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>9} {:>6} {:>6} {:>10} {:>9} {:>11} {:>7} {:>8} {:>7}",
+                row.ppm,
+                row.jobs,
+                row.clean,
+                row.recovered,
+                row.detected_failed,
+                row.undetected,
+                row.faults_detected,
+                row.retries,
+                row.remaps
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} jobs in {:.3} s — {}",
+            self.total_jobs(),
+            self.wall.as_secs_f64(),
+            if self.zero_undetected() {
+                "zero undetected corruptions"
+            } else {
+                "SILENT CORRUPTION PRESENT"
+            }
+        );
+        out
+    }
+}
+
+/// Runs a chaos campaign.
+///
+/// For each rate in `rates_ppm`, `suite` is asked for a fresh set of
+/// cases (suites are cheap to re-derive because they are deterministic in
+/// their seed); every job is armed with a [`FaultConfig::uniform`]
+/// injection profile whose seed mixes `seed` with the rate, plus the
+/// given recovery policy, and the batch runs under `runner`. A rate of
+/// `0` injects nothing but keeps detection armed — the control row that
+/// shows the parity/scrub machinery itself does not disturb results.
+pub fn run_chaos<F>(
+    runner: &BatchRunner,
+    rates_ppm: &[u32],
+    seed: u64,
+    retry: RetryPolicy,
+    mut suite: F,
+) -> CampaignReport
+where
+    F: FnMut(u32) -> Vec<CampaignCase>,
+{
+    let started = std::time::Instant::now();
+    let mut rows = Vec::with_capacity(rates_ppm.len());
+    for &ppm in rates_ppm {
+        // Each rate gets an independent but reproducible fault universe.
+        let fault_seed = TestRng::new(seed ^ u64::from(ppm)).next_u64();
+        let cases = suite(ppm);
+        let mut jobs = Vec::with_capacity(cases.len());
+        let mut expectations = Vec::with_capacity(cases.len());
+        for case in cases {
+            jobs.push(
+                case.job
+                    .with_faults(FaultConfig::uniform(fault_seed, ppm))
+                    .with_retry(retry),
+            );
+            expectations.push(case.expected);
+        }
+        let report = runner.run(&jobs);
+        let mut row = CampaignRow {
+            ppm,
+            jobs: report.reports.len(),
+            clean: 0,
+            recovered: 0,
+            detected_failed: 0,
+            undetected: 0,
+            faults_detected: 0,
+            retries: 0,
+            remaps: 0,
+        };
+        for (job_report, expected) in report.reports.iter().zip(&expectations) {
+            let recovery: RecoveryStats = job_report.recovery;
+            row.faults_detected += u64::from(recovery.faults_detected);
+            row.retries += u64::from(recovery.retries);
+            row.remaps += u64::from(recovery.remaps);
+            match classify(job_report, expected) {
+                CaseResult::Clean => row.clean += 1,
+                CaseResult::Recovered => row.recovered += 1,
+                CaseResult::DetectedFailed => row.detected_failed += 1,
+                CaseResult::Undetected => row.undetected += 1,
+            }
+        }
+        rows.push(row);
+    }
+    CampaignReport {
+        rows,
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{CycleBudget, JobFault, JobOutput};
+    use systolic_ring_core::{MachineParams, Stats};
+    use systolic_ring_isa::dnode::{AluOp, DnodeMode, MicroInstr, Operand, Reg};
+    use systolic_ring_isa::RingGeometry;
+
+    fn mac_case(name: &str, cycles: u64) -> CampaignCase {
+        let job = Job::from_config(
+            name.to_owned(),
+            RingGeometry::RING_8,
+            MachineParams::PAPER,
+            |m| {
+                let mac = MicroInstr::op(AluOp::Mac, Operand::One, Operand::One).write_reg(Reg::R0);
+                for d in 0..m.geometry().dnodes() {
+                    m.set_local_program(d, &[mac])?;
+                    m.set_mode(d, DnodeMode::Local);
+                }
+                Ok(())
+            },
+            CycleBudget::Cycles(cycles),
+        );
+        CampaignCase {
+            name: name.to_owned(),
+            job,
+            expected: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn zero_rate_row_is_all_clean() {
+        let report = run_chaos(
+            &BatchRunner::with_workers(2),
+            &[0],
+            7,
+            RetryPolicy::retries(2),
+            |_| (0..6).map(|i| mac_case(&format!("m{i}"), 64)).collect(),
+        );
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert_eq!(row.clean, 6);
+        assert_eq!(row.recovered + row.detected_failed + row.undetected, 0);
+        assert_eq!(row.faults_detected, 0);
+        assert!(report.zero_undetected());
+    }
+
+    #[test]
+    fn injected_rows_never_report_silent_corruption() {
+        let report = run_chaos(
+            &BatchRunner::with_workers(4),
+            &[200, 2_000, 20_000],
+            1234,
+            RetryPolicy::retries(6).with_remap(true),
+            |_| (0..8).map(|i| mac_case(&format!("m{i}"), 256)).collect(),
+        );
+        assert_eq!(report.total_jobs(), 24);
+        assert!(report.zero_undetected(), "\n{}", report.render());
+        // The sweep is wide enough that at least one job must see a fault.
+        let total_faults: u64 = report.rows.iter().map(|r| r.faults_detected).sum();
+        assert!(total_faults > 0, "no faults injected across the sweep");
+        let text = report.render();
+        assert!(text.contains("zero undetected corruptions"));
+    }
+
+    #[test]
+    fn classification_buckets_are_exact() {
+        let completed = |outputs: Vec<Vec<i16>>, recovery: RecoveryStats| JobReport {
+            index: 0,
+            name: "x".into(),
+            wall: Duration::ZERO,
+            outcome: JobOutcome::Completed(JobOutput {
+                outputs,
+                cycles: 1,
+                stats: Stats::new(1),
+            }),
+            recovery,
+        };
+        let expected = vec![vec![1, 2]];
+        assert_eq!(
+            classify(
+                &completed(expected.clone(), RecoveryStats::default()),
+                &expected
+            ),
+            CaseResult::Clean
+        );
+        let recovered = RecoveryStats {
+            faults_detected: 2,
+            retries: 1,
+            remaps: 0,
+            recovered: true,
+        };
+        assert_eq!(
+            classify(&completed(expected.clone(), recovered), &expected),
+            CaseResult::Recovered
+        );
+        assert_eq!(
+            classify(&completed(vec![vec![9, 9]], recovered), &expected),
+            CaseResult::Undetected
+        );
+        let faulted = |fault: JobFault| JobReport {
+            index: 0,
+            name: "x".into(),
+            wall: Duration::ZERO,
+            outcome: JobOutcome::Fault(fault),
+            recovery: RecoveryStats::default(),
+        };
+        assert_eq!(
+            classify(
+                &faulted(JobFault::Sim(
+                    "cycle 1: configuration parity mismatch in context 0 at dnode 3".into()
+                )),
+                &expected
+            ),
+            CaseResult::DetectedFailed
+        );
+        assert_eq!(
+            classify(&faulted(JobFault::Panic("boom".into())), &expected),
+            CaseResult::Undetected
+        );
+    }
+}

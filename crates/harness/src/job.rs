@@ -13,7 +13,9 @@
 
 use std::time::{Duration, Instant};
 
-use systolic_ring_core::{ConfigError, MachineParams, RingMachine, SimError, Stats};
+use systolic_ring_core::{
+    ConfigError, FaultConfig, FaultSite, MachineParams, RingMachine, SimError, Stats,
+};
 use systolic_ring_isa::object::Object;
 use systolic_ring_isa::{RingGeometry, Word16};
 
@@ -107,6 +109,76 @@ impl std::fmt::Debug for JobWork {
     }
 }
 
+/// Bounded fault-recovery policy for one job.
+///
+/// When a job's machine reports a *detected* fault (configuration parity
+/// mismatch, tagged datapath fault or watchdog expiry — see
+/// [`SimError::is_detected_fault`]), the executor may roll the machine
+/// back to its post-setup checkpoint, re-salt the transient fault streams
+/// and try again, up to `max_retries` times. With `remap` set, a
+/// stuck-output fault additionally triggers a repair before the retry:
+/// the faulty Dnode's role is migrated onto a spare Dnode in the same
+/// layer (see [`RingMachine::remap_dnode`]), so a permanent fault does
+/// not burn every remaining retry.
+///
+/// Custom jobs cannot be checkpointed from outside, so a retry re-runs
+/// the whole workload closure under a re-salted
+/// [`systolic_ring_core::with_faults`] scope instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` disables recovery).
+    pub max_retries: u32,
+    /// Attempt spare-Dnode remapping on stuck-output faults.
+    pub remap: bool,
+}
+
+impl RetryPolicy {
+    /// No recovery: the first detected fault fails the job.
+    pub const OFF: RetryPolicy = RetryPolicy {
+        max_retries: 0,
+        remap: false,
+    };
+
+    /// A policy allowing `max_retries` rollback-retries, no remapping.
+    pub const fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            remap: false,
+        }
+    }
+
+    /// Enables or disables spare-Dnode remapping on stuck faults.
+    pub const fn with_remap(mut self, remap: bool) -> Self {
+        self.remap = remap;
+        self
+    }
+
+    /// `true` when at least one retry is allowed.
+    pub fn is_active(&self) -> bool {
+        self.max_retries > 0
+    }
+}
+
+/// Per-job fault/recovery outcome, reported alongside the job outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Detected faults observed across all attempts.
+    pub faults_detected: u32,
+    /// Rollback-retries actually performed.
+    pub retries: u32,
+    /// Spare-Dnode remaps performed.
+    pub remaps: u32,
+    /// `true` when the job completed despite at least one detected fault.
+    pub recovered: bool,
+}
+
+impl RecoveryStats {
+    /// `true` when no fault activity occurred at all.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
 /// One batch job.
 #[derive(Debug)]
 pub struct Job {
@@ -116,6 +188,15 @@ pub struct Job {
     pub work: JobWork,
     /// Optional wall-clock limit, enforced at cycle-slice granularity.
     pub wall_limit: Option<Duration>,
+    /// Fault-injection configuration applied at execution time: machine
+    /// jobs get it merged into their [`MachineParams`]; custom jobs run
+    /// under a [`systolic_ring_core::with_faults`] scope.
+    pub faults: Option<FaultConfig>,
+    /// Recovery policy applied when detected faults interrupt the run.
+    pub retry: RetryPolicy,
+    /// First recorded builder misuse (see [`Job::with_input`]); surfaced
+    /// as [`JobFault::Config`] when the job executes.
+    builder_error: Option<String>,
 }
 
 impl Job {
@@ -138,6 +219,9 @@ impl Job {
                 budget,
             }),
             wall_limit: None,
+            faults: None,
+            retry: RetryPolicy::OFF,
+            builder_error: None,
         }
     }
 
@@ -163,6 +247,9 @@ impl Job {
                 budget,
             }),
             wall_limit: None,
+            faults: None,
+            retry: RetryPolicy::OFF,
+            builder_error: None,
         }
     }
 
@@ -175,14 +262,21 @@ impl Job {
             name: name.into(),
             work: JobWork::Custom(Box::new(work)),
             wall_limit: None,
+            faults: None,
+            retry: RetryPolicy::OFF,
+            builder_error: None,
         }
     }
 
     /// Binds an input stream (machine jobs only).
     ///
-    /// # Panics
+    /// # Contract
     ///
-    /// Panics on a custom job.
+    /// Custom jobs own their machine setup, so they have nowhere to bind a
+    /// stream. Calling this on a custom job never panics; the misuse is
+    /// recorded on the job and surfaced as a [`JobFault::Config`] when the
+    /// job executes, so a mis-built batch fails loudly in its report
+    /// instead of taking down the builder thread.
     pub fn with_input<I>(mut self, switch: usize, port: usize, words: I) -> Self
     where
         I: IntoIterator<Item = Word16>,
@@ -193,7 +287,7 @@ impl Job {
                 port,
                 words: words.into_iter().collect(),
             }),
-            JobWork::Custom(_) => panic!("with_input on a custom job"),
+            JobWork::Custom(_) => self.note_misuse("with_input"),
         }
         self
     }
@@ -201,13 +295,62 @@ impl Job {
     /// Opens a sink whose drained words become job outputs (machine jobs
     /// only).
     ///
-    /// # Panics
+    /// # Contract
     ///
-    /// Panics on a custom job.
+    /// Same deferred-error contract as [`Job::with_input`]: on a custom
+    /// job the misuse is recorded and reported as [`JobFault::Config`] at
+    /// execution time, never a panic.
     pub fn with_sink(mut self, switch: usize, port: usize) -> Self {
         match &mut self.work {
             JobWork::Machine(m) => m.sinks.push(SinkRef { switch, port }),
-            JobWork::Custom(_) => panic!("with_sink on a custom job"),
+            JobWork::Custom(_) => self.note_misuse("with_sink"),
+        }
+        self
+    }
+
+    /// Records the first builder misuse for deferred reporting.
+    fn note_misuse(&mut self, method: &str) {
+        if self.builder_error.is_none() {
+            self.builder_error = Some(format!(
+                "{method} on a custom job: custom jobs own their machine setup"
+            ));
+        }
+    }
+
+    /// The first recorded builder misuse, if any (the job will report it
+    /// as a [`JobFault::Config`] when executed).
+    pub fn builder_error(&self) -> Option<&str> {
+        self.builder_error.as_deref()
+    }
+
+    /// Enables fault injection/detection for this job.
+    ///
+    /// Machine jobs get `faults` merged into their [`MachineParams`] when
+    /// the machine is built; custom jobs — kernel drivers that build their
+    /// machines internally — run under a
+    /// [`systolic_ring_core::with_faults`] scope, which follows the
+    /// closure onto whichever worker thread runs it. On a retry the
+    /// configuration is re-salted per attempt so the same transient-fault
+    /// schedule does not simply replay.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the recovery policy applied when detected faults interrupt
+    /// this job.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms the controller watchdog for this job's machine (machine jobs
+    /// only; `0` disarms). Follows the same deferred-error contract as
+    /// [`Job::with_input`] on custom jobs.
+    pub fn with_watchdog(mut self, interval: u64) -> Self {
+        match &mut self.work {
+            JobWork::Machine(m) => m.params = m.params.with_watchdog(interval),
+            JobWork::Custom(_) => self.note_misuse("with_watchdog"),
         }
         self
     }
@@ -235,7 +378,7 @@ impl Job {
                 JobWork::Machine(m)
             }
             JobWork::Custom(work) => JobWork::Custom(Box::new(move || {
-                systolic_ring_core::with_decode_cache(enabled, || work())
+                systolic_ring_core::with_decode_cache(enabled, &*work)
             })),
         };
         self
@@ -280,6 +423,30 @@ pub enum JobFault {
     Workload(String),
     /// The job panicked; the batch survives.
     Panic(String),
+}
+
+impl JobFault {
+    /// `true` when the fault is a *detected* machine fault — a
+    /// configuration parity mismatch, a tagged datapath fault or a
+    /// watchdog expiry — rather than silent divergence or an unrelated
+    /// failure. Custom jobs stringify
+    /// [`SimError`] on the way out, so detection is
+    /// recognized by the stable phrases of the corresponding
+    /// [`SimError`] `Display` implementations.
+    pub fn is_detected_fault(&self) -> bool {
+        match self {
+            JobFault::Sim(msg) | JobFault::Workload(msg) => is_detected_fault_message(msg),
+            _ => false,
+        }
+    }
+}
+
+/// Recognizes the `Display` phrases of the detected-fault
+/// [`SimError`] variants inside a stringified error.
+pub(crate) fn is_detected_fault_message(msg: &str) -> bool {
+    msg.contains("parity mismatch")
+        || msg.contains("datapath fault")
+        || msg.contains("watchdog expired")
 }
 
 impl std::fmt::Display for JobFault {
@@ -327,19 +494,94 @@ pub struct JobReport {
     pub wall: Duration,
     /// Success or captured failure.
     pub outcome: JobOutcome,
+    /// Fault/recovery record across the job's attempts (all zeros when no
+    /// fault machinery was exercised).
+    pub recovery: RecoveryStats,
 }
 
 /// Cycles per wall-limit check; small enough to bound overshoot, large
 /// enough to amortize the `Instant::now` call.
 const SLICE_CYCLES: u64 = 1024;
 
+/// Executes a job to completion on the calling thread, returning the
+/// result together with its fault/recovery record. Deferred builder
+/// errors fail the job here, before any machine is built.
+pub(crate) fn run(job: &Job) -> (Result<JobOutput, JobFault>, RecoveryStats) {
+    if let Some(msg) = &job.builder_error {
+        return (Err(JobFault::Config(msg.clone())), RecoveryStats::default());
+    }
+    match &job.work {
+        JobWork::Machine(machine) => run_machine(machine, job),
+        JobWork::Custom(work) => run_custom(work, job),
+    }
+}
+
+/// Executes a custom job, retrying under a re-salted fault scope when the
+/// workload reports a detected fault and the retry policy allows it.
+fn run_custom(work: &CustomFn, spec: &Job) -> (Result<JobOutput, JobFault>, RecoveryStats) {
+    let started = Instant::now();
+    let mut recovery = RecoveryStats::default();
+    let mut attempt: u32 = 0;
+    loop {
+        let result = match spec.faults {
+            Some(cfg) => systolic_ring_core::with_faults(
+                cfg.with_salt(cfg.salt.wrapping_add(u64::from(attempt))),
+                work,
+            ),
+            None => work(),
+        };
+        if let Some(limit) = spec.wall_limit {
+            if started.elapsed() >= limit {
+                return (Err(JobFault::WallLimit { limit }), recovery);
+            }
+        }
+        match result {
+            Ok(out) => {
+                recovery.recovered = recovery.faults_detected > 0;
+                return (Ok(out), recovery);
+            }
+            Err(msg) => {
+                let fault = JobFault::Workload(msg);
+                if fault.is_detected_fault() {
+                    recovery.faults_detected += 1;
+                    if attempt < spec.retry.max_retries {
+                        attempt += 1;
+                        recovery.retries += 1;
+                        continue;
+                    }
+                }
+                return (Err(fault), recovery);
+            }
+        }
+    }
+}
+
 /// Executes a machine job to completion on the calling thread.
-pub(crate) fn run_machine(
+///
+/// Recovery loop: a post-setup [`systolic_ring_core::Checkpoint`] is
+/// taken when the retry policy is active; a detected fault mid-run rolls
+/// the machine back to it, optionally remaps a stuck Dnode onto a spare,
+/// re-salts the transient fault streams and re-runs. The cycle budget is
+/// accounted against `m.cycle()` so a rollback refunds the cycles of the
+/// abandoned attempt.
+fn run_machine(job: &MachineJob, spec: &Job) -> (Result<JobOutput, JobFault>, RecoveryStats) {
+    let mut recovery = RecoveryStats::default();
+    let result = run_machine_inner(job, spec, &mut recovery);
+    recovery.recovered = result.is_ok() && recovery.faults_detected > 0;
+    (result, recovery)
+}
+
+fn run_machine_inner(
     job: &MachineJob,
-    wall_limit: Option<Duration>,
+    spec: &Job,
+    recovery: &mut RecoveryStats,
 ) -> Result<JobOutput, JobFault> {
     let started = Instant::now();
-    let mut m = RingMachine::new(job.geometry, job.params);
+    let mut params = job.params;
+    if let Some(cfg) = spec.faults {
+        params = params.with_faults(cfg);
+    }
+    let mut m = RingMachine::new(job.geometry, params);
     match &job.setup {
         JobSetup::Object(object) => m
             .load(object)
@@ -355,40 +597,68 @@ pub(crate) fn run_machine(
             .map_err(|e| JobFault::Config(e.to_string()))?;
     }
 
+    let mut checkpoint = spec.retry.is_active().then(|| m.checkpoint());
+    let mut attempt: u32 = 0;
     let max_cycles = match job.budget {
         CycleBudget::Cycles(n) => n,
         CycleBudget::UntilHalt { max_cycles } => max_cycles,
     };
-    let mut executed = 0u64;
-    while executed < max_cycles {
+    while m.cycle() < max_cycles {
         if let CycleBudget::UntilHalt { .. } = job.budget {
             if m.controller().is_halted() {
                 break;
             }
         }
-        if let Some(limit) = wall_limit {
+        if let Some(limit) = spec.wall_limit {
             if started.elapsed() >= limit {
                 return Err(JobFault::WallLimit { limit });
             }
         }
-        let slice = SLICE_CYCLES.min(max_cycles - executed);
-        match job.budget {
-            CycleBudget::Cycles(_) => {
-                m.run(slice).map_err(|e| JobFault::Sim(e.to_string()))?;
-                executed += slice;
-            }
-            CycleBudget::UntilHalt { .. } => {
-                // Delegate the slice to the machine's own halt-aware
-                // runner so the two agree on budget-boundary accounting
-                // by construction: a `CycleLimit` on the slice means
-                // exactly `slice` cycles ran (never a partial step), and
-                // a halt stops the count on the halt's own cycle.
-                match m.run_until_halt(slice) {
-                    Ok(n) => executed += n,
-                    Err(SimError::CycleLimit { .. }) => executed += slice,
-                    Err(e) => return Err(JobFault::Sim(e.to_string())),
+        let slice = SLICE_CYCLES.min(max_cycles - m.cycle());
+        let stepped = match job.budget {
+            CycleBudget::Cycles(_) => m.run(slice),
+            // Delegate the slice to the machine's own halt-aware runner
+            // so the two agree on budget-boundary accounting by
+            // construction: a `CycleLimit` on the slice means exactly
+            // `slice` cycles ran (never a partial step), and a halt
+            // stops the count on the halt's own cycle.
+            CycleBudget::UntilHalt { .. } => match m.run_until_halt(slice) {
+                Ok(_) | Err(SimError::CycleLimit { .. }) => Ok(()),
+                Err(e) => Err(e),
+            },
+        };
+        if let Err(e) = stepped {
+            if e.is_detected_fault() {
+                recovery.faults_detected += 1;
+                if let Some(ckpt) = checkpoint.as_mut() {
+                    if attempt < spec.retry.max_retries {
+                        attempt += 1;
+                        recovery.retries += 1;
+                        m.restore(ckpt);
+                        if spec.retry.remap {
+                            if let SimError::DatapathFault {
+                                site: FaultSite::StuckOut { dnode },
+                                ..
+                            } = e
+                            {
+                                let (layer, _) = m.geometry().dnode_position(dnode);
+                                if let Some(spare) = m.find_spare(layer) {
+                                    if m.remap_dnode(dnode, spare).is_ok() {
+                                        recovery.remaps += 1;
+                                        // The repair is permanent: fold it
+                                        // into the rollback point so later
+                                        // retries keep it.
+                                        *ckpt = m.checkpoint();
+                                    }
+                                }
+                            }
+                        }
+                        m.rearm_faults(u64::from(attempt));
+                        continue;
+                    }
                 }
             }
+            return Err(JobFault::Sim(e.to_string()));
         }
     }
     if let CycleBudget::UntilHalt { max_cycles } = job.budget {
@@ -436,10 +706,7 @@ mod tests {
     #[test]
     fn machine_job_runs_and_reports_cycles() {
         let job = counting_job(17);
-        let JobWork::Machine(m) = &job.work else {
-            panic!("machine job")
-        };
-        let out = run_machine(m, None).expect("runs");
+        let out = run(&job).0.expect("runs");
         assert_eq!(out.cycles, 17);
         assert_eq!(out.stats.cycles, 17);
         assert!(out.outputs.is_empty());
@@ -454,12 +721,9 @@ mod tests {
             |_| Ok(()),
             CycleBudget::UntilHalt { max_cycles: 100 },
         );
-        let JobWork::Machine(m) = &job.work else {
-            panic!("machine job")
-        };
         // An empty controller program never halts by itself? The reset
         // controller is halted; load a spin loop instead.
-        match run_machine(m, None) {
+        match run(&job).0 {
             Ok(out) => assert!(out.cycles <= 100),
             Err(JobFault::Diverged { max_cycles }) => assert_eq!(max_cycles, 100),
             Err(other) => panic!("unexpected fault {other}"),
@@ -475,10 +739,7 @@ mod tests {
             |m| m.set_local_program(usize::MAX, &[]).map(|_| ()),
             CycleBudget::Cycles(1),
         );
-        let JobWork::Machine(m) = &job.work else {
-            panic!("machine job")
-        };
-        assert!(matches!(run_machine(m, None), Err(JobFault::Config(_))));
+        assert!(matches!(run(&job).0, Err(JobFault::Config(_))));
     }
 
     #[test]
@@ -529,27 +790,18 @@ mod tests {
         let halted_at = reference.run_until_halt(10_000).expect("halts");
 
         let job = halting_job(37, 10_000);
-        let JobWork::Machine(m) = &job.work else {
-            panic!("machine job")
-        };
-        let out = run_machine(m, None).expect("runs");
+        let out = run(&job).0.expect("runs");
         assert_eq!(out.cycles, halted_at);
         assert_eq!(out.stats.cycles, halted_at);
 
         // A budget of exactly the halt cycle completes; one less diverges
         // with exactly the budget consumed — no mid-step overshoot.
         let job = halting_job(37, halted_at);
-        let JobWork::Machine(m) = &job.work else {
-            panic!("machine job")
-        };
-        assert_eq!(run_machine(m, None).expect("exact fit").cycles, halted_at);
+        assert_eq!(run(&job).0.expect("exact fit").cycles, halted_at);
 
         let job = halting_job(37, halted_at - 1);
-        let JobWork::Machine(m) = &job.work else {
-            panic!("machine job")
-        };
         assert!(matches!(
-            run_machine(m, None),
+            run(&job).0,
             Err(JobFault::Diverged { max_cycles }) if max_cycles == halted_at - 1
         ));
     }
@@ -562,7 +814,7 @@ mod tests {
                 panic!("machine job")
             };
             assert_eq!(m.params.decode_cache, enabled);
-            let out = run_machine(m, None).expect("runs");
+            let out = run(&job).0.expect("runs");
             assert_eq!(out.stats.decode_cache_hits > 0, expect_hits);
         }
     }
@@ -585,5 +837,91 @@ mod tests {
         let out = work().expect("runs");
         assert_eq!(out.stats.decode_cache_hits, 0);
         assert_eq!(out.stats.decode_cache_misses, 0);
+    }
+
+    /// Satellite contract: machine-only builders on a custom job never
+    /// panic; the misuse is deferred and reported as a `Config` fault.
+    #[test]
+    fn builder_misuse_on_custom_job_is_deferred_not_a_panic() {
+        let job = Job::custom("opaque", || {
+            Ok(JobOutput {
+                outputs: Vec::new(),
+                cycles: 0,
+                stats: Stats::new(1),
+            })
+        })
+        .with_sink(1, 0)
+        .with_input(0, 0, [Word16::ZERO]);
+        // The first misuse wins; both are recorded as the same fault kind.
+        let msg = job.builder_error().expect("misuse recorded");
+        assert!(msg.contains("with_sink on a custom job"), "{msg}");
+        let (result, recovery) = run(&job);
+        assert!(recovery.is_clean());
+        match result {
+            Err(JobFault::Config(m)) => assert!(m.contains("custom jobs own their machine setup")),
+            other => panic!("expected deferred config fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_machine_job_recovers_or_fails_detected() {
+        let mut recovered_any = false;
+        for seed in 0..20u64 {
+            let job = counting_job(256)
+                .with_faults(FaultConfig::uniform(seed, 2_000))
+                .with_retry(RetryPolicy::retries(50).with_remap(true));
+            let (result, recovery) = run(&job);
+            match result {
+                Ok(out) => {
+                    assert_eq!(out.cycles, 256);
+                    if recovery.faults_detected > 0 {
+                        assert!(recovery.recovered);
+                        recovered_any = true;
+                    }
+                }
+                Err(fault) => {
+                    assert!(fault.is_detected_fault(), "undetected failure: {fault}");
+                    assert!(!recovery.recovered);
+                }
+            }
+            assert!(recovery.retries <= 50);
+        }
+        assert!(recovered_any, "no seed exercised the recovery path");
+    }
+
+    /// Without a retry policy the first detected fault fails the job,
+    /// and the fault is classified as detected.
+    #[test]
+    fn injected_machine_job_without_retry_fails_detected() {
+        let mut faulted_any = false;
+        for seed in 0..10u64 {
+            let job = counting_job(4096).with_faults(FaultConfig::uniform(seed, 5_000));
+            let (result, recovery) = run(&job);
+            if let Err(fault) = result {
+                assert!(fault.is_detected_fault(), "undetected failure: {fault}");
+                assert_eq!(recovery.retries, 0);
+                assert!(recovery.faults_detected > 0);
+                faulted_any = true;
+            }
+        }
+        assert!(faulted_any, "no seed produced a fault at 0.5%/class/cycle");
+    }
+
+    #[test]
+    fn detected_fault_classification_matches_display_phrases() {
+        assert!(JobFault::Sim(
+            "cycle 3: configuration parity mismatch in context 0 at dnode 1".into()
+        )
+        .is_detected_fault());
+        assert!(JobFault::Workload(
+            "machine fault: cycle 9: datapath fault at dnode 2 register R1".into()
+        )
+        .is_detected_fault());
+        assert!(
+            JobFault::Sim("cycle 8: watchdog expired after 8 cycles without progress".into())
+                .is_detected_fault()
+        );
+        assert!(!JobFault::Sim("cycle limit".into()).is_detected_fault());
+        assert!(!JobFault::Panic("parity mismatch".into()).is_detected_fault());
     }
 }

@@ -19,6 +19,10 @@
 //!   panicking job yields a fault report, never poisons the batch) and
 //!   aggregates per-job [`Stats`](systolic_ring_core::Stats) into a
 //!   batch-level summary,
+//! * [`campaign`] — a chaos-campaign driver sweeping fault-injection
+//!   rates across a suite of golden-checked jobs and classifying every
+//!   outcome (clean / recovered / detected-failed / undetected), the
+//!   harness-level proof that detected faults stay detected,
 //! * [`testkit`] — a deterministic SplitMix64 PRNG and the
 //!   [`for_random_cases!`] helper, replacing external `rand`/`proptest`
 //!   dependencies so the whole workspace builds and tests offline,
@@ -59,11 +63,15 @@
 //! assert_eq!(report.summary().completed, 8);
 //! ```
 
+pub mod campaign;
 pub mod job;
 pub mod microbench;
 pub mod runner;
 pub mod testkit;
 
-pub use job::{CycleBudget, Job, JobFault, JobOutcome, JobOutput, JobReport};
+pub use campaign::{CampaignCase, CampaignReport, CampaignRow, CaseResult};
+pub use job::{
+    CycleBudget, Job, JobFault, JobOutcome, JobOutput, JobReport, RecoveryStats, RetryPolicy,
+};
 pub use runner::{BatchReport, BatchRunner, BatchSummary};
 pub use testkit::TestRng;

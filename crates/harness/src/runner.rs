@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use systolic_ring_core::Stats;
 
-use crate::job::{Job, JobFault, JobOutcome, JobReport, JobWork};
+use crate::job::{Job, JobFault, JobOutcome, JobReport, RecoveryStats};
 
 /// Runs batches of jobs across worker threads.
 #[derive(Clone, Debug)]
@@ -113,29 +113,21 @@ impl BatchRunner {
 /// Executes one job, translating panics into faults.
 fn execute(index: usize, job: &Job) -> JobReport {
     let started = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| match &job.work {
-        JobWork::Machine(machine) => crate::job::run_machine(machine, job.wall_limit),
-        JobWork::Custom(work) => {
-            let job_started = Instant::now();
-            let out = work().map_err(JobFault::Workload)?;
-            if let Some(limit) = job.wall_limit {
-                if job_started.elapsed() >= limit {
-                    return Err(JobFault::WallLimit { limit });
-                }
-            }
-            Ok(out)
-        }
-    }));
-    let outcome = match result {
-        Ok(Ok(output)) => JobOutcome::Completed(output),
-        Ok(Err(fault)) => JobOutcome::Fault(fault),
-        Err(panic) => JobOutcome::Fault(JobFault::Panic(panic_message(&panic))),
+    let result = catch_unwind(AssertUnwindSafe(|| crate::job::run(job)));
+    let (outcome, recovery) = match result {
+        Ok((Ok(output), recovery)) => (JobOutcome::Completed(output), recovery),
+        Ok((Err(fault), recovery)) => (JobOutcome::Fault(fault), recovery),
+        Err(panic) => (
+            JobOutcome::Fault(JobFault::Panic(panic_message(&panic))),
+            RecoveryStats::default(),
+        ),
     };
     JobReport {
         index,
         name: job.name.clone(),
         wall: started.elapsed(),
         outcome,
+        recovery,
     }
 }
 
@@ -162,7 +154,8 @@ pub struct BatchReport {
 
 impl BatchReport {
     /// `true` when both batches produced identical per-job outcomes
-    /// (outputs, cycle counts and statistics; wall times are ignored).
+    /// (outputs, cycle counts and statistics; wall times and recovery
+    /// records are ignored).
     pub fn outcomes_match(&self, other: &BatchReport) -> bool {
         self.reports.len() == other.reports.len()
             && self
@@ -177,11 +170,17 @@ impl BatchReport {
         let mut merged = Stats::new(0);
         let mut completed = 0usize;
         let mut faulted = 0usize;
+        let mut recovered = 0usize;
+        let mut faults_detected = 0u64;
         let mut total_cycles = 0u64;
         let mut serial_wall = Duration::ZERO;
         let mut histogram = [0usize; 10];
         for report in &self.reports {
             serial_wall += report.wall;
+            faults_detected += u64::from(report.recovery.faults_detected);
+            if report.recovery.recovered {
+                recovered += 1;
+            }
             match &report.outcome {
                 JobOutcome::Completed(out) => {
                     completed += 1;
@@ -198,6 +197,8 @@ impl BatchReport {
             jobs: self.reports.len(),
             completed,
             faulted,
+            recovered,
+            faults_detected,
             workers: self.workers,
             total_cycles,
             total_ops: merged.total_ops(),
@@ -233,6 +234,10 @@ pub struct BatchSummary {
     pub completed: usize,
     /// Jobs that faulted (including panics).
     pub faulted: usize,
+    /// Jobs that completed despite detected faults (rollback recovery).
+    pub recovered: usize,
+    /// Detected faults summed across every job's attempts.
+    pub faults_detected: u64,
     /// Worker threads used.
     pub workers: usize,
     /// Simulated cycles across completed jobs.
@@ -262,9 +267,16 @@ impl BatchSummary {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "batch: {} jobs ({} completed, {} faulted) on {} workers",
-            self.jobs, self.completed, self.faulted, self.workers
+            "batch: {} jobs ({} completed, {} faulted, {} recovered) on {} workers",
+            self.jobs, self.completed, self.faulted, self.recovered, self.workers
         );
+        if self.faults_detected > 0 {
+            let _ = writeln!(
+                out,
+                "  {} detected faults across all attempts",
+                self.faults_detected
+            );
+        }
         let _ = writeln!(
             out,
             "  wall {:>10.3} ms   serial {:>10.3} ms   speedup {:>5.2}x",

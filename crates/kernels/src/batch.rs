@@ -14,6 +14,7 @@
 //! produce arbitrarily large mixed batches for scaling experiments.
 
 use systolic_ring_core::Stats;
+use systolic_ring_harness::campaign::CampaignCase;
 use systolic_ring_harness::job::{Job, JobOutput};
 use systolic_ring_harness::runner::{BatchRunner, BatchSummary};
 use systolic_ring_harness::testkit::TestRng;
@@ -399,6 +400,22 @@ pub fn oracle_suite(seed: u64, rounds: usize) -> Vec<OracleCase> {
         cases.extend(random_round(&mut rng));
     }
     cases
+}
+
+/// The oracle suite reshaped for the harness chaos-campaign driver: the
+/// same jobs and golden expectations as [`oracle_suite`], as
+/// [`CampaignCase`]s. Because the suite is deterministic in `seed`, the
+/// campaign can re-derive identical cases for every fault rate in a
+/// sweep and attribute any outcome difference to the injection alone.
+pub fn campaign_suite(seed: u64, rounds: usize) -> Vec<CampaignCase> {
+    oracle_suite(seed, rounds)
+        .into_iter()
+        .map(|case| CampaignCase {
+            name: case.name,
+            job: case.job,
+            expected: case.expected,
+        })
+        .collect()
 }
 
 /// A mixed batch of `n` kernel jobs for scaling experiments (the oracle

@@ -1,0 +1,57 @@
+//! Chaos campaign over the whole kernel library: sweeping fault-injection
+//! rates across every kernel family and checking each job against its
+//! golden model. The acceptance criterion is **zero undetected wrong
+//! outputs** at every rate — injected faults may cost retries or fail a
+//! job outright, but a failure is always a *detected* fault, never silent
+//! corruption.
+
+use systolic_ring::harness::campaign::run_chaos;
+use systolic_ring::harness::job::RetryPolicy;
+use systolic_ring::harness::runner::BatchRunner;
+use systolic_ring::kernels::batch::campaign_suite;
+
+/// The full sweep: all 11 kernel families, three injection rates plus the
+/// detection-armed zero-rate control row.
+#[test]
+fn chaos_campaign_has_zero_undetected_corruptions() {
+    let report = run_chaos(
+        &BatchRunner::new(),
+        &[0, 500, 5_000],
+        0xC0FFEE,
+        RetryPolicy::retries(8).with_remap(true),
+        |_| campaign_suite(0xC0FFEE, 1),
+    );
+    assert_eq!(report.rows.len(), 3);
+    assert!(report.zero_undetected(), "\n{}", report.render());
+
+    // The control row proves the detection machinery itself is invisible:
+    // nothing injected, nothing detected, every output matches.
+    let control = &report.rows[0];
+    assert_eq!(control.clean, control.jobs, "\n{}", report.render());
+    assert_eq!(control.faults_detected, 0);
+
+    // The aggressive rate must actually exercise the machinery.
+    let aggressive = &report.rows[2];
+    assert!(
+        aggressive.faults_detected > 0,
+        "5000 ppm injected nothing:\n{}",
+        report.render()
+    );
+}
+
+/// CI smoke slice: one seed, two kernel families, one injected rate.
+/// Exercises the full inject → detect → rollback/retry → classify loop in
+/// well under a second.
+#[test]
+fn chaos_smoke() {
+    let report = run_chaos(
+        &BatchRunner::with_workers(2),
+        &[0, 2_000],
+        7,
+        RetryPolicy::retries(4),
+        |_| campaign_suite(7, 1).into_iter().take(2).collect(),
+    );
+    assert_eq!(report.total_jobs(), 4);
+    assert!(report.zero_undetected(), "\n{}", report.render());
+    assert_eq!(report.rows[0].clean, 2);
+}
