@@ -24,6 +24,12 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "==> chaos smoke (fault injection, 1 seed, 2 kernel families)"
 cargo test -q --test chaos chaos_smoke
 
+echo "==> fused smoke (fused vs decoded differential, 1 oracle round)"
+cargo test -q --test fused fused_smoke
+
+echo "==> cargo bench --no-run (bench code must keep compiling)"
+cargo bench --no-run --workspace -q
+
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

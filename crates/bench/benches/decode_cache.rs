@@ -6,11 +6,13 @@
 //! The kernels construct their machines internally with
 //! [`MachineParams::PAPER`], so the uncached runs use the scoped
 //! [`with_decode_cache`] override rather than threading a flag through
-//! every driver.
+//! every driver. The fused engine is pinned off for *both* sides so this
+//! bench keeps measuring the decode cache itself; the fused-vs-decoded
+//! comparison lives in the `fused` bench.
 //!
 //! [`MachineParams::PAPER`]: systolic_ring_core::MachineParams::PAPER
 
-use systolic_ring_core::with_decode_cache;
+use systolic_ring_core::{with_decode_cache, with_fused};
 use systolic_ring_harness::microbench::{black_box, Group, Measurement};
 use systolic_ring_isa::RingGeometry;
 use systolic_ring_kernels::image::Image;
@@ -59,13 +61,13 @@ fn main() {
     let wavelet_cycles = wavelet_run().cycles;
 
     let mut group = Group::new("decode_cache");
-    let motion_cached = group.bench("table1_motion/cached", motion_run);
+    let motion_cached = group.bench("table1_motion/cached", || with_fused(false, motion_run));
     let motion_uncached = group.bench("table1_motion/uncached", || {
-        with_decode_cache(false, motion_run)
+        with_fused(false, || with_decode_cache(false, motion_run))
     });
-    let wavelet_cached = group.bench("table2_wavelet/cached", wavelet_run);
+    let wavelet_cached = group.bench("table2_wavelet/cached", || with_fused(false, wavelet_run));
     let wavelet_uncached = group.bench("table2_wavelet/uncached", || {
-        with_decode_cache(false, wavelet_run)
+        with_fused(false, || with_decode_cache(false, wavelet_run))
     });
     group.finish_print();
 

@@ -1,0 +1,138 @@
+//! Fused-engine ablation: simulated cycles per wall-clock second with the
+//! fused steady-state engine enabled (the default) against the decoded
+//! per-cycle fast path (the decode-cache-only configuration), plus the
+//! aggregate-throughput gain from lane-fused batch execution of a
+//! 32-job identical-program sweep.
+//!
+//! The kernels construct their machines internally with
+//! [`MachineParams::PAPER`], so the tier selection uses the scoped
+//! [`with_fused`] override rather than threading a flag through every
+//! driver. Both tiers here keep the decode cache on: the comparison
+//! isolates exactly what burst compilation adds on top of predecoding.
+//!
+//! [`MachineParams::PAPER`]: systolic_ring_core::MachineParams::PAPER
+
+use systolic_ring_asm::assemble;
+use systolic_ring_core::{with_fused, MachineParams};
+use systolic_ring_harness::job::{CycleBudget, Job};
+use systolic_ring_harness::microbench::{black_box, Group, Measurement};
+use systolic_ring_harness::runner::BatchRunner;
+use systolic_ring_isa::{RingGeometry, Word16};
+use systolic_ring_kernels::image::Image;
+use systolic_ring_kernels::motion::{self, BlockMatch};
+use systolic_ring_kernels::wavelet;
+
+fn cycles_per_sec(cycles: u64, m: Measurement) -> f64 {
+    cycles as f64 / m.median.as_secs_f64()
+}
+
+fn report(name: &str, cycles: u64, fused: Measurement, decoded: Measurement) {
+    let fast = cycles_per_sec(cycles, fused);
+    let slow = cycles_per_sec(cycles, decoded);
+    println!(
+        "  {name:<16} {cycles:>9} cycles   fused {:>7.2} Mcyc/s   decoded {:>7.2} Mcyc/s   speedup {:.2}x",
+        fast / 1e6,
+        slow / 1e6,
+        fast / slow
+    );
+}
+
+/// 32 identical fir3 jobs differing only in their input streams — the
+/// shape the runner's lane fusion targets.
+fn fir3_sweep() -> Vec<Job> {
+    let source = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../programs/fir3.sr"),
+    )
+    .expect("shipped program");
+    let object = assemble(&source).expect("fir3 assembles");
+    let geometry = object.geometry.expect("declared ring");
+    (0..32)
+        .map(|i| {
+            Job::from_object(
+                format!("fir3-{i}"),
+                geometry,
+                MachineParams::PAPER,
+                object.clone(),
+                CycleBudget::Cycles(16_384),
+            )
+            .with_input(0, 0, (0..256).map(|w| Word16::from_i16(w * 3 + i)))
+            .with_sink(1, 0)
+        })
+        .collect()
+}
+
+fn main() {
+    // Table 1: full-search motion estimation on a Ring-16.
+    let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
+    let spec = BlockMatch {
+        x0: 28,
+        y0: 28,
+        block: 8,
+        range: 4,
+    };
+    let motion_run = || {
+        motion::block_match_run(
+            RingGeometry::RING_16,
+            black_box(&reference),
+            black_box(&current),
+            spec,
+        )
+        .expect("ring ME")
+    };
+    let motion_cycles = motion_run().cycles;
+
+    // Table 2: 2-D 5/3 lifting wavelet on a Ring-16.
+    let image = Image::textured(64, 48, 53);
+    let wavelet_run =
+        || wavelet::forward_2d(RingGeometry::RING_16, black_box(&image)).expect("wavelet");
+    let wavelet_cycles = wavelet_run().cycles;
+
+    let mut group = Group::new("fused");
+    let motion_fused = group.bench("table1_motion/fused", motion_run);
+    let motion_decoded = group.bench("table1_motion/decoded", || with_fused(false, motion_run));
+    let wavelet_fused = group.bench("table2_wavelet/fused", wavelet_run);
+    let wavelet_decoded = group.bench("table2_wavelet/decoded", || with_fused(false, wavelet_run));
+
+    // Lane fusion: one worker so the gain isolates burst sharing, not
+    // thread-level parallelism. Three tiers: lane-fused (16 jobs per
+    // burst), fused-serial (single-lane bursts, one job at a time) and
+    // decoded (the PR-2 decode-cache path — the acceptance baseline).
+    let batch_cycles: u64 = 32 * 16_384;
+    let jobs = fir3_sweep();
+    let decoded_jobs: Vec<Job> = fir3_sweep()
+        .into_iter()
+        .map(|j| j.with_fused(false))
+        .collect();
+    let lanes_on = BatchRunner::with_workers(1);
+    let lanes_off = BatchRunner::with_workers(1).with_lane_fusion(false);
+    let batch_fused = group.bench("batch32_fir3/lane_fused", || {
+        black_box(lanes_on.run(&jobs)).summary().completed
+    });
+    let batch_serial = group.bench("batch32_fir3/fused_serial", || {
+        black_box(lanes_off.run(&jobs)).summary().completed
+    });
+    let batch_decoded = group.bench("batch32_fir3/decoded", || {
+        black_box(lanes_off.run(&decoded_jobs)).summary().completed
+    });
+    group.finish_print();
+
+    println!("simulated throughput (median):");
+    report("table1_motion", motion_cycles, motion_fused, motion_decoded);
+    report(
+        "table2_wavelet",
+        wavelet_cycles,
+        wavelet_fused,
+        wavelet_decoded,
+    );
+    report("batch32_fir3", batch_cycles, batch_fused, batch_decoded);
+    println!(
+        "  batch32_fir3 fused-serial midpoint: {:>7.2} Mcyc/s",
+        cycles_per_sec(batch_cycles, batch_serial) / 1e6
+    );
+
+    let run = wavelet_run();
+    println!(
+        "wavelet fused coverage: {} of {} cycles in {} bursts ({} deopts)",
+        run.stats.fused_cycles, run.cycles, run.stats.fused_entries, run.stats.fused_deopts
+    );
+}

@@ -424,6 +424,13 @@ impl ConfigLayer {
         Ok(())
     }
 
+    /// `true` while a context switch is staged but not yet committed; the
+    /// fused engine refuses to enter a burst in that state (the decoded
+    /// path commits the switch at the next cycle boundary).
+    pub(crate) fn select_pending(&self) -> bool {
+        self.staged_active.is_some()
+    }
+
     /// Applies a staged context switch, if any. Returns `true` if the
     /// active context changed.
     pub fn commit(&mut self) -> bool {

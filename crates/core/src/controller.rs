@@ -233,6 +233,24 @@ impl Controller {
         self.state == CtrlState::Halted
     }
 
+    /// Fused-burst fast-forward: consumes `cycles` stall cycles of a
+    /// `wait`, exactly as that many [`Controller::step`] calls would.
+    ///
+    /// The caller guarantees `cycles` does not exceed the pending wait
+    /// count, so the controller ends `Waiting(n - cycles)` or `Running` —
+    /// never skips past the instruction after the wait.
+    pub(crate) fn skip_wait(&mut self, cycles: u64) {
+        let CtrlState::Waiting(n) = self.state else {
+            panic!("skip_wait while {:?}", self.state);
+        };
+        assert!(cycles <= u64::from(n), "skip_wait {cycles} > wait {n}");
+        self.state = if u64::from(n) > cycles {
+            CtrlState::Waiting(n - cycles as u16)
+        } else {
+            CtrlState::Running
+        };
+    }
+
     /// Current program counter.
     pub fn pc(&self) -> u32 {
         self.pc

@@ -90,6 +90,13 @@ impl LocalSequencer {
     pub fn advance(&mut self) {
         self.cpt = (self.cpt + 1) % self.limit;
     }
+
+    /// Fused-burst scatter: sets the counter directly (already reduced
+    /// modulo `LIMIT` by the caller).
+    pub(crate) fn set_counter_raw(&mut self, cpt: u8) {
+        debug_assert!(cpt < self.limit);
+        self.cpt = cpt;
+    }
 }
 
 impl Default for LocalSequencer {
@@ -222,6 +229,24 @@ impl DnodeState {
     /// port would.
     pub(crate) fn force_out(&mut self, value: Word16) {
         self.out = value;
+    }
+
+    /// Fused-burst gather: raw register-file snapshot. Only meaningful
+    /// between cycles (no staged writes pending).
+    #[inline]
+    pub(crate) fn regs_raw(&self) -> [Word16; 4] {
+        debug_assert!(self.staged_reg.is_none() && self.staged_out.is_none());
+        self.regs
+    }
+
+    /// Fused-burst scatter: writes the whole register file, output register
+    /// and output stamp in one committed update (the burst already applied
+    /// the master/slave discipline cycle by cycle in its own arrays).
+    pub(crate) fn scatter_raw(&mut self, regs: [Word16; 4], out: Word16, out_stamp: Option<u64>) {
+        debug_assert!(self.staged_reg.is_none() && self.staged_out.is_none());
+        self.regs = regs;
+        self.out = out;
+        self.out_stamp = out_stamp;
     }
 }
 

@@ -58,6 +58,7 @@ pub mod controller;
 pub mod dnode;
 mod error;
 pub mod fault;
+pub mod fused;
 pub mod host;
 mod machine;
 mod params;
@@ -68,6 +69,7 @@ pub mod trace;
 
 pub use error::{ConfigError, SimError};
 pub use fault::{FaultConfig, FaultInjector, FaultSite};
+pub use fused::lockstep_burst;
 pub use machine::{Checkpoint, RingMachine};
-pub use params::{with_decode_cache, with_faults, LinkModel, MachineParams};
+pub use params::{with_decode_cache, with_faults, with_fused, LinkModel, MachineParams};
 pub use stats::{DnodeStats, Stats};

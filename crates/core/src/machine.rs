@@ -67,24 +67,29 @@ use crate::switch::{PushOutcome, SwitchState};
 /// ```
 #[derive(Clone, Debug)]
 pub struct RingMachine {
-    geometry: RingGeometry,
-    params: MachineParams,
-    dnodes: Vec<DnodeState>,
-    switches: Vec<SwitchState>,
-    config: ConfigLayer,
-    controller: Controller,
-    host: HostInterface,
-    bus: Word16,
-    cycle: u64,
-    stats: Stats,
+    pub(crate) geometry: RingGeometry,
+    pub(crate) params: MachineParams,
+    pub(crate) dnodes: Vec<DnodeState>,
+    pub(crate) switches: Vec<SwitchState>,
+    pub(crate) config: ConfigLayer,
+    pub(crate) controller: Controller,
+    pub(crate) host: HostInterface,
+    pub(crate) bus: Word16,
+    pub(crate) cycle: u64,
+    pub(crate) stats: Stats,
     /// The predecoded configuration cache (consulted only when
     /// `params.decode_cache` is set; kept sized either way so invalidation
     /// notes never go out of bounds).
-    plan: DecodedPlan,
+    pub(crate) plan: DecodedPlan,
     /// The fault injector, present iff `params.faults.is_active()`. Boxed
     /// so the fault-free machine pays one pointer of state; `None` means
     /// the stepper takes the exact pre-fault code path.
-    fault: Option<Box<FaultInjector>>,
+    pub(crate) fault: Option<Box<FaultInjector>>,
+    /// The fused steady-state engine (consulted only when `params.fused`
+    /// and `params.decode_cache` are both set). Boxed and lazily
+    /// allocated: machines that never reach a steady state pay one pointer
+    /// of state.
+    pub(crate) fused: Option<Box<crate::fused::FusedEngine>>,
     /// Watchdog progress snapshot: (ctrl instructions retired, config
     /// writes, context switches, host words in, host words out).
     wd_progress: (u64, u64, u64, u64, u64),
@@ -162,6 +167,9 @@ impl RingMachine {
         if let Some(enabled) = crate::params::decode_cache_override() {
             params.decode_cache = enabled;
         }
+        if let Some(enabled) = crate::params::fused_override() {
+            params.fused = enabled;
+        }
         if let Some(faults) = crate::params::fault_override() {
             params.faults = faults;
         }
@@ -196,6 +204,7 @@ impl RingMachine {
                 .faults
                 .is_active()
                 .then(|| Box::new(FaultInjector::new(params.faults, geometry.dnodes()))),
+            fused: None,
             wd_progress: (0, 0, 0, 0, 0),
             wd_since: 0,
         }
@@ -474,6 +483,9 @@ impl RingMachine {
                     });
                 }
                 self.dnodes[dnode as usize].sequencer_mut().set_limit(limit);
+                // `set_limit` resets the counter, which the fused engine's
+                // phase anchoring depends on.
+                self.plan.note_seq_write(dnode as usize);
                 Ok(())
             }
         }
@@ -1226,6 +1238,9 @@ impl RingMachine {
                     });
                 }
                 self.dnodes[dnode].sequencer_mut().set_limit(limit as u8);
+                // `set_limit` resets the counter, which the fused engine's
+                // phase anchoring depends on.
+                plan.note_seq_write(dnode);
                 self.stats.config_writes += 1;
                 Ok(())
             }
@@ -1252,12 +1267,26 @@ impl RingMachine {
 
     /// Runs `cycles` clock cycles.
     ///
+    /// This is the entry point for fused steady-state bursts (see
+    /// [`MachineParams::fused`]): when the machine is quiescent and the
+    /// configuration has been stable long enough, a whole window of cycles
+    /// executes as one compiled burst; otherwise (and always for the
+    /// warmup prefix) the machine advances one [`RingMachine::step`] at a
+    /// time. Either way, exactly `cycles` cycles are executed.
+    ///
     /// # Errors
     ///
     /// Returns the first [`SimError`] encountered.
     pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
-        for _ in 0..cycles {
-            self.step()?;
+        let mut remaining = cycles;
+        while remaining > 0 {
+            let burst = self.try_fused(remaining);
+            if burst == 0 {
+                self.step()?;
+                remaining -= 1;
+            } else {
+                remaining -= burst;
+            }
         }
         Ok(())
     }
@@ -1316,7 +1345,12 @@ impl RingMachine {
             if self.cycle - start >= max_cycles {
                 return Err(SimError::CycleLimit { limit: max_cycles });
             }
-            self.step()?;
+            // A fused burst never runs with the controller halted here, so
+            // it can only cover a pending `wait` — whose cycles all count
+            // against the budget exactly as stepping them would.
+            if self.try_fused(max_cycles - (self.cycle - start)) == 0 {
+                self.step()?;
+            }
         }
         Ok(self.cycle - start)
     }

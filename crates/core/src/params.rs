@@ -72,6 +72,27 @@ pub struct MachineParams {
     /// [`crate::Stats::decode_cache_misses`] counters — so differential
     /// tests oracle one against the other.
     pub decode_cache: bool,
+    /// Execute steady-state windows through the fused-epoch engine.
+    ///
+    /// When `true` (the default) *and* the predecoded cache is enabled,
+    /// [`crate::RingMachine::run`] and
+    /// [`crate::RingMachine::run_until_halt`] watch for quiescent windows —
+    /// the controller halted or mid-`wait`, no fault injector armed, no
+    /// watchdog, a direct host link, and the configuration epochs stable
+    /// for a detection window — and execute them as *fused bursts*: the
+    /// whole ring is compiled once into a flat, phase-scheduled operation
+    /// list over a struct-of-arrays snapshot of machine state and replayed
+    /// with no per-cycle decode, dispatch or staging. Any reconfiguration
+    /// write, context switch, armed fault injector or watchdog arm
+    /// deoptimizes back to the decoded path, so the two are architecturally
+    /// indistinguishable — same outputs, traces and statistics except the
+    /// engine's own [`crate::Stats::fused_entries`] /
+    /// [`crate::Stats::fused_deopts`] / [`crate::Stats::fused_cycles`] /
+    /// [`crate::Stats::fused_lane_occupancy`] counters (and the decode
+    /// cache's hit counter, which fused cycles do not touch).
+    /// [`crate::RingMachine::step`] never fuses: single-cycle stepping (and
+    /// therefore per-cycle tracing) always takes the decoded path.
+    pub fused: bool,
     /// Fault-injection and fault-detection configuration.
     ///
     /// [`FaultConfig::OFF`] (the default) builds no fault machinery at
@@ -104,6 +125,7 @@ impl MachineParams {
         dmem_capacity: 65536,
         link: LinkModel::Direct,
         decode_cache: true,
+        fused: true,
         faults: FaultConfig::OFF,
         watchdog_interval: 0,
     };
@@ -165,6 +187,17 @@ impl MachineParams {
         self
     }
 
+    /// Builder: enable or disable the fused steady-state execution engine.
+    ///
+    /// Fusion additionally requires the predecoded cache
+    /// ([`MachineParams::decode_cache`]); with the cache off this flag has
+    /// no effect, which keeps `with_decode_cache(false)` an honest
+    /// decode-per-cycle reference path.
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
     /// Builder: set the fault-injection/detection configuration.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
@@ -223,6 +256,47 @@ pub fn with_decode_cache<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
 /// The active scoped override, if any (consulted by machine construction).
 pub(crate) fn decode_cache_override() -> Option<bool> {
     DECODE_CACHE_OVERRIDE.with(|cell| cell.get())
+}
+
+thread_local! {
+    static FUSED_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with [`MachineParams::fused`] forced to `enabled` for every
+/// [`crate::RingMachine`] *created* on this thread inside the call.
+///
+/// The fused-engine analogue of [`with_decode_cache`]: kernel drivers
+/// construct their machines internally with fixed parameters, so the
+/// three-way differential oracle (slow / decoded / fused) wraps whole
+/// driver calls in `with_fused` scopes instead of widening every driver
+/// signature. Nests, applies only to machine construction, and is restored
+/// even if `f` panics.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_core::{with_fused, RingMachine};
+/// use systolic_ring_isa::RingGeometry;
+///
+/// let m = with_fused(false, || RingMachine::with_defaults(RingGeometry::RING_8));
+/// assert!(!m.params().fused);
+/// assert!(RingMachine::with_defaults(RingGeometry::RING_8).params().fused);
+/// ```
+pub fn with_fused<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FUSED_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(FUSED_OVERRIDE.with(|cell| cell.replace(Some(enabled))));
+    f()
+}
+
+/// The active scoped fused override, if any (consulted by machine
+/// construction).
+pub(crate) fn fused_override() -> Option<bool> {
+    FUSED_OVERRIDE.with(|cell| cell.get())
 }
 
 thread_local! {

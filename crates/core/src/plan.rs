@@ -351,6 +351,18 @@ impl DecodedPlan {
         (&self.contexts[ctx], &mut self.scratch)
     }
 
+    /// The plan for context `ctx` (must be refreshed first).
+    pub(crate) fn context_plan(&self, ctx: usize) -> &CtxPlan {
+        &self.contexts[ctx]
+    }
+
+    /// The machine-level invalidation clocks `(modes, sequencer)` — part of
+    /// the configuration-epoch fingerprint the fused engine stamps its
+    /// compiled programs with.
+    pub(crate) fn clocks(&self) -> (u64, u64) {
+        (self.modes_clock, self.seq_clock)
+    }
+
     /// Brings context `ctx`'s plan up to date against the configuration
     /// layer's write epochs and the machine's mode/sequencer clocks.
     /// Returns the number of entries (re)built — 0 on a clean cache hit.

@@ -55,6 +55,25 @@ pub struct Stats {
     /// plan, work-list or local-loop unroll decoded (always 0 when the
     /// cache is disabled).
     pub decode_cache_misses: u64,
+    /// Fused bursts entered: each counts one transition from the decoded
+    /// path into replay of a compiled steady-state program (always 0 when
+    /// [`crate::MachineParams::fused`] is off).
+    pub fused_entries: u64,
+    /// Compiled fused programs invalidated by a reconfiguration write,
+    /// context switch, armed fault injector, watchdog arm or link change —
+    /// each is a forced return to the decoded path. A high ratio of deopts
+    /// to entries is a deopt storm: the workload reconfigures too often for
+    /// fusion to pay off.
+    pub fused_deopts: u64,
+    /// Cycles executed inside fused bursts (subset of `cycles`; fused
+    /// cycles do not count `decode_cache_hits`).
+    pub fused_cycles: u64,
+    /// Lane-cycles executed inside fused bursts: each burst adds
+    /// `lanes x cycles`, so single-lane fusion adds exactly `fused_cycles`
+    /// and multi-lane (lockstep batch) fusion adds more. The mean lane
+    /// occupancy of the fused engine is `fused_lane_occupancy /
+    /// fused_cycles`.
+    pub fused_lane_occupancy: u64,
     /// Faults injected by the fault injector (all classes).
     pub faults_injected: u64,
     /// Detection sweeps executed (configuration parity plus pending
@@ -144,6 +163,10 @@ impl Stats {
         self.bus_conflicts += other.bus_conflicts;
         self.decode_cache_hits += other.decode_cache_hits;
         self.decode_cache_misses += other.decode_cache_misses;
+        self.fused_entries += other.fused_entries;
+        self.fused_deopts += other.fused_deopts;
+        self.fused_cycles += other.fused_cycles;
+        self.fused_lane_occupancy += other.fused_lane_occupancy;
         self.faults_injected += other.faults_injected;
         self.parity_scrubs += other.parity_scrubs;
         self.config_faults_detected += other.config_faults_detected;
@@ -153,16 +176,20 @@ impl Stats {
         self.restores += other.restores;
     }
 
-    /// A copy with the decode-cache counters zeroed.
+    /// A copy with the decode-cache and fused-engine counters zeroed.
     ///
-    /// The cache counters are the one intentional difference between the
-    /// fast and reference execution paths; differential oracles compare
+    /// Those counters are the one intentional difference between the
+    /// slow, decoded and fused execution paths; differential oracles compare
     /// `a.without_cache_counters() == b.without_cache_counters()` to demand
     /// equality of every architectural counter.
     pub fn without_cache_counters(&self) -> Stats {
         Stats {
             decode_cache_hits: 0,
             decode_cache_misses: 0,
+            fused_entries: 0,
+            fused_deopts: 0,
+            fused_cycles: 0,
+            fused_lane_occupancy: 0,
             ..self.clone()
         }
     }

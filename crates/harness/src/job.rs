@@ -383,6 +383,31 @@ impl Job {
         };
         self
     }
+
+    /// Forces the fused steady-state engine on or off for every machine
+    /// this job creates (see
+    /// [`systolic_ring_core::MachineParams::fused`]; fusion additionally
+    /// requires the decode cache).
+    ///
+    /// Machine jobs get the flag set directly on their
+    /// [`MachineParams`]; custom jobs are wrapped in a
+    /// [`systolic_ring_core::with_fused`] scope that follows the closure
+    /// onto whichever worker thread runs it — the same mechanism as
+    /// [`Job::with_decode_cache`], and how the three-way differential
+    /// oracle (slow / decoded / fused) obtains per-path runs of every
+    /// kernel family without widening each driver's signature.
+    pub fn with_fused(mut self, enabled: bool) -> Self {
+        self.work = match self.work {
+            JobWork::Machine(mut m) => {
+                m.params = m.params.with_fused(enabled);
+                JobWork::Machine(m)
+            }
+            JobWork::Custom(work) => JobWork::Custom(Box::new(move || {
+                systolic_ring_core::with_fused(enabled, &*work)
+            })),
+        };
+        self
+    }
 }
 
 /// A completed job's results.
@@ -465,6 +490,11 @@ impl std::fmt::Display for JobFault {
 }
 
 /// Success-or-fault per job.
+///
+/// `Completed` carries the full output inline: outcomes are produced on
+/// the batch hot path and consumed immediately, so boxing the large
+/// variant would trade an allocation per job for nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobOutcome {
     /// The job ran to completion.
@@ -500,8 +530,10 @@ pub struct JobReport {
 }
 
 /// Cycles per wall-limit check; small enough to bound overshoot, large
-/// enough to amortize the `Instant::now` call.
-const SLICE_CYCLES: u64 = 1024;
+/// enough to amortize the `Instant::now` call. The lane-fused group
+/// executor in the runner uses the same slice so its cycle accounting
+/// lines up with the single-job path.
+pub(crate) const SLICE_CYCLES: u64 = 1024;
 
 /// Executes a job to completion on the calling thread, returning the
 /// result together with its fault/recovery record. Deferred builder
@@ -571,14 +603,15 @@ fn run_machine(job: &MachineJob, spec: &Job) -> (Result<JobOutput, JobFault>, Re
     (result, recovery)
 }
 
-fn run_machine_inner(
+/// Builds, configures and wires a machine for a machine job: the shared
+/// prefix of the single-job executor and the runner's lane-fused group
+/// path, so the two construct bit-identical machines by construction.
+pub(crate) fn build_machine(
     job: &MachineJob,
-    spec: &Job,
-    recovery: &mut RecoveryStats,
-) -> Result<JobOutput, JobFault> {
-    let started = Instant::now();
+    faults: Option<FaultConfig>,
+) -> Result<RingMachine, JobFault> {
     let mut params = job.params;
-    if let Some(cfg) = spec.faults {
+    if let Some(cfg) = faults {
         params = params.with_faults(cfg);
     }
     let mut m = RingMachine::new(job.geometry, params);
@@ -596,6 +629,16 @@ fn run_machine_inner(
         m.attach_input(input.switch, input.port, input.words.iter().copied())
             .map_err(|e| JobFault::Config(e.to_string()))?;
     }
+    Ok(m)
+}
+
+fn run_machine_inner(
+    job: &MachineJob,
+    spec: &Job,
+    recovery: &mut RecoveryStats,
+) -> Result<JobOutput, JobFault> {
+    let started = Instant::now();
+    let mut m = build_machine(job, spec.faults)?;
 
     let mut checkpoint = spec.retry.is_active().then(|| m.checkpoint());
     let mut attempt: u32 = 0;

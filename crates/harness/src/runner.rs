@@ -2,28 +2,49 @@
 //!
 //! [`BatchRunner`] executes a slice of [`Job`]s on `N` scoped OS threads.
 //! Scheduling is a single shared atomic cursor: each worker claims the
-//! next unclaimed job index, so fast workers steal the tail of the batch
-//! from slow ones and no static partition can go unbalanced. Results land
-//! in per-job slots, so the report order always matches submission order
-//! regardless of which worker ran what.
+//! next unclaimed execution unit, so fast workers steal the tail of the
+//! batch from slow ones and no static partition can go unbalanced.
+//! Results land in per-job slots, so the report order always matches
+//! submission order regardless of which worker ran what.
+//!
+//! **Lane fusion** (on by default, see [`BatchRunner::with_lane_fusion`]):
+//! jobs that load an *identical* object program onto identically sized
+//! machines with the same `Cycles(n)` budget — the shape of a parameter
+//! sweep, where only the input streams differ — are grouped into one
+//! execution unit of up to [`MAX_LANES`] lanes. The group steps all its
+//! machines in lockstep through shared fused bursts
+//! ([`systolic_ring_core::lockstep_burst`]), amortizing the compiled
+//! schedule walk across the whole group; whatever the burst cannot cover
+//! (warmup, controller activity) runs per machine through the ordinary
+//! single-lane path. Outcomes are bit-identical to running each job
+//! alone — [`BatchRunner::run_serial`] stays the reference.
 //!
 //! Fault isolation: a job that returns a simulator fault, exceeds its
 //! budget, or outright panics produces a [`JobOutcome::Fault`] in its own
-//! report slot; the remaining jobs are unaffected.
+//! report slot; the remaining jobs are unaffected. A simulator fault in
+//! one lane of a fused group detaches only that lane; a panic anywhere in
+//! a group falls the whole group back to isolated per-job execution.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use systolic_ring_core::Stats;
+use systolic_ring_core::{lockstep_burst, RingMachine, Stats};
 
-use crate::job::{Job, JobFault, JobOutcome, JobReport, RecoveryStats};
+use crate::job::{
+    build_machine, CycleBudget, Job, JobFault, JobOutcome, JobOutput, JobReport, JobSetup, JobWork,
+    MachineJob, RecoveryStats, SLICE_CYCLES,
+};
+
+/// Maximum machines stepped in lockstep by one fused group.
+pub const MAX_LANES: usize = 16;
 
 /// Runs batches of jobs across worker threads.
 #[derive(Clone, Debug)]
 pub struct BatchRunner {
     workers: usize,
+    lane_fusion: bool,
 }
 
 impl Default for BatchRunner {
@@ -38,14 +59,26 @@ impl BatchRunner {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        BatchRunner { workers }
+        BatchRunner {
+            workers,
+            lane_fusion: true,
+        }
     }
 
     /// A runner with an explicit worker count (`0` is clamped to 1).
     pub fn with_workers(workers: usize) -> Self {
         BatchRunner {
             workers: workers.max(1),
+            lane_fusion: true,
         }
+    }
+
+    /// Enables or disables lane-fused group execution (see the module
+    /// docs; default on). With lane fusion off every job is its own
+    /// execution unit, exactly the pre-fusion behaviour.
+    pub fn with_lane_fusion(mut self, enabled: bool) -> Self {
+        self.lane_fusion = enabled;
+        self
     }
 
     /// The worker-thread count this runner uses.
@@ -56,26 +89,33 @@ impl BatchRunner {
     /// Runs every job and returns the batch report (submission order).
     pub fn run(&self, jobs: &[Job]) -> BatchReport {
         let started = Instant::now();
+        let units = if self.lane_fusion {
+            plan_units(jobs)
+        } else {
+            (0..jobs.len()).map(Unit::Single).collect()
+        };
         let mut slots: Vec<Option<JobReport>> = Vec::new();
         slots.resize_with(jobs.len(), || None);
         let slots = Mutex::new(slots);
         let cursor = AtomicUsize::new(0);
-        let workers = self.workers.min(jobs.len()).max(1);
+        let workers = self.workers.min(units.len()).max(1);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else {
+                    let unit = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(unit) else {
                         break;
                     };
-                    let report = execute(index, job);
-                    slots
-                        .lock()
-                        .expect("report lock")
-                        .get_mut(index)
-                        .expect("slot")
-                        .replace(report);
+                    let reports = match unit {
+                        Unit::Single(index) => vec![execute(*index, &jobs[*index])],
+                        Unit::Group(indices) => execute_group(indices, jobs),
+                    };
+                    let mut slots = slots.lock().expect("report lock");
+                    for report in reports {
+                        let index = report.index;
+                        slots.get_mut(index).expect("slot").replace(report);
+                    }
                 });
             }
         });
@@ -141,6 +181,205 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One schedulable work item: a lone job, or a lane-fused group of jobs
+/// sharing an identical machine configuration.
+enum Unit {
+    Single(usize),
+    Group(Vec<usize>),
+}
+
+/// The machine job behind `job` when it is eligible for lane fusion.
+///
+/// Eligible means the outcome is a pure function of (configuration,
+/// inputs) with no per-job execution policy attached: an assembled-object
+/// setup, a fixed `Cycles(n)` budget, the fused engine enabled, and no
+/// fault injection, watchdog, retry policy, wall limit or deferred
+/// builder error. Everything else takes the single-job path unchanged.
+fn lane_candidate(job: &Job) -> Option<&MachineJob> {
+    if job.wall_limit.is_some()
+        || job.faults.is_some()
+        || job.retry.is_active()
+        || job.builder_error().is_some()
+    {
+        return None;
+    }
+    let JobWork::Machine(mj) = &job.work else {
+        return None;
+    };
+    if !matches!(mj.setup, JobSetup::Object(_)) || !matches!(mj.budget, CycleBudget::Cycles(_)) {
+        return None;
+    }
+    let p = &mj.params;
+    if !p.fused || !p.decode_cache || p.watchdog_interval != 0 || p.faults.is_active() {
+        return None;
+    }
+    Some(mj)
+}
+
+/// `true` when two eligible machine jobs can share one fused group:
+/// same geometry, same machine parameters, same budget and the same
+/// object program. Inputs and sinks are per-lane state and may differ.
+fn same_lane_group(a: &MachineJob, b: &MachineJob) -> bool {
+    if a.geometry != b.geometry || a.params != b.params || a.budget != b.budget {
+        return false;
+    }
+    match (&a.setup, &b.setup) {
+        (JobSetup::Object(x), JobSetup::Object(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Partitions a batch into execution units, bucketing lane-eligible jobs
+/// by machine configuration. Buckets cap at [`MAX_LANES`]; a bucket that
+/// ends up with a single member is demoted back to a plain single unit.
+fn plan_units(jobs: &[Job]) -> Vec<Unit> {
+    let mut units: Vec<Unit> = Vec::new();
+    // (representative index, members) — linear scan is fine: batch sizes
+    // are small and the group key has no cheap hash.
+    let mut buckets: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (index, job) in jobs.iter().enumerate() {
+        let Some(mj) = lane_candidate(job) else {
+            units.push(Unit::Single(index));
+            continue;
+        };
+        let bucket = buckets.iter_mut().find(|(rep, members)| {
+            members.len() < MAX_LANES
+                && same_lane_group(lane_candidate(&jobs[*rep]).expect("representative"), mj)
+        });
+        match bucket {
+            Some((_, members)) => members.push(index),
+            None => buckets.push((index, vec![index])),
+        }
+    }
+    for (_, members) in buckets {
+        if members.len() > 1 {
+            units.push(Unit::Group(members));
+        } else {
+            units.push(Unit::Single(members[0]));
+        }
+    }
+    units
+}
+
+/// Executes a lane-fused group, falling back to isolated per-job
+/// execution when any machine fails to build or the group panics. The
+/// fallback re-runs every member from scratch, so a panic costs the
+/// group one wasted partial run but never a wrong result.
+fn execute_group(indices: &[usize], jobs: &[Job]) -> Vec<JobReport> {
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| run_lane_group(indices, jobs)));
+    match result {
+        Ok(Some(outcomes)) => {
+            // Per-lane wall time is the group's elapsed time split evenly:
+            // the lanes ran concurrently, so no per-lane figure exists.
+            let wall = started.elapsed() / indices.len().max(1) as u32;
+            indices
+                .iter()
+                .zip(outcomes)
+                .map(|(&index, outcome)| JobReport {
+                    index,
+                    name: jobs[index].name.clone(),
+                    wall,
+                    outcome,
+                    recovery: RecoveryStats::default(),
+                })
+                .collect()
+        }
+        _ => indices
+            .iter()
+            .map(|&index| execute(index, &jobs[index]))
+            .collect(),
+    }
+}
+
+/// Runs a group of identically configured machine jobs in lockstep.
+///
+/// Per [`SLICE_CYCLES`] slice, every live lane first advances through one
+/// shared fused burst ([`lockstep_burst`]), then runs whatever remains of
+/// the slice through its own single-lane path (which may itself fuse).
+/// Every live lane therefore advances exactly `slice` cycles per
+/// iteration, keeping the group cycle-synchronized — the precondition for
+/// the next shared burst. A lane that faults is detached (its outcome
+/// recorded) and never stepped again; the survivors continue.
+///
+/// Returns `None` if any machine fails to build, in which case the caller
+/// re-runs the jobs individually so each reports its own error.
+fn run_lane_group(indices: &[usize], jobs: &[Job]) -> Option<Vec<JobOutcome>> {
+    let mjs: Vec<&MachineJob> = indices
+        .iter()
+        .map(|&i| lane_candidate(&jobs[i]).expect("group members are eligible"))
+        .collect();
+    let mut machines: Vec<RingMachine> = Vec::with_capacity(mjs.len());
+    for mj in &mjs {
+        machines.push(build_machine(mj, None).ok()?);
+    }
+    let CycleBudget::Cycles(max_cycles) = mjs[0].budget else {
+        unreachable!("lane groups use fixed budgets");
+    };
+
+    let mut done: Vec<Option<JobOutcome>> = vec![None; machines.len()];
+    // Runs until every lane faulted or the (shared) budget is reached.
+    while let Some(cycle) = machines
+        .iter()
+        .zip(&done)
+        .find(|(_, d)| d.is_none())
+        .map(|(m, _)| m.cycle())
+    {
+        if cycle >= max_cycles {
+            break;
+        }
+        let slice = SLICE_CYCLES.min(max_cycles - cycle);
+        let burst = {
+            let mut lanes: Vec<&mut RingMachine> = machines
+                .iter_mut()
+                .zip(&done)
+                .filter(|(_, d)| d.is_none())
+                .map(|(m, _)| m)
+                .collect();
+            lockstep_burst(&mut lanes, slice)
+        };
+        for (m, d) in machines.iter_mut().zip(done.iter_mut()) {
+            if d.is_some() {
+                continue;
+            }
+            let rest = slice - burst;
+            if rest > 0 {
+                if let Err(e) = m.run(rest) {
+                    *d = Some(JobOutcome::Fault(JobFault::Sim(e.to_string())));
+                }
+            }
+        }
+    }
+
+    let mut outcomes = Vec::with_capacity(machines.len());
+    for ((mut m, d), mj) in machines.into_iter().zip(done).zip(&mjs) {
+        if let Some(outcome) = d {
+            outcomes.push(outcome);
+            continue;
+        }
+        let mut outputs = Vec::with_capacity(mj.sinks.len());
+        let mut failed = None;
+        for sink in &mj.sinks {
+            match m.take_sink(sink.switch, sink.port) {
+                Ok(words) => outputs.push(words.into_iter().map(|w| w.as_i16()).collect()),
+                Err(e) => {
+                    failed = Some(JobFault::Config(e.to_string()));
+                    break;
+                }
+            }
+        }
+        outcomes.push(match failed {
+            Some(fault) => JobOutcome::Fault(fault),
+            None => JobOutcome::Completed(JobOutput {
+                outputs,
+                cycles: m.cycle(),
+                stats: m.stats().clone(),
+            }),
+        });
+    }
+    Some(outcomes)
+}
+
 /// The result of one batch run.
 #[derive(Clone, Debug)]
 pub struct BatchReport {
@@ -155,14 +394,28 @@ pub struct BatchReport {
 impl BatchReport {
     /// `true` when both batches produced identical per-job outcomes
     /// (outputs, cycle counts and statistics; wall times and recovery
-    /// records are ignored).
+    /// records are ignored). Engine-internal counters — decode-cache and
+    /// fused-burst bookkeeping — are excluded from the statistics
+    /// comparison: they describe how the simulator ran, not what the
+    /// machine did, and legitimately differ between a lane-fused run and
+    /// a serial one.
     pub fn outcomes_match(&self, other: &BatchReport) -> bool {
+        fn outcome_eq(a: &JobOutcome, b: &JobOutcome) -> bool {
+            match (a, b) {
+                (JobOutcome::Completed(x), JobOutcome::Completed(y)) => {
+                    x.outputs == y.outputs
+                        && x.cycles == y.cycles
+                        && x.stats.without_cache_counters() == y.stats.without_cache_counters()
+                }
+                _ => a == b,
+            }
+        }
         self.reports.len() == other.reports.len()
             && self
                 .reports
                 .iter()
                 .zip(&other.reports)
-                .all(|(a, b)| a.name == b.name && a.outcome == b.outcome)
+                .all(|(a, b)| a.name == b.name && outcome_eq(&a.outcome, &b.outcome))
     }
 
     /// Aggregates the batch into summary figures.
@@ -289,6 +542,16 @@ impl BatchSummary {
             "  {:>12} simulated cycles   {:>12} ops   {:>8.2} sim-MIPS   {:>10.0} cycles/s",
             self.total_cycles, self.total_ops, self.sim_mips, self.cycles_per_sec
         );
+        if self.merged.fused_cycles > 0 {
+            let _ = writeln!(
+                out,
+                "  fused: {} bursts   {} deopts   {} cycles   {:.2} mean lanes",
+                self.merged.fused_entries,
+                self.merged.fused_deopts,
+                self.merged.fused_cycles,
+                self.merged.fused_lane_occupancy as f64 / self.merged.fused_cycles as f64
+            );
+        }
         let _ = write!(out, "  utilization ");
         for (i, count) in self.utilization_histogram.iter().enumerate() {
             let _ = write!(out, "[{}0-{}0%:{}] ", i, i + 1, count);
@@ -396,5 +659,158 @@ mod tests {
         let report = BatchRunner::with_workers(64).run(&jobs);
         assert_eq!(report.workers, 1); // clamped to job count
         assert_eq!(report.summary().completed, 1);
+    }
+
+    use systolic_ring_isa::ctrl::CtrlInstr;
+    use systolic_ring_isa::object::{Object, Preload};
+    use systolic_ring_isa::switch::{HostCapture, PortSource};
+    use systolic_ring_isa::Word16;
+
+    /// An object program: Dnode (0,0) computes `in + 1` from host port
+    /// (0,0), captured at switch 1 port 0; controller halts immediately,
+    /// so a long run settles into fused steady state.
+    fn increment_object() -> Object {
+        let instr = MicroInstr::op(AluOp::Add, Operand::In1, Operand::One).write_out();
+        Object {
+            geometry: Some(RingGeometry::RING_8),
+            contexts: 0,
+            code: vec![CtrlInstr::Halt.encode()],
+            data: vec![],
+            preload: vec![
+                Preload::SwitchPort {
+                    ctx: 0,
+                    switch: 0,
+                    lane: 0,
+                    input: 0,
+                    word: PortSource::HostIn { port: 0 }.encode(),
+                },
+                Preload::DnodeInstr {
+                    ctx: 0,
+                    dnode: 0,
+                    word: instr.encode(),
+                },
+                Preload::HostCapture {
+                    ctx: 0,
+                    switch: 1,
+                    port: 0,
+                    word: HostCapture::lane(0).encode(),
+                },
+            ],
+        }
+    }
+
+    fn stream_job(name: &str, base: i16) -> Job {
+        let words: Vec<Word16> = (0..32).map(|i| Word16::from_i16(base + i)).collect();
+        Job::from_object(
+            name.to_owned(),
+            RingGeometry::RING_8,
+            MachineParams::PAPER,
+            increment_object(),
+            // Several SLICE_CYCLES worth: the first slice warms up through
+            // the single-lane path (detection window), later slices hit
+            // the shared lockstep burst.
+            CycleBudget::Cycles(4 * SLICE_CYCLES),
+        )
+        .with_input(0, 0, words)
+        .with_sink(1, 0)
+    }
+
+    #[test]
+    fn lane_fused_batch_matches_serial() {
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| stream_job(&format!("s{i}"), i * 100))
+            .collect();
+        let fused = BatchRunner::with_workers(2).run(&jobs);
+        let serial = BatchRunner::run_serial(&jobs);
+        assert!(fused.outcomes_match(&serial));
+        let merged = fused.summary().merged;
+        // The group actually ran multi-lane: occupancy strictly exceeds
+        // the fused cycle count (which it equals at one lane).
+        assert!(merged.fused_lane_occupancy > merged.fused_cycles);
+        // And the outputs are right: each lane streams `base + i + 1`.
+        for (i, report) in fused.reports.iter().enumerate() {
+            let out = report.outcome.output().expect("completed");
+            let base = i as i16 * 100;
+            assert!(out.outputs[0].contains(&(base + 1)));
+            assert!(out.outputs[0].contains(&(base + 31 + 1)));
+        }
+    }
+
+    #[test]
+    fn lane_fusion_toggle_and_mixed_batches() {
+        // Object jobs, a config-closure job and a custom job in one batch:
+        // only the object jobs group; everything still matches serial.
+        let mut jobs: Vec<Job> = (0..4)
+            .map(|i| stream_job(&format!("s{i}"), i * 10))
+            .collect();
+        jobs.push(mac_job("cfg", 50));
+        jobs.push(Job::custom("fixed", || {
+            Ok(JobOutput {
+                outputs: vec![vec![9]],
+                cycles: 3,
+                stats: Stats::new(1),
+            })
+        }));
+        let fused = BatchRunner::with_workers(3).run(&jobs);
+        let unfused = BatchRunner::with_workers(3)
+            .with_lane_fusion(false)
+            .run(&jobs);
+        let serial = BatchRunner::run_serial(&jobs);
+        assert!(fused.outcomes_match(&serial));
+        assert!(unfused.outcomes_match(&serial));
+    }
+
+    #[test]
+    fn lane_groups_cap_at_max_lanes() {
+        let jobs: Vec<Job> = (0..MAX_LANES + 4)
+            .map(|i| stream_job(&format!("s{i}"), i as i16))
+            .collect();
+        let units = plan_units(&jobs);
+        let mut group_sizes: Vec<usize> = units
+            .iter()
+            .filter_map(|u| match u {
+                Unit::Group(members) => Some(members.len()),
+                Unit::Single(_) => None,
+            })
+            .collect();
+        group_sizes.sort_unstable();
+        assert_eq!(group_sizes, vec![4, MAX_LANES]);
+        // Different budgets split groups.
+        let mut mixed = vec![stream_job("a", 0), stream_job("b", 1)];
+        mixed.push(
+            Job::from_object(
+                "c",
+                RingGeometry::RING_8,
+                MachineParams::PAPER,
+                increment_object(),
+                CycleBudget::Cycles(700),
+            )
+            .with_sink(1, 0),
+        );
+        let units = plan_units(&mixed);
+        assert_eq!(
+            units.iter().filter(|u| matches!(u, Unit::Group(_))).count(),
+            1
+        );
+        assert_eq!(
+            units
+                .iter()
+                .filter(|u| matches!(u, Unit::Single(_)))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ineligible_jobs_stay_single() {
+        let eligible = stream_job("ok", 0);
+        assert!(lane_candidate(&eligible).is_some());
+        let with_retry = stream_job("retry", 0).with_retry(crate::job::RetryPolicy::retries(1));
+        assert!(lane_candidate(&with_retry).is_none());
+        let with_wall = stream_job("wall", 0).with_wall_limit(std::time::Duration::from_secs(1000));
+        assert!(lane_candidate(&with_wall).is_none());
+        let unfused = stream_job("unfused", 0).with_fused(false);
+        assert!(lane_candidate(&unfused).is_none());
+        assert!(lane_candidate(&mac_job("cfg", 10)).is_none());
     }
 }

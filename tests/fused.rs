@@ -1,0 +1,213 @@
+//! Fused-engine acceptance over the whole kernel library: the fused
+//! steady-state path, the decoded per-cycle path and the slow
+//! decode-per-cycle reference must agree output for output, cycle for
+//! cycle and counter for counter — and all three must match the golden
+//! software models. Lane-fused batch execution must be outcome-identical
+//! to serial execution, and fault-injection campaigns must behave exactly
+//! as they do without the fused engine (which is required to stand down
+//! whenever an injector is armed).
+
+use systolic_ring::asm::assemble;
+use systolic_ring::harness::campaign::run_chaos;
+use systolic_ring::harness::job::{CycleBudget, Job, RetryPolicy};
+use systolic_ring::harness::runner::BatchRunner;
+use systolic_ring::isa::Word16;
+use systolic_ring::kernels::batch::{campaign_suite, oracle_suite, run_oracle, OracleCase};
+
+const SEED: u64 = 0xf5ed_ca5e;
+
+/// The oracle suite with every job pinned to one of the three simulation
+/// tiers: fused (`fused` + `decode_cache`), decoded (`decode_cache`
+/// only) or slow (neither).
+fn suite_at_tier(fused: bool, cache: bool) -> Vec<OracleCase> {
+    oracle_suite(SEED, 2)
+        .into_iter()
+        .map(|case| OracleCase {
+            job: case.job.with_fused(fused).with_decode_cache(cache),
+            ..case
+        })
+        .collect()
+}
+
+/// All three tiers satisfy the golden differential oracle on their own.
+#[test]
+fn every_tier_matches_golden_models() {
+    for (fused, cache) in [(true, true), (false, true), (false, false)] {
+        let report = run_oracle(&BatchRunner::new(), suite_at_tier(fused, cache));
+        assert!(
+            report.all_match(),
+            "fused={fused} cache={cache}: mismatches {:?} faults {:?}",
+            report.mismatches,
+            report.faults
+        );
+    }
+}
+
+/// Fused vs decoded vs slow, kernel by kernel: identical outputs, cycle
+/// counts and architectural statistics. Only the engines' own counters
+/// may differ — and the fused suite must actually run fused somewhere.
+#[test]
+fn three_tiers_agree_over_every_kernel_family() {
+    let jobs_at = |fused, cache| -> Vec<Job> {
+        suite_at_tier(fused, cache)
+            .into_iter()
+            .map(|c| c.job)
+            .collect()
+    };
+    let fused = BatchRunner::new().run(&jobs_at(true, true));
+    let decoded = BatchRunner::new().run(&jobs_at(false, true));
+    let slow = BatchRunner::new().run(&jobs_at(false, false));
+
+    assert_eq!(fused.reports.len(), 22, "11 kernel families x 2 rounds");
+    let mut fused_entries = 0;
+    for ((f, d), s) in fused
+        .reports
+        .iter()
+        .zip(&decoded.reports)
+        .zip(&slow.reports)
+    {
+        let fo = f
+            .outcome
+            .output()
+            .unwrap_or_else(|| panic!("fused tier faulted on {}: {:?}", f.name, f.outcome));
+        let so = s
+            .outcome
+            .output()
+            .unwrap_or_else(|| panic!("slow tier faulted on {}: {:?}", s.name, s.outcome));
+        let dn = d.outcome.output().expect("decoded tier completed");
+        for (other, label) in [(dn, "decoded"), (so, "slow")] {
+            assert_eq!(fo.outputs, other.outputs, "{}: {label} outputs", f.name);
+            assert_eq!(fo.cycles, other.cycles, "{}: {label} cycles", f.name);
+            assert_eq!(
+                fo.stats.without_cache_counters(),
+                other.stats.without_cache_counters(),
+                "{}: {label} architectural stats",
+                f.name
+            );
+        }
+        assert_eq!(
+            dn.stats.fused_entries + so.stats.fused_entries,
+            0,
+            "{}: non-fused tiers must never enter the fused engine",
+            f.name
+        );
+        fused_entries += fo.stats.fused_entries;
+    }
+    assert!(
+        fused_entries > 0,
+        "the fused suite must actually execute fused bursts"
+    );
+}
+
+/// A batch of identical-program jobs (the shape of a parameter sweep)
+/// lane-fuses in the runner and still matches serial execution exactly.
+#[test]
+fn lane_fused_batch_matches_serial_over_32_jobs() {
+    let source = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs/fir3.sr"),
+    )
+    .expect("shipped program");
+    let object = assemble(&source).expect("fir3 assembles");
+    let geometry = object.geometry.expect("fir3 declares its ring");
+
+    let jobs: Vec<Job> = (0..32)
+        .map(|i| {
+            Job::from_object(
+                format!("fir3-sweep-{i}"),
+                geometry,
+                systolic_ring::core::MachineParams::PAPER,
+                object.clone(),
+                CycleBudget::Cycles(4096),
+            )
+            .with_input(0, 0, (0..64).map(|w| Word16::from_i16(w * 7 + i)))
+            .with_sink(1, 0)
+        })
+        .collect();
+
+    let fused = BatchRunner::with_workers(4).run(&jobs);
+    let unfused = BatchRunner::with_workers(4)
+        .with_lane_fusion(false)
+        .run(&jobs);
+    let serial = BatchRunner::run_serial(&jobs);
+    assert!(fused.outcomes_match(&serial), "lane-fused diverged");
+    assert!(unfused.outcomes_match(&serial), "unfused diverged");
+
+    let summary = fused.summary();
+    assert_eq!(summary.completed, 32);
+    let merged = &summary.merged;
+    assert!(
+        merged.fused_lane_occupancy > merged.fused_cycles,
+        "32 identical jobs must share multi-lane bursts \
+         (occupancy {}, cycles {})",
+        merged.fused_lane_occupancy,
+        merged.fused_cycles
+    );
+    assert!(summary.render().contains("fused:"));
+}
+
+/// The chaos campaign classifies every case identically with the fused
+/// engine enabled and disabled: armed injectors force the cycle-by-cycle
+/// path, so fault detection, rollback and outputs cannot shift.
+#[test]
+fn chaos_campaign_is_identical_with_fusion_enabled() {
+    let with_fusion = |enabled: bool| {
+        run_chaos(
+            &BatchRunner::with_workers(2),
+            &[0, 2_000],
+            SEED,
+            RetryPolicy::retries(4),
+            move |_| {
+                campaign_suite(SEED, 1)
+                    .into_iter()
+                    .take(4)
+                    .map(|mut case| {
+                        case.job = case.job.with_fused(enabled);
+                        case
+                    })
+                    .collect()
+            },
+        )
+    };
+    let fused = with_fusion(true);
+    let plain = with_fusion(false);
+    assert!(fused.zero_undetected(), "\n{}", fused.render());
+    for (a, b) in fused.rows.iter().zip(&plain.rows) {
+        assert_eq!(a.clean, b.clean, "clean counts shifted under fusion");
+        assert_eq!(
+            a.faults_detected, b.faults_detected,
+            "detection counts shifted under fusion"
+        );
+    }
+}
+
+/// CI smoke slice: one oracle round, fused vs decoded, well under a
+/// second. `ci.sh` runs exactly this test as its fast differential.
+#[test]
+fn fused_smoke() {
+    let strip = |cases: Vec<OracleCase>| -> Vec<Job> { cases.into_iter().map(|c| c.job).collect() };
+    let fused_jobs = strip(
+        oracle_suite(7, 1)
+            .into_iter()
+            .map(|c| OracleCase {
+                job: c.job.with_fused(true),
+                ..c
+            })
+            .collect(),
+    );
+    let decoded_jobs = strip(
+        oracle_suite(7, 1)
+            .into_iter()
+            .map(|c| OracleCase {
+                job: c.job.with_fused(false),
+                ..c
+            })
+            .collect(),
+    );
+    let fused = BatchRunner::with_workers(2).run(&fused_jobs);
+    let decoded = BatchRunner::with_workers(2).run(&decoded_jobs);
+    assert!(
+        fused.outcomes_match(&decoded),
+        "fused and decoded paths diverged on the smoke suite"
+    );
+    assert_eq!(fused.summary().faulted, 0);
+}
