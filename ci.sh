@@ -21,6 +21,20 @@ cargo test -q --workspace
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "==> ringlint gate (shipped programs + kernel objects, zero warnings)"
+cargo build --release -q -p systolic-ring-asm -p systolic-ring-lint
+lintdir="$(mktemp -d)"
+trap 'rm -rf "$lintdir"' EXIT
+for src in programs/*.sr; do
+    obj="$lintdir/$(basename "$src" .sr).obj"
+    ./target/release/srasm "$src" -o "$obj"
+done
+./target/release/ringlint --deny-warnings "$lintdir"/*.obj
+cargo test -q --test lint_crosscheck shipped_corpus_lints_without_warnings
+
+echo "==> lint self-test smoke (negative corpus must keep tripping)"
+cargo test -q -p systolic-ring-lint --test negative_corpus
+
 echo "==> chaos smoke (fault injection, 1 seed, 2 kernel families)"
 cargo test -q --test chaos chaos_smoke
 

@@ -1,20 +1,22 @@
 //! `srasm` — the Systolic Ring assembler, as a command-line tool.
 //!
 //! ```sh
-//! srasm program.sr [-o program.obj]
+//! srasm program.sr [-o program.obj] [--lint]
 //! ```
 //!
 //! Assembles a two-level source file (ring + controller sections) into the
 //! binary object format the machine loader and the APEX PRG memory use.
-//! Errors print with their source line. With `-o -` or no writable target,
-//! a summary goes to stdout instead.
+//! Errors print with their source line. With `--lint`, the assembled object
+//! is additionally run through `ringlint`'s static checks; warnings and
+//! errors print after assembly and any finding fails the build.
 
 use std::process::ExitCode;
 
 use systolic_ring_asm::assemble;
+use systolic_ring_lint::{lint_object, Severity};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: srasm <source.sr> [-o <out.obj>]");
+    eprintln!("usage: srasm <source.sr> [-o <out.obj>] [--lint]");
     ExitCode::from(2)
 }
 
@@ -22,6 +24,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut source_path = None;
     let mut out_path = None;
+    let mut lint = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
                 Some(path) => out_path = Some(path.clone()),
                 None => return usage(),
             },
+            "--lint" => lint = true,
             "-h" | "--help" => return usage(),
             path if source_path.is_none() => source_path = Some(path.to_owned()),
             _ => return usage(),
@@ -52,6 +56,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if lint {
+        let report = lint_object(&object);
+        for diag in &report.diagnostics {
+            eprintln!("srasm: {source_path}: {diag}");
+            eprintln!("srasm: {source_path}:   help: {}", diag.help);
+        }
+        if report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity >= Severity::Warning)
+        {
+            eprintln!("srasm: {source_path}: lint failed; object not written");
+            return ExitCode::FAILURE;
+        }
+    }
     let bytes = object.to_bytes();
     let out_path = out_path.unwrap_or_else(|| {
         let stem = source_path.trim_end_matches(".sr");

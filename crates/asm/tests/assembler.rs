@@ -302,11 +302,14 @@ fn disassembly_mentions_everything() {
     ";
     let object = assemble(source).unwrap();
     let text = disassemble(&object);
-    assert!(text.contains("Ring-8"));
-    assert!(text.contains("absd in1, in2 -> out"));
-    assert!(text.contains("hostin.1"));
+    assert!(text.contains(".ring 4x2"));
+    assert!(text.contains("node 0,0: absd in1, in2 > out"));
+    assert!(text.contains("route 0,0.in1 = host.1"));
     assert!(text.contains("addi r1, r0, 7"));
     assert!(text.contains(".word"));
+
+    // The disassembly is itself valid source that reproduces the object.
+    assert_eq!(assemble(&text).unwrap(), object);
 
     let code_only = disassemble_code(&object.code);
     assert!(code_only.contains("halt"));

@@ -1,10 +1,20 @@
 //! Robustness: the assembler and object loader must never panic, whatever
-//! bytes they are fed — they return diagnostics instead.
+//! bytes they are fed — they return diagnostics instead. On top of the
+//! no-panic floor, two round-trip properties are fuzzed here:
+//!
+//! * **source round trip** — anything that assembles must lint,
+//!   disassemble and reassemble to a byte-identical object with an
+//!   identical lint report, and
+//! * **container hardening** — truncating or bit-flipping a valid object
+//!   image never panics the parser; every rejection is a specific
+//!   [`ObjectError`](systolic_ring_isa::object::ObjectError) variant with
+//!   a stable `SR-Oxxx` code, and every accept re-serializes faithfully.
 
 use systolic_ring_asm::{assemble, disassemble};
 use systolic_ring_harness::for_random_cases;
 use systolic_ring_harness::testkit::TestRng;
 use systolic_ring_isa::object::Object;
+use systolic_ring_lint::lint_object;
 
 /// Fragments that bias random programs towards almost-valid syntax, where
 /// parser bugs hide.
@@ -107,4 +117,127 @@ fn disassembler_never_panics_on_assembled_output() {
             assert_eq!(round, object);
         }
     });
+}
+
+/// The full tool-chain round trip: whatever assembles must lint,
+/// disassemble and reassemble to a byte-identical object carrying an
+/// identical lint report.
+#[test]
+fn assembled_objects_round_trip_with_identical_diagnostics() {
+    let mut round_tripped = 0u32;
+    for_random_cases!(512, 0xa5a5, |rng| {
+        let source = fragment_soup(rng);
+        let Ok(object) = assemble(&source) else {
+            return;
+        };
+        let report = lint_object(&object);
+        let text = disassemble(&object);
+        let again = assemble(&text)
+            .unwrap_or_else(|e| panic!("disassembly does not reassemble: {e}\n--\n{text}"));
+        assert_eq!(again, object, "objects diverged\n--\n{text}");
+        assert_eq!(again.to_bytes(), object.to_bytes(), "bytes diverged");
+        assert_eq!(lint_object(&again), report, "lint reports diverged");
+        round_tripped += 1;
+    });
+    assert!(
+        round_tripped > 10,
+        "soup assembled too rarely: {round_tripped}"
+    );
+
+    // Deterministic anchor: the rich source exercises every record family.
+    let object = assemble(RICH_SOURCE).expect("rich source assembles");
+    let again = assemble(&disassemble(&object)).expect("reassembles");
+    assert_eq!(again.to_bytes(), object.to_bytes());
+    assert_eq!(lint_object(&again), lint_object(&object));
+}
+
+/// A rich, fully featured source whose image seeds the container fuzzing.
+const RICH_SOURCE: &str = "\
+.ring 4x2
+.contexts 2
+route 0,0.in1 = host.0
+route 0,0.in2 = host.1
+route 1,0.in1 = prev.0
+route 1,0.fifo1 = pipe[1,2].0
+node 0,0: mac in1, in2 > r0
+node 1,0: add in1, #7 > out
+capture 1 = lane 0
+.ctx 1
+node 0,0: mov r0 > out, bus
+.ctx 0
+.local 0,1
+  mov in1 > r2
+  mac r2, #3 > r3, out
+.endlocal
+.mode 0,1 local
+.code
+start:
+  addi r1, r0, 16
+loop:
+  addi r1, r1, -1
+  bne r1, r0, loop
+  halt
+.data
+  .word 1, -2, 0xdeadbeef
+";
+
+/// Truncating a valid object image at any length never panics; every
+/// rejection carries a stable `SR-Oxxx` code and every accept
+/// re-serializes faithfully.
+#[test]
+fn object_parser_rejects_every_truncation_cleanly() {
+    let object = assemble(RICH_SOURCE).expect("rich source assembles");
+    let bytes = object.to_bytes();
+    let mut rejected = 0usize;
+    for len in 0..bytes.len() {
+        match Object::from_bytes(&bytes[..len]) {
+            Err(e) => {
+                assert!(
+                    e.to_string().starts_with("SR-O"),
+                    "truncation at {len}: unstable error code: {e}"
+                );
+                rejected += 1;
+            }
+            Ok(parsed) => {
+                let round = Object::from_bytes(&parsed.to_bytes()).expect("round trip");
+                assert_eq!(round, parsed, "truncation at {len}");
+            }
+        }
+    }
+    assert!(
+        rejected >= bytes.len() / 2,
+        "most truncations must be rejected ({rejected}/{})",
+        bytes.len()
+    );
+}
+
+/// Bit-flipping a valid object image never panics; rejections are
+/// specific `SR-Oxxx` errors and accepts re-serialize faithfully.
+#[test]
+fn object_parser_survives_bit_flips() {
+    let object = assemble(RICH_SOURCE).expect("rich source assembles");
+    let bytes = object.to_bytes();
+    let mut rejected = 0usize;
+    for_random_cases!(1024, 0xa5a6, |rng| {
+        let mut mutated = bytes.clone();
+        // One to four random bit flips.
+        for _ in 0..=rng.index(4) {
+            let bit = rng.index(mutated.len() * 8);
+            mutated[bit / 8] ^= 1 << (bit % 8);
+        }
+        match Object::from_bytes(&mutated) {
+            Err(e) => {
+                assert!(
+                    e.to_string().starts_with("SR-O"),
+                    "unstable error code: {e}"
+                );
+                rejected += 1;
+            }
+            Ok(parsed) => {
+                let round = Object::from_bytes(&parsed.to_bytes()).expect("round trip");
+                assert_eq!(round, parsed);
+            }
+        }
+    });
+    assert!(rejected > 0, "bit flips must produce some rejections");
 }

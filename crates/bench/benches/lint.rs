@@ -1,0 +1,42 @@
+//! Static lint vs dynamic simulation: the speed claim behind `ringlint`.
+//!
+//! The lint's reason to exist is that it verifies an object in
+//! microseconds, without instantiating a `RingMachine`. This bench pits
+//! `lint_object` against the dynamic alternative it replaces —
+//! instantiate a paper-sized machine, load the object and simulate 1 000
+//! cycles — over every generated kernel object, and enforces the
+//! repository's acceptance floor: linting must be at least 100x faster.
+
+use systolic_ring_core::{MachineParams, RingMachine};
+use systolic_ring_harness::microbench::{black_box, Group};
+use systolic_ring_isa::RingGeometry;
+use systolic_ring_kernels::objects;
+use systolic_ring_lint::lint_object;
+
+fn main() {
+    let corpus = objects::all();
+
+    let mut group = Group::new("lint").with_iters(10, 50);
+    let lint = group.bench("lint_all_kernel_objects", || {
+        for (_, object) in &corpus {
+            black_box(lint_object(black_box(object)));
+        }
+    });
+    let simulate = group.bench("instantiate_and_simulate_1k_cycles", || {
+        for (name, object) in &corpus {
+            let geometry = object.geometry.unwrap_or(RingGeometry::RING_8);
+            let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+            m.load(object).unwrap_or_else(|e| panic!("{name}: {e}"));
+            m.run(1_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+            black_box(m.stats().cycles);
+        }
+    });
+    group.finish_print();
+
+    let ratio = simulate.median.as_nanos() as f64 / lint.median.as_nanos().max(1) as f64;
+    println!("speedup: lint is {ratio:.0}x faster than simulating 1k cycles");
+    assert!(
+        ratio >= 100.0,
+        "lint must be >=100x faster than instantiate+simulate ({ratio:.1}x)"
+    );
+}

@@ -29,8 +29,10 @@ use std::fmt;
 
 use systolic_ring_core::{ConfigError, MachineParams, RingMachine, SimError};
 use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand};
+use systolic_ring_isa::object::{Object, Preload};
 use systolic_ring_isa::switch::{HostCapture, PortSource};
 use systolic_ring_isa::{RingGeometry, Word16};
+use systolic_ring_lint::{lint_object_with, LintError, LintLimits};
 
 use crate::graph::{Graph, GraphError, Node, NodeId};
 
@@ -77,10 +79,29 @@ pub enum CompileError {
         /// Ports available (`width`).
         capacity: usize,
     },
+    /// The emitted configuration failed the static lint (a compiler bug —
+    /// the emitter produced a configuration `ringlint` can prove wrong).
+    Lint(LintError),
+}
+
+impl CompileError {
+    /// Stable, grep-able error code (`SR-Cxxx`).
+    pub const fn code(&self) -> &'static str {
+        match self {
+            CompileError::NoOutputs => "SR-C001",
+            CompileError::StatefulOp { .. } => "SR-C002",
+            CompileError::LayerFull { .. } => "SR-C003",
+            CompileError::PipeTooShallow { .. } => "SR-C004",
+            CompileError::HostPortsExhausted { .. } => "SR-C005",
+            CompileError::CapturePortsExhausted { .. } => "SR-C006",
+            CompileError::Lint(_) => "SR-C007",
+        }
+    }
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.code())?;
         match self {
             CompileError::NoOutputs => f.write_str("graph has no outputs"),
             CompileError::StatefulOp { node, op } => {
@@ -102,11 +123,19 @@ impl fmt::Display for CompileError {
             CompileError::CapturePortsExhausted { switch, capacity } => {
                 write!(f, "switch {switch} ran out of capture ports ({capacity})")
             }
+            CompileError::Lint(e) => write!(f, "emitted configuration fails lint: {e}"),
         }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Lint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Failure while running a compiled graph.
 #[derive(Clone, Debug, PartialEq)]
@@ -207,13 +236,46 @@ pub struct CompiledGraph {
 }
 
 /// Compiles `graph` for `geometry` with the given machine sizing (the
-/// pipeline depth bounds value lifetimes).
+/// pipeline depth bounds value lifetimes), then proves the emitted
+/// configuration clean under `ringlint`'s static checks.
+///
+/// Linting is deny-by-default: any warning or error in the emitted
+/// configuration fails compilation with [`CompileError::Lint`] — an
+/// emitter bug by definition, since the compiler controls every record it
+/// writes. [`compile_unchecked`] is the escape hatch that skips the lint
+/// (for experiments that deliberately emit out-of-contract
+/// configurations).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the graph does not fit (the message names
+/// the exhausted resource) or when the emitted configuration fails lint.
+pub fn compile(
+    graph: &Graph,
+    geometry: RingGeometry,
+    params: MachineParams,
+) -> Result<CompiledGraph, CompileError> {
+    let compiled = compile_unchecked(graph, geometry, params)?;
+    let limits = LintLimits {
+        contexts: params.contexts,
+        pipe_depth: params.pipe_depth,
+        prog_capacity: params.prog_capacity,
+        dmem_capacity: params.dmem_capacity,
+        geometry: Some(geometry),
+    };
+    lint_object_with(&compiled.to_object(), &limits)
+        .into_result(true)
+        .map_err(CompileError::Lint)?;
+    Ok(compiled)
+}
+
+/// [`compile`] without the post-emission lint gate.
 ///
 /// # Errors
 ///
 /// Returns [`CompileError`] when the graph does not fit; the message names
 /// the exhausted resource.
-pub fn compile(
+pub fn compile_unchecked(
     graph: &Graph,
     geometry: RingGeometry,
     params: MachineParams,
@@ -589,6 +651,46 @@ impl CompiledGraph {
     /// Longest operand chain (pipeline fill latency in cycles).
     pub fn pipeline_depth(&self) -> usize {
         self.max_depth
+    }
+
+    /// Renders the mapping as a loadable [`Object`]: the same
+    /// configuration writes [`CompiledGraph::instantiate`] applies, as
+    /// context-0 preload records with no controller code. The object is
+    /// what the static lint, the object file tools and the batch harness
+    /// consume.
+    pub fn to_object(&self) -> Object {
+        let mut preload = Vec::new();
+        for &(dnode, instr) in &self.dnode_instrs {
+            preload.push(Preload::DnodeInstr {
+                ctx: 0,
+                dnode: dnode as u16,
+                word: instr.encode(),
+            });
+        }
+        for &(switch, lane, input, source) in &self.routes {
+            preload.push(Preload::SwitchPort {
+                ctx: 0,
+                switch: switch as u16,
+                lane: lane as u16,
+                input: input as u8,
+                word: source.encode(),
+            });
+        }
+        for &(switch, port, lane) in &self.captures {
+            preload.push(Preload::HostCapture {
+                ctx: 0,
+                switch: switch as u16,
+                port: port as u16,
+                word: HostCapture::lane(lane).encode(),
+            });
+        }
+        Object {
+            geometry: Some(self.geometry),
+            contexts: 1,
+            code: Vec::new(),
+            data: Vec::new(),
+            preload,
+        }
     }
 
     /// Builds and configures a machine for this mapping.

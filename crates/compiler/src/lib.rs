@@ -43,6 +43,7 @@ mod compile;
 mod graph;
 
 pub use compile::{
-    compile, CompileError, CompiledGraph, InputFeed, OutputTap, Placement, RunError,
+    compile, compile_unchecked, CompileError, CompiledGraph, InputFeed, OutputTap, Placement,
+    RunError,
 };
 pub use graph::{Graph, GraphError, Node, NodeId};

@@ -194,14 +194,48 @@ pub struct Job {
     pub faults: Option<FaultConfig>,
     /// Recovery policy applied when detected faults interrupt the run.
     pub retry: RetryPolicy,
-    /// First recorded builder misuse (see [`Job::with_input`]); surfaced
-    /// as [`JobFault::Config`] when the job executes.
+    /// First recorded builder misuse (see [`Job::with_input`]) or
+    /// pre-flight lint failure (see [`Job::from_object`]); surfaced as
+    /// [`JobFault::Config`] without ever building a machine.
     builder_error: Option<String>,
 }
 
 impl Job {
     /// A machine job configured by loading an assembled object.
+    ///
+    /// The object is pre-flighted through `ringlint`'s static checks
+    /// against this job's geometry and machine sizing. A lint *error* — a
+    /// configuration the machine is statically guaranteed to reject or
+    /// fault on — is recorded as a deferred builder error, so the
+    /// [`runner`](crate::runner) rejects the job before any machine is
+    /// built or scheduled and reports it as a [`JobFault::Config`].
+    /// Warnings do not fail pre-flight. [`Job::from_object_unchecked`] is
+    /// the escape hatch for deliberately out-of-contract objects.
     pub fn from_object(
+        name: impl Into<String>,
+        geometry: RingGeometry,
+        params: MachineParams,
+        object: Object,
+        budget: CycleBudget,
+    ) -> Self {
+        let limits = systolic_ring_lint::LintLimits {
+            contexts: params.contexts,
+            pipe_depth: params.pipe_depth,
+            prog_capacity: params.prog_capacity,
+            dmem_capacity: params.dmem_capacity,
+            geometry: Some(geometry),
+        };
+        let preflight = systolic_ring_lint::lint_object_with(&object, &limits)
+            .into_result(false)
+            .err()
+            .map(|e| format!("object failed pre-flight lint: {e}"));
+        let mut job = Job::from_object_unchecked(name, geometry, params, object, budget);
+        job.builder_error = preflight;
+        job
+    }
+
+    /// [`Job::from_object`] without the pre-flight lint.
+    pub fn from_object_unchecked(
         name: impl Into<String>,
         geometry: RingGeometry,
         params: MachineParams,

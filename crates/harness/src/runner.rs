@@ -87,15 +87,37 @@ impl BatchRunner {
     }
 
     /// Runs every job and returns the batch report (submission order).
+    ///
+    /// Jobs carrying a deferred builder error — a builder misuse or a
+    /// failed object pre-flight lint (see
+    /// [`Job::from_object`](crate::job::Job::from_object)) — are rejected
+    /// before scheduling: their report slots are pre-filled with the
+    /// [`JobFault::Config`] outcome and no execution unit is planned for
+    /// them, so a bad object never reaches a worker thread.
     pub fn run(&self, jobs: &[Job]) -> BatchReport {
         let started = Instant::now();
+        let mut slots: Vec<Option<JobReport>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        for (index, job) in jobs.iter().enumerate() {
+            if let Some(msg) = job.builder_error() {
+                slots[index] = Some(JobReport {
+                    index,
+                    name: job.name.clone(),
+                    wall: Duration::ZERO,
+                    outcome: JobOutcome::Fault(JobFault::Config(msg.to_owned())),
+                    recovery: RecoveryStats::default(),
+                });
+            }
+        }
+        let schedulable = |index: &usize| jobs[*index].builder_error().is_none();
         let units = if self.lane_fusion {
             plan_units(jobs)
         } else {
-            (0..jobs.len()).map(Unit::Single).collect()
+            (0..jobs.len())
+                .filter(schedulable)
+                .map(Unit::Single)
+                .collect()
         };
-        let mut slots: Vec<Option<JobReport>> = Vec::new();
-        slots.resize_with(jobs.len(), || None);
         let slots = Mutex::new(slots);
         let cursor = AtomicUsize::new(0);
         let workers = self.workers.min(units.len()).max(1);
@@ -238,6 +260,10 @@ fn plan_units(jobs: &[Job]) -> Vec<Unit> {
     // are small and the group key has no cheap hash.
     let mut buckets: Vec<(usize, Vec<usize>)> = Vec::new();
     for (index, job) in jobs.iter().enumerate() {
+        if job.builder_error().is_some() {
+            // Rejected before scheduling; its report slot is pre-filled.
+            continue;
+        }
         let Some(mj) = lane_candidate(job) else {
             units.push(Unit::Single(index));
             continue;
@@ -799,6 +825,49 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    /// An object that fails the static lint never reaches a worker: the
+    /// job carries a deferred builder error, is excluded from unit
+    /// planning and its report slot is pre-filled with a `Config` fault.
+    #[test]
+    fn lint_rejected_object_is_refused_before_scheduling() {
+        let mut object = increment_object();
+        object.preload.push(Preload::SwitchPort {
+            ctx: 0,
+            switch: 99, // far beyond RING_8's 4 switches
+            lane: 0,
+            input: 0,
+            word: PortSource::Zero.encode(),
+        });
+        let bad = Job::from_object(
+            "bad",
+            RingGeometry::RING_8,
+            MachineParams::PAPER,
+            object.clone(),
+            CycleBudget::Cycles(10),
+        );
+        assert!(bad.builder_error().unwrap().contains("pre-flight lint"));
+        let jobs = vec![bad, stream_job("ok", 0)];
+        let report = BatchRunner::with_workers(2).run(&jobs);
+        match &report.reports[0].outcome {
+            JobOutcome::Fault(JobFault::Config(msg)) => {
+                assert!(msg.contains("pre-flight lint"), "{msg}")
+            }
+            other => panic!("expected pre-flight rejection, got {other:?}"),
+        }
+        assert!(report.reports[1].outcome.output().is_some());
+        assert!(report.outcomes_match(&BatchRunner::run_serial(&jobs)));
+
+        // The escape hatch skips the lint entirely.
+        let unchecked = Job::from_object_unchecked(
+            "unchecked",
+            RingGeometry::RING_8,
+            MachineParams::PAPER,
+            object,
+            CycleBudget::Cycles(10),
+        );
+        assert!(unchecked.builder_error().is_none());
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct Object {
 }
 
 /// Error deserializing an [`Object`].
+///
+/// Every rejection maps to exactly one variant, each with a stable
+/// grep-able code (see [`ObjectError::code`]) that prefixes its `Display`
+/// rendering.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ObjectError {
     /// Input does not start with [`MAGIC`].
@@ -115,10 +119,44 @@ pub enum ObjectError {
     },
     /// Trailing bytes after the declared contents.
     TrailingBytes(usize),
+    /// The reserved header field is not zero (future format revision?).
+    ReservedHeader(u16),
+    /// A `Mode` record carries a byte other than 0 or 1.
+    BadModeByte(u8),
+    /// A `LocalSlot` record names a slot outside `0..8`.
+    BadSlot(u8),
+    /// A `LocalLimit` record carries a limit outside `1..=8`.
+    BadLimit(u8),
+    /// A record's encoded configuration word fails to decode.
+    BadConfigWord {
+        /// The record tag the word belongs to.
+        tag: u8,
+        /// The offending word (zero-extended to 64 bits).
+        word: u64,
+    },
+}
+
+impl ObjectError {
+    /// Stable grep-able code for this error class (`SR-O001`..).
+    pub const fn code(&self) -> &'static str {
+        match self {
+            ObjectError::BadMagic => "SR-O001",
+            ObjectError::Truncated => "SR-O002",
+            ObjectError::BadRecordTag(_) => "SR-O003",
+            ObjectError::BadGeometry { .. } => "SR-O004",
+            ObjectError::TrailingBytes(_) => "SR-O005",
+            ObjectError::ReservedHeader(_) => "SR-O006",
+            ObjectError::BadModeByte(_) => "SR-O007",
+            ObjectError::BadSlot(_) => "SR-O008",
+            ObjectError::BadLimit(_) => "SR-O009",
+            ObjectError::BadConfigWord { .. } => "SR-O010",
+        }
+    }
 }
 
 impl fmt::Display for ObjectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.code())?;
         match self {
             ObjectError::BadMagic => f.write_str("not a systolic-ring object (bad magic)"),
             ObjectError::Truncated => f.write_str("object truncated"),
@@ -127,6 +165,15 @@ impl fmt::Display for ObjectError {
                 write!(f, "invalid declared geometry {layers}x{width}")
             }
             ObjectError::TrailingBytes(n) => write!(f, "{n} trailing bytes after object"),
+            ObjectError::ReservedHeader(v) => {
+                write!(f, "reserved header field is {v:#06x}, expected 0")
+            }
+            ObjectError::BadModeByte(b) => write!(f, "mode byte {b} is neither 0 nor 1"),
+            ObjectError::BadSlot(s) => write!(f, "local-sequencer slot {s} outside 0..8"),
+            ObjectError::BadLimit(l) => write!(f, "sequencer limit {l} outside 1..=8"),
+            ObjectError::BadConfigWord { tag, word } => {
+                write!(f, "record tag {tag} carries undecodable word {word:#x}")
+            }
         }
     }
 }
@@ -139,6 +186,14 @@ const TAG_HOST_CAPTURE: u8 = 3;
 const TAG_MODE: u8 = 4;
 const TAG_LOCAL_SLOT: u8 = 5;
 const TAG_LOCAL_LIMIT: u8 = 6;
+
+/// Rejects microinstruction words the Dnode decoder would refuse.
+fn check_micro_word(tag: u8, word: u64) -> Result<(), ObjectError> {
+    match crate::dnode::MicroInstr::decode(word) {
+        Ok(_) => Ok(()),
+        Err(_) => Err(ObjectError::BadConfigWord { tag, word }),
+    }
+}
 
 struct Cursor<'a> {
     bytes: &'a [u8],
@@ -267,7 +322,10 @@ impl Object {
         let layers = cur.u16()?;
         let width = cur.u16()?;
         let contexts = cur.u16()?;
-        let _reserved = cur.u16()?;
+        let reserved = cur.u16()?;
+        if reserved != 0 {
+            return Err(ObjectError::ReservedHeader(reserved));
+        }
         let geometry = if layers == 0 && width == 0 {
             None
         } else {
@@ -291,37 +349,69 @@ impl Object {
         for _ in 0..preload_len {
             let tag = cur.u8()?;
             let record = match tag {
-                TAG_DNODE_INSTR => Preload::DnodeInstr {
-                    ctx: cur.u16()?,
-                    dnode: cur.u16()?,
-                    word: cur.u64()?,
-                },
-                TAG_SWITCH_PORT => Preload::SwitchPort {
-                    ctx: cur.u16()?,
-                    switch: cur.u16()?,
-                    lane: cur.u16()?,
-                    input: cur.u8()?,
-                    word: cur.u32()?,
-                },
-                TAG_HOST_CAPTURE => Preload::HostCapture {
-                    ctx: cur.u16()?,
-                    switch: cur.u16()?,
-                    port: cur.u16()?,
-                    word: cur.u32()?,
-                },
-                TAG_MODE => Preload::Mode {
-                    dnode: cur.u16()?,
-                    local: cur.u8()? != 0,
-                },
-                TAG_LOCAL_SLOT => Preload::LocalSlot {
-                    dnode: cur.u16()?,
-                    slot: cur.u8()?,
-                    word: cur.u64()?,
-                },
-                TAG_LOCAL_LIMIT => Preload::LocalLimit {
-                    dnode: cur.u16()?,
-                    limit: cur.u8()?,
-                },
+                TAG_DNODE_INSTR => {
+                    let (ctx, dnode, word) = (cur.u16()?, cur.u16()?, cur.u64()?);
+                    check_micro_word(tag, word)?;
+                    Preload::DnodeInstr { ctx, dnode, word }
+                }
+                TAG_SWITCH_PORT => {
+                    let (ctx, switch, lane, input, word) =
+                        (cur.u16()?, cur.u16()?, cur.u16()?, cur.u8()?, cur.u32()?);
+                    if crate::switch::PortSource::decode(word).is_err() {
+                        return Err(ObjectError::BadConfigWord {
+                            tag,
+                            word: word.into(),
+                        });
+                    }
+                    Preload::SwitchPort {
+                        ctx,
+                        switch,
+                        lane,
+                        input,
+                        word,
+                    }
+                }
+                TAG_HOST_CAPTURE => {
+                    let (ctx, switch, port, word) =
+                        (cur.u16()?, cur.u16()?, cur.u16()?, cur.u32()?);
+                    if crate::switch::HostCapture::decode(word).is_err() {
+                        return Err(ObjectError::BadConfigWord {
+                            tag,
+                            word: word.into(),
+                        });
+                    }
+                    Preload::HostCapture {
+                        ctx,
+                        switch,
+                        port,
+                        word,
+                    }
+                }
+                TAG_MODE => {
+                    let (dnode, mode) = (cur.u16()?, cur.u8()?);
+                    if mode > 1 {
+                        return Err(ObjectError::BadModeByte(mode));
+                    }
+                    Preload::Mode {
+                        dnode,
+                        local: mode != 0,
+                    }
+                }
+                TAG_LOCAL_SLOT => {
+                    let (dnode, slot, word) = (cur.u16()?, cur.u8()?, cur.u64()?);
+                    if slot as usize >= crate::dnode::LOCAL_SLOTS {
+                        return Err(ObjectError::BadSlot(slot));
+                    }
+                    check_micro_word(tag, word)?;
+                    Preload::LocalSlot { dnode, slot, word }
+                }
+                TAG_LOCAL_LIMIT => {
+                    let (dnode, limit) = (cur.u16()?, cur.u8()?);
+                    if !(1..=crate::dnode::LOCAL_SLOTS as u8).contains(&limit) {
+                        return Err(ObjectError::BadLimit(limit));
+                    }
+                    Preload::LocalLimit { dnode, limit }
+                }
                 other => return Err(ObjectError::BadRecordTag(other)),
             };
             preload.push(record);
@@ -342,8 +432,13 @@ impl Object {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dnode::{AluOp, MicroInstr, Operand};
+    use crate::switch::{HostCapture, PortSource};
 
     fn sample() -> Object {
+        let micro = MicroInstr::op(AluOp::Add, Operand::In1, Operand::In2)
+            .write_out()
+            .encode();
         Object {
             geometry: Some(RingGeometry::RING_8),
             contexts: 4,
@@ -353,20 +448,20 @@ mod tests {
                 Preload::DnodeInstr {
                     ctx: 0,
                     dnode: 3,
-                    word: 0x1234_0000_00ab,
+                    word: micro,
                 },
                 Preload::SwitchPort {
                     ctx: 1,
                     switch: 2,
                     lane: 0,
                     input: 1,
-                    word: 9,
+                    word: PortSource::PrevOut { lane: 1 }.encode(),
                 },
                 Preload::HostCapture {
                     ctx: 0,
                     switch: 3,
                     port: 1,
-                    word: 1,
+                    word: HostCapture::lane(0).encode(),
                 },
                 Preload::Mode {
                     dnode: 7,
@@ -375,7 +470,7 @@ mod tests {
                 Preload::LocalSlot {
                     dnode: 7,
                     slot: 2,
-                    word: 0x55,
+                    word: micro,
                 },
                 Preload::LocalLimit { dnode: 7, limit: 3 },
             ],
@@ -441,6 +536,106 @@ mod tests {
             Object::from_bytes(&bytes),
             Err(ObjectError::BadRecordTag(99))
         );
+    }
+
+    #[test]
+    fn rejects_reserved_header() {
+        let mut bytes = Object::new().to_bytes();
+        bytes[14] = 0xaa;
+        assert_eq!(
+            Object::from_bytes(&bytes),
+            Err(ObjectError::ReservedHeader(0x00aa))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_mode_byte() {
+        let mut obj = Object::new();
+        obj.preload.push(Preload::Mode {
+            dnode: 0,
+            local: true,
+        });
+        let mut bytes = obj.to_bytes();
+        *bytes.last_mut().unwrap() = 2;
+        assert_eq!(Object::from_bytes(&bytes), Err(ObjectError::BadModeByte(2)));
+    }
+
+    #[test]
+    fn rejects_bad_slot_and_limit() {
+        let mut obj = Object::new();
+        obj.preload.push(Preload::LocalLimit { dnode: 0, limit: 9 });
+        assert_eq!(
+            Object::from_bytes(&obj.to_bytes()),
+            Err(ObjectError::BadLimit(9))
+        );
+        obj.preload.clear();
+        obj.preload.push(Preload::LocalSlot {
+            dnode: 0,
+            slot: 8,
+            word: MicroInstr::NOP.encode(),
+        });
+        assert_eq!(
+            Object::from_bytes(&obj.to_bytes()),
+            Err(ObjectError::BadSlot(8))
+        );
+    }
+
+    #[test]
+    fn rejects_undecodable_config_words() {
+        let mut obj = Object::new();
+        obj.preload.push(Preload::DnodeInstr {
+            ctx: 0,
+            dnode: 0,
+            word: u64::MAX,
+        });
+        assert_eq!(
+            Object::from_bytes(&obj.to_bytes()),
+            Err(ObjectError::BadConfigWord {
+                tag: TAG_DNODE_INSTR,
+                word: u64::MAX,
+            })
+        );
+        obj.preload.clear();
+        obj.preload.push(Preload::SwitchPort {
+            ctx: 0,
+            switch: 0,
+            lane: 0,
+            input: 0,
+            word: u32::MAX,
+        });
+        assert_eq!(
+            Object::from_bytes(&obj.to_bytes()),
+            Err(ObjectError::BadConfigWord {
+                tag: TAG_SWITCH_PORT,
+                word: u64::from(u32::MAX),
+            })
+        );
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_prefixed() {
+        let errors = [
+            ObjectError::BadMagic,
+            ObjectError::Truncated,
+            ObjectError::BadRecordTag(9),
+            ObjectError::BadGeometry {
+                layers: 1,
+                width: 1,
+            },
+            ObjectError::TrailingBytes(3),
+            ObjectError::ReservedHeader(1),
+            ObjectError::BadModeByte(2),
+            ObjectError::BadSlot(8),
+            ObjectError::BadLimit(0),
+            ObjectError::BadConfigWord { tag: 1, word: 0 },
+        ];
+        let mut codes: Vec<&str> = errors.iter().map(|e| e.code()).collect();
+        for (err, code) in errors.iter().zip(&codes) {
+            assert!(err.to_string().starts_with(&format!("{code}: ")), "{err}");
+        }
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errors.len(), "codes must be distinct");
     }
 
     #[test]

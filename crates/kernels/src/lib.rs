@@ -32,6 +32,7 @@ pub mod image;
 pub mod mac;
 pub mod matvec;
 pub mod motion;
+pub mod objects;
 pub mod wavelet;
 
 /// Result of running a kernel on the simulator.

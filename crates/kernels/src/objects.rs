@@ -1,0 +1,245 @@
+//! Representative kernel configurations as loadable [`Object`]s.
+//!
+//! The kernel drivers in this crate configure machines imperatively
+//! (through [`systolic_ring_core::RingMachine`] configuration calls);
+//! this module renders the same macro-operator families as self-contained
+//! object files — the form the static lint (`ringlint`), the object
+//! tools and the batch harness consume. Each object is a faithful
+//! structural representative of one kernel family:
+//!
+//! * [`mac_local`] — the stand-alone local-mode MAC (§4.1),
+//! * [`fir_spatial`] — a routed multiply-add chain with a feedback
+//!   pipeline tap (the §4.2 delay mechanism),
+//! * [`mac_context_drain`] — compute in context 0, drain accumulators
+//!   through context 1 (dynamic reconfiguration for result extraction),
+//! * [`fifo_chain`] — the FIFO-emulation pass-through chain (§6),
+//! * [`pipe_deep_tap`] — a route reading the deepest legal feedback
+//!   pipeline stage (the boundary the lint checks).
+//!
+//! Every object here lints clean and simulates without faults; the
+//! repository-level cross-check suite enforces both.
+
+use systolic_ring_isa::ctrl::CtrlInstr;
+use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand, Reg};
+use systolic_ring_isa::object::{Object, Preload};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::{RingGeometry, Word16};
+
+/// `wait N; halt` controller code.
+fn wait_halt(cycles: u16) -> Vec<u32> {
+    vec![
+        CtrlInstr::Wait { cycles }.encode(),
+        CtrlInstr::Halt.encode(),
+    ]
+}
+
+fn route(ctx: u16, switch: u16, lane: u16, input: u8, source: PortSource) -> Preload {
+    Preload::SwitchPort {
+        ctx,
+        switch,
+        lane,
+        input,
+        word: source.encode(),
+    }
+}
+
+fn node(ctx: u16, dnode: u16, instr: MicroInstr) -> Preload {
+    Preload::DnodeInstr {
+        ctx,
+        dnode,
+        word: instr.encode(),
+    }
+}
+
+fn capture(ctx: u16, switch: u16, port: u16, lane: u8) -> Preload {
+    Preload::HostCapture {
+        ctx,
+        switch,
+        port,
+        word: HostCapture::lane(lane).encode(),
+    }
+}
+
+/// The stand-alone local-mode MAC: Dnode 0 accumulates the product of two
+/// host streams into `r0` under its own sequencer.
+pub fn mac_local() -> Object {
+    let mac = MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0);
+    Object {
+        geometry: Some(RingGeometry::RING_8),
+        contexts: 1,
+        code: wait_halt(64),
+        data: Vec::new(),
+        preload: vec![
+            route(0, 0, 0, 0, PortSource::HostIn { port: 0 }),
+            route(0, 0, 0, 1, PortSource::HostIn { port: 1 }),
+            Preload::Mode {
+                dnode: 0,
+                local: true,
+            },
+            Preload::LocalSlot {
+                dnode: 0,
+                slot: 0,
+                word: mac.encode(),
+            },
+            Preload::LocalLimit { dnode: 0, limit: 1 },
+        ],
+    }
+}
+
+/// A routed multiply-add chain: layer 0 scales the input stream, layer 1
+/// adds the direct product to a one-slot-older product tapped from the
+/// feedback pipeline — the §4.2 "required delays are automatically
+/// achieved" mechanism.
+pub fn fir_spatial() -> Object {
+    let scale = MicroInstr::op(AluOp::Mul, Operand::In1, Operand::Imm)
+        .with_imm(Word16::from_i16(3))
+        .write_out();
+    let sum = MicroInstr::op(AluOp::Add, Operand::In1, Operand::In2).write_out();
+    Object {
+        geometry: Some(RingGeometry::RING_8),
+        contexts: 1,
+        code: wait_halt(128),
+        data: Vec::new(),
+        preload: vec![
+            route(0, 0, 0, 0, PortSource::HostIn { port: 0 }),
+            node(0, 0, scale),
+            route(0, 1, 0, 0, PortSource::PrevOut { lane: 0 }),
+            route(
+                0,
+                1,
+                0,
+                1,
+                PortSource::Pipe {
+                    switch: 1,
+                    stage: 0,
+                    lane: 0,
+                },
+            ),
+            node(0, 2, sum), // dnode (layer 1, lane 0)
+            capture(0, 2, 0, 0),
+        ],
+    }
+}
+
+/// Compute-then-drain across two configuration contexts: context 0 MACs
+/// two host streams into `r0`, context 1 exposes the accumulator on the
+/// layer output where a capture collects it. The controller switches
+/// contexts mid-run — the dynamic-reconfiguration pattern of the
+/// evaluation workloads.
+pub fn mac_context_drain() -> Object {
+    let mac = MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0);
+    let expose = MicroInstr::op(AluOp::PassA, Operand::Reg(Reg::R0), Operand::Zero).write_out();
+    Object {
+        geometry: Some(RingGeometry::RING_8),
+        contexts: 2,
+        code: vec![
+            CtrlInstr::Wait { cycles: 32 }.encode(),
+            CtrlInstr::Ctx { ctx: 1 }.encode(),
+            CtrlInstr::Wait { cycles: 8 }.encode(),
+            CtrlInstr::Halt.encode(),
+        ],
+        data: Vec::new(),
+        preload: vec![
+            route(0, 0, 0, 0, PortSource::HostIn { port: 0 }),
+            route(0, 0, 0, 1, PortSource::HostIn { port: 1 }),
+            node(0, 0, mac),
+            node(1, 0, expose),
+            capture(1, 1, 0, 0),
+        ],
+    }
+}
+
+/// FIFO emulation: a pass-through chain of Dnodes, one per layer, each
+/// forwarding its input one hop around the ring — the §6 macro-operator
+/// that turns fabric area into buffering.
+pub fn fifo_chain() -> Object {
+    let pass = MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out();
+    Object {
+        geometry: Some(RingGeometry::RING_8),
+        contexts: 1,
+        code: wait_halt(64),
+        data: Vec::new(),
+        preload: vec![
+            route(0, 0, 0, 0, PortSource::HostIn { port: 0 }),
+            node(0, 0, pass),
+            route(0, 1, 0, 0, PortSource::PrevOut { lane: 0 }),
+            node(0, 2, pass),
+            route(0, 2, 0, 0, PortSource::PrevOut { lane: 0 }),
+            node(0, 4, pass),
+            capture(0, 3, 0, 0),
+        ],
+    }
+}
+
+/// A route reading the deepest legal feedback-pipeline stage
+/// (`pipe_depth - 1` under the paper's sizing): the longest value
+/// lifetime the fabric supports without spilling, and the boundary the
+/// lint's dataflow pass checks.
+pub fn pipe_deep_tap() -> Object {
+    let src = MicroInstr::op(AluOp::PassA, Operand::In1, Operand::Zero).write_out();
+    let diff = MicroInstr::op(AluOp::Sub, Operand::In1, Operand::In2).write_out();
+    Object {
+        geometry: Some(RingGeometry::RING_8),
+        contexts: 1,
+        code: wait_halt(96),
+        data: Vec::new(),
+        preload: vec![
+            route(0, 0, 0, 0, PortSource::HostIn { port: 0 }),
+            node(0, 0, src),
+            route(0, 1, 0, 0, PortSource::PrevOut { lane: 0 }),
+            route(
+                0,
+                1,
+                0,
+                1,
+                PortSource::Pipe {
+                    switch: 1,
+                    stage: 7, // MachineParams::PAPER.pipe_depth - 1
+                    lane: 0,
+                },
+            ),
+            node(0, 2, diff),
+            capture(0, 2, 0, 0),
+        ],
+    }
+}
+
+/// Every named object in this module, for sweep-style tests and tools.
+pub fn all() -> Vec<(&'static str, Object)> {
+    vec![
+        ("mac-local", mac_local()),
+        ("fir-spatial", fir_spatial()),
+        ("mac-context-drain", mac_context_drain()),
+        ("fifo-chain", fifo_chain()),
+        ("pipe-deep-tap", pipe_deep_tap()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use systolic_ring_core::{MachineParams, RingMachine};
+
+    /// Every named object loads onto a paper-sized machine and runs to
+    /// halt without faulting.
+    #[test]
+    fn objects_load_and_run() {
+        for (name, object) in all() {
+            let mut m = RingMachine::new(RingGeometry::RING_8, MachineParams::PAPER);
+            m.load(&object).unwrap_or_else(|e| panic!("{name}: {e}"));
+            m.run_until_halt(10_000)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    /// The objects survive a byte round-trip through the container
+    /// format.
+    #[test]
+    fn objects_round_trip_bytes() {
+        for (name, object) in all() {
+            let bytes = object.to_bytes();
+            let back = Object::from_bytes(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, object, "{name}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! `ringlint` — lint Systolic Ring object files from the command line.
+//!
+//! ```sh
+//! ringlint [--deny-warnings] <program.obj>...
+//! ```
+//!
+//! Prints every diagnostic (with its stable `RL-xxxx` code) and the
+//! fusibility verdict for each object. Exits nonzero if any object fails
+//! to parse, carries errors, or — under `--deny-warnings` — carries
+//! warnings.
+
+use std::process::ExitCode;
+
+use systolic_ring_isa::object::Object;
+use systolic_ring_lint::{lint_object, Severity};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ringlint [--deny-warnings] <program.obj>...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "-h" | "--help" => return usage(),
+            _ if arg.starts_with('-') => return usage(),
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+
+    let floor = if deny_warnings {
+        Severity::Warning
+    } else {
+        Severity::Error
+    };
+    let mut failed = false;
+    for path in &paths {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("ringlint: cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let object = match Object::from_bytes(&bytes) {
+            Ok(object) => object,
+            Err(e) => {
+                eprintln!("ringlint: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = lint_object(&object);
+        for diag in &report.diagnostics {
+            println!("{path}: {diag}");
+            println!("{path}:   help: {}", diag.help);
+        }
+        let verdict = if report.diagnostics.iter().any(|d| d.severity >= floor) {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "ringlint: {path}: {verdict} ({} finding(s); steady state: {})",
+            report.diagnostics.len(),
+            report.fusibility
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

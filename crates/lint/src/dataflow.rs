@@ -1,0 +1,281 @@
+//! Dataflow pass (`RL-Dxxx`): feedback-pipeline depth, producer/consumer
+//! consistency across the crossbar, register liveness and bus contention.
+//!
+//! All checks are conservative: a finding means "this read can observe a
+//! value nothing ever produced", never "this program is wrong" — which is
+//! why most of the family reports [`Severity::Warning`].
+
+use std::collections::BTreeSet;
+
+use systolic_ring_isa::dnode::{MicroInstr, Operand, Reg};
+use systolic_ring_isa::switch::PortSource;
+use systolic_ring_isa::RingGeometry;
+
+use crate::diag::{Diagnostic, Severity, Site};
+use crate::model::{emit, ConfigModel};
+use crate::LintLimits;
+
+/// Maps a port-reading operand to its crossbar input index.
+fn input_index(op: Operand) -> Option<usize> {
+    match op {
+        Operand::In1 => Some(0),
+        Operand::In2 => Some(1),
+        Operand::Fifo1 => Some(2),
+        Operand::Fifo2 => Some(3),
+        _ => None,
+    }
+}
+
+/// Registers an instruction reads (including the implicit accumulator of
+/// the multiply-accumulate family).
+fn reads(instr: &MicroInstr) -> impl Iterator<Item = Reg> + '_ {
+    let acc = if instr.alu.uses_accumulator() {
+        instr.wr_reg
+    } else {
+        None
+    };
+    [instr.src_a, instr.src_b]
+        .into_iter()
+        .filter_map(|op| match op {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        })
+        .chain(acc)
+}
+
+/// Whether `dnode` drives its layer output in `ctx` (local-mode Dnodes
+/// replay their sequencer regardless of the active context).
+fn drives_out(model: &ConfigModel, ctx: usize, dnode: usize) -> bool {
+    if model.modes.get(&dnode).copied().unwrap_or(false) {
+        model
+            .local_slots
+            .iter()
+            .any(|(&(d, _), instr)| d == dnode && instr.wr_out)
+    } else {
+        model
+            .dnode_instrs
+            .get(&(ctx, dnode))
+            .is_some_and(|instr| instr.wr_out)
+    }
+}
+
+/// The Dnode whose layer output `source` observes, if any.
+fn producer_of(g: RingGeometry, consumer_switch: usize, source: PortSource) -> Option<usize> {
+    match source {
+        PortSource::PrevOut { lane } => {
+            Some(g.dnode_index(g.upstream_layer(consumer_switch), lane as usize))
+        }
+        PortSource::Pipe { switch, lane, .. } => {
+            Some(g.dnode_index(g.upstream_layer(switch as usize), lane as usize))
+        }
+        _ => None,
+    }
+}
+
+pub(crate) fn check(model: &ConfigModel, limits: &LintLimits, diags: &mut Vec<Diagnostic>) {
+    // RL-D001: feedback-pipeline taps deeper than the pipeline.
+    if model.geometry.is_some() {
+        for (&(ctx, switch, lane, input), &source) in &model.routes {
+            if let PortSource::Pipe { stage, .. } = source {
+                if stage as usize >= limits.pipe_depth {
+                    emit(
+                        diags,
+                        "RL-D001",
+                        Severity::Error,
+                        Site::Switch {
+                            ctx: Some(ctx),
+                            switch,
+                        },
+                        format!(
+                            "lane {lane} input {input} taps pipeline stage {stage} but the \
+                             feedback pipeline is only {} deep",
+                            limits.pipe_depth
+                        ),
+                        "tap a stage below the machine's pipeline depth",
+                    );
+                }
+            }
+        }
+    }
+
+    // Per-Dnode register write sets, pooled across contexts and the local
+    // sequencer: a read of a register nothing ever writes observes the
+    // reset value forever.
+    let mut written: std::collections::BTreeMap<usize, BTreeSet<Reg>> =
+        std::collections::BTreeMap::new();
+    for (&(_, dnode), instr) in &model.dnode_instrs {
+        if let Some(r) = instr.wr_reg {
+            written.entry(dnode).or_default().insert(r);
+        }
+    }
+    for (&(dnode, _), instr) in &model.local_slots {
+        if let Some(r) = instr.wr_reg {
+            written.entry(dnode).or_default().insert(r);
+        }
+    }
+    let reg_written =
+        |dnode: usize, reg: Reg| written.get(&dnode).is_some_and(|set| set.contains(&reg));
+
+    // RL-D003 / RL-D005 / RL-D002 over per-context instructions.
+    for (&(ctx, dnode), instr) in &model.dnode_instrs {
+        for reg in reads(instr) {
+            if !reg_written(dnode, reg) {
+                emit(
+                    diags,
+                    "RL-D003",
+                    Severity::Warning,
+                    Site::Dnode {
+                        ctx: Some(ctx),
+                        dnode,
+                    },
+                    format!("reads {reg} but no configuration ever writes it on this dnode"),
+                    "the register reads as zero; drop the read or add the producing write",
+                );
+            }
+        }
+        check_port_reads(model, ctx, dnode, instr, false, diags);
+    }
+
+    // Same checks for local-sequencer slots. Port routing for a local
+    // Dnode depends on whichever context is active, so a slot read only
+    // warns when the port is routed in *no* context.
+    for (&(dnode, slot), instr) in &model.local_slots {
+        for reg in reads(instr) {
+            if !reg_written(dnode, reg) {
+                emit(
+                    diags,
+                    "RL-D003",
+                    Severity::Warning,
+                    Site::Dnode { ctx: None, dnode },
+                    format!(
+                        "local slot {slot} reads {reg} but no configuration ever writes it \
+                         on this dnode"
+                    ),
+                    "the register reads as zero; drop the read or add the producing write",
+                );
+            }
+        }
+        check_port_reads(model, 0, dnode, instr, true, diags);
+    }
+
+    // RL-D002 for host captures: capturing a lane nothing drives streams
+    // constant zeros to the host.
+    if let Some(g) = model.geometry {
+        for (&(ctx, switch, port), capture) in &model.captures {
+            if let Some(lane) = capture.selected() {
+                let producer = g.dnode_index(g.upstream_layer(switch), lane as usize);
+                if !drives_out(model, ctx, producer) {
+                    emit(
+                        diags,
+                        "RL-D002",
+                        Severity::Warning,
+                        Site::Switch {
+                            ctx: Some(ctx),
+                            switch,
+                        },
+                        format!(
+                            "capture port {port} selects lane {lane}, but dnode {producer} \
+                             never drives its output in this context"
+                        ),
+                        "add `> out` to the producing microinstruction or disable the capture",
+                    );
+                }
+            }
+        }
+    }
+
+    // RL-D004: more than one configured bus driver in a context (the
+    // controller is the bus master; concurrent Dnode drivers race it and
+    // each other).
+    let local_bus_drivers: BTreeSet<usize> = model
+        .local_slots
+        .iter()
+        .filter(|((dnode, _), instr)| {
+            instr.wr_bus && model.modes.get(dnode).copied().unwrap_or(false)
+        })
+        .map(|((dnode, _), _)| *dnode)
+        .collect();
+    for ctx in 0..model.ctx_limit {
+        let mut drivers: BTreeSet<usize> = local_bus_drivers.clone();
+        for (&(c, dnode), instr) in &model.dnode_instrs {
+            if c == ctx && instr.wr_bus && !model.modes.get(&dnode).copied().unwrap_or(false) {
+                drivers.insert(dnode);
+            }
+        }
+        if drivers.len() > 1 {
+            emit(
+                diags,
+                "RL-D004",
+                Severity::Warning,
+                Site::Ctx { ctx },
+                format!(
+                    "{} dnodes ({:?}) drive the shared bus every cycle in this context",
+                    drivers.len(),
+                    drivers
+                ),
+                "keep at most one bus driver per context; later drivers win nondeterministically",
+            );
+        }
+    }
+}
+
+/// `RL-D005` (reads an unrouted port) and `RL-D002` (reads a routed port
+/// whose producer never drives) for one instruction.
+fn check_port_reads(
+    model: &ConfigModel,
+    ctx: usize,
+    dnode: usize,
+    instr: &MicroInstr,
+    any_ctx: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(g) = model.geometry else { return };
+    let (layer, lane) = g.dnode_position(dnode);
+    let switch = layer; // switch `s` feeds layer `s`
+    for op in [instr.src_a, instr.src_b] {
+        let Some(input) = input_index(op) else {
+            continue;
+        };
+        let route = if any_ctx {
+            (0..model.ctx_limit)
+                .find_map(|c| model.routes.get(&(c, switch, lane, input)).map(|s| (c, *s)))
+        } else {
+            model
+                .routes
+                .get(&(ctx, switch, lane, input))
+                .map(|s| (ctx, *s))
+        };
+        let site = Site::Dnode {
+            ctx: if any_ctx { None } else { Some(ctx) },
+            dnode,
+        };
+        match route {
+            None => emit(
+                diags,
+                "RL-D005",
+                Severity::Warning,
+                site,
+                format!("reads {op} but that port is never routed (it reads as zero)"),
+                "add a `route` for the port or read a constant instead",
+            ),
+            Some((route_ctx, source)) => {
+                if let Some(producer) = producer_of(g, switch, source) {
+                    if !drives_out(model, route_ctx, producer) {
+                        emit(
+                            diags,
+                            "RL-D002",
+                            Severity::Warning,
+                            site,
+                            format!(
+                                "reads {op} from {source}, but dnode {producer} never drives \
+                                 its output{}",
+                                if any_ctx { "" } else { " in this context" }
+                            ),
+                            "add `> out` to the producing microinstruction or reroute the port",
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Configuration model: a decoded, indexed view of an object's preload
+//! stream, built while running the structural pass (`RL-Sxxx`).
+//!
+//! The model mirrors what [`apply_preload`] on a `RingMachine` would
+//! materialize — per-context Dnode microinstructions, crossbar routes and
+//! capture selectors, plus per-Dnode modes and local-sequencer contents —
+//! but is built without instantiating a machine. Records that fail a
+//! structural check are diagnosed and left out of the model, so downstream
+//! passes only ever see well-formed configuration.
+//!
+//! [`apply_preload`]: systolic_ring_isa::object::Preload
+
+use std::collections::BTreeMap;
+
+use systolic_ring_isa::dnode::{MicroInstr, LOCAL_SLOTS};
+use systolic_ring_isa::object::{Object, Preload};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::RingGeometry;
+
+use crate::diag::{Diagnostic, Severity, Site};
+use crate::LintLimits;
+
+/// Decoded configuration state, keyed the way the fabric is addressed.
+pub(crate) struct ConfigModel {
+    /// Effective geometry: the object's own, else the limits' fallback.
+    pub geometry: Option<RingGeometry>,
+    /// Effective context bound for this object (declared count, else the
+    /// target's context count).
+    pub ctx_limit: usize,
+    /// `(ctx, dnode) -> microinstruction`.
+    pub dnode_instrs: BTreeMap<(usize, usize), MicroInstr>,
+    /// `(ctx, switch, lane, input) -> crossbar source`.
+    pub routes: BTreeMap<(usize, usize, usize, usize), PortSource>,
+    /// `(ctx, switch, port) -> capture selector`.
+    pub captures: BTreeMap<(usize, usize, usize), HostCapture>,
+    /// `dnode -> local mode?`.
+    pub modes: BTreeMap<usize, bool>,
+    /// `(dnode, slot) -> local-sequencer microinstruction`.
+    pub local_slots: BTreeMap<(usize, usize), MicroInstr>,
+    /// `dnode -> sequencer limit`.
+    pub local_limits: BTreeMap<usize, u8>,
+}
+
+pub(crate) fn emit(
+    diags: &mut Vec<Diagnostic>,
+    code: &'static str,
+    severity: Severity,
+    site: Site,
+    message: String,
+    help: &'static str,
+) {
+    diags.push(Diagnostic {
+        code,
+        severity,
+        site,
+        message,
+        help,
+    });
+}
+
+impl ConfigModel {
+    /// Builds the model from `object`, appending structural diagnostics.
+    pub fn build(object: &Object, limits: &LintLimits, diags: &mut Vec<Diagnostic>) -> ConfigModel {
+        let geometry = object.geometry.or(limits.geometry);
+        let declared = object.contexts as usize;
+        let ctx_limit = if declared == 0 {
+            limits.contexts
+        } else {
+            declared
+        };
+        if declared > limits.contexts {
+            emit(
+                diags,
+                "RL-S001",
+                Severity::Error,
+                Site::Object,
+                format!(
+                    "object declares {declared} contexts but the target provides only {}",
+                    limits.contexts
+                ),
+                "lower the `.contexts` declaration or lint against a larger machine",
+            );
+        }
+        if geometry.is_none() && !object.preload.is_empty() {
+            emit(
+                diags,
+                "RL-S008",
+                Severity::Warning,
+                Site::Object,
+                "object declares no ring geometry; fabric bounds cannot be checked".to_owned(),
+                "declare `.ring LxW` in the source or lint with an explicit geometry",
+            );
+        }
+        if object.code.len() > limits.prog_capacity {
+            emit(
+                diags,
+                "RL-S007",
+                Severity::Error,
+                Site::Object,
+                format!(
+                    "controller program has {} words but program memory holds {}",
+                    object.code.len(),
+                    limits.prog_capacity
+                ),
+                "shrink the program or lint against a larger machine",
+            );
+        }
+        if object.data.len() > limits.dmem_capacity {
+            emit(
+                diags,
+                "RL-S007",
+                Severity::Error,
+                Site::Object,
+                format!(
+                    "initial data has {} words but data memory holds {}",
+                    object.data.len(),
+                    limits.dmem_capacity
+                ),
+                "shrink the data section or lint against a larger machine",
+            );
+        }
+
+        let mut model = ConfigModel {
+            geometry,
+            ctx_limit,
+            dnode_instrs: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            captures: BTreeMap::new(),
+            modes: BTreeMap::new(),
+            local_slots: BTreeMap::new(),
+            local_limits: BTreeMap::new(),
+        };
+        for (index, record) in object.preload.iter().enumerate() {
+            model.apply(index, *record, limits, diags);
+        }
+        model
+    }
+
+    fn check_ctx(&self, index: usize, ctx: u16, diags: &mut Vec<Diagnostic>) -> Option<usize> {
+        let ctx = ctx as usize;
+        if ctx >= self.ctx_limit {
+            emit(
+                diags,
+                "RL-S001",
+                Severity::Error,
+                Site::Preload { index },
+                format!(
+                    "context {ctx} out of range (object provides {} contexts)",
+                    self.ctx_limit
+                ),
+                "raise the `.contexts` declaration or retarget the record",
+            );
+            return None;
+        }
+        Some(ctx)
+    }
+
+    fn check_dnode(&self, index: usize, dnode: u16, diags: &mut Vec<Diagnostic>) -> Option<usize> {
+        let dnode = dnode as usize;
+        if let Some(g) = self.geometry {
+            if dnode >= g.dnodes() {
+                emit(
+                    diags,
+                    "RL-S002",
+                    Severity::Error,
+                    Site::Preload { index },
+                    format!(
+                        "dnode {dnode} out of range (ring has {} dnodes)",
+                        g.dnodes()
+                    ),
+                    "retarget the record to a dnode inside the declared geometry",
+                );
+                return None;
+            }
+        }
+        Some(dnode)
+    }
+
+    fn check_switch(
+        &self,
+        index: usize,
+        switch: u16,
+        diags: &mut Vec<Diagnostic>,
+    ) -> Option<usize> {
+        let switch = switch as usize;
+        if let Some(g) = self.geometry {
+            if switch >= g.switches() {
+                emit(
+                    diags,
+                    "RL-S003",
+                    Severity::Error,
+                    Site::Preload { index },
+                    format!(
+                        "switch {switch} out of range (ring has {} switches)",
+                        g.switches()
+                    ),
+                    "retarget the record to a switch inside the declared geometry",
+                );
+                return None;
+            }
+        }
+        Some(switch)
+    }
+
+    /// Bounds-checks the indices a decoded [`PortSource`] carries.
+    fn check_source(&self, index: usize, source: PortSource, diags: &mut Vec<Diagnostic>) -> bool {
+        let Some(g) = self.geometry else { return true };
+        match source {
+            PortSource::PrevOut { lane } if lane as usize >= g.width() => {
+                emit(
+                    diags,
+                    "RL-S004",
+                    Severity::Error,
+                    Site::Preload { index },
+                    format!("source lane {lane} out of range (width {})", g.width()),
+                    "route from a lane inside the declared geometry",
+                );
+                false
+            }
+            PortSource::Pipe { switch, lane, .. } if switch as usize >= g.switches() => {
+                emit(
+                    diags,
+                    "RL-S003",
+                    Severity::Error,
+                    Site::Preload { index },
+                    format!(
+                        "pipe source names switch {switch} (ring has {} switches); lane {lane}",
+                        g.switches()
+                    ),
+                    "tap a feedback pipeline owned by a switch inside the geometry",
+                );
+                false
+            }
+            PortSource::Pipe { lane, .. } if lane as usize >= g.width() => {
+                emit(
+                    diags,
+                    "RL-S004",
+                    Severity::Error,
+                    Site::Preload { index },
+                    format!("pipe source lane {lane} out of range (width {})", g.width()),
+                    "tap a lane inside the declared geometry",
+                );
+                false
+            }
+            PortSource::HostIn { port } if port as usize >= 2 * g.width() => {
+                emit(
+                    diags,
+                    "RL-S004",
+                    Severity::Error,
+                    Site::Preload { index },
+                    format!(
+                        "host-input port {port} out of range (a switch has {} of them)",
+                        2 * g.width()
+                    ),
+                    "feed from a host-input port inside the declared geometry",
+                );
+                false
+            }
+            _ => true,
+        }
+    }
+
+    fn apply(
+        &mut self,
+        index: usize,
+        record: Preload,
+        _limits: &LintLimits,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        match record {
+            Preload::DnodeInstr { ctx, dnode, word } => {
+                let (Some(ctx), Some(dnode)) = (
+                    self.check_ctx(index, ctx, diags),
+                    self.check_dnode(index, dnode, diags),
+                ) else {
+                    return;
+                };
+                let instr = match MicroInstr::decode(word) {
+                    Ok(instr) => instr,
+                    Err(e) => {
+                        emit(
+                            diags,
+                            "RL-S005",
+                            Severity::Error,
+                            Site::Preload { index },
+                            format!("malformed microinstruction word {word:#x}: {e}"),
+                            "re-encode the record with `MicroInstr::encode`",
+                        );
+                        return;
+                    }
+                };
+                if let Some(prev) = self.dnode_instrs.insert((ctx, dnode), instr) {
+                    if prev != instr {
+                        emit(
+                            diags,
+                            "RL-S006",
+                            Severity::Warning,
+                            Site::Preload { index },
+                            format!(
+                                "overwrites the microinstruction of ctx {ctx} dnode {dnode} \
+                                 with a different word"
+                            ),
+                            "drop the earlier record; the last write wins at load time",
+                        );
+                    }
+                }
+            }
+            Preload::SwitchPort {
+                ctx,
+                switch,
+                lane,
+                input,
+                word,
+            } => {
+                let (Some(ctx), Some(switch)) = (
+                    self.check_ctx(index, ctx, diags),
+                    self.check_switch(index, switch, diags),
+                ) else {
+                    return;
+                };
+                let lane = lane as usize;
+                if let Some(g) = self.geometry {
+                    if lane >= g.width() {
+                        emit(
+                            diags,
+                            "RL-S004",
+                            Severity::Error,
+                            Site::Preload { index },
+                            format!("lane {lane} out of range (width {})", g.width()),
+                            "route a lane inside the declared geometry",
+                        );
+                        return;
+                    }
+                }
+                if input >= 4 {
+                    emit(
+                        diags,
+                        "RL-S004",
+                        Severity::Error,
+                        Site::Preload { index },
+                        format!(
+                            "input selector {input} out of range (ports are in1/in2/fifo1/fifo2)"
+                        ),
+                        "use input 0..=3",
+                    );
+                    return;
+                }
+                let source = match PortSource::decode(word) {
+                    Ok(source) => source,
+                    Err(e) => {
+                        emit(
+                            diags,
+                            "RL-S005",
+                            Severity::Error,
+                            Site::Preload { index },
+                            format!("malformed port-source word {word:#x}: {e}"),
+                            "re-encode the record with `PortSource::encode`",
+                        );
+                        return;
+                    }
+                };
+                if !self.check_source(index, source, diags) {
+                    return;
+                }
+                if let Some(prev) = self
+                    .routes
+                    .insert((ctx, switch, lane, input as usize), source)
+                {
+                    if prev != source {
+                        emit(
+                            diags,
+                            "RL-S006",
+                            Severity::Warning,
+                            Site::Preload { index },
+                            format!(
+                                "overwrites the route of ctx {ctx} switch {switch} lane {lane} \
+                                 input {input} with a different source"
+                            ),
+                            "drop the earlier record; the last write wins at load time",
+                        );
+                    }
+                }
+            }
+            Preload::HostCapture {
+                ctx,
+                switch,
+                port,
+                word,
+            } => {
+                let (Some(ctx), Some(switch)) = (
+                    self.check_ctx(index, ctx, diags),
+                    self.check_switch(index, switch, diags),
+                ) else {
+                    return;
+                };
+                let port = port as usize;
+                if let Some(g) = self.geometry {
+                    if port >= g.width() {
+                        emit(
+                            diags,
+                            "RL-S004",
+                            Severity::Error,
+                            Site::Preload { index },
+                            format!(
+                                "capture port {port} out of range (a switch has {} of them)",
+                                g.width()
+                            ),
+                            "capture through a port inside the declared geometry",
+                        );
+                        return;
+                    }
+                }
+                let capture = match HostCapture::decode(word) {
+                    Ok(capture) => capture,
+                    Err(e) => {
+                        emit(
+                            diags,
+                            "RL-S005",
+                            Severity::Error,
+                            Site::Preload { index },
+                            format!("malformed capture-selector word {word:#x}: {e}"),
+                            "re-encode the record with `HostCapture::encode`",
+                        );
+                        return;
+                    }
+                };
+                if let (Some(g), Some(lane)) = (self.geometry, capture.selected()) {
+                    if lane as usize >= g.width() {
+                        emit(
+                            diags,
+                            "RL-S004",
+                            Severity::Error,
+                            Site::Preload { index },
+                            format!("captured lane {lane} out of range (width {})", g.width()),
+                            "capture a lane inside the declared geometry",
+                        );
+                        return;
+                    }
+                }
+                if let Some(prev) = self.captures.insert((ctx, switch, port), capture) {
+                    if prev != capture {
+                        emit(
+                            diags,
+                            "RL-S006",
+                            Severity::Warning,
+                            Site::Preload { index },
+                            format!(
+                                "overwrites the capture selector of ctx {ctx} switch {switch} \
+                                 port {port} with a different lane"
+                            ),
+                            "drop the earlier record; the last write wins at load time",
+                        );
+                    }
+                }
+            }
+            Preload::Mode { dnode, local } => {
+                let Some(dnode) = self.check_dnode(index, dnode, diags) else {
+                    return;
+                };
+                if let Some(prev) = self.modes.insert(dnode, local) {
+                    if prev != local {
+                        emit(
+                            diags,
+                            "RL-S006",
+                            Severity::Warning,
+                            Site::Preload { index },
+                            format!("overwrites the mode of dnode {dnode}"),
+                            "drop the earlier record; the last write wins at load time",
+                        );
+                    }
+                }
+            }
+            Preload::LocalSlot { dnode, slot, word } => {
+                let Some(dnode) = self.check_dnode(index, dnode, diags) else {
+                    return;
+                };
+                if slot as usize >= LOCAL_SLOTS {
+                    // Diagnosed by the sequencer pass (RL-Q001).
+                    return;
+                }
+                let instr = match MicroInstr::decode(word) {
+                    Ok(instr) => instr,
+                    Err(e) => {
+                        emit(
+                            diags,
+                            "RL-S005",
+                            Severity::Error,
+                            Site::Preload { index },
+                            format!("malformed local-slot microinstruction {word:#x}: {e}"),
+                            "re-encode the record with `MicroInstr::encode`",
+                        );
+                        return;
+                    }
+                };
+                if let Some(prev) = self.local_slots.insert((dnode, slot as usize), instr) {
+                    if prev != instr {
+                        emit(
+                            diags,
+                            "RL-S006",
+                            Severity::Warning,
+                            Site::Preload { index },
+                            format!("overwrites local slot {slot} of dnode {dnode}"),
+                            "drop the earlier record; the last write wins at load time",
+                        );
+                    }
+                }
+            }
+            Preload::LocalLimit { dnode, limit } => {
+                let Some(dnode) = self.check_dnode(index, dnode, diags) else {
+                    return;
+                };
+                if !(1..=LOCAL_SLOTS as u8).contains(&limit) {
+                    // Diagnosed by the sequencer pass (RL-Q002).
+                    return;
+                }
+                if let Some(prev) = self.local_limits.insert(dnode, limit) {
+                    if prev != limit {
+                        emit(
+                            diags,
+                            "RL-S006",
+                            Severity::Warning,
+                            Site::Preload { index },
+                            format!("overwrites the sequencer limit of dnode {dnode}"),
+                            "drop the earlier record; the last write wins at load time",
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Sequencer pass (`RL-Qxxx`): local-mode sequencer bounds, the
+//! controller's context-switch graph, and a static walk of the controller
+//! program itself.
+//!
+//! The controller walk builds a conservative control-flow graph from
+//! address 0 — branches add both arms, absolute jumps add their target,
+//! `jr` is resolved against the link addresses of reachable `jal`s — and
+//! then checks every reachable instruction for statically certain faults:
+//! undecodable words, transfers outside the program, and configuration
+//! writes whose immediate operand is out of range for the declared
+//! geometry (all of which raise `SimError`s the moment they execute).
+
+use std::collections::BTreeSet;
+
+use systolic_ring_isa::ctrl::{CReg, CtrlInstr};
+use systolic_ring_isa::dnode::LOCAL_SLOTS;
+use systolic_ring_isa::object::{Object, Preload};
+
+use crate::diag::{Diagnostic, Severity, Site};
+use crate::model::{emit, ConfigModel};
+use crate::LintLimits;
+
+/// What the control-flow walk learned about the controller program.
+pub(crate) struct CodeFacts {
+    /// Decoded instruction per address; `Some` only for addresses that are
+    /// both reachable and decodable.
+    pub reachable: Vec<Option<CtrlInstr>>,
+    /// Contexts a reachable `ctx` instruction can make active (always
+    /// contains 0, the reset context).
+    pub selectable: BTreeSet<usize>,
+}
+
+impl CodeFacts {
+    /// Iterates reachable, decoded instructions with their addresses.
+    pub fn instrs(&self) -> impl Iterator<Item = (usize, CtrlInstr)> + '_ {
+        self.reachable
+            .iter()
+            .enumerate()
+            .filter_map(|(addr, i)| i.map(|i| (addr, i)))
+    }
+}
+
+pub(crate) fn check(
+    object: &Object,
+    model: &ConfigModel,
+    limits: &LintLimits,
+    diags: &mut Vec<Diagnostic>,
+) -> CodeFacts {
+    check_local_sequencers(object, model, diags);
+    let facts = walk_code(object, diags);
+    check_static_operands(&facts, model, limits, diags);
+    check_context_graph(model, &facts, diags);
+    facts
+}
+
+/// `RL-Q001`/`RL-Q002`/`RL-Q003`: local-sequencer slot, limit and replay
+/// consistency (the paper caps stand-alone macro-operators at 8 slots).
+fn check_local_sequencers(object: &Object, model: &ConfigModel, diags: &mut Vec<Diagnostic>) {
+    for (index, record) in object.preload.iter().enumerate() {
+        match *record {
+            Preload::LocalSlot { dnode, slot, .. } if slot as usize >= LOCAL_SLOTS => emit(
+                diags,
+                "RL-Q001",
+                Severity::Error,
+                Site::Preload { index },
+                format!(
+                    "local-sequencer slot {slot} of dnode {dnode} out of range \
+                     (a dnode has {LOCAL_SLOTS})"
+                ),
+                "local programs are limited to 8 microinstructions (S1..S8)",
+            ),
+            Preload::LocalLimit { dnode, limit } if !(1..=LOCAL_SLOTS as u8).contains(&limit) => {
+                emit(
+                    diags,
+                    "RL-Q002",
+                    Severity::Error,
+                    Site::Preload { index },
+                    format!("sequencer limit {limit} for dnode {dnode} outside 1..=8"),
+                    "the LIMIT register counts replayed slots and must stay in 1..=8",
+                )
+            }
+            _ => {}
+        }
+    }
+    for (&dnode, &local) in &model.modes {
+        if !local {
+            continue;
+        }
+        let written: BTreeSet<usize> = model
+            .local_slots
+            .keys()
+            .filter(|(d, _)| *d == dnode)
+            .map(|&(_, slot)| slot)
+            .collect();
+        if written.is_empty() {
+            emit(
+                diags,
+                "RL-Q003",
+                Severity::Warning,
+                Site::Dnode { ctx: None, dnode },
+                "placed in local mode but its sequencer holds no program".to_owned(),
+                "preload `.local` slots before arming local mode, or keep the dnode global",
+            );
+            continue;
+        }
+        let limit = model.local_limits.get(&dnode).copied().unwrap_or(1) as usize;
+        let unwritten: Vec<usize> = (0..limit).filter(|s| !written.contains(s)).collect();
+        if !unwritten.is_empty() {
+            emit(
+                diags,
+                "RL-Q003",
+                Severity::Warning,
+                Site::Dnode { ctx: None, dnode },
+                format!(
+                    "sequencer limit {limit} replays slot(s) {unwritten:?} that were never \
+                     written (they execute as NOPs)"
+                ),
+                "write every slot below the limit or lower the limit",
+            );
+        }
+    }
+}
+
+/// Builds the reachability set and diagnoses `RL-Q005`/`RL-Q006`/`RL-Q007`.
+fn walk_code(object: &Object, diags: &mut Vec<Diagnostic>) -> CodeFacts {
+    let len = object.code.len();
+    let mut reachable: Vec<Option<CtrlInstr>> = vec![None; len];
+    let mut visited = vec![false; len];
+    let mut selectable = BTreeSet::from([0usize]);
+    if len == 0 {
+        return CodeFacts {
+            reachable,
+            selectable,
+        };
+    }
+
+    let mut worklist = vec![0usize];
+    let mut jal_links: BTreeSet<usize> = BTreeSet::new();
+    let mut jr_sites: Vec<usize> = Vec::new();
+    let mut transfer_errors = false;
+
+    let push = |worklist: &mut Vec<usize>,
+                visited: &mut Vec<bool>,
+                diags: &mut Vec<Diagnostic>,
+                from: usize,
+                target: u32,
+                what: &str,
+                errs: &mut bool| {
+        let t = target as usize;
+        if target as usize >= len {
+            emit(
+                diags,
+                "RL-Q007",
+                Severity::Error,
+                Site::Code { addr: from },
+                format!("{what} leaves the {len}-word program (target {target})"),
+                "every reachable path must stay inside the program or end in `halt`",
+            );
+            *errs = true;
+        } else if !visited[t] {
+            visited[t] = true;
+            worklist.push(t);
+        }
+    };
+
+    visited[0] = true;
+    while let Some(addr) = worklist.pop() {
+        let word = object.code[addr];
+        let instr = match CtrlInstr::decode(word) {
+            Ok(instr) => instr,
+            Err(e) => {
+                emit(
+                    diags,
+                    "RL-Q006",
+                    Severity::Error,
+                    Site::Code { addr },
+                    format!("reachable word {word:#010x} is not a valid instruction: {e}"),
+                    "the controller raises BadInstruction when it fetches this word",
+                );
+                transfer_errors = true;
+                continue;
+            }
+        };
+        reachable[addr] = Some(instr);
+        let fall = addr as u32 + 1;
+        match instr {
+            CtrlInstr::Halt => {}
+            CtrlInstr::J { target } => push(
+                &mut worklist,
+                &mut visited,
+                diags,
+                addr,
+                u32::from(target),
+                "jump",
+                &mut transfer_errors,
+            ),
+            CtrlInstr::Jal { target } => {
+                if jal_links.insert(fall as usize) {
+                    // A new link address: reconsider every `jr` seen so far.
+                    for &jr in &jr_sites {
+                        push(
+                            &mut worklist,
+                            &mut visited,
+                            diags,
+                            jr,
+                            fall,
+                            "return",
+                            &mut transfer_errors,
+                        );
+                    }
+                }
+                push(
+                    &mut worklist,
+                    &mut visited,
+                    diags,
+                    addr,
+                    u32::from(target),
+                    "call",
+                    &mut transfer_errors,
+                );
+            }
+            CtrlInstr::Jr { .. } => {
+                jr_sites.push(addr);
+                if jal_links.is_empty() {
+                    emit(
+                        diags,
+                        "RL-Q007",
+                        Severity::Warning,
+                        Site::Code { addr },
+                        "jump-register with no statically known target; reachability past \
+                         this point is approximate"
+                            .to_owned(),
+                        "prefer `jal`/`jr` pairs so the linter can follow returns",
+                    );
+                }
+                for link in jal_links.clone() {
+                    push(
+                        &mut worklist,
+                        &mut visited,
+                        diags,
+                        addr,
+                        link as u32,
+                        "return",
+                        &mut transfer_errors,
+                    );
+                }
+            }
+            CtrlInstr::Beq { offset, .. }
+            | CtrlInstr::Bne { offset, .. }
+            | CtrlInstr::Blt { offset, .. }
+            | CtrlInstr::Bge { offset, .. } => {
+                let target = fall.wrapping_add(offset as i32 as u32);
+                push(
+                    &mut worklist,
+                    &mut visited,
+                    diags,
+                    addr,
+                    target,
+                    "branch",
+                    &mut transfer_errors,
+                );
+                push(
+                    &mut worklist,
+                    &mut visited,
+                    diags,
+                    addr,
+                    fall,
+                    "fall-through",
+                    &mut transfer_errors,
+                );
+            }
+            CtrlInstr::Ctx { ctx } => {
+                selectable.insert(ctx as usize);
+                push(
+                    &mut worklist,
+                    &mut visited,
+                    diags,
+                    addr,
+                    fall,
+                    "fall-through",
+                    &mut transfer_errors,
+                );
+            }
+            _ => push(
+                &mut worklist,
+                &mut visited,
+                diags,
+                addr,
+                fall,
+                "fall-through",
+                &mut transfer_errors,
+            ),
+        }
+    }
+
+    // RL-Q005: dead words — only meaningful when the graph was fully
+    // analyzable (transfer or decode errors already poison reachability).
+    if !transfer_errors {
+        let dead: Vec<usize> = (0..len).filter(|&a| !visited[a]).collect();
+        if let Some(&first) = dead.first() {
+            let n = dead.len();
+            emit(
+                diags,
+                "RL-Q005",
+                Severity::Warning,
+                Site::Code { addr: first },
+                format!("{n} code word(s) are unreachable from the entry point (first at {first})"),
+                "delete the dead words or add a path that reaches them",
+            );
+        }
+    }
+
+    CodeFacts {
+        reachable,
+        selectable,
+    }
+}
+
+/// `RL-Q008`: reachable configuration writes and memory accesses whose
+/// operands are statically certain to fault.
+fn check_static_operands(
+    facts: &CodeFacts,
+    model: &ConfigModel,
+    limits: &LintLimits,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let geometry = model.geometry;
+    let mut bad = |addr: usize, message: String| {
+        emit(
+            diags,
+            "RL-Q008",
+            Severity::Error,
+            Site::Code { addr },
+            message,
+            "this instruction raises BadConfigWrite or DmemOutOfRange when it executes",
+        );
+    };
+    for (addr, instr) in facts.instrs() {
+        match instr {
+            CtrlInstr::Wdn { dnode, .. }
+            | CtrlInstr::Wmode { dnode, .. }
+            | CtrlInstr::Wlim { dnode, .. } => {
+                if let Some(g) = geometry {
+                    if dnode as usize >= g.dnodes() {
+                        bad(
+                            addr,
+                            format!(
+                                "writes dnode {dnode}, but the ring has {} dnodes",
+                                g.dnodes()
+                            ),
+                        );
+                    }
+                }
+                if let CtrlInstr::Wlim { rs, .. } = instr {
+                    if rs == CReg::ZERO {
+                        bad(
+                            addr,
+                            "sets a sequencer limit from r0 (always 0, outside 1..=8)".to_owned(),
+                        );
+                    }
+                }
+            }
+            CtrlInstr::Wloc { packed, .. } => {
+                if let Some(g) = geometry {
+                    let dnode = (packed >> 3) as usize;
+                    if dnode >= g.dnodes() {
+                        bad(
+                            addr,
+                            format!(
+                                "writes local slot of dnode {dnode}, but the ring has {} dnodes",
+                                g.dnodes()
+                            ),
+                        );
+                    }
+                }
+            }
+            CtrlInstr::Wsw { port, .. } => {
+                if let Some(g) = geometry {
+                    let flat_ports = g.switches() * g.width() * 4;
+                    if port as usize >= flat_ports {
+                        bad(
+                            addr,
+                            format!("writes crossbar port {port}, but the ring has {flat_ports}"),
+                        );
+                    }
+                }
+            }
+            CtrlInstr::Who { switch, .. } | CtrlInstr::Hpop { switch, .. } => {
+                if let Some(g) = geometry {
+                    let (s, p) = ((switch >> 8) as usize, (switch & 0xff) as usize);
+                    if s >= g.switches() || p >= g.width() {
+                        bad(
+                            addr,
+                            format!(
+                                "addresses host-output port {p} of switch {s} (ring has {} \
+                                 switches of {} output ports)",
+                                g.switches(),
+                                g.width()
+                            ),
+                        );
+                    }
+                }
+            }
+            CtrlInstr::Hpush { switch, .. } => {
+                if let Some(g) = geometry {
+                    let (s, p) = ((switch >> 8) as usize, (switch & 0xff) as usize);
+                    if s >= g.switches() || p >= 2 * g.width() {
+                        bad(
+                            addr,
+                            format!(
+                                "addresses host-input port {p} of switch {s} (ring has {} \
+                                 switches of {} input ports)",
+                                g.switches(),
+                                2 * g.width()
+                            ),
+                        );
+                    }
+                }
+            }
+            CtrlInstr::Ctx { ctx } | CtrlInstr::Wctx { ctx } if ctx as usize >= model.ctx_limit => {
+                bad(
+                    addr,
+                    format!(
+                        "selects context {ctx}, but the object provides {} contexts",
+                        model.ctx_limit
+                    ),
+                );
+            }
+            CtrlInstr::Lw { ra, imm, .. } | CtrlInstr::Sw { ra, imm, .. } if ra == CReg::ZERO => {
+                let abs = imm as i32 as u32;
+                if abs as usize >= limits.dmem_capacity {
+                    bad(
+                        addr,
+                        format!(
+                            "accesses data word {abs} ({imm} from r0), but data memory \
+                             holds {} words",
+                            limits.dmem_capacity
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `RL-Q004`: contexts carrying configuration that no reachable `ctx`
+/// instruction can ever make active.
+fn check_context_graph(model: &ConfigModel, facts: &CodeFacts, diags: &mut Vec<Diagnostic>) {
+    let mut configured: BTreeSet<usize> = BTreeSet::new();
+    configured.extend(model.dnode_instrs.keys().map(|&(ctx, _)| ctx));
+    configured.extend(model.routes.keys().map(|&(ctx, ..)| ctx));
+    configured.extend(model.captures.keys().map(|&(ctx, ..)| ctx));
+    for ctx in configured {
+        if !facts.selectable.contains(&ctx) {
+            emit(
+                diags,
+                "RL-Q004",
+                Severity::Warning,
+                Site::Ctx { ctx },
+                "carries configuration, but no reachable `ctx` instruction ever selects it"
+                    .to_owned(),
+                "select the context from the controller program or drop its configuration",
+            );
+        }
+    }
+}

@@ -59,5 +59,6 @@ pub use systolic_ring_core as core;
 pub use systolic_ring_harness as harness;
 pub use systolic_ring_isa as isa;
 pub use systolic_ring_kernels as kernels;
+pub use systolic_ring_lint as lint;
 pub use systolic_ring_model as model;
 pub use systolic_ring_soc as soc;

@@ -81,18 +81,11 @@ fn disassemble_reassemble_fixpoint() {
     ";
     let object = assemble(source).expect("assembles");
     let text = disassemble(&object);
-    // Reassemble just the code section from the disassembly.
-    let mut body = String::from(".code\n");
-    for line in text.lines() {
-        if let Some((_, instr)) = line.split_once(':') {
-            if !line.starts_with(';') {
-                body.push_str(instr.trim());
-                body.push('\n');
-            }
-        }
-    }
-    let object2 = assemble(&body).expect("reassembles");
-    assert_eq!(object.code, object2.code);
+    // The disassembly is itself valid source that reproduces the object
+    // byte for byte.
+    let object2 = assemble(&text).expect("reassembles");
+    assert_eq!(object, object2);
+    assert_eq!(object.to_bytes(), object2.to_bytes());
 }
 
 /// The APEX prototype and a directly configured machine produce identical

@@ -1,0 +1,142 @@
+//! Cross-checks between `ringlint`'s static claims and the dynamic
+//! engine, over every shipped program and every generated kernel object.
+//!
+//! The linter's contract is one-sided and these tests hold it to both
+//! halves that can be checked dynamically:
+//!
+//! * a **lint-clean** object must load and run without the
+//!   statically-preventable `SimError` classes (`PcOutOfRange`,
+//!   `BadInstruction`, `BadConfigWrite`), and
+//! * a **`Fusible { settle_cycles }`** verdict must be honored by the
+//!   dynamic fused engine: running past the proven settle point on a
+//!   paper-faithful machine must record `fused_entries > 0`.
+
+use systolic_ring::asm::assemble;
+use systolic_ring::core::{MachineParams, RingMachine, SimError};
+use systolic_ring::isa::object::Object;
+use systolic_ring::isa::{RingGeometry, Word16};
+use systolic_ring::kernels::objects;
+use systolic_ring::lint::{lint_object, Fusibility, Severity};
+
+/// Every object the repository ships: assembled `programs/*.sr` plus the
+/// generated kernel objects.
+fn corpus() -> Vec<(String, Object)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+    let mut corpus = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("programs/ exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "sr") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let source = std::fs::read_to_string(&path).expect("readable");
+            let object = assemble(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+            corpus.push((name, object));
+        }
+    }
+    for (name, object) in objects::all() {
+        corpus.push((name.to_owned(), object));
+    }
+    assert!(corpus.len() >= 8, "expected shipped programs and kernels");
+    corpus
+}
+
+/// Generic host stimulus on the ports every corpus object reads from.
+fn stimulate(m: &mut RingMachine) {
+    m.attach_input(0, 0, (1..=64).map(Word16::from_i16))
+        .expect("stimulus port 0");
+    m.attach_input(0, 1, (1..=64).map(Word16::from_i16))
+        .expect("stimulus port 1");
+}
+
+/// The positive sweep: everything the repository ships lints clean —
+/// no errors, no warnings (advisory `Info` findings are permitted).
+#[test]
+fn shipped_corpus_lints_without_warnings() {
+    for (name, object) in corpus() {
+        let report = lint_object(&object);
+        let offending: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .map(|d| d.to_string())
+            .collect();
+        assert!(offending.is_empty(), "{name}: {offending:?}");
+        assert!(report.is_clean(), "{name}");
+    }
+}
+
+/// Lint-clean objects never raise the statically-preventable `SimError`
+/// classes, whatever else happens at run time.
+#[test]
+fn clean_objects_never_raise_preventable_faults() {
+    for (name, object) in corpus() {
+        assert!(lint_object(&object).is_clean(), "{name}");
+        let geometry = object.geometry.unwrap_or(RingGeometry::RING_8);
+        let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+        m.load(&object).unwrap_or_else(|e| panic!("{name}: {e}"));
+        stimulate(&mut m);
+        if let Err(e) = m.run_until_halt(20_000) {
+            assert!(
+                !matches!(
+                    e,
+                    SimError::PcOutOfRange { .. }
+                        | SimError::BadInstruction { .. }
+                        | SimError::BadConfigWrite { .. }
+                ),
+                "{name}: lint-clean object raised a preventable fault: {e}"
+            );
+        }
+    }
+}
+
+/// A `Fusible { settle_cycles }` verdict is a guarantee: past the proven
+/// settle point, a paper-faithful machine (fused engine enabled) must
+/// enter at least one fused burst.
+#[test]
+fn fusible_verdict_is_honored_by_the_fused_engine() {
+    let mut proven = 0;
+    for (name, object) in corpus() {
+        let report = lint_object(&object);
+        let Fusibility::Fusible { settle_cycles } = report.fusibility else {
+            continue;
+        };
+        proven += 1;
+        let geometry = object.geometry.unwrap_or(RingGeometry::RING_8);
+        let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+        m.load(&object).unwrap_or_else(|e| panic!("{name}: {e}"));
+        stimulate(&mut m);
+        // Run well past the proven settle point: enough for the fused
+        // engine's stability window plus a minimum burst.
+        m.run(settle_cycles + 256)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            m.stats().fused_entries > 0,
+            "{name}: predicted fusible by cycle {settle_cycles}, but the fused engine \
+             never engaged (stats: {:?})",
+            m.stats()
+        );
+    }
+    assert!(proven >= 5, "expected most of the corpus to prove fusible");
+}
+
+/// The prediction agrees with the engine on the negative side too, in the
+/// only way the one-sided contract allows: an object the linter proves
+/// fusible must never be one the engine refuses outright (fused runs and
+/// decoded runs stay outcome-identical on the corpus).
+#[test]
+fn fused_and_decoded_runs_agree_on_the_corpus() {
+    for (name, object) in corpus() {
+        let geometry = object.geometry.unwrap_or(RingGeometry::RING_8);
+        let run = |fused: bool| {
+            let params = MachineParams::PAPER.with_fused(fused);
+            let mut m = RingMachine::new(geometry, params);
+            m.load(&object).unwrap_or_else(|e| panic!("{name}: {e}"));
+            stimulate(&mut m);
+            m.run(2_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+            (m.cycle(), m.stats().without_cache_counters())
+        };
+        let (fc, fs) = run(true);
+        let (dc, ds) = run(false);
+        assert_eq!(fc, dc, "{name}: cycle counts diverged");
+        assert_eq!(fs, ds, "{name}: architectural stats diverged");
+    }
+}
