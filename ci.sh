@@ -25,12 +25,16 @@ echo "==> ringlint gate (shipped programs + kernel objects, zero warnings)"
 cargo build --release -q -p systolic-ring-asm -p systolic-ring-lint
 lintdir="$(mktemp -d)"
 trap 'rm -rf "$lintdir"' EXIT
-for src in programs/*.sr; do
-    obj="$lintdir/$(basename "$src" .sr).obj"
+for src in programs/*.sr programs/*.sr.md; do
+    obj="$lintdir/$(basename "$src" | sed 's/\.sr\(\.md\)\?$//').obj"
     ./target/release/srasm "$src" -o "$obj"
 done
 ./target/release/ringlint --deny-warnings "$lintdir"/*.obj
 cargo test -q --test lint_crosscheck shipped_corpus_lints_without_warnings
+
+echo "==> conformance gate (programs/ on slow+decoded+fused, cross-tier bit-equality)"
+cargo run --release -q -p systolic-ring-harness --bin srconform -- \
+    --dir programs --json BENCH_conformance.json
 
 echo "==> lint self-test smoke (negative corpus must keep tripping)"
 cargo test -q -p systolic-ring-lint --test negative_corpus

@@ -2,21 +2,30 @@
 //!
 //! ```sh
 //! srasm program.sr [-o program.obj] [--lint]
+//! srasm program.sr.md --check
 //! ```
 //!
 //! Assembles a two-level source file (ring + controller sections) into the
 //! binary object format the machine loader and the APEX PRG memory use.
-//! Errors print with their source line. With `--lint`, the assembled object
-//! is additionally run through `ringlint`'s static checks; warnings and
-//! errors print after assembly and any finding fails the build.
+//! Literate `.sr.md` sources are accepted too: fenced ```` ```sr ````
+//! blocks are extracted and assembled, prose is ignored. Errors print as
+//! `srasm: <file>:line <N>: ...` with the line pointing into the original
+//! source — for literate files, into the markdown.
+//!
+//! With `--lint`, the assembled object is additionally run through
+//! `ringlint`'s static checks; warnings and errors print after assembly
+//! and any finding fails the build. With `--check`, no object is written:
+//! the source is assembled, its `;!` expectation directives are parsed
+//! and the object is linted — the static half of the conformance gate
+//! (`srconform` is the dynamic half).
 
 use std::process::ExitCode;
 
-use systolic_ring_asm::assemble;
+use systolic_ring_asm::assemble_source;
 use systolic_ring_lint::{lint_object, Severity};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: srasm <source.sr> [-o <out.obj>] [--lint]");
+    eprintln!("usage: srasm <source.sr|source.sr.md> [-o <out.obj>] [--lint] [--check]");
     ExitCode::from(2)
 }
 
@@ -25,6 +34,7 @@ fn main() -> ExitCode {
     let mut source_path = None;
     let mut out_path = None;
     let mut lint = false;
+    let mut check = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -33,6 +43,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--lint" => lint = true,
+            "--check" => check = true,
             "-h" | "--help" => return usage(),
             path if source_path.is_none() => source_path = Some(path.to_owned()),
             _ => return usage(),
@@ -49,14 +60,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let object = match assemble(&source) {
-        Ok(object) => object,
+    let (object, expectations) = match assemble_source(&source_path, &source) {
+        Ok(parts) => parts,
         Err(e) => {
             eprintln!("srasm: {source_path}:{e}");
             return ExitCode::FAILURE;
         }
     };
-    if lint {
+    if lint || check {
         let report = lint_object(&object);
         for diag in &report.diagnostics {
             eprintln!("srasm: {source_path}: {diag}");
@@ -71,9 +82,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if check {
+        let tiers: Vec<&str> = expectations
+            .effective_tiers()
+            .iter()
+            .map(|t| t.name())
+            .collect();
+        println!(
+            "srasm: {}: check ok ({} code words, {} preloads, {} inputs, {} sink checks, \
+             cycles <= {}, tiers {})",
+            source_path,
+            object.code.len(),
+            object.preload.len(),
+            expectations.inputs.len(),
+            expectations.sinks.len(),
+            expectations
+                .cycle_budget
+                .map_or_else(|| "unbounded".to_owned(), |n| n.to_string()),
+            tiers.join(",")
+        );
+        return ExitCode::SUCCESS;
+    }
     let bytes = object.to_bytes();
     let out_path = out_path.unwrap_or_else(|| {
-        let stem = source_path.trim_end_matches(".sr");
+        let stem = source_path
+            .trim_end_matches(".sr.md")
+            .trim_end_matches(".sr");
         format!("{stem}.obj")
     });
     if let Err(e) = std::fs::write(&out_path, &bytes) {

@@ -38,6 +38,15 @@ pub enum AsmErrorKind {
     /// The program used a Dnode/switch/context outside the declared
     /// geometry.
     Geometry(String),
+    /// A `;!` expectation directive (or literate fencing) is malformed.
+    /// Carries a stable machine-readable code (`SR-Mxxx`, see
+    /// [`literate`](crate::literate)).
+    Directive {
+        /// Stable error code, e.g. `SR-M003`.
+        code: &'static str,
+        /// Human-readable description.
+        msg: String,
+    },
 }
 
 impl fmt::Display for AsmError {
@@ -55,6 +64,9 @@ impl fmt::Display for AsmError {
             AsmErrorKind::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             AsmErrorKind::Misplaced(msg) => write!(f, "misplaced directive: {msg}"),
             AsmErrorKind::Geometry(msg) => write!(f, "geometry error: {msg}"),
+            AsmErrorKind::Directive { code, msg } => {
+                write!(f, "directive error [{code}]: {msg}")
+            }
         }
     }
 }
@@ -70,6 +82,17 @@ impl AsmError {
     /// Shorthand for a syntax error.
     pub fn syntax(line: usize, msg: impl Into<String>) -> Self {
         AsmError::new(line, AsmErrorKind::Syntax(msg.into()))
+    }
+
+    /// Shorthand for an expectation-directive error with its stable code.
+    pub fn directive(line: usize, code: &'static str, msg: impl Into<String>) -> Self {
+        AsmError::new(
+            line,
+            AsmErrorKind::Directive {
+                code,
+                msg: msg.into(),
+            },
+        )
     }
 }
 

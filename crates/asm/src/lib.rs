@@ -8,7 +8,11 @@
 //!
 //! * [`assemble`] — source text to a loadable
 //!   [`systolic_ring_isa::object::Object`],
-//! * [`disassemble`] / [`disassemble_code`] — object code back to text.
+//! * [`disassemble`] / [`disassemble_code`] — object code back to text,
+//! * [`literate`] — the literate `.sr.md` front end: fenced-block
+//!   extraction plus `;!` expectation directives parsed into
+//!   [`systolic_ring_isa::expect::Expectations`]
+//!   (entry point: [`assemble_source`]).
 //!
 //! See [`assembler`](mod@crate::assembler) for the language reference.
 //!
@@ -35,7 +39,9 @@ pub mod assembler;
 mod disasm;
 mod error;
 mod lexer;
+pub mod literate;
 
 pub use assembler::assemble;
 pub use disasm::{disassemble, disassemble_code};
 pub use error::{AsmError, AsmErrorKind};
+pub use literate::{assemble_source, extract_assembly, is_literate_name, parse_expectations};

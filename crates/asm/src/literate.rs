@@ -1,0 +1,468 @@
+//! Literate program sources and embedded `;!` expectation directives.
+//!
+//! The corpus under `programs/` comes in two shapes:
+//!
+//! * plain `.sr` assembly, and
+//! * literate `.sr.md` markdown, where prose documents the kernel and
+//!   fenced <code>```sr</code> blocks hold the assembly. Extraction
+//!   concatenates the fenced blocks and ignores everything else, while
+//!   preserving source line numbers: prose lines become blank lines, so
+//!   every [`AsmError`] points into the original markdown file.
+//!
+//! Both shapes may embed **expectation directives** — comment lines
+//! starting with `;!` — that turn the program into a self-checking
+//! conformance test (see [`systolic_ring_isa::expect`]):
+//!
+//! ```text
+//! ;! input 0.0 = 1..20           ; attach a host input stream
+//! ;! input 0.1 = 7, -3, 10*4     ; literals, ranges, value*count repeats
+//! ;! expect 1.0 contains 3, 4    ; ordered-subsequence sink check
+//! ;! expect 2.1 = 0, 1, 2        ; exact sink check
+//! ;! cycles <= 600               ; simulated-cycle budget
+//! ;! tiers slow, fused           ; restrict the tier sweep (default: all)
+//! ;! note free-form remark       ; ignored, reserved for prose
+//! ```
+//!
+//! Directives are ordinary comments to the assembler (the lexer drops
+//! everything from `;`), so annotated sources assemble unchanged. In a
+//! literate file, directives only count *inside* fenced `sr` blocks —
+//! a `;!` line in prose is prose.
+//!
+//! Malformed directives fail with stable machine-readable codes
+//! (`SR-M001`..`SR-M008`, the `Directive` variant of
+//! [`AsmErrorKind`](crate::AsmErrorKind)) so
+//! tooling and tests can pin them.
+
+use systolic_ring_isa::expect::{Expectations, InputVector, SinkExpectation, SinkMatch, Tier};
+use systolic_ring_isa::object::Object;
+
+use crate::error::AsmError;
+
+/// Stable code: unknown `;!` directive keyword.
+pub const E_UNKNOWN_DIRECTIVE: &str = "SR-M001";
+/// Stable code: malformed `switch.port` reference.
+pub const E_BAD_PORT: &str = "SR-M002";
+/// Stable code: malformed value list (literal, `a..b` range or
+/// `value*count` repeat).
+pub const E_BAD_VALUES: &str = "SR-M003";
+/// Stable code: malformed `cycles <= N` bound.
+pub const E_BAD_CYCLES: &str = "SR-M004";
+/// Stable code: malformed or unknown tier list.
+pub const E_BAD_TIER: &str = "SR-M005";
+/// Stable code: duplicate directive (second `input` for the same port,
+/// second `cycles`, second `tiers`).
+pub const E_DUPLICATE: &str = "SR-M006";
+/// Stable code: a fenced code block is never closed.
+pub const E_UNCLOSED_FENCE: &str = "SR-M007";
+/// Stable code: a literate source contains no fenced `sr` block.
+pub const E_NO_ASSEMBLY: &str = "SR-M008";
+
+/// `true` when `name` (a path or file name) denotes a literate
+/// markdown source rather than plain assembly.
+pub fn is_literate_name(name: &str) -> bool {
+    name.ends_with(".sr.md")
+}
+
+/// Extracts the assembly from a literate markdown source.
+///
+/// Fenced <code>```sr</code> blocks are kept verbatim; every other line
+/// (prose, fence markers, non-`sr` code blocks) is replaced by a blank
+/// line, so the returned text has exactly as many lines as the input and
+/// downstream [`AsmError`] line numbers point into the original file.
+/// CRLF line endings are accepted.
+///
+/// Fails with [`E_UNCLOSED_FENCE`] when a fence is still open at end of
+/// input and [`E_NO_ASSEMBLY`] when no `sr` block exists at all.
+pub fn extract_assembly(markdown: &str) -> Result<String, AsmError> {
+    #[derive(PartialEq)]
+    enum Fence {
+        None,
+        Sr,
+        Other,
+    }
+    let mut state = Fence::None;
+    let mut fence_line = 0;
+    let mut saw_sr_block = false;
+    let mut out = String::with_capacity(markdown.len());
+    let mut lines = 0usize;
+    for (idx, raw) in markdown.lines().enumerate() {
+        lines += 1;
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            state = match state {
+                Fence::None => {
+                    fence_line = idx + 1;
+                    let info = trimmed.trim_start_matches('`').trim();
+                    if info == "sr" {
+                        saw_sr_block = true;
+                        Fence::Sr
+                    } else {
+                        Fence::Other
+                    }
+                }
+                Fence::Sr | Fence::Other => Fence::None,
+            };
+            out.push('\n');
+            continue;
+        }
+        if state == Fence::Sr {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    if state != Fence::None {
+        return Err(AsmError::directive(
+            fence_line,
+            E_UNCLOSED_FENCE,
+            "fenced code block is never closed",
+        ));
+    }
+    if !saw_sr_block {
+        return Err(AsmError::directive(
+            lines.max(1),
+            E_NO_ASSEMBLY,
+            "literate source contains no ```sr code block",
+        ));
+    }
+    Ok(out)
+}
+
+/// Parses every `;!` directive in an assembly text into an
+/// [`Expectations`] block.
+///
+/// For literate sources, call this on the output of
+/// [`extract_assembly`] (directives in prose have already been blanked
+/// out there); for plain `.sr` sources, call it on the raw text.
+pub fn parse_expectations(assembly: &str) -> Result<Expectations, AsmError> {
+    let mut exp = Expectations::default();
+    for (idx, raw) in assembly.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.strip_suffix('\r').unwrap_or(raw).trim();
+        let Some(rest) = text.strip_prefix(";!") else {
+            continue;
+        };
+        parse_directive(line, rest.trim(), &mut exp)?;
+    }
+    Ok(exp)
+}
+
+/// Parses one directive body (the text after `;!`).
+fn parse_directive(line: usize, body: &str, exp: &mut Expectations) -> Result<(), AsmError> {
+    let (keyword, rest) = match body.split_once(char::is_whitespace) {
+        Some((k, r)) => (k, r.trim()),
+        None => (body, ""),
+    };
+    match keyword {
+        "input" => parse_input(line, rest, exp),
+        "expect" => parse_expect(line, rest, exp),
+        "cycles" => parse_cycles(line, rest, exp),
+        "tiers" => parse_tiers(line, rest, exp),
+        // Reserved for free-form remarks that ride along with the
+        // machine-readable directives.
+        "note" => Ok(()),
+        other => Err(AsmError::directive(
+            line,
+            E_UNKNOWN_DIRECTIVE,
+            format!("unknown directive `{other}` (expected input, expect, cycles, tiers or note)"),
+        )),
+    }
+}
+
+/// `;! input S.P = values`
+fn parse_input(line: usize, rest: &str, exp: &mut Expectations) -> Result<(), AsmError> {
+    let Some((port_text, values_text)) = rest.split_once('=') else {
+        return Err(AsmError::directive(
+            line,
+            E_BAD_VALUES,
+            "input directive needs `= v0, v1, ...`",
+        ));
+    };
+    let (switch, port) = parse_port(line, port_text.trim())?;
+    if exp
+        .inputs
+        .iter()
+        .any(|i| i.switch == switch && i.port == port)
+    {
+        return Err(AsmError::directive(
+            line,
+            E_DUPLICATE,
+            format!("duplicate input directive for port {switch}.{port}"),
+        ));
+    }
+    let words = parse_values(line, values_text)?;
+    exp.inputs.push(InputVector {
+        switch,
+        port,
+        words,
+    });
+    Ok(())
+}
+
+/// `;! expect S.P = values` (exact) or `;! expect S.P contains values`.
+fn parse_expect(line: usize, rest: &str, exp: &mut Expectations) -> Result<(), AsmError> {
+    let (port_text, tail) = match rest.split_once(char::is_whitespace) {
+        Some((p, t)) => (p, t.trim()),
+        None => (rest, ""),
+    };
+    // Tolerate `1.0= 5` (no space before the `=`).
+    let (port_text, tail) = match port_text.split_once('=') {
+        Some((p, glued)) => (p, format!("= {glued} {tail}")),
+        None => (port_text, tail.to_owned()),
+    };
+    let (switch, port) = parse_port(line, port_text.trim())?;
+    let (matcher, values_text) = if let Some(values) = tail.trim().strip_prefix('=') {
+        (SinkMatch::Exact, values.to_owned())
+    } else if let Some(values) = tail.trim().strip_prefix("contains") {
+        (SinkMatch::Contains, values.to_owned())
+    } else {
+        return Err(AsmError::directive(
+            line,
+            E_BAD_VALUES,
+            "expect directive needs `= v0, ...` or `contains v0, ...`",
+        ));
+    };
+    let values = parse_values(line, &values_text)?;
+    exp.sinks.push(SinkExpectation {
+        switch,
+        port,
+        matcher,
+        values,
+    });
+    Ok(())
+}
+
+/// `;! cycles <= N`
+fn parse_cycles(line: usize, rest: &str, exp: &mut Expectations) -> Result<(), AsmError> {
+    if exp.cycle_budget.is_some() {
+        return Err(AsmError::directive(
+            line,
+            E_DUPLICATE,
+            "duplicate cycles directive",
+        ));
+    }
+    let bound = rest
+        .strip_prefix("<=")
+        .map(str::trim)
+        .and_then(|n| n.parse::<u64>().ok())
+        .filter(|&n| n > 0);
+    match bound {
+        Some(n) => {
+            exp.cycle_budget = Some(n);
+            Ok(())
+        }
+        None => Err(AsmError::directive(
+            line,
+            E_BAD_CYCLES,
+            format!("cycles directive needs `<= N` with N > 0, got `{rest}`"),
+        )),
+    }
+}
+
+/// `;! tiers slow, decoded, fused`
+fn parse_tiers(line: usize, rest: &str, exp: &mut Expectations) -> Result<(), AsmError> {
+    if !exp.tiers.is_empty() {
+        return Err(AsmError::directive(
+            line,
+            E_DUPLICATE,
+            "duplicate tiers directive",
+        ));
+    }
+    let mut tiers = Vec::new();
+    for name in rest.split(',').map(str::trim) {
+        let Some(tier) = Tier::parse(name) else {
+            return Err(AsmError::directive(
+                line,
+                E_BAD_TIER,
+                format!("unknown tier `{name}` (expected slow, decoded or fused)"),
+            ));
+        };
+        if !tiers.contains(&tier) {
+            tiers.push(tier);
+        }
+    }
+    if tiers.is_empty() {
+        return Err(AsmError::directive(line, E_BAD_TIER, "empty tier list"));
+    }
+    exp.tiers = tiers;
+    Ok(())
+}
+
+/// Parses a `switch.port` reference (`1.0`) or bare switch (`1`, port 0).
+fn parse_port(line: usize, text: &str) -> Result<(usize, usize), AsmError> {
+    let bad = || {
+        AsmError::directive(
+            line,
+            E_BAD_PORT,
+            format!("malformed port reference `{text}` (expected `switch.port`)"),
+        )
+    };
+    match text.split_once('.') {
+        Some((s, p)) => {
+            let switch = s.parse::<usize>().map_err(|_| bad())?;
+            let port = p.parse::<usize>().map_err(|_| bad())?;
+            Ok((switch, port))
+        }
+        None => {
+            let switch = text.parse::<usize>().map_err(|_| bad())?;
+            Ok((switch, 0))
+        }
+    }
+}
+
+/// Parses a comma-separated value list. Each item is a signed literal
+/// (`-3`), an inclusive ascending range (`1..20`) or a repeat
+/// (`value*count`, e.g. `10*80`).
+fn parse_values(line: usize, text: &str) -> Result<Vec<i16>, AsmError> {
+    let bad = |item: &str| {
+        AsmError::directive(
+            line,
+            E_BAD_VALUES,
+            format!("malformed value `{item}` (expected INT, INT..INT or VALUE*COUNT)"),
+        )
+    };
+    let mut values = Vec::new();
+    for item in text.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            return Err(bad(item));
+        }
+        if let Some((lo, hi)) = item.split_once("..") {
+            let lo: i16 = lo.trim().parse().map_err(|_| bad(item))?;
+            let hi: i16 = hi.trim().parse().map_err(|_| bad(item))?;
+            if lo > hi {
+                return Err(bad(item));
+            }
+            values.extend(lo..=hi);
+        } else if let Some((value, count)) = item.split_once('*') {
+            let value: i16 = value.trim().parse().map_err(|_| bad(item))?;
+            let count: usize = count.trim().parse().map_err(|_| bad(item))?;
+            if count == 0 || count > 65_536 {
+                return Err(bad(item));
+            }
+            values.extend(std::iter::repeat_n(value, count));
+        } else {
+            values.push(item.parse::<i16>().map_err(|_| bad(item))?);
+        }
+    }
+    Ok(values)
+}
+
+/// Assembles a source of either shape — literate `.sr.md` markdown or
+/// plain `.sr` assembly, selected by `name` — and returns the object
+/// together with its parsed [`Expectations`].
+pub fn assemble_source(name: &str, text: &str) -> Result<(Object, Expectations), AsmError> {
+    let extracted;
+    let assembly = if is_literate_name(name) {
+        extracted = extract_assembly(text)?;
+        extracted.as_str()
+    } else {
+        text
+    };
+    let expectations = parse_expectations(assembly)?;
+    let object = crate::assemble(assembly)?;
+    Ok((object, expectations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::AsmErrorKind;
+
+    fn directive_code(err: AsmError) -> &'static str {
+        match err.kind {
+            AsmErrorKind::Directive { code, .. } => code,
+            other => panic!("expected directive error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extraction_preserves_line_numbers() {
+        let md = "# Title\n\n```sr\n.ring 4x2\n```\nprose\n```sr\nhalt\n```\n";
+        let asm = extract_assembly(md).unwrap();
+        let lines: Vec<&str> = asm.lines().collect();
+        assert_eq!(lines.len(), 9);
+        assert_eq!(lines[3], ".ring 4x2", "line 4 of md is line 4 of asm");
+        assert_eq!(lines[7], "halt");
+        assert!(lines[0].is_empty() && lines[5].is_empty());
+    }
+
+    #[test]
+    fn non_sr_fences_are_prose() {
+        let md = "```text\nnot assembly\n```\n```sr\n.ring 4x2\n```\n";
+        let asm = extract_assembly(md).unwrap();
+        assert!(!asm.contains("not assembly"));
+        assert!(asm.contains(".ring 4x2"));
+    }
+
+    #[test]
+    fn unclosed_fence_reports_the_fence_line() {
+        let err = extract_assembly("para\n```sr\nhalt\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(directive_code(err), E_UNCLOSED_FENCE);
+    }
+
+    #[test]
+    fn literate_source_without_assembly_is_rejected() {
+        let err = extract_assembly("just prose\n").unwrap_err();
+        assert_eq!(directive_code(err), E_NO_ASSEMBLY);
+    }
+
+    #[test]
+    fn value_lists_support_ranges_and_repeats() {
+        let exp = parse_expectations(";! input 0.0 = 1..4, -2, 7*3\n").unwrap();
+        assert_eq!(exp.inputs[0].words, vec![1, 2, 3, 4, -2, 7, 7, 7]);
+    }
+
+    #[test]
+    fn full_directive_block_parses() {
+        let exp = parse_expectations(
+            ";! input 0.0 = 1, 2\n\
+             ;! input 0.1 = 3\n\
+             ;! expect 1.0 contains 4, 5\n\
+             ;! expect 2.1 = 6\n\
+             ;! cycles <= 100\n\
+             ;! tiers slow, fused\n\
+             ;! note anything at all\n",
+        )
+        .unwrap();
+        assert_eq!(exp.inputs.len(), 2);
+        assert_eq!(exp.sinks.len(), 2);
+        assert_eq!(exp.sinks[0].matcher, SinkMatch::Contains);
+        assert_eq!(exp.sinks[1].matcher, SinkMatch::Exact);
+        assert_eq!(exp.sinks[1].switch, 2);
+        assert_eq!(exp.sinks[1].port, 1);
+        assert_eq!(exp.cycle_budget, Some(100));
+        assert_eq!(exp.tiers, vec![Tier::Slow, Tier::Fused]);
+    }
+
+    #[test]
+    fn malformed_directives_carry_stable_codes() {
+        let cases: [(&str, &str); 8] = [
+            (";! frobnicate 1", E_UNKNOWN_DIRECTIVE),
+            (";! input zero.0 = 1", E_BAD_PORT),
+            (";! input 0.0 = 1, banana", E_BAD_VALUES),
+            (";! expect 1.0 is 5", E_BAD_VALUES),
+            (";! cycles >= 100", E_BAD_CYCLES),
+            (";! cycles <= 0", E_BAD_CYCLES),
+            (";! tiers warp", E_BAD_TIER),
+            (";! input 0.0 = 1\n;! input 0.0 = 2", E_DUPLICATE),
+        ];
+        for (source, code) in cases {
+            let err = parse_expectations(source).expect_err(&format!("`{source}` should fail"));
+            assert_eq!(directive_code(err), code, "source: {source}");
+        }
+    }
+
+    #[test]
+    fn directive_errors_report_the_source_line() {
+        let err = parse_expectations("halt\n\n;! cycles banana\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn plain_comments_are_not_directives() {
+        let exp = parse_expectations("; plain comment\n;; also plain\nhalt\n").unwrap();
+        assert!(exp.is_empty());
+    }
+}

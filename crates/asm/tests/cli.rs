@@ -1,0 +1,112 @@
+//! End-to-end tests of the `srasm` binary: literate sources, the
+//! `--check` mode, and the exact shape of file + line error reporting
+//! for directive parse failures.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn srasm(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_srasm"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("srasm runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srasm-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+const GOOD_LITERATE: &str = "\
+# Adder
+
+```sr
+.ring 4x2
+route 0,0.in1 = host.0
+node 0,0: add in1, #1 > out
+capture 1 = lane 0
+.code
+wait 8
+halt
+;! input 0.0 = 1, 2
+;! expect 1.0 contains 2, 3
+;! cycles <= 32
+```
+";
+
+#[test]
+fn literate_source_assembles_to_an_object() {
+    let dir = scratch("ok");
+    std::fs::write(dir.join("adder.sr.md"), GOOD_LITERATE).expect("write");
+    let out = srasm(&["adder.sr.md"], &dir);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The default object path strips the full `.sr.md` suffix.
+    assert!(dir.join("adder.obj").exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("adder.sr.md -> adder.obj"), "{stdout}");
+}
+
+#[test]
+fn check_mode_reports_expectations_and_writes_nothing() {
+    let dir = scratch("check");
+    std::fs::write(dir.join("adder.sr.md"), GOOD_LITERATE).expect("write");
+    let out = srasm(&["adder.sr.md", "--check"], &dir);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!dir.join("adder.obj").exists(), "--check must not write");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("check ok"), "{stdout}");
+    assert!(stdout.contains("1 inputs"), "{stdout}");
+    assert!(stdout.contains("1 sink checks"), "{stdout}");
+    assert!(stdout.contains("cycles <= 32"), "{stdout}");
+    assert!(stdout.contains("tiers slow,decoded,fused"), "{stdout}");
+}
+
+/// The negative test pinning the diagnostic shape: a directive parse
+/// failure must print as `srasm: <file>:line <N>: directive error
+/// [SR-Mxxx]: ...`, with the line pointing into the original markdown.
+#[test]
+fn directive_failures_report_file_and_line() {
+    let dir = scratch("neg");
+    let source = GOOD_LITERATE.replace(";! cycles <= 32", ";! cycles about 9000");
+    let line = source
+        .lines()
+        .position(|l| l.contains("about 9000"))
+        .expect("marker present")
+        + 1;
+    std::fs::write(dir.join("bad.sr.md"), source).expect("write");
+    let out = srasm(&["bad.sr.md"], &dir);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&format!(
+            "srasm: bad.sr.md:line {line}: directive error [SR-M004]:"
+        )),
+        "diagnostic shape changed:\n{stderr}"
+    );
+    assert!(!dir.join("bad.obj").exists());
+}
+
+#[test]
+fn assembly_failures_in_literate_sources_point_into_the_markdown() {
+    let dir = scratch("asmneg");
+    let source = "# Doc\n\nprose\n\n```sr\nfrobnicate r1\n```\n";
+    std::fs::write(dir.join("bad.sr.md"), source).expect("write");
+    let out = srasm(&["bad.sr.md"], &dir);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("srasm: bad.sr.md:line 6:"),
+        "line must index the markdown, not the extracted text:\n{stderr}"
+    );
+}

@@ -1,0 +1,151 @@
+//! Edge cases of the literate `.sr.md` front end: fence handling, line
+//! endings, directive placement and the stable `SR-Mxxx` error codes.
+
+use systolic_ring_asm::{
+    assemble_source, extract_assembly, is_literate_name, literate, parse_expectations, AsmError,
+    AsmErrorKind,
+};
+
+const MINIMAL_BODY: &str = "\
+.ring 4x2
+route 0,0.in1 = host.0
+node 0,0: add in1, #1 > out
+capture 1 = lane 0
+.code
+wait 8
+halt
+";
+
+fn code_of(err: &AsmError) -> &'static str {
+    match &err.kind {
+        AsmErrorKind::Directive { code, .. } => code,
+        other => panic!("expected a directive error, got {other:?}"),
+    }
+}
+
+#[test]
+fn literate_names_are_recognized_by_suffix() {
+    assert!(is_literate_name("programs/squares.sr.md"));
+    assert!(!is_literate_name("programs/fir3.sr"));
+    assert!(!is_literate_name("README.md"));
+}
+
+#[test]
+fn empty_fenced_blocks_are_harmless() {
+    let md = format!("# Doc\n\n```sr\n```\n\nmore prose\n\n```sr\n{MINIMAL_BODY}```\n");
+    let (object, _) = assemble_source("t.sr.md", &md).expect("assembles");
+    assert!(object.geometry.is_some());
+}
+
+#[test]
+fn multiple_blocks_concatenate_in_order() {
+    let md = "\
+intro
+
+```sr
+.ring 4x2
+route 0,0.in1 = host.0
+```
+
+interlude prose
+
+```sr
+node 0,0: add in1, #1 > out
+capture 1 = lane 0
+```
+
+```sr
+.code
+wait 8
+halt
+```
+";
+    let (object, _) = assemble_source("t.sr.md", md).expect("assembles");
+    assert!(!object.code.is_empty());
+    assert!(!object.preload.is_empty());
+}
+
+#[test]
+fn directives_outside_fenced_blocks_are_prose() {
+    let md =
+        format!(";! cycles <= 1\n\n;! tiers warp\n\n```sr\n{MINIMAL_BODY};! cycles <= 99\n```\n");
+    // The malformed `;! tiers warp` in prose is ignored; only the fenced
+    // directive counts.
+    let (_, exp) = assemble_source("t.sr.md", &md).expect("assembles");
+    assert_eq!(exp.cycle_budget, Some(99));
+}
+
+#[test]
+fn crlf_sources_extract_and_parse() {
+    let md = format!(
+        "# Doc\r\n\r\n```sr\r\n{}```\r\n",
+        MINIMAL_BODY.replace('\n', "\r\n")
+    );
+    let (object, exp) = assemble_source("t.sr.md", &md).expect("assembles");
+    assert!(object.geometry.is_some());
+    assert!(exp.is_empty());
+    // Directives survive CRLF too.
+    let exp = parse_expectations(";! cycles <= 7\r\n").expect("parses");
+    assert_eq!(exp.cycle_budget, Some(7));
+}
+
+#[test]
+fn assembler_errors_point_into_the_markdown() {
+    // Line 1: heading; line 2: blank; line 3: fence; line 4: bad mnemonic.
+    let md = "# Doc\n\n```sr\nfrobnicate r1\n```\n";
+    let err = assemble_source("t.sr.md", md).expect_err("must fail");
+    assert_eq!(err.line, 4, "line number must index the original file");
+}
+
+#[test]
+fn indented_fences_are_recognized() {
+    let md = format!("prose\n  ```sr\n{MINIMAL_BODY}  ```\n");
+    assert!(assemble_source("t.sr.md", &md).is_ok());
+}
+
+#[test]
+fn the_malformed_directive_corpus_has_stable_codes() {
+    // (source, expected stable code) — the negative corpus the issue
+    // asks for, pinning each code at the public API boundary.
+    let corpus: &[(&str, &str)] = &[
+        ("```sr\n;! budget 5\n```\n", literate::E_UNKNOWN_DIRECTIVE),
+        ("```sr\n;! input x.y = 1\n```\n", literate::E_BAD_PORT),
+        ("```sr\n;! input 0.0 = 5..1\n```\n", literate::E_BAD_VALUES),
+        ("```sr\n;! input 0.0 = 1*0\n```\n", literate::E_BAD_VALUES),
+        ("```sr\n;! expect 1.0\n```\n", literate::E_BAD_VALUES),
+        ("```sr\n;! cycles 100\n```\n", literate::E_BAD_CYCLES),
+        ("```sr\n;! tiers slow, hyper\n```\n", literate::E_BAD_TIER),
+        ("```sr\n;! tiers\n```\n", literate::E_BAD_TIER),
+        (
+            "```sr\n;! cycles <= 1\n;! cycles <= 2\n```\n",
+            literate::E_DUPLICATE,
+        ),
+        ("```sr\nhalt\n", literate::E_UNCLOSED_FENCE),
+        ("no code here\n", literate::E_NO_ASSEMBLY),
+    ];
+    for (source, expected) in corpus {
+        let err = assemble_source("t.sr.md", source)
+            .expect_err(&format!("`{}` must fail", source.escape_debug()));
+        assert_eq!(code_of(&err), *expected, "source: {source}");
+        // Every code is printable and machine-greppable.
+        assert!(
+            err.to_string().contains(expected),
+            "display must carry the code: {err}"
+        );
+    }
+}
+
+#[test]
+fn plain_sr_sources_carry_directives_too() {
+    let source = format!("{MINIMAL_BODY};! input 0.0 = 1, 2\n;! expect 1.0 contains 2, 3\n");
+    let (_, exp) = assemble_source("t.sr", &source).expect("assembles");
+    assert_eq!(exp.inputs.len(), 1);
+    assert_eq!(exp.sinks.len(), 1);
+}
+
+#[test]
+fn extraction_blanks_prose_but_keeps_fenced_lines() {
+    let md = "alpha\n```sr\nbeta\n```\ngamma\n";
+    let text = extract_assembly(md).expect("extracts");
+    assert_eq!(text, "\n\nbeta\n\n\n");
+}

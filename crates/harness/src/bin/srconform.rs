@@ -1,0 +1,70 @@
+//! `srconform` — the three-tier ISA conformance runner, as a CLI.
+//!
+//! ```sh
+//! srconform [--dir programs] [--json BENCH_conformance.json]
+//! ```
+//!
+//! Walks the program corpus (plain `.sr` and literate `.sr.md` sources),
+//! lints every object, runs each program on the slow, decoded and fused
+//! execution tiers, and judges the embedded `;!` expectations: sink
+//! output, cycle budgets and cross-tier bit-equality. Prints a result
+//! table; with `--json`, also writes the machine-readable
+//! `BENCH_conformance.json` rows. Exits non-zero on any failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use systolic_ring_harness::conformance;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: srconform [--dir <programs-dir>] [--json <out.json>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = PathBuf::from("programs");
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => match it.next() {
+                Some(path) => dir = PathBuf::from(path),
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = match conformance::run_dir(&dir) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("srconform: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("srconform: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("srconform: wrote {}", path.display());
+    }
+    if report.passed() {
+        println!(
+            "srconform: {} programs conform on all declared tiers",
+            report.cases.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in report.failures() {
+            eprintln!("srconform: FAIL {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

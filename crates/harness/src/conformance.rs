@@ -1,0 +1,478 @@
+//! Three-tier ISA conformance runner over the shipped program corpus.
+//!
+//! Every program under `programs/` — plain `.sr` assembly or literate
+//! `.sr.md` markdown — carries `;!` expectation directives (see
+//! [`systolic_ring_isa::expect`]) that make it self-checking. This module
+//! turns the corpus into a conformance suite:
+//!
+//! 1. **discover** — walk a directory for `.sr` / `.sr.md` sources and
+//!    assemble each one (literate extraction included),
+//! 2. **lint gate** — run `ringlint` over every object and fail the case
+//!    on any warning-or-worse finding, mirroring the CI gate,
+//! 3. **execute** — run the program on each declared execution tier
+//!    (default: slow, decoded and fused) through the existing [`Job`]
+//!    machinery, binding the directive inputs and opening the expected
+//!    sinks,
+//! 4. **judge** — check every sink expectation, the simulated-cycle
+//!    budget, and **cross-tier bit-equality**: all tiers must produce
+//!    bit-identical sink streams and identical cycle counts, which is the
+//!    architectural contract the fast paths are sold on.
+//!
+//! [`ConformanceReport::to_json`] renders the machine-readable
+//! `BENCH_conformance.json` rows (program, tier, simulated cycles,
+//! pass/fail) consumed by the CI regression gate.
+
+use std::path::{Path, PathBuf};
+
+use systolic_ring_core::MachineParams;
+use systolic_ring_isa::expect::{Expectations, SinkMatch, Tier};
+use systolic_ring_isa::object::Object;
+use systolic_ring_isa::{RingGeometry, Word16};
+use systolic_ring_lint::{lint_object, Severity};
+
+use crate::job::{self, CycleBudget, Job};
+
+/// Default `UntilHalt` bound when a program declares no `;! cycles`
+/// budget.
+pub const DEFAULT_MAX_CYCLES: u64 = 20_000;
+
+/// The [`MachineParams`] for one execution tier: architecturally the
+/// paper machine, with the internal fast paths toggled per tier.
+pub fn tier_params(tier: Tier) -> MachineParams {
+    match tier {
+        Tier::Slow => MachineParams::PAPER
+            .with_decode_cache(false)
+            .with_fused(false),
+        Tier::Decoded => MachineParams::PAPER
+            .with_decode_cache(true)
+            .with_fused(false),
+        Tier::Fused => MachineParams::PAPER
+            .with_decode_cache(true)
+            .with_fused(true),
+    }
+}
+
+/// One discovered program: source path, assembled object and parsed
+/// expectations.
+#[derive(Clone, Debug)]
+pub struct ConformanceCase {
+    /// File name (e.g. `fir3.sr` or `iir_biquad.sr.md`).
+    pub name: String,
+    /// Full source path.
+    pub path: PathBuf,
+    /// `true` for literate `.sr.md` sources.
+    pub literate: bool,
+    /// The assembled object.
+    pub object: Object,
+    /// The `;!` expectation block.
+    pub expectations: Expectations,
+}
+
+/// Loads and assembles one program source (literate-aware).
+pub fn load_case(path: &Path) -> Result<ConformanceCase, String> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (object, expectations) = systolic_ring_asm::assemble_source(&name, &text)
+        .map_err(|e| format!("{}:{e}", path.display()))?;
+    Ok(ConformanceCase {
+        literate: systolic_ring_asm::is_literate_name(&name),
+        name,
+        path: path.to_path_buf(),
+        object,
+        expectations,
+    })
+}
+
+/// Walks `dir` for `.sr` and `.sr.md` program sources, assembles each
+/// and returns the cases sorted by file name (deterministic order).
+pub fn discover(dir: &Path) -> Result<Vec<ConformanceCase>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            let name = p.file_name().map(|n| n.to_string_lossy().into_owned());
+            name.is_some_and(|n| n.ends_with(".sr") || n.ends_with(".sr.md"))
+        })
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| load_case(p)).collect()
+}
+
+/// The outcome of one program on one tier.
+#[derive(Clone, Debug)]
+pub struct TierResult {
+    /// The tier this row describes.
+    pub tier: Tier,
+    /// Simulated cycles to halt (0 when the run faulted).
+    pub cycles: u64,
+    /// Drained sink streams, in [`Expectations::sink_ports`] order.
+    pub outputs: Vec<Vec<i16>>,
+    /// Everything that went wrong on this tier (empty = pass).
+    pub failures: Vec<String>,
+}
+
+impl TierResult {
+    /// `true` when the tier met every expectation.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The outcome of one program across its tier sweep.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Program file name.
+    pub name: String,
+    /// `true` for literate `.sr.md` sources.
+    pub literate: bool,
+    /// Per-tier outcomes, in declared-tier order.
+    pub tiers: Vec<TierResult>,
+    /// Case-level failures: lint-gate findings, missing expectations,
+    /// cross-tier divergence.
+    pub failures: Vec<String>,
+}
+
+impl CaseResult {
+    /// `true` when the lint gate, every tier and the cross-tier check
+    /// all passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && self.tiers.iter().all(TierResult::passed)
+    }
+
+    /// Every failure across the case, prefixed with the program name.
+    pub fn all_failures(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| format!("{}: {f}", self.name))
+            .collect();
+        for tier in &self.tiers {
+            out.extend(
+                tier.failures
+                    .iter()
+                    .map(|f| format!("{} [{}]: {f}", self.name, tier.tier)),
+            );
+        }
+        out
+    }
+}
+
+/// Abbreviates a sink stream for failure messages.
+fn preview(stream: &[i16]) -> String {
+    const KEEP: usize = 32;
+    if stream.len() <= KEEP {
+        format!("{stream:?}")
+    } else {
+        format!("{:?}.. ({} words)", &stream[..KEEP], stream.len())
+    }
+}
+
+/// Runs one case on one tier through the [`Job`] machinery.
+fn run_tier(case: &ConformanceCase, tier: Tier, sink_ports: &[(usize, usize)]) -> TierResult {
+    let exp = &case.expectations;
+    let geometry = case.object.geometry.unwrap_or(RingGeometry::RING_8);
+    let max_cycles = exp.cycle_budget.unwrap_or(DEFAULT_MAX_CYCLES);
+    let mut job = Job::from_object(
+        format!("{}@{tier}", case.name),
+        geometry,
+        tier_params(tier),
+        case.object.clone(),
+        CycleBudget::UntilHalt { max_cycles },
+    );
+    for input in &exp.inputs {
+        job = job.with_input(
+            input.switch,
+            input.port,
+            input.words.iter().map(|&v| Word16::from_i16(v)),
+        );
+    }
+    for &(switch, port) in sink_ports {
+        job = job.with_sink(switch, port);
+    }
+    let (result, _recovery) = job::run(&job);
+    let mut row = TierResult {
+        tier,
+        cycles: 0,
+        outputs: Vec::new(),
+        failures: Vec::new(),
+    };
+    let output = match result {
+        Ok(output) => output,
+        Err(fault) => {
+            row.failures.push(fault.to_string());
+            return row;
+        }
+    };
+    row.cycles = output.cycles;
+    row.outputs = output.outputs;
+    if let Some(budget) = exp.cycle_budget {
+        if output.cycles > budget {
+            row.failures.push(format!(
+                "cycle budget exceeded: {} > {budget}",
+                output.cycles
+            ));
+        }
+    }
+    for sink in &exp.sinks {
+        let idx = sink_ports
+            .iter()
+            .position(|&p| p == (sink.switch, sink.port))
+            .expect("sink ports derive from expectations");
+        let stream = &row.outputs[idx];
+        if !sink.check(stream) {
+            let how = match sink.matcher {
+                SinkMatch::Exact => "expected exactly",
+                SinkMatch::Contains => "expected (in order)",
+            };
+            row.failures.push(format!(
+                "sink {}.{}: {how} {:?}, got {}",
+                sink.switch,
+                sink.port,
+                sink.values,
+                preview(stream)
+            ));
+        }
+    }
+    row
+}
+
+/// Runs one program across its declared tiers, with the lint gate first
+/// and the cross-tier bit-equality check last.
+pub fn run_case(case: &ConformanceCase) -> CaseResult {
+    let mut result = CaseResult {
+        name: case.name.clone(),
+        literate: case.literate,
+        tiers: Vec::new(),
+        failures: Vec::new(),
+    };
+
+    // A conformance program must be self-checking: directives are not
+    // optional decoration here.
+    if case.expectations.sinks.is_empty() {
+        result
+            .failures
+            .push("no `;! expect` directive: program checks nothing".into());
+    }
+
+    // Lint gate, mirroring ci.sh: warnings are failures.
+    let report = lint_object(&case.object);
+    for diag in &report.diagnostics {
+        if diag.severity >= Severity::Warning {
+            result.failures.push(format!("ringlint: {diag}"));
+        }
+    }
+    if !result.failures.is_empty() {
+        return result;
+    }
+
+    let sink_ports = case.expectations.sink_ports();
+    for &tier in case.expectations.effective_tiers() {
+        result.tiers.push(run_tier(case, tier, &sink_ports));
+    }
+
+    // Cross-tier bit-equality: every tier must produce the reference
+    // tier's exact sink streams in the exact cycle count.
+    if let Some((reference, rest)) = result.tiers.split_first() {
+        if reference.passed() {
+            for tier in rest.iter().filter(|t| t.passed()) {
+                if tier.cycles != reference.cycles {
+                    result.failures.push(format!(
+                        "cross-tier divergence: {} halted at cycle {}, {} at {}",
+                        reference.tier, reference.cycles, tier.tier, tier.cycles
+                    ));
+                }
+                for (idx, &(switch, port)) in sink_ports.iter().enumerate() {
+                    if tier.outputs[idx] != reference.outputs[idx] {
+                        result.failures.push(format!(
+                            "cross-tier divergence at sink {switch}.{port}: {} {} vs {} {}",
+                            reference.tier,
+                            preview(&reference.outputs[idx]),
+                            tier.tier,
+                            preview(&tier.outputs[idx])
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// The full suite outcome.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// Per-program outcomes, in discovery (file-name) order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl ConformanceReport {
+    /// `true` when every case passed.
+    pub fn passed(&self) -> bool {
+        self.cases.iter().all(CaseResult::passed)
+    }
+
+    /// Every failure across the suite.
+    pub fn failures(&self) -> Vec<String> {
+        self.cases
+            .iter()
+            .flat_map(CaseResult::all_failures)
+            .collect()
+    }
+
+    /// A human-readable result table.
+    pub fn render(&self) -> String {
+        let width = self
+            .cases
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let mut out = format!(
+            "{:width$}  {:>7} {:>8} {:>8}  result\n",
+            "program", "slow", "decoded", "fused"
+        );
+        for case in &self.cases {
+            let mut cols = [String::from("-"), String::from("-"), String::from("-")];
+            for tier in &case.tiers {
+                let col = match tier.tier {
+                    Tier::Slow => 0,
+                    Tier::Decoded => 1,
+                    Tier::Fused => 2,
+                };
+                cols[col] = if tier.passed() {
+                    tier.cycles.to_string()
+                } else {
+                    "FAIL".into()
+                };
+            }
+            out.push_str(&format!(
+                "{:width$}  {:>7} {:>8} {:>8}  {}\n",
+                case.name,
+                cols[0],
+                cols[1],
+                cols[2],
+                if case.passed() { "pass" } else { "FAIL" }
+            ));
+        }
+        out
+    }
+
+    /// The `BENCH_conformance.json` document: one row per program per
+    /// tier (program, tier, simulated cycles, pass/fail), in
+    /// deterministic order.
+    pub fn to_json(&self) -> String {
+        let mut rows = Vec::new();
+        for case in &self.cases {
+            for tier in &case.tiers {
+                rows.push(format!(
+                    "    {{\"program\": \"{}\", \"tier\": \"{}\", \"cycles\": {}, \
+                     \"pass\": {}}}",
+                    case.name,
+                    tier.tier,
+                    tier.cycles,
+                    tier.passed() && case.failures.is_empty()
+                ));
+            }
+        }
+        format!(
+            "{{\n  \"schema\": \"systolic-ring-conformance-v1\",\n  \"programs\": {},\n  \
+             \"pass\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            self.cases.len(),
+            self.passed(),
+            rows.join(",\n")
+        )
+    }
+}
+
+/// Discovers and runs every program under `dir`.
+pub fn run_dir(dir: &Path) -> Result<ConformanceReport, String> {
+    let cases = discover(dir)?;
+    if cases.is_empty() {
+        return Err(format!("{}: no .sr / .sr.md programs found", dir.display()));
+    }
+    Ok(ConformanceReport {
+        cases: cases.iter().map(run_case).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SELF_CHECKING: &str = "\
+.ring 4x2
+route 0,0.in1 = host.0
+node 0,0: add in1, #5 > out
+capture 1 = lane 0
+.code
+wait 32
+halt
+;! input 0.0 = 1, 2, 3
+;! expect 1.0 contains 6, 7, 8
+;! cycles <= 64
+";
+
+    fn case_from(source: &str) -> ConformanceCase {
+        let (object, expectations) =
+            systolic_ring_asm::assemble_source("inline.sr", source).expect("assembles");
+        ConformanceCase {
+            name: "inline.sr".into(),
+            path: PathBuf::from("inline.sr"),
+            literate: false,
+            object,
+            expectations,
+        }
+    }
+
+    #[test]
+    fn self_checking_program_passes_all_tiers() {
+        let result = run_case(&case_from(SELF_CHECKING));
+        assert!(result.passed(), "{:?}", result.all_failures());
+        assert_eq!(result.tiers.len(), 3);
+        let cycles: Vec<u64> = result.tiers.iter().map(|t| t.cycles).collect();
+        assert!(cycles.iter().all(|&c| c == cycles[0] && c > 0));
+    }
+
+    #[test]
+    fn wrong_expectation_fails_with_sink_detail() {
+        let source = SELF_CHECKING.replace("contains 6, 7, 8", "contains 600");
+        let result = run_case(&case_from(&source));
+        assert!(!result.passed());
+        let failures = result.all_failures().join("\n");
+        assert!(failures.contains("sink 1.0"), "{failures}");
+    }
+
+    #[test]
+    fn unchecked_program_is_rejected() {
+        let source = SELF_CHECKING.replace(";! expect 1.0 contains 6, 7, 8\n", "");
+        let result = run_case(&case_from(&source));
+        assert!(!result.passed());
+        assert!(result.failures[0].contains("checks nothing"));
+    }
+
+    #[test]
+    fn tier_directive_restricts_the_sweep() {
+        let source = format!("{SELF_CHECKING};! tiers fused\n");
+        let result = run_case(&case_from(&source));
+        assert!(result.passed(), "{:?}", result.all_failures());
+        assert_eq!(result.tiers.len(), 1);
+        assert_eq!(result.tiers[0].tier, Tier::Fused);
+    }
+
+    #[test]
+    fn json_rows_cover_every_tier() {
+        let report = ConformanceReport {
+            cases: vec![run_case(&case_from(SELF_CHECKING))],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"systolic-ring-conformance-v1\""));
+        for tier in Tier::ALL {
+            assert!(json.contains(&format!("\"tier\": \"{tier}\"")), "{json}");
+        }
+        assert!(json.contains("\"pass\": true"));
+    }
+}

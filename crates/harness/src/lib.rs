@@ -19,6 +19,11 @@
 //!   panicking job yields a fault report, never poisons the batch) and
 //!   aggregates per-job [`Stats`](systolic_ring_core::Stats) into a
 //!   batch-level summary,
+//! * [`conformance`] — the three-tier ISA conformance runner: walks the
+//!   literate program corpus (`programs/*.sr`, `programs/*.sr.md`),
+//!   lints every object, executes it on the slow/decoded/fused tiers and
+//!   judges sink expectations, cycle budgets and cross-tier
+//!   bit-equality (CLI: `srconform`),
 //! * [`campaign`] — a chaos-campaign driver sweeping fault-injection
 //!   rates across a suite of golden-checked jobs and classifying every
 //!   outcome (clean / recovered / detected-failed / undetected), the
@@ -64,6 +69,7 @@
 //! ```
 
 pub mod campaign;
+pub mod conformance;
 pub mod job;
 pub mod microbench;
 pub mod runner;

@@ -12,7 +12,9 @@
 //! * [`switch`] — inter-layer crossbar and host-capture configuration words,
 //! * [`ctrl`] — the configuration controller's dedicated RISC ISA,
 //! * [`object`] — the loadable object-code container emitted by the
-//!   assembler.
+//!   assembler,
+//! * [`expect`] — embedded conformance expectations (`;!` directives)
+//!   carried alongside assembled objects.
 //!
 //! The cycle-accurate simulator (`systolic-ring-core`) and the two-level
 //! assembler (`systolic-ring-asm`) both build on these definitions, so a
@@ -37,6 +39,7 @@
 
 pub mod ctrl;
 pub mod dnode;
+pub mod expect;
 pub mod geometry;
 pub mod object;
 pub mod switch;

@@ -1,0 +1,82 @@
+//! Tier-1 driver for the ISA conformance suite: every shipped program —
+//! plain `.sr` assembly and literate `.sr.md` markdown alike — must lint
+//! clean, meet its embedded `;!` expectations (sink output and cycle
+//! budget) and produce bit-identical sink streams in identical cycle
+//! counts on the slow, decoded and fused execution tiers.
+
+use std::path::Path;
+
+use systolic_ring::harness::conformance::{self, ConformanceCase};
+use systolic_ring::isa::expect::Tier;
+
+fn programs_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("programs")
+}
+
+fn corpus() -> Vec<ConformanceCase> {
+    conformance::discover(&programs_dir()).expect("programs/ assembles")
+}
+
+/// The acceptance floor: at least 8 programs, at least 5 of them
+/// literate, and every one of them self-checking (inputs and sink
+/// expectations declared).
+#[test]
+fn corpus_meets_the_size_floor() {
+    let cases = corpus();
+    assert!(cases.len() >= 8, "corpus too small: {}", cases.len());
+    let literate = cases.iter().filter(|c| c.literate).count();
+    assert!(literate >= 5, "literate corpus too small: {literate}");
+    for case in &cases {
+        assert!(
+            !case.expectations.inputs.is_empty(),
+            "{}: no `;! input` directive",
+            case.name
+        );
+        assert!(
+            !case.expectations.sinks.is_empty(),
+            "{}: no `;! expect` directive",
+            case.name
+        );
+        assert!(
+            case.expectations.cycle_budget.is_some(),
+            "{}: no `;! cycles` budget",
+            case.name
+        );
+    }
+}
+
+/// The conformance sweep itself: every program passes every declared
+/// tier, and the runner's cross-tier equality check held.
+#[test]
+fn every_program_conforms_on_all_three_tiers() {
+    let report = conformance::run_dir(&programs_dir()).expect("corpus runs");
+    assert!(
+        report.passed(),
+        "conformance failures:\n{}",
+        report.failures().join("\n")
+    );
+    for case in &report.cases {
+        // No program in the shipped corpus restricts its tier sweep, so
+        // each must have run on all three tiers with nonzero cycles.
+        assert_eq!(case.tiers.len(), 3, "{}", case.name);
+        for (tier, expected) in case.tiers.iter().zip(Tier::ALL) {
+            assert_eq!(tier.tier, expected, "{}", case.name);
+            assert!(tier.cycles > 0, "{} [{}]", case.name, tier.tier);
+        }
+    }
+}
+
+/// The JSON emission is deterministic and covers program x tier.
+#[test]
+fn conformance_json_covers_the_matrix() {
+    let report = conformance::run_dir(&programs_dir()).expect("corpus runs");
+    let json = report.to_json();
+    assert_eq!(json, report.to_json(), "emission must be deterministic");
+    assert!(json.contains("\"schema\": \"systolic-ring-conformance-v1\""));
+    for case in &report.cases {
+        assert!(json.contains(&format!("\"program\": \"{}\"", case.name)));
+    }
+    let rows = json.matches("\"tier\":").count();
+    assert_eq!(rows, report.cases.len() * 3);
+    assert!(!json.contains("\"pass\": false"), "{json}");
+}

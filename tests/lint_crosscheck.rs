@@ -11,24 +11,25 @@
 //!   dynamic fused engine: running past the proven settle point on a
 //!   paper-faithful machine must record `fused_entries > 0`.
 
-use systolic_ring::asm::assemble;
+use systolic_ring::asm::assemble_source;
 use systolic_ring::core::{MachineParams, RingMachine, SimError};
 use systolic_ring::isa::object::Object;
 use systolic_ring::isa::{RingGeometry, Word16};
 use systolic_ring::kernels::objects;
 use systolic_ring::lint::{lint_object, Fusibility, Severity};
 
-/// Every object the repository ships: assembled `programs/*.sr` plus the
-/// generated kernel objects.
+/// Every object the repository ships: assembled `programs/*.sr` and
+/// literate `programs/*.sr.md` sources plus the generated kernel objects.
 fn corpus() -> Vec<(String, Object)> {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
     let mut corpus = Vec::new();
     for entry in std::fs::read_dir(dir).expect("programs/ exists") {
         let path = entry.expect("entry").path();
-        if path.extension().is_some_and(|e| e == "sr") {
-            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.ends_with(".sr") || name.ends_with(".sr.md") {
             let source = std::fs::read_to_string(&path).expect("readable");
-            let object = assemble(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (object, _) =
+                assemble_source(&name, &source).unwrap_or_else(|e| panic!("{name}: {e}"));
             corpus.push((name, object));
         }
     }

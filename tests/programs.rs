@@ -2,29 +2,37 @@
 //! object-format round trip, load into its declared geometry and run to
 //! completion.
 
-use systolic_ring::asm::assemble;
+use systolic_ring::asm::{assemble, assemble_source};
 use systolic_ring::core::RingMachine;
 use systolic_ring::isa::object::Object;
 use systolic_ring::isa::{RingGeometry, Word16};
 
+/// Every shipped program source: plain `.sr` and literate `.sr.md`.
 fn program_sources() -> Vec<(String, String)> {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
     let mut sources = Vec::new();
     for entry in std::fs::read_dir(dir).expect("programs/ exists") {
         let path = entry.expect("entry").path();
-        if path.extension().is_some_and(|e| e == "sr") {
-            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.ends_with(".sr") || name.ends_with(".sr.md") {
             sources.push((name, std::fs::read_to_string(path).expect("readable")));
         }
     }
-    assert!(sources.len() >= 3, "expected shipped programs");
+    assert!(sources.len() >= 8, "expected shipped programs");
     sources
+}
+
+/// Literate-aware assembly of one shipped source.
+fn assemble_program(name: &str, source: &str) -> Object {
+    assemble_source(name, source)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .0
 }
 
 #[test]
 fn all_shipped_programs_assemble_and_round_trip() {
     for (name, source) in program_sources() {
-        let object = assemble(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let object = assemble_program(&name, &source);
         let bytes = object.to_bytes();
         let reloaded = Object::from_bytes(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(object, reloaded, "{name}");
@@ -34,7 +42,7 @@ fn all_shipped_programs_assemble_and_round_trip() {
 #[test]
 fn all_shipped_programs_run_to_halt() {
     for (name, source) in program_sources() {
-        let object = assemble(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let object = assemble_program(&name, &source);
         let geometry = object.geometry.unwrap_or(RingGeometry::RING_8);
         let mut m = RingMachine::with_defaults(geometry);
         m.load(&object).unwrap_or_else(|e| panic!("{name}: {e}"));
