@@ -33,8 +33,18 @@ done
 cargo test -q --test lint_crosscheck shipped_corpus_lints_without_warnings
 
 echo "==> conformance gate (programs/ on slow+decoded+fused, cross-tier bit-equality)"
-cargo run --release -q -p systolic-ring-harness --bin srconform -- \
-    --dir programs --json BENCH_conformance.json
+# Writes to a scratch path: the checked-in BENCH_conformance.json is the
+# baseline the perf gate below compares against, so CI must not clobber it.
+cargo run --release -q -p systolic-ring-bench --bin srconform -- \
+    --dir programs --json "$lintdir/BENCH_conformance.json"
+
+echo "==> perf gate (fresh simulated-cycle metrics vs checked-in BENCH_*.json)"
+cargo run --release -q -p systolic-ring-bench --bin srbench-compare
+
+echo "==> perf smoke (report -- json round-trips through the comparator)"
+cargo run --release -q -p systolic-ring-bench --bin report -- json "$lintdir" --quick
+cargo run --release -q -p systolic-ring-bench --bin srbench-compare -- \
+    --baseline . --fresh "$lintdir"
 
 echo "==> lint self-test smoke (negative corpus must keep tripping)"
 cargo test -q -p systolic-ring-lint --test negative_corpus

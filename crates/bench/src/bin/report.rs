@@ -1,10 +1,21 @@
 //! Regenerates the paper's tables and figures on stdout.
 //!
-//! Usage: `report [all|table1|table2|table3|comparative|scalability|ablations|batch|figure6|figure7] [--full]`
+//! Usage: `report [all|table1|table2|table3|comparative|scalability|ablations|batch|figure6|figure7|json|experiments-md] [--full] [--quick] [dir]`
 //!
 //! `--full` runs Table 2 at the paper's 1024x768 (slow in debug builds);
 //! the default is a 256x192 image with identical per-pixel behaviour.
+//!
+//! Two modes feed the machine-readable perf trajectory:
+//!
+//! * `report -- json [dir]` runs the trajectory suites with wall-clock
+//!   timing and (re)writes the `BENCH_*.json` baselines under `dir`
+//!   (default `.`); `--quick` uses the CI-smoke iteration counts.
+//! * `report -- experiments-md [dir]` renders the generated
+//!   EXPERIMENTS.md tables (A8/A10/A11) from the checked-in
+//!   `BENCH_*.json` under `dir` — no simulation runs, pure
+//!   regeneration.
 
+use systolic_ring_bench::trajectory::{self, WallClock, TRAJECTORY_FILES};
 use systolic_ring_bench::{
     ablations, batch, comparative, figures, kernels_table, scalability, table1, table2, table3,
 };
@@ -12,11 +23,10 @@ use systolic_ring_bench::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let what = positional.next().map(String::as_str).unwrap_or("all");
+    let dir = std::path::PathBuf::from(positional.next().map(String::as_str).unwrap_or("."));
 
     let run_table2 = || {
         if full {
@@ -40,6 +50,31 @@ fn main() {
             let (ring64, plan) = figures::figure7();
             print!("{}", figures::render_figure7(ring64, &plan));
         }
+        "json" => {
+            let wall = if quick {
+                WallClock::QUICK
+            } else {
+                WallClock::FULL
+            };
+            for (file, suite) in trajectory::all_suites(Some(wall))
+                .into_iter()
+                .zip(TRAJECTORY_FILES)
+            {
+                let path = dir.join(suite.1);
+                if let Err(e) = std::fs::write(&path, file.to_json()) {
+                    eprintln!("report: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                println!("report: wrote {}", path.display());
+            }
+        }
+        "experiments-md" => match trajectory::experiments_md(&dir) {
+            Ok(md) => print!("{md}"),
+            Err(e) => {
+                eprintln!("report: {e}");
+                std::process::exit(1);
+            }
+        },
         "all" => {
             println!("==============================================================");
             println!(" Systolic Ring reproduction — paper-vs-measured report");
@@ -58,7 +93,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: report [all|table1|table2|table3|comparative|scalability|ablations|batch|kernels|figure6|figure7] [--full]");
+            eprintln!(
+                "usage: report [all|table1|table2|table3|comparative|scalability|ablations|batch|kernels|figure6|figure7|json|experiments-md] [--full] [--quick] [dir]"
+            );
             std::process::exit(2);
         }
     }

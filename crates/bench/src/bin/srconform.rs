@@ -9,11 +9,14 @@
 //! execution tiers, and judges the embedded `;!` expectations: sink
 //! output, cycle budgets and cross-tier bit-equality. Prints a result
 //! table; with `--json`, also writes the machine-readable
-//! `BENCH_conformance.json` rows. Exits non-zero on any failure.
+//! `BENCH_conformance.json` in the shared versioned record schema
+//! (`systolic_ring_bench::record`) that the `srbench-compare` CI gate
+//! reads back. Exits non-zero on any failure.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use systolic_ring_bench::record::conformance_file;
 use systolic_ring_harness::conformance;
 
 fn usage() -> ExitCode {
@@ -49,7 +52,7 @@ fn main() -> ExitCode {
     };
     print!("{}", report.render());
     if let Some(path) = json_path {
-        if let Err(e) = std::fs::write(&path, report.to_json()) {
+        if let Err(e) = std::fs::write(&path, conformance_file(&report).to_json()) {
             eprintln!("srconform: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

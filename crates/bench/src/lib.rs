@@ -11,19 +11,28 @@
 //! | [`kernels_table`] | extension — the validated kernel-library summary |
 //! | [`ablations`] | extension A2 + design-decision ablations |
 //! | [`batch`] | extension — parallel batch-simulation scaling + oracle |
+//! | [`record`] | extension A11 — the versioned `BENCH_*.json` record schema |
+//! | [`trajectory`] | extension A11 — the perf-trajectory suites + generated doc tables |
+//! | [`compare`] | extension A11 — the `srbench-compare` regression gate |
 //!
 //! Run `cargo run --release -p systolic-ring-bench --bin report -- all`
 //! for the full paper-vs-measured report; the wall-clock benches under
 //! `benches/` (plain `std::time::Instant` timers, no external harness)
-//! time the same workloads.
+//! time the same workloads. `report -- json` writes the machine-readable
+//! perf trajectory (`BENCH_*.json`), `report -- experiments-md` renders
+//! the EXPERIMENTS.md tables from it, and the `srbench-compare` binary
+//! gates regressions against the checked-in baselines in CI.
 
 pub mod ablations;
 pub mod batch;
 pub mod comparative;
+pub mod compare;
 pub mod figures;
 pub mod kernels_table;
+pub mod record;
 pub mod scalability;
 pub mod table;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod trajectory;

@@ -1,0 +1,746 @@
+//! The versioned, machine-readable benchmark record — the schema behind
+//! every checked-in `BENCH_*.json` file.
+//!
+//! The bench suite used to print tables and walk away: performance
+//! history lived in EXPERIMENTS.md prose and cross-PR regressions were
+//! invisible. This module is the fix — one shared record format, written
+//! by `report -- json` (the trajectory suites), by `srconform --json`
+//! (the conformance matrix) and read back by `srbench-compare` (the CI
+//! regression gate) and `report -- experiments-md` (the generated doc
+//! tables). Like the rest of the workspace it is std-only: the
+//! serializer and parser below are hand-rolled over the small JSON
+//! subset the format needs.
+//!
+//! # File layout
+//!
+//! ```json
+//! {
+//!   "schema": "systolic-ring-bench",
+//!   "version": 2,
+//!   "suite": "table1_motion",
+//!   "records": [
+//!     {"workload": "table1_motion", "geometry": "Ring-16 (4x4)",
+//!      "tier": "fused", "cycles": 1113, "mcyc_per_s": 3.34,
+//!      "fused_coverage": 0.5796, "lane_occupancy": 1.0,
+//!      "deopts": 0, "pass": null}
+//!   ]
+//! }
+//! ```
+//!
+//! A file is one *suite* (one `BENCH_*.json`); a suite holds one record
+//! per `(workload, tier)` pair, which is the identity the comparator
+//! joins baseline and fresh runs on.
+//!
+//! # Record fields
+//!
+//! | field | type | meaning | gated by `srbench-compare`? |
+//! |-------|------|---------|------------------------------|
+//! | `workload` | string | stable workload id (join key) | — |
+//! | `geometry` | string | ring shape label, e.g. `Ring-16 (4x4)` | no (informational) |
+//! | `tier` | string | execution tier (join key): `slow`, `decoded`, `fused`, `fused_serial`, `lane_fused`, `serial`, `workersN` | — |
+//! | `cycles` | integer | simulated cycles — deterministic | yes: >10% increase fails |
+//! | `mcyc_per_s` | number \| null | simulated Mcycles per wall-clock second from a representative run | **no** — wall-clock, machine-dependent |
+//! | `fused_coverage` | number \| null | `fused_cycles / cycles`, `null` off the fused tier | yes: >10% decrease fails |
+//! | `lane_occupancy` | number \| null | `fused_lane_occupancy / fused_cycles`, `null` when nothing fused | yes: >10% decrease fails |
+//! | `deopts` | integer \| null | fused-engine deoptimizations | yes: any increase beyond 10% (so any, from a zero baseline) fails |
+//! | `pass` | bool \| null | self-check verdict (conformance rows) | yes: `true` → `false` fails |
+//!
+//! Wall-clock-free metrics (`cycles`, `fused_coverage`,
+//! `lane_occupancy`, `deopts`, `pass`) are deterministic for a given
+//! tree, which is what makes the checked-in baselines comparable in CI;
+//! `mcyc_per_s` is recorded so the generated EXPERIMENTS.md tables have
+//! throughput columns, but is never compared (DESIGN.md §13).
+//!
+//! # Version-bump policy
+//!
+//! `version` is a single integer, currently [`VERSION`] (= 2; version 1
+//! was the ad-hoc `systolic-ring-conformance-v1` format this schema
+//! replaced, and is rejected with `SR-B002`).
+//!
+//! * **No bump — additive change.** Adding a new field (parsers ignore
+//!   unknown keys), adding a new suite file, or adding records/tiers to
+//!   an existing suite.
+//! * **Bump — breaking change.** Removing or renaming a field, changing
+//!   a field's type or units, or changing the meaning of an existing
+//!   metric (e.g. what counts as a fused cycle). After a bump the
+//!   comparator rejects older files with `SR-B003`; regenerate every
+//!   checked-in `BENCH_*.json` in the same commit that bumps
+//!   [`VERSION`].
+//!
+//! # Error codes
+//!
+//! Parsing rejects bad input with a stable [`RecordError::code`]:
+//! `SR-B001` (malformed JSON), `SR-B002` (wrong or legacy schema name),
+//! `SR-B003` (unsupported version), `SR-B004` (missing or ill-typed
+//! field). The comparator's own codes (`SR-B1xx`) live in
+//! [`crate::compare`].
+
+use std::fmt;
+
+use systolic_ring_harness::conformance::ConformanceReport;
+use systolic_ring_isa::RingGeometry;
+
+/// Schema identifier written into (and demanded from) every file.
+pub const SCHEMA: &str = "systolic-ring-bench";
+
+/// Current schema version (see the module docs for the bump policy).
+pub const VERSION: u64 = 2;
+
+/// One benchmark measurement: a `(workload, tier)` row of a suite.
+///
+/// Field semantics and gating rules are tabulated in the
+/// [module docs](self).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Stable workload identifier — half of the comparator's join key.
+    pub workload: String,
+    /// Ring-shape label (see [`geometry_label`]); informational.
+    pub geometry: String,
+    /// Execution-tier label — the other half of the join key.
+    pub tier: String,
+    /// Simulated cycles (deterministic; regression-gated).
+    pub cycles: u64,
+    /// Simulated Mcycles per wall-clock second from a representative
+    /// run; `None` when the run was not timed. Never gated.
+    pub mcyc_per_s: Option<f64>,
+    /// Fraction of cycles executed inside fused bursts; `None` where the
+    /// fused engine was off or not applicable.
+    pub fused_coverage: Option<f64>,
+    /// Mean lanes per fused cycle; `None` when nothing fused.
+    pub lane_occupancy: Option<f64>,
+    /// Fused-engine deoptimizations; `None` where not applicable.
+    pub deopts: Option<u64>,
+    /// Self-check verdict (conformance and batch rows); `None` where the
+    /// workload carries no embedded expectation.
+    pub pass: Option<bool>,
+}
+
+/// One `BENCH_*.json` document: a named suite of [`BenchRecord`]s under
+/// the versioned header.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchFile {
+    /// Suite name, e.g. `table1_motion` or `conformance`.
+    pub suite: String,
+    /// The measurements, in deterministic (emission) order.
+    pub records: Vec<BenchRecord>,
+}
+
+/// A stable-coded error from [`BenchFile::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordError {
+    /// Stable error code (`SR-B001`..`SR-B004`; see the module docs).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RecordError {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        RecordError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// The canonical ring-shape label, e.g. `Ring-16 (4x4)`.
+pub fn geometry_label(geometry: RingGeometry) -> String {
+    format!(
+        "Ring-{} ({}x{})",
+        geometry.dnodes(),
+        geometry.layers(),
+        geometry.width()
+    )
+}
+
+/// Escapes a string for JSON emission.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an optional float at the schema's fixed 4-decimal precision
+/// (fixed so that emit → parse → emit is byte-stable).
+fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.4}"),
+        None => "null".into(),
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".into(),
+    }
+}
+
+fn opt_bool(v: Option<bool>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".into(),
+    }
+}
+
+impl BenchRecord {
+    /// Emits the record as a single JSON object line (no trailing
+    /// newline). Every field is present, `null` when unmeasured, so the
+    /// file documents its own shape.
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"workload\": \"{}\", \"geometry\": \"{}\", \"tier\": \"{}\", \
+             \"cycles\": {}, \"mcyc_per_s\": {}, \"fused_coverage\": {}, \
+             \"lane_occupancy\": {}, \"deopts\": {}, \"pass\": {}}}",
+            escape(&self.workload),
+            escape(&self.geometry),
+            escape(&self.tier),
+            self.cycles,
+            opt_f64(self.mcyc_per_s),
+            opt_f64(self.fused_coverage),
+            opt_f64(self.lane_occupancy),
+            opt_u64(self.deopts),
+            opt_bool(self.pass),
+        )
+    }
+}
+
+impl BenchFile {
+    /// Serializes the suite: versioned header, one record per line.
+    ///
+    /// The output is deterministic and fixed-precision, so emit → parse
+    /// → emit round-trips byte-identically — which is what lets the
+    /// generated EXPERIMENTS.md tables and the checked-in baselines stay
+    /// diffable.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| format!("    {}", r.to_json_line()))
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"version\": {},\n  \"suite\": \"{}\",\n  \
+             \"records\": [\n{}\n  ]\n}}\n",
+            SCHEMA,
+            VERSION,
+            escape(&self.suite),
+            rows.join(",\n")
+        )
+    }
+
+    /// Parses a `BENCH_*.json` document, rejecting malformed JSON
+    /// (`SR-B001`), foreign or legacy schemas (`SR-B002`), unsupported
+    /// versions (`SR-B003`) and missing/ill-typed fields (`SR-B004`).
+    /// Unknown keys are ignored (the additive-change rule).
+    pub fn parse(text: &str) -> Result<BenchFile, RecordError> {
+        let value = json::parse(text).map_err(|e| RecordError::new("SR-B001", e))?;
+        let top = value
+            .as_object()
+            .ok_or_else(|| RecordError::new("SR-B004", "top level is not an object"))?;
+        let schema = get_str(top, "schema")?;
+        if schema != SCHEMA {
+            return Err(RecordError::new(
+                "SR-B002",
+                format!("schema is \"{schema}\", expected \"{SCHEMA}\" (legacy v1 files must be regenerated)"),
+            ));
+        }
+        let version = get_u64(top, "version")?;
+        if version != VERSION {
+            return Err(RecordError::new(
+                "SR-B003",
+                format!("unsupported schema version {version}, this build reads version {VERSION} — regenerate the baseline"),
+            ));
+        }
+        let suite = get_str(top, "suite")?.to_owned();
+        let records_value = find(top, "records")
+            .ok_or_else(|| RecordError::new("SR-B004", "missing field `records`"))?;
+        let rows = records_value
+            .as_array()
+            .ok_or_else(|| RecordError::new("SR-B004", "`records` is not an array"))?;
+        let mut records = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let obj = row.as_object().ok_or_else(|| {
+                RecordError::new("SR-B004", format!("record {i} is not an object"))
+            })?;
+            records.push(BenchRecord {
+                workload: get_str(obj, "workload")?.to_owned(),
+                geometry: get_str(obj, "geometry")?.to_owned(),
+                tier: get_str(obj, "tier")?.to_owned(),
+                cycles: get_u64(obj, "cycles")?,
+                mcyc_per_s: get_opt_f64(obj, "mcyc_per_s")?,
+                fused_coverage: get_opt_f64(obj, "fused_coverage")?,
+                lane_occupancy: get_opt_f64(obj, "lane_occupancy")?,
+                deopts: get_opt_u64(obj, "deopts")?,
+                pass: get_opt_bool(obj, "pass")?,
+            });
+        }
+        Ok(BenchFile { suite, records })
+    }
+
+    /// The record for `(workload, tier)`, if present.
+    pub fn find(&self, workload: &str, tier: &str) -> Option<&BenchRecord> {
+        self.records
+            .iter()
+            .find(|r| r.workload == workload && r.tier == tier)
+    }
+}
+
+/// Converts a conformance run into the shared record format — this is
+/// what `srconform --json` writes as `BENCH_conformance.json`: one
+/// record per `(program, tier)` with the program's simulated cycle count
+/// and self-check verdict (`pass` folds in the case-level lint gate and
+/// cross-tier equality checks).
+pub fn conformance_file(report: &ConformanceReport) -> BenchFile {
+    let mut records = Vec::new();
+    for case in &report.cases {
+        for tier in &case.tiers {
+            records.push(BenchRecord {
+                workload: case.name.clone(),
+                geometry: geometry_label(case.geometry),
+                tier: tier.tier.to_string(),
+                cycles: tier.cycles,
+                mcyc_per_s: None,
+                fused_coverage: None,
+                lane_occupancy: None,
+                deopts: None,
+                pass: Some(tier.passed() && case.failures.is_empty()),
+            });
+        }
+    }
+    BenchFile {
+        suite: "conformance".into(),
+        records,
+    }
+}
+
+fn find<'a>(obj: &'a [(String, json::Value)], key: &str) -> Option<&'a json::Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(obj: &'a [(String, json::Value)], key: &str) -> Result<&'a str, RecordError> {
+    find(obj, key)
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| RecordError::new("SR-B004", format!("missing or non-string field `{key}`")))
+}
+
+fn get_u64(obj: &[(String, json::Value)], key: &str) -> Result<u64, RecordError> {
+    find(obj, key)
+        .and_then(json::Value::as_u64)
+        .ok_or_else(|| RecordError::new("SR-B004", format!("missing or non-integer field `{key}`")))
+}
+
+fn get_opt_f64(obj: &[(String, json::Value)], key: &str) -> Result<Option<f64>, RecordError> {
+    match find(obj, key) {
+        None | Some(json::Value::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| RecordError::new("SR-B004", format!("field `{key}` is not a number"))),
+    }
+}
+
+fn get_opt_u64(obj: &[(String, json::Value)], key: &str) -> Result<Option<u64>, RecordError> {
+    match find(obj, key) {
+        None | Some(json::Value::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| RecordError::new("SR-B004", format!("field `{key}` is not an integer"))),
+    }
+}
+
+fn get_opt_bool(obj: &[(String, json::Value)], key: &str) -> Result<Option<bool>, RecordError> {
+    match find(obj, key) {
+        None | Some(json::Value::Null) => Ok(None),
+        Some(json::Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(RecordError::new(
+            "SR-B004",
+            format!("field `{key}` is not a boolean"),
+        )),
+    }
+}
+
+/// A minimal recursive-descent JSON parser over the subset the record
+/// format emits (objects, arrays, strings with escapes, numbers,
+/// booleans, `null`). Std-only by design — see DESIGN.md §5.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (parsed as `f64`).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order (duplicate keys keep the first).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+                Some(b) => Err(format!("unexpected `{}` at byte {}", b as char, self.pos)),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| format!("bad number at byte {start}"))?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number `{text}` at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_owned())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| format!("bad code point {code}"))?,
+                                );
+                                self.pos += 4;
+                            }
+                            other => {
+                                return Err(format!("bad escape {other:?}"));
+                            }
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character (the input is a &str,
+                        // so boundaries are valid).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid UTF-8".to_owned())?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields: Vec<(String, Value)> = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                if !fields.iter().any(|(k, _)| *k == key) {
+                    fields.push((key, value));
+                }
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchFile {
+        BenchFile {
+            suite: "table1_motion".into(),
+            records: vec![
+                BenchRecord {
+                    workload: "table1_motion".into(),
+                    geometry: geometry_label(RingGeometry::RING_16),
+                    tier: "slow".into(),
+                    cycles: 1113,
+                    mcyc_per_s: Some(1.4412),
+                    fused_coverage: None,
+                    lane_occupancy: None,
+                    deopts: None,
+                    pass: None,
+                },
+                BenchRecord {
+                    workload: "table1_motion".into(),
+                    geometry: geometry_label(RingGeometry::RING_16),
+                    tier: "fused".into(),
+                    cycles: 1113,
+                    mcyc_per_s: Some(3.3391),
+                    fused_coverage: Some(0.5796),
+                    lane_occupancy: Some(1.0),
+                    deopts: Some(0),
+                    pass: Some(true),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let file = sample();
+        let json = file.to_json();
+        let parsed = BenchFile::parse(&json).expect("parses");
+        assert_eq!(parsed, file);
+        assert_eq!(parsed.to_json(), json, "emit must be byte-stable");
+    }
+
+    #[test]
+    fn header_fields_are_emitted() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"systolic-ring-bench\""));
+        assert!(json.contains(&format!("\"version\": {VERSION}")));
+        assert!(json.contains("\"suite\": \"table1_motion\""));
+    }
+
+    #[test]
+    fn malformed_json_is_sr_b001() {
+        let err = BenchFile::parse("{\"schema\": ").unwrap_err();
+        assert_eq!(err.code, "SR-B001");
+        let err = BenchFile::parse("{} trailing").unwrap_err();
+        assert_eq!(err.code, "SR-B001");
+    }
+
+    #[test]
+    fn legacy_v1_schema_is_sr_b002() {
+        let legacy = "{\"schema\": \"systolic-ring-conformance-v1\", \"version\": 1, \
+                      \"suite\": \"x\", \"records\": []}";
+        let err = BenchFile::parse(legacy).unwrap_err();
+        assert_eq!(err.code, "SR-B002");
+        assert!(err.message.contains("legacy"), "{err}");
+    }
+
+    #[test]
+    fn old_version_is_sr_b003() {
+        let old = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"version\": 1, \"suite\": \"x\", \"records\": []}}"
+        );
+        let err = BenchFile::parse(&old).unwrap_err();
+        assert_eq!(err.code, "SR-B003");
+    }
+
+    #[test]
+    fn missing_field_is_sr_b004() {
+        let bad = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"version\": {VERSION}, \"suite\": \"x\", \
+             \"records\": [{{\"workload\": \"w\"}}]}}"
+        );
+        let err = BenchFile::parse(&bad).unwrap_err();
+        assert_eq!(err.code, "SR-B004");
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let mut json = sample().to_json();
+        json = json.replace(
+            "\"tier\": \"slow\"",
+            "\"tier\": \"slow\", \"future_field\": [1, {\"nested\": null}]",
+        );
+        let parsed = BenchFile::parse(&json).expect("additive change must parse");
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut file = sample();
+        file.records[0].workload = "weird \"name\"\twith\\stuff\n".into();
+        let parsed = BenchFile::parse(&file.to_json()).expect("parses");
+        assert_eq!(parsed, file);
+    }
+
+    #[test]
+    fn find_joins_on_workload_and_tier() {
+        let file = sample();
+        assert!(file.find("table1_motion", "fused").is_some());
+        assert!(file.find("table1_motion", "decoded").is_none());
+        assert!(file.find("nope", "slow").is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Pins the perf-trajectory contract between the checked-in
+//! `BENCH_*.json` baselines and the prose that cites them:
+//!
+//! * every baseline parses under the current schema version;
+//! * the generated A8/A10/A11 blocks in EXPERIMENTS.md are
+//!   byte-identical to `report -- experiments-md` output;
+//! * a fresh (wall-clock-free) conformance run passes the regression
+//!   gate against the checked-in conformance baseline.
+
+use std::path::{Path, PathBuf};
+
+use systolic_ring_bench::compare::{compare_files, DEFAULT_TOLERANCE};
+use systolic_ring_bench::record::{conformance_file, BenchFile, SCHEMA, VERSION};
+use systolic_ring_bench::trajectory::{self, CONFORMANCE_FILE, TRAJECTORY_FILES};
+use systolic_ring_harness::conformance;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn load(name: &str) -> BenchFile {
+    let path = repo_root().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()));
+    BenchFile::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// Every checked-in baseline parses at the current schema version and
+/// carries at least one record per declared suite.
+#[test]
+fn checked_in_baselines_parse_at_the_current_version() {
+    for (suite, name) in TRAJECTORY_FILES {
+        let file = load(name);
+        assert_eq!(file.suite, suite, "{name}");
+        assert!(!file.records.is_empty(), "{name}: empty suite");
+        // Byte-stable emission: re-serializing the parsed file must
+        // reproduce the checked-in bytes exactly.
+        let text = std::fs::read_to_string(repo_root().join(name)).unwrap();
+        assert_eq!(file.to_json(), text, "{name}: not in canonical form");
+    }
+    let conf = load(CONFORMANCE_FILE);
+    assert_eq!(conf.suite, "conformance");
+    assert!(conf.records.iter().all(|r| r.pass == Some(true)));
+    let _ = (SCHEMA, VERSION); // parse() already enforced the header
+}
+
+/// The generated tables in EXPERIMENTS.md are byte-identical to what
+/// `report -- experiments-md` renders from the checked-in JSON, so the
+/// prose can never drift from the baselines it cites.
+#[test]
+fn experiments_md_blocks_are_byte_identical() {
+    let root = repo_root();
+    let rendered = trajectory::experiments_md(&root).expect("render from checked-in JSON");
+    let doc = std::fs::read_to_string(root.join("EXPERIMENTS.md")).expect("EXPERIMENTS.md");
+    for table in ["A8", "A10", "A11"] {
+        let begin = format!("<!-- begin generated table: {table} (report -- experiments-md) -->");
+        let end = format!("<!-- end generated table: {table} -->");
+        let block = {
+            let start = rendered
+                .find(&begin)
+                .unwrap_or_else(|| panic!("renderer emits no {table} block"));
+            let stop = rendered[start..]
+                .find(&end)
+                .unwrap_or_else(|| panic!("renderer leaves {table} block open"));
+            &rendered[start..start + stop + end.len()]
+        };
+        assert!(
+            doc.contains(block),
+            "EXPERIMENTS.md table {table} is stale — regenerate with \
+             `cargo run --release -p systolic-ring-bench --bin report -- experiments-md`\n\
+             expected block:\n{block}"
+        );
+    }
+}
+
+/// A fresh conformance sweep (no wall-clock involved) passes the
+/// regression gate against the checked-in baseline.
+#[test]
+fn fresh_conformance_run_passes_the_gate() {
+    let baseline = load(CONFORMANCE_FILE);
+    let report = conformance::run_dir(&repo_root().join("programs")).expect("corpus runs");
+    let fresh = conformance_file(&report);
+    let outcome = compare_files(&baseline, &fresh, DEFAULT_TOLERANCE);
+    assert!(
+        outcome.passed(),
+        "gate failures:\n{}",
+        outcome
+            .failures
+            .iter()
+            .map(|f| format!("{}: {}", f.code, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(outcome.compared, baseline.records.len());
+}

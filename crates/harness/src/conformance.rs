@@ -18,9 +18,11 @@
 //!    bit-identical sink streams and identical cycle counts, which is the
 //!    architectural contract the fast paths are sold on.
 //!
-//! [`ConformanceReport::to_json`] renders the machine-readable
-//! `BENCH_conformance.json` rows (program, tier, simulated cycles,
-//! pass/fail) consumed by the CI regression gate.
+//! The machine-readable `BENCH_conformance.json` emission lives in the
+//! bench crate (`systolic_ring_bench::record::conformance_file`), which
+//! converts a [`ConformanceReport`] into the shared versioned
+//! `systolic-ring-bench` record schema consumed by the `srbench-compare`
+//! CI regression gate.
 
 use std::path::{Path, PathBuf};
 
@@ -128,6 +130,9 @@ pub struct CaseResult {
     pub name: String,
     /// `true` for literate `.sr.md` sources.
     pub literate: bool,
+    /// The ring geometry the program ran on (its declared `.ring`, or
+    /// the Ring-8 default).
+    pub geometry: RingGeometry,
     /// Per-tier outcomes, in declared-tier order.
     pub tiers: Vec<TierResult>,
     /// Case-level failures: lint-gate findings, missing expectations,
@@ -245,6 +250,7 @@ pub fn run_case(case: &ConformanceCase) -> CaseResult {
     let mut result = CaseResult {
         name: case.name.clone(),
         literate: case.literate,
+        geometry: case.object.geometry.unwrap_or(RingGeometry::RING_8),
         tiers: Vec::new(),
         failures: Vec::new(),
     };
@@ -360,32 +366,6 @@ impl ConformanceReport {
         }
         out
     }
-
-    /// The `BENCH_conformance.json` document: one row per program per
-    /// tier (program, tier, simulated cycles, pass/fail), in
-    /// deterministic order.
-    pub fn to_json(&self) -> String {
-        let mut rows = Vec::new();
-        for case in &self.cases {
-            for tier in &case.tiers {
-                rows.push(format!(
-                    "    {{\"program\": \"{}\", \"tier\": \"{}\", \"cycles\": {}, \
-                     \"pass\": {}}}",
-                    case.name,
-                    tier.tier,
-                    tier.cycles,
-                    tier.passed() && case.failures.is_empty()
-                ));
-            }
-        }
-        format!(
-            "{{\n  \"schema\": \"systolic-ring-conformance-v1\",\n  \"programs\": {},\n  \
-             \"pass\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
-            self.cases.len(),
-            self.passed(),
-            rows.join(",\n")
-        )
-    }
 }
 
 /// Discovers and runs every program under `dir`.
@@ -464,15 +444,8 @@ halt
     }
 
     #[test]
-    fn json_rows_cover_every_tier() {
-        let report = ConformanceReport {
-            cases: vec![run_case(&case_from(SELF_CHECKING))],
-        };
-        let json = report.to_json();
-        assert!(json.contains("\"schema\": \"systolic-ring-conformance-v1\""));
-        for tier in Tier::ALL {
-            assert!(json.contains(&format!("\"tier\": \"{tier}\"")), "{json}");
-        }
-        assert!(json.contains("\"pass\": true"));
+    fn case_result_records_the_declared_geometry() {
+        let result = run_case(&case_from(SELF_CHECKING));
+        assert_eq!(result.geometry, RingGeometry::new(4, 2).unwrap());
     }
 }

@@ -66,17 +66,29 @@ fn every_program_conforms_on_all_three_tiers() {
     }
 }
 
-/// The JSON emission is deterministic and covers program x tier.
+/// The JSON emission is deterministic, uses the shared versioned record
+/// schema, covers program x tier, and parses back losslessly.
 #[test]
 fn conformance_json_covers_the_matrix() {
+    use systolic_ring_bench::record::{conformance_file, BenchFile, SCHEMA, VERSION};
+
     let report = conformance::run_dir(&programs_dir()).expect("corpus runs");
-    let json = report.to_json();
-    assert_eq!(json, report.to_json(), "emission must be deterministic");
-    assert!(json.contains("\"schema\": \"systolic-ring-conformance-v1\""));
+    let file = conformance_file(&report);
+    let json = file.to_json();
+    assert_eq!(
+        json,
+        conformance_file(&report).to_json(),
+        "emission must be deterministic"
+    );
+    assert!(json.contains(&format!("\"schema\": \"{SCHEMA}\"")));
+    assert!(json.contains(&format!("\"version\": {VERSION}")));
+    assert_eq!(file.suite, "conformance");
     for case in &report.cases {
-        assert!(json.contains(&format!("\"program\": \"{}\"", case.name)));
+        assert!(json.contains(&format!("\"workload\": \"{}\"", case.name)));
     }
-    let rows = json.matches("\"tier\":").count();
-    assert_eq!(rows, report.cases.len() * 3);
-    assert!(!json.contains("\"pass\": false"), "{json}");
+    assert_eq!(file.records.len(), report.cases.len() * 3);
+    assert!(file.records.iter().all(|r| r.pass == Some(true)), "{json}");
+
+    let parsed = BenchFile::parse(&json).expect("round-trips through the shared parser");
+    assert_eq!(parsed, file);
 }
