@@ -46,6 +46,22 @@ cargo run --release -q -p systolic-ring-bench --bin report -- json "$lintdir" --
 cargo run --release -q -p systolic-ring-bench --bin srbench-compare -- \
     --baseline . --fresh "$lintdir"
 
+echo "==> service smoke (srserved + srload over TCP, graceful drain must exit 0)"
+cargo build --release -q -p systolic-ring-server -p systolic-ring-bench
+./target/release/srserved --port-file "$lintdir/srserved.port" &
+srserved_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$lintdir/srserved.port" ] && break
+    sleep 0.1
+done
+[ -s "$lintdir/srserved.port" ] || { echo "srserved never bound"; exit 1; }
+./target/release/srload --addr "$(cat "$lintdir/srserved.port")" \
+    --jobs 24 --rate 200 --out "$lintdir/BENCH_service_load.json" --drain
+# Drain must shut the server down cleanly: a nonzero exit (jobs lost,
+# checkpoints unparked, sockets leaked) fails CI here via set -e.
+wait "$srserved_pid"
+grep -q '"suite": "service_load"' "$lintdir/BENCH_service_load.json"
+
 echo "==> lint self-test smoke (negative corpus must keep tripping)"
 cargo test -q -p systolic-ring-lint --test negative_corpus
 

@@ -1,0 +1,294 @@
+//! `srload` — an open-loop load generator for the `srserved` service.
+//!
+//! ```text
+//! srload --addr HOST:PORT [--jobs N] [--rate JOBS_PER_S] [--tenants N]
+//!        [--cycles N] [--out PATH] [--drain]
+//! ```
+//!
+//! Submits `--jobs` demo jobs (the shared increment-stream object, see
+//! `systolic_ring_bench::service`) from `--tenants` round-robin tenants
+//! at a fixed arrival rate. The loop is *open*: arrivals are scheduled
+//! from the start time, not from responses, so a slow service cannot
+//! slow the offered load down — backpressure shows up as 429s, which are
+//! counted and **not retried**, exactly the overload behavior the
+//! service promises to survive. Latency is measured from the intended
+//! arrival time to settlement, so queueing delay counts against the
+//! service.
+//!
+//! The summary (jobs/s, p50/p99 latency, rejection and fault counts,
+//! plus the server's own `/v1/stats` counters) is printed and, with
+//! `--out`, written in the shared `BENCH_*.json` record schema — the
+//! wall-clock fields of that file are informational and never gated, so
+//! the output belongs in a scratch directory, not next to the checked-in
+//! baselines. With `--drain` the server is drained afterwards; its clean
+//! exit is the CI smoke gate's proof of graceful shutdown.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use systolic_ring_bench::record::{BenchFile, BenchRecord};
+use systolic_ring_bench::service::{demo_inputs, demo_object, expected_outputs};
+use systolic_ring_server::{Client, Submit, SubmitSpec};
+
+struct Args {
+    addr: SocketAddr,
+    jobs: usize,
+    rate: f64,
+    tenants: usize,
+    cycles: u64,
+    out: Option<String>,
+    drain: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = None;
+    let mut jobs = 32usize;
+    let mut rate = 100.0f64;
+    let mut tenants = 4usize;
+    let mut cycles = 2048u64;
+    let mut out = None;
+    let mut drain = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => {
+                addr = Some(
+                    value("--addr")?
+                        .parse::<SocketAddr>()
+                        .map_err(|e| format!("--addr: {e}"))?,
+                )
+            }
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--rate" => {
+                rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--tenants" => {
+                tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?
+            }
+            "--cycles" => {
+                cycles = value("--cycles")?
+                    .parse()
+                    .map_err(|e| format!("--cycles: {e}"))?
+            }
+            "--out" => out = Some(value("--out")?),
+            "--drain" => drain = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: srload --addr HOST:PORT [--jobs N] [--rate JOBS_PER_S] \
+                            [--tenants N] [--cycles N] [--out PATH] [--drain]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    let addr = addr.ok_or("--addr HOST:PORT is required (try --help)")?;
+    if jobs == 0 || rate <= 0.0 || tenants == 0 || cycles == 0 {
+        return Err("--jobs, --rate, --tenants and --cycles must be positive".into());
+    }
+    Ok(Args {
+        addr,
+        jobs,
+        rate,
+        tenants,
+        cycles,
+        out,
+        drain,
+    })
+}
+
+/// One job's fate, as the client saw it.
+enum Fate {
+    Completed(Duration),
+    Faulted(Duration),
+    Rejected,
+    /// Transport or protocol error — the one outcome that fails srload.
+    Lost(String),
+}
+
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    let rank = ((sorted.len() as f64 * pct).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("srload: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let client = Client::new(args.addr).with_timeout(Duration::from_secs(60));
+    if !client.health().unwrap_or(false) {
+        eprintln!("srload: {} is not serving /healthz", args.addr);
+        return ExitCode::FAILURE;
+    }
+    let object = demo_object();
+    let interarrival = Duration::from_secs_f64(1.0 / args.rate);
+    let start = Instant::now();
+    let settled_cycles = AtomicU64::new(0);
+
+    let mut fates = Vec::with_capacity(args.jobs);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.jobs)
+            .map(|i| {
+                let (client, object) = (&client, &object);
+                let settled_cycles = &settled_cycles;
+                scope.spawn(move || {
+                    // Open loop: arrival i is scheduled from the start
+                    // time; latency is measured from that intent.
+                    let arrival = start + interarrival * i as u32;
+                    if let Some(lead) = arrival.checked_duration_since(Instant::now()) {
+                        thread::sleep(lead);
+                    }
+                    let base = (i % 1024) as i16;
+                    let spec =
+                        SubmitSpec::new(format!("load-{}", i % args.tenants), object, args.cycles)
+                            .input(0, 0, &demo_inputs(base))
+                            .sink(1, 0);
+                    // A completed job's sink stream must be bit-identical
+                    // to an uncontended local run of the same job — a
+                    // wrong answer is a lost job, not a completion. Bases
+                    // differ per job, so cross-tenant mixups can't pass.
+                    let expected = expected_outputs(base, args.cycles);
+                    let verified =
+                        |status: &systolic_ring_server::TicketStatus| status.outputs == expected;
+                    let ticket = match client.submit(spec) {
+                        Ok(Submit::Accepted { ticket, .. }) => ticket,
+                        Ok(Submit::Done(status)) => {
+                            return match status.status.as_str() {
+                                "completed" if verified(&status) => {
+                                    Fate::Completed(arrival.elapsed())
+                                }
+                                "completed" => Fate::Lost(format!("job {i}: wrong sink output")),
+                                _ => Fate::Faulted(arrival.elapsed()),
+                            }
+                        }
+                        Ok(Submit::Rejected { .. }) => return Fate::Rejected,
+                        Ok(Submit::Invalid(msg)) => return Fate::Lost(format!("400: {msg}")),
+                        Err(e) => return Fate::Lost(format!("submit: {e}")),
+                    };
+                    match client.wait_settled(ticket, Duration::from_secs(120)) {
+                        Ok(status) if status.status == "completed" => {
+                            if !verified(&status) {
+                                return Fate::Lost(format!("ticket {ticket}: wrong sink output"));
+                            }
+                            settled_cycles.fetch_add(status.cycles.unwrap_or(0), Ordering::Relaxed);
+                            Fate::Completed(arrival.elapsed())
+                        }
+                        Ok(_) => Fate::Faulted(arrival.elapsed()),
+                        Err(e) => Fate::Lost(format!("ticket {ticket}: {e}")),
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            fates.push(handle.join().expect("load thread"));
+        }
+    });
+    let wall = start.elapsed();
+
+    let mut latencies = Vec::new();
+    let (mut completed, mut faulted, mut rejected, mut lost) = (0u64, 0u64, 0u64, 0u64);
+    for fate in &fates {
+        match fate {
+            Fate::Completed(lat) => {
+                completed += 1;
+                latencies.push(*lat);
+            }
+            Fate::Faulted(lat) => {
+                faulted += 1;
+                latencies.push(*lat);
+            }
+            Fate::Rejected => rejected += 1,
+            Fate::Lost(detail) => {
+                lost += 1;
+                eprintln!("srload: LOST {detail}");
+            }
+        }
+    }
+    latencies.sort();
+    let secs = wall.as_secs_f64().max(1e-9);
+    let (p50, p99) = if latencies.is_empty() {
+        (Duration::ZERO, Duration::ZERO)
+    } else {
+        (percentile(&latencies, 0.50), percentile(&latencies, 0.99))
+    };
+
+    let stats = client.stats();
+    let advanced = stats
+        .as_ref()
+        .ok()
+        .and_then(|s| s.get("advanced_cycles").and_then(|v| v.as_u64()))
+        .unwrap_or(0);
+    println!(
+        "srload: {} jobs offered at {:.0}/s over {:.2}s: {completed} completed, \
+         {faulted} faulted, {rejected} rejected (backpressure), {lost} lost",
+        args.jobs, args.rate, secs
+    );
+    println!(
+        "srload: {:.1} settled jobs/s, latency p50 {:.2}ms p99 {:.2}ms, \
+         {advanced} simulated cycles server-side",
+        (completed + faulted) as f64 / secs,
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+    );
+
+    if let Some(path) = &args.out {
+        let file = BenchFile {
+            suite: "service_load".into(),
+            records: vec![BenchRecord {
+                workload: "srload_open_loop".into(),
+                geometry: format!("{} tenants x {} jobs", args.tenants, args.jobs),
+                tier: format!("rate{:.0}", args.rate),
+                cycles: advanced,
+                // Every offered job must be accounted for client-side:
+                // settled, or refused with a visible rejection.
+                pass: Some(lost == 0),
+                jobs_per_s: Some((completed + faulted) as f64 / secs),
+                p50_ms: Some(p50.as_secs_f64() * 1e3),
+                p99_ms: Some(p99.as_secs_f64() * 1e3),
+                rejected: Some(rejected),
+                ..BenchRecord::default()
+            }],
+        };
+        if let Err(e) = std::fs::write(path, file.to_json()) {
+            eprintln!("srload: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("srload: wrote {path}");
+    }
+
+    if args.drain {
+        match client.drain() {
+            Ok(body) => println!(
+                "srload: drained (evicted_now {})",
+                body.get("evicted_now")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0)
+            ),
+            Err(e) => {
+                eprintln!("srload: drain failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if lost > 0 {
+        eprintln!("srload: {lost} jobs lost without a client-visible verdict");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

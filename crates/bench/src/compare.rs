@@ -80,10 +80,15 @@ impl Comparison {
 enum Direction {
     /// Lower is better (cycles, deopts): an *increase* past tolerance
     /// regresses.
-    LowerIsBetter,
+    Lower,
     /// Higher is better (coverage, occupancy): a *decrease* past
     /// tolerance regresses.
-    HigherIsBetter,
+    Higher,
+    /// Deterministic scheduler counters (preemptions, rejections at a
+    /// fixed offered load): a shift past tolerance in *either* direction
+    /// regresses — the scheduler changed behavior, and the baseline must
+    /// be regenerated deliberately, not drift silently.
+    Stable,
 }
 
 fn gate_metric(
@@ -96,13 +101,17 @@ fn gate_metric(
     direction: Direction,
 ) {
     let (regressed, improved) = match direction {
-        Direction::LowerIsBetter => (
+        Direction::Lower => (
             fresh > baseline * (1.0 + tolerance),
             fresh < baseline * (1.0 - tolerance),
         ),
-        Direction::HigherIsBetter => (
+        Direction::Higher => (
             fresh < baseline * (1.0 - tolerance),
             fresh > baseline * (1.0 + tolerance),
+        ),
+        Direction::Stable => (
+            fresh > baseline * (1.0 + tolerance) || fresh < baseline * (1.0 - tolerance),
+            false,
         ),
     };
     if regressed {
@@ -137,7 +146,7 @@ fn compare_record(
         baseline.cycles as f64,
         fresh.cycles as f64,
         tolerance,
-        Direction::LowerIsBetter,
+        Direction::Lower,
     );
     if let (Some(base), Some(new)) = (baseline.fused_coverage, fresh.fused_coverage) {
         gate_metric(
@@ -147,7 +156,7 @@ fn compare_record(
             base,
             new,
             tolerance,
-            Direction::HigherIsBetter,
+            Direction::Higher,
         );
     } else if baseline.fused_coverage.is_some() && fresh.fused_coverage.is_none() {
         out.failures.push(Failure {
@@ -163,7 +172,7 @@ fn compare_record(
             base,
             new,
             tolerance,
-            Direction::HigherIsBetter,
+            Direction::Higher,
         );
     } else if baseline.lane_occupancy.is_some() && fresh.lane_occupancy.is_none() {
         out.failures.push(Failure {
@@ -181,8 +190,32 @@ fn compare_record(
             base as f64,
             new as f64,
             tolerance,
-            Direction::LowerIsBetter,
+            Direction::Lower,
         );
+    }
+    for (metric, base, new) in [
+        ("preemptions", baseline.preemptions, fresh.preemptions),
+        ("rejected", baseline.rejected, fresh.rejected),
+    ] {
+        // Scripted-mode scheduler counters: deterministic, so any shift
+        // beyond tolerance (from a zero baseline: any shift at all) is a
+        // behavior change the gate must surface.
+        match (base, new) {
+            (Some(base), Some(new)) => gate_metric(
+                out,
+                &context,
+                metric,
+                base as f64,
+                new as f64,
+                tolerance,
+                Direction::Stable,
+            ),
+            (Some(_), None) => out.failures.push(Failure {
+                code: "SR-B103",
+                message: format!("{context}: {metric} disappeared from the fresh run"),
+            }),
+            _ => {}
+        }
     }
     if baseline.pass == Some(true) && fresh.pass == Some(false) {
         out.failures.push(Failure {
@@ -241,10 +274,7 @@ mod tests {
             tier: tier.into(),
             cycles,
             mcyc_per_s: Some(2.0),
-            fused_coverage: None,
-            lane_occupancy: None,
-            deopts: None,
-            pass: None,
+            ..BenchRecord::default()
         }
     }
 
@@ -360,6 +390,80 @@ mod tests {
         let mut fresh = base.clone();
         fresh.records[0].mcyc_per_s = Some(0.0001);
         assert!(compare_files(&base, &fresh, DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn wall_clock_latency_fields_are_never_gated() {
+        let mut base_rec = record("svc", "scripted", 1000);
+        base_rec.jobs_per_s = Some(500.0);
+        base_rec.p50_ms = Some(2.0);
+        base_rec.p99_ms = Some(5.0);
+        let mut fresh_rec = base_rec.clone();
+        fresh_rec.jobs_per_s = Some(1.0);
+        fresh_rec.p50_ms = Some(900.0);
+        fresh_rec.p99_ms = None;
+        let cmp = compare_files(
+            &suite(vec![base_rec]),
+            &suite(vec![fresh_rec]),
+            DEFAULT_TOLERANCE,
+        );
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+    }
+
+    #[test]
+    fn service_counters_gate_shifts_in_both_directions() {
+        let mut base_rec = record("svc", "scripted", 1000);
+        base_rec.preemptions = Some(4);
+        base_rec.rejected = Some(16);
+        // Fewer rejections at the same offered load is a failure too: it
+        // means the queue quietly grew.
+        let mut fresh_rec = base_rec.clone();
+        fresh_rec.preemptions = Some(6);
+        fresh_rec.rejected = Some(8);
+        let cmp = compare_files(
+            &suite(vec![base_rec.clone()]),
+            &suite(vec![fresh_rec]),
+            DEFAULT_TOLERANCE,
+        );
+        assert_eq!(cmp.failures.len(), 2, "{:?}", cmp.failures);
+        assert!(cmp.failures.iter().all(|f| f.code == "SR-B103"));
+        // Identical counters pass without notes.
+        let cmp = compare_files(
+            &suite(vec![base_rec.clone()]),
+            &suite(vec![base_rec]),
+            DEFAULT_TOLERANCE,
+        );
+        assert!(cmp.passed());
+        assert!(cmp.notes.is_empty());
+    }
+
+    #[test]
+    fn any_shift_from_a_zero_preemption_baseline_fails() {
+        let mut base_rec = record("svc", "scripted", 1000);
+        base_rec.preemptions = Some(0);
+        let mut fresh_rec = base_rec.clone();
+        fresh_rec.preemptions = Some(1);
+        let cmp = compare_files(
+            &suite(vec![base_rec]),
+            &suite(vec![fresh_rec]),
+            DEFAULT_TOLERANCE,
+        );
+        assert_eq!(cmp.failures[0].code, "SR-B103");
+        assert!(cmp.failures[0].message.contains("preemptions"));
+    }
+
+    #[test]
+    fn service_counter_disappearance_fails() {
+        let mut base_rec = record("svc", "scripted", 1000);
+        base_rec.rejected = Some(16);
+        let fresh_rec = record("svc", "scripted", 1000);
+        let cmp = compare_files(
+            &suite(vec![base_rec]),
+            &suite(vec![fresh_rec]),
+            DEFAULT_TOLERANCE,
+        );
+        assert_eq!(cmp.failures[0].code, "SR-B103");
+        assert!(cmp.failures[0].message.contains("disappeared"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`record`] | extension A11 — the versioned `BENCH_*.json` record schema |
 //! | [`trajectory`] | extension A11 — the perf-trajectory suites + generated doc tables |
 //! | [`compare`] | extension A11 — the `srbench-compare` regression gate |
+//! | [`service`] | extension A12 — the multi-tenant service suite (+ the `srload` load generator) |
 //!
 //! Run `cargo run --release -p systolic-ring-bench --bin report -- all`
 //! for the full paper-vs-measured report; the wall-clock benches under
@@ -31,6 +32,7 @@ pub mod figures;
 pub mod kernels_table;
 pub mod record;
 pub mod scalability;
+pub mod service;
 pub mod table;
 pub mod table1;
 pub mod table2;

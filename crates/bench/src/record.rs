@@ -44,12 +44,24 @@
 //! | `lane_occupancy` | number \| null | `fused_lane_occupancy / fused_cycles`, `null` when nothing fused | yes: >10% decrease fails |
 //! | `deopts` | integer \| null | fused-engine deoptimizations | yes: any increase beyond 10% (so any, from a zero baseline) fails |
 //! | `pass` | bool \| null | self-check verdict (conformance rows) | yes: `true` → `false` fails |
+//! | `jobs_per_s` | number \| null | end-to-end jobs per wall-clock second (service rows) | **no** — wall-clock, machine-dependent |
+//! | `p50_ms` | number \| null | median client-observed job latency, milliseconds | **no** — wall-clock, machine-dependent |
+//! | `p99_ms` | number \| null | 99th-percentile client-observed job latency, milliseconds | **no** — wall-clock, machine-dependent |
+//! | `preemptions` | integer \| null | scheduler preemption events (scripted service runs) | yes: any shift beyond 10% either way fails |
+//! | `rejected` | integer \| null | admission rejections at a fixed offered load (scripted) | yes: any shift beyond 10% either way fails |
 //!
 //! Wall-clock-free metrics (`cycles`, `fused_coverage`,
-//! `lane_occupancy`, `deopts`, `pass`) are deterministic for a given
-//! tree, which is what makes the checked-in baselines comparable in CI;
-//! `mcyc_per_s` is recorded so the generated EXPERIMENTS.md tables have
-//! throughput columns, but is never compared (DESIGN.md §13).
+//! `lane_occupancy`, `deopts`, `pass`, `preemptions`, `rejected`) are
+//! deterministic for a given tree, which is what makes the checked-in
+//! baselines comparable in CI; `mcyc_per_s`, `jobs_per_s`, `p50_ms` and
+//! `p99_ms` are recorded so the generated EXPERIMENTS.md tables have
+//! throughput/latency columns, but are never compared (DESIGN.md §13).
+//!
+//! The five service fields (`jobs_per_s` through `rejected`) are an
+//! additive change: they are *omitted* from the emitted JSON — not
+//! written as `null` — whenever unmeasured, so suites that predate them
+//! keep emitting byte-identical files, and the parser treats a missing
+//! key as `None`.
 //!
 //! # Version-bump policy
 //!
@@ -90,7 +102,7 @@ pub const VERSION: u64 = 2;
 ///
 /// Field semantics and gating rules are tabulated in the
 /// [module docs](self).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchRecord {
     /// Stable workload identifier — half of the comparator's join key.
     pub workload: String,
@@ -113,6 +125,23 @@ pub struct BenchRecord {
     /// Self-check verdict (conformance and batch rows); `None` where the
     /// workload carries no embedded expectation.
     pub pass: Option<bool>,
+    /// End-to-end jobs per wall-clock second (service rows); `None` when
+    /// untimed. Never gated.
+    pub jobs_per_s: Option<f64>,
+    /// Median client-observed job latency in milliseconds; `None` when
+    /// untimed. Never gated.
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile client-observed job latency in milliseconds;
+    /// `None` when untimed. Never gated.
+    pub p99_ms: Option<f64>,
+    /// Scheduler preemption events from a scripted (deterministic)
+    /// service run; gated both ways — a shift means the scheduler
+    /// changed behavior.
+    pub preemptions: Option<u64>,
+    /// Admission rejections at a fixed offered load (scripted,
+    /// deterministic); gated both ways — fewer means the queue grew,
+    /// more means capacity shrank.
+    pub rejected: Option<u64>,
 }
 
 /// One `BENCH_*.json` document: a named suite of [`BenchRecord`]s under
@@ -203,13 +232,15 @@ fn opt_bool(v: Option<bool>) -> String {
 
 impl BenchRecord {
     /// Emits the record as a single JSON object line (no trailing
-    /// newline). Every field is present, `null` when unmeasured, so the
-    /// file documents its own shape.
+    /// newline). The original nine fields are always present, `null`
+    /// when unmeasured, so the file documents its own shape; the
+    /// service fields are omitted entirely when `None` so pre-service
+    /// suites keep emitting byte-identical files.
     fn to_json_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{{\"workload\": \"{}\", \"geometry\": \"{}\", \"tier\": \"{}\", \
              \"cycles\": {}, \"mcyc_per_s\": {}, \"fused_coverage\": {}, \
-             \"lane_occupancy\": {}, \"deopts\": {}, \"pass\": {}}}",
+             \"lane_occupancy\": {}, \"deopts\": {}, \"pass\": {}",
             escape(&self.workload),
             escape(&self.geometry),
             escape(&self.tier),
@@ -219,7 +250,24 @@ impl BenchRecord {
             opt_f64(self.lane_occupancy),
             opt_u64(self.deopts),
             opt_bool(self.pass),
-        )
+        );
+        if let Some(v) = self.jobs_per_s {
+            line.push_str(&format!(", \"jobs_per_s\": {v:.4}"));
+        }
+        if let Some(v) = self.p50_ms {
+            line.push_str(&format!(", \"p50_ms\": {v:.4}"));
+        }
+        if let Some(v) = self.p99_ms {
+            line.push_str(&format!(", \"p99_ms\": {v:.4}"));
+        }
+        if let Some(v) = self.preemptions {
+            line.push_str(&format!(", \"preemptions\": {v}"));
+        }
+        if let Some(v) = self.rejected {
+            line.push_str(&format!(", \"rejected\": {v}"));
+        }
+        line.push('}');
+        line
     }
 }
 
@@ -290,6 +338,11 @@ impl BenchFile {
                 lane_occupancy: get_opt_f64(obj, "lane_occupancy")?,
                 deopts: get_opt_u64(obj, "deopts")?,
                 pass: get_opt_bool(obj, "pass")?,
+                jobs_per_s: get_opt_f64(obj, "jobs_per_s")?,
+                p50_ms: get_opt_f64(obj, "p50_ms")?,
+                p99_ms: get_opt_f64(obj, "p99_ms")?,
+                preemptions: get_opt_u64(obj, "preemptions")?,
+                rejected: get_opt_u64(obj, "rejected")?,
             });
         }
         Ok(BenchFile { suite, records })
@@ -317,11 +370,8 @@ pub fn conformance_file(report: &ConformanceReport) -> BenchFile {
                 geometry: geometry_label(case.geometry),
                 tier: tier.tier.to_string(),
                 cycles: tier.cycles,
-                mcyc_per_s: None,
-                fused_coverage: None,
-                lane_occupancy: None,
-                deopts: None,
                 pass: Some(tier.passed() && case.failures.is_empty()),
+                ..BenchRecord::default()
             });
         }
     }
@@ -644,10 +694,7 @@ mod tests {
                     tier: "slow".into(),
                     cycles: 1113,
                     mcyc_per_s: Some(1.4412),
-                    fused_coverage: None,
-                    lane_occupancy: None,
-                    deopts: None,
-                    pass: None,
+                    ..BenchRecord::default()
                 },
                 BenchRecord {
                     workload: "table1_motion".into(),
@@ -659,6 +706,7 @@ mod tests {
                     lane_occupancy: Some(1.0),
                     deopts: Some(0),
                     pass: Some(true),
+                    ..BenchRecord::default()
                 },
             ],
         }
@@ -734,6 +782,30 @@ mod tests {
         file.records[0].workload = "weird \"name\"\twith\\stuff\n".into();
         let parsed = BenchFile::parse(&file.to_json()).expect("parses");
         assert_eq!(parsed, file);
+    }
+
+    #[test]
+    fn service_fields_are_omitted_when_unmeasured() {
+        // The emitted lines must not mention the service keys at all, so
+        // pre-service baselines stay byte-identical across regeneration.
+        let json = sample().to_json();
+        for key in ["jobs_per_s", "p50_ms", "p99_ms", "preemptions", "rejected"] {
+            assert!(!json.contains(key), "unexpected `{key}` in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn service_fields_round_trip_byte_identically() {
+        let mut file = sample();
+        file.records[1].jobs_per_s = Some(123.4567);
+        file.records[1].p50_ms = Some(4.25);
+        file.records[1].p99_ms = Some(19.5);
+        file.records[1].preemptions = Some(3);
+        file.records[1].rejected = Some(17);
+        let json = file.to_json();
+        let parsed = BenchFile::parse(&json).expect("parses");
+        assert_eq!(parsed, file);
+        assert_eq!(parsed.to_json(), json, "emit must be byte-stable");
     }
 
     #[test]

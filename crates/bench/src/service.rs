@@ -1,0 +1,465 @@
+//! The `service` trajectory suite: deterministic scripted runs of the
+//! multi-tenant scheduler (`systolic_ring_server::Service`), recorded in
+//! the shared [`crate::record`] schema as `BENCH_service.json`.
+//!
+//! Three scenarios cover the service's headline promises:
+//!
+//! | workload | what it tracks |
+//! |----------|----------------|
+//! | `service_pack16` | 16 tenants with identical objects packed into one 16-lane lockstep group, every result bit-identical to its solo run |
+//! | `service_preempt` | interactive bursts preempting a long batch job at slice boundaries, batch result bit-identical after 4 checkpoint/resume cycles |
+//! | `service_saturate2x` | a 2x-saturating offered load against a bounded queue: deterministic rejection count, bounded depth, zero lost jobs |
+//!
+//! Every gated number (simulated cycles, lane occupancy, preemption and
+//! rejection counts, the pass verdict) comes from the *scripted*
+//! scheduler mode, which never consults a wall clock — so the checked-in
+//! baseline is exactly reproducible and `srbench-compare` can gate it in
+//! CI. When a [`WallClock`] is given, the same offered load is replayed
+//! against a *threaded* service (worker threads + one client thread per
+//! job) to fill the informational `jobs_per_s` / `p50_ms` / `p99_ms` /
+//! `mcyc_per_s` columns; those are never gated.
+//!
+//! The demo workload ([`demo_object`]) is the increment-stream object the
+//! server integration tests use; [`demo_inputs`] is shared with the
+//! `srload` open-loop load generator so the suite, the smoke gate and the
+//! tests all drive the service with the same job shape.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use systolic_ring_core::MachineParams;
+use systolic_ring_harness::admission::{AdmissionConfig, JobClass};
+use systolic_ring_harness::job::{CycleBudget, Job, JobOutcome};
+use systolic_ring_harness::preempt::RunningJob;
+use systolic_ring_isa::ctrl::CtrlInstr;
+use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand};
+use systolic_ring_isa::object::{Object, Preload};
+use systolic_ring_isa::switch::{HostCapture, PortSource};
+use systolic_ring_isa::{RingGeometry, Word16};
+use systolic_ring_server::{JobStatus, Service, ServiceConfig, SubmitError};
+
+use crate::record::{geometry_label, BenchFile, BenchRecord};
+use crate::trajectory::WallClock;
+
+/// The increment-stream object shared by the service suite, `srload`
+/// and the server integration tests: Dnode (0,0) computes `in + 1` from
+/// host port (0,0), captured at switch 1 port 0, on a Ring-8.
+pub fn demo_object() -> Object {
+    let instr = MicroInstr::op(AluOp::Add, Operand::In1, Operand::One).write_out();
+    Object {
+        geometry: Some(RingGeometry::RING_8),
+        contexts: 0,
+        code: vec![CtrlInstr::Halt.encode()],
+        data: vec![],
+        preload: vec![
+            Preload::SwitchPort {
+                ctx: 0,
+                switch: 0,
+                lane: 0,
+                input: 0,
+                word: PortSource::HostIn { port: 0 }.encode(),
+            },
+            Preload::DnodeInstr {
+                ctx: 0,
+                dnode: 0,
+                word: instr.encode(),
+            },
+            Preload::HostCapture {
+                ctx: 0,
+                switch: 1,
+                port: 0,
+                word: HostCapture::lane(0).encode(),
+            },
+        ],
+    }
+}
+
+/// The 48-word input stream a demo job consumes, offset by `base` so
+/// every tenant's answer is distinguishable.
+pub fn demo_inputs(base: i16) -> Vec<i16> {
+    (0..48).map(|i| base + i).collect()
+}
+
+/// One entry of an offered load: who submits what.
+#[derive(Clone, Debug)]
+struct LoadSpec {
+    tenant: String,
+    class: JobClass,
+    base: i16,
+    cycles: u64,
+}
+
+impl LoadSpec {
+    fn batch(tenant: impl Into<String>, base: i16, cycles: u64) -> LoadSpec {
+        LoadSpec {
+            tenant: tenant.into(),
+            class: JobClass::Batch,
+            base,
+            cycles,
+        }
+    }
+
+    fn job(&self) -> Job {
+        Job::from_object(
+            self.tenant.clone(),
+            RingGeometry::RING_8,
+            MachineParams::PAPER,
+            demo_object(),
+            CycleBudget::Cycles(self.cycles),
+        )
+        .with_input(
+            0,
+            0,
+            demo_inputs(self.base).into_iter().map(Word16::from_i16),
+        )
+        .with_sink(1, 0)
+    }
+}
+
+/// The uncontended single-job result the service must reproduce.
+fn solo_outcome(job: &Job) -> JobOutcome {
+    let mut running = RunningJob::start(job).expect("demo job starts");
+    while !running.is_done() {
+        running.advance(u64::MAX);
+    }
+    running.finish()
+}
+
+/// The bit-exact sink streams a solo local run of the demo job produces.
+/// This is what `srload` verifies every completed service job against:
+/// the raw capture stream includes pipeline warmup and post-stream idle
+/// words, so the reference is a simulation, not a formula.
+pub fn expected_outputs(base: i16, cycles: u64) -> Vec<Vec<i16>> {
+    match solo_outcome(&LoadSpec::batch("solo", base, cycles).job()) {
+        JobOutcome::Completed(out) => out.outputs,
+        other => panic!("solo demo job failed: {other:?}"),
+    }
+}
+
+/// Outputs + cycles equality — the preemption-equivalence contract
+/// (recovery and engine counters legitimately differ).
+fn same_result(got: Option<JobStatus>, want: &JobOutcome) -> bool {
+    match (got, want) {
+        (Some(JobStatus::Done(JobOutcome::Completed(a))), JobOutcome::Completed(b)) => {
+            a.outputs == b.outputs && a.cycles == b.cycles
+        }
+        _ => false,
+    }
+}
+
+/// Wall-clock metrics from replaying an offered load against a threaded
+/// service. Informational only — never gated.
+struct TimedLoad {
+    jobs_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mcyc_per_s: f64,
+}
+
+/// Nearest-rank percentile of a sorted latency list.
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    let rank = ((sorted.len() as f64 * pct).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One threaded replay: worker threads run the scheduler, one client
+/// thread per spec submits (retrying on backpressure after the hinted
+/// delay) and waits for its job to settle.
+fn run_threaded(
+    config: ServiceConfig,
+    workers: usize,
+    specs: &[LoadSpec],
+) -> (Duration, Vec<Duration>, u64) {
+    let service = Arc::new(Service::new(config));
+    let worker_handles: Vec<_> = (0..workers.max(1))
+        .map(|_| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || service.run_worker())
+        })
+        .collect();
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(specs.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let service = &service;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let ticket = loop {
+                        match service.submit(&spec.tenant, spec.class, spec.job(), None) {
+                            Ok(ok) => break ok.ticket,
+                            Err(SubmitError::Rejected { retry_after_ms, .. }) => {
+                                thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 100)))
+                            }
+                            Err(SubmitError::Invalid(msg)) => panic!("invalid demo job: {msg}"),
+                        }
+                    };
+                    service.wait(ticket, Duration::from_secs(60));
+                    t0.elapsed()
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.push(handle.join().expect("client thread"));
+        }
+    });
+    let wall = started.elapsed();
+    let advanced = service.stats().advanced_cycles;
+    service.drain();
+    service.wait_drained();
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    (wall, latencies, advanced)
+}
+
+/// Replays the offered load `wall.warmup` untimed + `wall.iters` timed
+/// times and pools the per-job latencies across the timed repetitions.
+fn timed_load(
+    wall: WallClock,
+    config: ServiceConfig,
+    workers: usize,
+    specs: &[LoadSpec],
+) -> TimedLoad {
+    for _ in 0..wall.warmup {
+        run_threaded(config, workers, specs);
+    }
+    let mut total_wall = Duration::ZERO;
+    let mut total_advanced = 0u64;
+    let mut latencies = Vec::new();
+    for _ in 0..wall.iters.max(1) {
+        let (elapsed, lat, advanced) = run_threaded(config, workers, specs);
+        total_wall += elapsed;
+        total_advanced += advanced;
+        latencies.extend(lat);
+    }
+    latencies.sort();
+    let secs = total_wall.as_secs_f64().max(1e-9);
+    TimedLoad {
+        jobs_per_s: latencies.len() as f64 / secs,
+        p50_ms: percentile(&latencies, 0.50).as_secs_f64() * 1e3,
+        p99_ms: percentile(&latencies, 0.99).as_secs_f64() * 1e3,
+        mcyc_per_s: total_advanced as f64 / secs / 1e6,
+    }
+}
+
+/// Assembles one suite row from the scripted counters plus the optional
+/// timed replay.
+fn service_record(
+    workload: &str,
+    service: &Service,
+    pass: bool,
+    timed: Option<TimedLoad>,
+) -> BenchRecord {
+    let stats = service.stats();
+    BenchRecord {
+        workload: workload.into(),
+        geometry: geometry_label(RingGeometry::RING_8),
+        tier: "scripted".into(),
+        cycles: stats.advanced_cycles,
+        mcyc_per_s: timed.as_ref().map(|t| t.mcyc_per_s),
+        lane_occupancy: Some(stats.lane_occupancy()),
+        pass: Some(pass),
+        jobs_per_s: timed.as_ref().map(|t| t.jobs_per_s),
+        p50_ms: timed.as_ref().map(|t| t.p50_ms),
+        p99_ms: timed.as_ref().map(|t| t.p99_ms),
+        preemptions: Some(stats.preemptions),
+        rejected: Some(stats.admission.rejected()),
+        ..BenchRecord::default()
+    }
+}
+
+/// `service_pack16`: 16 tenants submit identical-object jobs; the
+/// scheduler must pack them into one 16-lane lockstep group and every
+/// tenant's result must be bit-identical to its uncontended solo run.
+fn pack16(wall: Option<WallClock>) -> BenchRecord {
+    let config = ServiceConfig::default();
+    let specs: Vec<LoadSpec> = (0..16)
+        .map(|i| LoadSpec::batch(format!("tenant-{i:02}"), 100 * (i + 1), 2048))
+        .collect();
+    let service = Service::new(config);
+    let mut tickets = Vec::new();
+    for spec in &specs {
+        let baseline = solo_outcome(&spec.job());
+        let ok = service
+            .submit(&spec.tenant, spec.class, spec.job(), None)
+            .expect("pack16 load fits the default queue");
+        tickets.push((ok.ticket, baseline));
+    }
+    service.run_idle();
+    let stats = service.stats();
+    let pass = tickets
+        .iter()
+        .all(|(ticket, baseline)| same_result(service.status(*ticket), baseline))
+        && stats.completed == specs.len() as u64
+        // The whole point of the row: all 16 lanes shared every cycle.
+        && stats.lane_occupancy() > 15.9;
+    let timed = wall.map(|w| timed_load(w, config, 2, &specs));
+    service_record("service_pack16", &service, pass, timed)
+}
+
+/// `service_preempt`: a long batch job is preempted by four interactive
+/// bursts at 256-cycle slice boundaries and must resume bit-identically
+/// each time.
+fn preempt(wall: Option<WallClock>) -> BenchRecord {
+    let config = ServiceConfig {
+        slice_cycles: 256,
+        ..ServiceConfig::default()
+    };
+    let batch_spec = LoadSpec::batch("batch-tenant", 10, 4096);
+    let interactive_specs: Vec<LoadSpec> = (0..4)
+        .map(|i| LoadSpec {
+            tenant: "urgent".into(),
+            class: JobClass::Interactive,
+            base: 500 + 10 * i,
+            cycles: 256,
+        })
+        .collect();
+
+    let service = Service::new(config);
+    let batch_baseline = solo_outcome(&batch_spec.job());
+    let batch = service
+        .submit(&batch_spec.tenant, batch_spec.class, batch_spec.job(), None)
+        .expect("admitted");
+    assert!(service.tick(), "batch unit claims");
+    let mut interactive = Vec::new();
+    for spec in &interactive_specs {
+        let baseline = solo_outcome(&spec.job());
+        let ok = service
+            .submit(&spec.tenant, spec.class, spec.job(), None)
+            .expect("admitted");
+        interactive.push((ok.ticket, baseline));
+        // Park the batch unit, run the burst, resume the batch unit.
+        for _ in 0..3 {
+            assert!(service.tick(), "scripted preemption step");
+        }
+    }
+    service.run_idle();
+    let pass = same_result(service.status(batch.ticket), &batch_baseline)
+        && interactive
+            .iter()
+            .all(|(ticket, baseline)| same_result(service.status(*ticket), baseline))
+        && service.stats().preemptions == interactive_specs.len() as u64;
+    let timed = wall.map(|w| {
+        let mut specs = vec![batch_spec.clone()];
+        specs.extend(interactive_specs.iter().cloned());
+        timed_load(w, config, 2, &specs)
+    });
+    service_record("service_preempt", &service, pass, timed)
+}
+
+/// `service_saturate2x`: four tenants offer jobs at twice the rate the
+/// scripted scheduler drains them against a bounded queue (capacity 8,
+/// quota 2). The rejection count is deterministic, the queue depth stays
+/// bounded, and every *admitted* job completes bit-identically — overload
+/// is refused at the front door, never absorbed or lost.
+fn saturate2x(wall: Option<WallClock>) -> BenchRecord {
+    let config = ServiceConfig {
+        admission: AdmissionConfig {
+            queue_capacity: 8,
+            tenant_quota: 2,
+            est_job_ms: 10,
+        },
+        ..ServiceConfig::default()
+    };
+    let specs: Vec<LoadSpec> = (0..64)
+        .map(|i| LoadSpec::batch(format!("tenant-{}", i % 4), 10 * (i + 1), 2048))
+        .collect();
+    let service = Service::new(config);
+    let mut admitted = Vec::new();
+    let mut rejected = 0u64;
+    for (i, spec) in specs.iter().enumerate() {
+        match service.submit(&spec.tenant, spec.class, spec.job(), None) {
+            Ok(ok) => admitted.push((ok.ticket, solo_outcome(&spec.job()))),
+            Err(SubmitError::Rejected { .. }) => rejected += 1,
+            Err(SubmitError::Invalid(msg)) => panic!("invalid demo job: {msg}"),
+        }
+        // One scheduling step per four offers. Each two-slice group needs
+        // two ticks to retire, so the offered load is twice what the
+        // scripted scheduler can drain — sustained 2x saturation.
+        if i % 4 == 3 {
+            service.tick();
+        }
+    }
+    service.run_idle();
+    let stats = service.stats();
+    let pass = admitted
+        .iter()
+        .all(|(ticket, baseline)| same_result(service.status(*ticket), baseline))
+        && stats.completed == admitted.len() as u64
+        && stats.admission.rejected() == rejected
+        && admitted.len() as u64 + rejected == specs.len() as u64
+        && rejected > 0
+        && stats.admission.max_depth <= config.admission.queue_capacity;
+    let timed = wall.map(|w| timed_load(w, config, 2, &specs));
+    service_record("service_saturate2x", &service, pass, timed)
+}
+
+/// The `service` trajectory suite (see the module docs).
+pub fn suite(wall: Option<WallClock>) -> BenchFile {
+    BenchFile {
+        suite: "service".into(),
+        records: vec![pack16(wall), preempt(wall), saturate2x(wall)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_suite_is_deterministic_and_passes() {
+        let a = suite(None);
+        let b = suite(None);
+        assert_eq!(a, b, "scripted records must be exactly reproducible");
+        assert_eq!(a.suite, "service");
+        let workloads: Vec<&str> = a.records.iter().map(|r| r.workload.as_str()).collect();
+        assert_eq!(
+            workloads,
+            ["service_pack16", "service_preempt", "service_saturate2x"]
+        );
+        for record in &a.records {
+            assert_eq!(record.tier, "scripted", "{}", record.workload);
+            assert_eq!(record.pass, Some(true), "{} failed", record.workload);
+            assert!(record.cycles > 0, "{}", record.workload);
+            assert!(record.mcyc_per_s.is_none(), "untimed run grew wall data");
+            assert!(record.jobs_per_s.is_none(), "untimed run grew wall data");
+        }
+        let pack = a.find("service_pack16", "scripted").unwrap();
+        assert!(pack.lane_occupancy.unwrap() > 15.9, "16-lane packing lost");
+        assert_eq!(pack.rejected, Some(0));
+        let preempt = a.find("service_preempt", "scripted").unwrap();
+        assert_eq!(preempt.preemptions, Some(4));
+        let saturated = a.find("service_saturate2x", "scripted").unwrap();
+        assert!(
+            saturated.rejected.unwrap() > 0,
+            "2x load never backpressured"
+        );
+    }
+
+    #[test]
+    fn timed_replay_fills_only_ungated_columns() {
+        let quick = WallClock {
+            warmup: 0,
+            iters: 1,
+        };
+        let untimed = pack16(None);
+        let timed = pack16(Some(quick));
+        assert!(timed.jobs_per_s.unwrap() > 0.0);
+        assert!(timed.p50_ms.unwrap() > 0.0);
+        assert!(timed.p99_ms.unwrap() >= timed.p50_ms.unwrap());
+        assert!(timed.mcyc_per_s.unwrap() > 0.0);
+        // The gated columns are identical with and without timing: they
+        // come from the scripted run alone.
+        let strip = |mut r: BenchRecord| {
+            r.mcyc_per_s = None;
+            r.jobs_per_s = None;
+            r.p50_ms = None;
+            r.p99_ms = None;
+            r
+        };
+        assert_eq!(strip(timed), strip(untimed));
+    }
+}

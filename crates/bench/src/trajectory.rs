@@ -2,7 +2,7 @@
 //! [`crate::record::BenchFile`]s are checked in as `BENCH_*.json` and gated by
 //! `srbench-compare` in CI.
 //!
-//! Four suites cover the repository's load-bearing performance claims:
+//! Five suites cover the repository's load-bearing performance claims:
 //!
 //! | suite | file | what it tracks |
 //! |-------|------|----------------|
@@ -10,8 +10,9 @@
 //! | `table2_wavelet` | `BENCH_table2_wavelet.json` | Table 2 wavelet 5/3 2-D on slow/decoded/fused tiers |
 //! | `fused` | `BENCH_fused.json` | 32-job `fir3.sr` lane-fusion sweep: decoded vs fused-serial vs lane-fused |
 //! | `batch_scaling` | `BENCH_batch_scaling.json` | 36-job mixed kernel sweep, serial and 1/2/4 workers |
+//! | `service` | `BENCH_service.json` | scripted multi-tenant service scenarios: packing, preemption, 2x-saturation backpressure (see [`crate::service`]) |
 //!
-//! (`BENCH_conformance.json`, the fifth baseline, is written by
+//! (`BENCH_conformance.json`, the sixth baseline, is written by
 //! `srconform` from the program corpus — same schema, different
 //! producer.)
 //!
@@ -66,12 +67,13 @@ impl WallClock {
     };
 }
 
-/// The four trajectory suites and their checked-in baseline files.
-pub const TRAJECTORY_FILES: [(&str, &str); 4] = [
+/// The five trajectory suites and their checked-in baseline files.
+pub const TRAJECTORY_FILES: [(&str, &str); 5] = [
     ("table1_motion", "BENCH_table1_motion.json"),
     ("table2_wavelet", "BENCH_table2_wavelet.json"),
     ("fused", "BENCH_fused.json"),
     ("batch_scaling", "BENCH_batch_scaling.json"),
+    ("service", "BENCH_service.json"),
 ];
 
 /// The conformance baseline (written by `srconform`, same schema).
@@ -99,7 +101,7 @@ fn tier_record(
         fused_coverage: coverage,
         lane_occupancy: occupancy,
         deopts: fused_tier.then_some(stats.fused_deopts),
-        pass: None,
+        ..BenchRecord::default()
     }
 }
 
@@ -245,6 +247,7 @@ fn batch_record(
         }),
         deopts: Some(summary.merged.fused_deopts),
         pass: Some(pass && summary.completed == summary.jobs),
+        ..BenchRecord::default()
     }
 }
 
@@ -319,6 +322,7 @@ pub fn batch_scaling(wall: Option<WallClock>) -> BenchFile {
         }),
         deopts: Some(serial_summary.merged.fused_deopts),
         pass: Some(serial_summary.completed == serial_summary.jobs),
+        ..BenchRecord::default()
     });
     for workers in [1usize, 2, 4] {
         let runner = BatchRunner::with_workers(workers);
@@ -346,6 +350,7 @@ pub fn all_suites(wall: Option<WallClock>) -> Vec<BenchFile> {
         table2_wavelet(wall),
         fused_batch(wall),
         batch_scaling(wall),
+        crate::service::suite(wall),
     ]
 }
 
@@ -356,6 +361,7 @@ pub fn run_suite(suite: &str, wall: Option<WallClock>) -> Option<BenchFile> {
         "table2_wavelet" => Some(table2_wavelet(wall)),
         "fused" => Some(fused_batch(wall)),
         "batch_scaling" => Some(batch_scaling(wall)),
+        "service" => Some(crate::service::suite(wall)),
         _ => None,
     }
 }
@@ -366,6 +372,9 @@ fn workload_label(workload: &str) -> &str {
         "table1_motion" => "Table 1 motion estimation (8x8 block, ±4, 64x64, Ring-16)",
         "table2_wavelet" => "Table 2 wavelet 5/3 2-D (64x48, Ring-16)",
         "batch32_fir3" => "32-job `fir3.sr` sweep, lane-fused (1 worker, Ring-8)",
+        "service_pack16" => "16 tenants, identical objects, one 16-lane lockstep group",
+        "service_preempt" => "4 interactive bursts preempting a 4096-cycle batch job",
+        "service_saturate2x" => "2x-saturating offered load vs bounded queue (cap 8, quota 2)",
         other => other,
     }
 }
@@ -404,8 +413,8 @@ fn load(dir: &Path, name: &str) -> Result<BenchFile, String> {
     BenchFile::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Renders the generated EXPERIMENTS.md tables (Extensions A8, A10 and
-/// A11) from the checked-in `BENCH_*.json` baselines under `dir`.
+/// Renders the generated EXPERIMENTS.md tables (Extensions A8, A10, A11
+/// and A12) from the checked-in `BENCH_*.json` baselines under `dir`.
 ///
 /// The output is a pure function of the baseline files, and
 /// EXPERIMENTS.md must contain each block byte-identically —
@@ -416,6 +425,7 @@ pub fn experiments_md(dir: &Path) -> Result<String, String> {
     let wavelet_f = load(dir, "BENCH_table2_wavelet.json")?;
     let fused_f = load(dir, "BENCH_fused.json")?;
     let scaling = load(dir, "BENCH_batch_scaling.json")?;
+    let service = load(dir, "BENCH_service.json")?;
 
     let regen = "Regenerate: `cargo run --release -p systolic-ring-bench --bin report -- json .` \
                  then `report -- experiments-md`";
@@ -524,7 +534,38 @@ pub fn experiments_md(dir: &Path) -> Result<String, String> {
     out.push_str(&format!(
         "\n{regen} (all tiers of `BENCH_batch_scaling.json`).\n"
     ));
-    out.push_str("<!-- end generated table: A11 -->\n");
+    out.push_str("<!-- end generated table: A11 -->\n\n");
+
+    // A12 — the multi-tenant service: scripted scheduler scenarios.
+    out.push_str("<!-- begin generated table: A12 (report -- experiments-md) -->\n");
+    out.push_str(
+        "| service scenario (scripted, deterministic) | simulated cycles | lanes | preemptions | \
+         rejected | jobs/s | p50 ms | p99 ms | pass |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    for record in &service.records {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            workload_label(&record.workload),
+            fmt_cycles(record.cycles),
+            occupancy(record.lane_occupancy),
+            record.preemptions.map_or("—".into(), |v| v.to_string()),
+            record.rejected.map_or("—".into(), |v| v.to_string()),
+            mcyc(record.jobs_per_s),
+            mcyc(record.p50_ms),
+            mcyc(record.p99_ms),
+            match record.pass {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "—",
+            },
+        ));
+    }
+    out.push_str(&format!(
+        "\n{regen} (the `scripted` tier of `BENCH_service.json`; jobs/s and latency \
+         percentiles are wall-clock, never gated).\n"
+    ));
+    out.push_str("<!-- end generated table: A12 -->\n");
 
     Ok(out)
 }

@@ -250,6 +250,8 @@ pub enum SimError {
     DatapathFault {
         /// Cycle of the detection.
         cycle: u64,
+        /// Configuration context that was active at detection time.
+        ctx: usize,
         /// Where the fault landed.
         site: FaultSite,
     },
@@ -259,6 +261,12 @@ pub enum SimError {
     Watchdog {
         /// Cycle of the trip.
         cycle: u64,
+        /// Configuration context that was active when the trip fired —
+        /// the context the fabric sat idle in.
+        ctx: usize,
+        /// Controller program counter at the trip, locating the stall in
+        /// the controller program.
+        pc: u32,
         /// Cycles elapsed since the last observed progress.
         idle_cycles: u64,
     },
@@ -305,13 +313,22 @@ impl fmt::Display for SimError {
                     "cycle {cycle}: configuration parity mismatch in context {ctx} at dnode {dnode}"
                 )
             }
-            SimError::DatapathFault { cycle, site } => {
-                write!(f, "cycle {cycle}: datapath fault at {site}")
-            }
-            SimError::Watchdog { cycle, idle_cycles } => {
+            SimError::DatapathFault { cycle, ctx, site } => {
                 write!(
                     f,
-                    "cycle {cycle}: watchdog expired after {idle_cycles} cycles without progress"
+                    "cycle {cycle}: datapath fault in context {ctx} at {site}"
+                )
+            }
+            SimError::Watchdog {
+                cycle,
+                ctx,
+                pc,
+                idle_cycles,
+            } => {
+                write!(
+                    f,
+                    "cycle {cycle}: watchdog expired after {idle_cycles} cycles without \
+                     progress in context {ctx} at controller pc {pc:#x}"
                 )
             }
         }
@@ -341,6 +358,39 @@ mod tests {
         assert!(err.to_string().contains("dnode 9"));
         let err = SimError::CycleLimit { limit: 100 };
         assert!(err.to_string().contains("100"));
+    }
+
+    /// Every detected-fault variant locates itself: the active context is
+    /// always named, and the Dnode (or controller pc, for the watchdog,
+    /// which has no single faulting Dnode) pins the coordinate — so a
+    /// server-side error report is actionable without machine access.
+    #[test]
+    fn detected_faults_carry_context_coordinates() {
+        let corruption = SimError::ConfigCorruption {
+            cycle: 7,
+            ctx: 2,
+            dnode: 5,
+        };
+        assert!(corruption.to_string().contains("context 2"));
+        assert!(corruption.to_string().contains("dnode 5"));
+        let datapath = SimError::DatapathFault {
+            cycle: 9,
+            ctx: 1,
+            site: FaultSite::StuckOut { dnode: 3 },
+        };
+        assert!(datapath.to_string().contains("context 1"));
+        assert!(datapath.to_string().contains("dnode 3"));
+        let watchdog = SimError::Watchdog {
+            cycle: 64,
+            ctx: 4,
+            pc: 0x1f,
+            idle_cycles: 64,
+        };
+        assert!(watchdog.to_string().contains("context 4"));
+        assert!(watchdog.to_string().contains("pc 0x1f"));
+        for err in [corruption, datapath, watchdog] {
+            assert!(err.is_detected_fault());
+        }
     }
 
     #[test]

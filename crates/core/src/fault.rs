@@ -402,7 +402,11 @@ impl FaultInjector {
             }
             if let Some(site) = self.tags.first() {
                 stats.datapath_faults_detected += 1;
-                return Err(SimError::DatapathFault { cycle, site: *site });
+                return Err(SimError::DatapathFault {
+                    cycle,
+                    ctx: active,
+                    site: *site,
+                });
             }
         }
         Ok(())

@@ -114,6 +114,18 @@ impl Checkpoint {
     pub fn cycle(&self) -> u64 {
         self.image.cycle
     }
+
+    /// Rebuilds a machine from this snapshot — the resume half of
+    /// checkpoint-based preemption, for callers that dropped the
+    /// suspended machine (e.g. a server parking a preempted job). The
+    /// rebuilt machine is bit-identical to the checkpointed one except
+    /// for the monotonic recovery counters: it counts one restore, like
+    /// [`RingMachine::restore`] onto a fresh machine would.
+    pub fn hydrate(&self) -> RingMachine {
+        let mut m = (*self.image).clone();
+        m.stats.restores += 1;
+        m
+    }
 }
 
 struct PortsAdapter<'a> {
@@ -663,6 +675,8 @@ impl RingMachine {
             self.wd_since = self.cycle;
             return Err(SimError::Watchdog {
                 cycle: self.cycle,
+                ctx: self.config.active_index(),
+                pc: self.controller.pc(),
                 idle_cycles,
             });
         }

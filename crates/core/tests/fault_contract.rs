@@ -220,7 +220,8 @@ fn watchdog_stops_at_the_boundary_and_rearms() {
             e,
             SimError::Watchdog {
                 cycle: 16,
-                idle_cycles: 16
+                idle_cycles: 16,
+                ..
             }
         ),
         "{e}"

@@ -142,8 +142,14 @@ fn watchdog_trips_on_an_idle_machine_and_rearms() {
     let mut m = RingMachine::new(RingGeometry::RING_8, MachineParams::PAPER.with_watchdog(64));
     let err = m.run(1_000).unwrap_err();
     match err {
-        SimError::Watchdog { cycle, idle_cycles } => {
+        SimError::Watchdog {
+            cycle,
+            ctx,
+            idle_cycles,
+            ..
+        } => {
             assert_eq!(cycle, 64);
+            assert_eq!(ctx, 0, "idle machine sits in the reset context");
             assert_eq!(idle_cycles, 64);
         }
         other => panic!("expected watchdog, got {other}"),
@@ -153,7 +159,9 @@ fn watchdog_trips_on_an_idle_machine_and_rearms() {
     assert_eq!(m.stats().watchdog_trips, 1);
     let err = m.run(1_000).unwrap_err();
     match err {
-        SimError::Watchdog { cycle, idle_cycles } => {
+        SimError::Watchdog {
+            cycle, idle_cycles, ..
+        } => {
             assert_eq!(cycle, 128);
             assert_eq!(idle_cycles, 64);
         }

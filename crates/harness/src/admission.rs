@@ -1,0 +1,439 @@
+//! Admission control for a shared simulation pool.
+//!
+//! A multi-tenant service in front of the batch runner needs to say *no*
+//! early: an unbounded queue converts overload into unbounded latency and
+//! memory, which is strictly worse than an honest rejection the client
+//! can retry against. [`AdmissionQueue`] is that front door:
+//!
+//! * **bounded depth** — the queue holds at most `queue_capacity` jobs
+//!   across all tenants; past that, [`Admission::Rejected`] with
+//!   [`RejectReason::QueueFull`],
+//! * **per-tenant quotas** — each tenant may have at most `tenant_quota`
+//!   jobs *outstanding* (queued or running), so one tenant flooding the
+//!   door cannot starve the rest even below the global cap,
+//! * **backpressure hints** — every rejection carries a deterministic
+//!   `retry_after_ms` derived from the queue state and the configured
+//!   per-job service-time estimate, so well-behaved clients back off
+//!   proportionally to the actual congestion (429-with-Retry-After
+//!   semantics at the transport layer),
+//! * **two service classes** — [`JobClass::Interactive`] jobs dequeue
+//!   before [`JobClass::Batch`] jobs (FIFO within a class); the scheduler
+//!   additionally uses a positive interactive queue depth as its signal
+//!   to preempt running batch work,
+//! * **drain** — [`AdmissionQueue::drain`] flips the queue into a
+//!   terminal draining state: everything still queued is handed back for
+//!   client-visible rejection and all further offers are refused with
+//!   [`RejectReason::Draining`], the graceful-shutdown contract (no job
+//!   is ever silently dropped).
+//!
+//! The queue stores `(ticket, tenant, class)` triples, not job payloads:
+//! the caller keeps its own `ticket → job` map. That keeps this type free
+//! of job lifetimes and lets the scheduler pull entries out of order when
+//! packing compatible jobs into fused lane groups
+//! ([`AdmissionQueue::take_where`]).
+
+use std::collections::VecDeque;
+
+/// Service class of a submitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobClass {
+    /// Latency-sensitive; dequeues first and preempts running batch work.
+    Interactive,
+    /// Throughput work; runs when no interactive job is waiting.
+    Batch,
+}
+
+impl std::fmt::Display for JobClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JobClass::Interactive => "interactive",
+            JobClass::Batch => "batch",
+        })
+    }
+}
+
+/// Why an offer was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The global queue is at capacity.
+    QueueFull,
+    /// The tenant is at its outstanding-jobs quota.
+    TenantQuota,
+    /// The service is draining for shutdown.
+    Draining,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RejectReason::QueueFull => "queue full",
+            RejectReason::TenantQuota => "tenant quota exceeded",
+            RejectReason::Draining => "service draining",
+        })
+    }
+}
+
+/// The verdict on one offered job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted and queued.
+    Admitted {
+        /// Caller's handle for this entry (unique per queue).
+        ticket: u64,
+        /// Queue depth after admission.
+        depth: usize,
+    },
+    /// Refused; try again after the hint.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+        /// Deterministic backoff hint derived from queue congestion.
+        retry_after_ms: u64,
+    },
+}
+
+/// One queued entry, handed back by the take methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// The ticket issued at admission.
+    pub ticket: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Service class.
+    pub class: JobClass,
+}
+
+/// Queue tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum queued jobs across all tenants.
+    pub queue_capacity: usize,
+    /// Maximum outstanding (queued + running) jobs per tenant.
+    pub tenant_quota: usize,
+    /// Per-job service-time estimate feeding the retry-after hints (ms).
+    pub est_job_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: 64,
+            tenant_quota: 16,
+            est_job_ms: 20,
+        }
+    }
+}
+
+/// Counters the service exports and the bench records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Jobs admitted.
+    pub admitted: u64,
+    /// Rejections with [`RejectReason::QueueFull`].
+    pub rejected_full: u64,
+    /// Rejections with [`RejectReason::TenantQuota`].
+    pub rejected_quota: u64,
+    /// Rejections with [`RejectReason::Draining`].
+    pub rejected_draining: u64,
+    /// High-water mark of the queue depth.
+    pub max_depth: usize,
+}
+
+impl AdmissionStats {
+    /// Total rejections across all reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_full + self.rejected_quota + self.rejected_draining
+    }
+}
+
+/// The admission front door. Not thread-safe by itself — the service
+/// wraps it in its scheduler mutex.
+#[derive(Clone, Debug)]
+pub struct AdmissionQueue {
+    config: AdmissionConfig,
+    next_ticket: u64,
+    interactive: VecDeque<QueuedJob>,
+    batch: VecDeque<QueuedJob>,
+    /// (tenant, outstanding) — linear scan; tenant counts are tiny.
+    outstanding: Vec<(String, usize)>,
+    draining: bool,
+    stats: AdmissionStats,
+}
+
+impl AdmissionQueue {
+    /// An empty queue with the given knobs.
+    pub fn new(config: AdmissionConfig) -> AdmissionQueue {
+        AdmissionQueue {
+            config,
+            next_ticket: 1,
+            interactive: VecDeque::new(),
+            batch: VecDeque::new(),
+            outstanding: Vec::new(),
+            draining: false,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Jobs currently queued (both classes).
+    pub fn depth(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+
+    /// Interactive jobs currently queued — the scheduler's preemption
+    /// signal.
+    pub fn interactive_waiting(&self) -> usize {
+        self.interactive.len()
+    }
+
+    /// A tenant's outstanding (queued + running) jobs.
+    pub fn outstanding(&self, tenant: &str) -> usize {
+        self.outstanding
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// `true` once [`AdmissionQueue::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// The exported counters.
+    pub fn stats(&self) -> &AdmissionStats {
+        &self.stats
+    }
+
+    /// Offers a job for admission. On success the job is queued and the
+    /// tenant's outstanding count rises; the caller files its payload
+    /// under the returned ticket. On rejection nothing is retained and
+    /// the hint tells the client how long to back off: congestion-
+    /// proportional for a full queue (jobs ahead × the per-job service
+    /// estimate), quota-proportional for a tenant at its cap, and one
+    /// estimate flat while draining (time enough for a replacement
+    /// instance to come up — there is nothing to wait out locally).
+    pub fn offer(&mut self, tenant: &str, class: JobClass) -> Admission {
+        let est = self.config.est_job_ms.max(1);
+        if self.draining {
+            self.stats.rejected_draining += 1;
+            return Admission::Rejected {
+                reason: RejectReason::Draining,
+                retry_after_ms: est,
+            };
+        }
+        if self.outstanding(tenant) >= self.config.tenant_quota {
+            self.stats.rejected_quota += 1;
+            return Admission::Rejected {
+                reason: RejectReason::TenantQuota,
+                retry_after_ms: est.saturating_mul(self.outstanding(tenant) as u64),
+            };
+        }
+        if self.depth() >= self.config.queue_capacity {
+            self.stats.rejected_full += 1;
+            return Admission::Rejected {
+                reason: RejectReason::QueueFull,
+                retry_after_ms: est.saturating_mul(self.depth() as u64),
+            };
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let entry = QueuedJob {
+            ticket,
+            tenant: tenant.to_owned(),
+            class,
+        };
+        match class {
+            JobClass::Interactive => self.interactive.push_back(entry),
+            JobClass::Batch => self.batch.push_back(entry),
+        }
+        match self.outstanding.iter_mut().find(|(t, _)| t == tenant) {
+            Some((_, n)) => *n += 1,
+            None => self.outstanding.push((tenant.to_owned(), 1)),
+        }
+        self.stats.admitted += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.depth());
+        Admission::Admitted {
+            ticket,
+            depth: self.depth(),
+        }
+    }
+
+    /// Dequeues the next job: interactive before batch, FIFO within a
+    /// class. The tenant's outstanding count stays up (the job is now
+    /// running) until [`AdmissionQueue::complete`].
+    pub fn take(&mut self) -> Option<QueuedJob> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.batch.pop_front())
+    }
+
+    /// Dequeues the first job (in dequeue priority order) whose ticket
+    /// satisfies `want` — the scheduler's lane-packing scan, pulling
+    /// compatible jobs from *different* queue positions (and different
+    /// tenants) into one fused group.
+    pub fn take_where(&mut self, mut want: impl FnMut(u64) -> bool) -> Option<QueuedJob> {
+        for queue in [&mut self.interactive, &mut self.batch] {
+            if let Some(pos) = queue.iter().position(|e| want(e.ticket)) {
+                return queue.remove(pos);
+            }
+        }
+        None
+    }
+
+    /// Marks one of `tenant`'s outstanding jobs terminal (completed,
+    /// faulted, or rejected at drain), releasing its quota slot.
+    pub fn complete(&mut self, tenant: &str) {
+        if let Some(pos) = self.outstanding.iter().position(|(t, _)| t == tenant) {
+            let (_, n) = &mut self.outstanding[pos];
+            *n -= 1;
+            if *n == 0 {
+                self.outstanding.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Enters the terminal draining state: refuses all future offers and
+    /// returns everything still queued so the caller can reject each job
+    /// client-visibly. Quota slots of the returned entries are released
+    /// here; running jobs are untouched (the scheduler checkpoints
+    /// those).
+    pub fn drain(&mut self) -> Vec<QueuedJob> {
+        self.draining = true;
+        let evicted: Vec<QueuedJob> = self
+            .interactive
+            .drain(..)
+            .chain(self.batch.drain(..))
+            .collect();
+        for entry in &evicted {
+            self.complete(&entry.tenant);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: 4,
+            tenant_quota: 2,
+            est_job_ms: 10,
+        }
+    }
+
+    #[test]
+    fn admits_until_quota_then_rejects_with_growing_hints() {
+        let mut q = AdmissionQueue::new(config());
+        assert!(matches!(
+            q.offer("alice", JobClass::Batch),
+            Admission::Admitted {
+                ticket: 1,
+                depth: 1
+            }
+        ));
+        assert!(matches!(
+            q.offer("alice", JobClass::Batch),
+            Admission::Admitted {
+                ticket: 2,
+                depth: 2
+            }
+        ));
+        // Third offer trips the per-tenant quota, not the global cap.
+        match q.offer("alice", JobClass::Batch) {
+            Admission::Rejected {
+                reason: RejectReason::TenantQuota,
+                retry_after_ms,
+            } => assert_eq!(retry_after_ms, 20),
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        // Other tenants are unaffected by alice's quota.
+        assert!(matches!(
+            q.offer("bob", JobClass::Batch),
+            Admission::Admitted { .. }
+        ));
+        assert!(matches!(
+            q.offer("carol", JobClass::Batch),
+            Admission::Admitted { .. }
+        ));
+        // The global cap now rejects even a fresh tenant, hint scaled by
+        // the jobs ahead of it.
+        match q.offer("dave", JobClass::Batch) {
+            Admission::Rejected {
+                reason: RejectReason::QueueFull,
+                retry_after_ms,
+            } => assert_eq!(retry_after_ms, 40),
+            other => panic!("expected full rejection, got {other:?}"),
+        }
+        assert_eq!(q.stats().admitted, 4);
+        assert_eq!(q.stats().rejected(), 2);
+        assert_eq!(q.stats().max_depth, 4);
+    }
+
+    #[test]
+    fn interactive_dequeues_before_batch() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        q.offer("a", JobClass::Batch);
+        q.offer("b", JobClass::Interactive);
+        q.offer("c", JobClass::Batch);
+        q.offer("d", JobClass::Interactive);
+        assert_eq!(q.interactive_waiting(), 2);
+        let order: Vec<String> = std::iter::from_fn(|| q.take()).map(|e| e.tenant).collect();
+        assert_eq!(order, ["b", "d", "a", "c"]);
+    }
+
+    #[test]
+    fn quota_slots_release_on_complete_not_on_take() {
+        let mut q = AdmissionQueue::new(config());
+        q.offer("alice", JobClass::Batch);
+        q.offer("alice", JobClass::Batch);
+        let job = q.take().expect("queued");
+        // Running still counts against the quota.
+        assert!(matches!(
+            q.offer("alice", JobClass::Batch),
+            Admission::Rejected {
+                reason: RejectReason::TenantQuota,
+                ..
+            }
+        ));
+        q.complete(&job.tenant);
+        assert!(matches!(
+            q.offer("alice", JobClass::Batch),
+            Admission::Admitted { .. }
+        ));
+    }
+
+    #[test]
+    fn take_where_pulls_compatible_jobs_across_tenants() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        q.offer("a", JobClass::Batch); // ticket 1
+        q.offer("b", JobClass::Batch); // ticket 2
+        q.offer("c", JobClass::Batch); // ticket 3
+                                       // Pack tickets 1 and 3, skipping the incompatible middle entry.
+        let first = q.take_where(|t| t % 2 == 1).expect("ticket 1");
+        let second = q.take_where(|t| t % 2 == 1).expect("ticket 3");
+        assert_eq!((first.ticket, second.ticket), (1, 3));
+        assert_eq!(q.take().expect("ticket 2 remains").ticket, 2);
+    }
+
+    #[test]
+    fn drain_evicts_the_queue_and_refuses_new_offers() {
+        let mut q = AdmissionQueue::new(config());
+        q.offer("alice", JobClass::Batch);
+        q.offer("bob", JobClass::Interactive);
+        let evicted = q.drain();
+        assert_eq!(evicted.len(), 2);
+        assert!(q.is_draining());
+        assert_eq!(q.depth(), 0);
+        // Evicted quota slots were released; offers are still refused.
+        assert_eq!(q.outstanding("alice"), 0);
+        match q.offer("alice", JobClass::Batch) {
+            Admission::Rejected {
+                reason: RejectReason::Draining,
+                retry_after_ms,
+            } => assert_eq!(retry_after_ms, 10),
+            other => panic!("expected draining rejection, got {other:?}"),
+        }
+        assert_eq!(q.stats().rejected_draining, 1);
+    }
+}

@@ -124,12 +124,32 @@ impl std::fmt::Debug for JobWork {
 /// Custom jobs cannot be checkpointed from outside, so a retry re-runs
 /// the whole workload closure under a re-salted
 /// [`systolic_ring_core::with_faults`] scope instead.
+///
+/// # Backoff
+///
+/// By default retries are immediate — right for transient *simulated*
+/// faults, where the rollback already undid the damage. Long-running
+/// service jobs retrying against a congested shared pool want spacing
+/// instead: [`RetryPolicy::backoff`] arms exponential backoff (the delay
+/// before retry `n` is `base << (n - 1)`, capped at `max`), and
+/// [`RetryPolicy::with_jitter`] adds a deterministic, seed-derived
+/// jitter of up to +50% per attempt (drawn from
+/// [`TestRng`](crate::testkit::TestRng), so a given `(seed, attempt)`
+/// always produces the same schedule — reproducible in tests, decorrelated
+/// across jobs that use different seeds). [`RetryPolicy::delay`] is the
+/// pure schedule function the executors sleep on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retries after the first attempt (`0` disables recovery).
     pub max_retries: u32,
     /// Attempt spare-Dnode remapping on stuck-output faults.
     pub remap: bool,
+    /// Delay before the first retry (`ZERO` keeps retries immediate).
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay (jitter included).
+    pub backoff_max: Duration,
+    /// Seed for the deterministic per-attempt jitter draw.
+    pub jitter_seed: u64,
 }
 
 impl RetryPolicy {
@@ -137,13 +157,17 @@ impl RetryPolicy {
     pub const OFF: RetryPolicy = RetryPolicy {
         max_retries: 0,
         remap: false,
+        backoff_base: Duration::ZERO,
+        backoff_max: Duration::ZERO,
+        jitter_seed: 0,
     };
 
-    /// A policy allowing `max_retries` rollback-retries, no remapping.
+    /// A policy allowing `max_retries` immediate rollback-retries, no
+    /// remapping.
     pub const fn retries(max_retries: u32) -> Self {
         RetryPolicy {
             max_retries,
-            remap: false,
+            ..RetryPolicy::OFF
         }
     }
 
@@ -153,9 +177,62 @@ impl RetryPolicy {
         self
     }
 
+    /// Arms exponential backoff: retry `n` waits `base << (n - 1)`,
+    /// saturating at `max`. A zero `base` keeps retries immediate.
+    pub const fn backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_max = max;
+        self
+    }
+
+    /// Seeds the deterministic jitter draw (only meaningful with a
+    /// nonzero backoff base). Jobs sharing a seed share a schedule;
+    /// give each tenant or job its own seed to decorrelate retry storms.
+    pub const fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
     /// `true` when at least one retry is allowed.
     pub fn is_active(&self) -> bool {
         self.max_retries > 0
+    }
+
+    /// The delay before retry `attempt` (1-based; `0` and a zero base
+    /// both yield `ZERO`). Pure: `(policy, attempt)` fully determines the
+    /// result, jitter included, so schedules are testable and replayable.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if attempt == 0 || self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let base = self.backoff_base.as_nanos() as u64;
+        let exp = base.saturating_shl(attempt - 1);
+        // Up to +50% deterministic jitter, drawn per (seed, attempt).
+        let mut rng = crate::testkit::TestRng::new(self.jitter_seed ^ (u64::from(attempt) << 32));
+        let jitter = rng.below(exp / 2 + 1);
+        let capped = exp
+            .saturating_add(jitter)
+            .min(self.backoff_max.as_nanos() as u64);
+        Duration::from_nanos(capped)
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping — a retry count
+/// past 63 pins the pre-cap delay at the maximum rather than cycling.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if self == 0 {
+            return 0;
+        }
+        if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
     }
 }
 
@@ -565,9 +642,10 @@ pub struct JobReport {
 
 /// Cycles per wall-limit check; small enough to bound overshoot, large
 /// enough to amortize the `Instant::now` call. The lane-fused group
-/// executor in the runner uses the same slice so its cycle accounting
-/// lines up with the single-job path.
-pub(crate) const SLICE_CYCLES: u64 = 1024;
+/// executor in the runner and the service scheduler's preemption
+/// granularity use the same slice so their cycle accounting lines up
+/// with the single-job path.
+pub const SLICE_CYCLES: u64 = 1024;
 
 /// Executes a job to completion on the calling thread, returning the
 /// result together with its fault/recovery record. Deferred builder
@@ -579,6 +657,14 @@ pub(crate) fn run(job: &Job) -> (Result<JobOutput, JobFault>, RecoveryStats) {
     match &job.work {
         JobWork::Machine(machine) => run_machine(machine, job),
         JobWork::Custom(work) => run_custom(work, job),
+    }
+}
+
+/// Sleeps out a backoff delay (no-op for the immediate-retry default, so
+/// the classic rollback loop costs nothing extra).
+fn sleep_backoff(delay: Duration) {
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
     }
 }
 
@@ -613,6 +699,7 @@ fn run_custom(work: &CustomFn, spec: &Job) -> (Result<JobOutput, JobFault>, Reco
                     if attempt < spec.retry.max_retries {
                         attempt += 1;
                         recovery.retries += 1;
+                        sleep_backoff(spec.retry.delay(attempt));
                         continue;
                     }
                 }
@@ -731,6 +818,7 @@ fn run_machine_inner(
                             }
                         }
                         m.rearm_faults(u64::from(attempt));
+                        sleep_backoff(spec.retry.delay(attempt));
                         continue;
                     }
                 }
@@ -984,6 +1072,39 @@ mod tests {
         assert!(faulted_any, "no seed produced a fault at 0.5%/class/cycle");
     }
 
+    /// Pins the exponential-backoff schedule: the delay sequence for a
+    /// given `(base, max, jitter seed)` is part of the policy's contract
+    /// — any change to the exponent rule, cap or jitter draw must show up
+    /// here as a deliberate diff.
+    #[test]
+    fn backoff_schedule_is_pinned() {
+        let policy = RetryPolicy::retries(8)
+            .backoff(Duration::from_millis(10), Duration::from_millis(200))
+            .with_jitter(0xfeed);
+        let schedule_ms: Vec<u128> = (0..=6).map(|n| policy.delay(n).as_millis()).collect();
+        // attempt 0 never waits; 1..=5 double (plus seeded jitter <= +50%);
+        // the cap flattens the tail at 200ms exactly.
+        assert_eq!(schedule_ms, vec![0, 14, 27, 42, 83, 200, 200]);
+        // The schedule is a pure function: same policy, same delays.
+        assert_eq!(policy.delay(3), policy.delay(3));
+        // A different seed decorrelates the jitter but keeps every delay
+        // inside the [exp, min(1.5 * exp, max)] envelope.
+        let other = policy.with_jitter(0xbeef);
+        for n in 1..=10u32 {
+            let exp = 10u128 << (n - 1);
+            let d = other.delay(n).as_millis();
+            assert!(
+                d >= exp.min(200) && d <= (exp + exp / 2).min(200),
+                "{n}: {d}"
+            );
+        }
+        assert_ne!(policy.delay(2), other.delay(2));
+        // Immediate-retry policies (the default) never wait at all.
+        assert_eq!(RetryPolicy::retries(3).delay(5), Duration::ZERO);
+        // Huge attempt counts saturate instead of wrapping.
+        assert_eq!(policy.delay(200), Duration::from_millis(200));
+    }
+
     #[test]
     fn detected_fault_classification_matches_display_phrases() {
         assert!(JobFault::Sim(
@@ -991,13 +1112,15 @@ mod tests {
         )
         .is_detected_fault());
         assert!(JobFault::Workload(
-            "machine fault: cycle 9: datapath fault at dnode 2 register R1".into()
+            "machine fault: cycle 9: datapath fault in context 0 at dnode 2 register R1".into()
         )
         .is_detected_fault());
-        assert!(
-            JobFault::Sim("cycle 8: watchdog expired after 8 cycles without progress".into())
-                .is_detected_fault()
-        );
+        assert!(JobFault::Sim(
+            "cycle 8: watchdog expired after 8 cycles without progress \
+             in context 0 at controller pc 0x2"
+                .into()
+        )
+        .is_detected_fault());
         assert!(!JobFault::Sim("cycle limit".into()).is_detected_fault());
         assert!(!JobFault::Panic("parity mismatch".into()).is_detected_fault());
     }

@@ -24,6 +24,16 @@
 //!   lints every object, executes it on the slow/decoded/fused tiers and
 //!   judges sink expectations, cycle budgets and cross-tier
 //!   bit-equality (CLI: `srconform`),
+//! * [`preempt`] — incremental, checkpoint-preemptible execution of the
+//!   same jobs: a [`preempt::RunningJob`] advances slice by
+//!   slice with bit-identical results to the single-shot path, suspends
+//!   into a checkpoint and resumes later; a
+//!   [`preempt::LaneGroup`] keeps many such jobs in fused
+//!   lockstep — the execution layer under the multi-tenant service,
+//! * [`admission`] — the service's bounded front door: per-tenant
+//!   quotas, a global queue cap, interactive-over-batch priority,
+//!   deterministic retry-after backpressure hints and a terminal drain
+//!   state for graceful shutdown,
 //! * [`campaign`] — a chaos-campaign driver sweeping fault-injection
 //!   rates across a suite of golden-checked jobs and classifying every
 //!   outcome (clean / recovered / detected-failed / undetected), the
@@ -68,16 +78,22 @@
 //! assert_eq!(report.summary().completed, 8);
 //! ```
 
+pub mod admission;
 pub mod campaign;
 pub mod conformance;
 pub mod job;
 pub mod microbench;
+pub mod preempt;
 pub mod runner;
 pub mod testkit;
 
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionQueue, AdmissionStats, JobClass, QueuedJob, RejectReason,
+};
 pub use campaign::{CampaignCase, CampaignReport, CampaignRow, CaseResult};
 pub use job::{
     CycleBudget, Job, JobFault, JobOutcome, JobOutput, JobReport, RecoveryStats, RetryPolicy,
 };
+pub use preempt::{group_eligible, groupable, preemptible, LaneGroup, RunningJob, SuspendedJob};
 pub use runner::{BatchReport, BatchRunner, BatchSummary};
 pub use testkit::TestRng;

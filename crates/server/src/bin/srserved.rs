@@ -1,0 +1,90 @@
+//! `srserved` — the multi-tenant ring-simulation service daemon.
+//!
+//! ```text
+//! srserved [--addr HOST:PORT] [--workers N] [--port-file PATH]
+//!          [--queue-cap N] [--tenant-quota N] [--slice CYCLES]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:0` — an ephemeral port),
+//! prints the bound address on stdout, optionally writes it to
+//! `--port-file` (how the CI smoke gate finds the port), and serves
+//! until a client POSTs `/v1/drain`. Drain is graceful: the queue is
+//! evicted with client-visible errors, in-flight jobs are parked as
+//! checkpoints, the drain response confirms quiescence, and the
+//! process exits 0.
+
+use std::process::ExitCode;
+
+use systolic_ring_server::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut port_file: Option<String> = None;
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage("--addr needs HOST:PORT"),
+            },
+            "--port-file" => match args.next() {
+                Some(v) => port_file = Some(v),
+                None => return usage("--port-file needs PATH"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.workers = v,
+                None => return usage("--workers needs a count"),
+            },
+            "--queue-cap" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.service.admission.queue_capacity = v,
+                None => return usage("--queue-cap needs a count"),
+            },
+            "--tenant-quota" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.service.admission.tenant_quota = v,
+                None => return usage("--tenant-quota needs a count"),
+            },
+            "--slice" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config.service.slice_cycles = v,
+                _ => return usage("--slice needs a positive cycle count"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: srserved [--addr HOST:PORT] [--workers N] [--port-file PATH]\n\
+                     \u{20}               [--queue-cap N] [--tenant-quota N] [--slice CYCLES]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let server = match Server::bind(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("srserved: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = server.local_addr();
+    println!("srserved listening on {bound}");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, bound.to_string()) {
+            eprintln!("srserved: cannot write port file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("srserved: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("srserved: {msg} (try --help)");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,447 @@
+//! A blocking client for the service wire protocol.
+//!
+//! The client opens one `TcpStream` per request — deliberately boring,
+//! so the load generator, the CI smoke gate and the integration tests
+//! all exercise the server's connection accept path rather than a
+//! long-lived multiplexer. Responses are parsed with the same
+//! [`Json`] mini-parser the protocol module ships.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use systolic_ring_harness::admission::JobClass;
+use systolic_ring_isa::object::Object;
+
+use crate::protocol::{Json, Request};
+
+/// A job submission as the client sends it.
+#[derive(Clone, Debug)]
+pub struct SubmitSpec {
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Service class.
+    pub class: JobClass,
+    /// `Cycles(n)` budget.
+    pub cycles: u64,
+    /// Ring size (8/16/64).
+    pub geometry: usize,
+    /// Watchdog interval (0 = off).
+    pub watchdog: u64,
+    /// Wall-clock deadline in milliseconds.
+    pub wall_ms: Option<u64>,
+    /// Uniform chaos injection `(seed, ppm)`.
+    pub chaos: Option<(u64, u32)>,
+    /// Input streams `(switch, port, words)`.
+    pub inputs: Vec<(usize, usize, Vec<i16>)>,
+    /// Sinks to capture `(switch, port)`.
+    pub sinks: Vec<(usize, usize)>,
+    /// Block the request until the job settles.
+    pub wait: bool,
+    /// The assembled object, already serialized.
+    pub object_bytes: Vec<u8>,
+}
+
+impl SubmitSpec {
+    /// A batch-class submission of `object` with a cycle budget.
+    pub fn new(tenant: impl Into<String>, object: &Object, cycles: u64) -> SubmitSpec {
+        SubmitSpec {
+            tenant: tenant.into(),
+            class: JobClass::Batch,
+            cycles,
+            geometry: 8,
+            watchdog: 0,
+            wall_ms: None,
+            chaos: None,
+            inputs: Vec::new(),
+            sinks: Vec::new(),
+            wait: false,
+            object_bytes: object.to_bytes(),
+        }
+    }
+
+    /// Marks the job interactive.
+    pub fn interactive(mut self) -> SubmitSpec {
+        self.class = JobClass::Interactive;
+        self
+    }
+
+    /// Blocks the submit call until the job settles.
+    pub fn wait(mut self) -> SubmitSpec {
+        self.wait = true;
+        self
+    }
+
+    /// Adds an input stream.
+    pub fn input(mut self, switch: usize, port: usize, words: &[i16]) -> SubmitSpec {
+        self.inputs.push((switch, port, words.to_vec()));
+        self
+    }
+
+    /// Adds a sink.
+    pub fn sink(mut self, switch: usize, port: usize) -> SubmitSpec {
+        self.sinks.push((switch, port));
+        self
+    }
+
+    /// Arms uniform chaos injection.
+    pub fn chaos(mut self, seed: u64, ppm: u32) -> SubmitSpec {
+        self.chaos = Some((seed, ppm));
+        self
+    }
+
+    fn into_request(self) -> Request {
+        let mut headers = vec![
+            ("x-tenant".to_owned(), self.tenant),
+            ("x-class".to_owned(), self.class.to_string()),
+            ("x-cycles".to_owned(), self.cycles.to_string()),
+            ("x-geometry".to_owned(), self.geometry.to_string()),
+        ];
+        if self.watchdog > 0 {
+            headers.push(("x-watchdog".to_owned(), self.watchdog.to_string()));
+        }
+        if let Some(ms) = self.wall_ms {
+            headers.push(("x-wall-ms".to_owned(), ms.to_string()));
+        }
+        if let Some((seed, ppm)) = self.chaos {
+            headers.push(("x-chaos-seed".to_owned(), seed.to_string()));
+            headers.push(("x-chaos-ppm".to_owned(), ppm.to_string()));
+        }
+        for (switch, port, words) in &self.inputs {
+            let list = words
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            headers.push((format!("x-input-{switch}-{port}"), list));
+        }
+        if !self.sinks.is_empty() {
+            let list = self
+                .sinks
+                .iter()
+                .map(|(s, p)| format!("{s}.{p}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            headers.push(("x-sink".to_owned(), list));
+        }
+        let query = if self.wait {
+            vec![("wait".to_owned(), "1".to_owned())]
+        } else {
+            Vec::new()
+        };
+        Request {
+            method: "POST".to_owned(),
+            path: "/v1/jobs".to_owned(),
+            query,
+            headers,
+            body: self.object_bytes,
+        }
+    }
+}
+
+/// The settled (or in-flight) state of a ticket, decoded from JSON.
+#[derive(Clone, Debug)]
+pub struct TicketStatus {
+    /// The ticket.
+    pub ticket: u64,
+    /// `queued`/`running`/`checkpointed`/`completed`/`faulted`.
+    pub status: String,
+    /// Checkpoint cycle, when checkpointed.
+    pub cycle: Option<u64>,
+    /// Cycles consumed, when completed.
+    pub cycles: Option<u64>,
+    /// Drained sink words, when completed.
+    pub outputs: Vec<Vec<i16>>,
+    /// The fault display, when faulted.
+    pub fault: Option<String>,
+    /// Whether a fault was flagged by the detection machinery.
+    pub detected: bool,
+}
+
+impl TicketStatus {
+    fn from_json(v: &Json) -> Result<TicketStatus, String> {
+        let ticket = v
+            .get("ticket")
+            .and_then(Json::as_u64)
+            .ok_or("status without ticket")?;
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("status without status")?
+            .to_owned();
+        let outputs = match v.get("outputs").and_then(Json::as_arr) {
+            Some(sinks) => sinks
+                .iter()
+                .map(|sink| {
+                    sink.as_arr()
+                        .ok_or("outputs entry is not an array")?
+                        .iter()
+                        .map(|w| w.as_f64().map(|n| n as i16).ok_or("non-numeric word"))
+                        .collect()
+                })
+                .collect::<Result<Vec<Vec<i16>>, &str>>()?,
+            None => Vec::new(),
+        };
+        Ok(TicketStatus {
+            ticket,
+            status,
+            cycle: v.get("cycle").and_then(Json::as_u64),
+            cycles: v.get("cycles").and_then(Json::as_u64),
+            outputs,
+            fault: v.get("fault").and_then(Json::as_str).map(str::to_owned),
+            detected: v.get("detected") == Some(&Json::Bool(true)),
+        })
+    }
+
+    /// `true` once the job can make no further progress.
+    pub fn is_settled(&self) -> bool {
+        matches!(self.status.as_str(), "completed" | "faulted")
+    }
+}
+
+/// The outcome of a submit call.
+#[derive(Clone, Debug)]
+pub enum Submit {
+    /// Admitted; poll the ticket.
+    Accepted {
+        /// The assigned ticket.
+        ticket: u64,
+        /// Queue depth at admission.
+        depth: usize,
+    },
+    /// Admitted with `wait`, and here is the settled status.
+    Done(TicketStatus),
+    /// Backpressure: try again after the hint.
+    Rejected {
+        /// HTTP status (429 for load, 503 for drain).
+        status: u16,
+        /// The admission controller's reason phrase.
+        reason: String,
+        /// Deterministic retry hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request itself was malformed (400); not retryable.
+    Invalid(String),
+}
+
+/// One decoded HTTP response: status code, lowercased headers, body text.
+type RawResponse = (u16, Vec<(String, String)>, String);
+
+/// A blocking protocol client (one TCP connection per request).
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the server at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Overrides the per-request socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    fn round_trip(&self, req: &Request) -> io::Result<RawResponse> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut writer = stream.try_clone()?;
+        write_request(&mut writer, req)?;
+        let mut reader = BufReader::new(stream);
+        read_response(&mut reader)
+    }
+
+    /// `GET /healthz`; `Ok(true)` when the server answers 200.
+    pub fn health(&self) -> io::Result<bool> {
+        let (status, _, _) = self.round_trip(&get("/healthz"))?;
+        Ok(status == 200)
+    }
+
+    /// Submits a job.
+    pub fn submit(&self, spec: SubmitSpec) -> io::Result<Submit> {
+        let (status, headers, body) = self.round_trip(&spec.into_request())?;
+        match status {
+            200 => {
+                let v = parse_body(&body)?;
+                Ok(Submit::Done(TicketStatus::from_json(&v).map_err(bad_data)?))
+            }
+            202 => {
+                let v = parse_body(&body)?;
+                Ok(Submit::Accepted {
+                    ticket: v
+                        .get("ticket")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad_data("202 without ticket"))?,
+                    depth: v.get("depth").and_then(Json::as_u64).unwrap_or(0) as usize,
+                })
+            }
+            429 | 503 => {
+                let v = parse_body(&body)?;
+                let retry_after_ms = v
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .or_else(|| {
+                        headers
+                            .iter()
+                            .find(|(k, _)| k == "retry-after")
+                            .and_then(|(_, secs)| secs.parse::<u64>().ok())
+                            .map(|secs| secs * 1000)
+                    })
+                    .unwrap_or(0);
+                Ok(Submit::Rejected {
+                    status,
+                    reason: v
+                        .get("reason")
+                        .and_then(Json::as_str)
+                        .unwrap_or("rejected")
+                        .to_owned(),
+                    retry_after_ms,
+                })
+            }
+            400 => Ok(Submit::Invalid(body)),
+            other => Err(bad_data(format!("unexpected status {other}: {body}"))),
+        }
+    }
+
+    /// `GET /v1/jobs/<ticket>`.
+    pub fn status(&self, ticket: u64) -> io::Result<Option<TicketStatus>> {
+        let (status, _, body) = self.round_trip(&get(&format!("/v1/jobs/{ticket}")))?;
+        match status {
+            200 => {
+                let v = parse_body(&body)?;
+                Ok(Some(TicketStatus::from_json(&v).map_err(bad_data)?))
+            }
+            404 => Ok(None),
+            other => Err(bad_data(format!("unexpected status {other}: {body}"))),
+        }
+    }
+
+    /// Polls a ticket until it settles (or checkpoints during drain).
+    pub fn wait_settled(&self, ticket: u64, budget: Duration) -> io::Result<TicketStatus> {
+        let start = std::time::Instant::now();
+        loop {
+            let status = self
+                .status(ticket)?
+                .ok_or_else(|| bad_data(format!("ticket {ticket} unknown to server")))?;
+            if status.is_settled() || status.status == "checkpointed" {
+                return Ok(status);
+            }
+            if start.elapsed() >= budget {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("ticket {ticket} still {} after {budget:?}", status.status),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// `GET /v1/stats`, parsed.
+    pub fn stats(&self) -> io::Result<Json> {
+        let (status, _, body) = self.round_trip(&get("/v1/stats"))?;
+        if status != 200 {
+            return Err(bad_data(format!("stats returned {status}")));
+        }
+        parse_body(&body)
+    }
+
+    /// `POST /v1/drain`: graceful shutdown; returns the final stats JSON.
+    pub fn drain(&self) -> io::Result<Json> {
+        let req = Request {
+            method: "POST".to_owned(),
+            path: "/v1/drain".to_owned(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let (status, _, body) = self.round_trip(&req)?;
+        if status != 200 {
+            return Err(bad_data(format!("drain returned {status}: {body}")));
+        }
+        parse_body(&body)
+    }
+}
+
+fn get(path: &str) -> Request {
+    Request {
+        method: "GET".to_owned(),
+        path: path.to_owned(),
+        query: Vec::new(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn parse_body(body: &str) -> io::Result<Json> {
+    Json::parse(body).map_err(|e| bad_data(format!("bad response JSON: {e} in {body:?}")))
+}
+
+/// Serializes `req` in HTTP/1.1 framing.
+fn write_request(stream: &mut impl io::Write, req: &Request) -> io::Result<()> {
+    let mut target = req.path.clone();
+    for (i, (k, v)) in req.query.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(k);
+        target.push('=');
+        target.push_str(v);
+    }
+    write!(stream, "{} {} HTTP/1.1\r\n", req.method, target)?;
+    for (name, value) in &req.headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "content-length: {}\r\n\r\n", req.body.len())?;
+    stream.write_all(&req.body)?;
+    stream.flush()
+}
+
+/// Reads one HTTP response: status, lowercased headers, body as text.
+fn read_response(stream: &mut impl io::BufRead) -> io::Result<RawResponse> {
+    let mut line = String::new();
+    if stream.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "no status line",
+        ));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad_data(format!("bad status line {line:?}")))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if stream.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "mid-headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| bad_data("bad content-length"))?;
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(stream, &mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad_data("non-utf8 body"))?;
+    Ok((status, headers, body))
+}

@@ -1,0 +1,57 @@
+//! Multi-tenant ring-simulation service.
+//!
+//! This crate turns the single-process batch tooling of
+//! [`systolic_ring_harness`] into a long-running shared service: named
+//! tenants submit lint-gated [`Job`](systolic_ring_harness::job::Job)s
+//! over a minimal HTTP/1.1 line protocol, and a scheduler runs them on
+//! a shared simulation pool with admission control, backpressure,
+//! checkpoint-based preemption and graceful drain.
+//!
+//! # Layers
+//!
+//! * [`service`] — the scheduler. Admission via
+//!   [`AdmissionQueue`](systolic_ring_harness::admission::AdmissionQueue)
+//!   (bounded queue, per-tenant quotas, deterministic retry-after
+//!   hints), execution through the checkpoint-preemptible
+//!   [`LaneGroup`](systolic_ring_harness::preempt::LaneGroup) layer
+//!   (batch units yield to interactive traffic at slice boundaries and
+//!   resume bit-identically), identical-object packing across tenants
+//!   into fused 16-lane groups, per-tenant fault isolation, and a
+//!   drain path that never loses a job without telling its client.
+//!   Runs threaded (wall-clock deadlines) or scripted (fully
+//!   deterministic, for the benchmark trajectory).
+//! * [`protocol`] — the wire format: a tiny HTTP/1.1 subset over
+//!   `std::net`, the `x-` header job encoding with the assembled
+//!   [`Object`](systolic_ring_isa::object::Object) binary as the body,
+//!   and a hand-rolled JSON emitter/parser. No dependencies beyond the
+//!   workspace, per the std-only rule.
+//! * [`serve`] — the TCP front end: accept loop, connection handler,
+//!   router, graceful shutdown sequencing. The `srserved` binary is a
+//!   thin flag-parsing wrapper around [`Server`].
+//! * [`client`] — a blocking client used by the `srload` load
+//!   generator, the CI smoke gate and the integration tests.
+//!
+//! # Service promises
+//!
+//! 1. Overload is refused at admission (HTTP 429 + `Retry-After`),
+//!    never absorbed as unbounded queueing.
+//! 2. Interactive latency is bounded by one scheduling slice of
+//!    simulation, because batch units checkpoint and yield.
+//! 3. Preemption is invisible to results: a resumed job's outputs and
+//!    cycle counts are bit-identical to an uninterrupted run.
+//! 4. Drain is honest: queued jobs get a client-visible eviction
+//!    fault, in-flight jobs park as checkpoints, then the process
+//!    exits 0.
+//! 5. Tenants are isolated: a fault-armed lane never enters the shared
+//!    lockstep burst, and a faulting lane detaches without disturbing
+//!    lane-mates from other tenants.
+
+pub mod client;
+pub mod protocol;
+pub mod serve;
+pub mod service;
+
+pub use client::{Client, Submit, SubmitSpec, TicketStatus};
+pub use protocol::{Json, Request, Response};
+pub use serve::{Server, ServerConfig};
+pub use service::{JobStatus, Service, ServiceConfig, ServiceStats, SubmitError, SubmitOk};
