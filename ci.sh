@@ -32,7 +32,7 @@ done
 ./target/release/ringlint --deny-warnings "$lintdir"/*.obj
 cargo test -q --test lint_crosscheck shipped_corpus_lints_without_warnings
 
-echo "==> conformance gate (programs/ on slow+decoded+fused, cross-tier bit-equality)"
+echo "==> conformance gate (programs/ on slow+decoded+fused+aot, cross-tier bit-equality)"
 # Writes to a scratch path: the checked-in BENCH_conformance.json is the
 # baseline the perf gate below compares against, so CI must not clobber it.
 cargo run --release -q -p systolic-ring-bench --bin srconform -- \
@@ -70,6 +70,9 @@ cargo test -q --test chaos chaos_smoke
 
 echo "==> fused smoke (fused vs decoded differential, 1 oracle round)"
 cargo test -q --test fused fused_smoke
+
+echo "==> aot smoke (aot vs decoded differential over the kernel families)"
+cargo test -q --test fused aot_smoke
 
 echo "==> cargo bench --no-run (bench code must keep compiling)"
 cargo bench --no-run --workspace -q

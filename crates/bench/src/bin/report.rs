@@ -11,7 +11,7 @@
 //!   timing and (re)writes the `BENCH_*.json` baselines under `dir`
 //!   (default `.`); `--quick` uses the CI-smoke iteration counts.
 //! * `report -- experiments-md [dir]` renders the generated
-//!   EXPERIMENTS.md tables (A8/A10/A11) from the checked-in
+//!   EXPERIMENTS.md tables (A8/A10/A11/A12/A13) from the checked-in
 //!   `BENCH_*.json` under `dir` — no simulation runs, pure
 //!   regeneration.
 

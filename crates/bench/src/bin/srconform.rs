@@ -1,12 +1,12 @@
-//! `srconform` — the three-tier ISA conformance runner, as a CLI.
+//! `srconform` — the four-tier ISA conformance runner, as a CLI.
 //!
 //! ```sh
 //! srconform [--dir programs] [--json BENCH_conformance.json]
 //! ```
 //!
 //! Walks the program corpus (plain `.sr` and literate `.sr.md` sources),
-//! lints every object, runs each program on the slow, decoded and fused
-//! execution tiers, and judges the embedded `;!` expectations: sink
+//! lints every object, runs each program on the slow, decoded, fused and
+//! aot execution tiers, and judges the embedded `;!` expectations: sink
 //! output, cycle budgets and cross-tier bit-equality. Prints a result
 //! table; with `--json`, also writes the machine-readable
 //! `BENCH_conformance.json` in the shared versioned record schema

@@ -6,9 +6,9 @@
 //!
 //! | suite | file | what it tracks |
 //! |-------|------|----------------|
-//! | `table1_motion` | `BENCH_table1_motion.json` | Table 1 motion estimation on slow/decoded/fused tiers |
-//! | `table2_wavelet` | `BENCH_table2_wavelet.json` | Table 2 wavelet 5/3 2-D on slow/decoded/fused tiers |
-//! | `fused` | `BENCH_fused.json` | 32-job `fir3.sr` lane-fusion sweep: decoded vs fused-serial vs lane-fused |
+//! | `table1_motion` | `BENCH_table1_motion.json` | Table 1 motion estimation on slow/decoded/fused/aot tiers |
+//! | `table2_wavelet` | `BENCH_table2_wavelet.json` | Table 2 wavelet 5/3 2-D on slow/decoded/fused/aot tiers |
+//! | `fused` | `BENCH_fused.json` | 32-job `fir3.sr` lane-fusion sweep: decoded vs fused-serial vs lane-fused vs aot |
 //! | `batch_scaling` | `BENCH_batch_scaling.json` | 36-job mixed kernel sweep, serial and 1/2/4 workers |
 //! | `service` | `BENCH_service.json` | scripted multi-tenant service scenarios: packing, preemption, 2x-saturation backpressure (see [`crate::service`]) |
 //!
@@ -23,15 +23,20 @@
 //! comparator never looks at `mcyc_per_s`, so a fresh gate run can skip
 //! the timing loops entirely (`wall = None`) and stay fast.
 //!
+//! On the `aot` rows the `fused_coverage` column records the *combined
+//! compiled* coverage — `(fused_cycles + aot_cycles) / cycles` — since
+//! the AOT tier falls back to the fused engine between superblocks and
+//! the gated claim is "cycles not interpreted".
+//!
 //! [`experiments_md`] renders the generated EXPERIMENTS.md tables
-//! (Extensions A8, A10 and A11) from the *checked-in* files, so every
-//! number in those docs traces back to a `BENCH_*.json` in the same
-//! tree.
+//! (Extensions A8, A10, A11, A12 and A13) from the *checked-in* files,
+//! so every number in those docs traces back to a `BENCH_*.json` in the
+//! same tree.
 
 use std::path::Path;
 
 use systolic_ring_asm::assemble;
-use systolic_ring_core::{with_decode_cache, with_fused, MachineParams, Stats};
+use systolic_ring_core::{with_aot, with_decode_cache, with_fused, MachineParams, Stats};
 use systolic_ring_harness::job::{CycleBudget, Job};
 use systolic_ring_harness::microbench::{black_box, measure};
 use systolic_ring_harness::runner::BatchRunner;
@@ -86,11 +91,14 @@ fn tier_record(
     tier: &str,
     cycles: u64,
     stats: &Stats,
-    fused_tier: bool,
+    compiled_tier: bool,
     median_secs: Option<f64>,
 ) -> BenchRecord {
-    let coverage = fused_tier.then(|| stats.fused_cycles as f64 / cycles.max(1) as f64);
-    let occupancy = (fused_tier && stats.fused_cycles > 0)
+    // On the aot tier the compiled claim spans both engines: superblock
+    // cycles plus the fused cycles the tier falls back to between them.
+    let compiled = stats.fused_cycles + stats.aot_cycles;
+    let coverage = compiled_tier.then(|| compiled as f64 / cycles.max(1) as f64);
+    let occupancy = (compiled_tier && stats.fused_cycles > 0)
         .then(|| stats.fused_lane_occupancy as f64 / stats.fused_cycles as f64);
     BenchRecord {
         workload: workload.into(),
@@ -100,7 +108,7 @@ fn tier_record(
         mcyc_per_s: median_secs.map(|s| cycles as f64 / s / 1e6),
         fused_coverage: coverage,
         lane_occupancy: occupancy,
-        deopts: fused_tier.then_some(stats.fused_deopts),
+        deopts: compiled_tier.then_some(stats.fused_deopts),
         ..BenchRecord::default()
     }
 }
@@ -108,20 +116,21 @@ fn tier_record(
 /// A tier label paired with the closure that runs the kernel on it.
 type TierRun<'a> = (&'a str, Box<dyn Fn() -> (u64, Stats) + 'a>);
 
-/// Runs one kernel closure on the three execution tiers.
-fn three_tiers(
+/// Runs one kernel closure on the four execution tiers.
+fn tier_sweep(
     workload: &str,
     geometry: RingGeometry,
     run: impl Fn() -> (u64, Stats),
     wall: Option<WallClock>,
 ) -> Vec<BenchRecord> {
-    let tiers: [TierRun; 3] = [
+    let tiers: [TierRun; 4] = [
         (
             "slow",
             Box::new(|| with_fused(false, || with_decode_cache(false, &run))),
         ),
         ("decoded", Box::new(|| with_fused(false, &run))),
         ("fused", Box::new(&run)),
+        ("aot", Box::new(|| with_aot(true, &run))),
     ];
     tiers
         .iter()
@@ -138,7 +147,7 @@ fn three_tiers(
                 tier,
                 cycles,
                 &stats,
-                *tier == "fused",
+                matches!(*tier, "fused" | "aot"),
                 median,
             )
         })
@@ -147,7 +156,7 @@ fn three_tiers(
 
 /// The `table1_motion` suite: Table 1 full-search motion estimation
 /// (8x8 block, ±4 displacement, 64x64 picture — the bench-sized spec)
-/// on a Ring-16, across the slow, decoded and fused tiers.
+/// on a Ring-16, across the slow, decoded, fused and aot tiers.
 pub fn table1_motion(wall: Option<WallClock>) -> BenchFile {
     let (reference, current) = Image::motion_pair(64, 64, 2, -1, 2002);
     let spec = BlockMatch {
@@ -168,12 +177,12 @@ pub fn table1_motion(wall: Option<WallClock>) -> BenchFile {
     };
     BenchFile {
         suite: "table1_motion".into(),
-        records: three_tiers("table1_motion", RingGeometry::RING_16, run, wall),
+        records: tier_sweep("table1_motion", RingGeometry::RING_16, run, wall),
     }
 }
 
 /// The `table2_wavelet` suite: Table 2 one-level 2-D 5/3 lifting
-/// wavelet of a 64x48 16-bit image on a Ring-16, across the three
+/// wavelet of a 64x48 16-bit image on a Ring-16, across the four
 /// tiers.
 pub fn table2_wavelet(wall: Option<WallClock>) -> BenchFile {
     let image = Image::textured(64, 48, 53);
@@ -184,7 +193,7 @@ pub fn table2_wavelet(wall: Option<WallClock>) -> BenchFile {
     };
     BenchFile {
         suite: "table2_wavelet".into(),
-        records: three_tiers("table2_wavelet", RingGeometry::RING_16, run, wall),
+        records: tier_sweep("table2_wavelet", RingGeometry::RING_16, run, wall),
     }
 }
 
@@ -226,6 +235,7 @@ fn batch_record(
     wall: Option<WallClock>,
 ) -> BenchRecord {
     let summary = runner.run(jobs).summary();
+    let compiled = summary.merged.fused_cycles + summary.merged.aot_cycles;
     let fused_on = summary.merged.fused_cycles > 0;
     let median = wall.map(|w| {
         measure(w.warmup, w.iters, || {
@@ -240,8 +250,8 @@ fn batch_record(
         tier: tier.into(),
         cycles: summary.total_cycles,
         mcyc_per_s: median.map(|s| summary.total_cycles as f64 / s / 1e6),
-        fused_coverage: fused_on
-            .then(|| summary.merged.fused_cycles as f64 / summary.total_cycles.max(1) as f64),
+        fused_coverage: (compiled > 0)
+            .then(|| compiled as f64 / summary.total_cycles.max(1) as f64),
         lane_occupancy: fused_on.then(|| {
             summary.merged.fused_lane_occupancy as f64 / summary.merged.fused_cycles as f64
         }),
@@ -253,11 +263,18 @@ fn batch_record(
 
 /// The `fused` suite: the 32-job `fir3.sr` sweep on one worker, on the
 /// decoded tier, the fused tier with lane fusion off (single-lane
-/// bursts) and the fused tier with up to 16-lane lockstep batching —
-/// the lane-fusion gain isolated from thread parallelism.
+/// bursts), the fused tier with up to 16-lane lockstep batching — the
+/// lane-fusion gain isolated from thread parallelism — and the aot tier
+/// (load-time superblock prefill, lane fusion off so the gain over
+/// `fused_serial` is the AOT compiler alone).
 pub fn fused_batch(wall: Option<WallClock>) -> BenchFile {
     let (geometry, fused_jobs) = fir3_sweep(true);
     let (_, decoded_jobs) = fir3_sweep(false);
+    let aot_jobs: Vec<Job> = fir3_sweep(true)
+        .1
+        .into_iter()
+        .map(|j| j.with_aot(true))
+        .collect();
     let lanes_on = BatchRunner::with_workers(1);
     let lanes_off = BatchRunner::with_workers(1).with_lane_fusion(false);
     let geometry_name = geometry_label(geometry);
@@ -284,10 +301,19 @@ pub fn fused_batch(wall: Option<WallClock>) -> BenchFile {
             ),
             batch_record(
                 "batch32_fir3",
-                geometry_name,
+                geometry_name.clone(),
                 "lane_fused",
                 &lanes_on,
                 &fused_jobs,
+                true,
+                wall,
+            ),
+            batch_record(
+                "batch32_fir3",
+                geometry_name,
+                "aot",
+                &lanes_off,
+                &aot_jobs,
                 true,
                 wall,
             ),
@@ -413,8 +439,8 @@ fn load(dir: &Path, name: &str) -> Result<BenchFile, String> {
     BenchFile::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Renders the generated EXPERIMENTS.md tables (Extensions A8, A10, A11
-/// and A12) from the checked-in `BENCH_*.json` baselines under `dir`.
+/// Renders the generated EXPERIMENTS.md tables (Extensions A8, A10, A11,
+/// A12 and A13) from the checked-in `BENCH_*.json` baselines under `dir`.
 ///
 /// The output is a pure function of the baseline files, and
 /// EXPERIMENTS.md must contain each block byte-identically —
@@ -565,7 +591,51 @@ pub fn experiments_md(dir: &Path) -> Result<String, String> {
         "\n{regen} (the `scripted` tier of `BENCH_service.json`; jobs/s and latency \
          percentiles are wall-clock, never gated).\n"
     ));
-    out.push_str("<!-- end generated table: A12 -->\n");
+    out.push_str("<!-- end generated table: A12 -->\n\n");
+
+    // A13 — the AOT tier: aot vs decoded and vs fused, with the
+    // combined compiled coverage the gate tracks.
+    out.push_str("<!-- begin generated table: A13 (report -- experiments-md) -->\n");
+    out.push_str(
+        "| workload (aot tier) | simulated cycles | aot Mcyc/s | decoded Mcyc/s | \
+         vs decoded | fused Mcyc/s | vs fused | compiled coverage | deopts |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    let fused_label = |workload: &str| match workload {
+        "batch32_fir3" => "fused_serial",
+        _ => "fused",
+    };
+    for file in [&motion, &wavelet_f, &fused_f] {
+        for record in &file.records {
+            if record.tier != "aot" {
+                continue;
+            }
+            let decoded = file.find(&record.workload, "decoded");
+            let fused = file.find(&record.workload, fused_label(&record.workload));
+            let label = match record.workload.as_str() {
+                "batch32_fir3" => "32-job `fir3.sr` sweep (1 worker, no lane fusion, Ring-8)",
+                other => workload_label(other),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                label,
+                fmt_cycles(record.cycles),
+                mcyc(record.mcyc_per_s),
+                mcyc(decoded.and_then(|d| d.mcyc_per_s)),
+                speedup(record.mcyc_per_s, decoded.and_then(|d| d.mcyc_per_s)),
+                mcyc(fused.and_then(|d| d.mcyc_per_s)),
+                speedup(record.mcyc_per_s, fused.and_then(|d| d.mcyc_per_s)),
+                coverage(record.fused_coverage),
+                record.deopts.map_or("—".into(), |d| d.to_string()),
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\n{regen} (the `aot` rows of `BENCH_table1_motion.json` / \
+         `BENCH_table2_wavelet.json` / `BENCH_fused.json`; coverage on the aot \
+         rows is combined `(fused_cycles + aot_cycles) / cycles`).\n"
+    ));
+    out.push_str("<!-- end generated table: A13 -->\n");
 
     Ok(out)
 }
@@ -575,13 +645,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table1_suite_covers_the_three_tiers_deterministically() {
+    fn table1_suite_covers_the_four_tiers_deterministically() {
         let a = table1_motion(None);
         let b = table1_motion(None);
         assert_eq!(a, b, "wall-free records must be deterministic");
         assert_eq!(a.suite, "table1_motion");
         let tiers: Vec<&str> = a.records.iter().map(|r| r.tier.as_str()).collect();
-        assert_eq!(tiers, ["slow", "decoded", "fused"]);
+        assert_eq!(tiers, ["slow", "decoded", "fused", "aot"]);
         assert!(a.records.iter().all(|r| r.cycles > 0));
         assert!(
             a.records.iter().all(|r| r.cycles == a.records[0].cycles),
@@ -591,6 +661,10 @@ mod tests {
         let fused = a.find("table1_motion", "fused").unwrap();
         assert!(fused.fused_coverage.unwrap() > 0.0);
         assert_eq!(fused.deopts, Some(0));
+        // The aot tier's combined compiled coverage can only gain on the
+        // fused tier: every fused window is also an AOT candidate.
+        let aot = a.find("table1_motion", "aot").unwrap();
+        assert!(aot.fused_coverage.unwrap() >= fused.fused_coverage.unwrap() - 1e-9);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! `BENCH_*.json` baselines and the prose that cites them:
 //!
 //! * every baseline parses under the current schema version;
-//! * the generated A8/A10/A11/A12 blocks in EXPERIMENTS.md are
+//! * the generated A8/A10/A11/A12/A13 blocks in EXPERIMENTS.md are
 //!   byte-identical to `report -- experiments-md` output;
 //! * a fresh (wall-clock-free) conformance run passes the regression
 //!   gate against the checked-in conformance baseline.
@@ -52,7 +52,7 @@ fn experiments_md_blocks_are_byte_identical() {
     let root = repo_root();
     let rendered = trajectory::experiments_md(&root).expect("render from checked-in JSON");
     let doc = std::fs::read_to_string(root.join("EXPERIMENTS.md")).expect("EXPERIMENTS.md");
-    for table in ["A8", "A10", "A11", "A12"] {
+    for table in ["A8", "A10", "A11", "A12", "A13"] {
         let begin = format!("<!-- begin generated table: {table} (report -- experiments-md) -->");
         let end = format!("<!-- end generated table: {table} -->");
         let block = {

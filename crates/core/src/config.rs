@@ -189,6 +189,15 @@ impl ConfigLayer {
         self.active
     }
 
+    /// The context id a fault or watchdog report should carry: the staged
+    /// select target when a context switch is pending commit (the switch
+    /// is architecturally decided at this boundary), else the active
+    /// index. Keeps same-cycle deopt + trip reports from naming the stale
+    /// pre-switch context.
+    pub(crate) fn architectural_ctx(&self) -> usize {
+        self.staged_active.unwrap_or(self.active)
+    }
+
     /// The active context.
     pub fn active(&self) -> &Context {
         &self.contexts[self.active]

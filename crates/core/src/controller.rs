@@ -155,6 +155,9 @@ pub struct Controller {
     pmem: Vec<u32>,
     dmem: Vec<u32>,
     prog_len: usize,
+    /// One past the highest data-memory address ever initialized or
+    /// stored to (bounds [`Controller::lookahead_clone`]).
+    dmem_hwm: usize,
     state: CtrlState,
 }
 
@@ -169,6 +172,7 @@ impl Controller {
             pmem: vec![0; prog_capacity],
             dmem: vec![0; dmem_capacity],
             prog_len: 0,
+            dmem_hwm: 0,
             state: CtrlState::Halted,
         }
     }
@@ -206,6 +210,7 @@ impl Controller {
             });
         }
         self.dmem[..data.len()].copy_from_slice(data);
+        self.dmem_hwm = self.dmem_hwm.max(data.len());
         Ok(())
     }
 
@@ -249,6 +254,28 @@ impl Controller {
         } else {
             CtrlState::Running
         };
+    }
+
+    /// A bounded clone for the AOT schedule lookahead: program memory is
+    /// truncated to the loaded program (fetch never reads past it) and
+    /// data memory to the written high-water mark. Truncation can only
+    /// make the clone fault where the real controller would not — and
+    /// the lookahead treats any fault as the end of admission — so it
+    /// costs at most burst coverage, never soundness. What it buys is a
+    /// clone proportional to the *used* memory instead of the 64K-word
+    /// capacities, cheap enough to take on every lookahead attempt.
+    pub(crate) fn lookahead_clone(&self) -> Controller {
+        Controller {
+            regs: self.regs,
+            pc: self.pc,
+            cir: self.cir,
+            wctx: self.wctx,
+            pmem: self.pmem[..self.prog_len].to_vec(),
+            dmem: self.dmem[..self.dmem_hwm].to_vec(),
+            prog_len: self.prog_len,
+            dmem_hwm: self.dmem_hwm,
+            state: self.state,
+        }
     }
 
     /// Current program counter.
@@ -348,6 +375,7 @@ impl Controller {
                     .get_mut(addr as usize)
                     .ok_or(CtrlFault::DmemOutOfRange { addr })?;
                 *slot = r(rs);
+                self.dmem_hwm = self.dmem_hwm.max(addr as usize + 1);
             }
             Beq { ra, rb, offset } => {
                 if r(ra) == r(rb) {

@@ -147,7 +147,7 @@ struct PhaseMeta {
 pub(crate) struct FusedProgram {
     /// `lcm` of the local-mode sequencer limits (1 with none in local
     /// mode).
-    period: u32,
+    pub(crate) period: u32,
     /// Geometry snapshot the flat indices were computed against.
     dnodes: u32,
     width: u32,
@@ -185,7 +185,7 @@ impl FusedProgram {
 
     /// Finds the phase matching the machine's current sequencer counters,
     /// trying `hint` first (the phase a previous burst stopped before).
-    fn find_phase(&self, hint: u32, dnodes: &[DnodeState]) -> Option<u32> {
+    pub(crate) fn find_phase(&self, hint: u32, dnodes: &[DnodeState]) -> Option<u32> {
         let hint = hint % self.period;
         if self.phase_matches(hint, dnodes) {
             return Some(hint);
@@ -269,7 +269,13 @@ fn lower_src(
 
 /// Compiles the active context's decoded plan into a [`FusedProgram`],
 /// with phase 0 anchored at the local sequencers' *current* counters.
-fn compile(cp: &CtxPlan, dnodes: &[DnodeState], g: RingGeometry, depth: usize) -> FusedProgram {
+/// Shared by the fused engine and the AOT phase cache (`crate::aot`).
+pub(crate) fn compile(
+    cp: &CtxPlan,
+    dnodes: &[DnodeState],
+    g: RingGeometry,
+    depth: usize,
+) -> FusedProgram {
     let width = g.width();
     let mut locals: Vec<(u32, u8, u8)> = Vec::new();
     for &d32 in &cp.work {
@@ -413,15 +419,25 @@ fn read_src(src: FusedSrc, lane: usize, v: &LaneView<'_>) -> Word16 {
 /// Infallible by construction: nothing inside a burst can raise a
 /// [`crate::SimError`] (no controller execution, no configuration writes,
 /// no fault machinery).
-fn execute(program: &FusedProgram, entry: u32, lanes: &mut [&mut RingMachine], k: u64) {
+///
+/// `aot` selects which engine's entry/cycle counters account the burst
+/// ([`crate::Stats::aot_entries`] vs [`crate::Stats::fused_entries`]); the
+/// architectural effects are identical.
+pub(crate) fn execute(
+    program: &FusedProgram,
+    entry: u32,
+    lanes: &mut [&mut RingMachine],
+    k: u64,
+    aot: bool,
+) {
     // Monomorphize the hot lane counts: a literal `L` lets every
     // `* l + lane` fold to a plain index and the per-lane loops unroll
     // (1 = the single-machine path, 16 = a full lane group in the batch
     // runner). `L = 0` keeps a fully dynamic fallback for other widths.
     match lanes.len() {
-        1 => execute_impl::<1>(program, entry, lanes, k),
-        16 => execute_impl::<16>(program, entry, lanes, k),
-        _ => execute_impl::<0>(program, entry, lanes, k),
+        1 => execute_impl::<1>(program, entry, lanes, k, aot),
+        16 => execute_impl::<16>(program, entry, lanes, k, aot),
+        _ => execute_impl::<0>(program, entry, lanes, k, aot),
     }
 }
 
@@ -430,6 +446,7 @@ fn execute_impl<const L: usize>(
     entry: u32,
     lanes: &mut [&mut RingMachine],
     k: u64,
+    aot: bool,
 ) {
     debug_assert!(k >= 1 && !lanes.is_empty());
     let l = if L == 0 { lanes.len() } else { L };
@@ -659,15 +676,22 @@ fn execute_impl<const L: usize>(
         m.stats.fifo_overflows += over[lane];
         m.cycle += k;
         m.stats.cycles += k;
-        m.stats.fused_entries += 1;
-        m.stats.fused_cycles += k;
-        m.stats.fused_lane_occupancy += k * l as u64;
+        if aot {
+            m.stats.aot_entries += 1;
+            m.stats.aot_cycles += k;
+        } else {
+            m.stats.fused_entries += 1;
+            m.stats.fused_cycles += k;
+            m.stats.fused_lane_occupancy += k * l as u64;
+        }
     }
 }
 
 impl RingMachine {
-    /// The current configuration-epoch fingerprint.
-    fn fused_stamps(&self) -> FusedStamps {
+    /// The current configuration-epoch fingerprint (also the AOT guard's
+    /// cheap content-unchanged revalidation: equal stamps prove no
+    /// configuration, mode or sequencer write happened in between).
+    pub(crate) fn fused_stamps(&self) -> FusedStamps {
         let ctx = self.config.active_index();
         let (modes_clock, seq_clock) = self.plan.clocks();
         FusedStamps {
@@ -790,7 +814,7 @@ impl RingMachine {
         let entry = engine.entry_phase;
         {
             let mut lanes = [&mut *self];
-            execute(&program, entry, &mut lanes, window);
+            execute(&program, entry, &mut lanes, window, false);
         }
         engine.next_phase = ((u64::from(entry) + window) % u64::from(program.period)) as u32;
         engine.program = Some(program);
@@ -841,7 +865,7 @@ pub fn lockstep_burst(lanes: &mut [&mut RingMachine], max_cycles: u64) -> u64 {
     let mut engine0 = lanes[0].fused.take().expect("prepared");
     let program = engine0.program.take().expect("prepared");
     let entry = engine0.entry_phase;
-    execute(&program, entry, lanes, window);
+    execute(&program, entry, lanes, window, false);
     let next = ((u64::from(entry) + window) % u64::from(program.period)) as u32;
     engine0.next_phase = next;
     engine0.program = Some(program);

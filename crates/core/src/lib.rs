@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod aot;
 pub mod config;
 pub mod controller;
 pub mod dnode;
@@ -71,5 +72,5 @@ pub use error::{ConfigError, SimError};
 pub use fault::{FaultConfig, FaultInjector, FaultSite};
 pub use fused::lockstep_burst;
 pub use machine::{Checkpoint, RingMachine};
-pub use params::{with_decode_cache, with_faults, with_fused, LinkModel, MachineParams};
+pub use params::{with_aot, with_decode_cache, with_faults, with_fused, LinkModel, MachineParams};
 pub use stats::{DnodeStats, Stats};

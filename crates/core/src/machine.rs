@@ -90,6 +90,11 @@ pub struct RingMachine {
     /// allocated: machines that never reach a steady state pay one pointer
     /// of state.
     pub(crate) fused: Option<Box<crate::fused::FusedEngine>>,
+    /// The AOT multi-phase superblock cache (consulted only when
+    /// `params.aot`, `params.fused` and `params.decode_cache` are all
+    /// set). Boxed and lazily allocated like `fused`; prefilled at
+    /// [`RingMachine::load`] time.
+    pub(crate) aot: Option<Box<crate::aot::AotEngine>>,
     /// Watchdog progress snapshot: (ctrl instructions retired, config
     /// writes, context switches, host words in, host words out).
     wd_progress: (u64, u64, u64, u64, u64),
@@ -182,6 +187,9 @@ impl RingMachine {
         if let Some(enabled) = crate::params::fused_override() {
             params.fused = enabled;
         }
+        if let Some(enabled) = crate::params::aot_override() {
+            params.aot = enabled;
+        }
         if let Some(faults) = crate::params::fault_override() {
             params.faults = faults;
         }
@@ -217,6 +225,7 @@ impl RingMachine {
                 .is_active()
                 .then(|| Box::new(FaultInjector::new(params.faults, geometry.dnodes()))),
             fused: None,
+            aot: None,
             wd_progress: (0, 0, 0, 0, 0),
             wd_since: 0,
         }
@@ -406,6 +415,9 @@ impl RingMachine {
         for record in &object.preload {
             self.apply_preload(record)?;
         }
+        // With the AOT tier on, walk the loaded program and precompile its
+        // provable steady windows (no-op otherwise; see `crate::aot`).
+        self.aot_prefill();
         Ok(())
     }
 
@@ -654,9 +666,12 @@ impl RingMachine {
         Ok(())
     }
 
-    /// Raises [`SimError::Watchdog`] if no controller or host progress has
-    /// been observed for `watchdog_interval` cycles.
-    fn watchdog_check(&mut self) -> Result<(), SimError> {
+    /// The watchdog's progress-update half: folds new progress into the
+    /// heartbeat without checking for a trip. Shared between the boundary
+    /// check and the AOT tier's pre-burst bound (which must account any
+    /// outstanding progress before it computes how many quiet cycles can
+    /// elapse before the earliest possible trip).
+    pub(crate) fn watchdog_observe(&mut self) {
         let progress = (
             self.stats.ctrl_instrs,
             self.stats.config_writes,
@@ -667,7 +682,21 @@ impl RingMachine {
         if progress != self.wd_progress {
             self.wd_progress = progress;
             self.wd_since = self.cycle;
-        } else if self.cycle - self.wd_since >= self.params.watchdog_interval {
+        }
+    }
+
+    /// Cycles that may still elapse without progress before the watchdog
+    /// trips (0 = a trip is due at this boundary). Only meaningful right
+    /// after [`RingMachine::watchdog_observe`].
+    pub(crate) fn watchdog_margin(&self) -> u64 {
+        (self.wd_since + self.params.watchdog_interval).saturating_sub(self.cycle)
+    }
+
+    /// Raises [`SimError::Watchdog`] if no controller or host progress has
+    /// been observed for `watchdog_interval` cycles.
+    fn watchdog_check(&mut self) -> Result<(), SimError> {
+        self.watchdog_observe();
+        if self.cycle - self.wd_since >= self.params.watchdog_interval {
             let idle_cycles = self.cycle - self.wd_since;
             self.stats.watchdog_trips += 1;
             // Re-arm so a caller that resumes anyway gets a full interval
@@ -675,7 +704,12 @@ impl RingMachine {
             self.wd_since = self.cycle;
             return Err(SimError::Watchdog {
                 cycle: self.cycle,
-                ctx: self.config.active_index(),
+                // The *architectural* context: if a context switch is
+                // staged but uncommitted at this boundary (a deopt landing
+                // the same cycle as the trip), the report names the
+                // post-switch context the machine has architecturally
+                // decided on, not the stale pre-deopt one.
+                ctx: self.config.architectural_ctx(),
                 pc: self.controller.pc(),
                 idle_cycles,
             });
@@ -1123,8 +1157,9 @@ impl RingMachine {
         Ok(())
     }
 
-    /// The controller's share of the compute phase (both paths).
-    fn controller_substep(&mut self, cycle: u64) -> Result<CtrlStep, SimError> {
+    /// The controller's share of the compute phase (both paths, and the
+    /// AOT schedule burst's per-cycle controller replay).
+    pub(crate) fn controller_substep(&mut self, cycle: u64) -> Result<CtrlStep, SimError> {
         let ctrl_step = {
             let mut ports = PortsAdapter {
                 bus: self.bus,
@@ -1294,7 +1329,12 @@ impl RingMachine {
     pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
         let mut remaining = cycles;
         while remaining > 0 {
-            let burst = self.try_fused(remaining);
+            // Tier dispatch: AOT superblocks first (content-keyed cache,
+            // no detection warmup), then the fused engine, then stepping.
+            let burst = match self.try_aot(remaining) {
+                0 => self.try_fused(remaining),
+                b => b,
+            };
             if burst == 0 {
                 self.step()?;
                 remaining -= 1;
@@ -1359,10 +1399,16 @@ impl RingMachine {
             if self.cycle - start >= max_cycles {
                 return Err(SimError::CycleLimit { limit: max_cycles });
             }
-            // A fused burst never runs with the controller halted here, so
-            // it can only cover a pending `wait` — whose cycles all count
-            // against the budget exactly as stepping them would.
-            if self.try_fused(max_cycles - (self.cycle - start)) == 0 {
+            // A compiled burst never runs with the controller halted here,
+            // so it covers a pending `wait` or an admitted schedule region
+            // — whose cycles all count against the budget exactly as
+            // stepping them would.
+            let budget = max_cycles - (self.cycle - start);
+            let burst = match self.try_aot(budget) {
+                0 => self.try_fused(budget),
+                b => b,
+            };
+            if burst == 0 {
                 self.step()?;
             }
         }

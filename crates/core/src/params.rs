@@ -93,6 +93,24 @@ pub struct MachineParams {
     /// [`crate::RingMachine::step`] never fuses: single-cycle stepping (and
     /// therefore per-cycle tracing) always takes the decoded path.
     pub fused: bool,
+    /// Execute through the ahead-of-time multi-phase superblock cache.
+    ///
+    /// When `true` *and* both [`MachineParams::decode_cache`] and
+    /// [`MachineParams::fused`] are enabled, [`crate::RingMachine::load`]
+    /// walks the controller program once and pre-compiles a fused program
+    /// for every configuration phase it can bound, keyed by the *exact
+    /// configuration content* rather than monotonic write epochs. At run
+    /// time every quiescent window (controller halted or mid-`wait`) is
+    /// stitched to a cached program through a cheap guard check — content
+    /// fingerprint, no armed injector, no staged context switch, watchdog
+    /// distance — with no stability-detection warmup, so programs survive
+    /// reconfiguration rounds instead of deoptimizing: a loop that returns
+    /// to a previously seen configuration re-enters its compiled program
+    /// immediately. Guard misses compile the new phase on the spot and
+    /// fall back to the decoded path for at most that window. Off by
+    /// default (`MachineParams::PAPER`) so the `fused` tier's measured
+    /// behaviour is unchanged; the `aot` tier enables it explicitly.
+    pub aot: bool,
     /// Fault-injection and fault-detection configuration.
     ///
     /// [`FaultConfig::OFF`] (the default) builds no fault machinery at
@@ -126,6 +144,7 @@ impl MachineParams {
         link: LinkModel::Direct,
         decode_cache: true,
         fused: true,
+        aot: false,
         faults: FaultConfig::OFF,
         watchdog_interval: 0,
     };
@@ -195,6 +214,16 @@ impl MachineParams {
     /// decode-per-cycle reference path.
     pub fn with_fused(mut self, fused: bool) -> Self {
         self.fused = fused;
+        self
+    }
+
+    /// Builder: enable or disable the ahead-of-time superblock cache.
+    ///
+    /// The AOT tier additionally requires the predecoded cache and the
+    /// fused engine ([`MachineParams::decode_cache`],
+    /// [`MachineParams::fused`]); with either off this flag has no effect.
+    pub fn with_aot(mut self, aot: bool) -> Self {
+        self.aot = aot;
         self
     }
 
@@ -297,6 +326,47 @@ pub fn with_fused<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
 /// construction).
 pub(crate) fn fused_override() -> Option<bool> {
     FUSED_OVERRIDE.with(|cell| cell.get())
+}
+
+thread_local! {
+    static AOT_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with [`MachineParams::aot`] forced to `enabled` for every
+/// [`crate::RingMachine`] *created* on this thread inside the call.
+///
+/// The AOT-tier analogue of [`with_fused`]: kernel drivers construct their
+/// machines internally with fixed parameters, so the four-way differential
+/// oracle (slow / decoded / fused / aot) wraps whole driver calls in
+/// `with_aot` scopes instead of widening every driver signature. Nests,
+/// applies only to machine construction, and is restored even if `f`
+/// panics.
+///
+/// # Examples
+///
+/// ```
+/// use systolic_ring_core::{with_aot, RingMachine};
+/// use systolic_ring_isa::RingGeometry;
+///
+/// let m = with_aot(true, || RingMachine::with_defaults(RingGeometry::RING_8));
+/// assert!(m.params().aot);
+/// assert!(!RingMachine::with_defaults(RingGeometry::RING_8).params().aot);
+/// ```
+pub fn with_aot<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AOT_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(AOT_OVERRIDE.with(|cell| cell.replace(Some(enabled))));
+    f()
+}
+
+/// The active scoped AOT override, if any (consulted by machine
+/// construction).
+pub(crate) fn aot_override() -> Option<bool> {
+    AOT_OVERRIDE.with(|cell| cell.get())
 }
 
 thread_local! {

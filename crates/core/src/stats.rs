@@ -74,6 +74,21 @@ pub struct Stats {
     /// occupancy of the fused engine is `fused_lane_occupancy /
     /// fused_cycles`.
     pub fused_lane_occupancy: u64,
+    /// AOT superblock bursts entered: each counts one guard-checked entry
+    /// into a content-keyed compiled program (always 0 when
+    /// [`crate::MachineParams::aot`] is off).
+    pub aot_entries: u64,
+    /// Cycles executed inside AOT bursts (subset of `cycles`, disjoint
+    /// from `fused_cycles`: a cycle is accounted to whichever engine ran
+    /// it).
+    pub aot_cycles: u64,
+    /// Programs compiled into the AOT phase cache, at load-time prefill or
+    /// on a run-time guard miss.
+    pub aot_compiles: u64,
+    /// Guard checks whose content fingerprint matched no cached program —
+    /// the AOT tier's deopt analogue, except the stitch compiles the new
+    /// phase instead of abandoning compiled execution.
+    pub aot_guard_misses: u64,
     /// Faults injected by the fault injector (all classes).
     pub faults_injected: u64,
     /// Detection sweeps executed (configuration parity plus pending
@@ -167,6 +182,10 @@ impl Stats {
         self.fused_deopts += other.fused_deopts;
         self.fused_cycles += other.fused_cycles;
         self.fused_lane_occupancy += other.fused_lane_occupancy;
+        self.aot_entries += other.aot_entries;
+        self.aot_cycles += other.aot_cycles;
+        self.aot_compiles += other.aot_compiles;
+        self.aot_guard_misses += other.aot_guard_misses;
         self.faults_injected += other.faults_injected;
         self.parity_scrubs += other.parity_scrubs;
         self.config_faults_detected += other.config_faults_detected;
@@ -176,10 +195,11 @@ impl Stats {
         self.restores += other.restores;
     }
 
-    /// A copy with the decode-cache and fused-engine counters zeroed.
+    /// A copy with the decode-cache, fused-engine and AOT-engine counters
+    /// zeroed.
     ///
-    /// Those counters are the one intentional difference between the
-    /// slow, decoded and fused execution paths; differential oracles compare
+    /// Those counters are the one intentional difference between the slow,
+    /// decoded, fused and aot execution paths; differential oracles compare
     /// `a.without_cache_counters() == b.without_cache_counters()` to demand
     /// equality of every architectural counter.
     pub fn without_cache_counters(&self) -> Stats {
@@ -190,6 +210,10 @@ impl Stats {
             fused_deopts: 0,
             fused_cycles: 0,
             fused_lane_occupancy: 0,
+            aot_entries: 0,
+            aot_cycles: 0,
+            aot_compiles: 0,
+            aot_guard_misses: 0,
             ..self.clone()
         }
     }

@@ -1,4 +1,4 @@
-//! Three-tier ISA conformance runner over the shipped program corpus.
+//! Multi-tier ISA conformance runner over the shipped program corpus.
 //!
 //! Every program under `programs/` — plain `.sr` assembly or literate
 //! `.sr.md` markdown — carries `;!` expectation directives (see
@@ -10,9 +10,9 @@
 //! 2. **lint gate** — run `ringlint` over every object and fail the case
 //!    on any warning-or-worse finding, mirroring the CI gate,
 //! 3. **execute** — run the program on each declared execution tier
-//!    (default: slow, decoded and fused) through the existing [`Job`]
-//!    machinery, binding the directive inputs and opening the expected
-//!    sinks,
+//!    (default: slow, decoded, fused and aot) through the existing
+//!    [`Job`] machinery, binding the directive inputs and opening the
+//!    expected sinks,
 //! 4. **judge** — check every sink expectation, the simulated-cycle
 //!    budget, and **cross-tier bit-equality**: all tiers must produce
 //!    bit-identical sink streams and identical cycle counts, which is the
@@ -26,7 +26,7 @@
 
 use std::path::{Path, PathBuf};
 
-use systolic_ring_core::MachineParams;
+use systolic_ring_core::{MachineParams, Stats};
 use systolic_ring_isa::expect::{Expectations, SinkMatch, Tier};
 use systolic_ring_isa::object::Object;
 use systolic_ring_isa::{RingGeometry, Word16};
@@ -51,6 +51,10 @@ pub fn tier_params(tier: Tier) -> MachineParams {
         Tier::Fused => MachineParams::PAPER
             .with_decode_cache(true)
             .with_fused(true),
+        Tier::Aot => MachineParams::PAPER
+            .with_decode_cache(true)
+            .with_fused(true)
+            .with_aot(true),
     }
 }
 
@@ -110,6 +114,9 @@ pub struct TierResult {
     pub tier: Tier,
     /// Simulated cycles to halt (0 when the run faulted).
     pub cycles: u64,
+    /// Final machine counters — how the tier actually executed (which
+    /// engines engaged, compiled coverage); zeroed when the run faulted.
+    pub stats: Stats,
     /// Drained sink streams, in [`Expectations::sink_ports`] order.
     pub outputs: Vec<Vec<i16>>,
     /// Everything that went wrong on this tier (empty = pass).
@@ -201,6 +208,7 @@ fn run_tier(case: &ConformanceCase, tier: Tier, sink_ports: &[(usize, usize)]) -
     let mut row = TierResult {
         tier,
         cycles: 0,
+        stats: Stats::default(),
         outputs: Vec::new(),
         failures: Vec::new(),
     };
@@ -212,6 +220,7 @@ fn run_tier(case: &ConformanceCase, tier: Tier, sink_ports: &[(usize, usize)]) -
         }
     };
     row.cycles = output.cycles;
+    row.stats = output.stats;
     row.outputs = output.outputs;
     if let Some(budget) = exp.cycle_budget {
         if output.cycles > budget {
@@ -338,16 +347,22 @@ impl ConformanceReport {
             .unwrap_or(8)
             .max(8);
         let mut out = format!(
-            "{:width$}  {:>7} {:>8} {:>8}  result\n",
-            "program", "slow", "decoded", "fused"
+            "{:width$}  {:>7} {:>8} {:>8} {:>8}  result\n",
+            "program", "slow", "decoded", "fused", "aot"
         );
         for case in &self.cases {
-            let mut cols = [String::from("-"), String::from("-"), String::from("-")];
+            let mut cols = [
+                String::from("-"),
+                String::from("-"),
+                String::from("-"),
+                String::from("-"),
+            ];
             for tier in &case.tiers {
                 let col = match tier.tier {
                     Tier::Slow => 0,
                     Tier::Decoded => 1,
                     Tier::Fused => 2,
+                    Tier::Aot => 3,
                 };
                 cols[col] = if tier.passed() {
                     tier.cycles.to_string()
@@ -356,11 +371,12 @@ impl ConformanceReport {
                 };
             }
             out.push_str(&format!(
-                "{:width$}  {:>7} {:>8} {:>8}  {}\n",
+                "{:width$}  {:>7} {:>8} {:>8} {:>8}  {}\n",
                 case.name,
                 cols[0],
                 cols[1],
                 cols[2],
+                cols[3],
                 if case.passed() { "pass" } else { "FAIL" }
             ));
         }
@@ -412,7 +428,7 @@ halt
     fn self_checking_program_passes_all_tiers() {
         let result = run_case(&case_from(SELF_CHECKING));
         assert!(result.passed(), "{:?}", result.all_failures());
-        assert_eq!(result.tiers.len(), 3);
+        assert_eq!(result.tiers.len(), 4);
         let cycles: Vec<u64> = result.tiers.iter().map(|t| t.cycles).collect();
         assert!(cycles.iter().all(|&c| c == cycles[0] && c > 0));
     }

@@ -519,6 +519,31 @@ impl Job {
         };
         self
     }
+
+    /// Forces the ahead-of-time superblock cache on or off for every
+    /// machine this job creates (see
+    /// [`systolic_ring_core::MachineParams::aot`]; the aot tier
+    /// additionally requires the decode cache and the fused engine).
+    ///
+    /// Machine jobs get the flag set directly on their
+    /// [`MachineParams`]; custom jobs are wrapped in a
+    /// [`systolic_ring_core::with_aot`] scope that follows the closure
+    /// onto whichever worker thread runs it — the same mechanism as
+    /// [`Job::with_fused`], and how the four-way differential oracle
+    /// (slow / decoded / fused / aot) obtains per-tier runs of every
+    /// kernel family without widening each driver's signature.
+    pub fn with_aot(mut self, enabled: bool) -> Self {
+        self.work = match self.work {
+            JobWork::Machine(mut m) => {
+                m.params = m.params.with_aot(enabled);
+                JobWork::Machine(m)
+            }
+            JobWork::Custom(work) => JobWork::Custom(Box::new(move || {
+                systolic_ring_core::with_aot(enabled, &*work)
+            })),
+        };
+        self
+    }
 }
 
 /// A completed job's results.

@@ -19,9 +19,9 @@
 //!   panicking job yields a fault report, never poisons the batch) and
 //!   aggregates per-job [`Stats`](systolic_ring_core::Stats) into a
 //!   batch-level summary,
-//! * [`conformance`] — the three-tier ISA conformance runner: walks the
+//! * [`conformance`] — the four-tier ISA conformance runner: walks the
 //!   literate program corpus (`programs/*.sr`, `programs/*.sr.md`),
-//!   lints every object, executes it on the slow/decoded/fused tiers and
+//!   lints every object, executes it on the slow/decoded/fused/aot tiers and
 //!   judges sink expectations, cycle budgets and cross-tier
 //!   bit-equality (CLI: `srconform`),
 //! * [`preempt`] — incremental, checkpoint-preemptible execution of the

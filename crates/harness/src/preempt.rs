@@ -344,6 +344,13 @@ impl LaneGroup {
         self.lanes.iter().filter(|l| !l.is_done()).count()
     }
 
+    /// Per-lane liveness flags, in lane order (matching the caller's
+    /// ticket bookkeeping) — for attributing an advanced slice to the
+    /// lanes that actually executed it.
+    pub fn live_mask(&self) -> Vec<bool> {
+        self.lanes.iter().map(|l| !l.is_done()).collect()
+    }
+
     /// `true` once every lane is done.
     pub fn is_done(&self) -> bool {
         self.live() == 0
@@ -530,13 +537,14 @@ mod tests {
     }
 
     /// Preempt/resume equivalence holds on every execution tier — the
-    /// decode-per-cycle reference path, the predecoded path, and the
-    /// fused steady-state engine — at arbitrary, deliberately awkward
-    /// cycle boundaries. On the fused tier the cuts land *inside* fused
-    /// windows (the step schedule is slice-misaligned and the run still
-    /// accumulates fused cycles), exercising the module-doc claim that a
-    /// resumed machine simply re-enters fusion when it next can. The
-    /// three tiers must also agree with each other on outputs and
+    /// decode-per-cycle reference path, the predecoded path, the fused
+    /// steady-state engine and the ahead-of-time superblock cache — at
+    /// arbitrary, deliberately awkward cycle boundaries. On the fused and
+    /// aot tiers the cuts land *inside* compiled windows (the step
+    /// schedule is slice-misaligned and the run still accumulates
+    /// fused/aot cycles), exercising the module-doc claim that a resumed
+    /// machine simply re-enters the compiled path when it next can. The
+    /// four tiers must also agree with each other on outputs and
     /// cycles, so a tier-specific checkpoint bug cannot hide behind a
     /// same-tier baseline.
     #[test]
@@ -546,6 +554,7 @@ mod tests {
             ("slow", MachineParams::PAPER.with_decode_cache(false)),
             ("decoded", MachineParams::PAPER.with_fused(false)),
             ("fused", MachineParams::PAPER.with_fused(true)),
+            ("aot", MachineParams::PAPER.with_fused(true).with_aot(true)),
         ];
         let mut per_tier: Vec<(&str, JobOutput)> = Vec::new();
         for (tier, params) in tiers {
@@ -563,17 +572,17 @@ mod tests {
                         r = r.suspend().resume();
                     }
                 }
-                fused_after_resume += r.machine.stats().fused_cycles;
+                fused_after_resume += r.machine.stats().fused_cycles + r.machine.stats().aot_cycles;
                 assert_equivalent(&r.finish(), &baseline);
             }
             assert!(
                 cut_cycles.iter().any(|c| c % SLICE_CYCLES != 0),
                 "{tier}: every cut landed on a slice boundary: {cut_cycles:?}"
             );
-            if tier == "fused" {
+            if tier == "fused" || tier == "aot" {
                 assert!(
                     fused_after_resume > 0,
-                    "fused tier never fused across the preemption schedule"
+                    "{tier} tier never entered a compiled burst across the preemption schedule"
                 );
             }
             match baseline {

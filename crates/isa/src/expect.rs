@@ -11,11 +11,10 @@
 
 /// One execution tier of the simulator.
 ///
-/// The three tiers are *architecturally identical* — same outputs, same
-/// cycle counts — and differ only in how instruction execution is
-/// implemented internally. That identity is exactly what the conformance
-/// runner checks (bit-equal sink streams, equal cycle counts across
-/// tiers).
+/// The tiers are *architecturally identical* — same outputs, same cycle
+/// counts — and differ only in how instruction execution is implemented
+/// internally. That identity is exactly what the conformance runner
+/// checks (bit-equal sink streams, equal cycle counts across tiers).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Tier {
     /// Interpret raw configuration words every cycle (decode cache and
@@ -26,11 +25,16 @@ pub enum Tier {
     /// Full paper-faithful fast path: decode cache plus the fused
     /// steady-state engine.
     Fused,
+    /// Everything in `Fused` plus the ahead-of-time multi-phase superblock
+    /// cache: steady windows are precompiled at object-load time and
+    /// re-entered by configuration content, with no per-reconfiguration
+    /// deoptimization.
+    Aot,
 }
 
 impl Tier {
     /// All tiers, in canonical (slowest-first) order.
-    pub const ALL: [Tier; 3] = [Tier::Slow, Tier::Decoded, Tier::Fused];
+    pub const ALL: [Tier; 4] = [Tier::Slow, Tier::Decoded, Tier::Fused, Tier::Aot];
 
     /// The tier's lower-case name as used by `;! tiers` directives.
     pub fn name(self) -> &'static str {
@@ -38,15 +42,18 @@ impl Tier {
             Tier::Slow => "slow",
             Tier::Decoded => "decoded",
             Tier::Fused => "fused",
+            Tier::Aot => "aot",
         }
     }
 
-    /// Parses a lower-case tier name (`slow` / `decoded` / `fused`).
+    /// Parses a lower-case tier name (`slow` / `decoded` / `fused` /
+    /// `aot`).
     pub fn parse(name: &str) -> Option<Tier> {
         match name {
             "slow" => Some(Tier::Slow),
             "decoded" => Some(Tier::Decoded),
             "fused" => Some(Tier::Fused),
+            "aot" => Some(Tier::Aot),
             _ => None,
         }
     }
@@ -123,7 +130,7 @@ impl SinkExpectation {
 ///
 /// `Default` is the empty block: no inputs, no sink checks, no budget, and
 /// an unspecified tier list (which [`Expectations::effective_tiers`]
-/// resolves to all three tiers).
+/// resolves to every tier).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Expectations {
     /// Host input streams to attach before running.
@@ -146,7 +153,7 @@ impl Expectations {
     }
 
     /// The tiers the program must pass on: the declared list, or all
-    /// three when no `;! tiers` directive was given.
+    /// of them when no `;! tiers` directive was given.
     pub fn effective_tiers(&self) -> &[Tier] {
         if self.tiers.is_empty() {
             &Tier::ALL

@@ -69,9 +69,14 @@ fn main() -> ExitCode {
             "ok"
         };
         println!(
-            "ringlint: {path}: {verdict} ({} finding(s); steady state: {})",
+            "ringlint: {path}: {verdict} ({} finding(s); steady state: {}; aot: {})",
             report.diagnostics.len(),
-            report.fusibility
+            report.fusibility,
+            if report.aot_compilable {
+                "compilable at load"
+            } else {
+                "unproven"
+            }
         );
     }
     if failed {

@@ -19,7 +19,9 @@
 //!    instructions that are statically certain to fault.
 //! 4. **Fusibility** (`RL-Fxxx`) — a conservative proof that the
 //!    configuration settles, cross-checkable against the dynamic fused
-//!    engine (see [`Fusibility`]).
+//!    engine (see [`Fusibility`]), plus the one-sided `RL-F003` verdict
+//!    that the AOT tier's load-time prefill walk provably compiles a
+//!    steady window (see [`LintReport::aot_compilable`]).
 //!
 //! The severity contract is the point of the tool: an object whose report
 //! [`is_clean`](LintReport::is_clean) is *guaranteed* to load and to never
@@ -97,9 +99,11 @@ pub fn lint_object_with(object: &Object, limits: &LintLimits) -> LintReport {
     let model = model::ConfigModel::build(object, limits, &mut diagnostics);
     dataflow::check(&model, limits, &mut diagnostics);
     let facts = sequencer::check(object, &model, limits, &mut diagnostics);
-    let fusibility = fusibility::classify(object, limits, &facts, &model, &mut diagnostics);
+    let (fusibility, aot_compilable) =
+        fusibility::classify(object, limits, &facts, &model, &mut diagnostics);
     LintReport {
         diagnostics,
         fusibility,
+        aot_compilable,
     }
 }

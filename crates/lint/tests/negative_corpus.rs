@@ -435,7 +435,8 @@ fn f002_pop_from_port_no_capture_feeds() {
 
 // --------------------------------------------------------------- the contract
 
-/// A fully wired object produces an empty report and a fusibility proof.
+/// A fully wired object produces a warning-free report, a fusibility
+/// proof, and the advisory `RL-F003` AOT-compilability verdict.
 #[test]
 fn clean_object_has_no_findings() {
     let mac = MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0);
@@ -446,16 +447,25 @@ fn clean_object_has_no_findings() {
         node(0, 0, mac),
     ];
     let report = lint_object(&object);
+    let unexpected: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code != "RL-F003")
+        .map(|d| d.to_string())
+        .collect();
+    assert!(unexpected.is_empty(), "unexpected findings: {unexpected:?}");
+    assert!(matches!(report.fusibility, Fusibility::Fusible { .. }));
     assert!(
-        report.diagnostics.is_empty(),
-        "unexpected findings: {:?}",
+        report.aot_compilable,
+        "fully wired object should prove AOT-compilable"
+    );
+    assert!(
         report
             .diagnostics
             .iter()
-            .map(|d| d.to_string())
-            .collect::<Vec<_>>()
+            .any(|d| d.code == "RL-F003" && d.severity == Severity::Info),
+        "the AOT verdict must surface as an advisory RL-F003 finding"
     );
-    assert!(matches!(report.fusibility, Fusibility::Fusible { .. }));
 }
 
 /// The corpus covers at least the twelve-code floor, across all four

@@ -54,4 +54,6 @@ pub mod service;
 pub use client::{Client, Submit, SubmitSpec, TicketStatus};
 pub use protocol::{Json, Request, Response};
 pub use serve::{Server, ServerConfig};
-pub use service::{JobStatus, Service, ServiceConfig, ServiceStats, SubmitError, SubmitOk};
+pub use service::{
+    JobStatus, Service, ServiceConfig, ServiceStats, SubmitError, SubmitOk, TenantStats,
+};

@@ -390,13 +390,16 @@ pub fn status_json(ticket: u64, status: &JobStatus) -> String {
     out
 }
 
-/// Renders the scheduler counters as the wire JSON.
+/// Renders the scheduler counters as the wire JSON. The `tenants`
+/// object is keyed by tenant name in sorted order, one accounting row
+/// per tenant the scheduler ever ran or completed work for.
 pub fn stats_json(stats: &ServiceStats) -> String {
-    format!(
+    let mut out = format!(
         "{{\"admitted\":{},\"rejected_full\":{},\"rejected_quota\":{},\"rejected_draining\":{},\
          \"max_queue_depth\":{},\"queue_depth\":{},\"interactive_waiting\":{},\
          \"running_units\":{},\"parked_jobs\":{},\"preemptions\":{},\"completed\":{},\
-         \"faulted\":{},\"evicted\":{},\"advanced_cycles\":{},\"lane_occupancy\":{:.4}}}",
+         \"faulted\":{},\"evicted\":{},\"advanced_cycles\":{},\"lane_occupancy\":{:.4},\
+         \"tenants\":{{",
         stats.admission.admitted,
         stats.admission.rejected_full,
         stats.admission.rejected_quota,
@@ -412,7 +415,19 @@ pub fn stats_json(stats: &ServiceStats) -> String {
         stats.evicted,
         stats.advanced_cycles,
         stats.lane_occupancy(),
-    )
+    );
+    for (i, row) in stats.tenants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(&row.tenant));
+        out.push_str(&format!(
+            ":{{\"cycles_simulated\":{},\"jobs_completed\":{},\"preemptions\":{}}}",
+            row.cycles_simulated, row.jobs_completed, row.preemptions,
+        ));
+    }
+    out.push_str("}}");
+    out
 }
 
 /// Escapes a string into a JSON literal.

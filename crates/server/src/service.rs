@@ -37,6 +37,7 @@
 //!   queue depths, preemption counts and lane occupancy are exactly
 //!   reproducible. This is what the benchmark trajectory records.
 
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -144,7 +145,7 @@ pub struct SubmitOk {
 }
 
 /// A point-in-time snapshot of the service counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServiceStats {
     /// Admission front-door counters.
     pub admission: AdmissionStats,
@@ -168,6 +169,8 @@ pub struct ServiceStats {
     pub advanced_cycles: u64,
     /// `Σ slice_cycles × live_lanes` — occupancy-weighted cycles.
     pub occupancy_cycles: u64,
+    /// Per-tenant accounting rows, sorted by tenant name.
+    pub tenants: Vec<TenantStats>,
 }
 
 impl ServiceStats {
@@ -179,6 +182,21 @@ impl ServiceStats {
             self.occupancy_cycles as f64 / self.advanced_cycles as f64
         }
     }
+}
+
+/// One tenant's accounting row: what the shared pool actually spent on
+/// them, regardless of how their jobs were packed into units.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Simulated cycles advanced while this tenant's lanes were live.
+    pub cycles_simulated: u64,
+    /// This tenant's jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Checkpoint suspensions this tenant's lanes absorbed (one per
+    /// parked lane, unlike the unit-granular global counter).
+    pub preemptions: u64,
 }
 
 /// Per-ticket lifecycle.
@@ -206,6 +224,14 @@ struct ActiveUnit {
     deadlines: Vec<Option<(Instant, Duration)>>,
 }
 
+/// A tenant's running totals (the name lives in the map key).
+#[derive(Clone, Copy, Debug, Default)]
+struct TenantTotals {
+    cycles_simulated: u64,
+    jobs_completed: u64,
+    preemptions: u64,
+}
+
 #[derive(Default)]
 struct Counters {
     preemptions: u64,
@@ -214,6 +240,9 @@ struct Counters {
     evicted: u64,
     advanced_cycles: u64,
     occupancy_cycles: u64,
+    /// Keyed by tenant name; BTreeMap so snapshots render in a
+    /// deterministic order.
+    tenants: BTreeMap<String, TenantTotals>,
 }
 
 struct State {
@@ -373,6 +402,17 @@ impl Service {
             evicted: st.counters.evicted,
             advanced_cycles: st.counters.advanced_cycles,
             occupancy_cycles: st.counters.occupancy_cycles,
+            tenants: st
+                .counters
+                .tenants
+                .iter()
+                .map(|(tenant, totals)| TenantStats {
+                    tenant: tenant.clone(),
+                    cycles_simulated: totals.cycles_simulated,
+                    jobs_completed: totals.jobs_completed,
+                    preemptions: totals.preemptions,
+                })
+                .collect(),
         }
     }
 
@@ -424,10 +464,10 @@ impl Service {
                 }
             };
             loop {
-                let lanes_before = unit.group.live();
+                let live_before = unit.group.live_mask();
                 let advanced = unit.group.advance(self.config.slice_cycles);
                 let mut st = self.state.lock().expect("service lock");
-                match self.after_slice(&mut st, unit, lanes_before, advanced) {
+                match self.after_slice(&mut st, unit, &live_before, advanced) {
                     Some(live) => unit = live,
                     None => {
                         self.signal.notify_all();
@@ -455,9 +495,9 @@ impl Service {
                 None => return false,
             },
         };
-        let lanes_before = unit.group.live();
+        let live_before = unit.group.live_mask();
         let advanced = unit.group.advance(self.config.slice_cycles);
-        st.current = self.after_slice(&mut st, unit, lanes_before, advanced);
+        st.current = self.after_slice(&mut st, unit, &live_before, advanced);
         true
     }
 
@@ -473,11 +513,29 @@ impl Service {
         &self,
         st: &mut State,
         mut unit: ActiveUnit,
-        lanes_before: usize,
+        live_before: &[bool],
         advanced: u64,
     ) -> Option<ActiveUnit> {
+        let lanes_before = live_before.iter().filter(|&&live| live).count();
         st.counters.advanced_cycles += advanced;
         st.counters.occupancy_cycles += advanced * lanes_before as u64;
+        if advanced > 0 {
+            // Lanes advance in lockstep, so each live lane's tenant is
+            // billed the full slice.
+            for (ticket, _) in unit
+                .tickets
+                .iter()
+                .zip(live_before)
+                .filter(|(_, &live)| live)
+            {
+                let tenant = st.slots[ticket].tenant.clone();
+                st.counters
+                    .tenants
+                    .entry(tenant)
+                    .or_default()
+                    .cycles_simulated += advanced;
+            }
+        }
         if unit.deadlines.iter().any(Option::is_some) {
             unit = self.fault_expired(st, unit);
         }
@@ -617,7 +675,9 @@ impl Service {
                 settle(st, ticket, lane.finish());
             } else {
                 let slot = st.slots.get_mut(&ticket).expect("running slot");
+                let tenant = slot.tenant.clone();
                 slot.phase = Phase::Parked(lane.suspend(), deadline);
+                st.counters.tenants.entry(tenant).or_default().preemptions += 1;
                 parked.push(ticket);
             }
         }
@@ -664,11 +724,18 @@ fn resume_unit(st: &mut State, tickets: Vec<u64>) -> ActiveUnit {
 /// is released, the counters move.
 fn settle(st: &mut State, ticket: u64, outcome: JobOutcome) {
     let slot = st.slots.get_mut(&ticket).expect("settling slot");
+    let tenant = slot.tenant.clone();
     match &outcome {
-        JobOutcome::Completed(_) => st.counters.completed += 1,
+        JobOutcome::Completed(_) => {
+            st.counters.completed += 1;
+            st.counters
+                .tenants
+                .entry(tenant.clone())
+                .or_default()
+                .jobs_completed += 1;
+        }
         JobOutcome::Fault(_) => st.counters.faulted += 1,
     }
-    let tenant = slot.tenant.clone();
     slot.phase = Phase::Done(outcome);
     st.queue.complete(&tenant);
 }

@@ -181,6 +181,88 @@ fn scripted_interactive_preempts_batch_and_resumes_bit_identically() {
 }
 
 #[test]
+fn scripted_per_tenant_accounting_tracks_cycles_jobs_and_preemptions() {
+    let service = Service::new(ServiceConfig {
+        slice_cycles: 256,
+        ..ServiceConfig::default()
+    });
+    let batch = service
+        .submit(
+            "batch-tenant",
+            JobClass::Batch,
+            stream_job("batch-tenant", 10, 4096),
+            None,
+        )
+        .expect("admitted");
+    // One slice of the batch unit, then an interactive arrival forces a
+    // checkpoint preemption at the next boundary.
+    assert!(service.tick());
+    service
+        .submit(
+            "itenant",
+            JobClass::Interactive,
+            stream_job("itenant", 500, 256),
+            None,
+        )
+        .expect("admitted");
+    service.run_idle();
+    assert!(matches!(
+        service.status(batch.ticket),
+        Some(JobStatus::Done(_))
+    ));
+
+    // The snapshot carries one accounting row per tenant, sorted by
+    // name, and every simulated cycle is billed to exactly one tenant.
+    let stats = service.stats();
+    let names: Vec<&str> = stats.tenants.iter().map(|t| t.tenant.as_str()).collect();
+    assert_eq!(names, ["batch-tenant", "itenant"]);
+    let batch_row = &stats.tenants[0];
+    assert_eq!(batch_row.cycles_simulated, 4096);
+    assert_eq!(batch_row.jobs_completed, 1);
+    assert_eq!(batch_row.preemptions, 1);
+    let inter_row = &stats.tenants[1];
+    assert_eq!(inter_row.cycles_simulated, 256);
+    assert_eq!(inter_row.jobs_completed, 1);
+    assert_eq!(inter_row.preemptions, 0);
+    assert_eq!(
+        stats
+            .tenants
+            .iter()
+            .map(|t| t.cycles_simulated)
+            .sum::<u64>(),
+        stats.advanced_cycles
+    );
+
+    // The rows survive the wire: rendered into the stats JSON and read
+    // back through the protocol's own parser.
+    let json = systolic_ring_server::protocol::stats_json(&stats);
+    let parsed = systolic_ring_server::Json::parse(&json).expect("stats JSON parses");
+    let tenants = parsed.get("tenants").expect("tenants object");
+    let batch_obj = tenants.get("batch-tenant").expect("batch-tenant row");
+    assert_eq!(
+        batch_obj.get("cycles_simulated").and_then(|v| v.as_u64()),
+        Some(4096)
+    );
+    assert_eq!(
+        batch_obj.get("jobs_completed").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    assert_eq!(
+        batch_obj.get("preemptions").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    let inter_obj = tenants.get("itenant").expect("itenant row");
+    assert_eq!(
+        inter_obj.get("cycles_simulated").and_then(|v| v.as_u64()),
+        Some(256)
+    );
+    assert_eq!(
+        inter_obj.get("preemptions").and_then(|v| v.as_u64()),
+        Some(0)
+    );
+}
+
+#[test]
 fn scripted_admission_backpressure_is_deterministic() {
     let service = Service::new(ServiceConfig {
         admission: AdmissionConfig {
@@ -376,6 +458,23 @@ fn tcp_end_to_end_submit_wait_stats_drain() {
     let stats = client.stats().expect("stats");
     assert_eq!(stats.get("admitted").and_then(|v| v.as_u64()), Some(2));
     assert_eq!(stats.get("completed").and_then(|v| v.as_u64()), Some(2));
+    // Per-tenant accounting is on the wire: one row per tenant.
+    for tenant in ["alice", "bob"] {
+        let row = stats
+            .get("tenants")
+            .and_then(|t| t.get(tenant))
+            .unwrap_or_else(|| panic!("no tenants row for {tenant}"));
+        assert_eq!(
+            row.get("jobs_completed").and_then(|v| v.as_u64()),
+            Some(1),
+            "{tenant}"
+        );
+        assert_eq!(
+            row.get("cycles_simulated").and_then(|v| v.as_u64()),
+            Some(2048),
+            "{tenant}"
+        );
+    }
 
     // Graceful drain: 200 with the quiescent counters, then the accept
     // loop closes and run() returns cleanly — srserved's exit 0.

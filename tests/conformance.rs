@@ -2,7 +2,7 @@
 //! plain `.sr` assembly and literate `.sr.md` markdown alike — must lint
 //! clean, meet its embedded `;!` expectations (sink output and cycle
 //! budget) and produce bit-identical sink streams in identical cycle
-//! counts on the slow, decoded and fused execution tiers.
+//! counts on the slow, decoded, fused and aot execution tiers.
 
 use std::path::Path;
 
@@ -48,7 +48,7 @@ fn corpus_meets_the_size_floor() {
 /// The conformance sweep itself: every program passes every declared
 /// tier, and the runner's cross-tier equality check held.
 #[test]
-fn every_program_conforms_on_all_three_tiers() {
+fn every_program_conforms_on_all_tiers() {
     let report = conformance::run_dir(&programs_dir()).expect("corpus runs");
     assert!(
         report.passed(),
@@ -57,13 +57,45 @@ fn every_program_conforms_on_all_three_tiers() {
     );
     for case in &report.cases {
         // No program in the shipped corpus restricts its tier sweep, so
-        // each must have run on all three tiers with nonzero cycles.
-        assert_eq!(case.tiers.len(), 3, "{}", case.name);
+        // each must have run on all four tiers with nonzero cycles.
+        assert_eq!(case.tiers.len(), Tier::ALL.len(), "{}", case.name);
         for (tier, expected) in case.tiers.iter().zip(Tier::ALL) {
             assert_eq!(tier.tier, expected, "{}", case.name);
             assert!(tier.cycles > 0, "{} [{}]", case.name, tier.tier);
         }
     }
+}
+
+/// The AOT compiler's headline claim, gated on the corpus: on the aot
+/// tier, the combined compiled coverage — cycles spent inside AOT
+/// superblocks or fused bursts, over all simulated cycles — reaches at
+/// least 95% across the shipped programs, and every program enters at
+/// least one AOT superblock.
+#[test]
+fn aot_tier_compiled_coverage_meets_the_bar() {
+    let report = conformance::run_dir(&programs_dir()).expect("corpus runs");
+    let mut total_cycles = 0u64;
+    let mut compiled_cycles = 0u64;
+    for case in &report.cases {
+        let aot = case
+            .tiers
+            .iter()
+            .find(|t| t.tier == Tier::Aot)
+            .unwrap_or_else(|| panic!("{}: no aot tier row", case.name));
+        assert!(
+            aot.stats.aot_entries > 0,
+            "{}: the aot tier never entered a superblock",
+            case.name
+        );
+        total_cycles += aot.cycles;
+        compiled_cycles += aot.stats.fused_cycles + aot.stats.aot_cycles;
+    }
+    let coverage = compiled_cycles as f64 / total_cycles.max(1) as f64;
+    assert!(
+        coverage >= 0.95,
+        "combined fused+aot coverage {coverage:.4} < 0.95 over the corpus \
+         ({compiled_cycles}/{total_cycles} cycles)"
+    );
 }
 
 /// The JSON emission is deterministic, uses the shared versioned record
@@ -86,7 +118,7 @@ fn conformance_json_covers_the_matrix() {
     for case in &report.cases {
         assert!(json.contains(&format!("\"workload\": \"{}\"", case.name)));
     }
-    assert_eq!(file.records.len(), report.cases.len() * 3);
+    assert_eq!(file.records.len(), report.cases.len() * Tier::ALL.len());
     assert!(file.records.iter().all(|r| r.pass == Some(true)), "{json}");
 
     let parsed = BenchFile::parse(&json).expect("round-trips through the shared parser");

@@ -1,11 +1,11 @@
-//! Fused-engine acceptance over the whole kernel library: the fused
-//! steady-state path, the decoded per-cycle path and the slow
-//! decode-per-cycle reference must agree output for output, cycle for
-//! cycle and counter for counter — and all three must match the golden
-//! software models. Lane-fused batch execution must be outcome-identical
-//! to serial execution, and fault-injection campaigns must behave exactly
-//! as they do without the fused engine (which is required to stand down
-//! whenever an injector is armed).
+//! Fused-engine acceptance over the whole kernel library: the AOT
+//! superblock tier, the fused steady-state path, the decoded per-cycle
+//! path and the slow decode-per-cycle reference must agree output for
+//! output, cycle for cycle and counter for counter — and all four must
+//! match the golden software models. Lane-fused batch execution must be
+//! outcome-identical to serial execution, and fault-injection campaigns
+//! must behave exactly as they do without the compiled engines (which
+//! are required to stand down whenever an injector is armed).
 
 use systolic_ring::asm::assemble;
 use systolic_ring::harness::campaign::run_chaos;
@@ -16,56 +16,73 @@ use systolic_ring::kernels::batch::{campaign_suite, oracle_suite, run_oracle, Or
 
 const SEED: u64 = 0xf5ed_ca5e;
 
-/// The oracle suite with every job pinned to one of the three simulation
-/// tiers: fused (`fused` + `decode_cache`), decoded (`decode_cache`
-/// only) or slow (neither).
-fn suite_at_tier(fused: bool, cache: bool) -> Vec<OracleCase> {
+/// The oracle suite with every job pinned to one of the four simulation
+/// tiers: aot (`aot` + `fused` + `decode_cache`), fused (`fused` +
+/// `decode_cache`), decoded (`decode_cache` only) or slow (neither).
+fn suite_at_tier(aot: bool, fused: bool, cache: bool) -> Vec<OracleCase> {
     oracle_suite(SEED, 2)
         .into_iter()
         .map(|case| OracleCase {
-            job: case.job.with_fused(fused).with_decode_cache(cache),
+            job: case
+                .job
+                .with_aot(aot)
+                .with_fused(fused)
+                .with_decode_cache(cache),
             ..case
         })
         .collect()
 }
 
-/// All three tiers satisfy the golden differential oracle on their own.
+/// All four tiers satisfy the golden differential oracle on their own.
 #[test]
 fn every_tier_matches_golden_models() {
-    for (fused, cache) in [(true, true), (false, true), (false, false)] {
-        let report = run_oracle(&BatchRunner::new(), suite_at_tier(fused, cache));
+    for (aot, fused, cache) in [
+        (true, true, true),
+        (false, true, true),
+        (false, false, true),
+        (false, false, false),
+    ] {
+        let report = run_oracle(&BatchRunner::new(), suite_at_tier(aot, fused, cache));
         assert!(
             report.all_match(),
-            "fused={fused} cache={cache}: mismatches {:?} faults {:?}",
+            "aot={aot} fused={fused} cache={cache}: mismatches {:?} faults {:?}",
             report.mismatches,
             report.faults
         );
     }
 }
 
-/// Fused vs decoded vs slow, kernel by kernel: identical outputs, cycle
-/// counts and architectural statistics. Only the engines' own counters
-/// may differ — and the fused suite must actually run fused somewhere.
+/// Aot vs fused vs decoded vs slow, kernel by kernel: identical outputs,
+/// cycle counts and architectural statistics. Only the engines' own
+/// counters may differ — and the compiled suites must actually run
+/// compiled bursts somewhere.
 #[test]
-fn three_tiers_agree_over_every_kernel_family() {
-    let jobs_at = |fused, cache| -> Vec<Job> {
-        suite_at_tier(fused, cache)
+fn four_tiers_agree_over_every_kernel_family() {
+    let jobs_at = |aot, fused, cache| -> Vec<Job> {
+        suite_at_tier(aot, fused, cache)
             .into_iter()
             .map(|c| c.job)
             .collect()
     };
-    let fused = BatchRunner::new().run(&jobs_at(true, true));
-    let decoded = BatchRunner::new().run(&jobs_at(false, true));
-    let slow = BatchRunner::new().run(&jobs_at(false, false));
+    let aot = BatchRunner::new().run(&jobs_at(true, true, true));
+    let fused = BatchRunner::new().run(&jobs_at(false, true, true));
+    let decoded = BatchRunner::new().run(&jobs_at(false, false, true));
+    let slow = BatchRunner::new().run(&jobs_at(false, false, false));
 
-    assert_eq!(fused.reports.len(), 22, "11 kernel families x 2 rounds");
+    assert_eq!(aot.reports.len(), 22, "11 kernel families x 2 rounds");
     let mut fused_entries = 0;
-    for ((f, d), s) in fused
+    let mut aot_entries = 0;
+    for (((a, f), d), s) in aot
         .reports
         .iter()
+        .zip(&fused.reports)
         .zip(&decoded.reports)
         .zip(&slow.reports)
     {
+        let ao = a
+            .outcome
+            .output()
+            .unwrap_or_else(|| panic!("aot tier faulted on {}: {:?}", a.name, a.outcome));
         let fo = f
             .outcome
             .output()
@@ -75,14 +92,14 @@ fn three_tiers_agree_over_every_kernel_family() {
             .output()
             .unwrap_or_else(|| panic!("slow tier faulted on {}: {:?}", s.name, s.outcome));
         let dn = d.outcome.output().expect("decoded tier completed");
-        for (other, label) in [(dn, "decoded"), (so, "slow")] {
-            assert_eq!(fo.outputs, other.outputs, "{}: {label} outputs", f.name);
-            assert_eq!(fo.cycles, other.cycles, "{}: {label} cycles", f.name);
+        for (other, label) in [(fo, "fused"), (dn, "decoded"), (so, "slow")] {
+            assert_eq!(ao.outputs, other.outputs, "{}: {label} outputs", a.name);
+            assert_eq!(ao.cycles, other.cycles, "{}: {label} cycles", a.name);
             assert_eq!(
-                fo.stats.without_cache_counters(),
+                ao.stats.without_cache_counters(),
                 other.stats.without_cache_counters(),
                 "{}: {label} architectural stats",
-                f.name
+                a.name
             );
         }
         assert_eq!(
@@ -91,11 +108,22 @@ fn three_tiers_agree_over_every_kernel_family() {
             "{}: non-fused tiers must never enter the fused engine",
             f.name
         );
+        assert_eq!(
+            fo.stats.aot_entries + dn.stats.aot_entries + so.stats.aot_entries,
+            0,
+            "{}: non-aot tiers must never enter the AOT cache",
+            a.name
+        );
         fused_entries += fo.stats.fused_entries;
+        aot_entries += ao.stats.aot_entries + ao.stats.fused_entries;
     }
     assert!(
         fused_entries > 0,
         "the fused suite must actually execute fused bursts"
+    );
+    assert!(
+        aot_entries > 0,
+        "the aot suite must actually execute compiled bursts"
     );
 }
 
@@ -145,12 +173,13 @@ fn lane_fused_batch_matches_serial_over_32_jobs() {
     assert!(summary.render().contains("fused:"));
 }
 
-/// The chaos campaign classifies every case identically with the fused
-/// engine enabled and disabled: armed injectors force the cycle-by-cycle
-/// path, so fault detection, rollback and outputs cannot shift.
+/// The chaos campaign classifies every case identically with the
+/// compiled engines enabled and disabled: armed injectors force the
+/// cycle-by-cycle path, so fault detection, rollback and outputs cannot
+/// shift — on the fused tier and on the AOT tier alike.
 #[test]
 fn chaos_campaign_is_identical_with_fusion_enabled() {
-    let with_fusion = |enabled: bool| {
+    let with_tiers = |aot: bool, fused: bool| {
         run_chaos(
             &BatchRunner::with_workers(2),
             &[0, 2_000],
@@ -161,22 +190,26 @@ fn chaos_campaign_is_identical_with_fusion_enabled() {
                     .into_iter()
                     .take(4)
                     .map(|mut case| {
-                        case.job = case.job.with_fused(enabled);
+                        case.job = case.job.with_aot(aot).with_fused(fused);
                         case
                     })
                     .collect()
             },
         )
     };
-    let fused = with_fusion(true);
-    let plain = with_fusion(false);
+    let aot = with_tiers(true, true);
+    let fused = with_tiers(false, true);
+    let plain = with_tiers(false, false);
     assert!(fused.zero_undetected(), "\n{}", fused.render());
-    for (a, b) in fused.rows.iter().zip(&plain.rows) {
-        assert_eq!(a.clean, b.clean, "clean counts shifted under fusion");
-        assert_eq!(
-            a.faults_detected, b.faults_detected,
-            "detection counts shifted under fusion"
-        );
+    assert!(aot.zero_undetected(), "\n{}", aot.render());
+    for (label, compiled) in [("fusion", &fused), ("aot", &aot)] {
+        for (a, b) in compiled.rows.iter().zip(&plain.rows) {
+            assert_eq!(a.clean, b.clean, "clean counts shifted under {label}");
+            assert_eq!(
+                a.faults_detected, b.faults_detected,
+                "detection counts shifted under {label}"
+            );
+        }
     }
 }
 
@@ -210,4 +243,27 @@ fn fused_smoke() {
         "fused and decoded paths diverged on the smoke suite"
     );
     assert_eq!(fused.summary().faulted, 0);
+}
+
+/// CI smoke slice for the AOT tier: one oracle round, aot vs decoded,
+/// well under a second. `ci.sh` runs exactly this test as its AOT gate.
+#[test]
+fn aot_smoke() {
+    let at = |aot: bool| -> Vec<Job> {
+        oracle_suite(7, 1)
+            .into_iter()
+            .map(|c| c.job.with_aot(aot).with_fused(aot))
+            .collect()
+    };
+    let aot = BatchRunner::with_workers(2).run(&at(true));
+    let decoded = BatchRunner::with_workers(2).run(&at(false));
+    assert!(
+        aot.outcomes_match(&decoded),
+        "aot and decoded paths diverged on the smoke suite"
+    );
+    assert_eq!(aot.summary().faulted, 0);
+    assert!(
+        aot.summary().merged.aot_entries > 0,
+        "the aot smoke suite never entered a superblock"
+    );
 }

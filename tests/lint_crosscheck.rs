@@ -9,7 +9,11 @@
 //!   `BadInstruction`, `BadConfigWrite`), and
 //! * a **`Fusible { settle_cycles }`** verdict must be honored by the
 //!   dynamic fused engine: running past the proven settle point on a
-//!   paper-faithful machine must record `fused_entries > 0`.
+//!   paper-faithful machine must record `fused_entries > 0`, and
+//! * an **`aot_compilable`** verdict (`RL-F003`) must be honored by the
+//!   AOT tier: the load-time prefill walk must cache at least one
+//!   compiled superblock before the machine runs a single cycle, and a
+//!   run past the settle point must record `aot_entries > 0`.
 
 use systolic_ring::asm::assemble_source;
 use systolic_ring::core::{MachineParams, RingMachine, SimError};
@@ -117,6 +121,50 @@ fn fusible_verdict_is_honored_by_the_fused_engine() {
         );
     }
     assert!(proven >= 5, "expected most of the corpus to prove fusible");
+}
+
+/// An `aot_compilable` verdict (`RL-F003`) is a guarantee on both ends of
+/// the tier: superblocks are cached at load time (before any cycle runs),
+/// and a run past the proven settle point enters at least one of them.
+#[test]
+fn aot_verdict_is_honored_by_the_prefill_and_the_tier() {
+    let mut proven = 0;
+    for (name, object) in corpus() {
+        let report = lint_object(&object);
+        // The verdict and its diagnostic move together.
+        assert_eq!(
+            report.aot_compilable,
+            report.diagnostics.iter().any(|d| d.code == "RL-F003"),
+            "{name}: RL-F003 diagnostic out of step with the verdict"
+        );
+        if !report.aot_compilable {
+            continue;
+        }
+        let Fusibility::Fusible { settle_cycles } = report.fusibility else {
+            panic!("{name}: aot_compilable without a fusible settle proof");
+        };
+        proven += 1;
+        let geometry = object.geometry.unwrap_or(RingGeometry::RING_8);
+        let mut m = RingMachine::new(geometry, MachineParams::PAPER.with_aot(true));
+        m.load(&object).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            m.aot_cached_programs() > 0,
+            "{name}: predicted aot-compilable, but the load-time prefill cached nothing"
+        );
+        stimulate(&mut m);
+        m.run(settle_cycles + 256)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            m.stats().aot_entries > 0,
+            "{name}: predicted aot-compilable, but the AOT tier never entered a \
+             superblock (stats: {:?})",
+            m.stats()
+        );
+    }
+    assert!(
+        proven >= 5,
+        "expected most of the corpus to prove aot-compilable"
+    );
 }
 
 /// The prediction agrees with the engine on the negative side too, in the
