@@ -21,7 +21,7 @@ cargo test -q --workspace
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
-echo "==> ringlint gate (shipped programs + kernel objects, zero warnings)"
+echo "==> ringlint gate (shipped programs verify-clean; warnings deny by default)"
 cargo build --release -q -p systolic-ring-asm -p systolic-ring-lint
 lintdir="$(mktemp -d)"
 trap 'rm -rf "$lintdir"' EXIT
@@ -29,7 +29,9 @@ for src in programs/*.sr programs/*.sr.md; do
     obj="$lintdir/$(basename "$src" | sed 's/\.sr\(\.md\)\?$//').obj"
     ./target/release/srasm "$src" -o "$obj"
 done
-./target/release/ringlint --deny-warnings "$lintdir"/*.obj
+./target/release/ringlint "$lintdir"/*.obj
+# The machine-readable mode must stay stable and report every object.
+./target/release/ringlint --json "$lintdir"/*.obj | grep -q '"version":1'
 cargo test -q --test lint_crosscheck shipped_corpus_lints_without_warnings
 
 echo "==> conformance gate (programs/ on slow+decoded+fused+aot, cross-tier bit-equality)"
@@ -64,6 +66,10 @@ grep -q '"suite": "service_load"' "$lintdir/BENCH_service_load.json"
 
 echo "==> lint self-test smoke (negative corpus must keep tripping)"
 cargo test -q -p systolic-ring-lint --test negative_corpus
+cargo test -q -p systolic-ring-lint --test cli
+
+echo "==> verify speed gate (static proofs >=50x faster than simulating, recorded row)"
+cargo bench -q -p systolic-ring-bench --bench verify
 
 echo "==> chaos smoke (fault injection, 1 seed, 2 kernel families)"
 cargo test -q --test chaos chaos_smoke

@@ -14,10 +14,12 @@
 //!
 //! With `--lint`, the assembled object is additionally run through
 //! `ringlint`'s static checks; warnings and errors print after assembly
-//! and any finding fails the build. With `--check`, no object is written:
-//! the source is assembled, its `;!` expectation directives are parsed
-//! and the object is linted — the static half of the conformance gate
-//! (`srconform` is the dynamic half).
+//! and fail the build (warnings are denied by default, exactly as in the
+//! standalone `ringlint`; `--allow-warnings` is the shared escape hatch
+//! that demotes the gate to errors only). With `--check`, no object is
+//! written: the source is assembled, its `;!` expectation directives are
+//! parsed and the object is linted — the static half of the conformance
+//! gate (`srconform` is the dynamic half).
 
 use std::process::ExitCode;
 
@@ -25,7 +27,10 @@ use systolic_ring_asm::assemble_source;
 use systolic_ring_lint::{lint_object, Severity};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: srasm <source.sr|source.sr.md> [-o <out.obj>] [--lint] [--check]");
+    eprintln!(
+        "usage: srasm <source.sr|source.sr.md> [-o <out.obj>] [--lint] [--check] \
+         [--allow-warnings]"
+    );
     ExitCode::from(2)
 }
 
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
     let mut out_path = None;
     let mut lint = false;
     let mut check = false;
+    let mut allow_warnings = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -44,6 +50,7 @@ fn main() -> ExitCode {
             },
             "--lint" => lint = true,
             "--check" => check = true,
+            "--allow-warnings" => allow_warnings = true,
             "-h" | "--help" => return usage(),
             path if source_path.is_none() => source_path = Some(path.to_owned()),
             _ => return usage(),
@@ -68,16 +75,17 @@ fn main() -> ExitCode {
         }
     };
     if lint || check {
+        let floor = if allow_warnings {
+            Severity::Error
+        } else {
+            Severity::Warning
+        };
         let report = lint_object(&object);
         for diag in &report.diagnostics {
             eprintln!("srasm: {source_path}: {diag}");
             eprintln!("srasm: {source_path}:   help: {}", diag.help);
         }
-        if report
-            .diagnostics
-            .iter()
-            .any(|d| d.severity >= Severity::Warning)
-        {
+        if report.diagnostics.iter().any(|d| d.severity >= floor) {
             eprintln!("srasm: {source_path}: lint failed; object not written");
             return ExitCode::FAILURE;
         }

@@ -72,6 +72,51 @@ fn check_mode_reports_expectations_and_writes_nothing() {
     assert!(stdout.contains("tiers slow,decoded,fused"), "{stdout}");
 }
 
+/// A source that assembles fine but trips a lint *warning* (`RL-D002`:
+/// the capture drains a lane no node ever drives).
+const WARNING_LITERATE: &str = "\
+# Undriven capture
+
+```sr
+.ring 4x2
+route 0,0.in1 = host.0
+capture 1 = lane 0
+.code
+wait 8
+halt
+```
+";
+
+/// `srasm --lint` and `ringlint` share one gate: warnings are denied by
+/// default (exit 1), and `--allow-warnings` is the single escape hatch.
+#[test]
+fn lint_warnings_deny_by_default_with_allow_warnings_escape() {
+    let dir = scratch("lintgate");
+    std::fs::write(dir.join("undriven.sr.md"), WARNING_LITERATE).expect("write");
+
+    let denied = srasm(&["undriven.sr.md", "--lint"], &dir);
+    assert_eq!(denied.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&denied.stderr);
+    assert!(stderr.contains("RL-D002"), "{stderr}");
+    assert!(stderr.contains("lint failed"), "{stderr}");
+    assert!(!dir.join("undriven.obj").exists(), "no object on failure");
+
+    let allowed = srasm(&["undriven.sr.md", "--lint", "--allow-warnings"], &dir);
+    assert_eq!(
+        allowed.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&allowed.stderr)
+    );
+    // The finding still prints; only the gate is demoted.
+    let stderr = String::from_utf8_lossy(&allowed.stderr);
+    assert!(stderr.contains("RL-D002"), "{stderr}");
+    assert!(
+        dir.join("undriven.obj").exists(),
+        "object written when allowed"
+    );
+}
+
 /// The negative test pinning the diagnostic shape: a directive parse
 /// failure must print as `srasm: <file>:line <N>: directive error
 /// [SR-Mxxx]: ...`, with the line pointing into the original markdown.

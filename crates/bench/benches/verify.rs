@@ -1,0 +1,89 @@
+//! Static verification vs dynamic simulation: the speed claim behind
+//! the `ringverify` passes.
+//!
+//! The verify passes exist to discharge `;! cycles` budgets and prove
+//! hazard freedom *without running the machine*. This bench pits the
+//! full static pipeline — `lint_object_expecting`, which includes the
+//! forking schedule walk, the hazard replay and the interval fixpoint —
+//! against the dynamic verification it replaces: the conformance case,
+//! which builds a machine per declared tier, runs each to halt and
+//! checks the `;!` expectations (exactly what `srconform` does, and what
+//! establishing the same facts dynamically costs). Both sides cover the
+//! entire shipped literate corpus (`programs/`), and the repository's
+//! acceptance floor is enforced: verifying must be at least 50x faster
+//! than simulating.
+
+use std::path::Path;
+
+use systolic_ring_asm::assemble_source;
+use systolic_ring_harness::conformance::{discover, run_case};
+use systolic_ring_harness::microbench::{black_box, Group};
+use systolic_ring_isa::expect::Expectations;
+use systolic_ring_isa::object::Object;
+use systolic_ring_lint::{lint_object_expecting, LintLimits};
+
+/// Every literate program shipped in `programs/`, with its embedded
+/// expectations (the same corpus `srconform` runs).
+fn corpus() -> Vec<(String, Object, Expectations)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../programs");
+    let mut sources: Vec<_> = std::fs::read_dir(&dir)
+        .expect("programs/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".sr") || n.ends_with(".sr.md"))
+        })
+        .collect();
+    sources.sort();
+    sources
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("readable source");
+            let (object, expectations) =
+                assemble_source(&name, &text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, object, expectations)
+        })
+        .collect()
+}
+
+fn main() {
+    let corpus = corpus();
+    assert!(corpus.len() >= 6, "literate corpus went missing");
+    let limits = LintLimits::default();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../programs");
+    let cases = discover(&dir).expect("conformance corpus discovers");
+    assert_eq!(cases.len(), corpus.len(), "both sides cover the corpus");
+
+    let mut group = Group::new("verify").with_iters(20, 200);
+    let verify = group.bench("verify_literate_corpus", || {
+        for (_, object, expectations) in &corpus {
+            let report = lint_object_expecting(black_box(object), &limits, Some(expectations));
+            black_box(report.proof.cycle_bound);
+        }
+    });
+    let simulate = group.bench("simulate_conformance_corpus", || {
+        for case in &cases {
+            let result = run_case(black_box(case));
+            assert!(result.passed(), "{}: {:?}", result.name, result.failures);
+            black_box(result.tiers.len());
+        }
+    });
+    group.finish_print();
+
+    // The gate compares best-observed times: `min` is the standard
+    // noise-robust estimator for short microbench windows (a single
+    // scheduler preemption inflates a 30 us sample far more than a 2 ms
+    // one, so a median-of-medians ratio flaps under load).
+    let ratio = simulate.min.as_nanos() as f64 / verify.min.as_nanos().max(1) as f64;
+    let median_ratio = simulate.median.as_nanos() as f64 / verify.median.as_nanos().max(1) as f64;
+    println!(
+        "speedup: verify is {ratio:.0}x faster than simulating the conformance corpus \
+         (median-based: {median_ratio:.0}x)"
+    );
+    assert!(
+        ratio >= 50.0,
+        "verify must be >=50x faster than dynamic conformance ({ratio:.1}x)"
+    );
+}

@@ -128,6 +128,21 @@ pub(crate) struct AotEngine {
     /// cannot retire before this cycle, so re-walking earlier is wasted
     /// work (the lookahead is deterministic).
     schedule_stuck_until: u64,
+    /// Entry pinned by a proof manifest: once the machine is past its
+    /// proven configuration-stability cycle, the first resolved entry is
+    /// remembered here and subsequent quiet-window bursts reuse it
+    /// without re-probing the content hash (the proof guarantees the
+    /// content cannot have changed). Cleared on FIFO eviction (indices
+    /// shift) and whenever the machine detaches its proof.
+    pub(crate) proof_idx: Option<usize>,
+    /// Entry compiled for the halt-state configuration when the load-time
+    /// walk covered the *whole* controller execution (reached `halt`
+    /// without ever touching the datapath). The walk is deterministic and
+    /// datapath-free, so the real run retires the same instructions: once
+    /// a proof manifest additionally establishes a stability cycle,
+    /// `RingMachine::attach_proof` pins this entry as [`Self::proof_idx`]
+    /// — every post-stability burst runs this exact configuration.
+    pub(crate) prefill_final: Option<usize>,
 }
 
 impl AotEngine {
@@ -145,8 +160,11 @@ impl AotEngine {
     fn insert(&mut self, entry: AotEntry) -> usize {
         if self.entries.len() >= AOT_CACHE_CAP {
             self.entries.remove(0);
-            // Indices shifted: the memo may name wrong entries now.
+            // Indices shifted: the memo (and any proof- or prefill-pinned
+            // index) may name wrong entries now.
             self.stamp_memo.clear();
+            self.proof_idx = None;
+            self.prefill_final = None;
         }
         self.entries.push(entry);
         self.entries.len() - 1
@@ -217,25 +235,25 @@ fn prefill_compile(
     g: RingGeometry,
     depth: usize,
     stats: &mut Stats,
-) {
+) -> Option<usize> {
     if engine.entries.len() >= AOT_CACHE_CAP {
-        return;
+        return None;
     }
     let key = content_key(config, dnodes, g);
     let hash = fnv1a(&key);
-    if engine.lookup(hash, &key).is_some() {
-        return;
+    if let Some(idx) = engine.lookup(hash, &key) {
+        return Some(idx);
     }
     let active = config.active_index();
     plan.refresh(active, config, dnodes, g);
     let program = fused::compile(plan.context_plan(active), dnodes, g, depth);
     stats.aot_compiles += 1;
-    engine.insert(AotEntry {
+    Some(engine.insert(AotEntry {
         hash,
         key,
         program,
         next_phase: 0,
-    });
+    }))
 }
 
 /// The load-time walk's controller environment: the walk has no datapath,
@@ -363,8 +381,12 @@ impl RingMachine {
         'walk: while retired < PREFILL_RETIRE_BUDGET && engine.entries.len() < AOT_CACHE_CAP {
             match ctrl.state() {
                 CtrlState::Halted => {
-                    // A halt is an unbounded steady window.
-                    prefill_compile(
+                    // A halt is an unbounded steady window — and reaching
+                    // it means the walk covered the whole (deterministic,
+                    // datapath-free) controller execution, so this entry
+                    // is the configuration every post-stability burst
+                    // will run; remember it for proof-pinned elision.
+                    engine.prefill_final = prefill_compile(
                         &mut engine,
                         &config,
                         &dnodes,
@@ -377,7 +399,7 @@ impl RingMachine {
                 }
                 CtrlState::Waiting(n) => {
                     if u64::from(n) >= MIN_BURST {
-                        prefill_compile(
+                        let _ = prefill_compile(
                             &mut engine,
                             &config,
                             &dnodes,
@@ -535,9 +557,26 @@ impl RingMachine {
         if window < MIN_BURST {
             return 0;
         }
-        let stamps = self.fused_stamps();
         let mut engine = self.aot.take().unwrap_or_default();
-        let idx = self.aot_resolve(&mut engine, stamps);
+        // Past the proven stability cycle the configuration content is a
+        // constant: the guard probe (stamp memo, content serialization,
+        // hash lookup) can only ever re-derive the pinned entry, so skip
+        // it. First resolution past the proof binds the pin.
+        let proven_stable = self.proof_stable_from.is_some_and(|s| self.cycle >= s);
+        let idx = match engine.proof_idx {
+            Some(idx) if proven_stable => {
+                self.stats.guards_elided += 1;
+                idx
+            }
+            _ => {
+                let stamps = self.fused_stamps();
+                let idx = self.aot_resolve(&mut engine, stamps);
+                if proven_stable {
+                    engine.proof_idx = Some(idx);
+                }
+                idx
+            }
+        };
         let entry_phase = self.aot_anchor(&mut engine, idx);
         {
             let program = &engine.entries[idx].program;
@@ -653,8 +692,24 @@ impl RingMachine {
             return 0;
         }
         for len in segments {
-            let stamps = self.fused_stamps();
-            let idx = self.aot_resolve(&mut engine, stamps);
+            // Same proof-pinned elision as the quiet-window path, gated
+            // per segment: a segment starting past the proven stability
+            // cycle can only be running the pinned configuration.
+            let proven_stable = self.proof_stable_from.is_some_and(|s| self.cycle >= s);
+            let idx = match engine.proof_idx {
+                Some(idx) if proven_stable => {
+                    self.stats.guards_elided += 1;
+                    idx
+                }
+                _ => {
+                    let stamps = self.fused_stamps();
+                    let idx = self.aot_resolve(&mut engine, stamps);
+                    if proven_stable {
+                        engine.proof_idx = Some(idx);
+                    }
+                    idx
+                }
+            };
             let entry_phase = self.aot_anchor(&mut engine, idx);
             {
                 let program = &engine.entries[idx].program;

@@ -758,8 +758,23 @@ impl RingMachine {
                 }
             }
             engine.last_seen_cycle = self.cycle;
-            if engine.stable_cycles < DETECTION_WINDOW || window < MIN_BURST {
+            if window < MIN_BURST {
                 return None;
+            }
+            if engine.stable_cycles < DETECTION_WINDOW {
+                // Stability not yet *observed* — but an attached proof
+                // manifest may have *proven* it: past the manifest's
+                // stability cycle no configuration write can happen on any
+                // execution path, so the detection window is pure warm-up
+                // and the engine may engage immediately. The burst itself
+                // is bit-identical replay either way; only the entry
+                // heuristic is waived.
+                match self.proof_stable_from {
+                    Some(stable) if self.cycle >= stable => {
+                        self.stats.guards_elided += 1;
+                    }
+                    _ => return None,
+                }
             }
             let active = self.config.active_index();
             let misses = self

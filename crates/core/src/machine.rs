@@ -21,6 +21,7 @@
 
 use systolic_ring_isa::dnode::{DnodeMode, MicroInstr, Operand};
 use systolic_ring_isa::object::{Object, Preload};
+use systolic_ring_isa::proof::{object_hash, ProofManifest};
 use systolic_ring_isa::switch::{HostCapture, PortSource};
 use systolic_ring_isa::{RingGeometry, Word16};
 
@@ -101,6 +102,17 @@ pub struct RingMachine {
     /// Cycle at which `wd_progress` last changed (or the watchdog was
     /// petted).
     wd_since: u64,
+    /// Content hash of the last loaded [`Object`]'s bytes; the credential
+    /// [`RingMachine::attach_proof`] validates a manifest against.
+    loaded_object_hash: Option<u64>,
+    /// Cycle from which an attached, hash-validated proof manifest
+    /// declares the fabric configuration permanently stable. While set
+    /// and reached, the fused tier waives its stability-detection window
+    /// and the AOT tier skips its content-hash guard probe (see
+    /// `Stats::guards_elided`). Cleared by anything that could invalidate
+    /// the static proof: a new [`RingMachine::load`], programmatic
+    /// configuration access, or a Dnode remap.
+    pub(crate) proof_stable_from: Option<u64>,
 }
 
 /// A machine snapshot taken by [`RingMachine::checkpoint`].
@@ -228,6 +240,8 @@ impl RingMachine {
             aot: None,
             wd_progress: (0, 0, 0, 0, 0),
             wd_since: 0,
+            loaded_object_hash: None,
+            proof_stable_from: None,
         }
     }
 
@@ -262,7 +276,12 @@ impl RingMachine {
     }
 
     /// The configuration layer, for programmatic setup.
+    ///
+    /// Handing out mutable configuration access invalidates any attached
+    /// proof manifest: the static proofs describe the loaded object, not
+    /// whatever the caller is about to write.
     pub fn configure(&mut self) -> &mut ConfigLayer {
+        self.invalidate_proof();
         &mut self.config
     }
 
@@ -286,7 +305,11 @@ impl RingMachine {
     }
 
     /// Mutable access to the controller (program loading, test setup).
+    ///
+    /// Invalidates any attached proof manifest — the static schedule walk
+    /// covered the loaded program, not a hand-edited one.
     pub fn controller_mut(&mut self) -> &mut Controller {
+        self.invalidate_proof();
         &mut self.controller
     }
 
@@ -315,6 +338,7 @@ impl RingMachine {
     ///
     /// Panics if `dnode` is out of range.
     pub fn set_mode(&mut self, dnode: usize, mode: DnodeMode) {
+        self.invalidate_proof();
         if self.dnodes[dnode].mode() != mode {
             self.plan.note_mode_write();
         }
@@ -342,6 +366,7 @@ impl RingMachine {
                 limit: program.len(),
             });
         }
+        self.invalidate_proof();
         let seq = self.dnodes[dnode].sequencer_mut();
         for (slot, instr) in program.iter().enumerate() {
             seq.set_slot(slot, *instr);
@@ -415,10 +440,64 @@ impl RingMachine {
         for record in &object.preload {
             self.apply_preload(record)?;
         }
+        // Any previously attached proof described the previous object;
+        // remember the new object's hash so `attach_proof` can bind a
+        // fresh manifest to exactly these bytes.
+        self.invalidate_proof();
+        self.loaded_object_hash = Some(object_hash(object));
         // With the AOT tier on, walk the loaded program and precompile its
         // provable steady windows (no-op otherwise; see `crate::aot`).
         self.aot_prefill();
         Ok(())
+    }
+
+    /// Attaches a statically verified [`ProofManifest`] (produced by
+    /// `ringlint`'s verify passes) to the machine, enabling runtime guard
+    /// elision. Returns `true` iff the manifest was accepted.
+    ///
+    /// Acceptance is deliberately strict — all of:
+    ///
+    /// * the manifest's `object_hash` matches the object most recently
+    ///   [`load`](RingMachine::load)ed (a manifest for different bytes is
+    ///   a stale or foreign proof and is rejected outright),
+    /// * the walk proved termination (`halts`) and hazard freedom, and
+    /// * it established a configuration-stability cycle.
+    ///
+    /// Once attached and past `config_stable_from`, the fused tier skips
+    /// its `DETECTION_WINDOW` stability heuristic and the
+    /// AOT tier pins its resolved cache entry instead of re-probing the
+    /// content hash every burst; each skipped check counts one
+    /// `Stats::guards_elided`. Elision never changes architectural state
+    /// — the differential suites compare tiers with and without proofs
+    /// attached — it only removes warm-up and guard overhead the proof
+    /// made redundant. Any subsequent load, programmatic configuration
+    /// access or Dnode remap detaches the proof.
+    pub fn attach_proof(&mut self, proof: &ProofManifest) -> bool {
+        self.invalidate_proof();
+        let accepted = self.loaded_object_hash == Some(proof.object_hash)
+            && proof.halts
+            && proof.hazard_free
+            && proof.config_stable_from.is_some();
+        if accepted {
+            self.proof_stable_from = proof.config_stable_from;
+            // If the AOT prefill walk covered the whole controller
+            // execution, its halt-state entry is exactly the configuration
+            // every post-stability burst runs: pin it so even the first
+            // burst skips the content-hash probe.
+            if let Some(engine) = &mut self.aot {
+                engine.proof_idx = engine.prefill_final;
+            }
+        }
+        accepted
+    }
+
+    /// Detaches any attached proof manifest and the AOT tier's pinned
+    /// entry derived from it.
+    fn invalidate_proof(&mut self) {
+        self.proof_stable_from = None;
+        if let Some(engine) = &mut self.aot {
+            engine.proof_idx = None;
+        }
     }
 
     fn apply_preload(&mut self, record: &Preload) -> Result<(), ConfigError> {
@@ -845,6 +924,10 @@ impl RingMachine {
     /// [`ConfigError::RemapLayerMismatch`] for a cross-layer pair.
     pub fn remap_dnode(&mut self, from: usize, to: usize) -> Result<(), ConfigError> {
         self.config.remap_dnodes(from, to)?;
+        // The static proofs were walked against the original Dnode
+        // placement; a remap (even an identity one, for simplicity) ends
+        // their authority.
+        self.invalidate_proof();
         if from == to {
             return Ok(());
         }

@@ -89,6 +89,13 @@ pub struct Stats {
     /// the AOT tier's deopt analogue, except the stitch compiles the new
     /// phase instead of abandoning compiled execution.
     pub aot_guard_misses: u64,
+    /// Runtime phase guards skipped because a static proof manifest
+    /// (see `RingMachine::attach_proof`) covered the check: fused-tier
+    /// stability-detection windows waived and AOT guard-hash probes
+    /// short-circuited once the linter proved the configuration stable.
+    /// Zeroed by [`Stats::without_cache_counters`] — eliding a guard must
+    /// never change architectural state.
+    pub guards_elided: u64,
     /// Faults injected by the fault injector (all classes).
     pub faults_injected: u64,
     /// Detection sweeps executed (configuration parity plus pending
@@ -186,6 +193,7 @@ impl Stats {
         self.aot_cycles += other.aot_cycles;
         self.aot_compiles += other.aot_compiles;
         self.aot_guard_misses += other.aot_guard_misses;
+        self.guards_elided += other.guards_elided;
         self.faults_injected += other.faults_injected;
         self.parity_scrubs += other.parity_scrubs;
         self.config_faults_detected += other.config_faults_detected;
@@ -214,6 +222,7 @@ impl Stats {
             aot_cycles: 0,
             aot_compiles: 0,
             aot_guard_misses: 0,
+            guards_elided: 0,
             ..self.clone()
         }
     }

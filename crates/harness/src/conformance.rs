@@ -288,6 +288,49 @@ pub fn run_case(case: &ConformanceCase) -> CaseResult {
         result.tiers.push(run_tier(case, tier, &sink_ports));
     }
 
+    // Static-vs-dynamic schedule cross-check: when the verify pass proved
+    // a cycle bound, every tier's actual halt cycle must respect it — and
+    // the bound must be *useful*, not vacuous. A `;! cycles` budget is
+    // only considered discharged when the static bound covers it; a
+    // budget with no bound at all means the corpus regressed out of the
+    // statically-verifiable subset.
+    match report.proof.cycle_bound {
+        Some(bound) => {
+            if let Some(budget) = case.expectations.cycle_budget {
+                if bound > budget {
+                    result.failures.push(format!(
+                        "static cycle bound {bound} does not discharge the \
+                         `;! cycles <= {budget}` budget"
+                    ));
+                }
+            }
+            for tier in result.tiers.iter().filter(|t| t.passed()) {
+                if tier.cycles > bound {
+                    result.failures.push(format!(
+                        "static cycle bound violated: {} halted at cycle {}, \
+                         past the proven bound {bound}",
+                        tier.tier, tier.cycles
+                    ));
+                } else if bound > 4 * tier.cycles.max(1) {
+                    result.failures.push(format!(
+                        "static cycle bound vacuous: proven bound {bound} is \
+                         more than 4x the {} halt cycle {}",
+                        tier.tier, tier.cycles
+                    ));
+                }
+            }
+        }
+        None => {
+            if case.expectations.cycle_budget.is_some() {
+                result.failures.push(
+                    "`;! cycles` budget declared but the verify pass proved no \
+                     static schedule bound (RL-T002/RL-T003)"
+                        .into(),
+                );
+            }
+        }
+    }
+
     // Cross-tier bit-equality: every tier must produce the reference
     // tier's exact sink streams in the exact cycle count.
     if let Some((reference, rest)) = result.tiers.split_first() {

@@ -17,6 +17,7 @@ use systolic_ring_core::{
     ConfigError, FaultConfig, FaultSite, MachineParams, RingMachine, SimError, Stats,
 };
 use systolic_ring_isa::object::Object;
+use systolic_ring_isa::proof::ProofManifest;
 use systolic_ring_isa::{RingGeometry, Word16};
 
 /// A machine-configuration closure: applied to a freshly reset machine.
@@ -90,6 +91,11 @@ pub struct MachineJob {
     pub sinks: Vec<SinkRef>,
     /// Cycle budget.
     pub budget: CycleBudget,
+    /// Proof manifest from the pre-flight lint, attached to the machine
+    /// after the object loads (see [`RingMachine::attach_proof`]); the
+    /// machine re-validates the hash and silently ignores manifests that
+    /// prove nothing, so carrying one is never a behaviour change.
+    pub proof: Option<Box<ProofManifest>>,
 }
 
 /// The workload carried by a [`Job`].
@@ -302,12 +308,17 @@ impl Job {
             dmem_capacity: params.dmem_capacity,
             geometry: Some(geometry),
         };
-        let preflight = systolic_ring_lint::lint_object_with(&object, &limits)
+        let report = systolic_ring_lint::lint_object_with(&object, &limits);
+        let proof = report.proof.clone();
+        let preflight = report
             .into_result(false)
             .err()
             .map(|e| format!("object failed pre-flight lint: {e}"));
         let mut job = Job::from_object_unchecked(name, geometry, params, object, budget);
         job.builder_error = preflight;
+        if let JobWork::Machine(machine) = &mut job.work {
+            machine.proof = Some(Box::new(proof));
+        }
         job
     }
 
@@ -328,6 +339,7 @@ impl Job {
                 inputs: Vec::new(),
                 sinks: Vec::new(),
                 budget,
+                proof: None,
             }),
             wall_limit: None,
             faults: None,
@@ -356,6 +368,7 @@ impl Job {
                 inputs: Vec::new(),
                 sinks: Vec::new(),
                 budget,
+                proof: None,
             }),
             wall_limit: None,
             faults: None,
@@ -762,9 +775,15 @@ pub(crate) fn build_machine(
     }
     let mut m = RingMachine::new(job.geometry, params);
     match &job.setup {
-        JobSetup::Object(object) => m
-            .load(object)
-            .map_err(|e| JobFault::Config(e.to_string()))?,
+        JobSetup::Object(object) => {
+            m.load(object)
+                .map_err(|e| JobFault::Config(e.to_string()))?;
+            if let Some(proof) = &job.proof {
+                // Hash-validated: a stale or foreign manifest is refused
+                // and the machine simply keeps its runtime guards.
+                m.attach_proof(proof);
+            }
+        }
         JobSetup::Configure(setup) => setup(&mut m).map_err(|e| JobFault::Config(e.to_string()))?,
     }
     for sink in &job.sinks {

@@ -14,7 +14,9 @@
 //! * [`object`] — the loadable object-code container emitted by the
 //!   assembler,
 //! * [`expect`] — embedded conformance expectations (`;!` directives)
-//!   carried alongside assembled objects.
+//!   carried alongside assembled objects,
+//! * [`proof`] — static proof manifests a verifier binds to object bytes
+//!   so the core can elide runtime guards.
 //!
 //! The cycle-accurate simulator (`systolic-ring-core`) and the two-level
 //! assembler (`systolic-ring-asm`) both build on these definitions, so a
@@ -42,6 +44,7 @@ pub mod dnode;
 pub mod expect;
 pub mod geometry;
 pub mod object;
+pub mod proof;
 pub mod switch;
 mod word;
 

@@ -164,6 +164,11 @@ pub struct LintReport {
     /// past the settle point. `false` claims nothing — the tier may still
     /// stitch superblocks at run time.
     pub aot_compilable: bool,
+    /// Proof manifest from the verify passes (`RL-Vxxx`/`RL-Hxxx`/
+    /// `RL-Txxx`), bound to the object's byte hash. Attach it to a
+    /// machine (`RingMachine::attach_proof`) to elide runtime phase
+    /// guards on statically-proven-stable phases.
+    pub proof: systolic_ring_isa::proof::ProofManifest,
 }
 
 impl LintReport {

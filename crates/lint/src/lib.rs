@@ -22,6 +22,14 @@
 //!    engine (see [`Fusibility`]), plus the one-sided `RL-F003` verdict
 //!    that the AOT tier's load-time prefill walk provably compiles a
 //!    steady window (see [`LintReport::aot_compilable`]).
+//! 5. **Verify** (`RL-Vxxx`/`RL-Hxxx`/`RL-Txxx`) — abstract
+//!    interpretation over the object: interval value-range analysis of
+//!    the Q-format datapath, reconfiguration-hazard detection across
+//!    context switches, and a forking symbolic walk proving termination
+//!    and a static cycle bound. Proven facts land in a
+//!    [`ProofManifest`](systolic_ring_isa::proof::ProofManifest) (see
+//!    [`LintReport::proof`]) that the core consumes to elide runtime
+//!    phase guards.
 //!
 //! The severity contract is the point of the tool: an object whose report
 //! [`is_clean`](LintReport::is_clean) is *guaranteed* to load and to never
@@ -49,11 +57,14 @@
 mod dataflow;
 mod diag;
 mod fusibility;
+mod json;
 mod model;
 mod sequencer;
+mod verify;
 
 pub use diag::{Diagnostic, Fusibility, LintError, LintReport, Severity, Site};
 
+use systolic_ring_isa::expect::Expectations;
 use systolic_ring_isa::object::Object;
 use systolic_ring_isa::RingGeometry;
 
@@ -95,15 +106,38 @@ pub fn lint_object(object: &Object) -> LintReport {
 
 /// Lints `object` against an explicit machine envelope.
 pub fn lint_object_with(object: &Object, limits: &LintLimits) -> LintReport {
+    lint_object_expecting(object, limits, None)
+}
+
+/// Lints `object` with optional embedded expectations (`;!` directives).
+///
+/// Expectations sharpen the verify passes: declared input vectors bound
+/// the host-input intervals of the value-range analysis. They are never
+/// required — without them host inputs are assumed to span the full
+/// 16-bit range.
+pub fn lint_object_expecting(
+    object: &Object,
+    limits: &LintLimits,
+    expectations: Option<&Expectations>,
+) -> LintReport {
     let mut diagnostics = Vec::new();
     let model = model::ConfigModel::build(object, limits, &mut diagnostics);
     dataflow::check(&model, limits, &mut diagnostics);
     let facts = sequencer::check(object, &model, limits, &mut diagnostics);
     let (fusibility, aot_compilable) =
         fusibility::classify(object, limits, &facts, &model, &mut diagnostics);
+    let proof = verify::check(
+        object,
+        limits,
+        &facts,
+        &model,
+        expectations,
+        &mut diagnostics,
+    );
     LintReport {
         diagnostics,
         fusibility,
         aot_compilable,
+        proof,
     }
 }

@@ -1,0 +1,273 @@
+//! Reconfiguration-hazard pass (`RL-Hxxx`): replays the configuration
+//! events of every walked path against an evolving view of the fabric and
+//! flags writes that race in-flight pipeline data.
+//!
+//! The hazard model is the one the chaos campaign samples dynamically: a
+//! configuration word rewritten **in the active context** while the
+//! target Dnode (or the Dnode fed by the target route) is *busy* changes
+//! the meaning of data already in flight — a RAW/WAR race between the
+//! configuration plane and the datapath. Writes into inactive contexts
+//! are the paper's whole point (reconfigure in the shadow, then switch)
+//! and never flag; first-time configuration of an idle Dnode in the
+//! active context is plain setup and never flags either.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use systolic_ring_isa::dnode::MicroInstr;
+
+use crate::diag::{Diagnostic, Severity, Site};
+use crate::model::{emit, ConfigModel};
+
+use super::schedule::{ConfigEvent, HaltedPath, TimedEvent};
+
+/// Whether a Dnode currently executes anything, under `view`.
+///
+/// `None` entries (runtime writes with unknown words) count as busy —
+/// the conservative direction for a hazard check.
+struct View {
+    /// `(ctx, dnode) -> instr` (`None` = written with unknown word).
+    dnode_instrs: BTreeMap<(usize, usize), Option<MicroInstr>>,
+    /// `dnode -> local mode` (`None` = flipped with unknown direction).
+    modes: BTreeMap<usize, Option<bool>>,
+    /// `(dnode, slot) -> instr` (`None` = unknown word).
+    local_slots: BTreeMap<(usize, usize), Option<MicroInstr>>,
+    /// `dnode -> sequencer limit` (`None` = unknown).
+    local_limits: BTreeMap<usize, Option<u32>>,
+    active_ctx: usize,
+}
+
+impl View {
+    fn from_model(model: &ConfigModel) -> View {
+        View {
+            dnode_instrs: model
+                .dnode_instrs
+                .iter()
+                .map(|(&k, &v)| (k, Some(v)))
+                .collect(),
+            modes: model.modes.iter().map(|(&k, &v)| (k, Some(v))).collect(),
+            local_slots: model
+                .local_slots
+                .iter()
+                .map(|(&k, &v)| (k, Some(v)))
+                .collect(),
+            local_limits: model
+                .local_limits
+                .iter()
+                .map(|(&k, &v)| (k, Some(u32::from(v))))
+                .collect(),
+            active_ctx: 0,
+        }
+    }
+
+    /// A Dnode is busy when the configuration it currently executes is
+    /// non-idle: its active-context microinstruction, or (in local mode)
+    /// any sequenced slot below the limit.
+    fn busy(&self, dnode: usize) -> bool {
+        let local = match self.modes.get(&dnode) {
+            Some(&Some(local)) => local,
+            // Unknown mode: busy if either view would be.
+            Some(&None) => return self.ctx_busy(dnode) || self.local_busy(dnode),
+            None => false,
+        };
+        if local {
+            self.local_busy(dnode)
+        } else {
+            self.ctx_busy(dnode)
+        }
+    }
+
+    fn ctx_busy(&self, dnode: usize) -> bool {
+        match self.dnode_instrs.get(&(self.active_ctx, dnode)) {
+            Some(&Some(instr)) => instr != MicroInstr::NOP,
+            Some(&None) => true,
+            None => false,
+        }
+    }
+
+    fn local_busy(&self, dnode: usize) -> bool {
+        let limit = match self.local_limits.get(&dnode) {
+            Some(&Some(limit)) => limit as usize,
+            Some(&None) => usize::MAX,
+            None => 1,
+        };
+        self.local_slots
+            .iter()
+            .filter(|(&(d, slot), _)| d == dnode && slot < limit)
+            .any(|(_, instr)| !matches!(instr, Some(i) if *i == MicroInstr::NOP))
+    }
+}
+
+/// One deduplicated finding, ordered for deterministic emission.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Finding {
+    addr: usize,
+    code: &'static str,
+    message: String,
+    help: &'static str,
+}
+
+/// Replays `paths` and emits `RL-H001`/`RL-H002` warnings; returns `true`
+/// (hazard-free) when `complete` and nothing flagged. `RL-H003` is
+/// emitted by the caller so the manifest and the diagnostic stay in step.
+pub(crate) fn check(
+    model: &ConfigModel,
+    paths: &[HaltedPath],
+    complete: bool,
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    let mut findings: BTreeSet<Finding> = BTreeSet::new();
+    for path in paths {
+        replay(model, &path.events, &mut findings);
+    }
+    let clean = findings.is_empty();
+    for f in findings {
+        emit(
+            diags,
+            f.code,
+            Severity::Warning,
+            Site::Code { addr: f.addr },
+            f.message,
+            f.help,
+        );
+    }
+    complete && clean
+}
+
+fn replay(model: &ConfigModel, events: &[TimedEvent], findings: &mut BTreeSet<Finding>) {
+    let mut view = View::from_model(model);
+    for ev in events {
+        view.active_ctx = ev.active_ctx;
+        match ev.event {
+            ConfigEvent::WriteDnode { ctx, dnode, word } => {
+                if ctx == view.active_ctx && view.busy(dnode) {
+                    findings.insert(Finding {
+                        addr: ev.addr,
+                        code: "RL-H001",
+                        message: format!(
+                            "rewrites the microinstruction of dnode {dnode} in the ACTIVE \
+                             context {ctx} at cycle {} while the dnode is executing \
+                             (in-flight data races the new configuration)",
+                            ev.cycle
+                        ),
+                        help: "write into a shadow context and `ctx`-switch, or idle the \
+                               dnode first",
+                    });
+                }
+                let instr = word.and_then(|w| MicroInstr::decode(w).ok());
+                view.dnode_instrs.insert((ctx, dnode), instr);
+            }
+            ConfigEvent::WritePort {
+                ctx,
+                switch,
+                lane,
+                input: _,
+                word: _,
+            } => {
+                if ctx == view.active_ctx {
+                    // The rewritten route feeds the downstream Dnode at
+                    // (downstream layer of `switch`, `lane`).
+                    let consumer = model
+                        .geometry
+                        .map(|g| g.dnode_index(g.downstream_layer(switch), lane));
+                    if consumer.is_none_or(|d| view.busy(d)) {
+                        findings.insert(Finding {
+                            addr: ev.addr,
+                            code: "RL-H002",
+                            message: format!(
+                                "rewrites a route of switch {switch} (lane {lane}) in the \
+                                 ACTIVE context {ctx} at cycle {} while the fed dnode is \
+                                 executing (pipeline words in flight take the new route)",
+                                ev.cycle
+                            ),
+                            help: "reroute in a shadow context and `ctx`-switch, or idle \
+                                   the downstream dnode first",
+                        });
+                    }
+                }
+            }
+            ConfigEvent::WriteCapture {
+                ctx, switch, port, ..
+            } => {
+                // Re-arming an active capture mid-stream tears the
+                // host-visible output; flag only when the port is
+                // already armed in the active context.
+                if ctx == view.active_ctx {
+                    let armed = model
+                        .captures
+                        .get(&(ctx, switch, port))
+                        .is_some_and(|c| c.selected().is_some());
+                    if armed {
+                        findings.insert(Finding {
+                            addr: ev.addr,
+                            code: "RL-H002",
+                            message: format!(
+                                "rewrites the armed capture selector of switch {switch} \
+                                 port {port} in the ACTIVE context {ctx} at cycle {} \
+                                 (the host-visible stream tears mid-run)",
+                                ev.cycle
+                            ),
+                            help: "retarget captures in a shadow context and `ctx`-switch",
+                        });
+                    }
+                }
+            }
+            ConfigEvent::WriteMode { dnode, local } => {
+                let flips = match (view.modes.get(&dnode).copied().flatten(), local) {
+                    (prev, Some(new)) => prev.unwrap_or(false) != new,
+                    (_, None) => true,
+                };
+                if flips && view.busy(dnode) {
+                    findings.insert(Finding {
+                        addr: ev.addr,
+                        code: "RL-H001",
+                        message: format!(
+                            "flips the execution mode of dnode {dnode} at cycle {} while \
+                             the dnode is executing (its register file and accumulator \
+                             carry stale state across the switch)",
+                            ev.cycle
+                        ),
+                        help: "idle the dnode (NOP its active configuration) before \
+                               flipping modes",
+                    });
+                }
+                view.modes.insert(dnode, local);
+            }
+            ConfigEvent::WriteLocalSlot { dnode, slot, word } => {
+                let local_now = matches!(view.modes.get(&dnode), Some(&Some(true)) | Some(&None));
+                if local_now && view.local_busy(dnode) {
+                    findings.insert(Finding {
+                        addr: ev.addr,
+                        code: "RL-H001",
+                        message: format!(
+                            "rewrites local-sequencer slot {slot} of dnode {dnode} at \
+                             cycle {} while the dnode is sequencing in local mode",
+                            ev.cycle
+                        ),
+                        help: "switch the dnode out of local mode before rewriting its \
+                               microprogram",
+                    });
+                }
+                let instr = word.and_then(|w| MicroInstr::decode(w).ok());
+                view.local_slots.insert((dnode, slot), instr);
+            }
+            ConfigEvent::WriteLocalLimit { dnode, limit } => {
+                let local_now = matches!(view.modes.get(&dnode), Some(&Some(true)) | Some(&None));
+                if local_now && view.local_busy(dnode) {
+                    findings.insert(Finding {
+                        addr: ev.addr,
+                        code: "RL-H001",
+                        message: format!(
+                            "rewrites the sequencer limit of dnode {dnode} at cycle {} \
+                             while the dnode is sequencing in local mode",
+                            ev.cycle
+                        ),
+                        help: "switch the dnode out of local mode before resizing its \
+                               microprogram",
+                    });
+                }
+                view.local_limits.insert(dnode, limit);
+            }
+            ConfigEvent::SetCtx { ctx } => view.active_ctx = ctx,
+        }
+    }
+}

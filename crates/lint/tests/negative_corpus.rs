@@ -4,14 +4,20 @@
 //! and asserts the report carries that rule's stable code at the expected
 //! severity. Together the corpus pins down the complete `RL-*` catalog:
 //! structural (`RL-S001..S008`), dataflow (`RL-D001..D005`), sequencer
-//! (`RL-Q001..Q008`) and fusibility (`RL-F001..F002`).
+//! (`RL-Q001..Q008`), fusibility (`RL-F001..F002`) and the verify passes
+//! (`RL-T001..T003` schedule bounds, `RL-H001..H003` reconfiguration
+//! hazards, `RL-V001..V003` value ranges).
 
 use systolic_ring_isa::ctrl::{CReg, CtrlInstr};
 use systolic_ring_isa::dnode::{AluOp, MicroInstr, Operand, Reg};
+use systolic_ring_isa::expect::{Expectations, InputVector};
 use systolic_ring_isa::object::{Object, Preload};
+use systolic_ring_isa::proof::OutRange;
 use systolic_ring_isa::switch::{HostCapture, PortSource};
-use systolic_ring_isa::RingGeometry;
-use systolic_ring_lint::{lint_object, lint_object_with, Fusibility, LintLimits, Severity};
+use systolic_ring_isa::{RingGeometry, Word16};
+use systolic_ring_lint::{
+    lint_object, lint_object_expecting, lint_object_with, Fusibility, LintLimits, Severity,
+};
 
 /// A well-formed skeleton: paper-sized ring, one context, `wait; halt`.
 fn base() -> Object {
@@ -433,10 +439,239 @@ fn f002_pop_from_port_no_capture_feeds() {
     expect(&object, "RL-F002", Severity::Warning);
 }
 
+// ------------------------------------------------------- verify: schedule (T)
+
+#[test]
+fn t001_static_schedule_bound_proven() {
+    // `wait 16; halt`: one straight-line path, 17 controller cycles, no
+    // configuration events — the proof pins all three manifest facts.
+    let object = base();
+    expect(&object, "RL-T001", Severity::Info);
+    let report = lint_object(&object);
+    assert!(report.proof.halts);
+    assert_eq!(report.proof.cycle_bound, Some(17));
+    assert_eq!(report.proof.config_stable_from, Some(0));
+}
+
+#[test]
+fn t002_data_dependent_loop_defeats_the_bound() {
+    // A loop whose exit condition is a bus read forks the walk on every
+    // iteration; the fork budget abandons it and nothing is claimed.
+    let mut object = base();
+    object.code = vec![
+        CtrlInstr::Busr { rd: reg(1) }.encode(),
+        CtrlInstr::Beq {
+            ra: reg(1),
+            rb: CReg::ZERO,
+            offset: -2,
+        }
+        .encode(),
+        CtrlInstr::Halt.encode(),
+    ];
+    expect(&object, "RL-T002", Severity::Info);
+    let report = lint_object(&object);
+    assert!(!report.proof.halts);
+    assert_eq!(report.proof.cycle_bound, None);
+    // An abandoned walk claims nothing — hazard freedom included.
+    assert!(!report.proof.hazard_free);
+}
+
+#[test]
+fn t003_concrete_infinite_loop_proves_divergence() {
+    let mut object = base();
+    object.code = vec![CtrlInstr::J { target: 0 }.encode()];
+    expect(&object, "RL-T003", Severity::Info);
+    let report = lint_object(&object);
+    assert!(!report.proof.halts);
+    // Divergence is advisory (streaming programs are intentional).
+    assert!(report.is_clean());
+}
+
+// -------------------------------------------------------- verify: hazards (H)
+
+/// A fabric with dnode 0 visibly executing in context 0.
+fn busy_fabric() -> Vec<Preload> {
+    let mac = MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0);
+    vec![
+        route(0, 0, 0, 0, PortSource::HostIn { port: 0 }),
+        route(0, 0, 0, 1, PortSource::HostIn { port: 1 }),
+        node(0, 0, mac),
+    ]
+}
+
+#[test]
+fn h001_active_context_rewrite_of_busy_dnode() {
+    let mut object = base();
+    object.preload = busy_fabric();
+    object.code = vec![
+        // `wctx` still selects context 0: the write races the running mac.
+        CtrlInstr::Wdn {
+            rs: CReg::ZERO,
+            dnode: 0,
+        }
+        .encode(),
+        CtrlInstr::Wait { cycles: 16 }.encode(),
+        CtrlInstr::Halt.encode(),
+    ];
+    expect(&object, "RL-H001", Severity::Warning);
+    let report = lint_object(&object);
+    assert!(!report.proof.hazard_free);
+    assert!(!report.diagnostics.iter().any(|d| d.code == "RL-H003"));
+}
+
+#[test]
+fn h002_active_context_reroute_of_busy_consumer() {
+    let mut object = base();
+    object.preload = busy_fabric();
+    object.code = vec![
+        // Flat port 0 = switch 0, lane 0, in1 — the route feeding the
+        // running mac on dnode 0.
+        CtrlInstr::Wsw {
+            rs: CReg::ZERO,
+            port: 0,
+        }
+        .encode(),
+        CtrlInstr::Wait { cycles: 16 }.encode(),
+        CtrlInstr::Halt.encode(),
+    ];
+    expect(&object, "RL-H002", Severity::Warning);
+    assert!(!lint_object(&object).proof.hazard_free);
+}
+
+#[test]
+fn h003_shadow_context_reconfiguration_is_hazard_free() {
+    // The paper's pattern: same busy dnode, same rewrite — but targeted
+    // at shadow context 1, so no in-flight data can race it.
+    let mut object = base();
+    object.contexts = 2;
+    object.preload = busy_fabric();
+    object.code = vec![
+        CtrlInstr::Wctx { ctx: 1 }.encode(),
+        CtrlInstr::Wdn {
+            rs: CReg::ZERO,
+            dnode: 0,
+        }
+        .encode(),
+        CtrlInstr::Wait { cycles: 16 }.encode(),
+        CtrlInstr::Halt.encode(),
+    ];
+    expect(&object, "RL-H003", Severity::Info);
+    let report = lint_object(&object);
+    assert!(report.proof.hazard_free);
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == "RL-H001" || d.code == "RL-H002"));
+}
+
+// --------------------------------------------------- verify: value ranges (V)
+
+#[test]
+fn v001_constant_datapath_proven_overflow_free() {
+    let add = MicroInstr::op(AluOp::Add, Operand::Imm, Operand::One)
+        .with_imm(Word16::from_i16(1000))
+        .write_out();
+    let mut object = base();
+    object.preload = vec![node(0, 0, add)];
+    expect(&object, "RL-V001", Severity::Info);
+    let report = lint_object(&object);
+    // The proven hull lands in the manifest: reset zero joined with 1001.
+    assert_eq!(
+        report.proof.out_ranges,
+        vec![OutRange {
+            dnode: 0,
+            lo: 0,
+            hi: 1001
+        }]
+    );
+}
+
+/// The known-overflowing `alpha_blend` variant: layer 0 of the Q8 blend
+/// kernel (`mul in1, #ALPHA`) with the shipped pixel range. At the hot
+/// coefficient 192 the pre-wrap product reaches `255 * 192 = 48960`, off
+/// the 16-bit datapath — the kernel only works because the later logical
+/// shift reinterprets the wrapped sum as unsigned, and the verifier
+/// cannot bless that.
+#[test]
+fn v002_alpha_blend_hot_coefficient_may_wrap() {
+    let blend_layer0 = |alpha: i16| {
+        let mut object = base();
+        object.preload = vec![
+            route(0, 0, 0, 0, PortSource::HostIn { port: 0 }),
+            route(0, 0, 1, 0, PortSource::HostIn { port: 1 }),
+            node(
+                0,
+                0,
+                MicroInstr::op(AluOp::Mul, Operand::In1, Operand::Imm)
+                    .with_imm(Word16::from_i16(alpha))
+                    .write_out(),
+            ),
+            node(
+                0,
+                1,
+                MicroInstr::op(AluOp::Mul, Operand::In1, Operand::Imm)
+                    .with_imm(Word16::from_i16(256 - alpha))
+                    .write_out(),
+            ),
+        ];
+        object
+    };
+    let pixels = Expectations {
+        inputs: vec![
+            InputVector {
+                switch: 0,
+                port: 0,
+                words: vec![255],
+            },
+            InputVector {
+                switch: 0,
+                port: 1,
+                words: vec![255],
+            },
+        ],
+        ..Expectations::default()
+    };
+    let limits = LintLimits::default();
+
+    // ALPHA = 192: `255 * 192` straddles the wrap threshold — flagged,
+    // exactly once (the BETA lane's `255 * 64` is provably safe).
+    let hot = lint_object_expecting(&blend_layer0(192), &limits, Some(&pixels));
+    let flagged: Vec<_> = hot
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "RL-V002")
+        .collect();
+    assert_eq!(flagged.len(), 1, "only the ALPHA lane may wrap");
+    assert_eq!(flagged[0].severity, Severity::Info);
+    assert!(!hot.diagnostics.iter().any(|d| d.code == "RL-V001"));
+
+    // ALPHA = 128 is the one split where both lanes stay under
+    // `i16::MAX` (`255 * 128 = 32640`) and the whole datapath is proven.
+    let cool = lint_object_expecting(&blend_layer0(128), &limits, Some(&pixels));
+    assert!(cool.diagnostics.iter().any(|d| d.code == "RL-V001"));
+    assert!(!cool.diagnostics.iter().any(|d| d.code == "RL-V002"));
+}
+
+#[test]
+fn v003_certain_wrap_is_a_warning() {
+    // `imm + imm` with imm = 20000: every evaluation lands at 40000,
+    // entirely outside the datapath — the wrap is certain, not possible.
+    let add = MicroInstr::op(AluOp::Add, Operand::Imm, Operand::Imm)
+        .with_imm(Word16::from_i16(20000))
+        .write_out();
+    let mut object = base();
+    object.preload = vec![node(0, 0, add)];
+    expect(&object, "RL-V003", Severity::Warning);
+    assert!(lint_object(&object).into_result(true).is_err());
+}
+
 // --------------------------------------------------------------- the contract
 
-/// A fully wired object produces a warning-free report, a fusibility
-/// proof, and the advisory `RL-F003` AOT-compilability verdict.
+/// A fully wired object produces a report whose only findings are
+/// advisory (`Severity::Info`): the `RL-F003` AOT-compilability verdict
+/// plus the verify pass's positive proofs — a schedule bound
+/// (`RL-T001`) and hazard freedom (`RL-H003`). Nothing at `Warning` or
+/// above may appear.
 #[test]
 fn clean_object_has_no_findings() {
     let mac = MicroInstr::op(AluOp::Mac, Operand::In1, Operand::In2).write_reg(Reg::R0);
@@ -450,7 +685,7 @@ fn clean_object_has_no_findings() {
     let unexpected: Vec<String> = report
         .diagnostics
         .iter()
-        .filter(|d| d.code != "RL-F003")
+        .filter(|d| d.severity > Severity::Info)
         .map(|d| d.to_string())
         .collect();
     assert!(unexpected.is_empty(), "unexpected findings: {unexpected:?}");
@@ -459,28 +694,36 @@ fn clean_object_has_no_findings() {
         report.aot_compilable,
         "fully wired object should prove AOT-compilable"
     );
-    assert!(
-        report
-            .diagnostics
-            .iter()
-            .any(|d| d.code == "RL-F003" && d.severity == Severity::Info),
-        "the AOT verdict must surface as an advisory RL-F003 finding"
-    );
+    for advisory in ["RL-F003", "RL-T001", "RL-H003"] {
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == advisory && d.severity == Severity::Info),
+            "expected the advisory {advisory} finding"
+        );
+    }
+    // The positive proofs also land in the manifest the core consumes.
+    assert!(report.proof.halts);
+    assert!(report.proof.hazard_free);
 }
 
-/// The corpus covers at least the twelve-code floor, across all four
+/// The corpus covers the full 32-code catalog, across all seven
 /// families, with every code distinct.
 #[test]
 fn corpus_spans_the_catalog() {
     let catalog = [
         "RL-S001", "RL-S002", "RL-S003", "RL-S004", "RL-S005", "RL-S006", "RL-S007", "RL-S008",
         "RL-D001", "RL-D002", "RL-D003", "RL-D004", "RL-D005", "RL-Q001", "RL-Q002", "RL-Q003",
-        "RL-Q004", "RL-Q005", "RL-Q006", "RL-Q007", "RL-Q008", "RL-F001", "RL-F002",
+        "RL-Q004", "RL-Q005", "RL-Q006", "RL-Q007", "RL-Q008", "RL-F001", "RL-F002", "RL-T001",
+        "RL-T002", "RL-T003", "RL-H001", "RL-H002", "RL-H003", "RL-V001", "RL-V002", "RL-V003",
     ];
+    // (`RL-F003`, the advisory AOT verdict, is pinned by
+    // `clean_object_has_no_findings` rather than a negative test.)
     let unique: std::collections::BTreeSet<_> = catalog.iter().collect();
     assert_eq!(unique.len(), catalog.len());
-    assert!(catalog.len() >= 12);
-    for family in ["RL-S", "RL-D", "RL-Q", "RL-F"] {
+    assert_eq!(catalog.len(), 32, "the catalog is pinned at 32 codes");
+    for family in ["RL-S", "RL-D", "RL-Q", "RL-F", "RL-T", "RL-H", "RL-V"] {
         assert!(catalog.iter().any(|c| c.starts_with(family)));
     }
 }

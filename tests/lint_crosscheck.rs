@@ -13,14 +13,21 @@
 //! * an **`aot_compilable`** verdict (`RL-F003`) must be honored by the
 //!   AOT tier: the load-time prefill walk must cache at least one
 //!   compiled superblock before the machine runs a single cycle, and a
-//!   run past the settle point must record `aot_entries > 0`.
+//!   run past the settle point must record `aot_entries > 0`, and
+//! * the **verify-pass proofs** must be honored dynamically: a proven
+//!   `cycle_bound` dominates (without being vacuously above) the actual
+//!   halt cycle, proven per-Dnode output ranges contain every value the
+//!   Dnode actually produces, an attached manifest makes the AOT tier
+//!   elide guards without changing a single architectural counter, and
+//!   all of it stays sound under randomized object mutation.
 
 use systolic_ring::asm::assemble_source;
 use systolic_ring::core::{MachineParams, RingMachine, SimError};
+use systolic_ring::isa::expect::Expectations;
 use systolic_ring::isa::object::Object;
 use systolic_ring::isa::{RingGeometry, Word16};
 use systolic_ring::kernels::objects;
-use systolic_ring::lint::{lint_object, Fusibility, Severity};
+use systolic_ring::lint::{lint_object, lint_object_expecting, Fusibility, LintLimits, Severity};
 
 /// Every object the repository ships: assembled `programs/*.sr` and
 /// literate `programs/*.sr.md` sources plus the generated kernel objects.
@@ -42,6 +49,39 @@ fn corpus() -> Vec<(String, Object)> {
     }
     assert!(corpus.len() >= 8, "expected shipped programs and kernels");
     corpus
+}
+
+/// The literate half of the corpus, keeping each program's `;!`
+/// expectations: declared input vectors sharpen the verify pass's
+/// host-input hulls, and declared budgets are what the static bounds
+/// must discharge.
+fn literate_corpus() -> Vec<(String, Object, Expectations)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+    let mut corpus = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("programs/ exists") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.ends_with(".sr") || name.ends_with(".sr.md") {
+            let source = std::fs::read_to_string(&path).expect("readable");
+            let (object, expectations) =
+                assemble_source(&name, &source).unwrap_or_else(|e| panic!("{name}: {e}"));
+            corpus.push((name, object, expectations));
+        }
+    }
+    assert!(corpus.len() >= 8, "expected the shipped program corpus");
+    corpus
+}
+
+/// Attaches a program's declared `;! input` vectors.
+fn attach_declared_inputs(m: &mut RingMachine, exp: &Expectations) {
+    for input in &exp.inputs {
+        m.attach_input(
+            input.switch,
+            input.port,
+            input.words.iter().map(|&v| Word16::from_i16(v)),
+        )
+        .expect("declared input port");
+    }
 }
 
 /// Generic host stimulus on the ports every corpus object reads from.
@@ -188,4 +228,229 @@ fn fused_and_decoded_runs_agree_on_the_corpus() {
         assert_eq!(fc, dc, "{name}: cycle counts diverged");
         assert_eq!(fs, ds, "{name}: architectural stats diverged");
     }
+}
+
+/// A proven `cycle_bound` is a two-sided promise on the shipped corpus:
+/// the real machine halts by it (soundness), and not more than 4x before
+/// it (usefulness) — and every declared `;! cycles` budget is discharged
+/// by the static bound alone.
+#[test]
+fn proven_cycle_bounds_dominate_dynamic_halts() {
+    let mut proven = 0;
+    for (name, object, exp) in literate_corpus() {
+        let report = lint_object_expecting(&object, &LintLimits::default(), Some(&exp));
+        let Some(bound) = report.proof.cycle_bound else {
+            assert!(
+                exp.cycle_budget.is_none(),
+                "{name}: `;! cycles` budget declared but not statically discharged"
+            );
+            continue;
+        };
+        assert!(report.proof.halts, "{name}: bound without a halt claim");
+        if let Some(budget) = exp.cycle_budget {
+            assert!(
+                bound <= budget,
+                "{name}: proven bound {bound} does not discharge budget {budget}"
+            );
+        }
+        proven += 1;
+        let geometry = object.geometry.unwrap_or(RingGeometry::RING_8);
+        let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+        m.load(&object).unwrap_or_else(|e| panic!("{name}: {e}"));
+        attach_declared_inputs(&mut m, &exp);
+        m.run_until_halt(4 * bound + 64)
+            .unwrap_or_else(|e| panic!("{name}: proof claims halt by cycle {bound}: {e}"));
+        assert!(
+            m.cycle() <= bound,
+            "{name}: halted at cycle {}, past the proven bound {bound}",
+            m.cycle()
+        );
+        assert!(
+            bound <= 4 * m.cycle().max(1),
+            "{name}: proven bound {bound} is vacuous against halt cycle {}",
+            m.cycle()
+        );
+    }
+    assert!(
+        proven >= 6,
+        "expected most of the corpus to prove a schedule bound"
+    );
+}
+
+/// Proven per-Dnode output ranges contain every value the Dnode's output
+/// register actually takes, at every cycle of a run under the declared
+/// inputs.
+#[test]
+fn proven_out_ranges_cover_every_dynamic_output() {
+    let mut checked = 0;
+    for (name, object, exp) in literate_corpus() {
+        let report = lint_object_expecting(&object, &LintLimits::default(), Some(&exp));
+        if report.proof.out_ranges.is_empty() {
+            continue;
+        }
+        checked += 1;
+        let geometry = object.geometry.unwrap_or(RingGeometry::RING_8);
+        let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+        m.load(&object).unwrap_or_else(|e| panic!("{name}: {e}"));
+        attach_declared_inputs(&mut m, &exp);
+        for _ in 0..2_000u32 {
+            if m.controller().is_halted() {
+                break;
+            }
+            m.step().unwrap_or_else(|e| panic!("{name}: {e}"));
+            for range in &report.proof.out_ranges {
+                let v = m.dnode(range.dnode as usize).out().as_i16();
+                assert!(
+                    range.lo <= v && v <= range.hi,
+                    "{name}: dnode {} output {v} escapes the proven range \
+                     [{}, {}] at cycle {}",
+                    range.dnode,
+                    range.lo,
+                    range.hi,
+                    m.cycle()
+                );
+            }
+        }
+    }
+    assert!(
+        checked >= 6,
+        "expected most of the corpus to prove output ranges"
+    );
+}
+
+/// Attaching the proof manifest to an AOT-tier machine elides runtime
+/// guards on at least half the corpus — and changes nothing else: halt
+/// cycle, sink streams and every architectural counter stay bit-identical
+/// to the proof-less run.
+#[test]
+fn attached_proofs_elide_guards_without_architectural_change() {
+    let mut total = 0;
+    let mut elided = 0;
+    for (name, object, exp) in literate_corpus() {
+        total += 1;
+        let report = lint_object_expecting(&object, &LintLimits::default(), Some(&exp));
+        let geometry = object.geometry.unwrap_or(RingGeometry::RING_8);
+        let sink_ports = exp.sink_ports();
+        let run = |attach: bool| {
+            let mut m = RingMachine::new(geometry, MachineParams::PAPER.with_aot(true));
+            m.load(&object).unwrap_or_else(|e| panic!("{name}: {e}"));
+            if attach {
+                assert!(
+                    m.attach_proof(&report.proof),
+                    "{name}: corpus manifest rejected by the machine"
+                );
+            }
+            for &(switch, port) in &sink_ports {
+                m.open_sink(switch, port).expect("declared sink");
+            }
+            attach_declared_inputs(&mut m, &exp);
+            m.run_until_halt(20_000)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let outputs: Vec<Vec<Word16>> = sink_ports
+                .iter()
+                .map(|&(s, p)| m.take_sink(s, p).expect("opened sink"))
+                .collect();
+            let guards = m.stats().guards_elided;
+            (
+                m.cycle(),
+                m.stats().without_cache_counters(),
+                outputs,
+                guards,
+            )
+        };
+        let (pc, ps, po, pg) = run(true);
+        let (nc, ns, no, ng) = run(false);
+        assert_eq!(ng, 0, "{name}: guards elided without a proof attached");
+        assert_eq!(pc, nc, "{name}: proof attachment changed the halt cycle");
+        assert_eq!(
+            ps, ns,
+            "{name}: proof attachment changed architectural stats"
+        );
+        assert_eq!(po, no, "{name}: proof attachment changed sink streams");
+        if pg > 0 {
+            elided += 1;
+        }
+    }
+    assert!(
+        2 * elided >= total,
+        "proof manifests elided guards on only {elided}/{total} corpus programs"
+    );
+}
+
+/// Deterministic linear-congruential generator for the mutation sweep.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The static claims stay sound off the happy path: randomized bit-flips
+/// over controller code and data produce objects the linter has never
+/// seen, and every mutant it still calls clean (and every bound it still
+/// proves) must hold up dynamically.
+#[test]
+fn randomized_mutants_keep_the_static_claims_sound() {
+    const MUTANTS_PER_OBJECT: usize = 4;
+    const RUN_CAP: u64 = 5_000;
+    let mut lcg = Lcg(0x9e37_79b9_7f4a_7c15);
+    let mut exercised = 0;
+    for (name, object) in corpus() {
+        if object.code.is_empty() {
+            continue;
+        }
+        for _ in 0..MUTANTS_PER_OBJECT {
+            let mut mutant = object.clone();
+            // Flip one bit in a code word and, when present, one in a
+            // data word: enough to derail decode, control flow or the
+            // walker's arithmetic, while leaving most mutants loadable.
+            let idx = lcg.next() as usize % mutant.code.len();
+            mutant.code[idx] ^= 1 << (lcg.next() % 32);
+            if !mutant.data.is_empty() {
+                let idx = lcg.next() as usize % mutant.data.len();
+                mutant.data[idx] ^= 1 << (lcg.next() % 32);
+            }
+            let report = lint_object(&mutant);
+            if !report.is_clean() {
+                continue;
+            }
+            exercised += 1;
+            let geometry = mutant.geometry.unwrap_or(RingGeometry::RING_8);
+            let mut m = RingMachine::new(geometry, MachineParams::PAPER);
+            m.load(&mutant)
+                .unwrap_or_else(|e| panic!("{name}: lint-clean mutant failed to load: {e}"));
+            stimulate(&mut m);
+            if let Err(e) = m.run_until_halt(RUN_CAP) {
+                assert!(
+                    !matches!(
+                        e,
+                        SimError::PcOutOfRange { .. }
+                            | SimError::BadInstruction { .. }
+                            | SimError::BadConfigWrite { .. }
+                    ),
+                    "{name}: lint-clean mutant raised a preventable fault: {e}"
+                );
+            }
+            if let Some(bound) = report.proof.cycle_bound {
+                if bound <= RUN_CAP {
+                    assert!(
+                        m.controller().is_halted() && m.cycle() <= bound,
+                        "{name}: mutant proven to halt by cycle {bound} but reached \
+                         cycle {} (halted: {})",
+                        m.cycle(),
+                        m.controller().is_halted()
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        exercised >= 5,
+        "mutation sweep exercised only {exercised} lint-clean mutants"
+    );
 }
